@@ -1,0 +1,134 @@
+/**
+ * @file
+ * Architecture ablations the cost model supports (§5.3.1):
+ *  (1) distribution/reduction NoC family — systolic vs tree vs
+ *      crossbar trade fill/drain skew for wiring cost;
+ *  (2) element bit width — FLAT composes with quantization (§7): the
+ *      traffic shrinks but the dataflow ordering is unchanged;
+ *  (3) SFU sizing — the lanes needed so softmax never bottlenecks the
+ *      fused pipeline (the §6.1 provisioning note).
+ */
+#include "bench_util.h"
+
+using namespace flat;
+using namespace flat::bench;
+
+namespace {
+
+double
+la_util(const AccelConfig& accel, const ModelConfig& model,
+        std::uint64_t n, const char* policy)
+{
+    const Simulator sim(accel);
+    SimOptions options;
+    options.quick = true;
+    return sim
+        .run(make_workload(model, kBatch, n), Scope::kLogitAttend,
+             DataflowPolicy::parse(policy), options)
+        .util();
+}
+
+void
+noc_ablation()
+{
+    std::printf("(1) NoC family (edge BERT, L-A Util):\n\n");
+    TextTable table({"SeqLen", "systolic", "tree", "crossbar"});
+    for (std::uint64_t n : {512u, 4096u, 65536u}) {
+        std::vector<std::string> row{std::to_string(n)};
+        for (NocKind kind : {NocKind::kSystolic, NocKind::kTree,
+                             NocKind::kCrossbar}) {
+            AccelConfig accel = edge_accel();
+            accel.distribution_noc = kind;
+            accel.reduction_noc = kind;
+            row.push_back(fmt(la_util(accel, bert_base(), n, "flat-opt"),
+                              3));
+        }
+        table.add_row(row);
+    }
+    table.print(std::cout);
+    std::printf("\nLower-latency NoCs shave the exposed fill/drain skew; "
+                "the effect is small because double\nbuffering hides "
+                "most of it behind long accumulation runs.\n\n");
+}
+
+void
+bitwidth_ablation()
+{
+    std::printf("(2) Element width (cloud XLM, L-A Util & energy):\n\n");
+    TextTable table({"SeqLen", "int8 Util", "fp16 Util", "fp32 Util",
+                     "int8 energy vs fp16"});
+    for (std::uint64_t n : {4096u, 65536u}) {
+        std::vector<std::string> row{std::to_string(n)};
+        double energy[3] = {0, 0, 0};
+        int idx = 0;
+        for (std::uint32_t bpe : {1u, 2u, 4u}) {
+            AccelConfig accel = cloud_accel();
+            accel.bytes_per_element = bpe;
+            const Simulator sim(accel);
+            SimOptions options;
+            options.quick = true;
+            const ScopeReport rep = sim.run(
+                make_workload(xlm(), kBatch, n), Scope::kLogitAttend,
+                DataflowPolicy::parse("flat-opt"), options);
+            row.push_back(fmt(rep.util(), 3));
+            energy[idx++] = rep.energy_j;
+        }
+        row.push_back(fmt(energy[0] / energy[1], 2));
+        table.add_row(row);
+    }
+    table.print(std::cout);
+    std::printf("\nQuantization (a model-level technique, §7) composes "
+                "with FLAT: narrower elements halve the\nfootprint and "
+                "traffic, so the same buffer reaches cap at twice the "
+                "sequence length.\n\n");
+}
+
+void
+sfu_ablation()
+{
+    std::printf("(3) SFU lanes needed so softmax costs <2%% of L-A time "
+                "(edge BERT):\n\n");
+    TextTable table({"SeqLen", "min lanes", "Util @ min", "Util @ 1 lane"});
+    for (std::uint64_t n : {512u, 4096u, 32768u}) {
+        double util_cap = 0.0;
+        {
+            AccelConfig accel = edge_accel();
+            accel.sfu_lanes = 65536.0; // effectively free softmax
+            util_cap = la_util(accel, bert_base(), n, "flat-r64");
+        }
+        double one_lane = 0.0;
+        std::uint32_t min_lanes = 0;
+        for (std::uint32_t lanes : {1u, 4u, 16u, 64u, 256u, 1024u}) {
+            AccelConfig accel = edge_accel();
+            accel.sfu_lanes = lanes;
+            const double util =
+                la_util(accel, bert_base(), n, "flat-r64");
+            if (lanes == 1) {
+                one_lane = util;
+            }
+            if (min_lanes == 0 && util >= 0.98 * util_cap) {
+                min_lanes = lanes;
+            }
+        }
+        table.add_row({std::to_string(n), std::to_string(min_lanes),
+                       fmt(util_cap, 3), fmt(one_lane, 3)});
+    }
+    table.print(std::cout);
+    std::printf("\nThe softmax sits on the fused critical path (§5.3.1); "
+                "one SFU lane per ~2*dk/PEs of MAC\nthroughput keeps it "
+                "invisible — the provisioning the paper assumes in "
+                "§6.1.\n");
+}
+
+} // namespace
+
+int
+main()
+{
+    banner("Ablation — architecture knobs of the cost model",
+           "NoC family, element bit width, SFU sizing");
+    noc_ablation();
+    bitwidth_ablation();
+    sfu_ablation();
+    return 0;
+}

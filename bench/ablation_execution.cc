@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Ablation: interleaved (FLAT, §5.1 choice) vs spatially pipelined vs
+ * sequential execution of the fused L-A pair, at the same granularity
+ * and staging. Quantifies the §5.1 argument: interleaving avoids the
+ * split-array imbalance and pipeline fill of the pipelined variant
+ * while keeping the two-stage prefetch window.
+ */
+#include "bench_util.h"
+#include "costmodel/attention_cost.h"
+#include "costmodel/gemm_engine.h"
+
+using namespace flat;
+using namespace flat::bench;
+
+int
+main()
+{
+    banner("Ablation — execution style of the fused L-A pair",
+           "Same dataflow (H-Gran / R-Gran, all tensors staged); only "
+           "the execution changes");
+
+    TextTable table({"platform", "model", "SeqLen", "granularity",
+                     "sequential", "pipelined", "interleaved (FLAT)"});
+    auto csv = open_csv("ablation_execution.csv",
+                        {"platform", "model", "seq", "gran", "seq_util",
+                         "pipe_util", "inter_util"});
+
+    struct Case {
+        AccelConfig accel;
+        ModelConfig model;
+    };
+    const Case cases[] = {{edge_accel(), bert_base()},
+                          {cloud_accel(), xlm()}};
+
+    for (const Case& c : cases) {
+        for (std::uint64_t n : {2048u, 8192u, 32768u}) {
+            const Workload w = make_workload(c.model, kBatch, n);
+            const AttentionDims dims = AttentionDims::from_workload(w);
+            for (Granularity g : {Granularity::kHead, Granularity::kRow}) {
+                FusedDataflow df;
+                df.cross = {g, 4 * c.accel.pe_rows};
+                df.l2_logit = default_l2_tile(
+                    c.accel, GemmShape{256, dims.head_dim, dims.kv_len,
+                                       1, OperandKind::kActivation,
+                                       OperandKind::kActivation},
+                    c.accel.sg_bytes / 4,
+                    Stationarity::kOutputStationary);
+                df.l2_attend = default_l2_tile(
+                    c.accel, GemmShape{256, dims.kv_len, dims.head_dim,
+                                       1, OperandKind::kActivation,
+                                       OperandKind::kActivation},
+                    c.accel.sg_bytes / 4,
+                    Stationarity::kOutputStationary);
+
+                const double inter =
+                    model_flat_attention(c.accel, dims, df).util();
+                const double pipe =
+                    model_pipelined_attention(c.accel, dims, df).util();
+                const double seq =
+                    (g == Granularity::kRow)
+                        ? 0.0 // baseline cannot run row granularity
+                        : model_baseline_attention(c.accel, dims, df)
+                              .util();
+
+                table.add_row({c.accel.name, c.model.name,
+                               std::to_string(n), df.cross.tag(),
+                               g == Granularity::kRow ? "n/a"
+                                                      : fmt(seq, 3),
+                               fmt(pipe, 3), fmt(inter, 3)});
+                if (csv) {
+                    csv->add_row({c.accel.name, c.model.name,
+                                  std::to_string(n), df.cross.tag(),
+                                  fmt(seq, 4), fmt(pipe, 4),
+                                  fmt(inter, 4)});
+                }
+            }
+        }
+    }
+    table.print(std::cout);
+    std::printf(
+        "\nBoth fused styles keep the intermediate on-chip and beat the "
+        "sequential baseline. Interleaving\nwins (or ties within noise) "
+        "wherever the two stages are imbalanced — A's narrow n=dk maps "
+        "poorly\non wide half-arrays (see cloud rows) — and §5.1's "
+        "remaining arguments (array-split area, pipeline\nfill/drain, "
+        "inefficiency on non-fused operators) all favor interleaving "
+        "too; they lie outside the\nL-A scope measured here.\n");
+    return 0;
+}

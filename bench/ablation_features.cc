@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Ablation: the FLAT feature ladder. Starting from the plain sequential
+ * dataflow, add one mechanism at a time — L3 staging, cross-operator
+ * fusion, fine R granularity, and finally the full DSE over staging
+ * flags and tiles — and measure where the utilization actually comes
+ * from (DESIGN.md design-choice ablation).
+ */
+#include "bench_util.h"
+
+using namespace flat;
+using namespace flat::bench;
+
+int
+main()
+{
+    banner("Ablation — where FLAT's utilization comes from",
+           "L-A-level Util on the edge platform (BERT, batch 64)");
+
+    const char* ladder[] = {
+        "base",     // sequential, no staging
+        "base-opt", // + L3 staging & tile/order DSE (still sequential)
+        "flat-h",   // + cross-operator fusion (head granularity)
+        "flat-r64", // + fine row granularity
+        "flat-opt", // + staging-flag / granularity DSE
+    };
+
+    TextTable table({"SeqLen", "buffer", "Base", "+L3/DSE (Base-opt)",
+                     "+fusion (FLAT-H)", "+R-Gran (FLAT-R64)",
+                     "+flag DSE (FLAT-opt)"});
+    auto csv = open_csv("ablation_features.csv",
+                        {"seq", "buffer_bytes", "policy", "util"});
+
+    for (std::uint64_t n : {512u, 4096u, 65536u}) {
+        const Workload w = make_workload(bert_base(), kBatch, n);
+        for (std::uint64_t buf : {512 * kKiB, 8 * kMiB, 64 * kMiB}) {
+            AccelConfig accel = edge_accel();
+            accel.sg_bytes = buf;
+            const Simulator sim(accel);
+            SimOptions options;
+            options.quick = true;
+
+            std::vector<std::string> row{std::to_string(n),
+                                         format_bytes(buf)};
+            for (const char* policy : ladder) {
+                const double util =
+                    sim.run(w, Scope::kLogitAttend,
+                            DataflowPolicy::parse(policy), options)
+                        .util();
+                row.push_back(fmt(util, 3));
+                if (csv) {
+                    csv->add_row({std::to_string(n), std::to_string(buf),
+                                  policy, fmt(util, 5)});
+                }
+            }
+            table.add_row(row);
+        }
+        table.add_separator();
+    }
+    table.print(std::cout);
+    std::printf(
+        "\nReading: staging/DSE alone (column 2) helps only while the "
+        "O(N^2) working set fits; fusion\n(column 3) removes the "
+        "intermediate round trip; R granularity (column 4) is what "
+        "makes the\nfootprint O(N) so small buffers suffice; the flag "
+        "DSE (column 5) recovers the best mix.\n");
+    return 0;
+}

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Ablation: how much of ATTACC's reported speedup depends on how
+ * generously the sequential baseline is modeled. With kFull the
+ * baseline hides off-chip transfers behind compute inside each stage
+ * window (double-buffered); with kSerialized it does not. The paper's
+ * edge-platform speedups at long sequences (~2.8x) sit near the
+ * serialized end; our default (kFull) is the more charitable baseline.
+ */
+#include "bench_util.h"
+
+using namespace flat;
+using namespace flat::bench;
+
+int
+main()
+{
+    banner("Ablation — baseline transfer/compute overlap",
+           "ATTACC speedup over FlexAccel (model level) under both "
+           "baseline assumptions");
+
+    const AccelConfig edge = edge_accel();
+    const Simulator sim(edge);
+    TextTable table({"model", "SeqLen", "speedup (overlapped base)",
+                     "speedup (serialized base)"});
+    auto csv = open_csv("ablation_overlap.csv",
+                        {"model", "seq", "speedup_full",
+                         "speedup_serialized"});
+
+    for (const ModelConfig& model : {bert_base(), xlm()}) {
+        for (std::uint64_t n : {512u, 4096u, 16384u, 65536u, 262144u}) {
+            const Workload w = make_workload(model, kBatch, n);
+            SimOptions options;
+            options.quick = true;
+
+            const double attacc =
+                sim.run(w, Scope::kModel, AcceleratorSpec::parse("attacc"),
+                        options)
+                    .cycles;
+            const double flex_full =
+                sim.run(w, Scope::kModel,
+                        AcceleratorSpec::parse("flexaccel"), options)
+                    .cycles;
+            options.baseline_overlap = BaselineOverlap::kSerialized;
+            const double flex_serial =
+                sim.run(w, Scope::kModel,
+                        AcceleratorSpec::parse("flexaccel"), options)
+                    .cycles;
+
+            table.add_row({model.name, std::to_string(n),
+                           fmt_x(flex_full / attacc),
+                           fmt_x(flex_serial / attacc)});
+            if (csv) {
+                csv->add_row({model.name, std::to_string(n),
+                              fmt(flex_full / attacc, 3),
+                              fmt(flex_serial / attacc, 3)});
+            }
+        }
+    }
+    table.print(std::cout);
+    std::printf(
+        "\nThe paper's reported edge speedups at 64K-256K (2.8-3.1x) "
+        "are only reachable when the baseline\ndoes NOT overlap "
+        "transfers with compute; with a double-buffered baseline the "
+        "long-sequence edge gap\nshrinks because NEITHER dataflow fits "
+        "the 512KB buffer (see Table 2) and both become BW-bound.\n");
+    return 0;
+}

@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Shared helpers for the figure/table reproduction binaries: standard
+ * sweeps, formatting and CSV dumping. Each bench prints the rows/series
+ * of one paper artifact; CSVs land in ./bench_out when it exists or can
+ * be created.
+ */
+#ifndef FLAT_BENCH_BENCH_UTIL_H
+#define FLAT_BENCH_BENCH_UTIL_H
+
+#include <cstdint>
+#include <cstdio>
+#include <filesystem>
+#include <iostream>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/csv.h"
+#include "common/status.h"
+#include "common/string_util.h"
+#include "common/table.h"
+#include "common/units.h"
+#include "core/simulator.h"
+#include "workload/model_config.h"
+
+namespace flat::bench {
+
+/** Buffer sweep of Figure 8: 20KB to 2GB, roughly logarithmic. */
+inline std::vector<std::uint64_t>
+figure8_buffer_sweep()
+{
+    return {20 * kKiB,  64 * kKiB,        256 * kKiB, 512 * kKiB,
+            2 * kMiB,   8 * kMiB,         32 * kMiB,  128 * kMiB,
+            512 * kMiB, 2ull * 1024 * kMiB};
+}
+
+/** Sequence lengths of Figure 8(a) (edge) and 8(b) (cloud). */
+inline std::vector<std::uint64_t>
+edge_seq_sweep()
+{
+    return {512, 4096, 65536, 262144};
+}
+
+inline std::vector<std::uint64_t>
+cloud_seq_sweep()
+{
+    return {4096, 16384, 65536, 262144};
+}
+
+/** The paper runs every model with batch 64 (§6.1). */
+constexpr std::uint64_t kBatch = 64;
+
+/** Formats a double with the given precision. */
+inline std::string
+fmt(double value, int precision = 3)
+{
+    return strprintf("%.*f", precision, value);
+}
+
+/** Formats a speedup like "2.48x". */
+inline std::string
+fmt_x(double value)
+{
+    return strprintf("%.2fx", value);
+}
+
+/** Opens a CSV in ./bench_out if the directory is usable. */
+inline std::optional<CsvWriter>
+open_csv(const std::string& name, std::vector<std::string> header)
+{
+    std::error_code ec;
+    std::filesystem::create_directories("bench_out", ec);
+    if (ec) {
+        return std::nullopt;
+    }
+    try {
+        return std::make_optional<CsvWriter>("bench_out/" + name,
+                                             std::move(header));
+    } catch (const Error&) {
+        return std::nullopt;
+    }
+}
+
+/** Banner printed by every bench binary. */
+inline void
+banner(const std::string& title, const std::string& what)
+{
+    std::printf("==============================================\n");
+    std::printf("%s\n", title.c_str());
+    std::printf("%s\n", what.c_str());
+    std::printf("==============================================\n\n");
+}
+
+} // namespace flat::bench
+
+#endif // FLAT_BENCH_BENCH_UTIL_H

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Extension (§7 composition claim): FLAT is orthogonal to model-level
+ * sparsity techniques such as Longformer-style local attention. This
+ * bench composes the two: local attention shrinks the logits tensor
+ * from O(N^2) to O(N*w), and FLAT on top keeps even that slice
+ * on-chip — the wins multiply instead of competing.
+ */
+#include "bench_util.h"
+
+using namespace flat;
+using namespace flat::bench;
+
+int
+main()
+{
+    banner("Extension — FLAT composed with local (windowed) attention",
+           "XLM on the cloud platform, batch 64; L-A level");
+
+    const Simulator sim(cloud_accel());
+    SimOptions options;
+    options.quick = true;
+
+    TextTable table({"SeqLen", "pattern", "Base-opt Util",
+                     "FLAT-opt Util", "FLAT speedup over Base",
+                     "logits tensor"});
+    auto csv = open_csv("extension_sparse.csv",
+                        {"seq", "window", "base_util", "flat_util",
+                         "speedup", "logits_bytes"});
+
+    for (std::uint64_t n : {16384u, 65536u, 262144u}) {
+        for (std::uint64_t window : {0u, 256u, 1024u}) {
+            const Workload w =
+                (window == 0)
+                    ? make_workload(xlm(), kBatch, n)
+                    : make_local_attention_workload(xlm(), kBatch, n,
+                                                    window);
+            const ScopeReport base = sim.run(
+                w, Scope::kLogitAttend, DataflowPolicy::parse("base-opt"),
+                options);
+            const ScopeReport flat_rep = sim.run(
+                w, Scope::kLogitAttend, DataflowPolicy::parse("flat-opt"),
+                options);
+            const std::uint64_t logits_bytes =
+                w.softmax_op().output_elems() * 2;
+            const std::string pattern =
+                window == 0 ? "dense"
+                            : strprintf("local w=%llu",
+                                        static_cast<unsigned long long>(
+                                            window));
+            table.add_row({std::to_string(n), pattern,
+                           fmt(base.util(), 3), fmt(flat_rep.util(), 3),
+                           fmt_x(base.cycles / flat_rep.cycles),
+                           format_bytes(logits_bytes)});
+            if (csv) {
+                csv->add_row({std::to_string(n), std::to_string(window),
+                              fmt(base.util(), 4),
+                              fmt(flat_rep.util(), 4),
+                              fmt(base.cycles / flat_rep.cycles, 3),
+                              std::to_string(logits_bytes)});
+            }
+        }
+        table.add_separator();
+    }
+    table.print(std::cout);
+
+    std::printf(
+        "\nLocal attention removes the quadratic *compute*; FLAT removes "
+        "the intermediate's *off-chip\ntraffic*. Composed, the logits "
+        "slice is O(R*w) — small enough that even the edge-class buffer\n"
+        "stays compute-bound at any N. (The functional counterpart, "
+        "attention_flat_local, is validated\nin "
+        "tests/kernels/test_local_attention.cc.)\n");
+    return 0;
+}

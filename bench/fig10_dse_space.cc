@@ -1,0 +1,110 @@
+/**
+ * @file
+ * Reproduces Figure 10: the FLAT design space for BERT (N=512) under
+ * edge resources — every (granularity, staging, tiling) combination as
+ * one point of (live memory footprint, utilization), plus the Pareto
+ * frontier that a DSE objective would pick from.
+ */
+#include <algorithm>
+
+#include "bench_util.h"
+#include "dse/search.h"
+
+using namespace flat;
+using namespace flat::bench;
+
+int
+main()
+{
+    banner("Figure 10 — the FLAT design space (BERT N=512, edge)",
+           "Each point: one dataflow config; top-left = high Util at "
+           "low footprint");
+
+    const AccelConfig edge = edge_accel();
+    const Workload w = make_workload(bert_base(), kBatch, 512);
+    const AttentionDims dims = AttentionDims::from_workload(w);
+
+    AttentionSearchOptions options;
+    options.quick = true;
+    options.fused = true;
+    const std::vector<DsePoint> points =
+        explore_attention(edge, dims, options);
+    std::printf("Evaluated %zu design points.\n\n", points.size());
+
+    // Histogram: best Util per footprint decade.
+    struct Bin {
+        std::uint64_t lo;
+        std::uint64_t hi;
+        double best_util = 0.0;
+        double worst_util = 1.0;
+        std::size_t count = 0;
+        std::string best_tag;
+    };
+    std::vector<Bin> bins;
+    for (std::uint64_t lo = 16 * kKiB; lo < 64ull * kGiB; lo *= 4) {
+        bins.push_back({lo, lo * 4, 0.0, 1.0, 0, ""});
+    }
+    auto csv = open_csv("fig10.csv", {"footprint_bytes", "util",
+                                      "granularity", "flags", "tag"});
+    for (const DsePoint& p : points) {
+        const double util = p.cost.util();
+        if (csv) {
+            csv->add_row({std::to_string(p.cost.live_footprint_bytes),
+                          fmt(util, 5), p.dataflow.cross.tag(),
+                          p.dataflow.stage.tag(), p.dataflow.tag()});
+        }
+        for (Bin& bin : bins) {
+            if (p.cost.live_footprint_bytes >= bin.lo &&
+                p.cost.live_footprint_bytes < bin.hi) {
+                ++bin.count;
+                bin.worst_util = std::min(bin.worst_util, util);
+                if (util > bin.best_util) {
+                    bin.best_util = util;
+                    bin.best_tag = p.dataflow.tag();
+                }
+            }
+        }
+    }
+
+    TextTable table({"footprint bin", "#points", "best Util",
+                     "worst Util", "best dataflow"});
+    for (const Bin& bin : bins) {
+        if (bin.count == 0) {
+            continue;
+        }
+        table.add_row({format_bytes(bin.lo) + " - " +
+                           format_bytes(bin.hi),
+                       std::to_string(bin.count), fmt(bin.best_util, 3),
+                       fmt(bin.worst_util, 3), bin.best_tag});
+    }
+    table.print(std::cout);
+
+    // Pareto frontier: maximal Util among points with footprint <= x.
+    std::vector<const DsePoint*> sorted;
+    sorted.reserve(points.size());
+    for (const DsePoint& p : points) {
+        sorted.push_back(&p);
+    }
+    std::sort(sorted.begin(), sorted.end(),
+              [](const DsePoint* a, const DsePoint* b) {
+                  return a->cost.live_footprint_bytes <
+                         b->cost.live_footprint_bytes;
+              });
+    std::printf("\nPareto frontier (footprint -> best reachable "
+                "Util):\n");
+    TextTable pareto({"live footprint", "Util", "dataflow"});
+    double best = 0.0;
+    for (const DsePoint* p : sorted) {
+        if (p->cost.util() > best + 1e-4) {
+            best = p->cost.util();
+            pareto.add_row({format_bytes(p->cost.live_footprint_bytes),
+                            fmt(best, 3), p->dataflow.tag()});
+        }
+    }
+    pareto.print(std::cout);
+    std::printf("\nDifferent DSE objectives pick different corners: "
+                "max-Util (right-most high point), best "
+                "Util-per-footprint (top-left), min footprint "
+                "(left-most).\n");
+    return 0;
+}

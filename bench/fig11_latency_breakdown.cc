@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Reproduces Figure 11: end-to-end latency breakdown (L-A operators vs
+ * Projections vs FCs, plus the non-stall ideal) across BaseAccel,
+ * FlexAccel and ATTACC. (a) BERT at edge, (b) XLM at cloud.
+ */
+#include "bench_util.h"
+
+using namespace flat;
+using namespace flat::bench;
+
+namespace {
+
+void
+breakdown(const char* title, const AccelConfig& platform,
+          const ModelConfig& model,
+          const std::vector<std::uint64_t>& seq_lens, CsvWriter* csv)
+{
+    SimOptions options;
+    options.quick = true;
+    const char* accels[] = {"BaseAccel", "FlexAccel", "ATTACC"};
+
+    for (std::uint64_t n : seq_lens) {
+        const Workload w = make_workload(model, kBatch, n);
+        std::printf("\n%s  %s  Len%llu — model-level latency "
+                    "(ms; block x %u)\n",
+                    title, model.name.c_str(),
+                    static_cast<unsigned long long>(n),
+                    model.num_blocks);
+        TextTable table({"accelerator", "L-A", "Projection", "FCs",
+                         "total", "non-stall (ideal)"});
+        const Simulator sim(platform);
+        for (const char* name : accels) {
+            const ScopeReport r = sim.run(
+                w, Scope::kModel, AcceleratorSpec::parse(name), options);
+            const double ms = 1e3 * platform.cycle_time();
+            table.add_row({name, fmt(r.breakdown.la_cycles * ms, 2),
+                           fmt(r.breakdown.proj_cycles * ms, 2),
+                           fmt(r.breakdown.fc_cycles * ms, 2),
+                           fmt(r.cycles * ms, 2),
+                           fmt(r.ideal_cycles * ms, 2)});
+            if (csv != nullptr) {
+                csv->add_row({platform.name, model.name,
+                              std::to_string(n), name,
+                              fmt(r.breakdown.la_cycles, 1),
+                              fmt(r.breakdown.proj_cycles, 1),
+                              fmt(r.breakdown.fc_cycles, 1),
+                              fmt(r.ideal_cycles, 1)});
+            }
+        }
+        table.print(std::cout);
+    }
+}
+
+} // namespace
+
+int
+main()
+{
+    banner("Figure 11 — end-to-end latency breakdown",
+           "Projections/FCs are identical on FlexAccel and ATTACC; the "
+           "L-A share is what FLAT shrinks");
+
+    auto csv = open_csv("fig11.csv",
+                        {"platform", "model", "seq", "accel", "la_cycles",
+                         "proj_cycles", "fc_cycles", "ideal_cycles"});
+    CsvWriter* csv_ptr = csv ? &*csv : nullptr;
+
+    breakdown("(a) edge", edge_accel(), bert_base(),
+              {std::uint64_t{512}, std::uint64_t{4096},
+               std::uint64_t{65536}},
+              csv_ptr);
+    breakdown("(b) cloud", cloud_accel(), xlm(),
+              {std::uint64_t{4096}, std::uint64_t{65536},
+               std::uint64_t{262144}},
+              csv_ptr);
+
+    std::printf("\nExpected shape (paper): at 512 all accelerators are "
+                "near-ideal; as N grows the L-A bar dominates on the "
+                "baselines while ATTACC stays close to non-stall.\n");
+    return 0;
+}

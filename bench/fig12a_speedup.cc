@@ -1,0 +1,134 @@
+/**
+ * @file
+ * Reproduces Figure 12(a): model-level speedup and energy-consumption
+ * ratio of ATTACC over FlexAccel-M (left) and over FlexAccel (right)
+ * for the five workloads at N = 512..256K, edge and cloud.
+ */
+#include "bench_util.h"
+
+using namespace flat;
+using namespace flat::bench;
+
+namespace {
+
+struct Ratios {
+    double speedup_vs_flexm = 0.0;
+    double speedup_vs_flex = 0.0;
+    double energy_vs_flexm = 0.0;
+    double energy_vs_flex = 0.0;
+};
+
+Ratios
+evaluate(const AccelConfig& platform, const ModelConfig& model,
+         std::uint64_t n)
+{
+    SimOptions options;
+    options.quick = true;
+    const Simulator sim(platform);
+    const Workload w = make_workload(model, kBatch, n);
+    const ScopeReport attacc = sim.run(
+        w, Scope::kModel, AcceleratorSpec::parse("attacc"), options);
+    const ScopeReport flexm = sim.run(
+        w, Scope::kModel, AcceleratorSpec::parse("flexaccel-m"), options);
+    const ScopeReport flex = sim.run(
+        w, Scope::kModel, AcceleratorSpec::parse("flexaccel"), options);
+    Ratios r;
+    r.speedup_vs_flexm = flexm.cycles / attacc.cycles;
+    r.speedup_vs_flex = flex.cycles / attacc.cycles;
+    r.energy_vs_flexm = attacc.energy_j / flexm.energy_j;
+    r.energy_vs_flex = attacc.energy_j / flex.energy_j;
+    return r;
+}
+
+void
+platform_matrix(const char* title, const AccelConfig& platform,
+                CsvWriter* csv, double* avg_speedup_flex,
+                double* avg_energy_flex)
+{
+    const std::vector<std::uint64_t> seqs = {512, 4096, 16384, 65536,
+                                             262144};
+    std::printf("\n%s — ATTACC over FlexAccel-M | FlexAccel "
+                "(speedup; energy ratio)\n\n",
+                title);
+    std::vector<std::string> header{"model"};
+    for (std::uint64_t n : seqs) {
+        header.push_back(n >= 1024 ? strprintf("%lluK",
+                                               static_cast<unsigned long
+                                                           long>(n /
+                                                                 1024))
+                                   : std::to_string(n));
+    }
+    TextTable speed(header);
+    TextTable energy(header);
+    double sum_sp_m = 0.0, sum_sp_f = 0.0;
+    double sum_en_m = 0.0, sum_en_f = 0.0;
+    std::size_t count = 0;
+
+    for (const ModelConfig& model : model_zoo()) {
+        std::vector<std::string> sp_row{model.name};
+        std::vector<std::string> en_row{model.name};
+        for (std::uint64_t n : seqs) {
+            const Ratios r = evaluate(platform, model, n);
+            sp_row.push_back(fmt_x(r.speedup_vs_flexm) + " | " +
+                             fmt_x(r.speedup_vs_flex));
+            en_row.push_back(fmt(r.energy_vs_flexm, 2) + " | " +
+                             fmt(r.energy_vs_flex, 2));
+            sum_sp_m += r.speedup_vs_flexm;
+            sum_sp_f += r.speedup_vs_flex;
+            sum_en_m += r.energy_vs_flexm;
+            sum_en_f += r.energy_vs_flex;
+            ++count;
+            if (csv != nullptr) {
+                csv->add_row({platform.name, model.name,
+                              std::to_string(n),
+                              fmt(r.speedup_vs_flexm, 3),
+                              fmt(r.speedup_vs_flex, 3),
+                              fmt(r.energy_vs_flexm, 3),
+                              fmt(r.energy_vs_flex, 3)});
+            }
+        }
+        speed.add_row(sp_row);
+        energy.add_row(en_row);
+    }
+    std::printf("Speedup (higher is better):\n");
+    speed.print(std::cout);
+    std::printf("\nEnergy-consumption ratio (lower is better):\n");
+    energy.print(std::cout);
+    std::printf("\nAverages: speedup %.2fx (vs FlexAccel-M), %.2fx (vs "
+                "FlexAccel); energy ratio %.2f / %.2f\n",
+                sum_sp_m / count, sum_sp_f / count, sum_en_m / count,
+                sum_en_f / count);
+    *avg_speedup_flex = sum_sp_f / count;
+    *avg_energy_flex = sum_en_f / count;
+}
+
+} // namespace
+
+int
+main()
+{
+    banner("Figure 12(a) — ATTACC speedup & energy vs the baselines",
+           "Model-wise, batch 64; paper averages: edge 2.40x/1.75x "
+           "speedup, 0.39/0.56 energy; cloud 2.57x/1.65x, 0.28/0.45");
+
+    auto csv = open_csv("fig12a.csv",
+                        {"platform", "model", "seq", "speedup_vs_flexm",
+                         "speedup_vs_flex", "energy_vs_flexm",
+                         "energy_vs_flex"});
+    CsvWriter* csv_ptr = csv ? &*csv : nullptr;
+
+    double edge_speedup = 0.0, edge_energy = 0.0;
+    double cloud_speedup = 0.0, cloud_energy = 0.0;
+    platform_matrix("Edge", edge_accel(), csv_ptr, &edge_speedup,
+                    &edge_energy);
+    platform_matrix("Cloud", cloud_accel(), csv_ptr, &cloud_speedup,
+                    &cloud_energy);
+
+    std::printf("\nHeadline check (paper abstract: 1.94x/1.76x speedup, "
+                "49%%/42%% energy cut):\n"
+                "  this model: edge %.2fx speedup / %.0f%% energy cut; "
+                "cloud %.2fx / %.0f%%\n",
+                edge_speedup, 100.0 * (1.0 - edge_energy), cloud_speedup,
+                100.0 * (1.0 - cloud_energy));
+    return 0;
+}

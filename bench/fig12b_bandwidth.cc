@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Reproduces Figure 12(b): the off-chip bandwidth each accelerator
+ * needs to hold Util >= 0.95 on the most bandwidth-bound L-A operator
+ * (XLM, cloud resources) as the sequence length sweeps 2K..512K.
+ */
+#include <cmath>
+
+#include "bench_util.h"
+
+using namespace flat;
+using namespace flat::bench;
+
+namespace {
+
+double
+util_at_bw(const AcceleratorSpec& spec, const Workload& w, double bw)
+{
+    AccelConfig cloud = cloud_accel();
+    cloud.offchip_bw = bw;
+    cloud.onchip_bw = std::max(cloud.onchip_bw, 2.0 * bw);
+    SimOptions options;
+    options.quick = true;
+    const Simulator sim(cloud);
+    return sim.run(w, Scope::kLogitAttend, spec, options).util();
+}
+
+/**
+ * Smallest off-chip BW at which Util reaches @p fraction of this
+ * accelerator's own compute-bound roof (its Util at unbounded BW).
+ * The paper's absolute 0.95 target is expressed the same way relative
+ * to its model's roof.
+ */
+double
+required_bw(const AcceleratorSpec& spec, const Workload& w,
+            double fraction)
+{
+    double lo = 1e9;     // 1 GB/s
+    double hi = 512e12;  // 512 TB/s
+    const double roof = util_at_bw(spec, w, hi);
+    const double target = fraction * roof;
+    for (int iter = 0; iter < 40; ++iter) {
+        const double mid = std::sqrt(lo * hi); // geometric bisection
+        if (util_at_bw(spec, w, mid) >= target) {
+            hi = mid;
+        } else {
+            lo = mid;
+        }
+    }
+    return hi;
+}
+
+} // namespace
+
+int
+main()
+{
+    banner("Figure 12(b) — off-chip BW needed for Util >= 0.95 (L-A)",
+           "XLM under cloud resources (32MB SG); geometric bisection "
+           "over the BW axis");
+
+    const double target = 0.95;
+    const char* accels[] = {"FlexAccel-M", "FlexAccel", "ATTACC"};
+    TextTable table({"SeqLen", "FlexAccel-M", "FlexAccel", "ATTACC",
+                     "ATTACC saving vs FlexAccel"});
+    auto csv = open_csv("fig12b.csv",
+                        {"seq", "accel", "required_bw_bytes_per_s"});
+
+    double sum_saving_flexm = 0.0;
+    double sum_saving_flex = 0.0;
+    std::size_t count = 0;
+    for (std::uint64_t n : {2048u, 4096u, 8192u, 16384u, 32768u, 65536u,
+                            131072u, 262144u, 524288u}) {
+        const Workload w = make_workload(xlm(), kBatch, n);
+        double bw[3];
+        for (int i = 0; i < 3; ++i) {
+            bw[i] = required_bw(AcceleratorSpec::parse(accels[i]), w,
+                                target);
+            if (csv) {
+                csv->add_row({std::to_string(n), accels[i],
+                              strprintf("%.4g", bw[i])});
+            }
+        }
+        table.add_row({std::to_string(n), format_bandwidth(bw[0]),
+                       format_bandwidth(bw[1]), format_bandwidth(bw[2]),
+                       fmt(100.0 * (1.0 - bw[2] / bw[1]), 1) + "%"});
+        sum_saving_flexm += 1.0 - bw[2] / bw[0];
+        sum_saving_flex += 1.0 - bw[2] / bw[1];
+        ++count;
+    }
+    table.print(std::cout);
+
+    std::printf("\nAverage BW-requirement reduction: %.0f%% vs "
+                "FlexAccel-M, %.0f%% vs FlexAccel "
+                "(paper: 88%% and 82%% for XLM@cloud).\n"
+                "Expected shape: required BW falls until ~4-8K (op "
+                "intensity rises with N), then climbs once the live "
+                "footprint outgrows the 32MB buffer — except for "
+                "ATTACC, whose R-Gran footprint stays O(N).\n",
+                100.0 * sum_saving_flexm / count,
+                100.0 * sum_saving_flex / count);
+    return 0;
+}

@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Reproduces Figure 8: compute utilization of the ten dataflow policies
+ * (Base, Base-M/B/H, Base-opt, FLAT-M/B/H/Rx, FLAT-opt) as the on-chip
+ * buffer sweeps from 20KB to 2GB, at the L-A / Block / Model levels.
+ * (a) BERT under edge resources, (b) XLM under cloud resources.
+ */
+#include "bench_util.h"
+
+using namespace flat;
+using namespace flat::bench;
+
+namespace {
+
+void
+sweep_platform(const char* title, const AccelConfig& platform,
+               const ModelConfig& model,
+               const std::vector<std::uint64_t>& seq_lens,
+               std::uint64_t rx, CsvWriter* csv)
+{
+    const std::vector<DataflowPolicy> policies = figure8_policies(rx);
+    SimOptions options;
+    options.quick = true;
+
+    for (std::uint64_t n : seq_lens) {
+        const Workload w = make_workload(model, kBatch, n);
+        for (Scope scope :
+             {Scope::kLogitAttend, Scope::kBlock, Scope::kModel}) {
+            std::printf("\n%s  %s  Len%llu  (%s level)\n", title,
+                        model.name.c_str(),
+                        static_cast<unsigned long long>(n),
+                        to_string(scope).c_str());
+            std::vector<std::string> header{"buffer"};
+            for (const DataflowPolicy& p : policies) {
+                header.push_back(p.name());
+            }
+            TextTable table(header);
+            for (std::uint64_t buf : figure8_buffer_sweep()) {
+                AccelConfig accel = platform;
+                accel.sg_bytes = buf;
+                const Simulator sim(accel);
+                std::vector<std::string> row{format_bytes(buf)};
+                for (const DataflowPolicy& policy : policies) {
+                    const double util =
+                        sim.run(w, scope, policy, options).util();
+                    row.push_back(fmt(util, 3));
+                    if (csv != nullptr) {
+                        csv->add_row({platform.name, model.name,
+                                      std::to_string(n),
+                                      to_string(scope),
+                                      std::to_string(buf), policy.name(),
+                                      fmt(util, 5)});
+                    }
+                }
+                table.add_row(row);
+            }
+            table.print(std::cout);
+        }
+    }
+}
+
+} // namespace
+
+int
+main()
+{
+    banner("Figure 8 — compute utilization vs on-chip buffer size",
+           "Util = ideal runtime / modeled runtime; buffer sweep "
+           "20KB..2GB; batch 64");
+
+    auto csv = open_csv("fig8.csv", {"platform", "model", "seq", "scope",
+                                     "buffer_bytes", "policy", "util"});
+    CsvWriter* csv_ptr = csv ? &*csv : nullptr;
+
+    // (a) BERT under edge platform resources; Rx = 64 rows.
+    sweep_platform("(a) edge", edge_accel(), bert_base(),
+                   edge_seq_sweep(), 64, csv_ptr);
+
+    // (b) XLM under cloud platform resources; larger Rx for the larger
+    // array (§6.2.2).
+    sweep_platform("(b) cloud", cloud_accel(), xlm(), cloud_seq_sweep(),
+                   512, csv_ptr);
+
+    std::printf(
+        "\nExpected shape (paper): Base caps near 0.6; Base-M needs the "
+        "full tensor to fit\nbefore it beats Base; FLAT-Rx approaches "
+        "cap utilization with the smallest buffer;\nbeyond 64K only "
+        "FLAT-Rx/FLAT-opt stay near cap; FLAT-opt >= Base-opt "
+        "everywhere.\n");
+    return 0;
+}

@@ -1,0 +1,152 @@
+/**
+ * @file
+ * Google-benchmark microbenchmarks of the functional kernels: baseline
+ * (materialized) vs FLAT (row-streamed) attention on the host CPU, plus
+ * the measured off-chip-equivalent traffic of each. On a cache-based
+ * CPU the FLAT kernel's O(R*N) working set is also friendlier than the
+ * baseline's O(N^2), so the speed gap is a (weak) host-side analogue of
+ * the paper's accelerator result; the traffic counters are the precise
+ * one.
+ */
+#include <benchmark/benchmark.h>
+
+#include "kernels/attention.h"
+#include "kernels/softmax.h"
+#include "kernels/transformer_block.h"
+
+namespace flat {
+namespace {
+
+struct Inputs {
+    Matrix q, k, v;
+};
+
+Inputs
+make_inputs(std::size_t n, std::size_t dk)
+{
+    Inputs in{Matrix(n, dk), Matrix(n, dk), Matrix(n, dk)};
+    fill_random(in.q, 1);
+    fill_random(in.k, 2);
+    fill_random(in.v, 3);
+    return in;
+}
+
+void
+BM_AttentionReference(benchmark::State& state)
+{
+    const std::size_t n = static_cast<std::size_t>(state.range(0));
+    const Inputs in = make_inputs(n, 64);
+    for (auto _ : state) {
+        Matrix out = attention_reference(in.q, in.k, in.v);
+        benchmark::DoNotOptimize(out.data());
+    }
+    TrafficMeter meter;
+    attention_reference(in.q, in.k, in.v, {}, &meter);
+    state.counters["offchip_bytes"] =
+        static_cast<double>(meter.total_offchip());
+    state.counters["intermediate_offchip"] =
+        static_cast<double>(meter.offchip_bytes("intermediate"));
+    state.SetItemsProcessed(state.iterations() * 2 * n * n * 64);
+}
+BENCHMARK(BM_AttentionReference)->Arg(128)->Arg(512)->Arg(1024);
+
+void
+BM_AttentionFlat(benchmark::State& state)
+{
+    const std::size_t n = static_cast<std::size_t>(state.range(0));
+    const std::size_t rows = static_cast<std::size_t>(state.range(1));
+    const Inputs in = make_inputs(n, 64);
+    for (auto _ : state) {
+        Matrix out = attention_flat(in.q, in.k, in.v, rows);
+        benchmark::DoNotOptimize(out.data());
+    }
+    TrafficMeter meter;
+    attention_flat(in.q, in.k, in.v, rows, {}, &meter);
+    state.counters["offchip_bytes"] =
+        static_cast<double>(meter.total_offchip());
+    state.counters["intermediate_offchip"] =
+        static_cast<double>(meter.offchip_bytes("intermediate"));
+    state.SetItemsProcessed(state.iterations() * 2 * n * n * 64);
+}
+BENCHMARK(BM_AttentionFlat)
+    ->Args({128, 16})
+    ->Args({512, 16})
+    ->Args({512, 64})
+    ->Args({1024, 64});
+
+void
+BM_AttentionLayerForward(benchmark::State& state)
+{
+    const std::size_t n = static_cast<std::size_t>(state.range(0));
+    const std::size_t row_tile =
+        static_cast<std::size_t>(state.range(1));
+    const std::size_t d = 256;
+    Matrix x(n, d);
+    fill_random(x, 4);
+    const AttentionLayerWeights w = AttentionLayerWeights::random(d, 5);
+    for (auto _ : state) {
+        Matrix out = attention_layer_forward(x, x, w, 4, row_tile);
+        benchmark::DoNotOptimize(out.data());
+    }
+}
+BENCHMARK(BM_AttentionLayerForward)->Args({256, 0})->Args({256, 32});
+
+void
+BM_SoftmaxRows(benchmark::State& state)
+{
+    const std::size_t n = static_cast<std::size_t>(state.range(0));
+    Matrix m(n, n);
+    fill_random(m, 6);
+    for (auto _ : state) {
+        Matrix copy = m;
+        softmax_rows(copy);
+        benchmark::DoNotOptimize(copy.data());
+    }
+    state.SetItemsProcessed(state.iterations() * n * n);
+}
+BENCHMARK(BM_SoftmaxRows)->Arg(256)->Arg(1024);
+
+void
+BM_AttentionFlatLocal(benchmark::State& state)
+{
+    const std::size_t n = static_cast<std::size_t>(state.range(0));
+    const std::size_t window = static_cast<std::size_t>(state.range(1));
+    const Inputs in = make_inputs(n, 64);
+    for (auto _ : state) {
+        Matrix out = attention_flat_local(in.q, in.k, in.v, 32, window);
+        benchmark::DoNotOptimize(out.data());
+    }
+    TrafficMeter meter;
+    attention_flat_local(in.q, in.k, in.v, 32, window, {}, &meter);
+    state.counters["offchip_bytes"] =
+        static_cast<double>(meter.total_offchip());
+    state.SetItemsProcessed(state.iterations() * 2 * n *
+                            std::min(n, 2 * window + 1) * 64);
+}
+BENCHMARK(BM_AttentionFlatLocal)
+    ->Args({1024, 64})
+    ->Args({4096, 64})
+    ->Args({4096, 256});
+
+void
+BM_TransformerBlock(benchmark::State& state)
+{
+    const std::size_t n = static_cast<std::size_t>(state.range(0));
+    const std::size_t row_tile =
+        static_cast<std::size_t>(state.range(1));
+    const std::size_t d = 256;
+    Matrix x(n, d);
+    fill_random(x, 7);
+    const TransformerBlockWeights w =
+        TransformerBlockWeights::random(d, 4 * d, 9);
+    for (auto _ : state) {
+        Matrix out = transformer_block_forward(x, w, 4, row_tile);
+        benchmark::DoNotOptimize(out.data());
+    }
+}
+BENCHMARK(BM_TransformerBlock)->Args({256, 0})->Args({256, 32});
+
+} // namespace
+} // namespace flat
+
+BENCHMARK_MAIN();

@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Reproduces Table 1: the on-chip buffer size required to stage weights
+ * and activations for the projection operators (K/Q/V/O) and for the
+ * L/A pair, at D=1024, 16-bit, across sequence lengths and head counts.
+ */
+#include "analysis/roofline.h"
+#include "bench_util.h"
+
+using namespace flat;
+using namespace flat::bench;
+
+int
+main()
+{
+    banner("Table 1 — on-chip staging requirement",
+           "Buf Req = bytes to stage weights+activations on-chip "
+           "(D=1024, 16-bit)");
+
+    const std::uint64_t d = 1024;
+    const std::uint32_t bpe = 2;
+    struct Config {
+        std::uint64_t h;
+        std::uint64_t n;
+    };
+    const Config configs[] = {{1, 512},       {16, 512},
+                              {1, 2048},      {16, 2048},
+                              {1, 14 * 1024}, {16, 14 * 1024}};
+
+    TextTable table({"H", "N", "D", "K/Q/V/O Buf Req", "L/A Buf Req"});
+    auto csv = open_csv("table1.csv",
+                        {"h", "n", "d", "qkvo_bytes", "la_bytes"});
+    for (const Config& cfg : configs) {
+        const StagingRequirement req =
+            staging_requirement(cfg.n, d, cfg.h, bpe);
+        table.add_row({std::to_string(cfg.h), std::to_string(cfg.n),
+                       std::to_string(d), format_bytes(req.qkvo_bytes),
+                       format_bytes(req.la_bytes)});
+        if (csv) {
+            csv->add_row({std::to_string(cfg.h), std::to_string(cfg.n),
+                          std::to_string(d),
+                          std::to_string(req.qkvo_bytes),
+                          std::to_string(req.la_bytes)});
+        }
+    }
+    table.print(std::cout);
+
+    std::printf(
+        "\nPaper reference (16-bit): K/Q/V/O 4MB/10MB/62MB at "
+        "N=512/2K/14K;\nL/A 2.5MB|10MB, 16MB|142MB, 474MB|6.6GB at "
+        "H=1|16.\nThe L/A requirement grows as O(H*N^2): quadratic in N "
+        "and linear in heads,\nwhile the projections stay O(N*D).\n");
+    return 0;
+}

@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Interactive-ish DSE driver: pick a model, platform, sequence length
+ * and objective on the command line; runs the full (non-quick) design
+ * space exploration for the fused L-A operator and reports the winning
+ * dataflow plus the runner-up granularities.
+ *
+ * Usage: dse_explorer [model] [edge|cloud] [seq_len] [runtime|energy|edp]
+ */
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <iostream>
+#include <map>
+
+#include "common/table.h"
+#include "common/units.h"
+#include "core/simulator.h"
+#include "dse/search.h"
+#include "workload/model_config.h"
+
+int
+main(int argc, char** argv)
+{
+    using namespace flat;
+
+    const ModelConfig model =
+        model_by_name(argc > 1 ? argv[1] : "bert");
+    const bool cloud = argc > 2 && std::strcmp(argv[2], "cloud") == 0;
+    const AccelConfig accel = cloud ? cloud_accel() : edge_accel();
+    const std::uint64_t seq_len =
+        argc > 3 ? std::stoull(argv[3]) : 4096;
+    Objective objective = Objective::kRuntime;
+    if (argc > 4 && std::strcmp(argv[4], "energy") == 0) {
+        objective = Objective::kEnergy;
+    } else if (argc > 4 && std::strcmp(argv[4], "edp") == 0) {
+        objective = Objective::kEdp;
+    }
+
+    const Workload workload = make_workload(model, 64, seq_len);
+    const AttentionDims dims = AttentionDims::from_workload(workload);
+
+    std::printf("DSE: %s on %s, N=%llu, objective=%s\n\n",
+                model.name.c_str(), accel.name.c_str(),
+                static_cast<unsigned long long>(seq_len),
+                objective == Objective::kRuntime ? "runtime"
+                : objective == Objective::kEnergy ? "energy"
+                                                  : "EDP");
+
+    AttentionSearchOptions options;
+    options.objective = objective;
+    options.fused = true;
+
+    // Full exploration so we can slice the space by granularity.
+    const std::vector<DsePoint> points =
+        explore_attention(accel, dims, options);
+    std::printf("Explored %zu fused design points.\n\n", points.size());
+
+    // Best point per granularity.
+    std::map<std::string, const DsePoint*> best_by_gran;
+    const DsePoint* best = nullptr;
+    for (const DsePoint& p : points) {
+        const std::string key = p.dataflow.cross.tag();
+        const double value = p.objective_value(objective);
+        if (best_by_gran[key] == nullptr ||
+            value < best_by_gran[key]->objective_value(objective)) {
+            best_by_gran[key] = &p;
+        }
+        if (best == nullptr || value < best->objective_value(objective)) {
+            best = &p;
+        }
+    }
+
+    TextTable table({"granularity", "Util", "cycles", "energy (mJ)",
+                     "footprint", "staging", "winner?"});
+    for (const auto& [key, point] : best_by_gran) {
+        table.add_row(
+            {key, std::to_string(point->cost.util()).substr(0, 5),
+             format_count(point->cost.cycles),
+             std::to_string(point->energy_j * 1e3).substr(0, 7),
+             format_bytes(point->cost.live_footprint_bytes),
+             point->dataflow.stage.tag(),
+             (point == best) ? "<== best" : ""});
+    }
+    table.print(std::cout);
+
+    std::printf("\nWinning dataflow: %s\n", best->dataflow.tag().c_str());
+    std::printf("  logit stage: tile %s, order %s, %s\n",
+                best->dataflow.l2_logit.tag().c_str(),
+                to_string(best->dataflow.order_logit).c_str(),
+                to_string(best->dataflow.stat_logit).c_str());
+    std::printf("  attend stage: tile %s, order %s, %s\n",
+                best->dataflow.l2_attend.tag().c_str(),
+                to_string(best->dataflow.order_attend).c_str(),
+                to_string(best->dataflow.stat_attend).c_str());
+    std::printf("  Util %.3f, resident fraction %.2f\n",
+                best->cost.util(), best->cost.resident_fraction);
+    return 0;
+}

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Functional demonstration on real numbers: runs a full multi-head
+ * attention layer twice — once with the baseline dataflow (logits
+ * tensor materialized and round-tripped) and once with the FLAT
+ * dataflow (row-streamed, intermediate stays on-chip) — checks the
+ * outputs match to float precision, and prints the measured traffic.
+ *
+ * Usage: fused_attention_demo [seq_len] [row_tile]
+ */
+#include <cstdio>
+#include <iostream>
+
+#include "common/table.h"
+#include "common/units.h"
+#include "kernels/attention.h"
+
+int
+main(int argc, char** argv)
+{
+    using namespace flat;
+
+    const std::size_t n = argc > 1 ? std::stoul(argv[1]) : 512;
+    const std::size_t row_tile = argc > 2 ? std::stoul(argv[2]) : 64;
+    const std::size_t d = 256;
+    const std::size_t heads = 8;
+
+    Matrix x(n, d);
+    fill_random(x, 2024);
+    const AttentionLayerWeights weights =
+        AttentionLayerWeights::random(d, 7);
+
+    std::printf("Multi-head attention layer: N=%zu D=%zu H=%zu "
+                "(row tile R=%zu)\n\n",
+                n, d, heads, row_tile);
+
+    TrafficMeter base_meter;
+    const Matrix base_out = attention_layer_forward(
+        x, x, weights, heads, /*row_tile=*/0, {}, &base_meter);
+
+    TrafficMeter flat_meter;
+    const Matrix flat_out = attention_layer_forward(
+        x, x, weights, heads, row_tile, {}, &flat_meter);
+
+    const float diff = base_out.max_abs_diff(flat_out);
+    std::printf("max |baseline - FLAT| = %.3g  %s\n\n", diff,
+                diff < 1e-3f ? "(identical up to float rounding)"
+                             : "(MISMATCH!)");
+
+    TextTable table({"tensor", "baseline off-chip", "FLAT off-chip"});
+    for (const auto& [tensor, bytes] : base_meter.offchip_by_tensor()) {
+        table.add_row({tensor, format_bytes(bytes),
+                       format_bytes(flat_meter.offchip_bytes(tensor))});
+    }
+    table.add_separator();
+    table.add_row({"TOTAL", format_bytes(base_meter.total_offchip()),
+                   format_bytes(flat_meter.total_offchip())});
+    table.print(std::cout);
+
+    std::printf(
+        "\nThe O(N^2) 'intermediate' row is the whole story: the "
+        "baseline moves it off-chip four times\n(L writes it, softmax "
+        "reads and writes it, A reads it); FLAT never moves it at all. "
+        "FLAT is a\npure dataflow change — same arithmetic, same "
+        "result, a fraction of the memory traffic.\n");
+    return 0;
+}

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * The paper's motivating scenario: sequence lengths growing from 512 to
+ * 256K tokens (summarization, language modeling, music). Shows how the
+ * quadratic logits tensor crushes the baseline while FLAT scales, on
+ * both platform presets.
+ *
+ * Usage: long_sequence_scaling [model] — model in
+ *        {bert, trxl, flaubert, t5, xlm}, default bert.
+ */
+#include <cstdio>
+#include <iostream>
+
+#include "common/table.h"
+#include "common/units.h"
+#include "core/simulator.h"
+#include "workload/model_config.h"
+
+int
+main(int argc, char** argv)
+{
+    using namespace flat;
+
+    const ModelConfig model =
+        model_by_name(argc > 1 ? argv[1] : "bert");
+    std::printf("Model: %s (blocks=%u D=%u H=%u)\n\n",
+                model.name.c_str(), model.num_blocks, model.hidden_dim,
+                model.num_heads);
+
+    for (const AccelConfig& accel : {edge_accel(), cloud_accel()}) {
+        const Simulator sim(accel);
+        std::printf("Platform %s: %llu PEs, %s SG, %s off-chip\n",
+                    accel.name.c_str(),
+                    static_cast<unsigned long long>(accel.num_pes()),
+                    format_bytes(accel.sg_bytes).c_str(),
+                    format_bandwidth(accel.offchip_bw).c_str());
+
+        TextTable table({"SeqLen", "Base-opt Util", "FLAT-opt Util",
+                         "speedup", "FLAT footprint", "fits SG?"});
+        SimOptions options;
+        options.quick = true;
+        for (std::uint64_t n : {512u, 2048u, 8192u, 32768u, 131072u}) {
+            const Workload w = make_workload(model, 64, n);
+            const ScopeReport base = sim.run(
+                w, Scope::kLogitAttend, DataflowPolicy::parse("base-opt"),
+                options);
+            const ScopeReport flat_rep = sim.run(
+                w, Scope::kLogitAttend, DataflowPolicy::parse("flat-opt"),
+                options);
+            table.add_row(
+                {std::to_string(n),
+                 std::to_string(base.util()).substr(0, 5),
+                 std::to_string(flat_rep.util()).substr(0, 5),
+                 std::to_string(base.cycles / flat_rep.cycles)
+                         .substr(0, 4) +
+                     "x",
+                 format_bytes(flat_rep.la_footprint_bytes),
+                 flat_rep.la_footprint_bytes <= accel.sg_bytes ? "yes"
+                                                               : "spill"});
+        }
+        table.print(std::cout);
+        std::printf("\n");
+    }
+
+    std::printf("The FLAT-opt footprint column grows linearly in N "
+                "(R-granularity, Table 2); once even that\noutgrows the "
+                "buffer the spill model kicks in and utilization falls "
+                "— provisioning the O(N)\nfootprint is the "
+                "architectural takeaway of the paper (§8).\n");
+    return 0;
+}

@@ -1,0 +1,102 @@
+/**
+ * @file
+ * The paper's closing claim (§8): "for accelerators tailored to
+ * attention, designers can now budget a much smaller on-chip buffer."
+ * This example quantifies that: for each target sequence length, find
+ * the smallest SG that reaches 90% of cap utilization under the
+ * baseline dataflow vs under FLAT, by bisection over the buffer axis.
+ *
+ * Usage: provisioning_sweep [model] [edge|cloud]
+ */
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <iostream>
+
+#include "common/table.h"
+#include "common/units.h"
+#include "core/simulator.h"
+#include "workload/model_config.h"
+
+namespace {
+
+using namespace flat;
+
+double
+util_at_buffer(const AccelConfig& base, std::uint64_t sg_bytes,
+               const Workload& w, const char* policy)
+{
+    AccelConfig accel = base;
+    accel.sg_bytes = sg_bytes;
+    SimOptions options;
+    options.quick = true;
+    const Simulator sim(accel);
+    return sim
+        .run(w, Scope::kLogitAttend, DataflowPolicy::parse(policy),
+             options)
+        .util();
+}
+
+/** Smallest buffer reaching @p fraction of the policy's own cap. */
+std::uint64_t
+required_buffer(const AccelConfig& base, const Workload& w,
+                const char* policy, double fraction)
+{
+    const std::uint64_t hi_cap = 64ull * 1024 * 1024 * 1024; // 64 GiB
+    const double roof = util_at_buffer(base, hi_cap, w, policy);
+    const double target = fraction * roof;
+    std::uint64_t lo = 4 * 1024;
+    std::uint64_t hi = hi_cap;
+    while (hi > lo * 21 / 20) { // ~5% resolution
+        const std::uint64_t mid = static_cast<std::uint64_t>(
+            std::sqrt(static_cast<double>(lo) *
+                      static_cast<double>(hi)));
+        if (util_at_buffer(base, mid, w, policy) >= target) {
+            hi = mid;
+        } else {
+            lo = mid;
+        }
+    }
+    return hi;
+}
+
+} // namespace
+
+int
+main(int argc, char** argv)
+{
+    const ModelConfig model = model_by_name(argc > 1 ? argv[1] : "bert");
+    const bool cloud = argc > 2 && std::strcmp(argv[2], "cloud") == 0;
+    const AccelConfig base = cloud ? cloud_accel() : edge_accel();
+
+    std::printf("Buffer provisioning for %s on the %s platform "
+                "(smallest SG reaching 90%% of each dataflow's own "
+                "cap):\n\n",
+                model.name.c_str(), base.name.c_str());
+
+    TextTable table({"SeqLen", "Base-opt needs", "FLAT-opt needs",
+                     "reduction"});
+    for (std::uint64_t n : {512u, 2048u, 8192u, 32768u}) {
+        const Workload w = make_workload(model, 64, n);
+        const std::uint64_t base_buf =
+            required_buffer(base, w, "base-opt", 0.9);
+        const std::uint64_t flat_buf =
+            required_buffer(base, w, "flat-opt", 0.9);
+        table.add_row(
+            {std::to_string(n), format_bytes(base_buf),
+             format_bytes(flat_buf),
+             std::to_string(static_cast<int>(
+                 100.0 * (1.0 - static_cast<double>(flat_buf) /
+                                    static_cast<double>(base_buf)))) +
+                 "%"});
+    }
+    table.print(std::cout);
+
+    std::printf(
+        "\nThe gap IS the paper's conclusion: the baseline needs the "
+        "O(N^2) working set on-chip to peak,\nFLAT only the O(N) "
+        "R-granularity footprint — so the buffer budget shrinks by "
+        "orders of magnitude\nand grows linearly instead of "
+        "quadratically with the target sequence length.\n");
+    return 0;
+}

@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Quickstart: evaluate BERT-base on the edge accelerator preset with
+ * the baseline dataflow and with FLAT, and print what changed.
+ *
+ * Build & run:
+ *   cmake -B build -G Ninja && cmake --build build
+ *   ./build/examples/quickstart
+ */
+#include <cstdio>
+#include <iostream>
+
+#include "common/string_util.h"
+#include "common/table.h"
+#include "common/units.h"
+#include "core/simulator.h"
+#include "workload/model_config.h"
+
+int
+main()
+{
+    using namespace flat;
+
+    // 1. Pick a workload: BERT-base, batch 64, 4K-token sequences.
+    const ModelConfig model = bert_base();
+    const Workload workload = make_workload(model, /*batch=*/64,
+                                            /*seq_len=*/4096);
+
+    // 2. Pick a platform: the paper's edge preset (32x32 PEs, 512KB SG,
+    //    50GB/s off-chip).
+    const Simulator sim(edge_accel());
+
+    // 3. Evaluate the attention block under three dataflow policies.
+    TextTable table({"dataflow", "Util", "runtime", "energy",
+                     "L-A live footprint", "picked L-A dataflow"});
+    for (const char* policy : {"base", "base-opt", "flat-opt"}) {
+        const ScopeReport report = sim.run(
+            workload, Scope::kBlock, DataflowPolicy::parse(policy));
+        table.add_row({policy, strprintf("%.3f", report.util()),
+                       format_time(report.runtime_s),
+                       strprintf("%.2fJ", report.energy_j),
+                       format_bytes(report.la_footprint_bytes),
+                       report.la_dataflow_tag});
+    }
+    table.print(std::cout);
+
+    std::printf(
+        "\nFLAT fuses the Logit and Attend operators so the O(N^2) "
+        "logits tensor never leaves the chip,\nand its R-granularity "
+        "keeps the live footprint O(N) — which is why flat-opt reaches "
+        "high\nutilization inside a 512KB scratchpad where the "
+        "sequential baseline cannot.\n");
+    return 0;
+}

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Long-context composition demo (§7): run the functional FLAT kernel
+ * with Longformer-style local attention on a long sequence — the kind
+ * of document-summarization workload the paper's introduction motivates
+ * — and contrast the measured memory traffic of three strategies:
+ * baseline dense, FLAT dense, and FLAT + local window.
+ *
+ * Usage: sparse_long_context [seq_len] [window]
+ */
+#include <cstdio>
+#include <iostream>
+
+#include "common/table.h"
+#include "common/units.h"
+#include "kernels/attention.h"
+
+int
+main(int argc, char** argv)
+{
+    using namespace flat;
+
+    const std::size_t n = argc > 1 ? std::stoul(argv[1]) : 4096;
+    const std::size_t window = argc > 2 ? std::stoul(argv[2]) : 128;
+    const std::size_t dk = 64;
+    const std::size_t row_tile = 64;
+
+    Matrix q(n, dk);
+    Matrix k(n, dk);
+    Matrix v(n, dk);
+    fill_random(q, 1);
+    fill_random(k, 2);
+    fill_random(v, 3);
+
+    std::printf("Single head, N=%zu dk=%zu, window=%zu, R=%zu\n\n", n,
+                dk, window, row_tile);
+
+    TrafficMeter dense_base;
+    const Matrix out_base = attention_reference(q, k, v, {}, &dense_base);
+
+    TrafficMeter dense_flat;
+    const Matrix out_flat =
+        attention_flat(q, k, v, row_tile, {}, &dense_flat);
+
+    TrafficMeter local_flat;
+    const Matrix out_local =
+        attention_flat_local(q, k, v, row_tile, window, {}, &local_flat);
+
+    std::printf("numerics: |dense FLAT - dense base| = %.2g "
+                "(identical); local differs by design (sparse "
+                "pattern).\n\n",
+                out_base.max_abs_diff(out_flat));
+    (void)out_local;
+
+    TextTable table({"strategy", "off-chip total", "intermediate "
+                                                   "off-chip",
+                     "intermediate on-chip"});
+    auto row = [&](const char* name, const TrafficMeter& m) {
+        table.add_row({name, format_bytes(m.total_offchip()),
+                       format_bytes(m.offchip_bytes("intermediate")),
+                       format_bytes(m.onchip_bytes("intermediate"))});
+    };
+    row("baseline dense", dense_base);
+    row("FLAT dense", dense_flat);
+    row("FLAT + local window", local_flat);
+    table.print(std::cout);
+
+    std::printf(
+        "\nThree regimes: the baseline moves the O(N^2) logits off-chip "
+        "four times; dense FLAT keeps\nthem on-chip but still computes "
+        "(and stages) O(N^2) of them; FLAT+local shrinks even the\n"
+        "on-chip slice to O(R*(R+2w)) per pass — the two techniques "
+        "compose, as §7 claims.\n");
+    return 0;
+}

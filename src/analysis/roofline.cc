@@ -1,0 +1,87 @@
+#include "analysis/roofline.h"
+
+#include <algorithm>
+
+#include "common/status.h"
+
+namespace flat {
+
+RooflinePoint
+roofline_point(const AccelConfig& accel, double macs_per_byte,
+               bool onchip_staged)
+{
+    FLAT_CHECK(macs_per_byte > 0.0, "intensity must be positive");
+    const double bw = onchip_staged ? accel.onchip_bw : accel.offchip_bw;
+    RooflinePoint point;
+    point.op_intensity = macs_per_byte;
+    const double bw_bound = macs_per_byte * bw;
+    point.attainable_macs_s = std::min(accel.peak_macs_per_sec(), bw_bound);
+    point.compute_bound = bw_bound >= accel.peak_macs_per_sec();
+    return point;
+}
+
+double
+gemm_op_intensity(const GemmShape& shape, std::uint32_t bytes_per_element)
+{
+    return shape.operational_intensity() / bytes_per_element;
+}
+
+double
+conv_op_intensity(std::uint64_t batch, std::uint64_t in_c,
+                  std::uint64_t out_c, std::uint64_t hw,
+                  std::uint64_t kernel, std::uint32_t bytes_per_element)
+{
+    const double macs = static_cast<double>(batch) * out_c * hw * in_c *
+                        kernel * kernel;
+    const double input = static_cast<double>(batch) * in_c * hw;
+    const double weights =
+        static_cast<double>(out_c) * in_c * kernel * kernel;
+    const double output = static_cast<double>(batch) * out_c * hw;
+    return macs / ((input + weights + output) * bytes_per_element);
+}
+
+double
+fc_op_intensity(std::uint64_t batch, std::uint64_t in_dim,
+                std::uint64_t out_dim, std::uint32_t bytes_per_element)
+{
+    GemmShape shape;
+    shape.m = batch;
+    shape.k = in_dim;
+    shape.n = out_dim;
+    shape.a_kind = OperandKind::kActivation;
+    shape.b_kind = OperandKind::kWeight;
+    return gemm_op_intensity(shape, bytes_per_element);
+}
+
+double
+attention_op_intensity(std::uint64_t batch, std::uint64_t heads,
+                       std::uint64_t seq_len, std::uint64_t head_dim,
+                       std::uint32_t bytes_per_element)
+{
+    const double d = static_cast<double>(heads) * head_dim;
+    const double n = static_cast<double>(seq_len);
+    const double b = static_cast<double>(batch);
+    // L and A together: 2 * B*N^2*D MACs; accesses: Q, K, V, output
+    // (each B*N*D) plus two passes over the B*H*N^2 intermediate.
+    const double macs = 2.0 * b * n * n * d;
+    const double accesses =
+        4.0 * b * n * d + 2.0 * b * heads * n * n;
+    return macs / (accesses * bytes_per_element);
+}
+
+StagingRequirement
+staging_requirement(std::uint64_t seq_len, std::uint64_t hidden_dim,
+                    std::uint64_t heads, std::uint32_t bytes_per_element)
+{
+    StagingRequirement req;
+    const std::uint64_t nd = seq_len * hidden_dim;
+    // One projection: [N,D] input + [D,D] weight + [N,D] output.
+    req.qkvo_bytes =
+        (2 * nd + hidden_dim * hidden_dim) * bytes_per_element;
+    // L/A pair: Q and K activations plus the multi-head logits tensor.
+    req.la_bytes = (2 * nd + heads * seq_len * seq_len) *
+                   bytes_per_element;
+    return req;
+}
+
+} // namespace flat

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Operational-intensity and roofline analysis (§2.2, §3.2, Figure 2):
+ * why CONV/FC benefit from batching while the activation-activation L/A
+ * operators do not, and how staging data on-chip raises the ceiling.
+ */
+#ifndef FLAT_ANALYSIS_ROOFLINE_H
+#define FLAT_ANALYSIS_ROOFLINE_H
+
+#include <cstdint>
+
+#include "arch/accel_config.h"
+#include "workload/gemm_shape.h"
+
+namespace flat {
+
+/** One point on the roofline plot. */
+struct RooflinePoint {
+    double op_intensity = 0.0;       ///< MACs per byte of memory traffic
+    double attainable_macs_s = 0.0;  ///< min(peak, intensity * BW)
+    bool compute_bound = false;      ///< true if the flat roof applies
+};
+
+/**
+ * Attainable performance on @p accel for an operator of @p macs_per_byte
+ * intensity. @p onchip_staged selects the on-chip bandwidth ceiling
+ * (Figure 2(c)) instead of the off-chip one.
+ */
+RooflinePoint roofline_point(const AccelConfig& accel,
+                             double macs_per_byte, bool onchip_staged);
+
+/** MACs/byte of a GEMM whose tensors are each touched once. */
+double gemm_op_intensity(const GemmShape& shape,
+                         std::uint32_t bytes_per_element);
+
+/**
+ * MACs/byte of a CONV layer (weights reused across all output pixels):
+ * out = [batch, out_c, hw], filter = [out_c, in_c, k*k].
+ */
+double conv_op_intensity(std::uint64_t batch, std::uint64_t in_c,
+                         std::uint64_t out_c, std::uint64_t hw,
+                         std::uint64_t kernel,
+                         std::uint32_t bytes_per_element);
+
+/** MACs/byte of an FC layer [batch x in_dim] * [in_dim x out_dim]. */
+double fc_op_intensity(std::uint64_t batch, std::uint64_t in_dim,
+                       std::uint64_t out_dim,
+                       std::uint32_t bytes_per_element);
+
+/**
+ * MACs/byte of the multi-head Logit+Attend pair (§2.2):
+ * ops O(B N^2 D), accesses O(2BND + BHN^2) each for L and A; the
+ * reciprocal intensity is O(2/N + H/D).
+ */
+double attention_op_intensity(std::uint64_t batch, std::uint64_t heads,
+                              std::uint64_t seq_len, std::uint64_t head_dim,
+                              std::uint32_t bytes_per_element);
+
+/** On-chip staging requirement of Table 1, in bytes. */
+struct StagingRequirement {
+    /** One projection operator: input + weight + output. */
+    std::uint64_t qkvo_bytes = 0;
+    /** The L/A pair: Q + K activations + the H*N^2 logits tensor. */
+    std::uint64_t la_bytes = 0;
+};
+
+/** Computes Table 1's rows for (N, D, H) at @p bytes_per_element. */
+StagingRequirement staging_requirement(std::uint64_t seq_len,
+                                       std::uint64_t hidden_dim,
+                                       std::uint64_t heads,
+                                       std::uint32_t bytes_per_element);
+
+} // namespace flat
+
+#endif // FLAT_ANALYSIS_ROOFLINE_H

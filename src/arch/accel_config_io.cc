@@ -1,0 +1,77 @@
+#include "arch/accel_config_io.h"
+
+#include "common/status.h"
+#include "common/string_util.h"
+#include "common/units.h"
+
+namespace flat {
+namespace {
+
+NocKind
+parse_noc(const std::string& value)
+{
+    const std::string key = to_lower(value);
+    if (key == "systolic") {
+        return NocKind::kSystolic;
+    }
+    if (key == "tree") {
+        return NocKind::kTree;
+    }
+    if (key == "crossbar") {
+        return NocKind::kCrossbar;
+    }
+    FLAT_FAIL("unknown NoC kind '" << value
+                                   << "' (systolic | tree | crossbar)");
+}
+
+} // namespace
+
+AccelConfig
+accel_from_config(const ConfigMap& config, AccelConfig base)
+{
+    AccelConfig accel = std::move(base);
+    for (const auto& [key, value] : config) {
+        if (key == "name") {
+            accel.name = value;
+        } else if (key == "pe_rows") {
+            accel.pe_rows = static_cast<std::uint32_t>(std::stoul(value));
+        } else if (key == "pe_cols") {
+            accel.pe_cols = static_cast<std::uint32_t>(std::stoul(value));
+        } else if (key == "sl") {
+            accel.sl_bytes = parse_bytes(value);
+        } else if (key == "sg") {
+            accel.sg_bytes = parse_bytes(value);
+        } else if (key == "sg2") {
+            accel.sg2_bytes = parse_bytes(value);
+        } else if (key == "sg2_bw") {
+            accel.sg2_bw = parse_bandwidth(value);
+        } else if (key == "onchip_bw") {
+            accel.onchip_bw = parse_bandwidth(value);
+        } else if (key == "offchip_bw") {
+            accel.offchip_bw = parse_bandwidth(value);
+        } else if (key == "clock") {
+            accel.clock_hz = std::stod(value);
+        } else if (key == "sfu_lanes") {
+            accel.sfu_lanes = std::stod(value);
+        } else if (key == "bytes_per_element") {
+            accel.bytes_per_element =
+                static_cast<std::uint32_t>(std::stoul(value));
+        } else if (key == "distribution_noc") {
+            accel.distribution_noc = parse_noc(value);
+        } else if (key == "reduction_noc") {
+            accel.reduction_noc = parse_noc(value);
+        } else {
+            FLAT_FAIL("unknown platform config key '" << key << "'");
+        }
+    }
+    accel.validate();
+    return accel;
+}
+
+AccelConfig
+accel_from_config_file(const std::string& path, AccelConfig base)
+{
+    return accel_from_config(parse_config_file(path), std::move(base));
+}
+
+} // namespace flat

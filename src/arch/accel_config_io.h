@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Builds an AccelConfig from a key=value configuration (see
+ * common/config.h), so custom platforms can be described in text files:
+ *
+ *   # my-npu.conf
+ *   name = my-npu
+ *   pe_rows = 64
+ *   pe_cols = 64
+ *   sg = 2MiB
+ *   sg2 = 32MiB
+ *   sg2_bw = 200GB/s
+ *   onchip_bw = 2TB/s
+ *   offchip_bw = 100GB/s
+ *   clock = 1.2e9
+ *   sfu_lanes = 512
+ *   bytes_per_element = 2
+ *   distribution_noc = systolic   # systolic | tree | crossbar
+ *   reduction_noc = tree
+ */
+#ifndef FLAT_ARCH_ACCEL_CONFIG_IO_H
+#define FLAT_ARCH_ACCEL_CONFIG_IO_H
+
+#include <string>
+
+#include "arch/accel_config.h"
+#include "common/config.h"
+
+namespace flat {
+
+/**
+ * Applies @p config on top of @p base (unknown keys are rejected so
+ * typos fail loudly). The result is validated before returning.
+ */
+AccelConfig accel_from_config(const ConfigMap& config,
+                              AccelConfig base = edge_accel());
+
+/** Convenience: parse @p path and build the accelerator. */
+AccelConfig accel_from_config_file(const std::string& path,
+                                   AccelConfig base = edge_accel());
+
+} // namespace flat
+
+#endif // FLAT_ARCH_ACCEL_CONFIG_IO_H

@@ -1,0 +1,52 @@
+#include "common/config.h"
+
+#include <fstream>
+#include <sstream>
+
+#include "common/status.h"
+#include "common/string_util.h"
+
+namespace flat {
+
+ConfigMap
+parse_config_text(const std::string& text)
+{
+    ConfigMap out;
+    std::istringstream stream(text);
+    std::string line;
+    std::size_t line_no = 0;
+    while (std::getline(stream, line)) {
+        ++line_no;
+        const std::size_t hash = line.find('#');
+        if (hash != std::string::npos) {
+            line = line.substr(0, hash);
+        }
+        const std::string trimmed = trim(line);
+        if (trimmed.empty()) {
+            continue;
+        }
+        const std::size_t eq = trimmed.find('=');
+        FLAT_CHECK(eq != std::string::npos && eq > 0,
+                   "config line " << line_no << " is not 'key = value': '"
+                                  << trimmed << "'");
+        const std::string key = to_lower(trim(trimmed.substr(0, eq)));
+        const std::string value = trim(trimmed.substr(eq + 1));
+        FLAT_CHECK(!key.empty() && !value.empty(),
+                   "config line " << line_no << " has an empty key or "
+                                     "value");
+        out[key] = value;
+    }
+    return out;
+}
+
+ConfigMap
+parse_config_file(const std::string& path)
+{
+    std::ifstream in(path);
+    FLAT_CHECK(in.good(), "cannot open config file: " << path);
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    return parse_config_text(buffer.str());
+}
+
+} // namespace flat

@@ -1,0 +1,30 @@
+/**
+ * @file
+ * Tiny "key = value" configuration parser ('#' starts a comment) used
+ * to describe custom accelerator platforms for the CLI without
+ * recompiling.
+ */
+#ifndef FLAT_COMMON_CONFIG_H
+#define FLAT_COMMON_CONFIG_H
+
+#include <map>
+#include <string>
+
+namespace flat {
+
+/** Ordered key -> value map; later duplicates win. */
+using ConfigMap = std::map<std::string, std::string>;
+
+/**
+ * Parses configuration text: one `key = value` pair per line, blank
+ * lines and `#` comments ignored, keys lower-cased. Throws flat::Error
+ * on malformed lines.
+ */
+ConfigMap parse_config_text(const std::string& text);
+
+/** Reads and parses a configuration file. */
+ConfigMap parse_config_file(const std::string& path);
+
+} // namespace flat
+
+#endif // FLAT_COMMON_CONFIG_H

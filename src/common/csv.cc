@@ -1,0 +1,67 @@
+#include "common/csv.h"
+
+#include "common/status.h"
+
+namespace flat {
+
+CsvWriter::CsvWriter(const std::string& path,
+                     std::vector<std::string> header)
+    : out_(path), arity_(header.size())
+{
+    FLAT_CHECK(out_.good(), "cannot open CSV output: " << path);
+    FLAT_CHECK(arity_ > 0, "CSV header must be non-empty");
+    write_row(header);
+}
+
+void
+CsvWriter::add_row(const std::vector<std::string>& cells)
+{
+    FLAT_CHECK(cells.size() == arity_,
+               "CSV row arity " << cells.size() << " != " << arity_);
+    write_row(cells);
+}
+
+void
+CsvWriter::close()
+{
+    if (out_.is_open()) {
+        out_.close();
+    }
+}
+
+CsvWriter::~CsvWriter()
+{
+    close();
+}
+
+void
+CsvWriter::write_row(const std::vector<std::string>& cells)
+{
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+        if (i != 0) {
+            out_ << ',';
+        }
+        out_ << escape(cells[i]);
+    }
+    out_ << '\n';
+}
+
+std::string
+CsvWriter::escape(const std::string& cell)
+{
+    if (cell.find_first_of(",\"\n") == std::string::npos) {
+        return cell;
+    }
+    std::string out = "\"";
+    for (char c : cell) {
+        if (c == '"') {
+            out += "\"\"";
+        } else {
+            out += c;
+        }
+    }
+    out += '"';
+    return out;
+}
+
+} // namespace flat

@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Minimal CSV emitter so bench binaries can dump machine-readable series
+ * alongside the human-readable tables.
+ */
+#ifndef FLAT_COMMON_CSV_H
+#define FLAT_COMMON_CSV_H
+
+#include <fstream>
+#include <string>
+#include <vector>
+
+namespace flat {
+
+/** Streams rows into a CSV file, quoting only when necessary. */
+class CsvWriter
+{
+  public:
+    /** Opens @p path for writing and emits the header row. */
+    CsvWriter(const std::string& path, std::vector<std::string> header);
+
+    /** Appends a data row (arity-checked against the header). */
+    void add_row(const std::vector<std::string>& cells);
+
+    /** Flushes and closes the file; called by the destructor too. */
+    void close();
+
+    ~CsvWriter();
+
+    CsvWriter(const CsvWriter&) = delete;
+    CsvWriter& operator=(const CsvWriter&) = delete;
+
+  private:
+    void write_row(const std::vector<std::string>& cells);
+    static std::string escape(const std::string& cell);
+
+    std::ofstream out_;
+    std::size_t arity_;
+};
+
+} // namespace flat
+
+#endif // FLAT_COMMON_CSV_H

@@ -1,0 +1,192 @@
+#include "common/json.h"
+
+#include <cmath>
+#include <cstdio>
+
+#include "common/status.h"
+
+namespace flat {
+
+void
+JsonWriter::prepare_value()
+{
+    FLAT_CHECK(!done_, "JSON document already complete");
+    if (stack_.empty()) {
+        return; // root value
+    }
+    if (stack_.back() == Ctx::kObject) {
+        FLAT_CHECK(pending_key_, "JSON object values need a key first");
+        pending_key_ = false;
+        return;
+    }
+    if (has_items_.back()) {
+        out_ << ',';
+    }
+    has_items_.back() = true;
+}
+
+void
+JsonWriter::begin_object()
+{
+    prepare_value();
+    out_ << '{';
+    stack_.push_back(Ctx::kObject);
+    has_items_.push_back(false);
+}
+
+void
+JsonWriter::end_object()
+{
+    FLAT_CHECK(!stack_.empty() && stack_.back() == Ctx::kObject,
+               "end_object without matching begin_object");
+    FLAT_CHECK(!pending_key_, "dangling JSON key");
+    out_ << '}';
+    stack_.pop_back();
+    has_items_.pop_back();
+    if (stack_.empty()) {
+        done_ = true;
+    }
+}
+
+void
+JsonWriter::begin_array()
+{
+    prepare_value();
+    out_ << '[';
+    stack_.push_back(Ctx::kArray);
+    has_items_.push_back(false);
+}
+
+void
+JsonWriter::end_array()
+{
+    FLAT_CHECK(!stack_.empty() && stack_.back() == Ctx::kArray,
+               "end_array without matching begin_array");
+    out_ << ']';
+    stack_.pop_back();
+    has_items_.pop_back();
+    if (stack_.empty()) {
+        done_ = true;
+    }
+}
+
+void
+JsonWriter::key(const std::string& name)
+{
+    FLAT_CHECK(!stack_.empty() && stack_.back() == Ctx::kObject,
+               "JSON keys only belong in objects");
+    FLAT_CHECK(!pending_key_, "two keys in a row");
+    if (has_items_.back()) {
+        out_ << ',';
+    }
+    has_items_.back() = true;
+    out_ << '"' << escape(name) << "\":";
+    pending_key_ = true;
+}
+
+void
+JsonWriter::value(const std::string& text)
+{
+    prepare_value();
+    out_ << '"' << escape(text) << '"';
+    if (stack_.empty()) {
+        done_ = true;
+    }
+}
+
+void
+JsonWriter::value(const char* text)
+{
+    value(std::string(text));
+}
+
+void
+JsonWriter::value(double number)
+{
+    prepare_value();
+    if (std::isfinite(number)) {
+        char buf[64];
+        std::snprintf(buf, sizeof(buf), "%.12g", number);
+        out_ << buf;
+    } else {
+        out_ << "null"; // JSON has no inf/nan
+    }
+    if (stack_.empty()) {
+        done_ = true;
+    }
+}
+
+void
+JsonWriter::value(std::uint64_t number)
+{
+    prepare_value();
+    out_ << number;
+    if (stack_.empty()) {
+        done_ = true;
+    }
+}
+
+void
+JsonWriter::value(std::int64_t number)
+{
+    prepare_value();
+    out_ << number;
+    if (stack_.empty()) {
+        done_ = true;
+    }
+}
+
+void
+JsonWriter::value(bool flag)
+{
+    prepare_value();
+    out_ << (flag ? "true" : "false");
+    if (stack_.empty()) {
+        done_ = true;
+    }
+}
+
+void
+JsonWriter::null_value()
+{
+    prepare_value();
+    out_ << "null";
+    if (stack_.empty()) {
+        done_ = true;
+    }
+}
+
+std::string
+JsonWriter::str() const
+{
+    FLAT_CHECK(done_ && stack_.empty(),
+               "JSON document is incomplete (open nesting)");
+    return out_.str();
+}
+
+std::string
+JsonWriter::escape(const std::string& text)
+{
+    std::string out;
+    out.reserve(text.size());
+    for (char c : text) {
+        switch (c) {
+          case '"': out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\n': out += "\\n"; break;
+          case '\r': out += "\\r"; break;
+          case '\t': out += "\\t"; break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    return out;
+}
+
+} // namespace flat

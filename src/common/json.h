@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Minimal JSON writer (objects, arrays, scalars) used to emit
+ * machine-readable reports from the CLI and benches. Writer-only by
+ * design: the library never needs to parse JSON.
+ */
+#ifndef FLAT_COMMON_JSON_H
+#define FLAT_COMMON_JSON_H
+
+#include <cstdint>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace flat {
+
+/**
+ * Streaming JSON writer with nesting validation.
+ *
+ * Example:
+ *   JsonWriter json;
+ *   json.begin_object();
+ *   json.key("util");
+ *   json.value(0.97);
+ *   json.key("tags");
+ *   json.begin_array();
+ *   json.value("R64");
+ *   json.end_array();
+ *   json.end_object();
+ *   std::string text = json.str();
+ */
+class JsonWriter
+{
+  public:
+    JsonWriter() = default;
+
+    void begin_object();
+    void end_object();
+    void begin_array();
+    void end_array();
+
+    /** Emits an object key; must be inside an object. */
+    void key(const std::string& name);
+
+    void value(const std::string& text);
+    void value(const char* text);
+    void value(double number);
+    void value(std::uint64_t number);
+    void value(std::int64_t number);
+    void value(bool flag);
+    void null_value();
+
+    /** Shorthand: key + scalar value. */
+    template <typename T>
+    void
+    field(const std::string& name, const T& v)
+    {
+        key(name);
+        value(v);
+    }
+
+    /** Finished document; throws flat::Error if nesting is open. */
+    std::string str() const;
+
+    /** Escapes a string per RFC 8259. */
+    static std::string escape(const std::string& text);
+
+  private:
+    enum class Ctx { kObject, kArray };
+
+    void prepare_value();
+
+    std::ostringstream out_;
+    std::vector<Ctx> stack_;
+    std::vector<bool> has_items_;
+    bool pending_key_ = false;
+    bool done_ = false;
+};
+
+} // namespace flat
+
+#endif // FLAT_COMMON_JSON_H

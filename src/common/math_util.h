@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Small integer/floating-point math helpers used throughout the model.
+ */
+#ifndef FLAT_COMMON_MATH_UTIL_H
+#define FLAT_COMMON_MATH_UTIL_H
+
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <type_traits>
+
+#include "common/status.h"
+
+namespace flat {
+
+/** Ceiling division for non-negative integers. */
+template <typename T>
+constexpr T
+ceil_div(T num, T den)
+{
+    static_assert(std::is_integral_v<T>);
+    return (den == 0) ? T{0} : (num + den - 1) / den;
+}
+
+/** Round @p value up to the next multiple of @p multiple (>0). */
+template <typename T>
+constexpr T
+round_up(T value, T multiple)
+{
+    static_assert(std::is_integral_v<T>);
+    return ceil_div(value, multiple) * multiple;
+}
+
+/** True iff @p v is a power of two (0 is not). */
+constexpr bool
+is_pow2(std::uint64_t v)
+{
+    return v != 0 && (v & (v - 1)) == 0;
+}
+
+/** Floor of log2 for v >= 1. */
+constexpr std::uint32_t
+ilog2(std::uint64_t v)
+{
+    std::uint32_t r = 0;
+    while (v > 1) {
+        v >>= 1;
+        ++r;
+    }
+    return r;
+}
+
+/** Ceil of log2 for v >= 1. */
+constexpr std::uint32_t
+ilog2_ceil(std::uint64_t v)
+{
+    return (v <= 1) ? 0 : ilog2(v - 1) + 1;
+}
+
+/** Relative closeness for floating point comparisons in tests/models. */
+inline bool
+almost_equal(double a, double b, double rel_tol = 1e-9,
+             double abs_tol = 1e-12)
+{
+    const double diff = std::fabs(a - b);
+    if (diff <= abs_tol) {
+        return true;
+    }
+    return diff <= rel_tol * std::fmax(std::fabs(a), std::fabs(b));
+}
+
+/** Saturating double->uint64 conversion used when sizing tensors. */
+inline std::uint64_t
+checked_u64(double v)
+{
+    FLAT_CHECK(v >= 0.0 && v <= 1.8e19, "value out of uint64 range: " << v);
+    return static_cast<std::uint64_t>(v);
+}
+
+} // namespace flat
+
+#endif // FLAT_COMMON_MATH_UTIL_H

@@ -1,0 +1,29 @@
+#include "common/status.h"
+
+#include <cstring>
+
+namespace flat {
+namespace detail {
+
+std::string
+make_error_message(const char* kind, const char* cond, const char* file,
+                   int line, const std::string& detail)
+{
+    // Strip the build-tree prefix so messages are stable across machines.
+    const char* base = std::strrchr(file, '/');
+    base = (base != nullptr) ? base + 1 : file;
+
+    std::ostringstream oss;
+    oss << "[flat] " << kind;
+    if (cond != nullptr && cond[0] != '\0') {
+        oss << ": (" << cond << ")";
+    }
+    if (!detail.empty()) {
+        oss << " — " << detail;
+    }
+    oss << " [" << base << ":" << line << "]";
+    return oss.str();
+}
+
+} // namespace detail
+} // namespace flat

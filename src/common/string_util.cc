@@ -1,0 +1,84 @@
+#include "common/string_util.h"
+
+#include <cctype>
+#include <cstdarg>
+#include <cstdio>
+
+namespace flat {
+
+std::string
+strprintf(const char* fmt, ...)
+{
+    va_list args;
+    va_start(args, fmt);
+    va_list args_copy;
+    va_copy(args_copy, args);
+    const int needed = std::vsnprintf(nullptr, 0, fmt, args);
+    va_end(args);
+
+    std::string out;
+    if (needed > 0) {
+        out.resize(static_cast<std::size_t>(needed));
+        std::vsnprintf(out.data(), out.size() + 1, fmt, args_copy);
+    }
+    va_end(args_copy);
+    return out;
+}
+
+std::string
+join(const std::vector<std::string>& parts, std::string_view sep)
+{
+    std::string out;
+    for (std::size_t i = 0; i < parts.size(); ++i) {
+        if (i != 0) {
+            out.append(sep);
+        }
+        out.append(parts[i]);
+    }
+    return out;
+}
+
+std::vector<std::string>
+split(std::string_view s, char delim)
+{
+    std::vector<std::string> out;
+    std::size_t start = 0;
+    while (true) {
+        const std::size_t pos = s.find(delim, start);
+        if (pos == std::string_view::npos) {
+            out.emplace_back(s.substr(start));
+            break;
+        }
+        out.emplace_back(s.substr(start, pos - start));
+        start = pos + 1;
+    }
+    return out;
+}
+
+std::string
+trim(std::string_view s)
+{
+    std::size_t begin = 0;
+    std::size_t end = s.size();
+    while (begin < end &&
+           std::isspace(static_cast<unsigned char>(s[begin]))) {
+        ++begin;
+    }
+    while (end > begin &&
+           std::isspace(static_cast<unsigned char>(s[end - 1]))) {
+        --end;
+    }
+    return std::string(s.substr(begin, end - begin));
+}
+
+std::string
+to_lower(std::string_view s)
+{
+    std::string out(s);
+    for (char& c : out) {
+        c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+    }
+    return out;
+}
+
+} // namespace flat

@@ -1,0 +1,33 @@
+/**
+ * @file
+ * String formatting/splitting helpers.
+ */
+#ifndef FLAT_COMMON_STRING_UTIL_H
+#define FLAT_COMMON_STRING_UTIL_H
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace flat {
+
+/** printf-style formatting into a std::string. */
+std::string strprintf(const char* fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/** Joins @p parts with @p sep. */
+std::string join(const std::vector<std::string>& parts,
+                 std::string_view sep);
+
+/** Splits @p s on @p delim; empty fields are preserved. */
+std::vector<std::string> split(std::string_view s, char delim);
+
+/** Trims ASCII whitespace from both ends. */
+std::string trim(std::string_view s);
+
+/** Lower-cases ASCII letters. */
+std::string to_lower(std::string_view s);
+
+} // namespace flat
+
+#endif // FLAT_COMMON_STRING_UTIL_H

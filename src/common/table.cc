@@ -1,0 +1,77 @@
+#include "common/table.h"
+
+#include <algorithm>
+
+#include "common/status.h"
+
+namespace flat {
+
+TextTable::TextTable(std::vector<std::string> header)
+    : header_(std::move(header))
+{
+    FLAT_CHECK(!header_.empty(), "table needs at least one column");
+}
+
+void
+TextTable::add_row(std::vector<std::string> cells)
+{
+    FLAT_CHECK(cells.size() == header_.size(),
+               "row arity " << cells.size() << " != header arity "
+                            << header_.size());
+    rows_.push_back(std::move(cells));
+    ++numDataRows_;
+}
+
+void
+TextTable::add_separator()
+{
+    rows_.push_back({kSeparatorTag});
+}
+
+void
+TextTable::print(std::ostream& os) const
+{
+    std::vector<std::size_t> widths(header_.size(), 0);
+    for (std::size_t c = 0; c < header_.size(); ++c) {
+        widths[c] = header_[c].size();
+    }
+    for (const auto& row : rows_) {
+        if (row.size() == 1 && row[0] == kSeparatorTag) {
+            continue;
+        }
+        for (std::size_t c = 0; c < row.size(); ++c) {
+            widths[c] = std::max(widths[c], row[c].size());
+        }
+    }
+
+    auto print_sep = [&]() {
+        os << '+';
+        for (std::size_t c = 0; c < widths.size(); ++c) {
+            os << std::string(widths[c] + 2, '-') << '+';
+        }
+        os << '\n';
+    };
+    auto print_row = [&](const std::vector<std::string>& row) {
+        os << '|';
+        for (std::size_t c = 0; c < widths.size(); ++c) {
+            const std::string& cell = (c < row.size()) ? row[c] : "";
+            os << ' ' << cell << std::string(widths[c] - cell.size() + 1, ' ')
+               << '|';
+        }
+        os << '\n';
+    };
+
+    print_sep();
+    print_row(header_);
+    print_sep();
+    for (const auto& row : rows_) {
+        if (row.size() == 1 && row[0] == kSeparatorTag) {
+            print_sep();
+        } else {
+            print_row(row);
+        }
+    }
+    print_sep();
+}
+
+} // namespace flat

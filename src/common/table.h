@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Aligned text-table emitter used by the benchmark harnesses to print
+ * the paper's tables/figure series in a readable form.
+ */
+#ifndef FLAT_COMMON_TABLE_H
+#define FLAT_COMMON_TABLE_H
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace flat {
+
+/**
+ * Accumulates rows of string cells and prints them with aligned columns.
+ *
+ * Example:
+ *   TextTable t({"SeqLen", "Base", "FLAT"});
+ *   t.add_row({"512", "0.61", "0.98"});
+ *   t.print(std::cout);
+ */
+class TextTable
+{
+  public:
+    explicit TextTable(std::vector<std::string> header);
+
+    /** Appends a data row; must have the same arity as the header. */
+    void add_row(std::vector<std::string> cells);
+
+    /** Appends a horizontal separator row. */
+    void add_separator();
+
+    /** Renders the table. */
+    void print(std::ostream& os) const;
+
+    /** Number of data rows (separators excluded). */
+    std::size_t num_rows() const { return numDataRows_; }
+
+  private:
+    static constexpr const char* kSeparatorTag = "\x01--";
+
+    std::vector<std::string> header_;
+    std::vector<std::vector<std::string>> rows_;
+    std::size_t numDataRows_ = 0;
+};
+
+} // namespace flat
+
+#endif // FLAT_COMMON_TABLE_H

@@ -1,0 +1,136 @@
+#include "common/units.h"
+
+#include <array>
+#include <cmath>
+#include <cstdio>
+#include <string>
+
+#include "common/status.h"
+
+namespace flat {
+namespace {
+
+std::string
+format_scaled(double value, double base,
+              const std::array<const char*, 5>& suffixes, const char* unit)
+{
+    double v = value;
+    std::size_t idx = 0;
+    while (v >= base && idx + 1 < suffixes.size()) {
+        v /= base;
+        ++idx;
+    }
+    char buf[64];
+    if (v == std::floor(v) && v < 1024.0) {
+        std::snprintf(buf, sizeof(buf), "%.0f%s%s", v, suffixes[idx], unit);
+    } else {
+        std::snprintf(buf, sizeof(buf), "%.2f%s%s", v, suffixes[idx], unit);
+    }
+    return buf;
+}
+
+} // namespace
+
+std::string
+format_bytes(std::uint64_t bytes)
+{
+    static const std::array<const char*, 5> suffixes = {
+        "", "Ki", "Mi", "Gi", "Ti"};
+    return format_scaled(static_cast<double>(bytes), 1024.0, suffixes, "B");
+}
+
+std::string
+format_bandwidth(double bytes_per_sec)
+{
+    static const std::array<const char*, 5> ladder = {
+        "", "K", "M", "G", "T"};
+    return format_scaled(bytes_per_sec, 1000.0, ladder, "B/s");
+}
+
+std::string
+format_time(double seconds)
+{
+    char buf[64];
+    if (seconds < 1e-6) {
+        std::snprintf(buf, sizeof(buf), "%.2fns", seconds * 1e9);
+    } else if (seconds < 1e-3) {
+        std::snprintf(buf, sizeof(buf), "%.2fus", seconds * 1e6);
+    } else if (seconds < 1.0) {
+        std::snprintf(buf, sizeof(buf), "%.2fms", seconds * 1e3);
+    } else {
+        std::snprintf(buf, sizeof(buf), "%.3fs", seconds);
+    }
+    return buf;
+}
+
+std::string
+format_count(double count)
+{
+    static const std::array<const char*, 5> ladder = {"", "K", "M", "G", "T"};
+    return format_scaled(count, 1000.0, ladder, "");
+}
+
+// Parsing helpers.
+namespace {
+
+bool
+parse_scaled_value(const std::string& text, bool* binary_out,
+                   double* value_out, std::string* suffix_out)
+{
+    std::size_t pos = 0;
+    double value = 0.0;
+    try {
+        value = std::stod(text, &pos);
+    } catch (const std::exception&) {
+        return false;
+    }
+    while (pos < text.size() && text[pos] == ' ') {
+        ++pos;
+    }
+    *value_out = value;
+    *suffix_out = text.substr(pos);
+    *binary_out = suffix_out->find('i') != std::string::npos;
+    return true;
+}
+
+} // namespace
+
+std::uint64_t
+parse_bytes(const std::string& text)
+{
+    bool binary = false;
+    double value = 0.0;
+    std::string suffix;
+    if (!parse_scaled_value(text, &binary, &value, &suffix) ||
+        value < 0.0) {
+        FLAT_FAIL("cannot parse byte size: '" << text << "'");
+    }
+    double scale = 1.0;
+    const double base = binary ? 1024.0 : 1000.0;
+    if (suffix.empty() || suffix == "B" || suffix == "b") {
+        scale = 1.0;
+    } else {
+        switch (suffix[0]) {
+          case 'K': case 'k': scale = base; break;
+          case 'M': case 'm': scale = base * base; break;
+          case 'G': case 'g': scale = base * base * base; break;
+          case 'T': case 't': scale = base * base * base * base; break;
+          default:
+            FLAT_FAIL("cannot parse byte size: '" << text << "'");
+        }
+    }
+    return static_cast<std::uint64_t>(value * scale);
+}
+
+double
+parse_bandwidth(const std::string& text)
+{
+    std::string stripped = text;
+    const std::size_t slash = stripped.find("/s");
+    if (slash != std::string::npos) {
+        stripped = stripped.substr(0, slash);
+    }
+    return static_cast<double>(parse_bytes(stripped));
+}
+
+} // namespace flat

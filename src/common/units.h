@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Byte/frequency unit constants and human-readable formatting.
+ */
+#ifndef FLAT_COMMON_UNITS_H
+#define FLAT_COMMON_UNITS_H
+
+#include <cstdint>
+#include <string>
+
+namespace flat {
+
+constexpr std::uint64_t kKiB = 1024ull;
+constexpr std::uint64_t kMiB = 1024ull * kKiB;
+constexpr std::uint64_t kGiB = 1024ull * kMiB;
+
+constexpr double kKHz = 1e3;
+constexpr double kMHz = 1e6;
+constexpr double kGHz = 1e9;
+
+/** Bytes per second helpers (decimal, matching vendor BW specs). */
+constexpr double kGBps = 1e9;
+constexpr double kTBps = 1e12;
+
+/** Formats a byte count as e.g. "512KiB", "2.5MiB", "1.2GiB". */
+std::string format_bytes(std::uint64_t bytes);
+
+/** Formats a bandwidth in bytes/s as e.g. "400GB/s". */
+std::string format_bandwidth(double bytes_per_sec);
+
+/** Formats seconds as the most readable of ns/us/ms/s. */
+std::string format_time(double seconds);
+
+/** Formats a count with K/M/G suffix (decimal). */
+std::string format_count(double count);
+
+/**
+ * Parses byte sizes like "512KiB", "2MiB", "1.5GiB", "4KB" (decimal),
+ * or a plain number of bytes. Throws flat::Error on malformed input.
+ */
+std::uint64_t parse_bytes(const std::string& text);
+
+/** Parses bandwidths like "50GB/s", "1TB/s", "400e9". */
+double parse_bandwidth(const std::string& text);
+
+} // namespace flat
+
+#endif // FLAT_COMMON_UNITS_H

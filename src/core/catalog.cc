@@ -1,0 +1,197 @@
+#include "core/catalog.h"
+
+#include "common/status.h"
+#include "common/string_util.h"
+
+namespace flat {
+
+std::string
+DataflowPolicy::name() const
+{
+    switch (kind) {
+      case PolicyKind::kBase: return "Base";
+      case PolicyKind::kBaseM: return "Base-M";
+      case PolicyKind::kBaseB: return "Base-B";
+      case PolicyKind::kBaseH: return "Base-H";
+      case PolicyKind::kBaseOpt: return "Base-opt";
+      case PolicyKind::kFlatM: return "FLAT-M";
+      case PolicyKind::kFlatB: return "FLAT-B";
+      case PolicyKind::kFlatH: return "FLAT-H";
+      case PolicyKind::kFlatR:
+        return strprintf("FLAT-R%llu",
+                         static_cast<unsigned long long>(r_rows));
+      case PolicyKind::kFlatOpt: return "FLAT-opt";
+    }
+    return "?";
+}
+
+bool
+DataflowPolicy::fused() const
+{
+    switch (kind) {
+      case PolicyKind::kFlatM:
+      case PolicyKind::kFlatB:
+      case PolicyKind::kFlatH:
+      case PolicyKind::kFlatR:
+      case PolicyKind::kFlatOpt:
+        return true;
+      default:
+        return false;
+    }
+}
+
+bool
+DataflowPolicy::searched() const
+{
+    return kind == PolicyKind::kBaseOpt || kind == PolicyKind::kFlatOpt;
+}
+
+CrossLoop
+DataflowPolicy::fixed_cross() const
+{
+    switch (kind) {
+      case PolicyKind::kBase:
+      case PolicyKind::kBaseM:
+      case PolicyKind::kFlatM:
+        return {Granularity::kMulti, 0};
+      case PolicyKind::kBaseB:
+      case PolicyKind::kFlatB:
+        return {Granularity::kBatch, 0};
+      case PolicyKind::kBaseH:
+      case PolicyKind::kFlatH:
+        return {Granularity::kHead, 0};
+      case PolicyKind::kFlatR:
+        return {Granularity::kRow, r_rows};
+      case PolicyKind::kBaseOpt:
+      case PolicyKind::kFlatOpt:
+        FLAT_FAIL("policy " << name() << " has no fixed cross loop");
+    }
+    return {Granularity::kMulti, 0};
+}
+
+DataflowPolicy
+DataflowPolicy::parse(const std::string& name)
+{
+    const std::string key = to_lower(trim(name));
+    DataflowPolicy policy;
+    if (key == "base") {
+        policy.kind = PolicyKind::kBase;
+    } else if (key == "base-m") {
+        policy.kind = PolicyKind::kBaseM;
+    } else if (key == "base-b") {
+        policy.kind = PolicyKind::kBaseB;
+    } else if (key == "base-h") {
+        policy.kind = PolicyKind::kBaseH;
+    } else if (key == "base-opt") {
+        policy.kind = PolicyKind::kBaseOpt;
+    } else if (key == "flat-m") {
+        policy.kind = PolicyKind::kFlatM;
+    } else if (key == "flat-b") {
+        policy.kind = PolicyKind::kFlatB;
+    } else if (key == "flat-h") {
+        policy.kind = PolicyKind::kFlatH;
+    } else if (key == "flat-opt") {
+        policy.kind = PolicyKind::kFlatOpt;
+    } else if (key.rfind("flat-r", 0) == 0 && key.size() > 6) {
+        policy.kind = PolicyKind::kFlatR;
+        policy.r_rows = std::stoull(key.substr(6));
+        FLAT_CHECK(policy.r_rows > 0, "FLAT-Rx needs positive rows");
+    } else {
+        FLAT_FAIL("unknown dataflow policy '" << name << "'");
+    }
+    return policy;
+}
+
+std::vector<DataflowPolicy>
+figure8_policies(std::uint64_t rx)
+{
+    std::vector<DataflowPolicy> out;
+    out.push_back({PolicyKind::kBase, 0});
+    out.push_back({PolicyKind::kBaseM, 0});
+    out.push_back({PolicyKind::kBaseB, 0});
+    out.push_back({PolicyKind::kBaseH, 0});
+    out.push_back({PolicyKind::kBaseOpt, 0});
+    out.push_back({PolicyKind::kFlatM, 0});
+    out.push_back({PolicyKind::kFlatB, 0});
+    out.push_back({PolicyKind::kFlatH, 0});
+    out.push_back({PolicyKind::kFlatR, rx});
+    out.push_back({PolicyKind::kFlatOpt, 0});
+    return out;
+}
+
+std::string
+AcceleratorSpec::name() const
+{
+    switch (kind) {
+      case AcceleratorKind::kBaseAccel: return "BaseAccel";
+      case AcceleratorKind::kFlexAccelM: return "FlexAccel-M";
+      case AcceleratorKind::kFlexAccel: return "FlexAccel";
+      case AcceleratorKind::kAttAccM: return "ATTACC-M";
+      case AcceleratorKind::kAttAccR:
+        return strprintf("ATTACC-R%llu",
+                         static_cast<unsigned long long>(r_rows));
+      case AcceleratorKind::kAttAcc: return "ATTACC";
+    }
+    return "?";
+}
+
+DataflowPolicy
+AcceleratorSpec::la_policy() const
+{
+    switch (kind) {
+      case AcceleratorKind::kBaseAccel:
+        return {PolicyKind::kBase, 0};
+      case AcceleratorKind::kFlexAccelM:
+        // Base-opt restricted to M granularity: modeled as Base-M with
+        // tuned tiles; the simulator pins the cross loop.
+        return {PolicyKind::kBaseM, 0};
+      case AcceleratorKind::kFlexAccel:
+        return {PolicyKind::kBaseOpt, 0};
+      case AcceleratorKind::kAttAccM:
+        return {PolicyKind::kFlatM, 0};
+      case AcceleratorKind::kAttAccR:
+        return {PolicyKind::kFlatR, r_rows};
+      case AcceleratorKind::kAttAcc:
+        return {PolicyKind::kFlatOpt, 0};
+    }
+    return {PolicyKind::kBase, 0};
+}
+
+bool
+AcceleratorSpec::flexible() const
+{
+    return kind != AcceleratorKind::kBaseAccel;
+}
+
+bool
+AcceleratorSpec::allows_l3() const
+{
+    return kind != AcceleratorKind::kBaseAccel;
+}
+
+AcceleratorSpec
+AcceleratorSpec::parse(const std::string& name)
+{
+    const std::string key = to_lower(trim(name));
+    AcceleratorSpec spec;
+    if (key == "baseaccel") {
+        spec.kind = AcceleratorKind::kBaseAccel;
+    } else if (key == "flexaccel-m") {
+        spec.kind = AcceleratorKind::kFlexAccelM;
+    } else if (key == "flexaccel") {
+        spec.kind = AcceleratorKind::kFlexAccel;
+    } else if (key == "attacc-m") {
+        spec.kind = AcceleratorKind::kAttAccM;
+    } else if (key == "attacc") {
+        spec.kind = AcceleratorKind::kAttAcc;
+    } else if (key.rfind("attacc-r", 0) == 0 && key.size() > 8) {
+        spec.kind = AcceleratorKind::kAttAccR;
+        spec.r_rows = std::stoull(key.substr(8));
+        FLAT_CHECK(spec.r_rows > 0, "ATTACC-Rx needs positive rows");
+    } else {
+        FLAT_FAIL("unknown accelerator '" << name << "'");
+    }
+    return spec;
+}
+
+} // namespace flat

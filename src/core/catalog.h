@@ -1,0 +1,87 @@
+/**
+ * @file
+ * The evaluation catalog of Figure 7(b)/(c): named dataflow policies
+ * (Base, Base-X, Base-opt, FLAT-X, FLAT-Rx, FLAT-opt) and accelerator
+ * configurations (BaseAccel, FlexAccel-M, FlexAccel, ATTACC-M,
+ * ATTACC-Rx, ATTACC).
+ */
+#ifndef FLAT_CORE_CATALOG_H
+#define FLAT_CORE_CATALOG_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "dataflow/granularity.h"
+
+namespace flat {
+
+/** Named L-A dataflow policies (Figure 7(b)). */
+enum class PolicyKind {
+    kBase,    ///< sequential, no L3 tile
+    kBaseM,   ///< sequential, L3 staging at M granularity
+    kBaseB,   ///< sequential, L3 staging at B granularity
+    kBaseH,   ///< sequential, L3 staging at H granularity
+    kBaseOpt, ///< best sequential dataflow found by DSE
+    kFlatM,   ///< fused, FLAT-tile at M granularity
+    kFlatB,   ///< fused, FLAT-tile at B granularity
+    kFlatH,   ///< fused, FLAT-tile at H granularity
+    kFlatR,   ///< fused, FLAT-tile at R granularity (rows = r_rows)
+    kFlatOpt, ///< best fused dataflow found by DSE
+};
+
+/** One policy instance (kFlatR carries its row count). */
+struct DataflowPolicy {
+    PolicyKind kind = PolicyKind::kBase;
+    std::uint64_t r_rows = 64;
+
+    std::string name() const;
+
+    /** True for the FLAT (fused) family. */
+    bool fused() const;
+
+    /** True for the -opt policies (hyper-parameter search enabled). */
+    bool searched() const;
+
+    /** Fixed cross-loop for the non-opt policies. */
+    CrossLoop fixed_cross() const;
+
+    /** Parses names like "base", "base-M", "flat-R64", "flat-opt". */
+    static DataflowPolicy parse(const std::string& name);
+};
+
+/** The ten curves of Figure 8, with @p rx rows for FLAT-Rx. */
+std::vector<DataflowPolicy> figure8_policies(std::uint64_t rx);
+
+/** Accelerator configurations of Figure 7(c). */
+enum class AcceleratorKind {
+    kBaseAccel,  ///< fixed Base dataflow, no flexibility
+    kFlexAccelM, ///< flexible, L3 at M granularity only (Base-opt/M)
+    kFlexAccel,  ///< flexible, full Base-opt DSE
+    kAttAccM,    ///< FLAT-opt restricted to M granularity
+    kAttAccR,    ///< FLAT-opt restricted to R granularity (r_rows)
+    kAttAcc,     ///< full FLAT-opt DSE
+};
+
+/** One accelerator configuration instance. */
+struct AcceleratorSpec {
+    AcceleratorKind kind = AcceleratorKind::kAttAcc;
+    std::uint64_t r_rows = 64;
+
+    std::string name() const;
+
+    /** The L-A policy this accelerator runs. */
+    DataflowPolicy la_policy() const;
+
+    /** Whether non-fused operators may be tuned by DSE. */
+    bool flexible() const;
+
+    /** Whether the L3 staging level exists at all. */
+    bool allows_l3() const;
+
+    static AcceleratorSpec parse(const std::string& name);
+};
+
+} // namespace flat
+
+#endif // FLAT_CORE_CATALOG_H

@@ -1,0 +1,201 @@
+#include "core/simulator.h"
+
+#include "common/status.h"
+
+namespace flat {
+namespace {
+
+/** Single-point candidate menus for the fixed (non-opt) policies. */
+CandidateOptions
+fixed_policy_candidates()
+{
+    CandidateOptions cand;
+    cand.tile_budget_fractions = {1.0 / 4};
+    cand.loop_orders = {LoopOrder::kMNK};
+    // Two stationarities so a fixed policy can still map narrow GEMMs
+    // (n = dk) onto wide arrays; the better of the two is used.
+    cand.stationarities = {Stationarity::kOutputStationary,
+                           Stationarity::kInputStationary};
+    cand.sweep_stage_flags = false;
+    return cand;
+}
+
+} // namespace
+
+AttentionSearchOptions
+attention_options(const DataflowPolicy& policy, const SimOptions& options)
+{
+    AttentionSearchOptions out;
+    out.objective = options.objective;
+    out.quick = options.quick;
+    out.baseline_overlap = options.baseline_overlap;
+    out.fused = policy.fused();
+
+    if (policy.searched()) {
+        return out; // full sweep
+    }
+
+    out.fixed_cross = policy.fixed_cross();
+    out.candidates = fixed_policy_candidates();
+    if (policy.kind == PolicyKind::kBase) {
+        // Plain Base: no L3 staging at all.
+        out.fixed_flags = FusedStageFlags::decode(0);
+    } else {
+        // Base-X / FLAT-X / FLAT-Rx: every tensor staged.
+        out.fixed_flags = FusedStageFlags{};
+    }
+    return out;
+}
+
+AttentionSearchOptions
+attention_options(const AcceleratorSpec& spec, const SimOptions& options)
+{
+    const DataflowPolicy policy = spec.la_policy();
+    AttentionSearchOptions out;
+    out.objective = options.objective;
+    out.quick = options.quick;
+    out.baseline_overlap = options.baseline_overlap;
+    out.fused = policy.fused();
+
+    switch (spec.kind) {
+      case AcceleratorKind::kBaseAccel:
+        // Fixed Base dataflow, nothing tunable.
+        return attention_options(policy, options);
+      case AcceleratorKind::kFlexAccelM:
+      case AcceleratorKind::kAttAccM:
+      case AcceleratorKind::kAttAccR:
+        // Full DSE with the cross loop pinned. Staging is always on:
+        // a fixed-granularity accelerator stages its tensors at that
+        // granularity by construction (it cannot fall back to pure
+        // streaming), which is what bends FlexAccel-M below FlexAccel
+        // when the M-Gran footprint outgrows the buffer (Fig. 12(a)).
+        out.fixed_cross = policy.fixed_cross();
+        out.fixed_flags = FusedStageFlags{};
+        return out;
+      case AcceleratorKind::kFlexAccel:
+      case AcceleratorKind::kAttAcc:
+        return out; // full sweep
+    }
+    return out;
+}
+
+Simulator::Simulator(AccelConfig accel)
+    : accel_(std::move(accel)), energy_table_(EnergyTable::for_accel(accel_))
+{
+    accel_.validate();
+}
+
+AttentionSearchResult
+Simulator::attention(const Workload& workload, const DataflowPolicy& policy,
+                     const SimOptions& options) const
+{
+    const AttentionDims dims = AttentionDims::from_workload(workload);
+    return search_attention(accel_, dims,
+                            attention_options(policy, options));
+}
+
+ScopeReport
+Simulator::run(const Workload& workload, Scope scope,
+               const DataflowPolicy& policy,
+               const SimOptions& options) const
+{
+    return run_impl(workload, scope, attention_options(policy, options),
+                    /*flexible_ops=*/true, /*allow_l3=*/true,
+                    policy.name(), options);
+}
+
+ScopeReport
+Simulator::run(const Workload& workload, Scope scope,
+               const AcceleratorSpec& spec, const SimOptions& options) const
+{
+    return run_impl(workload, scope, attention_options(spec, options),
+                    spec.flexible(), spec.allows_l3(), spec.name(),
+                    options);
+}
+
+ScopeReport
+Simulator::run_impl(const Workload& workload, Scope scope,
+                    const AttentionSearchOptions& la_options,
+                    bool flexible_ops, bool allow_l3,
+                    const std::string& policy_name,
+                    const SimOptions& options) const
+{
+    const AttentionDims dims = AttentionDims::from_workload(workload);
+
+    ScopeReport report;
+    report.scope = scope;
+    report.policy_name = policy_name;
+
+    // L-A pipeline (always present at every scope).
+    const AttentionSearchResult la = search_attention(accel_, dims,
+                                                      la_options);
+    const double la_energy =
+        estimate_energy(energy_table_, la.best.cost.activity).total();
+    report.breakdown.la_cycles = la.best.cost.cycles;
+    report.breakdown.la_ideal = la.best.cost.ideal_cycles;
+    report.breakdown.la_energy_j = la_energy;
+    report.la_footprint_bytes = la.best.cost.live_footprint_bytes;
+    report.la_resident_fraction = la.best.cost.resident_fraction;
+    report.la_dataflow_tag =
+        (la_options.fused ? "fused:" : "seq:") + la.best.dataflow.tag();
+    report.traffic += la.best.cost.activity.traffic;
+
+    // Projections and FCs at Block/Model scope.
+    if (scope != Scope::kLogitAttend) {
+        OperatorSearchOptions op_options;
+        op_options.objective = options.objective;
+        op_options.allow_l3 = allow_l3;
+        op_options.quick = options.quick;
+        if (!flexible_ops) {
+            op_options.candidates = fixed_policy_candidates();
+            op_options.allow_l3 = false;
+        }
+
+        for (const Operator& op : workload.ops) {
+            if (op.kind != OpKind::kGemm ||
+                op.category == OpCategory::kLogitAttend) {
+                continue;
+            }
+            const OperatorSearchResult res =
+                search_operator(accel_, op, op_options);
+            const double op_energy =
+                estimate_energy(energy_table_, res.cost.activity).total();
+            if (op.category == OpCategory::kProjection) {
+                report.breakdown.proj_cycles += res.cost.cycles;
+                report.breakdown.proj_ideal += res.cost.ideal_cycles;
+                report.breakdown.proj_energy_j += op_energy;
+            } else {
+                report.breakdown.fc_cycles += res.cost.cycles;
+                report.breakdown.fc_ideal += res.cost.ideal_cycles;
+                report.breakdown.fc_energy_j += op_energy;
+            }
+            report.traffic += res.cost.activity.traffic;
+        }
+    }
+
+    const double mult =
+        static_cast<double>(workload.scope_multiplier(scope));
+    report.breakdown.la_cycles *= mult;
+    report.breakdown.la_ideal *= mult;
+    report.breakdown.la_energy_j *= mult;
+    report.breakdown.proj_cycles *= mult;
+    report.breakdown.proj_ideal *= mult;
+    report.breakdown.proj_energy_j *= mult;
+    report.breakdown.fc_cycles *= mult;
+    report.breakdown.fc_ideal *= mult;
+    report.breakdown.fc_energy_j *= mult;
+
+    report.cycles = report.breakdown.la_cycles +
+                    report.breakdown.proj_cycles +
+                    report.breakdown.fc_cycles;
+    report.ideal_cycles = report.breakdown.la_ideal +
+                          report.breakdown.proj_ideal +
+                          report.breakdown.fc_ideal;
+    report.energy_j = report.breakdown.la_energy_j +
+                      report.breakdown.proj_energy_j +
+                      report.breakdown.fc_energy_j;
+    report.runtime_s = report.cycles * accel_.cycle_time();
+    return report;
+}
+
+} // namespace flat

@@ -1,0 +1,120 @@
+/**
+ * @file
+ * Top-level API: evaluate a workload at a scope (L-A / Block / Model) on
+ * an accelerator under a named dataflow policy or accelerator spec.
+ * This is the entry point the benches and examples use.
+ */
+#ifndef FLAT_CORE_SIMULATOR_H
+#define FLAT_CORE_SIMULATOR_H
+
+#include <string>
+
+#include "arch/accel_config.h"
+#include "core/catalog.h"
+#include "costmodel/cost_types.h"
+#include "dse/search.h"
+#include "energy/energy_model.h"
+#include "workload/attention.h"
+
+namespace flat {
+
+/** Global evaluation options. */
+struct SimOptions {
+    Objective objective = Objective::kRuntime;
+
+    /** Smaller DSE menus (used by the broad Figure 8/9 sweeps). */
+    bool quick = false;
+
+    /** Overlap assumption for sequential-baseline dataflows. */
+    BaselineOverlap baseline_overlap = BaselineOverlap::kFull;
+};
+
+/** Per-category cycle/energy decomposition (Figure 11). */
+struct CategoryBreakdown {
+    double la_cycles = 0.0;   ///< fused or sequential L-softmax-A
+    double proj_cycles = 0.0; ///< Q, K, V, O
+    double fc_cycles = 0.0;   ///< FC1, FC2
+    double la_ideal = 0.0;
+    double proj_ideal = 0.0;
+    double fc_ideal = 0.0;
+    double la_energy_j = 0.0;
+    double proj_energy_j = 0.0;
+    double fc_energy_j = 0.0;
+};
+
+/** Evaluation result at one scope. */
+struct ScopeReport {
+    Scope scope = Scope::kLogitAttend;
+    std::string policy_name;
+
+    double cycles = 0.0;
+    double ideal_cycles = 0.0; ///< the non-stall latency of Figure 11
+    double energy_j = 0.0;
+    double runtime_s = 0.0;
+
+    CategoryBreakdown breakdown;
+    TrafficBytes traffic;
+
+    /** L-A dataflow details. */
+    std::uint64_t la_footprint_bytes = 0;
+    double la_resident_fraction = 1.0;
+    std::string la_dataflow_tag;
+
+    double util() const
+    {
+        return (cycles > 0.0) ? ideal_cycles / cycles : 0.0;
+    }
+};
+
+/**
+ * Builds the DSE options implementing a named policy: non-opt policies
+ * become deterministic single-point "searches" (fixed granularity,
+ * default tiles, all FLAT-tiles enabled), -opt policies sweep the space.
+ */
+AttentionSearchOptions attention_options(const DataflowPolicy& policy,
+                                         const SimOptions& options);
+
+/** DSE options implementing an accelerator spec's L-A dataflow. */
+AttentionSearchOptions attention_options(const AcceleratorSpec& spec,
+                                         const SimOptions& options);
+
+/** Evaluates workloads on one accelerator configuration. */
+class Simulator
+{
+  public:
+    explicit Simulator(AccelConfig accel);
+
+    const AccelConfig& accel() const { return accel_; }
+
+    /** Cost of the L-A pipeline only, under @p policy. */
+    AttentionSearchResult attention(const Workload& workload,
+                                    const DataflowPolicy& policy,
+                                    const SimOptions& options = {}) const;
+
+    /** Full scope evaluation under a dataflow policy. Non-fused
+     *  operators are tuned by DSE (they are unaffected by the policy). */
+    ScopeReport run(const Workload& workload, Scope scope,
+                    const DataflowPolicy& policy,
+                    const SimOptions& options = {}) const;
+
+    /** Full scope evaluation of an accelerator spec (Figure 7(c)):
+     *  the spec decides the L-A policy, operator flexibility and
+     *  whether L3 staging exists. */
+    ScopeReport run(const Workload& workload, Scope scope,
+                    const AcceleratorSpec& spec,
+                    const SimOptions& options = {}) const;
+
+  private:
+    ScopeReport run_impl(const Workload& workload, Scope scope,
+                         const AttentionSearchOptions& la_options,
+                         bool flexible_ops, bool allow_l3,
+                         const std::string& policy_name,
+                         const SimOptions& options) const;
+
+    AccelConfig accel_;
+    EnergyTable energy_table_;
+};
+
+} // namespace flat
+
+#endif // FLAT_CORE_SIMULATOR_H

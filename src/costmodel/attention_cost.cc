@@ -1,0 +1,622 @@
+#include "costmodel/attention_cost.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "common/math_util.h"
+#include "common/status.h"
+#include "costmodel/gemm_engine.h"
+#include "costmodel/operator_cost.h"
+#include "dataflow/reuse.h"
+
+namespace flat {
+namespace {
+
+/** Per-tensor DRAM fetch-event multipliers for one attention stage. */
+struct StageReuse {
+    double a_repeats = 1.0;       ///< streaming repeats of the A operand
+    double b_repeats = 1.0;       ///< streaming repeats of the B operand
+    double c_write_repeats = 1.0; ///< output write passes
+    double c_read_repeats = 0.0;  ///< partial-sum re-read passes
+};
+
+StageReuse
+stage_reuse(const GemmShape& shape, const L2Tile& tile_in, LoopOrder order)
+{
+    const L2Tile tile = tile_in.clamped(shape);
+    const std::uint64_t tm = tile.trips_m(shape);
+    const std::uint64_t tk = tile.trips_k(shape);
+    const std::uint64_t tn = tile.trips_n(shape);
+    const ReuseCounts reuse = analyze_reuse(order, tm, tk, tn);
+
+    StageReuse out;
+    out.a_repeats = static_cast<double>(reuse.a_fetches) / (tm * tk);
+    out.b_repeats = static_cast<double>(reuse.b_fetches) / (tk * tn);
+    out.c_write_repeats =
+        static_cast<double>(reuse.c_writes) / reuse.c_tiles;
+    out.c_read_repeats = static_cast<double>(reuse.c_reads) / reuse.c_tiles;
+    return out;
+}
+
+/**
+ * Per-tensor resident fractions of the staged working set. The SG is
+ * allocated greedily: streaming tiles are mandatory, the intermediate
+ * FLAT-tile has priority (it is the single-buffered tensor whose
+ * off-chip round trip fusion exists to avoid), then the remaining
+ * staged tensors smallest-first.
+ */
+struct Residency {
+    /** Fraction of the staged working set resident in the SG. */
+    double q = 1.0;
+    double k = 1.0;
+    double v = 1.0;
+    double out = 1.0;
+    double inter = 1.0;
+
+    /** Fraction overflowed into the optional SG2 level (0 without
+     *  SG2); the remainder spills to DRAM. */
+    double q2 = 0.0;
+    double k2 = 0.0;
+    double v2 = 0.0;
+    double out2 = 0.0;
+    double inter2 = 0.0;
+
+    double overall = 1.0;
+};
+
+/** DRAM / SG2 fetch-event split for one staged-or-streamed tensor. */
+struct FetchSplit {
+    double dram = 0.0; ///< full-tensor passes through the DRAM bus
+    double sg2 = 0.0;  ///< full-tensor passes through the SG2 bus
+};
+
+/**
+ * Splits the fetch events of a tensor across the hierarchy: the
+ * SG-resident fraction is fetched from DRAM once; the SG2-resident
+ * fraction is fetched from DRAM once and re-read from SG2 on every
+ * reuse pass; the rest streams from DRAM with the failed-staging
+ * penalty.
+ */
+FetchSplit
+split_fetches(bool staged, double rho_sg, double rho_sg2,
+              double unstaged_events)
+{
+    FetchSplit out;
+    if (!staged) {
+        out.dram = unstaged_events;
+        return out;
+    }
+    const double spill = std::max(0.0, 1.0 - rho_sg - rho_sg2);
+    out.dram = rho_sg + rho_sg2 + spill * (unstaged_events + 1.0);
+    out.sg2 = rho_sg2 * unstaged_events;
+    return out;
+}
+
+/** Everything both models need, computed once. */
+struct AttentionPlan {
+    CrossLoopExtent extent;
+    GemmShape logit_shape;  ///< per staged slice
+    GemmShape attend_shape; ///< per staged slice
+    double slices = 0.0;    ///< passes * instances_per_pass
+
+    GemmComputeCost logit_compute;  ///< per slice
+    GemmComputeCost attend_compute; ///< per slice
+    StageReuse logit_reuse;
+    StageReuse attend_reuse;
+
+    double q_bytes = 0.0;     ///< total Q rows bytes (B*H*N*dk)
+    double k_bytes = 0.0;     ///< total K bytes
+    double v_bytes = 0.0;     ///< total V bytes
+    double out_bytes = 0.0;   ///< total output bytes
+    double inter_bytes = 0.0; ///< total intermediate bytes (B*H*N*kv)
+
+    /** Row chunks per (batch, head) group: K/V are re-touched once per
+     *  chunk when they are not resident (1 for M/B/H granularity). */
+    double kv_chunks = 1.0;
+
+    std::uint64_t footprint = 0;
+    Residency res;
+};
+
+/** Greedy SG allocation producing per-tensor resident fractions. */
+Residency
+allocate_residency(const AccelConfig& accel, const FusedDataflow& dataflow,
+                   const AttentionDims& dims, const CrossLoopExtent& extent)
+{
+    const double bpe = accel.bytes_per_element;
+    const double inst = static_cast<double>(extent.instances_per_pass);
+    const double rows = static_cast<double>(extent.rows_per_pass);
+    const double kv = static_cast<double>(dims.kv_len);
+    const double dk = static_cast<double>(dims.head_dim);
+
+    // Mandatory streaming-tile reservation for the unstaged tensors.
+    GemmShape logit_shape;
+    logit_shape.m = extent.rows_per_pass;
+    logit_shape.k = dims.head_dim;
+    logit_shape.n = dims.kv_len;
+    GemmShape attend_shape;
+    attend_shape.m = extent.rows_per_pass;
+    attend_shape.k = dims.kv_len;
+    attend_shape.n = dims.head_dim;
+    const L2Tile lt = dataflow.l2_logit.clamped(logit_shape);
+    const L2Tile at = dataflow.l2_attend.clamped(attend_shape);
+    const std::uint32_t b = accel.bytes_per_element;
+    double reserve = 0.0;
+    if (!dataflow.stage.query) {
+        reserve += 2.0 * lt.a_bytes(b);
+    }
+    if (!dataflow.stage.key) {
+        reserve += 2.0 * lt.b_bytes(b);
+    }
+    if (!dataflow.stage.value) {
+        reserve += 2.0 * at.b_bytes(b);
+    }
+    if (!dataflow.stage.output) {
+        reserve += 2.0 * at.c_bytes(b);
+    }
+    if (!dataflow.stage.intermediate) {
+        reserve += 2.0 * (lt.c_bytes(b) + at.a_bytes(b));
+    }
+
+    double capacity =
+        std::max(0.0, static_cast<double>(accel.sg_bytes) - reserve);
+    double capacity2 = static_cast<double>(accel.sg2_bytes);
+
+    struct Demand {
+        double* rho;
+        double* rho2;
+        double bytes;
+    };
+    Residency res;
+    std::vector<Demand> demands;
+    if (dataflow.stage.intermediate) {
+        // Highest priority: the FLAT-tile itself (single-buffered).
+        demands.push_back({&res.inter, &res.inter2,
+                           rows * kv * inst * bpe});
+    }
+    std::vector<Demand> staged;
+    if (dataflow.stage.query) {
+        staged.push_back({&res.q, &res.q2, 2.0 * rows * dk * inst * bpe});
+    }
+    if (dataflow.stage.output) {
+        staged.push_back({&res.out, &res.out2,
+                          2.0 * rows * dk * inst * bpe});
+    }
+    if (dataflow.stage.key) {
+        staged.push_back({&res.k, &res.k2, 2.0 * kv * dk * inst * bpe});
+    }
+    if (dataflow.stage.value) {
+        staged.push_back({&res.v, &res.v2, 2.0 * kv * dk * inst * bpe});
+    }
+    std::sort(staged.begin(), staged.end(),
+              [](const Demand& x, const Demand& y) {
+                  return x.bytes < y.bytes;
+              });
+    demands.insert(demands.end(), staged.begin(), staged.end());
+
+    double wanted = 0.0;
+    double granted = 0.0;
+    for (const Demand& d : demands) {
+        const double fit =
+            (d.bytes <= 0.0) ? 1.0 : std::min(1.0, capacity / d.bytes);
+        *d.rho = fit;
+        capacity -= fit * d.bytes;
+        // Overflow into the second-level buffer when present.
+        const double left = (1.0 - fit) * d.bytes;
+        const double fit2 =
+            (left <= 0.0 || capacity2 <= 0.0)
+                ? 0.0
+                : std::min(1.0, capacity2 / left) * (1.0 - fit);
+        *d.rho2 = fit2;
+        capacity2 -= fit2 * d.bytes;
+        wanted += d.bytes;
+        granted += (fit + fit2) * d.bytes;
+    }
+    res.overall = (wanted > 0.0) ? granted / wanted : 1.0;
+    return res;
+}
+
+AttentionPlan
+make_plan(const AccelConfig& accel, const AttentionDims& dims,
+          const FusedDataflow& dataflow)
+{
+    dims.validate();
+    dataflow.validate();
+
+    AttentionPlan plan;
+    plan.extent = cross_loop_extent(dataflow.cross, dims.batch, dims.heads,
+                                    dims.q_len);
+    const std::uint64_t rows = plan.extent.rows_per_pass;
+
+    plan.logit_shape.m = rows;
+    plan.logit_shape.k = dims.head_dim;
+    plan.logit_shape.n = dims.kv_len;
+    plan.logit_shape.instances = 1;
+    plan.logit_shape.a_kind = OperandKind::kActivation;
+    plan.logit_shape.b_kind = OperandKind::kActivation;
+
+    plan.attend_shape.m = rows;
+    plan.attend_shape.k = dims.kv_len;
+    plan.attend_shape.n = dims.head_dim;
+    plan.attend_shape.instances = 1;
+    plan.attend_shape.a_kind = OperandKind::kActivation;
+    plan.attend_shape.b_kind = OperandKind::kActivation;
+
+    plan.slices = static_cast<double>(plan.extent.passes) *
+                  plan.extent.instances_per_pass;
+
+    plan.logit_compute =
+        model_gemm_compute(accel, plan.logit_shape, dataflow.l2_logit,
+                           dataflow.order_logit, dataflow.stat_logit);
+    plan.attend_compute =
+        model_gemm_compute(accel, plan.attend_shape, dataflow.l2_attend,
+                           dataflow.order_attend, dataflow.stat_attend);
+    plan.logit_reuse = stage_reuse(plan.logit_shape, dataflow.l2_logit,
+                                   dataflow.order_logit);
+    plan.attend_reuse = stage_reuse(plan.attend_shape, dataflow.l2_attend,
+                                    dataflow.order_attend);
+
+    const double bpe = accel.bytes_per_element;
+    const double bh =
+        static_cast<double>(dims.batch) * dims.heads;
+    plan.q_bytes = bh * dims.q_len * dims.head_dim * bpe;
+    plan.k_bytes = bh * dims.kv_len * dims.head_dim * bpe;
+    plan.v_bytes = plan.k_bytes;
+    plan.out_bytes = plan.q_bytes;
+    plan.inter_bytes = bh * dims.q_len * dims.kv_len * bpe;
+
+    plan.kv_chunks = static_cast<double>(
+        ceil_div(dims.q_len, plan.extent.rows_per_pass));
+
+    plan.footprint =
+        fused_live_footprint(dataflow, dims, accel.bytes_per_element);
+    plan.res = allocate_residency(accel, dataflow, dims, plan.extent);
+    return plan;
+}
+
+/**
+ * Memory traffic of the whole L-A pipeline given the staging flags:
+ * DRAM events plus SG2 events for the fractions that overflow into the
+ * optional second-level buffer.
+ */
+TrafficBytes
+plan_dram_traffic(const AttentionPlan& plan, const FusedStageFlags& stage)
+{
+    const Residency& res = plan.res;
+    TrafficBytes t;
+
+    // Inputs of L: Q rows stream per slice; K/V per row chunk.
+    const FetchSplit q_split = split_fetches(
+        stage.query, res.q, res.q2, plan.logit_reuse.a_repeats);
+    t.dram_read += q_split.dram * plan.q_bytes;
+    t.sg2_read += q_split.sg2 * plan.q_bytes;
+
+    const FetchSplit k_split = split_fetches(
+        stage.key, res.k, res.k2,
+        plan.kv_chunks * plan.logit_reuse.b_repeats);
+    t.dram_read += k_split.dram * plan.k_bytes;
+    t.sg2_read += k_split.sg2 * plan.k_bytes;
+
+    const FetchSplit v_split = split_fetches(
+        stage.value, res.v, res.v2,
+        plan.kv_chunks * plan.attend_reuse.b_repeats);
+    t.dram_read += v_split.dram * plan.v_bytes;
+    t.sg2_read += v_split.sg2 * plan.v_bytes;
+
+    // SG2-resident input fractions are filled from DRAM through SG2.
+    t.sg2_write += (res.q2 * plan.q_bytes + res.k2 * plan.k_bytes +
+                    res.v2 * plan.v_bytes);
+
+    // Output of A (events mirrored: writes dominate).
+    if (stage.output) {
+        const double spill_out =
+            std::max(0.0, 1.0 - res.out - res.out2);
+        t.dram_write += (res.out + res.out2 +
+                         spill_out * plan.attend_reuse.c_write_repeats) *
+                        plan.out_bytes;
+        t.dram_read += spill_out * plan.attend_reuse.c_read_repeats *
+                       plan.out_bytes;
+        t.sg2_write += res.out2 * plan.attend_reuse.c_write_repeats *
+                       plan.out_bytes;
+        t.sg2_read += res.out2 *
+                      (plan.attend_reuse.c_read_repeats + 1.0) *
+                      plan.out_bytes;
+    } else {
+        t.dram_write +=
+            plan.attend_reuse.c_write_repeats * plan.out_bytes;
+        t.dram_read +=
+            plan.attend_reuse.c_read_repeats * plan.out_bytes;
+    }
+
+    // Intermediate tensor: on-chip when SG-resident; SG2-resident
+    // fractions round-trip through SG2; the rest round-trips through
+    // DRAM (L writes it, softmax reads+writes it, A reads it) plus the
+    // failed-staging penalty (§6.2.1's "one extra pass").
+    const double inter_write_events =
+        plan.logit_reuse.c_write_repeats + 1.0; // + softmax write
+    const double inter_read_events = plan.logit_reuse.c_read_repeats +
+                                     plan.attend_reuse.a_repeats +
+                                     1.0; // + softmax read
+    const double spill = stage.intermediate
+                             ? std::max(0.0, 1.0 - res.inter - res.inter2)
+                             : 1.0;
+    const double staging_penalty = stage.intermediate ? spill : 0.0;
+    t.dram_write += (spill * inter_write_events + staging_penalty) *
+                    plan.inter_bytes;
+    t.dram_read += (spill * inter_read_events + staging_penalty) *
+                   plan.inter_bytes;
+    t.sg2_write += res.inter2 * inter_write_events * plan.inter_bytes;
+    t.sg2_read += res.inter2 * inter_read_events * plan.inter_bytes;
+    return t;
+}
+
+/** SG traffic: array streaming + softmax + DRAM pass-through. */
+TrafficBytes
+plan_sg_traffic(const AttentionPlan& plan, const TrafficBytes& dram)
+{
+    TrafficBytes traffic = dram;
+    const double stream_read =
+        (plan.logit_compute.sg_read_bytes +
+         plan.logit_compute.sg_psum_read_bytes +
+         plan.attend_compute.sg_read_bytes +
+         plan.attend_compute.sg_psum_read_bytes) *
+        plan.slices;
+    const double stream_write = (plan.logit_compute.sg_write_bytes +
+                                 plan.attend_compute.sg_write_bytes) *
+                                plan.slices;
+    traffic.sg_read = stream_read + plan.inter_bytes + dram.dram_write;
+    traffic.sg_write = stream_write + plan.inter_bytes + dram.dram_read;
+    return traffic;
+}
+
+double
+plan_compute_cycles(const AttentionPlan& plan)
+{
+    return (plan.logit_compute.total_cycles() +
+            plan.attend_compute.total_cycles()) *
+           plan.slices;
+}
+
+OperatorCost
+finalize_cost(const AccelConfig& accel, const AttentionDims& dims,
+              const AttentionPlan& plan, const TrafficBytes& traffic,
+              double cycles, const char* name)
+{
+    OperatorCost cost;
+    cost.name = name;
+    cost.ideal_cycles = attention_ideal_cycles(accel, dims);
+    cost.cycles = cycles;
+    cost.live_footprint_bytes = plan.footprint;
+    cost.resident_fraction = plan.res.overall;
+    cost.activity.macs = static_cast<double>(attention_macs(dims));
+    cost.activity.sl_accesses = 3.0 * cost.activity.macs;
+    cost.activity.sfu_elems = plan.inter_bytes / accel.bytes_per_element;
+    cost.activity.traffic = traffic;
+    return cost;
+}
+
+} // namespace
+
+std::uint64_t
+attention_macs(const AttentionDims& dims)
+{
+    const std::uint64_t bh = dims.batch * dims.heads;
+    // L: N x dk x kv, A: N x kv x dk per (batch, head).
+    return 2 * bh * dims.q_len * dims.kv_len * dims.head_dim;
+}
+
+double
+attention_ideal_cycles(const AccelConfig& accel, const AttentionDims& dims)
+{
+    return static_cast<double>(attention_macs(dims)) /
+           accel.macs_per_cycle();
+}
+
+OperatorCost
+model_flat_attention(const AccelConfig& accel, const AttentionDims& dims,
+                     const FusedDataflow& dataflow)
+{
+    accel.validate();
+    const AttentionPlan plan = make_plan(accel, dims, dataflow);
+    const TrafficBytes dram = plan_dram_traffic(plan, dataflow.stage);
+    const TrafficBytes traffic = plan_sg_traffic(plan, dram);
+
+    const double softmax_cycles =
+        (plan.inter_bytes / accel.bytes_per_element) / accel.sfu_lanes;
+    const double compute = plan_compute_cycles(plan) + softmax_cycles;
+    const double offchip =
+        dram.total_dram() / accel.offchip_bytes_per_cycle();
+    const double onchip =
+        traffic.total_sg() / accel.onchip_bytes_per_cycle();
+    const double second_level =
+        accel.has_sg2()
+            ? traffic.total_sg2() / accel.sg2_bytes_per_cycle()
+            : 0.0;
+
+    // One shared overlap window: interleaved execution lets the prefetch
+    // of either stage hide under the combined compute of both.
+    const double cold_start = (plan.q_bytes + plan.k_bytes) /
+                              (plan.slices > 0.0 ? plan.slices : 1.0) /
+                              accel.offchip_bytes_per_cycle();
+    const double cycles =
+        std::max({compute, offchip, onchip, second_level}) + cold_start;
+
+    return finalize_cost(accel, dims, plan, traffic, cycles, "L-A(FLAT)");
+}
+
+OperatorCost
+model_pipelined_attention(const AccelConfig& accel,
+                          const AttentionDims& dims,
+                          const FusedDataflow& dataflow)
+{
+    accel.validate();
+    FLAT_CHECK(accel.pe_rows >= 2,
+               "pipelined execution needs an array splittable in two");
+
+    // Each stage runs on half the array (split along rows).
+    AccelConfig half = accel;
+    half.pe_rows = accel.pe_rows / 2;
+    // The halves share the SG and the memory interfaces; the plan is
+    // built against the full accelerator for footprint/residency and
+    // against the half arrays for compute.
+    const AttentionPlan plan = make_plan(accel, dims, dataflow);
+
+    const GemmComputeCost logit_half =
+        model_gemm_compute(half, plan.logit_shape, dataflow.l2_logit,
+                           dataflow.order_logit, dataflow.stat_logit);
+    const GemmComputeCost attend_half =
+        model_gemm_compute(half, plan.attend_shape, dataflow.l2_attend,
+                           dataflow.order_attend, dataflow.stat_attend);
+
+    const TrafficBytes dram = plan_dram_traffic(plan, dataflow.stage);
+    const TrafficBytes traffic = plan_sg_traffic(plan, dram);
+
+    const double off_bpc = accel.offchip_bytes_per_cycle();
+    const double on_bpc = accel.onchip_bytes_per_cycle();
+    const double softmax_cycles =
+        (plan.inter_bytes / accel.bytes_per_element) / accel.sfu_lanes;
+
+    // Steady state: the slower stage paces the pipeline (imbalance
+    // between L and A on the two half-arrays is wasted time, unlike
+    // interleaving where the full array runs both back to back). The
+    // softmax between the halves stays on the critical path.
+    const double l_cycles = logit_half.total_cycles() * plan.slices;
+    const double a_cycles = attend_half.total_cycles() * plan.slices;
+    const double stage_cycles = std::max(l_cycles, a_cycles);
+    // Pipeline fill: one slice of L (and its softmax) before A starts.
+    const double slice_fill =
+        (plan.slices > 0.0)
+            ? logit_half.total_cycles() + softmax_cycles / plan.slices
+            : 0.0;
+
+    const double second_level =
+        accel.has_sg2()
+            ? traffic.total_sg2() / accel.sg2_bytes_per_cycle()
+            : 0.0;
+    const double cycles =
+        std::max({stage_cycles + softmax_cycles,
+                  dram.total_dram() / off_bpc,
+                  traffic.total_sg() / on_bpc, second_level}) +
+        slice_fill;
+
+    OperatorCost cost = finalize_cost(accel, dims, plan, traffic, cycles,
+                                      "L-A(pipelined)");
+    return cost;
+}
+
+OperatorCost
+model_baseline_attention(const AccelConfig& accel,
+                         const AttentionDims& dims,
+                         const FusedDataflow& dataflow,
+                         BaselineOverlap overlap)
+{
+    accel.validate();
+    FLAT_CHECK(dataflow.cross.granularity != Granularity::kRow,
+               "the sequential baseline cannot execute at R-granularity; "
+               "row-chunked L-A is exactly the fusion FLAT adds (§4.2)");
+    const AttentionPlan plan = make_plan(accel, dims, dataflow);
+    const TrafficBytes dram = plan_dram_traffic(plan, dataflow.stage);
+    const TrafficBytes traffic = plan_sg_traffic(plan, dram);
+
+    // Split the pipeline into three sequential windows; each overlaps
+    // only its own transfers (no cross-stage hiding).
+    const Residency& res = plan.res;
+    const double spill =
+        dataflow.stage.intermediate
+            ? std::max(0.0, 1.0 - res.inter - res.inter2)
+            : 1.0;
+    const double staging_penalty =
+        dataflow.stage.intermediate ? spill : 0.0;
+
+    // Window 1: L. Reads Q and K, writes the intermediate.
+    const double l_compute =
+        plan.logit_compute.total_cycles() * plan.slices;
+    double l_dram =
+        split_fetches(dataflow.stage.query, res.q, res.q2,
+                      plan.logit_reuse.a_repeats)
+                .dram *
+            plan.q_bytes +
+        split_fetches(dataflow.stage.key, res.k, res.k2,
+                      plan.kv_chunks * plan.logit_reuse.b_repeats)
+                .dram *
+            plan.k_bytes +
+        (spill * (plan.logit_reuse.c_write_repeats +
+                  plan.logit_reuse.c_read_repeats) +
+         staging_penalty) *
+            plan.inter_bytes;
+
+    // Window 2: softmax round-trips the spilled fraction.
+    const double sfu_cycles =
+        (plan.inter_bytes / accel.bytes_per_element) / accel.sfu_lanes;
+    const double softmax_dram = spill * 2.0 * plan.inter_bytes;
+
+    // Window 3: A. Reads the intermediate and V, writes the output.
+    const double a_compute =
+        plan.attend_compute.total_cycles() * plan.slices;
+    double a_dram =
+        split_fetches(dataflow.stage.value, res.v, res.v2,
+                      plan.kv_chunks * plan.attend_reuse.b_repeats)
+                .dram *
+            plan.v_bytes +
+        (spill * plan.attend_reuse.a_repeats + staging_penalty) *
+            plan.inter_bytes;
+    if (dataflow.stage.output) {
+        const double spill_out =
+            std::max(0.0, 1.0 - res.out - res.out2);
+        a_dram += (res.out + res.out2 +
+                   spill_out * (plan.attend_reuse.c_write_repeats +
+                                plan.attend_reuse.c_read_repeats)) *
+                  plan.out_bytes;
+    } else {
+        a_dram += (plan.attend_reuse.c_write_repeats +
+                   plan.attend_reuse.c_read_repeats) *
+                  plan.out_bytes;
+    }
+
+    const double off_bpc = accel.offchip_bytes_per_cycle();
+    const double on_bpc = accel.onchip_bytes_per_cycle();
+    // SG2 traffic is dominated by the intermediate, produced in the L
+    // window and consumed in the A window: split its time evenly.
+    const double sg2_half =
+        accel.has_sg2()
+            ? traffic.total_sg2() / accel.sg2_bytes_per_cycle() / 2.0
+            : 0.0;
+
+    // Combine a stage's compute and transfer times per the overlap
+    // assumption.
+    const auto window = [overlap](double compute, double offchip,
+                                  double onchip) {
+        if (overlap == BaselineOverlap::kFull) {
+            return std::max({compute, offchip, onchip});
+        }
+        // Serialized: operand streaming inside the array still proceeds
+        // with compute, but off-chip transfers are not hidden.
+        return std::max(compute, onchip) + offchip;
+    };
+
+    const double window_l =
+        window(l_compute, std::max(l_dram / off_bpc, sg2_half),
+               (plan.logit_compute.sg_read_bytes +
+                plan.logit_compute.sg_write_bytes +
+                plan.logit_compute.sg_psum_read_bytes) *
+                   plan.slices / on_bpc);
+    const double window_sfu =
+        window(sfu_cycles, softmax_dram / off_bpc,
+               2.0 * plan.inter_bytes / on_bpc);
+    const double window_a =
+        window(a_compute, std::max(a_dram / off_bpc, sg2_half),
+               (plan.attend_compute.sg_read_bytes +
+                plan.attend_compute.sg_write_bytes +
+                plan.attend_compute.sg_psum_read_bytes) *
+                   plan.slices / on_bpc);
+
+    const double cold_start = (plan.q_bytes + plan.k_bytes) /
+                              (plan.slices > 0.0 ? plan.slices : 1.0) /
+                              off_bpc;
+    const double cycles = window_l + window_sfu + window_a + cold_start;
+
+    return finalize_cost(accel, dims, plan, traffic, cycles, "L-A(Base)");
+}
+
+} // namespace flat

@@ -1,0 +1,42 @@
+#include "costmodel/cost_types.h"
+
+#include <algorithm>
+
+namespace flat {
+
+TrafficBytes&
+TrafficBytes::operator+=(const TrafficBytes& other)
+{
+    dram_read += other.dram_read;
+    dram_write += other.dram_write;
+    sg_read += other.sg_read;
+    sg_write += other.sg_write;
+    sg2_read += other.sg2_read;
+    sg2_write += other.sg2_write;
+    return *this;
+}
+
+ActivityCounts&
+ActivityCounts::operator+=(const ActivityCounts& other)
+{
+    macs += other.macs;
+    sl_accesses += other.sl_accesses;
+    sfu_elems += other.sfu_elems;
+    traffic += other.traffic;
+    return *this;
+}
+
+OperatorCost&
+OperatorCost::operator+=(const OperatorCost& other)
+{
+    cycles += other.cycles;
+    ideal_cycles += other.ideal_cycles;
+    live_footprint_bytes =
+        std::max(live_footprint_bytes, other.live_footprint_bytes);
+    resident_fraction = std::min(resident_fraction,
+                                 other.resident_fraction);
+    activity += other.activity;
+    return *this;
+}
+
+} // namespace flat

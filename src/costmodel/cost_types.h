@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Result types of the performance model: traffic, activity counts and
+ * per-operator cost reports (Figure 6(b) outputs).
+ */
+#ifndef FLAT_COSTMODEL_COST_TYPES_H
+#define FLAT_COSTMODEL_COST_TYPES_H
+
+#include <cstdint>
+#include <string>
+
+namespace flat {
+
+/** Byte traffic at the two memory interfaces. */
+struct TrafficBytes {
+    double dram_read = 0.0;  ///< DRAM -> SG
+    double dram_write = 0.0; ///< SG -> DRAM
+    double sg_read = 0.0;    ///< SG -> PE array / SFU
+    double sg_write = 0.0;   ///< PE array / SFU -> SG
+    double sg2_read = 0.0;   ///< SG2 -> SG (second-level buffer)
+    double sg2_write = 0.0;  ///< SG -> SG2
+
+    double total_dram() const { return dram_read + dram_write; }
+    double total_sg() const { return sg_read + sg_write; }
+    double total_sg2() const { return sg2_read + sg2_write; }
+
+    TrafficBytes& operator+=(const TrafficBytes& other);
+};
+
+/** Activity counts feeding the Accelergy-style energy model. */
+struct ActivityCounts {
+    double macs = 0.0;        ///< multiply-accumulates on the PE array
+    double sl_accesses = 0.0; ///< per-PE scratchpad accesses (elements)
+    double sfu_elems = 0.0;   ///< elements processed by the SFU
+    TrafficBytes traffic;
+
+    ActivityCounts& operator+=(const ActivityCounts& other);
+};
+
+/** Cost report for one operator (or one fused operator pair). */
+struct OperatorCost {
+    std::string name;
+
+    /** Modeled runtime in accelerator cycles. */
+    double cycles = 0.0;
+
+    /** Ideal runtime: MACs / #PEs with no stalls (§6.1). Softmax-only
+     *  operators use SFU-ideal time instead. */
+    double ideal_cycles = 0.0;
+
+    /** Live SG footprint demanded by the dataflow, in bytes. */
+    std::uint64_t live_footprint_bytes = 0;
+
+    /** Fraction of the staged working set resident in SG ([0,1]; 1 when
+     *  the footprint fits, lower when the spill model kicks in). */
+    double resident_fraction = 1.0;
+
+    ActivityCounts activity;
+
+    /** Compute-resource utilization: ideal / actual (<= 1). */
+    double util() const
+    {
+        return (cycles > 0.0) ? ideal_cycles / cycles : 0.0;
+    }
+
+    /** Accumulates another cost (sequential execution). */
+    OperatorCost& operator+=(const OperatorCost& other);
+};
+
+} // namespace flat
+
+#endif // FLAT_COSTMODEL_COST_TYPES_H

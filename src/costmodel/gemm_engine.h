@@ -1,0 +1,76 @@
+/**
+ * @file
+ * PE-array mapping model for one GEMM: compute cycles (with array edge
+ * effects), tile-switch fill/drain overhead, and SG<->array streaming
+ * volume, for each stationarity choice (§5.3.1 "Compute Model").
+ */
+#ifndef FLAT_COSTMODEL_GEMM_ENGINE_H
+#define FLAT_COSTMODEL_GEMM_ENGINE_H
+
+#include <cstdint>
+
+#include "arch/accel_config.h"
+#include "dataflow/tiling.h"
+#include "workload/gemm_shape.h"
+
+namespace flat {
+
+/** Compute-side cost of streaming one GEMM instance through the array. */
+struct GemmComputeCost {
+    /** Pure MAC cycles, including array under-utilization at tile and
+     *  array edges. */
+    double compute_cycles = 0.0;
+
+    /** Additional cycles spent filling/draining the array on tile
+     *  switches (cold start + tail, per the NoC model). */
+    double fill_drain_cycles = 0.0;
+
+    /** Number of L2-tile activations (array reconfigurations). */
+    std::uint64_t tile_switches = 0;
+
+    /** SG->array operand streaming volume in bytes. */
+    double sg_read_bytes = 0.0;
+
+    /** array->SG result volume in bytes (includes partial-sum spills
+     *  when the reduction loop is not innermost). */
+    double sg_write_bytes = 0.0;
+
+    /** array<-SG partial-sum re-reads in bytes. */
+    double sg_psum_read_bytes = 0.0;
+
+    double total_cycles() const
+    {
+        return compute_cycles + fill_drain_cycles;
+    }
+};
+
+/**
+ * Models one GEMM instance executed with L2 tiles of @p tile shape, SG
+ * tile loop order @p order and @p stationarity on @p accel's PE array.
+ *
+ * The returned cost covers ONE instance; callers scale by the instance
+ * count of the operator.
+ */
+GemmComputeCost model_gemm_compute(const AccelConfig& accel,
+                                   const GemmShape& shape,
+                                   const L2Tile& tile, LoopOrder order,
+                                   Stationarity stationarity);
+
+/**
+ * Ideal cycles for @p macs MACs on @p accel (all PEs busy every cycle).
+ */
+double ideal_gemm_cycles(const AccelConfig& accel, std::uint64_t macs);
+
+/**
+ * Picks an L2 tile matched to the PE array shape and an SG budget: tile
+ * dims are multiples of the array dims where possible, sized so that two
+ * copies of each operand tile (double buffering) fit in @p sg_budget.
+ * Used as the default intra-operator dataflow.
+ */
+L2Tile default_l2_tile(const AccelConfig& accel, const GemmShape& shape,
+                       std::uint64_t sg_budget_bytes,
+                       Stationarity stationarity);
+
+} // namespace flat
+
+#endif // FLAT_COSTMODEL_GEMM_ENGINE_H

@@ -1,0 +1,154 @@
+#include "costmodel/operator_cost.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/status.h"
+#include "costmodel/gemm_engine.h"
+#include "dataflow/reuse.h"
+
+namespace flat {
+
+double
+effective_fetches(bool staged, double resident_fraction,
+                  double unstaged_fetches)
+{
+    if (!staged) {
+        return unstaged_fetches;
+    }
+    const double rho = std::clamp(resident_fraction, 0.0, 1.0);
+    // Resident part: fetched once. Spilled part: behaves like streaming
+    // plus the wasted staging attempt (the "one extra pass" of §6.2.1).
+    return rho * 1.0 + (1.0 - rho) * (unstaged_fetches + 1.0);
+}
+
+OperatorCost
+model_gemm_operator(const AccelConfig& accel, const Operator& op,
+                    const OperatorDataflow& dataflow)
+{
+    FLAT_CHECK(op.kind == OpKind::kGemm,
+               op.name << ": model_gemm_operator needs a GEMM");
+    accel.validate();
+    dataflow.validate();
+    const GemmShape& shape = op.gemm;
+    const std::uint32_t bpe = accel.bytes_per_element;
+
+    OperatorCost cost;
+    cost.name = op.name;
+    cost.ideal_cycles = ideal_gemm_cycles(accel, shape.macs());
+    cost.live_footprint_bytes =
+        operator_live_footprint(dataflow, shape, bpe);
+    cost.resident_fraction =
+        std::min(1.0, static_cast<double>(accel.sg_bytes) /
+                          static_cast<double>(cost.live_footprint_bytes));
+
+    // Per-instance compute on the PE array.
+    const L2Tile tile = dataflow.l2.clamped(shape);
+    const GemmComputeCost compute = model_gemm_compute(
+        accel, shape, tile, dataflow.order, dataflow.stationarity);
+
+    const double instances = static_cast<double>(shape.instances);
+    const double compute_cycles =
+        (compute.compute_cycles + compute.fill_drain_cycles) * instances;
+
+    // DRAM traffic. Reuse analysis yields fetch events per instance;
+    // staging (L3/FLAT-tile) collapses them to one, subject to spill.
+    const ReuseCounts reuse =
+        analyze_reuse(dataflow.order, tile.trips_m(shape),
+                      tile.trips_k(shape), tile.trips_n(shape));
+    const double rho = cost.resident_fraction;
+
+    const double a_repeats = static_cast<double>(reuse.a_fetches) /
+                             (tile.trips_m(shape) * tile.trips_k(shape));
+    const double b_repeats = static_cast<double>(reuse.b_fetches) /
+                             (tile.trips_k(shape) * tile.trips_n(shape));
+    const double c_write_repeats =
+        static_cast<double>(reuse.c_writes) / reuse.c_tiles;
+    const double c_read_repeats =
+        static_cast<double>(reuse.c_reads) / reuse.c_tiles;
+
+    const double a_bytes_total =
+        static_cast<double>(shape.a_elems_total()) * bpe;
+    const double b_bytes_total =
+        static_cast<double>(shape.b_elems_total()) * bpe;
+    const double c_bytes_total =
+        static_cast<double>(shape.c_elems_total()) * bpe;
+
+    TrafficBytes dram;
+    dram.dram_read =
+        effective_fetches(dataflow.l3.a, rho, a_repeats) * a_bytes_total +
+        effective_fetches(dataflow.l3.b, rho, b_repeats) * b_bytes_total;
+    // Output: writes always happen at least once; partial-sum re-reads
+    // stay on-chip when the output is staged and resident.
+    if (dataflow.l3.c) {
+        dram.dram_write =
+            (rho * 1.0 + (1.0 - rho) * c_write_repeats) * c_bytes_total;
+        dram.dram_read += (1.0 - rho) * c_read_repeats * c_bytes_total;
+    } else {
+        dram.dram_write = c_write_repeats * c_bytes_total;
+        dram.dram_read += c_read_repeats * c_bytes_total;
+    }
+
+    // On-chip traffic: operand streaming into the array plus the DRAM
+    // transfers landing in / leaving SG.
+    TrafficBytes traffic = dram;
+    traffic.sg_read = (compute.sg_read_bytes + compute.sg_psum_read_bytes) *
+                          instances +
+                      dram.dram_write; // SG read on the way out to DRAM
+    traffic.sg_write = compute.sg_write_bytes * instances +
+                       dram.dram_read; // SG write on the way in from DRAM
+
+    // Steady-state overlap: slowest of compute / off-chip / on-chip.
+    const double offchip_cycles =
+        dram.total_dram() / accel.offchip_bytes_per_cycle();
+    const double onchip_cycles =
+        traffic.total_sg() / accel.onchip_bytes_per_cycle();
+    const double cold_start =
+        static_cast<double>(tile.a_bytes(bpe) + tile.b_bytes(bpe)) /
+        accel.offchip_bytes_per_cycle();
+
+    cost.cycles = std::max({compute_cycles, offchip_cycles,
+                            onchip_cycles}) +
+                  cold_start;
+
+    cost.activity.macs = static_cast<double>(shape.macs());
+    // Each MAC reads two operands from and accumulates into the SL.
+    cost.activity.sl_accesses = 3.0 * cost.activity.macs;
+    cost.activity.traffic = traffic;
+    return cost;
+}
+
+OperatorCost
+model_baseline_softmax(const AccelConfig& accel, const Operator& op,
+                       double resident_fraction)
+{
+    FLAT_CHECK(op.kind == OpKind::kSoftmax,
+               op.name << ": model_baseline_softmax needs a softmax");
+    const double rho = std::clamp(resident_fraction, 0.0, 1.0);
+    const double elems = static_cast<double>(op.output_elems());
+    const double bytes = elems * accel.bytes_per_element;
+
+    OperatorCost cost;
+    cost.name = op.name;
+    // Ideal time for the SFU work itself.
+    cost.ideal_cycles = elems / accel.sfu_lanes;
+
+    TrafficBytes traffic;
+    traffic.dram_read = (1.0 - rho) * bytes;
+    traffic.dram_write = (1.0 - rho) * bytes;
+    traffic.sg_read = bytes;
+    traffic.sg_write = bytes;
+
+    const double sfu_cycles = elems / accel.sfu_lanes;
+    const double offchip_cycles =
+        traffic.total_dram() / accel.offchip_bytes_per_cycle();
+    const double onchip_cycles =
+        traffic.total_sg() / accel.onchip_bytes_per_cycle();
+    cost.cycles = std::max({sfu_cycles, offchip_cycles, onchip_cycles});
+
+    cost.activity.sfu_elems = elems;
+    cost.activity.traffic = traffic;
+    return cost;
+}
+
+} // namespace flat

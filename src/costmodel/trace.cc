@@ -1,0 +1,120 @@
+#include "costmodel/trace.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/string_util.h"
+#include "costmodel/attention_cost.h"
+#include "costmodel/gemm_engine.h"
+
+namespace flat {
+
+ExecutionTrace
+trace_flat_attention(const AccelConfig& accel, const AttentionDims& dims,
+                     const FusedDataflow& dataflow)
+{
+    accel.validate();
+    dims.validate();
+    dataflow.validate();
+
+    const CrossLoopExtent extent = cross_loop_extent(
+        dataflow.cross, dims.batch, dims.heads, dims.q_len);
+    const double passes = static_cast<double>(extent.passes);
+    const double inst = static_cast<double>(extent.instances_per_pass);
+    const double rows = static_cast<double>(extent.rows_per_pass);
+
+    GemmShape logit_shape;
+    logit_shape.m = extent.rows_per_pass;
+    logit_shape.k = dims.head_dim;
+    logit_shape.n = dims.kv_len;
+    GemmShape attend_shape;
+    attend_shape.m = extent.rows_per_pass;
+    attend_shape.k = dims.kv_len;
+    attend_shape.n = dims.head_dim;
+
+    const GemmComputeCost logit = model_gemm_compute(
+        accel, logit_shape, dataflow.l2_logit, dataflow.order_logit,
+        dataflow.stat_logit);
+    const GemmComputeCost attend = model_gemm_compute(
+        accel, attend_shape, dataflow.l2_attend, dataflow.order_attend,
+        dataflow.stat_attend);
+
+    const OperatorCost total = model_flat_attention(accel, dims, dataflow);
+    const TrafficBytes& traffic = total.activity.traffic;
+
+    ExecutionTrace trace;
+    trace.dataflow_tag = dataflow.tag();
+    trace.passes = passes;
+    trace.total_cycles = total.cycles;
+    trace.pass_cycles = total.cycles / std::max(1.0, passes);
+
+    const double l_cycles = logit.total_cycles() * inst;
+    const double a_cycles = attend.total_cycles() * inst;
+    const double softmax_cycles =
+        rows * static_cast<double>(dims.kv_len) * inst / accel.sfu_lanes;
+    const double prefetch_cycles =
+        traffic.dram_read / std::max(1.0, passes) /
+        accel.offchip_bytes_per_cycle();
+    const double writeback_cycles =
+        traffic.dram_write / std::max(1.0, passes) /
+        accel.offchip_bytes_per_cycle();
+
+    trace.phases.push_back(
+        {"prefetch (DRAM->SG, overlapped)", prefetch_cycles, false});
+    trace.phases.push_back({"L: logits slice GEMM", l_cycles, true});
+    trace.phases.push_back({"softmax on SFU", softmax_cycles, true});
+    trace.phases.push_back({"A: attend slice GEMM", a_cycles, true});
+    trace.phases.push_back(
+        {"writeback (SG->DRAM, overlapped)", writeback_cycles, false});
+
+    // What paces a pass: the serial compute chain or a transfer stream.
+    const double compute_chain = l_cycles + softmax_cycles + a_cycles;
+    const double offchip = (prefetch_cycles + writeback_cycles);
+    const double onchip = traffic.total_sg() / std::max(1.0, passes) /
+                          accel.onchip_bytes_per_cycle();
+    const double second = accel.has_sg2()
+                              ? traffic.total_sg2() /
+                                    std::max(1.0, passes) /
+                                    accel.sg2_bytes_per_cycle()
+                              : 0.0;
+    const double pace =
+        std::max({compute_chain, offchip, onchip, second});
+    if (pace == compute_chain) {
+        trace.bound_by = "compute";
+    } else if (pace == offchip) {
+        trace.bound_by = "off-chip BW";
+    } else if (pace == onchip) {
+        trace.bound_by = "on-chip BW";
+    } else {
+        trace.bound_by = "SG2 BW";
+    }
+    return trace;
+}
+
+std::string
+ExecutionTrace::render(std::size_t width) const
+{
+    double max_cycles = 1.0;
+    for (const TracePhase& phase : phases) {
+        max_cycles = std::max(max_cycles, phase.cycles);
+    }
+    std::string out;
+    out += strprintf("dataflow %s — %.0f passes, %s-bound\n",
+                     dataflow_tag.c_str(), passes, bound_by.c_str());
+    out += strprintf("one steady-state pass (~%.0f cycles):\n",
+                     pass_cycles);
+    for (const TracePhase& phase : phases) {
+        const std::size_t bar_len = static_cast<std::size_t>(
+            std::lround(width * phase.cycles / max_cycles));
+        std::string bar(bar_len, phase.on_critical_path ? '#' : '~');
+        out += strprintf("  %-34s |%-*s| %.0f\n", phase.label.c_str(),
+                         static_cast<int>(width), bar.c_str(),
+                         phase.cycles);
+    }
+    out += strprintf("total: %.3g cycles ('#' serial on the array/SFU, "
+                     "'~' overlapped transfers)\n",
+                     total_cycles);
+    return out;
+}
+
+} // namespace flat

@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Execution trace: expands the fused L-A cost model's aggregate answer
+ * into a per-pass timeline (prefetch / Logit / softmax / Attend /
+ * writeback), showing what overlaps what and which resource paces each
+ * pass. Diagnostic view of §4.3's walk-through example.
+ */
+#ifndef FLAT_COSTMODEL_TRACE_H
+#define FLAT_COSTMODEL_TRACE_H
+
+#include <string>
+#include <vector>
+
+#include "arch/accel_config.h"
+#include "dataflow/fused_dataflow.h"
+
+namespace flat {
+
+/** One phase of a steady-state cross-loop pass. */
+struct TracePhase {
+    std::string label;
+    double cycles = 0.0;
+
+    /** True if the phase occupies the PE array / SFU serially; false
+     *  if it overlaps with compute (double-buffered transfers). */
+    bool on_critical_path = true;
+};
+
+/** Timeline of the fused operator at one cross-loop pass granularity. */
+struct ExecutionTrace {
+    std::string dataflow_tag;
+    double passes = 0.0;
+
+    /** Phases of one steady-state pass, execution order. */
+    std::vector<TracePhase> phases;
+
+    /** Critical-path cycles of one pass. */
+    double pass_cycles = 0.0;
+
+    /** Which resource paces the pass: "compute", "off-chip BW",
+     *  "on-chip BW" or "SG2 BW". */
+    std::string bound_by;
+
+    /** Total cycles over all passes (matches the cost model's answer
+     *  up to the cold start). */
+    double total_cycles = 0.0;
+
+    /** ASCII rendering: one bar per phase, widths proportional. */
+    std::string render(std::size_t width = 56) const;
+};
+
+/** Builds the trace for the FLAT (interleaved) execution. */
+ExecutionTrace trace_flat_attention(const AccelConfig& accel,
+                                    const AttentionDims& dims,
+                                    const FusedDataflow& dataflow);
+
+} // namespace flat
+
+#endif // FLAT_COSTMODEL_TRACE_H

@@ -1,0 +1,72 @@
+#include "dataflow/granularity.h"
+
+#include "common/math_util.h"
+#include "common/status.h"
+#include "common/string_util.h"
+
+namespace flat {
+
+std::string
+to_string(Granularity granularity)
+{
+    switch (granularity) {
+      case Granularity::kMulti: return "M";
+      case Granularity::kBatch: return "B";
+      case Granularity::kHead: return "H";
+      case Granularity::kRow: return "R";
+    }
+    return "?";
+}
+
+std::string
+CrossLoop::tag() const
+{
+    if (granularity == Granularity::kRow) {
+        return strprintf("R%llu", static_cast<unsigned long long>(rows));
+    }
+    return to_string(granularity);
+}
+
+void
+CrossLoop::validate() const
+{
+    if (granularity == Granularity::kRow) {
+        FLAT_CHECK(rows > 0, "R-Gran requires a positive row-tile size");
+    }
+}
+
+CrossLoopExtent
+cross_loop_extent(const CrossLoop& cross, std::uint64_t batch,
+                  std::uint64_t heads, std::uint64_t query_rows)
+{
+    cross.validate();
+    FLAT_CHECK(batch > 0 && heads > 0 && query_rows > 0,
+               "cross-loop extent needs positive dimensions");
+
+    CrossLoopExtent extent;
+    switch (cross.granularity) {
+      case Granularity::kMulti:
+        extent.passes = 1;
+        extent.instances_per_pass = batch * heads;
+        extent.rows_per_pass = query_rows;
+        break;
+      case Granularity::kBatch:
+        extent.passes = batch;
+        extent.instances_per_pass = heads;
+        extent.rows_per_pass = query_rows;
+        break;
+      case Granularity::kHead:
+        extent.passes = batch * heads;
+        extent.instances_per_pass = 1;
+        extent.rows_per_pass = query_rows;
+        break;
+      case Granularity::kRow:
+        extent.passes = batch * heads * ceil_div(query_rows, cross.rows);
+        extent.instances_per_pass = 1;
+        extent.rows_per_pass = std::min(cross.rows, query_rows);
+        break;
+    }
+    return extent;
+}
+
+} // namespace flat

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Execution granularity of the FLAT-tile / L3 staging level (§4.2.2).
+ *
+ * The cross-operator (outer) loop iterates over units of work whose
+ * intermediate-tensor slice is staged on-chip. From coarsest to finest:
+ * Batch-Multi-Head (the whole tensor), Batch, Head, and Row (R rows of
+ * one head's logits — the finest unit that keeps the softmax row
+ * reduction intact).
+ */
+#ifndef FLAT_DATAFLOW_GRANULARITY_H
+#define FLAT_DATAFLOW_GRANULARITY_H
+
+#include <cstdint>
+#include <string>
+
+namespace flat {
+
+/** FLAT-tile granularity (M/B/H/R-Gran in the paper). */
+enum class Granularity {
+    kMulti, ///< M-Gran: whole batched multi-head tensor in one pass
+    kBatch, ///< B-Gran: one batch sample (all heads) per pass
+    kHead,  ///< H-Gran: one head per pass
+    kRow,   ///< R-Gran: R logits rows of one head per pass
+};
+
+std::string to_string(Granularity granularity);
+
+/** Cross-loop (outer loop) configuration of the fused operator. */
+struct CrossLoop {
+    Granularity granularity = Granularity::kMulti;
+
+    /** Row-tile size R; meaningful only for R-Gran (must divide work in
+     *  ceil fashion, any positive value allowed). */
+    std::uint64_t rows = 0;
+
+    /** Human-readable tag, e.g. "M", "B", "H", "R64". */
+    std::string tag() const;
+
+    /** Throws flat::Error if R-Gran lacks a positive row count. */
+    void validate() const;
+};
+
+/**
+ * Work covered by a single cross-loop pass and the number of passes for
+ * a workload of @p batch samples, @p heads heads and @p query_rows
+ * logits rows per head.
+ */
+struct CrossLoopExtent {
+    std::uint64_t passes = 1;             ///< cross-loop trip count
+    std::uint64_t instances_per_pass = 1; ///< (batch x head) slices staged
+    std::uint64_t rows_per_pass = 1;      ///< logits rows staged per slice
+};
+
+/** Computes the cross-loop extent for the given workload dimensions. */
+CrossLoopExtent cross_loop_extent(const CrossLoop& cross,
+                                  std::uint64_t batch, std::uint64_t heads,
+                                  std::uint64_t query_rows);
+
+} // namespace flat
+
+#endif // FLAT_DATAFLOW_GRANULARITY_H

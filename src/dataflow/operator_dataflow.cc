@@ -1,0 +1,82 @@
+#include "dataflow/operator_dataflow.h"
+
+#include "common/status.h"
+#include "common/string_util.h"
+
+namespace flat {
+
+std::string
+L3StageFlags::tag() const
+{
+    std::string out;
+    out += a ? 'A' : '-';
+    out += b ? 'B' : '-';
+    out += c ? 'C' : '-';
+    return out;
+}
+
+std::string
+OperatorDataflow::tag() const
+{
+    std::string out = l2.tag();
+    out += "/" + to_string(order);
+    out += "/" + to_string(stationarity);
+    if (l3.any()) {
+        out += "/L3:" + cross.tag() + ":" + l3.tag();
+    }
+    return out;
+}
+
+void
+OperatorDataflow::validate() const
+{
+    l2.validate();
+    cross.validate();
+}
+
+std::uint64_t
+operator_live_footprint(const OperatorDataflow& dataflow,
+                        const GemmShape& shape,
+                        std::uint32_t bytes_per_element)
+{
+    dataflow.validate();
+    shape.validate();
+
+    const L2Tile tile = dataflow.l2.clamped(shape);
+    const CrossLoopExtent extent =
+        cross_loop_extent(dataflow.cross, 1, shape.instances, shape.m);
+    // For a single operator the "instances per pass" is how many GEMM
+    // instances are staged together at the chosen granularity.
+    const std::uint64_t staged_instances = extent.instances_per_pass;
+
+    std::uint64_t bytes = 0;
+    // Staged tensors hold the whole per-pass slice, double buffered.
+    // Weight operands are shared across instances.
+    auto staged_size = [&](std::uint64_t per_instance_elems,
+                           OperandKind kind) {
+        const std::uint64_t inst =
+            (kind == OperandKind::kWeight) ? 1 : staged_instances;
+        return 2 * per_instance_elems * inst * bytes_per_element;
+    };
+
+    if (dataflow.l3.a) {
+        const std::uint64_t rows = extent.rows_per_pass;
+        bytes += staged_size(rows * shape.k, shape.a_kind);
+    } else {
+        bytes += 2 * tile.a_bytes(bytes_per_element);
+    }
+    if (dataflow.l3.b) {
+        bytes += staged_size(shape.b_elems(), shape.b_kind);
+    } else {
+        bytes += 2 * tile.b_bytes(bytes_per_element);
+    }
+    if (dataflow.l3.c) {
+        const std::uint64_t rows = extent.rows_per_pass;
+        bytes += staged_size(rows * shape.n, OperandKind::kActivation);
+    } else {
+        bytes += 2 * tile.c_bytes(bytes_per_element);
+    }
+    return bytes;
+}
+
+} // namespace flat

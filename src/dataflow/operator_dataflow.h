@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Dataflow configuration of a single (non-fused) operator: intra-operator
+ * L2 tiling, SG-level loop order, PE-array stationarity, and the optional
+ * L3 staging tile with per-tensor enable flags (Base / Base-X in Fig. 7b).
+ */
+#ifndef FLAT_DATAFLOW_OPERATOR_DATAFLOW_H
+#define FLAT_DATAFLOW_OPERATOR_DATAFLOW_H
+
+#include <cstdint>
+#include <string>
+
+#include "dataflow/granularity.h"
+#include "dataflow/tiling.h"
+#include "workload/gemm_shape.h"
+
+namespace flat {
+
+/** Per-tensor L3 staging choices for one operator. */
+struct L3StageFlags {
+    bool a = false; ///< stage the full (per-pass) A operand in SG
+    bool b = false; ///< stage the full (per-pass) B operand in SG
+    bool c = false; ///< stage the full (per-pass) C output in SG
+
+    bool any() const { return a || b || c; }
+
+    std::string tag() const;
+};
+
+/** Complete dataflow description of one non-fused operator. */
+struct OperatorDataflow {
+    L2Tile l2;
+    LoopOrder order = LoopOrder::kMKN;
+    Stationarity stationarity = Stationarity::kOutputStationary;
+
+    /** L3 staging granularity over GEMM instances. Base has no L3 tile
+     *  (flags all false); Base-X sets flags with X granularity. */
+    CrossLoop cross;
+    L3StageFlags l3;
+
+    std::string tag() const;
+
+    void validate() const;
+};
+
+/**
+ * Live SG footprint in bytes of running @p shape with @p dataflow
+ * (Table 1 / §3.2 "live memory footprint" for single operators).
+ *
+ * Staged tensors occupy their full per-pass size, double-buffered
+ * (they exchange data with off-chip memory); non-staged tensors occupy
+ * two L2 tiles (active + prefetch).
+ */
+std::uint64_t operator_live_footprint(const OperatorDataflow& dataflow,
+                                      const GemmShape& shape,
+                                      std::uint32_t bytes_per_element);
+
+} // namespace flat
+
+#endif // FLAT_DATAFLOW_OPERATOR_DATAFLOW_H

@@ -1,0 +1,129 @@
+#include "dataflow/tiling.h"
+
+#include <algorithm>
+
+#include "common/math_util.h"
+#include "common/status.h"
+#include "common/string_util.h"
+
+namespace flat {
+
+std::string
+to_string(Stationarity stationarity)
+{
+    switch (stationarity) {
+      case Stationarity::kWeightStationary: return "WS";
+      case Stationarity::kInputStationary: return "IS";
+      case Stationarity::kOutputStationary: return "OS";
+    }
+    return "?";
+}
+
+std::string
+to_string(LoopOrder order)
+{
+    switch (order) {
+      case LoopOrder::kMKN: return "mkn";
+      case LoopOrder::kMNK: return "mnk";
+      case LoopOrder::kKMN: return "kmn";
+      case LoopOrder::kKNM: return "knm";
+      case LoopOrder::kNMK: return "nmk";
+      case LoopOrder::kNKM: return "nkm";
+    }
+    return "?";
+}
+
+void
+loop_order_dims(LoopOrder order, Dim out[3])
+{
+    switch (order) {
+      case LoopOrder::kMKN:
+        out[0] = Dim::kM; out[1] = Dim::kK; out[2] = Dim::kN;
+        return;
+      case LoopOrder::kMNK:
+        out[0] = Dim::kM; out[1] = Dim::kN; out[2] = Dim::kK;
+        return;
+      case LoopOrder::kKMN:
+        out[0] = Dim::kK; out[1] = Dim::kM; out[2] = Dim::kN;
+        return;
+      case LoopOrder::kKNM:
+        out[0] = Dim::kK; out[1] = Dim::kN; out[2] = Dim::kM;
+        return;
+      case LoopOrder::kNMK:
+        out[0] = Dim::kN; out[1] = Dim::kM; out[2] = Dim::kK;
+        return;
+      case LoopOrder::kNKM:
+        out[0] = Dim::kN; out[1] = Dim::kK; out[2] = Dim::kM;
+        return;
+    }
+    FLAT_ASSERT(false, "unreachable loop order");
+}
+
+L2Tile
+L2Tile::clamped(const GemmShape& shape) const
+{
+    L2Tile t;
+    t.m = std::min<std::uint64_t>(m, shape.m);
+    t.k = std::min<std::uint64_t>(k, shape.k);
+    t.n = std::min<std::uint64_t>(n, shape.n);
+    return t;
+}
+
+std::uint64_t
+L2Tile::a_bytes(std::uint32_t bytes_per_element) const
+{
+    return m * k * bytes_per_element;
+}
+
+std::uint64_t
+L2Tile::b_bytes(std::uint32_t bytes_per_element) const
+{
+    return k * n * bytes_per_element;
+}
+
+std::uint64_t
+L2Tile::c_bytes(std::uint32_t bytes_per_element) const
+{
+    return m * n * bytes_per_element;
+}
+
+std::uint64_t
+L2Tile::trips_m(const GemmShape& shape) const
+{
+    return ceil_div(shape.m, m);
+}
+
+std::uint64_t
+L2Tile::trips_k(const GemmShape& shape) const
+{
+    return ceil_div(shape.k, k);
+}
+
+std::uint64_t
+L2Tile::trips_n(const GemmShape& shape) const
+{
+    return ceil_div(shape.n, n);
+}
+
+std::uint64_t
+L2Tile::total_trips(const GemmShape& shape) const
+{
+    return trips_m(shape) * trips_k(shape) * trips_n(shape);
+}
+
+std::string
+L2Tile::tag() const
+{
+    return strprintf("%llux%llux%llu", static_cast<unsigned long long>(m),
+                     static_cast<unsigned long long>(k),
+                     static_cast<unsigned long long>(n));
+}
+
+void
+L2Tile::validate() const
+{
+    FLAT_CHECK(m > 0 && k > 0 && n > 0,
+               "L2 tile dims must be positive, got " << tag());
+}
+
+} // namespace flat

@@ -1,0 +1,104 @@
+#include "dse/candidates.h"
+
+#include <algorithm>
+#include <set>
+#include <tuple>
+
+#include "common/math_util.h"
+#include "costmodel/gemm_engine.h"
+
+namespace flat {
+
+std::vector<L2Tile>
+tile_candidates(const AccelConfig& accel, const GemmShape& shape,
+                const CandidateOptions& options, Stationarity stationarity)
+{
+    std::vector<L2Tile> out;
+    std::set<std::tuple<std::uint64_t, std::uint64_t, std::uint64_t>> seen;
+    for (double fraction : options.tile_budget_fractions) {
+        const auto budget = static_cast<std::uint64_t>(
+            std::max(1.0, fraction * static_cast<double>(accel.sg_bytes)));
+        const L2Tile tile =
+            default_l2_tile(accel, shape, budget, stationarity)
+                .clamped(shape);
+        if (seen.insert({tile.m, tile.k, tile.n}).second) {
+            out.push_back(tile);
+        }
+    }
+    return out;
+}
+
+std::vector<std::uint64_t>
+row_tile_candidates(const AccelConfig& accel, std::uint64_t q_len,
+                    const CandidateOptions& options)
+{
+    std::vector<std::uint64_t> raw = options.row_candidates;
+    if (raw.empty()) {
+        // Multiples of the array height amortize the spatial folding.
+        const std::uint64_t base = accel.pe_rows;
+        raw = {base / 2, base, 2 * base, 4 * base, 8 * base};
+    }
+    std::set<std::uint64_t> dedup;
+    for (std::uint64_t r : raw) {
+        if (r == 0) {
+            continue;
+        }
+        dedup.insert(std::min<std::uint64_t>(r, q_len));
+    }
+    return {dedup.begin(), dedup.end()};
+}
+
+std::vector<CrossLoop>
+cross_loop_candidates(const AccelConfig& accel, std::uint64_t q_len,
+                      const CandidateOptions& opt, bool include_row)
+{
+    std::vector<CrossLoop> out;
+    out.push_back({Granularity::kMulti, 0});
+    out.push_back({Granularity::kBatch, 0});
+    out.push_back({Granularity::kHead, 0});
+    if (include_row) {
+        for (std::uint64_t r : row_tile_candidates(accel, q_len, opt)) {
+            out.push_back({Granularity::kRow, r});
+        }
+    }
+    return out;
+}
+
+std::vector<LoopOrder>
+loop_order_candidates(const CandidateOptions& opt)
+{
+    if (!opt.loop_orders.empty()) {
+        return opt.loop_orders;
+    }
+    // Keep the reduction loop innermost (accumulate in the array) in two
+    // variants plus one k-outermost order for contrast.
+    return {LoopOrder::kMNK, LoopOrder::kNMK, LoopOrder::kKMN};
+}
+
+std::vector<Stationarity>
+stationarity_candidates(const CandidateOptions& opt)
+{
+    if (!opt.stationarities.empty()) {
+        return opt.stationarities;
+    }
+    return {Stationarity::kOutputStationary,
+            Stationarity::kWeightStationary,
+            Stationarity::kInputStationary};
+}
+
+std::vector<FusedStageFlags>
+stage_flag_candidates(const CandidateOptions& opt)
+{
+    std::vector<FusedStageFlags> out;
+    if (!opt.sweep_stage_flags) {
+        out.push_back(FusedStageFlags{});
+        return out;
+    }
+    out.reserve(32);
+    for (std::uint32_t code = 0; code < 32; ++code) {
+        out.push_back(FusedStageFlags::decode(code));
+    }
+    return out;
+}
+
+} // namespace flat

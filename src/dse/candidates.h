@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Candidate enumeration for the DSE framework (§5.3.3): tile-size menus,
+ * loop orders, stationarities, FLAT-tile granularities and staging-flag
+ * combinations. Each combination is one design point (Figure 6(a)).
+ */
+#ifndef FLAT_DSE_CANDIDATES_H
+#define FLAT_DSE_CANDIDATES_H
+
+#include <cstdint>
+#include <vector>
+
+#include "arch/accel_config.h"
+#include "dataflow/fused_dataflow.h"
+#include "dataflow/tiling.h"
+#include "workload/gemm_shape.h"
+
+namespace flat {
+
+/** Knobs bounding the enumeration (defaults give a ~10^5-point space). */
+struct CandidateOptions {
+    /** Fractions of the SG used as budgets for the L2 tile menu. */
+    std::vector<double> tile_budget_fractions = {1.0 / 16, 1.0 / 4,
+                                                 1.0 / 2};
+
+    /** Row-tile candidates for R-Gran (clamped to the sequence length
+     *  and deduplicated). Empty => derived from the PE array. */
+    std::vector<std::uint64_t> row_candidates;
+
+    /** Loop orders tried per stage (empty => a pruned default set). */
+    std::vector<LoopOrder> loop_orders;
+
+    /** Stationarities tried per stage (empty => all three). */
+    std::vector<Stationarity> stationarities;
+
+    /** Include all 32 staging-flag combinations; when false only the
+     *  all-enabled setting is used. */
+    bool sweep_stage_flags = true;
+};
+
+/** Deduplicated L2-tile menu for @p shape on @p accel. */
+std::vector<L2Tile> tile_candidates(const AccelConfig& accel,
+                                    const GemmShape& shape,
+                                    const CandidateOptions& options,
+                                    Stationarity stationarity);
+
+/** Row-tile (R) candidates for @p accel and query length @p q_len. */
+std::vector<std::uint64_t> row_tile_candidates(
+    const AccelConfig& accel, std::uint64_t q_len,
+    const CandidateOptions& options);
+
+/** Cross-loop candidates: M, B, H and R with every row candidate.
+ *  @p include_row is false for baseline (sequential) spaces. */
+std::vector<CrossLoop> cross_loop_candidates(const AccelConfig& accel,
+                                             std::uint64_t q_len,
+                                             const CandidateOptions& opt,
+                                             bool include_row);
+
+/** The loop orders to try (pruned default keeps the reduction loop
+ *  innermost plus one alternative). */
+std::vector<LoopOrder> loop_order_candidates(const CandidateOptions& opt);
+
+/** The stationarities to try. */
+std::vector<Stationarity> stationarity_candidates(
+    const CandidateOptions& opt);
+
+/** Staging-flag combinations (all 32, or just all-enabled). */
+std::vector<FusedStageFlags> stage_flag_candidates(
+    const CandidateOptions& opt);
+
+} // namespace flat
+
+#endif // FLAT_DSE_CANDIDATES_H

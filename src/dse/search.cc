@@ -1,0 +1,263 @@
+#include "dse/search.h"
+
+#include <limits>
+
+#include "common/logging.h"
+#include "common/status.h"
+
+namespace flat {
+namespace {
+
+CandidateOptions
+effective_candidates(const CandidateOptions& base, bool quick)
+{
+    if (!quick) {
+        return base;
+    }
+    CandidateOptions opt = base;
+    if (opt.tile_budget_fractions.size() > 2) {
+        opt.tile_budget_fractions = {1.0 / 4, 1.0 / 2};
+    }
+    if (opt.loop_orders.empty()) {
+        opt.loop_orders = {LoopOrder::kMNK};
+    }
+    if (opt.stationarities.empty()) {
+        // Output-stationary plus input-stationary: the latter is needed
+        // to fill wide arrays when the GEMM's n dimension is small
+        // (e.g. Attend with n = dk < array columns).
+        opt.stationarities = {Stationarity::kOutputStationary,
+                              Stationarity::kInputStationary};
+    }
+    return opt;
+}
+
+/** Calls @p visit for every dataflow in the (restricted) space. */
+template <typename Visit>
+void
+enumerate_attention_space(const AccelConfig& accel,
+                          const AttentionDims& dims,
+                          const AttentionSearchOptions& options,
+                          Visit&& visit)
+{
+    const CandidateOptions cand =
+        effective_candidates(options.candidates, options.quick);
+
+    std::vector<CrossLoop> crosses;
+    if (options.fixed_cross.has_value()) {
+        crosses.push_back(*options.fixed_cross);
+    } else {
+        crosses = cross_loop_candidates(accel, dims.q_len, cand,
+                                        /*include_row=*/options.fused);
+    }
+
+    std::vector<FusedStageFlags> flag_sets;
+    if (options.fixed_flags.has_value()) {
+        flag_sets.push_back(*options.fixed_flags);
+    } else {
+        flag_sets = stage_flag_candidates(cand);
+    }
+
+    const std::vector<LoopOrder> orders = loop_order_candidates(cand);
+    const std::vector<Stationarity> stats = stationarity_candidates(cand);
+
+    for (const CrossLoop& cross : crosses) {
+        if (!options.fused && cross.granularity == Granularity::kRow) {
+            continue; // the sequential baseline cannot run row chunks
+        }
+        const CrossLoopExtent extent = cross_loop_extent(
+            cross, dims.batch, dims.heads, dims.q_len);
+
+        // Stage GEMM shapes for tile-menu generation.
+        GemmShape logit_shape;
+        logit_shape.m = extent.rows_per_pass;
+        logit_shape.k = dims.head_dim;
+        logit_shape.n = dims.kv_len;
+        GemmShape attend_shape;
+        attend_shape.m = extent.rows_per_pass;
+        attend_shape.k = dims.kv_len;
+        attend_shape.n = dims.head_dim;
+
+        for (Stationarity stat_l : stats) {
+            const std::vector<L2Tile> tiles_l =
+                tile_candidates(accel, logit_shape, cand, stat_l);
+            for (Stationarity stat_a : stats) {
+                const std::vector<L2Tile> tiles_a =
+                    tile_candidates(accel, attend_shape, cand, stat_a);
+                for (const L2Tile& tile_l : tiles_l) {
+                    for (const L2Tile& tile_a : tiles_a) {
+                        for (LoopOrder order_l : orders) {
+                            for (LoopOrder order_a : orders) {
+                                for (const FusedStageFlags& flags :
+                                     flag_sets) {
+                                    FusedDataflow df;
+                                    df.cross = cross;
+                                    df.l2_logit = tile_l;
+                                    df.order_logit = order_l;
+                                    df.stat_logit = stat_l;
+                                    df.l2_attend = tile_a;
+                                    df.order_attend = order_a;
+                                    df.stat_attend = stat_a;
+                                    df.stage = flags;
+                                    visit(df);
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+} // namespace
+
+double
+DsePoint::objective_value(Objective objective) const
+{
+    switch (objective) {
+      case Objective::kRuntime:
+        return cost.cycles;
+      case Objective::kEnergy:
+        return energy_j;
+      case Objective::kEdp:
+        return cost.cycles * energy_j;
+    }
+    return cost.cycles;
+}
+
+AttentionSearchResult
+search_attention(const AccelConfig& accel, const AttentionDims& dims,
+                 const AttentionSearchOptions& options)
+{
+    accel.validate();
+    dims.validate();
+    const EnergyTable energy_table = EnergyTable::for_accel(accel);
+
+    AttentionSearchResult result;
+    double best_value = std::numeric_limits<double>::infinity();
+
+    enumerate_attention_space(
+        accel, dims, options, [&](const FusedDataflow& df) {
+            const OperatorCost cost =
+                options.fused
+                    ? model_flat_attention(accel, dims, df)
+                    : model_baseline_attention(accel, dims, df,
+                                               options.baseline_overlap);
+            DsePoint point;
+            point.dataflow = df;
+            point.cost = cost;
+            point.energy_j =
+                estimate_energy(energy_table, cost.activity).total();
+            ++result.evaluated;
+            const double value = point.objective_value(options.objective);
+            if (value < best_value) {
+                best_value = value;
+                result.best = point;
+                result.found = true;
+            }
+        });
+
+    FLAT_CHECK(result.found, "attention DSE evaluated an empty space");
+    return result;
+}
+
+std::vector<DsePoint>
+explore_attention(const AccelConfig& accel, const AttentionDims& dims,
+                  const AttentionSearchOptions& options,
+                  std::size_t max_points)
+{
+    accel.validate();
+    dims.validate();
+    const EnergyTable energy_table = EnergyTable::for_accel(accel);
+
+    std::vector<DsePoint> points;
+    enumerate_attention_space(
+        accel, dims, options, [&](const FusedDataflow& df) {
+            if (max_points != 0 && points.size() >= max_points) {
+                return;
+            }
+            DsePoint point;
+            point.dataflow = df;
+            point.cost =
+                options.fused
+                    ? model_flat_attention(accel, dims, df)
+                    : model_baseline_attention(accel, dims, df,
+                                               options.baseline_overlap);
+            point.energy_j =
+                estimate_energy(energy_table, point.cost.activity).total();
+            points.push_back(std::move(point));
+        });
+    return points;
+}
+
+OperatorSearchResult
+search_operator(const AccelConfig& accel, const Operator& op,
+                const OperatorSearchOptions& options)
+{
+    accel.validate();
+    FLAT_CHECK(op.kind == OpKind::kGemm,
+               op.name << ": operator DSE only covers GEMMs");
+    const CandidateOptions cand =
+        effective_candidates(options.candidates, options.quick);
+    const EnergyTable energy_table = EnergyTable::for_accel(accel);
+
+    OperatorSearchResult result;
+    double best_value = std::numeric_limits<double>::infinity();
+
+    const std::vector<LoopOrder> orders = loop_order_candidates(cand);
+    const std::vector<Stationarity> stats = stationarity_candidates(cand);
+
+    // L3 staging combinations for a single operator: none, or any of the
+    // 8 per-tensor subsets (only meaningful when allowed).
+    std::vector<L3StageFlags> l3_sets;
+    l3_sets.push_back(L3StageFlags{});
+    if (options.allow_l3) {
+        for (std::uint32_t code = 1; code < 8; ++code) {
+            l3_sets.push_back(L3StageFlags{(code & 1) != 0,
+                                           (code & 2) != 0,
+                                           (code & 4) != 0});
+        }
+    }
+
+    for (Stationarity stat : stats) {
+        const std::vector<L2Tile> tiles =
+            tile_candidates(accel, op.gemm, cand, stat);
+        for (const L2Tile& tile : tiles) {
+            for (LoopOrder order : orders) {
+                for (const L3StageFlags& l3 : l3_sets) {
+                    OperatorDataflow df;
+                    df.l2 = tile;
+                    df.order = order;
+                    df.stationarity = stat;
+                    df.l3 = l3;
+                    df.cross = {Granularity::kMulti, 0};
+
+                    const OperatorCost cost =
+                        model_gemm_operator(accel, op, df);
+                    const double energy =
+                        estimate_energy(energy_table, cost.activity)
+                            .total();
+                    ++result.evaluated;
+
+                    double value = cost.cycles;
+                    if (options.objective == Objective::kEnergy) {
+                        value = energy;
+                    } else if (options.objective == Objective::kEdp) {
+                        value = cost.cycles * energy;
+                    }
+                    if (value < best_value) {
+                        best_value = value;
+                        result.dataflow = df;
+                        result.cost = cost;
+                        result.energy_j = energy;
+                        result.found = true;
+                    }
+                }
+            }
+        }
+    }
+    FLAT_CHECK(result.found, "operator DSE evaluated an empty space");
+    return result;
+}
+
+} // namespace flat

@@ -1,0 +1,112 @@
+/**
+ * @file
+ * Exhaustive design-space exploration (§5.3.3): every combination of
+ * cross-loop granularity, staging flags, tile sizes, loop orders and
+ * stationarities is one design point; the optimum under the chosen
+ * objective is returned (Base-opt / FLAT-opt of Figure 7(b)).
+ */
+#ifndef FLAT_DSE_SEARCH_H
+#define FLAT_DSE_SEARCH_H
+
+#include <cstddef>
+#include <optional>
+#include <vector>
+
+#include "arch/accel_config.h"
+#include "costmodel/attention_cost.h"
+#include "costmodel/operator_cost.h"
+#include "dse/candidates.h"
+#include "energy/energy_model.h"
+
+namespace flat {
+
+/** Optimization objective of the DSE (Figure 6(b) outputs). */
+enum class Objective {
+    kRuntime, ///< minimize cycles (maximize Util)
+    kEnergy,  ///< minimize energy
+    kEdp,     ///< minimize energy-delay product
+};
+
+/** One evaluated design point. */
+struct DsePoint {
+    FusedDataflow dataflow;
+    OperatorCost cost;
+    double energy_j = 0.0;
+
+    /** Objective value (lower is better). */
+    double objective_value(Objective objective) const;
+};
+
+/** Search-space restrictions and effort. */
+struct AttentionSearchOptions {
+    Objective objective = Objective::kRuntime;
+
+    /** true => FLAT fused space; false => sequential baseline space
+     *  (R-granularity excluded automatically). */
+    bool fused = true;
+
+    /** Pin the cross loop (e.g. FLAT-M, ATTACC-R64); empty => sweep. */
+    std::optional<CrossLoop> fixed_cross;
+
+    /** Pin the staging flags; empty => sweep all 32. */
+    std::optional<FusedStageFlags> fixed_flags;
+
+    /** Smaller menus for broad sweeps (Figure 8/9 grids). */
+    bool quick = false;
+
+    /** Overlap assumption for the sequential baseline (ablation). */
+    BaselineOverlap baseline_overlap = BaselineOverlap::kFull;
+
+    CandidateOptions candidates;
+};
+
+/** DSE outcome for the fused/baseline L-A operator. */
+struct AttentionSearchResult {
+    DsePoint best;
+    std::size_t evaluated = 0;
+    bool found = false;
+};
+
+/** Finds the best L-A dataflow on @p accel for @p dims. */
+AttentionSearchResult search_attention(const AccelConfig& accel,
+                                       const AttentionDims& dims,
+                                       const AttentionSearchOptions& opt);
+
+/**
+ * Evaluates and returns every design point (Figure 10's scatter).
+ * @p max_points caps the output (0 = unlimited).
+ */
+std::vector<DsePoint> explore_attention(const AccelConfig& accel,
+                                        const AttentionDims& dims,
+                                        const AttentionSearchOptions& opt,
+                                        std::size_t max_points = 0);
+
+/** DSE outcome for one non-fused operator. */
+struct OperatorSearchResult {
+    OperatorDataflow dataflow;
+    OperatorCost cost;
+    double energy_j = 0.0;
+    std::size_t evaluated = 0;
+    bool found = false;
+};
+
+/** Options for single-operator DSE (projections, FCs). */
+struct OperatorSearchOptions {
+    Objective objective = Objective::kRuntime;
+
+    /** Allow the L3 staging level at all (BaseAccel forbids it). */
+    bool allow_l3 = true;
+
+    bool quick = false;
+
+    CandidateOptions candidates;
+};
+
+/** Finds the best dataflow for one GEMM operator. */
+OperatorSearchResult search_operator(const AccelConfig& accel,
+                                     const Operator& op,
+                                     const OperatorSearchOptions& opt);
+
+} // namespace flat
+
+#endif // FLAT_DSE_SEARCH_H

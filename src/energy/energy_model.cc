@@ -1,0 +1,77 @@
+#include "energy/energy_model.h"
+
+#include <cmath>
+
+#include "common/status.h"
+#include "common/units.h"
+
+namespace flat {
+
+EnergyTable
+EnergyTable::for_accel(const AccelConfig& accel)
+{
+    EnergyTable table;
+    // SG access energy grows logarithmically with capacity: bigger
+    // arrays mean longer bitlines and wires. Anchored at 1.5 pJ/B for a
+    // 512 KiB scratchpad.
+    const double ratio = static_cast<double>(accel.sg_bytes) /
+                         static_cast<double>(512 * kKiB);
+    table.sg_pj_per_byte = 1.5 * (1.0 + 0.35 * std::log2(std::max(
+                                                   1.0, ratio)));
+    // Keep the hierarchy ordered even for very large scratchpads: SG2
+    // always costs more than SG and less than DRAM per byte.
+    table.sg2_pj_per_byte =
+        std::min(table.dram_pj_per_byte / 2.0,
+                 std::max(table.sg2_pj_per_byte,
+                          2.0 * table.sg_pj_per_byte));
+    table.dram_pj_per_byte =
+        std::max(table.dram_pj_per_byte, 2.0 * table.sg2_pj_per_byte);
+    return table;
+}
+
+void
+EnergyTable::validate() const
+{
+    FLAT_CHECK(mac_pj > 0 && sl_access_pj > 0 && sg_pj_per_byte > 0 &&
+                   dram_pj_per_byte > 0 && sfu_op_pj > 0,
+               "energy table entries must be positive");
+    FLAT_CHECK(sg2_pj_per_byte > sg_pj_per_byte &&
+                   sg2_pj_per_byte < dram_pj_per_byte,
+               "SG2 energy must sit between SG and DRAM");
+    FLAT_CHECK(dram_pj_per_byte > sg_pj_per_byte,
+               "DRAM access must cost more than SG access (got "
+                   << dram_pj_per_byte << " vs " << sg_pj_per_byte << ")");
+}
+
+EnergyBreakdown&
+EnergyBreakdown::operator+=(const EnergyBreakdown& other)
+{
+    compute_j += other.compute_j;
+    sl_j += other.sl_j;
+    sg_j += other.sg_j;
+    sg2_j += other.sg2_j;
+    dram_j += other.dram_j;
+    sfu_j += other.sfu_j;
+    return *this;
+}
+
+EnergyBreakdown
+estimate_energy(const EnergyTable& table, const ActivityCounts& activity)
+{
+    table.validate();
+    constexpr double kPjToJ = 1e-12;
+
+    EnergyBreakdown out;
+    out.compute_j = activity.macs * table.mac_pj * kPjToJ;
+    out.sl_j = activity.sl_accesses * table.sl_access_pj * kPjToJ;
+    out.sg_j = activity.traffic.total_sg() * table.sg_pj_per_byte *
+               kPjToJ;
+    out.sg2_j = activity.traffic.total_sg2() * table.sg2_pj_per_byte *
+                kPjToJ;
+    out.dram_j = activity.traffic.total_dram() * table.dram_pj_per_byte *
+                 kPjToJ;
+    out.sfu_j = activity.sfu_elems * table.sfu_op_pj * kPjToJ;
+    return out;
+}
+
+} // namespace flat

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Accelergy-style energy estimation (§5.3.2): activity counts from the
+ * performance model are multiplied by per-action energies. FLAT does not
+ * change the MAC count or the SG access count materially; what it changes
+ * is the number of DRAM accesses, which are ~two orders of magnitude more
+ * expensive — exactly the property this table encodes.
+ *
+ * Default values follow the commonly used 16-bit energy ladder
+ * (MAC < register file < large SRAM << DRAM); all are configurable.
+ */
+#ifndef FLAT_ENERGY_ENERGY_MODEL_H
+#define FLAT_ENERGY_ENERGY_MODEL_H
+
+#include "arch/accel_config.h"
+#include "costmodel/cost_types.h"
+
+namespace flat {
+
+/** Per-action energy in picojoules. */
+struct EnergyTable {
+    double mac_pj = 0.56;          ///< one 16-bit MAC
+    double sl_access_pj = 0.19;    ///< one SL (register-file) element
+    double sg_pj_per_byte = 1.5;   ///< SG SRAM, per byte
+    double sg2_pj_per_byte = 10.0; ///< second-level on-chip, per byte
+    double dram_pj_per_byte = 100; ///< off-chip, per byte
+    double sfu_op_pj = 1.0;        ///< one SFU element operation
+
+    /**
+     * Builds a table matched to @p accel: SG energy grows slowly with
+     * capacity (longer wires/bigger banks), DRAM stays two orders of
+     * magnitude above it.
+     */
+    static EnergyTable for_accel(const AccelConfig& accel);
+
+    void validate() const;
+};
+
+/** Energy breakdown in joules. */
+struct EnergyBreakdown {
+    double compute_j = 0.0; ///< MAC array
+    double sl_j = 0.0;      ///< per-PE scratchpads
+    double sg_j = 0.0;      ///< global scratchpad
+    double sg2_j = 0.0;     ///< second-level on-chip buffer
+    double dram_j = 0.0;    ///< off-chip accesses
+    double sfu_j = 0.0;     ///< softmax / reductions
+
+    double total() const
+    {
+        return compute_j + sl_j + sg_j + sg2_j + dram_j + sfu_j;
+    }
+
+    EnergyBreakdown& operator+=(const EnergyBreakdown& other);
+};
+
+/** Converts activity counts into an energy breakdown. */
+EnergyBreakdown estimate_energy(const EnergyTable& table,
+                                const ActivityCounts& activity);
+
+} // namespace flat
+
+#endif // FLAT_ENERGY_ENERGY_MODEL_H

@@ -1,0 +1,394 @@
+#include "kernels/attention.h"
+
+#include <cmath>
+#include <limits>
+
+#include "kernels/softmax.h"
+
+namespace flat {
+namespace {
+
+constexpr std::uint64_t kFloatBytes = sizeof(float);
+
+std::uint64_t
+bytes_of(const Matrix& m)
+{
+    return static_cast<std::uint64_t>(m.size()) * kFloatBytes;
+}
+
+void
+check_attention_shapes(const Matrix& q, const Matrix& k, const Matrix& v)
+{
+    FLAT_CHECK(q.cols() == k.cols(),
+               "q/k head dim mismatch: " << q.cols() << " vs " << k.cols());
+    FLAT_CHECK(k.rows() == v.rows(),
+               "k/v length mismatch: " << k.rows() << " vs " << v.rows());
+}
+
+} // namespace
+
+Matrix
+attention_reference(const Matrix& q, const Matrix& k, const Matrix& v,
+                    const AttentionOptions& options, TrafficMeter* meter)
+{
+    check_attention_shapes(q, k, v);
+
+    if (meter != nullptr) {
+        meter->offchip_read("Q", bytes_of(q));
+        meter->offchip_read("K", bytes_of(k));
+    }
+
+    // L: the full [N, N_kv] logits tensor is materialized and, in the
+    // baseline dataflow, written back to DRAM.
+    Matrix logits = matmul_transposed(q, k);
+    if (options.scaled) {
+        scale(logits, 1.0f / std::sqrt(static_cast<float>(q.cols())));
+    }
+    if (meter != nullptr) {
+        meter->offchip_write("intermediate", bytes_of(logits));
+    }
+
+    // Softmax: DRAM round trip of the intermediate tensor.
+    if (meter != nullptr) {
+        meter->offchip_read("intermediate", bytes_of(logits));
+    }
+    if (options.causal) {
+        softmax_rows_causal(logits, 0);
+    } else {
+        softmax_rows(logits);
+    }
+    if (meter != nullptr) {
+        meter->offchip_write("intermediate", bytes_of(logits));
+    }
+
+    // A: reads the intermediate back and V, writes the output.
+    if (meter != nullptr) {
+        meter->offchip_read("intermediate", bytes_of(logits));
+        meter->offchip_read("V", bytes_of(v));
+    }
+    Matrix out = matmul(logits, v);
+    if (meter != nullptr) {
+        meter->offchip_write("output", bytes_of(out));
+    }
+    return out;
+}
+
+Matrix
+attention_flat(const Matrix& q, const Matrix& k, const Matrix& v,
+               std::size_t row_tile, const AttentionOptions& options,
+               TrafficMeter* meter)
+{
+    check_attention_shapes(q, k, v);
+    FLAT_CHECK(row_tile > 0, "row tile R must be positive");
+
+    const std::size_t n = q.rows();
+    const std::size_t dk = q.cols();
+    Matrix out(n, v.cols());
+
+    // K and V are staged on-chip once per head (the 4*N*dk term of the
+    // R-Gran footprint in Table 2).
+    if (meter != nullptr) {
+        meter->offchip_read("K", bytes_of(k));
+        meter->offchip_read("V", bytes_of(v));
+    }
+
+    const float factor =
+        options.scaled ? 1.0f / std::sqrt(static_cast<float>(dk)) : 1.0f;
+
+    for (std::size_t row0 = 0; row0 < n; row0 += row_tile) {
+        const std::size_t rows = std::min(row_tile, n - row0);
+
+        // Fetch the Q row block for this pass.
+        Matrix q_block(rows, dk);
+        for (std::size_t r = 0; r < rows; ++r) {
+            for (std::size_t c = 0; c < dk; ++c) {
+                q_block.at(r, c) = q.at(row0 + r, c);
+            }
+        }
+        if (meter != nullptr) {
+            meter->offchip_read("Q", bytes_of(q_block));
+        }
+
+        // Stage 1 (L): an [R, N_kv] logits slice — the FLAT-tile. It is
+        // produced into the on-chip buffer and never leaves the chip.
+        Matrix logits_block = matmul_transposed(q_block, k);
+        if (factor != 1.0f) {
+            scale(logits_block, factor);
+        }
+        if (meter != nullptr) {
+            meter->onchip("intermediate", bytes_of(logits_block));
+        }
+
+        // Softmax on the SFU, straight from the on-chip slice. Each row
+        // is complete (all N_kv columns), so this is exact.
+        if (options.causal) {
+            softmax_rows_causal(logits_block, row0);
+        } else {
+            softmax_rows(logits_block);
+        }
+        if (meter != nullptr) {
+            meter->onchip("intermediate", bytes_of(logits_block));
+        }
+
+        // Stage 2 (A): consume the slice immediately.
+        Matrix out_block = matmul(logits_block, v);
+        for (std::size_t r = 0; r < rows; ++r) {
+            for (std::size_t c = 0; c < out.cols(); ++c) {
+                out.at(row0 + r, c) = out_block.at(r, c);
+            }
+        }
+        if (meter != nullptr) {
+            meter->offchip_write("output", bytes_of(out_block));
+        }
+    }
+    return out;
+}
+
+AttentionLayerWeights
+AttentionLayerWeights::random(std::size_t d, std::uint64_t seed)
+{
+    AttentionLayerWeights w;
+    w.wq = Matrix(d, d);
+    w.wk = Matrix(d, d);
+    w.wv = Matrix(d, d);
+    w.wo = Matrix(d, d);
+    fill_random(w.wq, seed + 1);
+    fill_random(w.wk, seed + 2);
+    fill_random(w.wv, seed + 3);
+    fill_random(w.wo, seed + 4);
+    // Scale down so deep compositions stay in a well-conditioned range.
+    const float s = 1.0f / std::sqrt(static_cast<float>(d));
+    scale(w.wq, s);
+    scale(w.wk, s);
+    scale(w.wv, s);
+    scale(w.wo, s);
+    return w;
+}
+
+Matrix
+split_head(const Matrix& x, std::size_t num_heads, std::size_t h)
+{
+    FLAT_CHECK(num_heads > 0 && x.cols() % num_heads == 0,
+               "heads (" << num_heads << ") must divide width "
+                         << x.cols());
+    FLAT_CHECK(h < num_heads, "head index out of range");
+    const std::size_t dk = x.cols() / num_heads;
+    Matrix out(x.rows(), dk);
+    for (std::size_t r = 0; r < x.rows(); ++r) {
+        for (std::size_t c = 0; c < dk; ++c) {
+            out.at(r, c) = x.at(r, h * dk + c);
+        }
+    }
+    return out;
+}
+
+Matrix
+attention_layer_forward(const Matrix& x_q, const Matrix& x_kv,
+                        const AttentionLayerWeights& weights,
+                        std::size_t num_heads, std::size_t row_tile,
+                        const AttentionOptions& options,
+                        TrafficMeter* meter)
+{
+    FLAT_CHECK(x_q.cols() == weights.wq.rows(),
+               "input width " << x_q.cols() << " != weight dim "
+                              << weights.wq.rows());
+    FLAT_CHECK(x_kv.cols() == x_q.cols(), "query/kv width mismatch");
+
+    // Projections (activation-weight GEMMs; not the focus of the
+    // instrumentation, charged once each).
+    const Matrix q = matmul(x_q, weights.wq);
+    const Matrix k = matmul(x_kv, weights.wk);
+    const Matrix v = matmul(x_kv, weights.wv);
+    if (meter != nullptr) {
+        meter->offchip_read("X", bytes_of(x_q) + bytes_of(x_kv));
+        meter->offchip_write("QKV", bytes_of(q) + bytes_of(k) +
+                                        bytes_of(v));
+    }
+
+    const std::size_t dk = x_q.cols() / num_heads;
+    Matrix concat(x_q.rows(), x_q.cols());
+    for (std::size_t h = 0; h < num_heads; ++h) {
+        const Matrix qh = split_head(q, num_heads, h);
+        const Matrix kh = split_head(k, num_heads, h);
+        const Matrix vh = split_head(v, num_heads, h);
+        const Matrix oh =
+            (row_tile == 0)
+                ? attention_reference(qh, kh, vh, options, meter)
+                : attention_flat(qh, kh, vh, row_tile, options, meter);
+        for (std::size_t r = 0; r < concat.rows(); ++r) {
+            for (std::size_t c = 0; c < dk; ++c) {
+                concat.at(r, h * dk + c) = oh.at(r, c);
+            }
+        }
+    }
+    return matmul(concat, weights.wo);
+}
+
+
+namespace {
+
+/** Softmax over columns [lo, hi) of one row; other columns zeroed. */
+void
+softmax_window_row(float* row, std::size_t cols, std::size_t lo,
+                   std::size_t hi)
+{
+    float max_val = -std::numeric_limits<float>::infinity();
+    for (std::size_t j = lo; j < hi; ++j) {
+        max_val = std::max(max_val, row[j]);
+    }
+    float denom = 0.0f;
+    for (std::size_t j = lo; j < hi; ++j) {
+        row[j] = std::exp(row[j] - max_val);
+        denom += row[j];
+    }
+    const float inv = 1.0f / denom;
+    for (std::size_t j = 0; j < cols; ++j) {
+        if (j >= lo && j < hi) {
+            row[j] *= inv;
+        } else {
+            row[j] = 0.0f;
+        }
+    }
+}
+
+/** Clamped window bounds [lo, hi) for global query row @p i. */
+void
+window_bounds(std::size_t i, std::size_t n_kv, std::size_t window,
+              bool causal, std::size_t* lo, std::size_t* hi)
+{
+    *lo = (i > window) ? i - window : 0;
+    const std::size_t upper = causal ? i + 1 : i + window + 1;
+    *hi = std::min(n_kv, upper);
+}
+
+} // namespace
+
+Matrix
+attention_local_reference(const Matrix& q, const Matrix& k,
+                          const Matrix& v, std::size_t window,
+                          const AttentionOptions& options,
+                          TrafficMeter* meter)
+{
+    check_attention_shapes(q, k, v);
+    FLAT_CHECK(q.rows() == k.rows(),
+               "local attention assumes self-attention (N == N_kv)");
+
+    if (meter != nullptr) {
+        meter->offchip_read("Q", bytes_of(q));
+        meter->offchip_read("K", bytes_of(k));
+    }
+    Matrix logits = matmul_transposed(q, k);
+    if (options.scaled) {
+        scale(logits, 1.0f / std::sqrt(static_cast<float>(q.cols())));
+    }
+    if (meter != nullptr) {
+        meter->offchip_write("intermediate", bytes_of(logits));
+        meter->offchip_read("intermediate", bytes_of(logits));
+    }
+    for (std::size_t r = 0; r < logits.rows(); ++r) {
+        std::size_t lo = 0;
+        std::size_t hi = 0;
+        window_bounds(r, k.rows(), window, options.causal, &lo, &hi);
+        softmax_window_row(logits.row_ptr(r), logits.cols(), lo, hi);
+    }
+    if (meter != nullptr) {
+        meter->offchip_write("intermediate", bytes_of(logits));
+        meter->offchip_read("intermediate", bytes_of(logits));
+        meter->offchip_read("V", bytes_of(v));
+    }
+    Matrix out = matmul(logits, v);
+    if (meter != nullptr) {
+        meter->offchip_write("output", bytes_of(out));
+    }
+    return out;
+}
+
+Matrix
+attention_flat_local(const Matrix& q, const Matrix& k, const Matrix& v,
+                     std::size_t row_tile, std::size_t window,
+                     const AttentionOptions& options, TrafficMeter* meter)
+{
+    check_attention_shapes(q, k, v);
+    FLAT_CHECK(q.rows() == k.rows(),
+               "local attention assumes self-attention (N == N_kv)");
+    FLAT_CHECK(row_tile > 0, "row tile R must be positive");
+
+    const std::size_t n = q.rows();
+    const std::size_t dk = q.cols();
+    Matrix out(n, v.cols());
+    const float factor =
+        options.scaled ? 1.0f / std::sqrt(static_cast<float>(dk)) : 1.0f;
+
+    for (std::size_t row0 = 0; row0 < n; row0 += row_tile) {
+        const std::size_t rows = std::min(row_tile, n - row0);
+        // The union of the rows' windows: the only K/V slice this pass
+        // ever touches.
+        std::size_t pass_lo = 0;
+        std::size_t pass_hi = 0;
+        window_bounds(row0, n, window, /*causal=*/false, &pass_lo,
+                      &pass_hi);
+        std::size_t last_lo = 0;
+        std::size_t last_hi = 0;
+        window_bounds(row0 + rows - 1, n, window, options.causal,
+                      &last_lo, &last_hi);
+        pass_hi = std::max(pass_hi, last_hi);
+        const std::size_t slice = pass_hi - pass_lo;
+
+        // Fetch the Q block and the K/V window slices for this pass.
+        Matrix q_block(rows, dk);
+        Matrix k_slice(slice, dk);
+        Matrix v_slice(slice, v.cols());
+        for (std::size_t r = 0; r < rows; ++r) {
+            for (std::size_t c = 0; c < dk; ++c) {
+                q_block.at(r, c) = q.at(row0 + r, c);
+            }
+        }
+        for (std::size_t r = 0; r < slice; ++r) {
+            for (std::size_t c = 0; c < dk; ++c) {
+                k_slice.at(r, c) = k.at(pass_lo + r, c);
+            }
+            for (std::size_t c = 0; c < v.cols(); ++c) {
+                v_slice.at(r, c) = v.at(pass_lo + r, c);
+            }
+        }
+        if (meter != nullptr) {
+            meter->offchip_read("Q", bytes_of(q_block));
+            meter->offchip_read("K", bytes_of(k_slice));
+            meter->offchip_read("V", bytes_of(v_slice));
+        }
+
+        Matrix logits_block = matmul_transposed(q_block, k_slice);
+        if (factor != 1.0f) {
+            scale(logits_block, factor);
+        }
+        if (meter != nullptr) {
+            meter->onchip("intermediate", bytes_of(logits_block));
+        }
+        for (std::size_t r = 0; r < rows; ++r) {
+            std::size_t lo = 0;
+            std::size_t hi = 0;
+            window_bounds(row0 + r, n, window, options.causal, &lo, &hi);
+            // Translate to slice-local coordinates.
+            softmax_window_row(logits_block.row_ptr(r),
+                               logits_block.cols(), lo - pass_lo,
+                               hi - pass_lo);
+        }
+        if (meter != nullptr) {
+            meter->onchip("intermediate", bytes_of(logits_block));
+        }
+
+        Matrix out_block = matmul(logits_block, v_slice);
+        for (std::size_t r = 0; r < rows; ++r) {
+            for (std::size_t c = 0; c < out.cols(); ++c) {
+                out.at(row0 + r, c) = out_block.at(r, c);
+            }
+        }
+        if (meter != nullptr) {
+            meter->offchip_write("output", bytes_of(out_block));
+        }
+    }
+    return out;
+}
+
+} // namespace flat
+

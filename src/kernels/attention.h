@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Functional attention kernels: the baseline dataflow (materializes the
+ * full logits matrix and round-trips it through "DRAM") and the FLAT
+ * dataflow (streams R-row blocks; the intermediate tensor never leaves
+ * the chip). Both produce bit-comparable results up to float rounding —
+ * FLAT is a pure dataflow change, not an approximation (§4).
+ */
+#ifndef FLAT_KERNELS_ATTENTION_H
+#define FLAT_KERNELS_ATTENTION_H
+
+#include <cstddef>
+#include <vector>
+
+#include "kernels/matrix.h"
+#include "kernels/traffic_meter.h"
+
+namespace flat {
+
+/** Options shared by both kernels. */
+struct AttentionOptions {
+    /** Apply the 1/sqrt(dk) logit scaling. */
+    bool scaled = true;
+
+    /** Causal (autoregressive) masking of future positions. */
+    bool causal = false;
+};
+
+/**
+ * Baseline single-head attention: out = softmax(Q K^T / sqrt(dk)) V with
+ * the [N, N_kv] logits tensor fully materialized.
+ *
+ * @param q [N, dk] queries, @param k [N_kv, dk] keys,
+ * @param v [N_kv, dk] values.
+ * @param meter optional traffic instrumentation; the intermediate tensor
+ *        is charged as off-chip traffic (write by L, read+write by
+ *        softmax, read by A) exactly as the baseline dataflow moves it.
+ */
+Matrix attention_reference(const Matrix& q, const Matrix& k,
+                           const Matrix& v,
+                           const AttentionOptions& options = {},
+                           TrafficMeter* meter = nullptr);
+
+/**
+ * FLAT single-head attention at R-row granularity: logits are computed,
+ * softmaxed and consumed R rows at a time; the intermediate slice stays
+ * in the on-chip buffer (charged as on-chip traffic only).
+ *
+ * @param row_tile R — the number of logits rows per pass (>=1).
+ */
+Matrix attention_flat(const Matrix& q, const Matrix& k, const Matrix& v,
+                      std::size_t row_tile,
+                      const AttentionOptions& options = {},
+                      TrafficMeter* meter = nullptr);
+
+/** Weights of a full attention layer (Figure 1(b)). */
+struct AttentionLayerWeights {
+    Matrix wq; ///< [D, D]
+    Matrix wk; ///< [D, D]
+    Matrix wv; ///< [D, D]
+    Matrix wo; ///< [D, D]
+
+    /** Deterministically random weights for a model width @p d. */
+    static AttentionLayerWeights random(std::size_t d, std::uint64_t seed);
+};
+
+/**
+ * Full multi-head attention layer: project, split into @p num_heads
+ * heads, run per-head attention (baseline or FLAT), concatenate, apply
+ * the output projection.
+ *
+ * @param x_q [N, D] query-side input; @param x_kv [N_kv, D] key/value
+ * side input (pass the same matrix for self-attention).
+ * @param row_tile 0 => baseline kernel; >0 => FLAT kernel with that R.
+ */
+Matrix attention_layer_forward(const Matrix& x_q, const Matrix& x_kv,
+                               const AttentionLayerWeights& weights,
+                               std::size_t num_heads, std::size_t row_tile,
+                               const AttentionOptions& options = {},
+                               TrafficMeter* meter = nullptr);
+
+/** Slices head @p h (of @p num_heads) columns out of [N, D] @p x. */
+Matrix split_head(const Matrix& x, std::size_t num_heads, std::size_t h);
+
+/**
+ * Local (windowed) self-attention, the Longformer-style sparse pattern
+ * the paper lists as orthogonal to FLAT (§7): query row i attends only
+ * to keys in [i - window, i + window]. Reference implementation:
+ * materializes the full logits matrix and masks it.
+ */
+Matrix attention_local_reference(const Matrix& q, const Matrix& k,
+                                 const Matrix& v, std::size_t window,
+                                 const AttentionOptions& options = {},
+                                 TrafficMeter* meter = nullptr);
+
+/**
+ * FLAT composed with local attention: each R-row pass touches only the
+ * K/V slice its window covers, so both the intermediate slice AND the
+ * per-pass K/V working set become O(R + 2*window) — independent of N.
+ */
+Matrix attention_flat_local(const Matrix& q, const Matrix& k,
+                            const Matrix& v, std::size_t row_tile,
+                            std::size_t window,
+                            const AttentionOptions& options = {},
+                            TrafficMeter* meter = nullptr);
+
+} // namespace flat
+
+#endif // FLAT_KERNELS_ATTENTION_H

@@ -1,0 +1,83 @@
+#include "kernels/layer_ops.h"
+
+#include <cmath>
+
+#include "common/status.h"
+
+namespace flat {
+
+void
+layernorm_rows(Matrix& x, const std::vector<float>& gamma,
+               const std::vector<float>& beta, float eps)
+{
+    FLAT_CHECK(gamma.size() == x.cols() && beta.size() == x.cols(),
+               "layernorm parameter size " << gamma.size() << "/"
+                                           << beta.size() << " != cols "
+                                           << x.cols());
+    const std::size_t cols = x.cols();
+    for (std::size_t r = 0; r < x.rows(); ++r) {
+        float* row = x.row_ptr(r);
+        float mean = 0.0f;
+        for (std::size_t c = 0; c < cols; ++c) {
+            mean += row[c];
+        }
+        mean /= static_cast<float>(cols);
+        float var = 0.0f;
+        for (std::size_t c = 0; c < cols; ++c) {
+            const float d = row[c] - mean;
+            var += d * d;
+        }
+        var /= static_cast<float>(cols);
+        const float inv = 1.0f / std::sqrt(var + eps);
+        for (std::size_t c = 0; c < cols; ++c) {
+            row[c] = gamma[c] * (row[c] - mean) * inv + beta[c];
+        }
+    }
+}
+
+void
+gelu(Matrix& x)
+{
+    // tanh approximation: 0.5 x (1 + tanh(sqrt(2/pi)(x + 0.044715 x^3)))
+    constexpr float kC = 0.7978845608028654f; // sqrt(2/pi)
+    for (std::size_t i = 0; i < x.size(); ++i) {
+        const float v = x.data()[i];
+        const float inner = kC * (v + 0.044715f * v * v * v);
+        x.data()[i] = 0.5f * v * (1.0f + std::tanh(inner));
+    }
+}
+
+void
+relu(Matrix& x)
+{
+    for (std::size_t i = 0; i < x.size(); ++i) {
+        x.data()[i] = std::max(0.0f, x.data()[i]);
+    }
+}
+
+void
+add_inplace(Matrix& x, const Matrix& other)
+{
+    FLAT_CHECK(x.rows() == other.rows() && x.cols() == other.cols(),
+               "residual shape mismatch: " << x.rows() << "x" << x.cols()
+                                           << " vs " << other.rows()
+                                           << "x" << other.cols());
+    for (std::size_t i = 0; i < x.size(); ++i) {
+        x.data()[i] += other.data()[i];
+    }
+}
+
+void
+add_bias(Matrix& x, const std::vector<float>& bias)
+{
+    FLAT_CHECK(bias.size() == x.cols(),
+               "bias size " << bias.size() << " != cols " << x.cols());
+    for (std::size_t r = 0; r < x.rows(); ++r) {
+        float* row = x.row_ptr(r);
+        for (std::size_t c = 0; c < x.cols(); ++c) {
+            row[c] += bias[c];
+        }
+    }
+}
+
+} // namespace flat

@@ -1,0 +1,41 @@
+/**
+ * @file
+ * The non-attention layer operations of a transformer block
+ * (Figure 1(a)): layer normalization, the GELU activation of the
+ * feed-forward pair, bias addition and residual connections.
+ */
+#ifndef FLAT_KERNELS_LAYER_OPS_H
+#define FLAT_KERNELS_LAYER_OPS_H
+
+#include <cstddef>
+#include <vector>
+
+#include "kernels/matrix.h"
+
+namespace flat {
+
+/**
+ * In-place layer normalization over each row of @p x:
+ * y = gamma * (x - mean) / sqrt(var + eps) + beta.
+ *
+ * @param gamma per-column scale (size = cols).
+ * @param beta per-column shift (size = cols).
+ */
+void layernorm_rows(Matrix& x, const std::vector<float>& gamma,
+                    const std::vector<float>& beta, float eps = 1e-5f);
+
+/** In-place GELU (tanh approximation) on every element. */
+void gelu(Matrix& x);
+
+/** In-place ReLU on every element. */
+void relu(Matrix& x);
+
+/** x += other, element-wise (residual connection). */
+void add_inplace(Matrix& x, const Matrix& other);
+
+/** Adds @p bias (size = cols) to every row of @p x. */
+void add_bias(Matrix& x, const std::vector<float>& bias);
+
+} // namespace flat
+
+#endif // FLAT_KERNELS_LAYER_OPS_H

@@ -1,0 +1,83 @@
+#include "kernels/matrix.h"
+
+#include <cmath>
+#include <cstdint>
+
+namespace flat {
+
+float
+Matrix::max_abs_diff(const Matrix& other) const
+{
+    FLAT_CHECK(rows_ == other.rows_ && cols_ == other.cols_,
+               "shape mismatch: " << rows_ << "x" << cols_ << " vs "
+                                  << other.rows_ << "x" << other.cols_);
+    float max_diff = 0.0f;
+    for (std::size_t i = 0; i < data_.size(); ++i) {
+        max_diff = std::max(max_diff,
+                            std::fabs(data_[i] - other.data_[i]));
+    }
+    return max_diff;
+}
+
+void
+fill_random(Matrix& m, std::uint64_t seed)
+{
+    // SplitMix64: deterministic across platforms, no <random> state.
+    std::uint64_t state = seed + 0x9e3779b97f4a7c15ull;
+    auto next = [&state]() {
+        state += 0x9e3779b97f4a7c15ull;
+        std::uint64_t z = state;
+        z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+        z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+        return z ^ (z >> 31);
+    };
+    for (std::size_t i = 0; i < m.size(); ++i) {
+        const double unit =
+            static_cast<double>(next() >> 11) / 9007199254740992.0;
+        m.data()[i] = static_cast<float>(2.0 * unit - 1.0);
+    }
+}
+
+Matrix
+matmul(const Matrix& a, const Matrix& b)
+{
+    FLAT_CHECK(a.cols() == b.rows(),
+               "matmul shape mismatch: " << a.rows() << "x" << a.cols()
+                                         << " * " << b.rows() << "x"
+                                         << b.cols());
+    Matrix c(a.rows(), b.cols());
+    for (std::size_t i = 0; i < a.rows(); ++i) {
+        for (std::size_t k = 0; k < a.cols(); ++k) {
+            const float aik = a.at(i, k);
+            const float* b_row = b.row_ptr(k);
+            float* c_row = c.row_ptr(i);
+            for (std::size_t j = 0; j < b.cols(); ++j) {
+                c_row[j] += aik * b_row[j];
+            }
+        }
+    }
+    return c;
+}
+
+Matrix
+matmul_transposed(const Matrix& a, const Matrix& b_transposed)
+{
+    FLAT_CHECK(a.cols() == b_transposed.cols(),
+               "matmul_transposed inner-dim mismatch: "
+                   << a.cols() << " vs " << b_transposed.cols());
+    Matrix c(a.rows(), b_transposed.rows());
+    for (std::size_t i = 0; i < a.rows(); ++i) {
+        for (std::size_t j = 0; j < b_transposed.rows(); ++j) {
+            const float* a_row = a.row_ptr(i);
+            const float* b_row = b_transposed.row_ptr(j);
+            float acc = 0.0f;
+            for (std::size_t k = 0; k < a.cols(); ++k) {
+                acc += a_row[k] * b_row[k];
+            }
+            c.at(i, j) = acc;
+        }
+    }
+    return c;
+}
+
+} // namespace flat

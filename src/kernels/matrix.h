@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Minimal dense row-major matrix used by the functional kernels. The
+ * kernels exist to validate the FLAT dataflow numerically (fused
+ * row-streamed attention == materialized attention) and to demonstrate
+ * the traffic claims with instrumented counters — not to be fast BLAS.
+ */
+#ifndef FLAT_KERNELS_MATRIX_H
+#define FLAT_KERNELS_MATRIX_H
+
+#include <cstddef>
+#include <vector>
+
+#include "common/status.h"
+
+namespace flat {
+
+/** Dense row-major float matrix. */
+class Matrix
+{
+  public:
+    Matrix() = default;
+
+    /** Allocates a rows x cols matrix zero-initialized. */
+    Matrix(std::size_t rows, std::size_t cols)
+        : rows_(rows), cols_(cols), data_(rows * cols, 0.0f)
+    {
+    }
+
+    std::size_t rows() const { return rows_; }
+    std::size_t cols() const { return cols_; }
+    std::size_t size() const { return data_.size(); }
+    bool empty() const { return data_.empty(); }
+
+    float& at(std::size_t r, std::size_t c)
+    {
+        FLAT_ASSERT(r < rows_ && c < cols_,
+                    "index (" << r << "," << c << ") out of " << rows_
+                              << "x" << cols_);
+        return data_[r * cols_ + c];
+    }
+
+    float at(std::size_t r, std::size_t c) const
+    {
+        FLAT_ASSERT(r < rows_ && c < cols_,
+                    "index (" << r << "," << c << ") out of " << rows_
+                              << "x" << cols_);
+        return data_[r * cols_ + c];
+    }
+
+    float* row_ptr(std::size_t r) { return data_.data() + r * cols_; }
+    const float* row_ptr(std::size_t r) const
+    {
+        return data_.data() + r * cols_;
+    }
+
+    float* data() { return data_.data(); }
+    const float* data() const { return data_.data(); }
+
+    /** Maximum absolute element-wise difference to @p other. */
+    float max_abs_diff(const Matrix& other) const;
+
+  private:
+    std::size_t rows_ = 0;
+    std::size_t cols_ = 0;
+    std::vector<float> data_;
+};
+
+/** Fills @p m with deterministic pseudo-random values in [-1, 1]. */
+void fill_random(Matrix& m, std::uint64_t seed);
+
+/** C = A x B (no accumulation into prior C contents). */
+Matrix matmul(const Matrix& a, const Matrix& b);
+
+/** C = A x B^T. */
+Matrix matmul_transposed(const Matrix& a, const Matrix& b_transposed);
+
+} // namespace flat
+
+#endif // FLAT_KERNELS_MATRIX_H

@@ -1,0 +1,67 @@
+#include "kernels/softmax.h"
+
+#include <cmath>
+#include <limits>
+
+namespace flat {
+namespace {
+
+void
+softmax_one_row(float* row, std::size_t cols, std::size_t valid_cols)
+{
+    float max_val = -std::numeric_limits<float>::infinity();
+    for (std::size_t j = 0; j < valid_cols; ++j) {
+        max_val = std::max(max_val, row[j]);
+    }
+    float denom = 0.0f;
+    for (std::size_t j = 0; j < valid_cols; ++j) {
+        row[j] = std::exp(row[j] - max_val);
+        denom += row[j];
+    }
+    const float inv = 1.0f / denom;
+    for (std::size_t j = 0; j < valid_cols; ++j) {
+        row[j] *= inv;
+    }
+    for (std::size_t j = valid_cols; j < cols; ++j) {
+        row[j] = 0.0f;
+    }
+}
+
+} // namespace
+
+void
+softmax_rows(Matrix& m)
+{
+    softmax_rows(m, 0, m.rows());
+}
+
+void
+softmax_rows(Matrix& m, std::size_t row_begin, std::size_t row_end)
+{
+    FLAT_CHECK(row_begin <= row_end && row_end <= m.rows(),
+               "bad row range [" << row_begin << "," << row_end << ") of "
+                                 << m.rows());
+    for (std::size_t r = row_begin; r < row_end; ++r) {
+        softmax_one_row(m.row_ptr(r), m.cols(), m.cols());
+    }
+}
+
+void
+softmax_rows_causal(Matrix& m, std::size_t row_offset)
+{
+    for (std::size_t r = 0; r < m.rows(); ++r) {
+        const std::size_t valid =
+            std::min(m.cols(), row_offset + r + 1);
+        softmax_one_row(m.row_ptr(r), m.cols(), valid);
+    }
+}
+
+void
+scale(Matrix& m, float factor)
+{
+    for (std::size_t i = 0; i < m.size(); ++i) {
+        m.data()[i] *= factor;
+    }
+}
+
+} // namespace flat

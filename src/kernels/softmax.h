@@ -1,0 +1,34 @@
+/**
+ * @file
+ * Numerically stable row softmax (the activation between L and A). The
+ * reduction runs along the key dimension — the data dependency that
+ * forces FLAT's basic execution unit to be whole rows (§4.2.1).
+ */
+#ifndef FLAT_KERNELS_SOFTMAX_H
+#define FLAT_KERNELS_SOFTMAX_H
+
+#include <cstddef>
+
+#include "kernels/matrix.h"
+
+namespace flat {
+
+/** In-place stable softmax over each row of @p m. */
+void softmax_rows(Matrix& m);
+
+/** In-place stable softmax over rows [row_begin, row_end) of @p m. */
+void softmax_rows(Matrix& m, std::size_t row_begin, std::size_t row_end);
+
+/**
+ * In-place causal-masked softmax: for output row r (global index
+ * @p row_offset + local row), columns greater than the global row index
+ * are masked to zero probability.
+ */
+void softmax_rows_causal(Matrix& m, std::size_t row_offset);
+
+/** Scales every element of @p m by @p factor (the 1/sqrt(dk) scaling). */
+void scale(Matrix& m, float factor);
+
+} // namespace flat
+
+#endif // FLAT_KERNELS_SOFTMAX_H

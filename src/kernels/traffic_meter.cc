@@ -1,0 +1,87 @@
+#include "kernels/traffic_meter.h"
+
+namespace flat {
+namespace {
+
+std::uint64_t
+lookup(const std::map<std::string, std::uint64_t>& counters,
+       const std::string& tensor)
+{
+    const auto it = counters.find(tensor);
+    return (it != counters.end()) ? it->second : 0;
+}
+
+std::uint64_t
+sum(const std::map<std::string, std::uint64_t>& counters)
+{
+    std::uint64_t total = 0;
+    for (const auto& [name, bytes] : counters) {
+        (void)name;
+        total += bytes;
+    }
+    return total;
+}
+
+} // namespace
+
+void
+TrafficMeter::offchip_read(const std::string& tensor, std::uint64_t bytes)
+{
+    offchip_read_[tensor] += bytes;
+}
+
+void
+TrafficMeter::offchip_write(const std::string& tensor, std::uint64_t bytes)
+{
+    offchip_write_[tensor] += bytes;
+}
+
+void
+TrafficMeter::onchip(const std::string& tensor, std::uint64_t bytes)
+{
+    onchip_[tensor] += bytes;
+}
+
+std::uint64_t
+TrafficMeter::offchip_bytes(const std::string& tensor) const
+{
+    return lookup(offchip_read_, tensor) + lookup(offchip_write_, tensor);
+}
+
+std::uint64_t
+TrafficMeter::onchip_bytes(const std::string& tensor) const
+{
+    return lookup(onchip_, tensor);
+}
+
+std::uint64_t
+TrafficMeter::total_offchip() const
+{
+    return sum(offchip_read_) + sum(offchip_write_);
+}
+
+std::uint64_t
+TrafficMeter::total_onchip() const
+{
+    return sum(onchip_);
+}
+
+std::map<std::string, std::uint64_t>
+TrafficMeter::offchip_by_tensor() const
+{
+    std::map<std::string, std::uint64_t> out = offchip_read_;
+    for (const auto& [tensor, bytes] : offchip_write_) {
+        out[tensor] += bytes;
+    }
+    return out;
+}
+
+void
+TrafficMeter::reset()
+{
+    offchip_read_.clear();
+    offchip_write_.clear();
+    onchip_.clear();
+}
+
+} // namespace flat

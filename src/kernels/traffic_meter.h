@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Instrumentation for the functional kernels: kernels declare every
+ * modeled off-chip (DRAM) and on-chip (SG) transfer against the meter,
+ * so tests can assert the paper's traffic claims — e.g. the fused FLAT
+ * kernel moves ZERO intermediate-tensor bytes off-chip while the
+ * baseline moves O(N^2) of them.
+ */
+#ifndef FLAT_KERNELS_TRAFFIC_METER_H
+#define FLAT_KERNELS_TRAFFIC_METER_H
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+namespace flat {
+
+/** Byte counters per logical tensor and memory level. */
+class TrafficMeter
+{
+  public:
+    /** Records bytes moving DRAM -> chip for @p tensor. */
+    void offchip_read(const std::string& tensor, std::uint64_t bytes);
+
+    /** Records bytes moving chip -> DRAM for @p tensor. */
+    void offchip_write(const std::string& tensor, std::uint64_t bytes);
+
+    /** Records on-chip (SG-level) bytes for @p tensor. */
+    void onchip(const std::string& tensor, std::uint64_t bytes);
+
+    /** Total off-chip bytes for one tensor (reads + writes). */
+    std::uint64_t offchip_bytes(const std::string& tensor) const;
+
+    /** Total on-chip bytes for one tensor. */
+    std::uint64_t onchip_bytes(const std::string& tensor) const;
+
+    /** Grand totals. */
+    std::uint64_t total_offchip() const;
+    std::uint64_t total_onchip() const;
+
+    /** All tensors seen, for report printing. */
+    std::map<std::string, std::uint64_t> offchip_by_tensor() const;
+
+    void reset();
+
+  private:
+    std::map<std::string, std::uint64_t> offchip_read_;
+    std::map<std::string, std::uint64_t> offchip_write_;
+    std::map<std::string, std::uint64_t> onchip_;
+};
+
+} // namespace flat
+
+#endif // FLAT_KERNELS_TRAFFIC_METER_H

@@ -1,0 +1,102 @@
+#include "kernels/transformer_block.h"
+
+#include <cmath>
+
+#include "kernels/layer_ops.h"
+#include "kernels/softmax.h"
+
+namespace flat {
+
+TransformerBlockWeights
+TransformerBlockWeights::random(std::size_t d, std::size_t ff,
+                                std::uint64_t seed)
+{
+    TransformerBlockWeights w;
+    w.attention = AttentionLayerWeights::random(d, seed);
+    w.w_fc1 = Matrix(d, ff);
+    w.w_fc2 = Matrix(ff, d);
+    fill_random(w.w_fc1, seed + 10);
+    fill_random(w.w_fc2, seed + 11);
+    // Keep activations well-conditioned through the FF expansion.
+    scale(w.w_fc1, 1.0f / std::sqrt(static_cast<float>(d)));
+    scale(w.w_fc2, 1.0f / std::sqrt(static_cast<float>(ff)));
+    w.b_fc1.assign(ff, 0.01f);
+    w.b_fc2.assign(d, 0.01f);
+    w.ln1_gamma.assign(d, 1.0f);
+    w.ln1_beta.assign(d, 0.0f);
+    w.ln2_gamma.assign(d, 1.0f);
+    w.ln2_beta.assign(d, 0.0f);
+    return w;
+}
+
+void
+TransformerBlockWeights::validate() const
+{
+    const std::size_t d = attention.wq.rows();
+    FLAT_CHECK(w_fc1.rows() == d, "FC1 input dim mismatch");
+    FLAT_CHECK(w_fc2.cols() == d, "FC2 output dim mismatch");
+    FLAT_CHECK(w_fc1.cols() == w_fc2.rows(), "FF inner dim mismatch");
+    FLAT_CHECK(b_fc1.size() == w_fc1.cols(), "FC1 bias size mismatch");
+    FLAT_CHECK(b_fc2.size() == w_fc2.cols(), "FC2 bias size mismatch");
+    FLAT_CHECK(ln1_gamma.size() == d && ln1_beta.size() == d &&
+                   ln2_gamma.size() == d && ln2_beta.size() == d,
+               "layernorm parameter size mismatch");
+}
+
+Matrix
+transformer_block_forward(const Matrix& x,
+                          const TransformerBlockWeights& weights,
+                          std::size_t num_heads, std::size_t row_tile,
+                          const AttentionOptions& options,
+                          TrafficMeter* meter)
+{
+    weights.validate();
+    FLAT_CHECK(x.cols() == weights.attention.wq.rows(),
+               "input width " << x.cols() << " != block width "
+                              << weights.attention.wq.rows());
+
+    // Attention sub-layer (pre-norm).
+    Matrix normed = x;
+    layernorm_rows(normed, weights.ln1_gamma, weights.ln1_beta);
+    Matrix h = attention_layer_forward(normed, normed, weights.attention,
+                                       num_heads, row_tile, options,
+                                       meter);
+    add_inplace(h, x);
+
+    // Feed-forward sub-layer (pre-norm).
+    Matrix ff_in = h;
+    layernorm_rows(ff_in, weights.ln2_gamma, weights.ln2_beta);
+    Matrix mid = matmul(ff_in, weights.w_fc1);
+    add_bias(mid, weights.b_fc1);
+    gelu(mid);
+    Matrix out = matmul(mid, weights.w_fc2);
+    add_bias(out, weights.b_fc2);
+    if (meter != nullptr) {
+        const std::uint64_t float_bytes = sizeof(float);
+        meter->offchip_read("FC", (ff_in.size() + mid.size()) *
+                                      float_bytes);
+        meter->offchip_write("FC",
+                             (mid.size() + out.size()) * float_bytes);
+    }
+    add_inplace(out, h);
+    return out;
+}
+
+Matrix
+transformer_stack_forward(const Matrix& x,
+                          const TransformerBlockWeights& weights,
+                          std::size_t num_heads, std::size_t num_blocks,
+                          std::size_t row_tile,
+                          const AttentionOptions& options,
+                          TrafficMeter* meter)
+{
+    FLAT_CHECK(num_blocks > 0, "stack needs at least one block");
+    Matrix out = x;
+    for (std::size_t i = 0; i < num_blocks; ++i) {
+        out = transformer_block_forward(out, weights, num_heads,
+                                        row_tile, options, meter);
+    }
+    return out;
+}
+
+} // namespace flat

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * A complete pre-norm transformer block (Figure 1(a)): layer norm,
+ * multi-head attention (baseline or FLAT dataflow), residual, layer
+ * norm, position-wise feed-forward with GELU, residual. This is the
+ * functional counterpart of the cost model's Block scope.
+ */
+#ifndef FLAT_KERNELS_TRANSFORMER_BLOCK_H
+#define FLAT_KERNELS_TRANSFORMER_BLOCK_H
+
+#include <cstddef>
+#include <vector>
+
+#include "kernels/attention.h"
+#include "kernels/matrix.h"
+#include "kernels/traffic_meter.h"
+
+namespace flat {
+
+/** All parameters of one transformer block. */
+struct TransformerBlockWeights {
+    AttentionLayerWeights attention;
+
+    Matrix w_fc1; ///< [D, FF]
+    Matrix w_fc2; ///< [FF, D]
+    std::vector<float> b_fc1;
+    std::vector<float> b_fc2;
+
+    std::vector<float> ln1_gamma;
+    std::vector<float> ln1_beta;
+    std::vector<float> ln2_gamma;
+    std::vector<float> ln2_beta;
+
+    /** Deterministically random weights (identity layer norms). */
+    static TransformerBlockWeights random(std::size_t d, std::size_t ff,
+                                          std::uint64_t seed);
+
+    /** Throws flat::Error if the shapes are inconsistent. */
+    void validate() const;
+};
+
+/**
+ * Forward pass of one pre-norm block:
+ *   h = x + MHA(LN1(x));  out = h + FC2(GELU(FC1(LN2(h)))).
+ *
+ * @param row_tile 0 => baseline attention dataflow; >0 => FLAT with
+ *        that R (numerically identical either way).
+ */
+Matrix transformer_block_forward(const Matrix& x,
+                                 const TransformerBlockWeights& weights,
+                                 std::size_t num_heads,
+                                 std::size_t row_tile,
+                                 const AttentionOptions& options = {},
+                                 TrafficMeter* meter = nullptr);
+
+/** Stacks @p num_blocks applications of the same block weights. */
+Matrix transformer_stack_forward(const Matrix& x,
+                                 const TransformerBlockWeights& weights,
+                                 std::size_t num_heads,
+                                 std::size_t num_blocks,
+                                 std::size_t row_tile,
+                                 const AttentionOptions& options = {},
+                                 TrafficMeter* meter = nullptr);
+
+} // namespace flat
+
+#endif // FLAT_KERNELS_TRANSFORMER_BLOCK_H

@@ -1,0 +1,202 @@
+#include "workload/attention.h"
+
+#include <algorithm>
+
+#include "common/status.h"
+
+namespace flat {
+
+std::string
+to_string(Scope scope)
+{
+    switch (scope) {
+      case Scope::kLogitAttend: return "L-A";
+      case Scope::kBlock: return "Block";
+      case Scope::kModel: return "Model";
+    }
+    return "?";
+}
+
+std::vector<Operator>
+Workload::ops_in_scope(Scope scope) const
+{
+    if (scope == Scope::kLogitAttend) {
+        std::vector<Operator> out;
+        for (const Operator& op : ops) {
+            if (op.category == OpCategory::kLogitAttend ||
+                op.category == OpCategory::kSoftmax) {
+                out.push_back(op);
+            }
+        }
+        return out;
+    }
+    return ops; // block and model share the per-block operator list
+}
+
+std::uint64_t
+Workload::scope_multiplier(Scope scope) const
+{
+    return (scope == Scope::kModel) ? model.num_blocks : 1;
+}
+
+std::uint64_t
+Workload::total_macs(Scope scope) const
+{
+    std::uint64_t macs = 0;
+    for (const Operator& op : ops_in_scope(scope)) {
+        if (op.kind == OpKind::kGemm) {
+            macs += op.gemm.macs();
+        }
+    }
+    return macs * scope_multiplier(scope);
+}
+
+namespace {
+
+const Operator&
+find_op(const std::vector<Operator>& ops, const std::string& name)
+{
+    for (const Operator& op : ops) {
+        if (op.name == name) {
+            return op;
+        }
+    }
+    FLAT_FAIL("workload has no operator named '" << name << "'");
+}
+
+} // namespace
+
+const Operator&
+Workload::logit_op() const
+{
+    return find_op(ops, "L");
+}
+
+const Operator&
+Workload::attend_op() const
+{
+    return find_op(ops, "A");
+}
+
+const Operator&
+Workload::softmax_op() const
+{
+    return find_op(ops, "softmax");
+}
+
+Workload
+make_cross_attention_workload(const ModelConfig& model, std::uint64_t batch,
+                              std::uint64_t seq_len,
+                              std::uint64_t kv_seq_len)
+{
+    model.validate();
+    FLAT_CHECK(batch > 0, "batch must be positive");
+    FLAT_CHECK(seq_len > 0 && kv_seq_len > 0,
+               "sequence lengths must be positive");
+
+    const std::uint64_t d = model.hidden_dim;
+    const std::uint64_t h = model.num_heads;
+    const std::uint64_t dk = model.head_dim();
+    const std::uint64_t ff = model.ff_dim;
+
+    Workload w;
+    w.model = model;
+    w.batch = batch;
+    w.seq_len = seq_len;
+    w.kv_seq_len = kv_seq_len;
+
+    // Projections: [B*N, D] x [D, D]. The batch dimension folds into m,
+    // which is exactly why batching buys weight reuse for these (§2.2).
+    auto projection = [&](const char* name, std::uint64_t rows) {
+        GemmShape s;
+        s.m = batch * rows;
+        s.k = d;
+        s.n = d;
+        s.instances = 1;
+        s.a_kind = OperandKind::kActivation;
+        s.b_kind = OperandKind::kWeight;
+        return make_gemm_op(name, OpCategory::kProjection, s);
+    };
+
+    w.ops.push_back(projection("Q", seq_len));
+    w.ops.push_back(projection("K", kv_seq_len));
+    w.ops.push_back(projection("V", kv_seq_len));
+
+    // Logit: per (batch, head) instance [N, dk] x [dk, N_kv] -> [N, N_kv].
+    {
+        GemmShape s;
+        s.m = seq_len;
+        s.k = dk;
+        s.n = kv_seq_len;
+        s.instances = batch * h;
+        s.a_kind = OperandKind::kActivation;
+        s.b_kind = OperandKind::kActivation;
+        w.ops.push_back(make_gemm_op("L", OpCategory::kLogitAttend, s));
+    }
+
+    // Softmax over each logits row (reduction along the key dimension).
+    w.ops.push_back(
+        make_softmax_op("softmax", batch * h, seq_len, kv_seq_len));
+
+    // Attend: per instance [N, N_kv] x [N_kv, dk] -> [N, dk].
+    {
+        GemmShape s;
+        s.m = seq_len;
+        s.k = kv_seq_len;
+        s.n = dk;
+        s.instances = batch * h;
+        s.a_kind = OperandKind::kActivation;
+        s.b_kind = OperandKind::kActivation;
+        w.ops.push_back(make_gemm_op("A", OpCategory::kLogitAttend, s));
+    }
+
+    // Output projection.
+    w.ops.push_back(projection("O", seq_len));
+
+    // Position-wise feed-forward: [B*N, D] x [D, FF], [B*N, FF] x [FF, D].
+    {
+        GemmShape s;
+        s.m = batch * seq_len;
+        s.k = d;
+        s.n = ff;
+        s.instances = 1;
+        w.ops.push_back(make_gemm_op("FC1", OpCategory::kFeedForward, s));
+        s.k = ff;
+        s.n = d;
+        w.ops.push_back(make_gemm_op("FC2", OpCategory::kFeedForward, s));
+    }
+
+    return w;
+}
+
+Workload
+make_workload(const ModelConfig& model, std::uint64_t batch,
+              std::uint64_t seq_len)
+{
+    return make_cross_attention_workload(model, batch, seq_len, seq_len);
+}
+
+Workload
+make_local_attention_workload(const ModelConfig& model,
+                              std::uint64_t batch, std::uint64_t seq_len,
+                              std::uint64_t window)
+{
+    Workload w = make_workload(model, batch, seq_len);
+    const std::uint64_t kv_eff =
+        std::min<std::uint64_t>(seq_len, 2 * window + 1);
+    w.kv_seq_len = kv_eff;
+    for (Operator& op : w.ops) {
+        if (op.name == "L") {
+            op.gemm.n = kv_eff;
+        } else if (op.name == "A") {
+            op.gemm.k = kv_eff;
+        } else if (op.kind == OpKind::kSoftmax) {
+            op.softmax_cols = kv_eff;
+        }
+    }
+    return w;
+}
+
+
+
+} // namespace flat

@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Builders that instantiate the operator graph of an attention layer /
+ * attention block for a concrete (model, batch, sequence length), per
+ * Figure 1 of the paper.
+ */
+#ifndef FLAT_WORKLOAD_ATTENTION_H
+#define FLAT_WORKLOAD_ATTENTION_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "workload/model_config.h"
+#include "workload/operator.h"
+
+namespace flat {
+
+/** Evaluation scopes of Figure 8: L-A only, attention block, full model. */
+enum class Scope {
+    kLogitAttend, ///< only L, softmax, A
+    kBlock,       ///< one attention block (adds Q/K/V/O and the two FCs)
+    kModel,       ///< all blocks of the model
+};
+
+std::string to_string(Scope scope);
+
+/**
+ * One instantiated workload: the operators of a single attention block
+ * (in execution order) plus the replication factor for model scope.
+ */
+struct Workload {
+    ModelConfig model;
+    std::uint64_t batch = 1;      ///< B
+    std::uint64_t seq_len = 512;  ///< N (query side)
+    std::uint64_t kv_seq_len = 0; ///< key/value N (== seq_len if self-attn)
+
+    /** Operators of one block, execution order:
+     *  Q, K, V, L, softmax, A, O, FC1, FC2. */
+    std::vector<Operator> ops;
+
+    /** Operators participating at the given scope. */
+    std::vector<Operator> ops_in_scope(Scope scope) const;
+
+    /** Multiplier applied at model scope (number of blocks). */
+    std::uint64_t scope_multiplier(Scope scope) const;
+
+    /** Total MACs (GEMMs only) at a scope. */
+    std::uint64_t total_macs(Scope scope) const;
+
+    /** The L operator (Logit). */
+    const Operator& logit_op() const;
+
+    /** The A operator (Attend). */
+    const Operator& attend_op() const;
+
+    /** The softmax between them. */
+    const Operator& softmax_op() const;
+};
+
+/**
+ * Builds a self-attention block workload: projections, L/softmax/A, output
+ * projection, and the two position-wise FCs.
+ *
+ * @param model model hyper-parameters
+ * @param batch batch size B
+ * @param seq_len sequence length N
+ */
+Workload make_workload(const ModelConfig& model, std::uint64_t batch,
+                       std::uint64_t seq_len);
+
+/**
+ * Builds a cross-attention block: the query sequence has length
+ * @p seq_len while keys/values have @p kv_seq_len (Figure 1 footnote).
+ */
+Workload make_cross_attention_workload(const ModelConfig& model,
+                                       std::uint64_t batch,
+                                       std::uint64_t seq_len,
+                                       std::uint64_t kv_seq_len);
+
+/**
+ * Builds a local (windowed) attention block, the Longformer-style
+ * sparse pattern the paper lists as orthogonal to FLAT (§7): each
+ * query row attends to at most 2*window+1 keys. The L/A operators and
+ * the softmax shrink to the effective window width; the projections
+ * and FCs still process the full sequence.
+ *
+ * First-order approximation: K/V input traffic is modeled at the
+ * effective width rather than the sliding union (each K row is
+ * actually touched once); both are negligible next to the O(N*w)
+ * logits terms this transform is about.
+ */
+Workload make_local_attention_workload(const ModelConfig& model,
+                                       std::uint64_t batch,
+                                       std::uint64_t seq_len,
+                                       std::uint64_t window);
+
+} // namespace flat
+
+#endif // FLAT_WORKLOAD_ATTENTION_H

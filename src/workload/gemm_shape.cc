@@ -1,0 +1,58 @@
+#include "workload/gemm_shape.h"
+
+#include "common/status.h"
+
+namespace flat {
+
+std::string
+to_string(OperandKind kind)
+{
+    return kind == OperandKind::kWeight ? "weight" : "activation";
+}
+
+std::uint64_t
+GemmShape::a_elems_total() const
+{
+    return (a_kind == OperandKind::kWeight) ? a_elems()
+                                            : instances * a_elems();
+}
+
+std::uint64_t
+GemmShape::b_elems_total() const
+{
+    return (b_kind == OperandKind::kWeight) ? b_elems()
+                                            : instances * b_elems();
+}
+
+std::uint64_t
+GemmShape::c_elems_total() const
+{
+    return instances * c_elems();
+}
+
+bool
+GemmShape::activation_activation() const
+{
+    return a_kind == OperandKind::kActivation &&
+           b_kind == OperandKind::kActivation;
+}
+
+double
+GemmShape::operational_intensity() const
+{
+    const double accesses = static_cast<double>(a_elems_total()) +
+                            static_cast<double>(b_elems_total()) +
+                            static_cast<double>(c_elems_total());
+    return static_cast<double>(macs()) / accesses;
+}
+
+void
+GemmShape::validate() const
+{
+    FLAT_CHECK(m > 0 && k > 0 && n > 0,
+               "GEMM dims must be positive, got m=" << m << " k=" << k
+                                                    << " n=" << n);
+    FLAT_CHECK(instances > 0, "GEMM needs at least one instance");
+}
+
+} // namespace flat

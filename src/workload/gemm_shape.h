@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Shape description of a (possibly batched) GEMM operator instance.
+ *
+ * Every matrix operator in an attention block — the Q/K/V/O projections,
+ * the Logit and Attend operators, and the two feed-forward FCs — is a
+ * GEMM `C[m,n] = A[m,k] x B[k,n]`, replicated over `instances`
+ * independent problem instances (batch x heads for the per-head
+ * operators, 1 for the projections whose batch dimension is folded
+ * into m).
+ */
+#ifndef FLAT_WORKLOAD_GEMM_SHAPE_H
+#define FLAT_WORKLOAD_GEMM_SHAPE_H
+
+#include <cstdint>
+#include <string>
+
+namespace flat {
+
+/** Whether a GEMM operand is a model parameter or an activation. */
+enum class OperandKind {
+    kWeight,     ///< model parameter, shared across the batch
+    kActivation, ///< produced by a previous operator, unique per sample
+};
+
+std::string to_string(OperandKind kind);
+
+/** Dimensions and operand classes of one GEMM operator. */
+struct GemmShape {
+    std::uint64_t m = 0; ///< rows of A and C
+    std::uint64_t k = 0; ///< reduction dimension
+    std::uint64_t n = 0; ///< columns of B and C
+
+    /** Number of independent GEMM instances (e.g. batch x heads). */
+    std::uint64_t instances = 1;
+
+    OperandKind a_kind = OperandKind::kActivation;
+    OperandKind b_kind = OperandKind::kWeight;
+
+    /** Total multiply-accumulates across all instances. */
+    std::uint64_t macs() const { return instances * m * k * n; }
+
+    /** Elements of A per instance / across all instances. */
+    std::uint64_t a_elems() const { return m * k; }
+    std::uint64_t a_elems_total() const;
+
+    /** Elements of B per instance / across all instances.
+     *  A weight operand is shared, so its total equals one instance. */
+    std::uint64_t b_elems() const { return k * n; }
+    std::uint64_t b_elems_total() const;
+
+    /** Elements of C per instance / across all instances. */
+    std::uint64_t c_elems() const { return m * n; }
+    std::uint64_t c_elems_total() const;
+
+    /** True iff both inputs are activations (the L/A pathology, §2.2). */
+    bool activation_activation() const;
+
+    /**
+     * Operational intensity in MACs per element accessed, assuming each
+     * tensor is touched exactly once (the algorithmic minimum, Eq. 1
+     * counts "ops" as MACs).
+     */
+    double operational_intensity() const;
+
+    /** Throws flat::Error on degenerate dimensions. */
+    void validate() const;
+};
+
+} // namespace flat
+
+#endif // FLAT_WORKLOAD_GEMM_SHAPE_H

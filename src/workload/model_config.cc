@@ -1,0 +1,76 @@
+#include "workload/model_config.h"
+
+#include "common/status.h"
+#include "common/string_util.h"
+
+namespace flat {
+
+std::uint32_t
+ModelConfig::head_dim() const
+{
+    return hidden_dim / num_heads;
+}
+
+void
+ModelConfig::validate() const
+{
+    FLAT_CHECK(!name.empty(), "model must be named");
+    FLAT_CHECK(num_blocks > 0, name << ": needs at least one block");
+    FLAT_CHECK(num_heads > 0, name << ": needs at least one head");
+    FLAT_CHECK(hidden_dim % num_heads == 0,
+               name << ": heads (" << num_heads << ") must divide D ("
+                    << hidden_dim << ")");
+    FLAT_CHECK(ff_dim > 0, name << ": feed-forward dim must be positive");
+}
+
+ModelConfig
+bert_base()
+{
+    return ModelConfig{"bert", 12, 768, 12, 3072};
+}
+
+ModelConfig
+flaubert()
+{
+    return ModelConfig{"flaubert", 24, 1024, 16, 4096};
+}
+
+ModelConfig
+xlm()
+{
+    return ModelConfig{"xlm", 12, 2048, 16, 8192};
+}
+
+ModelConfig
+transformer_xl()
+{
+    return ModelConfig{"trxl", 18, 1024, 16, 4096};
+}
+
+ModelConfig
+t5_small()
+{
+    return ModelConfig{"t5", 6, 512, 8, 2048};
+}
+
+std::vector<ModelConfig>
+model_zoo()
+{
+    return {bert_base(), transformer_xl(), flaubert(), t5_small(), xlm()};
+}
+
+ModelConfig
+model_by_name(const std::string& name)
+{
+    const std::string key = to_lower(name);
+    for (const ModelConfig& m : model_zoo()) {
+        if (m.name == key) {
+            return m;
+        }
+    }
+    FLAT_FAIL("unknown model '" << name
+                                << "' (known: bert, trxl, flaubert, t5, "
+                                   "xlm)");
+}
+
+} // namespace flat

@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Transformer model hyper-parameters and the evaluation model zoo
+ * (Figure 7 workloads: BERT, FlauBERT, XLM, TransformerXL, T5).
+ */
+#ifndef FLAT_WORKLOAD_MODEL_CONFIG_H
+#define FLAT_WORKLOAD_MODEL_CONFIG_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace flat {
+
+/** Architecture hyper-parameters of one attention-based model. */
+struct ModelConfig {
+    std::string name;
+    std::uint32_t num_blocks = 12;  ///< attention blocks (layers)
+    std::uint32_t hidden_dim = 768; ///< D
+    std::uint32_t num_heads = 12;   ///< H
+    std::uint32_t ff_dim = 3072;    ///< feed-forward inner dimension
+
+    /** Per-head dimension dk = D / H. */
+    std::uint32_t head_dim() const;
+
+    /** Throws flat::Error if H does not divide D, etc. */
+    void validate() const;
+};
+
+/** BERT-base: 12 blocks, D=768, H=12, FF=3072. */
+ModelConfig bert_base();
+
+/** FlauBERT-large: 24 blocks, D=1024, H=16, FF=4096. */
+ModelConfig flaubert();
+
+/** XLM (xlm-mlm-en-2048): 12 blocks, D=2048, H=16, FF=8192. */
+ModelConfig xlm();
+
+/** TransformerXL-large: 18 blocks, D=1024, H=16, FF=4096. */
+ModelConfig transformer_xl();
+
+/** T5-small encoder stack: 6 blocks, D=512, H=8, FF=2048. */
+ModelConfig t5_small();
+
+/** The five evaluation workloads, in the paper's order. */
+std::vector<ModelConfig> model_zoo();
+
+/** Look up a zoo model by (case-insensitive) name; throws if unknown. */
+ModelConfig model_by_name(const std::string& name);
+
+} // namespace flat
+
+#endif // FLAT_WORKLOAD_MODEL_CONFIG_H

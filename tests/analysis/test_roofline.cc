@@ -1,0 +1,138 @@
+#include "analysis/roofline.h"
+
+#include <gtest/gtest.h>
+
+#include "common/status.h"
+#include "common/units.h"
+
+namespace flat {
+namespace {
+
+TEST(Roofline, BandwidthBoundBelowRidge)
+{
+    // Edge: 1024 GMAC/s peak, 50 GB/s -> ridge at ~20.5 MACs/byte.
+    const RooflinePoint p = roofline_point(edge_accel(), 1.0, false);
+    EXPECT_FALSE(p.compute_bound);
+    EXPECT_DOUBLE_EQ(p.attainable_macs_s, 50e9);
+}
+
+TEST(Roofline, ComputeBoundAboveRidge)
+{
+    const RooflinePoint p = roofline_point(edge_accel(), 100.0, false);
+    EXPECT_TRUE(p.compute_bound);
+    EXPECT_DOUBLE_EQ(p.attainable_macs_s,
+                     edge_accel().peak_macs_per_sec());
+}
+
+TEST(Roofline, OnchipStagingRaisesCeiling)
+{
+    // Figure 2(c): with the operand staged on-chip the bandwidth roof
+    // uses the much higher on-chip bandwidth.
+    const double intensity = 5.0;
+    const RooflinePoint off = roofline_point(edge_accel(), intensity,
+                                             false);
+    const RooflinePoint on = roofline_point(edge_accel(), intensity,
+                                            true);
+    EXPECT_GT(on.attainable_macs_s, off.attainable_macs_s);
+}
+
+TEST(Roofline, RejectsNonPositiveIntensity)
+{
+    EXPECT_THROW(roofline_point(edge_accel(), 0.0, false), Error);
+}
+
+TEST(OpIntensity, ConvHighestAndCapsOrdered)
+{
+    // Figure 2(a): CONV sits highest. The asymptotic caps also order
+    // correctly: FC saturates at D/2 MACs/element with batch, while
+    // multi-head attention saturates at only D/H.
+    const double conv = conv_op_intensity(64, 256, 256, 56 * 56, 3, 2);
+    const double fc_cap = fc_op_intensity(1 << 22, 1024, 1024, 2);
+    const double la_cap =
+        attention_op_intensity(64, 16, 1 << 22, 1024 / 16, 2);
+    EXPECT_GT(conv, fc_cap);
+    EXPECT_GT(fc_cap, la_cap);
+}
+
+TEST(OpIntensity, BatchRaisesFcButNotAttention)
+{
+    // Figure 2(b)/(d).
+    EXPECT_GT(fc_op_intensity(64, 1024, 1024, 2),
+              fc_op_intensity(1, 1024, 1024, 2));
+    EXPECT_DOUBLE_EQ(attention_op_intensity(64, 16, 4096, 64, 2),
+                     attention_op_intensity(1, 16, 4096, 64, 2));
+}
+
+TEST(OpIntensity, MoreHeadsLowerIntensity)
+{
+    // §2.2: multi-head reciprocal is 2/N + H/D — more heads at the same
+    // D means a bigger intermediate tensor and lower intensity.
+    EXPECT_GT(attention_op_intensity(1, 8, 4096, 128, 2),
+              attention_op_intensity(1, 16, 64, 2048 / 16, 2));
+    const double h8 = attention_op_intensity(1, 8, 4096, 1024 / 8, 2);
+    const double h16 = attention_op_intensity(1, 16, 4096, 1024 / 16, 2);
+    EXPECT_GT(h8, h16);
+}
+
+TEST(OpIntensity, AttentionIntensitySaturatesInN)
+{
+    // As N grows, intensity tends to D/H per byte-pair — it stops
+    // improving, unlike FC with batch.
+    const double n4k = attention_op_intensity(1, 16, 4096, 64, 2);
+    const double n64k = attention_op_intensity(1, 16, 65536, 64, 2);
+    EXPECT_LT(n64k / n4k, 1.2);
+}
+
+TEST(Table1, PaperRowsReproduced)
+{
+    // Table 1 at D=1024, 16-bit. Paper: K/Q/V/O 4MB/10MB/62MB for
+    // N=512/2K/14K; L/A 2.5MB/10MB (H=1/16) at N=512, 16MB/142MB at 2K,
+    // 474MB/6.6GB at 14K. Our closed form matches within ~10% (the
+    // paper's numbers include small implementation-specific extras).
+    const auto mb = [](std::uint64_t bytes) {
+        return static_cast<double>(bytes) / (1024.0 * 1024.0);
+    };
+    const StagingRequirement n512h1 = staging_requirement(512, 1024, 1, 2);
+    EXPECT_NEAR(mb(n512h1.qkvo_bytes), 4.0, 0.5);
+    EXPECT_NEAR(mb(n512h1.la_bytes), 2.5, 0.3);
+
+    const StagingRequirement n512h16 =
+        staging_requirement(512, 1024, 16, 2);
+    EXPECT_NEAR(mb(n512h16.la_bytes), 10.0, 1.0);
+
+    const StagingRequirement n2k1 = staging_requirement(2048, 1024, 1, 2);
+    EXPECT_NEAR(mb(n2k1.qkvo_bytes), 10.0, 1.0);
+    EXPECT_NEAR(mb(n2k1.la_bytes), 16.0, 2.0);
+
+    const StagingRequirement n2k16 =
+        staging_requirement(2048, 1024, 16, 2);
+    EXPECT_NEAR(mb(n2k16.la_bytes), 142.0, 10.0);
+
+    const StagingRequirement n14k1 =
+        staging_requirement(14 * 1024, 1024, 1, 2);
+    EXPECT_NEAR(mb(n14k1.qkvo_bytes), 62.0, 6.0);
+    EXPECT_NEAR(mb(n14k1.la_bytes), 474.0, 80.0);
+
+    const StagingRequirement n14k16 =
+        staging_requirement(14 * 1024, 1024, 16, 2);
+    EXPECT_NEAR(mb(n14k16.la_bytes) / 1024.0, 6.6, 0.8); // GB
+}
+
+TEST(Table1, QkvoIndependentOfHeads)
+{
+    const auto h1 = staging_requirement(2048, 1024, 1, 2);
+    const auto h16 = staging_requirement(2048, 1024, 16, 2);
+    EXPECT_EQ(h1.qkvo_bytes, h16.qkvo_bytes);
+    EXPECT_LT(h1.la_bytes, h16.la_bytes);
+}
+
+TEST(Table1, LaGrowsQuadratically)
+{
+    const auto a = staging_requirement(1024, 1024, 16, 2);
+    const auto b = staging_requirement(2048, 1024, 16, 2);
+    EXPECT_GT(b.la_bytes, 3 * a.la_bytes);
+    EXPECT_LT(b.qkvo_bytes, 3 * a.qkvo_bytes);
+}
+
+} // namespace
+} // namespace flat

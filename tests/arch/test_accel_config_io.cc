@@ -1,0 +1,70 @@
+#include "arch/accel_config_io.h"
+
+#include <gtest/gtest.h>
+
+#include "common/status.h"
+#include "common/units.h"
+
+namespace flat {
+namespace {
+
+TEST(AccelConfigIo, OverridesOnTopOfBase)
+{
+    const AccelConfig accel = accel_from_config(
+        parse_config_text("name = npu\npe_rows = 64\npe_cols = 128\n"
+                          "sg = 2MiB\noffchip_bw = 100GB/s"),
+        edge_accel());
+    EXPECT_EQ(accel.name, "npu");
+    EXPECT_EQ(accel.pe_rows, 64u);
+    EXPECT_EQ(accel.pe_cols, 128u);
+    EXPECT_EQ(accel.sg_bytes, 2 * kMiB);
+    EXPECT_DOUBLE_EQ(accel.offchip_bw, 100e9);
+    // Untouched keys keep the base preset's values.
+    EXPECT_DOUBLE_EQ(accel.onchip_bw, edge_accel().onchip_bw);
+}
+
+TEST(AccelConfigIo, ParsesSecondLevelBuffer)
+{
+    const AccelConfig accel = accel_from_config(
+        parse_config_text("sg2 = 32MiB\nsg2_bw = 200GB/s"));
+    EXPECT_TRUE(accel.has_sg2());
+    EXPECT_EQ(accel.sg2_bytes, 32 * kMiB);
+    EXPECT_DOUBLE_EQ(accel.sg2_bw, 200e9);
+}
+
+TEST(AccelConfigIo, ParsesNocKinds)
+{
+    const AccelConfig accel = accel_from_config(parse_config_text(
+        "distribution_noc = tree\nreduction_noc = crossbar"));
+    EXPECT_EQ(accel.distribution_noc, NocKind::kTree);
+    EXPECT_EQ(accel.reduction_noc, NocKind::kCrossbar);
+    EXPECT_THROW(
+        accel_from_config(parse_config_text("distribution_noc = mesh")),
+        Error);
+}
+
+TEST(AccelConfigIo, RejectsUnknownKeys)
+{
+    EXPECT_THROW(accel_from_config(parse_config_text("pe_rowz = 64")),
+                 Error);
+}
+
+TEST(AccelConfigIo, ValidatesResult)
+{
+    // SG2 without bandwidth fails validation.
+    EXPECT_THROW(accel_from_config(parse_config_text("sg2 = 32MiB")),
+                 Error);
+}
+
+TEST(AccelConfigIo, ClockAndSfu)
+{
+    const AccelConfig accel = accel_from_config(
+        parse_config_text("clock = 1.2e9\nsfu_lanes = 512\n"
+                          "bytes_per_element = 1"));
+    EXPECT_DOUBLE_EQ(accel.clock_hz, 1.2e9);
+    EXPECT_DOUBLE_EQ(accel.sfu_lanes, 512.0);
+    EXPECT_EQ(accel.bytes_per_element, 1u);
+}
+
+} // namespace
+} // namespace flat

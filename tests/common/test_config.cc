@@ -1,0 +1,67 @@
+#include "common/config.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "common/status.h"
+
+namespace flat {
+namespace {
+
+TEST(Config, ParsesKeyValuePairs)
+{
+    const ConfigMap map = parse_config_text("a = 1\nb=two\n  c  =  3  ");
+    EXPECT_EQ(map.at("a"), "1");
+    EXPECT_EQ(map.at("b"), "two");
+    EXPECT_EQ(map.at("c"), "3");
+}
+
+TEST(Config, IgnoresCommentsAndBlankLines)
+{
+    const ConfigMap map = parse_config_text(
+        "# header\n\nkey = value # trailing comment\n   \n# done\n");
+    EXPECT_EQ(map.size(), 1u);
+    EXPECT_EQ(map.at("key"), "value");
+}
+
+TEST(Config, KeysLowerCased)
+{
+    const ConfigMap map = parse_config_text("PE_Rows = 64");
+    EXPECT_EQ(map.at("pe_rows"), "64");
+}
+
+TEST(Config, LaterDuplicateWins)
+{
+    const ConfigMap map = parse_config_text("k = 1\nk = 2");
+    EXPECT_EQ(map.at("k"), "2");
+}
+
+TEST(Config, RejectsMalformedLines)
+{
+    EXPECT_THROW(parse_config_text("no-equals-here"), Error);
+    EXPECT_THROW(parse_config_text("= value"), Error);
+    EXPECT_THROW(parse_config_text("key ="), Error);
+}
+
+TEST(Config, FileRoundTrip)
+{
+    const std::string path = ::testing::TempDir() + "/flat_cfg_test.conf";
+    {
+        std::ofstream out(path);
+        out << "name = custom\nsg = 2MiB\n";
+    }
+    const ConfigMap map = parse_config_file(path);
+    EXPECT_EQ(map.at("name"), "custom");
+    EXPECT_EQ(map.at("sg"), "2MiB");
+    std::remove(path.c_str());
+}
+
+TEST(Config, MissingFileThrows)
+{
+    EXPECT_THROW(parse_config_file("/nonexistent/x.conf"), Error);
+}
+
+} // namespace
+} // namespace flat

@@ -1,0 +1,67 @@
+#include "common/csv.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "common/status.h"
+
+namespace flat {
+namespace {
+
+std::string
+read_file(const std::string& path)
+{
+    std::ifstream in(path);
+    std::ostringstream oss;
+    oss << in.rdbuf();
+    return oss.str();
+}
+
+class CsvTest : public ::testing::Test
+{
+  protected:
+    std::string path_ = ::testing::TempDir() + "/flat_csv_test.csv";
+
+    void TearDown() override { std::remove(path_.c_str()); }
+};
+
+TEST_F(CsvTest, WritesHeaderAndRows)
+{
+    {
+        CsvWriter csv(path_, {"seq", "util"});
+        csv.add_row({"512", "0.97"});
+        csv.add_row({"4096", "0.95"});
+    }
+    EXPECT_EQ(read_file(path_), "seq,util\n512,0.97\n4096,0.95\n");
+}
+
+TEST_F(CsvTest, QuotesSpecialCharacters)
+{
+    {
+        CsvWriter csv(path_, {"name", "note"});
+        csv.add_row({"a,b", "say \"hi\""});
+    }
+    EXPECT_EQ(read_file(path_), "name,note\n\"a,b\",\"say \"\"hi\"\"\"\n");
+}
+
+TEST_F(CsvTest, RejectsWrongArity)
+{
+    CsvWriter csv(path_, {"a", "b"});
+    EXPECT_THROW(csv.add_row({"1"}), Error);
+}
+
+TEST_F(CsvTest, RejectsEmptyHeader)
+{
+    EXPECT_THROW(CsvWriter(path_, {}), Error);
+}
+
+TEST_F(CsvTest, RejectsUnwritablePath)
+{
+    EXPECT_THROW(CsvWriter("/nonexistent-dir/x.csv", {"a"}), Error);
+}
+
+} // namespace
+} // namespace flat

@@ -1,0 +1,104 @@
+#include "common/json.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+#include "common/status.h"
+
+namespace flat {
+namespace {
+
+TEST(Json, FlatObject)
+{
+    JsonWriter json;
+    json.begin_object();
+    json.field("name", "flat");
+    json.field("util", 0.5);
+    json.field("cycles", std::uint64_t{42});
+    json.field("ok", true);
+    json.end_object();
+    EXPECT_EQ(json.str(),
+              R"({"name":"flat","util":0.5,"cycles":42,"ok":true})");
+}
+
+TEST(Json, NestedStructures)
+{
+    JsonWriter json;
+    json.begin_object();
+    json.key("series");
+    json.begin_array();
+    json.value(1.0);
+    json.value(2.0);
+    json.begin_object();
+    json.field("x", std::uint64_t{3});
+    json.end_object();
+    json.end_array();
+    json.end_object();
+    EXPECT_EQ(json.str(), R"({"series":[1,2,{"x":3}]})");
+}
+
+TEST(Json, EscapesSpecialCharacters)
+{
+    EXPECT_EQ(JsonWriter::escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+    EXPECT_EQ(JsonWriter::escape(std::string(1, '\x01')), "\\u0001");
+}
+
+TEST(Json, NonFiniteNumbersBecomeNull)
+{
+    JsonWriter json;
+    json.begin_array();
+    json.value(std::numeric_limits<double>::infinity());
+    json.value(std::nan(""));
+    json.end_array();
+    EXPECT_EQ(json.str(), "[null,null]");
+}
+
+TEST(Json, NullValue)
+{
+    JsonWriter json;
+    json.begin_object();
+    json.key("missing");
+    json.null_value();
+    json.end_object();
+    EXPECT_EQ(json.str(), R"({"missing":null})");
+}
+
+TEST(Json, IncompleteDocumentThrows)
+{
+    JsonWriter json;
+    json.begin_object();
+    EXPECT_THROW(json.str(), Error);
+}
+
+TEST(Json, ValueWithoutKeyThrows)
+{
+    JsonWriter json;
+    json.begin_object();
+    EXPECT_THROW(json.value(1.0), Error);
+}
+
+TEST(Json, KeyInArrayThrows)
+{
+    JsonWriter json;
+    json.begin_array();
+    EXPECT_THROW(json.key("nope"), Error);
+}
+
+TEST(Json, MismatchedCloseThrows)
+{
+    JsonWriter json;
+    json.begin_object();
+    EXPECT_THROW(json.end_array(), Error);
+}
+
+TEST(Json, RootScalar)
+{
+    JsonWriter json;
+    json.value(3.25);
+    EXPECT_EQ(json.str(), "3.25");
+}
+
+} // namespace
+} // namespace flat

@@ -1,0 +1,104 @@
+#include "common/math_util.h"
+
+#include <gtest/gtest.h>
+
+namespace flat {
+namespace {
+
+TEST(MathUtil, CeilDivExact)
+{
+    EXPECT_EQ(ceil_div<std::uint64_t>(12, 4), 3u);
+    EXPECT_EQ(ceil_div<std::uint64_t>(12, 3), 4u);
+}
+
+TEST(MathUtil, CeilDivRoundsUp)
+{
+    EXPECT_EQ(ceil_div<std::uint64_t>(13, 4), 4u);
+    EXPECT_EQ(ceil_div<std::uint64_t>(1, 4), 1u);
+}
+
+TEST(MathUtil, CeilDivZeroNumerator)
+{
+    EXPECT_EQ(ceil_div<std::uint64_t>(0, 7), 0u);
+}
+
+TEST(MathUtil, CeilDivZeroDenominatorIsZero)
+{
+    EXPECT_EQ(ceil_div<std::uint64_t>(5, 0), 0u);
+}
+
+TEST(MathUtil, RoundUp)
+{
+    EXPECT_EQ(round_up<std::uint64_t>(13, 4), 16u);
+    EXPECT_EQ(round_up<std::uint64_t>(16, 4), 16u);
+    EXPECT_EQ(round_up<std::uint64_t>(0, 4), 0u);
+}
+
+TEST(MathUtil, IsPow2)
+{
+    EXPECT_FALSE(is_pow2(0));
+    EXPECT_TRUE(is_pow2(1));
+    EXPECT_TRUE(is_pow2(1024));
+    EXPECT_FALSE(is_pow2(1023));
+    EXPECT_TRUE(is_pow2(1ull << 63));
+}
+
+TEST(MathUtil, Ilog2)
+{
+    EXPECT_EQ(ilog2(1), 0u);
+    EXPECT_EQ(ilog2(2), 1u);
+    EXPECT_EQ(ilog2(3), 1u);
+    EXPECT_EQ(ilog2(1024), 10u);
+}
+
+TEST(MathUtil, Ilog2Ceil)
+{
+    EXPECT_EQ(ilog2_ceil(1), 0u);
+    EXPECT_EQ(ilog2_ceil(2), 1u);
+    EXPECT_EQ(ilog2_ceil(3), 2u);
+    EXPECT_EQ(ilog2_ceil(1024), 10u);
+    EXPECT_EQ(ilog2_ceil(1025), 11u);
+}
+
+TEST(MathUtil, AlmostEqual)
+{
+    EXPECT_TRUE(almost_equal(1.0, 1.0));
+    EXPECT_TRUE(almost_equal(1.0, 1.0 + 1e-12));
+    EXPECT_FALSE(almost_equal(1.0, 1.001));
+    EXPECT_TRUE(almost_equal(0.0, 0.0));
+}
+
+TEST(MathUtil, CheckedU64RejectsNegative)
+{
+    EXPECT_THROW(checked_u64(-1.0), Error);
+    EXPECT_EQ(checked_u64(42.9), 42u);
+}
+
+/** Property: ceil_div(x, d) * d >= x and (ceil_div(x, d) - 1) * d < x. */
+class CeilDivProperty
+    : public ::testing::TestWithParam<std::pair<std::uint64_t,
+                                                std::uint64_t>>
+{
+};
+
+TEST_P(CeilDivProperty, TightUpperBound)
+{
+    const auto [x, d] = GetParam();
+    const std::uint64_t q = ceil_div(x, d);
+    EXPECT_GE(q * d, x);
+    if (q > 0) {
+        EXPECT_LT((q - 1) * d, x);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, CeilDivProperty,
+    ::testing::Values(std::pair<std::uint64_t, std::uint64_t>{1, 1},
+                      std::pair<std::uint64_t, std::uint64_t>{7, 3},
+                      std::pair<std::uint64_t, std::uint64_t>{512, 32},
+                      std::pair<std::uint64_t, std::uint64_t>{513, 32},
+                      std::pair<std::uint64_t, std::uint64_t>{65536, 511},
+                      std::pair<std::uint64_t, std::uint64_t>{1, 1024}));
+
+} // namespace
+} // namespace flat

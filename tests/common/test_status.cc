@@ -1,0 +1,58 @@
+#include "common/status.h"
+
+#include <gtest/gtest.h>
+
+namespace flat {
+namespace {
+
+TEST(Status, CheckPassesOnTrueCondition)
+{
+    EXPECT_NO_THROW(FLAT_CHECK(1 + 1 == 2, "arithmetic works"));
+}
+
+TEST(Status, CheckThrowsErrorWithDetail)
+{
+    try {
+        FLAT_CHECK(false, "value was " << 42);
+        FAIL() << "expected flat::Error";
+    } catch (const Error& e) {
+        const std::string msg = e.what();
+        EXPECT_NE(msg.find("value was 42"), std::string::npos) << msg;
+        EXPECT_NE(msg.find("check failed"), std::string::npos) << msg;
+        EXPECT_NE(msg.find("test_status.cc"), std::string::npos) << msg;
+    }
+}
+
+TEST(Status, AssertThrowsInternalError)
+{
+    EXPECT_THROW(FLAT_ASSERT(false, "invariant"), InternalError);
+}
+
+TEST(Status, FailAlwaysThrows)
+{
+    EXPECT_THROW(FLAT_FAIL("nope"), Error);
+}
+
+TEST(Status, ErrorIsNotInternalError)
+{
+    // The two categories must stay distinct so callers can distinguish
+    // user errors from library bugs.
+    try {
+        FLAT_FAIL("user error");
+    } catch (const std::exception& e) {
+        EXPECT_EQ(dynamic_cast<const InternalError*>(&e), nullptr);
+        EXPECT_NE(dynamic_cast<const Error*>(&e), nullptr);
+    }
+}
+
+TEST(Status, MessageIncludesConditionText)
+{
+    try {
+        FLAT_CHECK(2 < 1, "impossible");
+    } catch (const Error& e) {
+        EXPECT_NE(std::string(e.what()).find("2 < 1"), std::string::npos);
+    }
+}
+
+} // namespace
+} // namespace flat

@@ -1,0 +1,53 @@
+#include "common/string_util.h"
+
+#include <gtest/gtest.h>
+
+namespace flat {
+namespace {
+
+TEST(StringUtil, Strprintf)
+{
+    EXPECT_EQ(strprintf("x=%d y=%.1f", 3, 2.5), "x=3 y=2.5");
+    EXPECT_EQ(strprintf("%s", ""), "");
+}
+
+TEST(StringUtil, Join)
+{
+    EXPECT_EQ(join({"a", "b", "c"}, ", "), "a, b, c");
+    EXPECT_EQ(join({}, ", "), "");
+    EXPECT_EQ(join({"solo"}, ", "), "solo");
+}
+
+TEST(StringUtil, Split)
+{
+    EXPECT_EQ(split("a,b,c", ','),
+              (std::vector<std::string>{"a", "b", "c"}));
+    EXPECT_EQ(split("", ','), (std::vector<std::string>{""}));
+    EXPECT_EQ(split("a,,c", ','),
+              (std::vector<std::string>{"a", "", "c"}));
+    EXPECT_EQ(split("trailing,", ','),
+              (std::vector<std::string>{"trailing", ""}));
+}
+
+TEST(StringUtil, Trim)
+{
+    EXPECT_EQ(trim("  hi  "), "hi");
+    EXPECT_EQ(trim("hi"), "hi");
+    EXPECT_EQ(trim("   "), "");
+    EXPECT_EQ(trim("\t a b \n"), "a b");
+}
+
+TEST(StringUtil, ToLower)
+{
+    EXPECT_EQ(to_lower("FLAT-R64"), "flat-r64");
+    EXPECT_EQ(to_lower("already"), "already");
+}
+
+TEST(StringUtil, SplitJoinRoundTrip)
+{
+    const std::string original = "base,base-M,flat-R64";
+    EXPECT_EQ(join(split(original, ','), ","), original);
+}
+
+} // namespace
+} // namespace flat

@@ -1,0 +1,68 @@
+#include "common/table.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/status.h"
+
+namespace flat {
+namespace {
+
+TEST(TextTable, PrintsHeaderAndRows)
+{
+    TextTable table({"name", "util"});
+    table.add_row({"Base", "0.56"});
+    table.add_row({"FLAT-opt", "0.97"});
+    std::ostringstream oss;
+    table.print(oss);
+    const std::string out = oss.str();
+    EXPECT_NE(out.find("name"), std::string::npos);
+    EXPECT_NE(out.find("FLAT-opt"), std::string::npos);
+    EXPECT_NE(out.find("0.97"), std::string::npos);
+    EXPECT_EQ(table.num_rows(), 2u);
+}
+
+TEST(TextTable, ColumnsAligned)
+{
+    TextTable table({"a", "b"});
+    table.add_row({"short", "x"});
+    table.add_row({"much-longer-cell", "y"});
+    std::ostringstream oss;
+    table.print(oss);
+    // Every rendered line has the same width.
+    std::istringstream lines(oss.str());
+    std::string line;
+    std::size_t width = 0;
+    while (std::getline(lines, line)) {
+        if (width == 0) {
+            width = line.size();
+        }
+        EXPECT_EQ(line.size(), width) << line;
+    }
+}
+
+TEST(TextTable, RejectsWrongArity)
+{
+    TextTable table({"a", "b"});
+    EXPECT_THROW(table.add_row({"only-one"}), Error);
+}
+
+TEST(TextTable, RejectsEmptyHeader)
+{
+    EXPECT_THROW(TextTable({}), Error);
+}
+
+TEST(TextTable, SeparatorDoesNotCountAsRow)
+{
+    TextTable table({"a"});
+    table.add_row({"x"});
+    table.add_separator();
+    table.add_row({"y"});
+    EXPECT_EQ(table.num_rows(), 2u);
+    std::ostringstream oss;
+    EXPECT_NO_THROW(table.print(oss));
+}
+
+} // namespace
+} // namespace flat

@@ -1,0 +1,89 @@
+#include "common/units.h"
+
+#include <gtest/gtest.h>
+
+#include "common/status.h"
+
+namespace flat {
+namespace {
+
+TEST(Units, Constants)
+{
+    EXPECT_EQ(kKiB, 1024u);
+    EXPECT_EQ(kMiB, 1024u * 1024u);
+    EXPECT_EQ(kGiB, 1024u * 1024u * 1024u);
+}
+
+TEST(Units, FormatBytesWholeUnits)
+{
+    EXPECT_EQ(format_bytes(512 * kKiB), "512KiB");
+    EXPECT_EQ(format_bytes(32 * kMiB), "32MiB");
+    EXPECT_EQ(format_bytes(2 * kGiB), "2GiB");
+    EXPECT_EQ(format_bytes(0), "0B");
+}
+
+TEST(Units, FormatBytesFractional)
+{
+    EXPECT_EQ(format_bytes(1536), "1.50KiB");
+}
+
+TEST(Units, FormatBandwidth)
+{
+    EXPECT_EQ(format_bandwidth(400e9), "400GB/s");
+    EXPECT_EQ(format_bandwidth(1e12), "1TB/s");
+    EXPECT_EQ(format_bandwidth(50e9), "50GB/s");
+}
+
+TEST(Units, FormatTimePicksScale)
+{
+    EXPECT_EQ(format_time(1.5e-9), "1.50ns");
+    EXPECT_EQ(format_time(2.5e-6), "2.50us");
+    EXPECT_EQ(format_time(3.25e-3), "3.25ms");
+    EXPECT_EQ(format_time(1.5), "1.500s");
+}
+
+TEST(Units, FormatCount)
+{
+    EXPECT_EQ(format_count(1000.0), "1K");
+    EXPECT_EQ(format_count(2.5e6), "2.50M");
+}
+
+TEST(Units, ParseBytesBinary)
+{
+    EXPECT_EQ(parse_bytes("512KiB"), 512 * kKiB);
+    EXPECT_EQ(parse_bytes("2MiB"), 2 * kMiB);
+    EXPECT_EQ(parse_bytes("1.5GiB"), 3 * kGiB / 2);
+    EXPECT_EQ(parse_bytes("32 MiB"), 32 * kMiB);
+}
+
+TEST(Units, ParseBytesDecimalAndPlain)
+{
+    EXPECT_EQ(parse_bytes("4KB"), 4000u);
+    EXPECT_EQ(parse_bytes("1000"), 1000u);
+    EXPECT_EQ(parse_bytes("123B"), 123u);
+}
+
+TEST(Units, ParseBytesRoundTripsFormat)
+{
+    for (std::uint64_t bytes : {20 * kKiB, 512 * kKiB, 32 * kMiB,
+                                2 * kGiB}) {
+        EXPECT_EQ(parse_bytes(format_bytes(bytes)), bytes);
+    }
+}
+
+TEST(Units, ParseBytesRejectsGarbage)
+{
+    EXPECT_THROW(parse_bytes("lots"), Error);
+    EXPECT_THROW(parse_bytes("12XiB"), Error);
+    EXPECT_THROW(parse_bytes("-5KiB"), Error);
+}
+
+TEST(Units, ParseBandwidth)
+{
+    EXPECT_DOUBLE_EQ(parse_bandwidth("50GB/s"), 50e9);
+    EXPECT_DOUBLE_EQ(parse_bandwidth("1TB/s"), 1e12);
+    EXPECT_DOUBLE_EQ(parse_bandwidth("400e9"), 400e9);
+}
+
+} // namespace
+} // namespace flat

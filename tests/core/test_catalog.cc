@@ -1,0 +1,93 @@
+#include "core/catalog.h"
+
+#include <gtest/gtest.h>
+
+#include "common/status.h"
+
+namespace flat {
+namespace {
+
+TEST(Catalog, PolicyParsingRoundTrips)
+{
+    for (const char* name :
+         {"Base", "Base-M", "Base-B", "Base-H", "Base-opt", "FLAT-M",
+          "FLAT-B", "FLAT-H", "FLAT-R64", "FLAT-opt"}) {
+        const DataflowPolicy policy = DataflowPolicy::parse(name);
+        EXPECT_EQ(policy.name(), name);
+    }
+}
+
+TEST(Catalog, PolicyParseRejectsUnknown)
+{
+    EXPECT_THROW(DataflowPolicy::parse("flash-attention"), Error);
+    EXPECT_THROW(DataflowPolicy::parse("flat-r0"), Error);
+}
+
+TEST(Catalog, FusedFamilies)
+{
+    EXPECT_FALSE(DataflowPolicy::parse("base").fused());
+    EXPECT_FALSE(DataflowPolicy::parse("base-opt").fused());
+    EXPECT_TRUE(DataflowPolicy::parse("flat-m").fused());
+    EXPECT_TRUE(DataflowPolicy::parse("flat-r128").fused());
+    EXPECT_TRUE(DataflowPolicy::parse("flat-opt").fused());
+}
+
+TEST(Catalog, SearchedOnlyForOptVariants)
+{
+    EXPECT_TRUE(DataflowPolicy::parse("base-opt").searched());
+    EXPECT_TRUE(DataflowPolicy::parse("flat-opt").searched());
+    EXPECT_FALSE(DataflowPolicy::parse("flat-h").searched());
+}
+
+TEST(Catalog, FixedCrossMatchesPolicy)
+{
+    EXPECT_EQ(DataflowPolicy::parse("flat-h").fixed_cross().granularity,
+              Granularity::kHead);
+    EXPECT_EQ(DataflowPolicy::parse("flat-r256").fixed_cross().rows,
+              256u);
+    EXPECT_THROW(DataflowPolicy::parse("flat-opt").fixed_cross(), Error);
+}
+
+TEST(Catalog, Figure8PoliciesCoverTheTenCurves)
+{
+    const auto policies = figure8_policies(64);
+    ASSERT_EQ(policies.size(), 10u);
+    EXPECT_EQ(policies.front().name(), "Base");
+    EXPECT_EQ(policies.back().name(), "FLAT-opt");
+}
+
+TEST(Catalog, AcceleratorParsingRoundTrips)
+{
+    for (const char* name : {"BaseAccel", "FlexAccel-M", "FlexAccel",
+                             "ATTACC-M", "ATTACC-R64", "ATTACC"}) {
+        EXPECT_EQ(AcceleratorSpec::parse(name).name(), name);
+    }
+    EXPECT_THROW(AcceleratorSpec::parse("TPU"), Error);
+}
+
+TEST(Catalog, BaseAccelIsInflexible)
+{
+    const AcceleratorSpec base = AcceleratorSpec::parse("baseaccel");
+    EXPECT_FALSE(base.flexible());
+    EXPECT_FALSE(base.allows_l3());
+    EXPECT_EQ(base.la_policy().kind, PolicyKind::kBase);
+}
+
+TEST(Catalog, AttaccRunsFlatOpt)
+{
+    const AcceleratorSpec attacc = AcceleratorSpec::parse("attacc");
+    EXPECT_TRUE(attacc.flexible());
+    EXPECT_TRUE(attacc.allows_l3());
+    EXPECT_EQ(attacc.la_policy().kind, PolicyKind::kFlatOpt);
+}
+
+TEST(Catalog, FlexAccelRunsBaseOpt)
+{
+    EXPECT_EQ(AcceleratorSpec::parse("flexaccel").la_policy().kind,
+              PolicyKind::kBaseOpt);
+    EXPECT_EQ(AcceleratorSpec::parse("flexaccel-m").la_policy().kind,
+              PolicyKind::kBaseM);
+}
+
+} // namespace
+} // namespace flat

@@ -1,0 +1,170 @@
+#include "core/simulator.h"
+
+#include <gtest/gtest.h>
+
+#include "common/status.h"
+#include "workload/model_config.h"
+
+namespace flat {
+namespace {
+
+SimOptions
+quick()
+{
+    SimOptions options;
+    options.quick = true;
+    return options;
+}
+
+TEST(Simulator, ScopeReportConsistency)
+{
+    const Simulator sim(edge_accel());
+    const Workload w = make_workload(bert_base(), 64, 512);
+    const ScopeReport report = sim.run(
+        w, Scope::kBlock, DataflowPolicy::parse("flat-opt"), quick());
+    EXPECT_GT(report.cycles, 0.0);
+    EXPECT_GT(report.ideal_cycles, 0.0);
+    EXPECT_LE(report.util(), 1.0);
+    EXPECT_NEAR(report.cycles,
+                report.breakdown.la_cycles + report.breakdown.proj_cycles +
+                    report.breakdown.fc_cycles,
+                1e-6 * report.cycles);
+    EXPECT_NEAR(report.runtime_s, report.cycles * 1e-9,
+                1e-12 * report.runtime_s);
+    EXPECT_GT(report.energy_j, 0.0);
+}
+
+TEST(Simulator, LaScopeHasNoProjectionCost)
+{
+    const Simulator sim(edge_accel());
+    const Workload w = make_workload(bert_base(), 64, 512);
+    const ScopeReport report = sim.run(
+        w, Scope::kLogitAttend, DataflowPolicy::parse("flat-h"), quick());
+    EXPECT_EQ(report.breakdown.proj_cycles, 0.0);
+    EXPECT_EQ(report.breakdown.fc_cycles, 0.0);
+    EXPECT_GT(report.breakdown.la_cycles, 0.0);
+}
+
+TEST(Simulator, ModelScopeScalesBlockByNumBlocks)
+{
+    const Simulator sim(edge_accel());
+    const Workload w = make_workload(bert_base(), 64, 512);
+    const DataflowPolicy policy = DataflowPolicy::parse("flat-h");
+    const ScopeReport block = sim.run(w, Scope::kBlock, policy, quick());
+    const ScopeReport model = sim.run(w, Scope::kModel, policy, quick());
+    EXPECT_NEAR(model.cycles, 12.0 * block.cycles, 1e-6 * model.cycles);
+    EXPECT_NEAR(model.energy_j, 12.0 * block.energy_j,
+                1e-6 * model.energy_j);
+}
+
+TEST(Simulator, FlatOptBeatsBaseOptAtLaScope)
+{
+    const Simulator sim(edge_accel());
+    for (std::uint64_t n : {512u, 4096u, 16384u}) {
+        const Workload w = make_workload(bert_base(), 64, n);
+        const ScopeReport flat_report = sim.run(
+            w, Scope::kLogitAttend, DataflowPolicy::parse("flat-opt"),
+            quick());
+        const ScopeReport base_report = sim.run(
+            w, Scope::kLogitAttend, DataflowPolicy::parse("base-opt"),
+            quick());
+        EXPECT_GE(flat_report.util(), base_report.util() * 0.9999)
+            << "N=" << n;
+    }
+}
+
+TEST(Simulator, AttaccOutperformsFlexAccelAtLongSequence)
+{
+    const Simulator sim(edge_accel());
+    const Workload w = make_workload(bert_base(), 64, 16384);
+    const ScopeReport attacc = sim.run(
+        w, Scope::kModel, AcceleratorSpec::parse("attacc"), quick());
+    const ScopeReport flex = sim.run(
+        w, Scope::kModel, AcceleratorSpec::parse("flexaccel"), quick());
+    const ScopeReport flexm = sim.run(
+        w, Scope::kModel, AcceleratorSpec::parse("flexaccel-m"), quick());
+    EXPECT_LT(attacc.cycles, flex.cycles);
+    EXPECT_LE(flex.cycles, flexm.cycles * 1.0001);
+}
+
+TEST(Simulator, BaseAccelUsesFixedDataflowEverywhere)
+{
+    const Simulator sim(edge_accel());
+    const Workload w = make_workload(bert_base(), 64, 2048);
+    const ScopeReport base_accel = sim.run(
+        w, Scope::kBlock, AcceleratorSpec::parse("baseaccel"), quick());
+    const ScopeReport flex = sim.run(
+        w, Scope::kBlock, AcceleratorSpec::parse("flexaccel"), quick());
+    EXPECT_GE(base_accel.cycles, flex.cycles);
+}
+
+TEST(Simulator, NonFusedOperatorsIdenticalAcrossFlexAndAttacc)
+{
+    // §6.5.1: "FlexAccel and ATTACC share the same performance for
+    // Projections and FCs".
+    const Simulator sim(cloud_accel());
+    const Workload w = make_workload(xlm(), 64, 4096);
+    const ScopeReport attacc = sim.run(
+        w, Scope::kBlock, AcceleratorSpec::parse("attacc"), quick());
+    const ScopeReport flex = sim.run(
+        w, Scope::kBlock, AcceleratorSpec::parse("flexaccel"), quick());
+    EXPECT_DOUBLE_EQ(attacc.breakdown.proj_cycles,
+                     flex.breakdown.proj_cycles);
+    EXPECT_DOUBLE_EQ(attacc.breakdown.fc_cycles,
+                     flex.breakdown.fc_cycles);
+}
+
+TEST(Simulator, AttentionPolicyEvaluation)
+{
+    const Simulator sim(edge_accel());
+    const Workload w = make_workload(bert_base(), 64, 1024);
+    const AttentionSearchResult res = sim.attention(
+        w, DataflowPolicy::parse("flat-r64"), quick());
+    EXPECT_TRUE(res.found);
+    EXPECT_EQ(res.best.dataflow.cross.granularity, Granularity::kRow);
+    EXPECT_EQ(res.best.dataflow.cross.rows, 64u);
+}
+
+TEST(Simulator, PolicyOptionsForFixedPoliciesPinTheSpace)
+{
+    const AttentionSearchOptions opt = attention_options(
+        DataflowPolicy::parse("base-h"), quick());
+    EXPECT_FALSE(opt.fused);
+    ASSERT_TRUE(opt.fixed_cross.has_value());
+    EXPECT_EQ(opt.fixed_cross->granularity, Granularity::kHead);
+    ASSERT_TRUE(opt.fixed_flags.has_value());
+    EXPECT_TRUE(opt.fixed_flags->intermediate);
+
+    const AttentionSearchOptions base = attention_options(
+        DataflowPolicy::parse("base"), quick());
+    ASSERT_TRUE(base.fixed_flags.has_value());
+    EXPECT_EQ(FusedStageFlags::encode(*base.fixed_flags), 0u);
+}
+
+TEST(Simulator, SpecOptionsForAttaccRArePinnedCrossAlwaysStaged)
+{
+    // A fixed-granularity accelerator stages at that granularity by
+    // construction (it cannot fall back to pure streaming).
+    const AttentionSearchOptions opt = attention_options(
+        AcceleratorSpec::parse("attacc-r128"), quick());
+    EXPECT_TRUE(opt.fused);
+    ASSERT_TRUE(opt.fixed_cross.has_value());
+    EXPECT_EQ(opt.fixed_cross->rows, 128u);
+    ASSERT_TRUE(opt.fixed_flags.has_value());
+    EXPECT_EQ(FusedStageFlags::encode(*opt.fixed_flags), 31u);
+
+    // The fully flexible ATTACC sweeps the staging flags.
+    const AttentionSearchOptions full = attention_options(
+        AcceleratorSpec::parse("attacc"), quick());
+    EXPECT_FALSE(full.fixed_flags.has_value());
+}
+
+TEST(Simulator, RejectsInvalidAccel)
+{
+    AccelConfig bad = edge_accel();
+    bad.pe_rows = 0;
+    EXPECT_THROW(Simulator{bad}, Error);
+}
+
+} // namespace
+} // namespace flat

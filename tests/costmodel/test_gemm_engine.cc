@@ -1,0 +1,168 @@
+#include "costmodel/gemm_engine.h"
+
+#include <gtest/gtest.h>
+
+#include "common/status.h"
+
+namespace flat {
+namespace {
+
+GemmShape
+shape(std::uint64_t m, std::uint64_t k, std::uint64_t n)
+{
+    GemmShape s;
+    s.m = m;
+    s.k = k;
+    s.n = n;
+    return s;
+}
+
+TEST(GemmEngine, IdealCycles)
+{
+    const AccelConfig edge = edge_accel();
+    EXPECT_DOUBLE_EQ(ideal_gemm_cycles(edge, 1024 * 1000), 1000.0);
+}
+
+TEST(GemmEngine, PerfectlyMappedGemmReachesIdeal)
+{
+    // Dims are multiples of the array: compute cycles == ideal.
+    const AccelConfig edge = edge_accel();
+    const GemmShape s = shape(512, 256, 512);
+    const L2Tile tile{128, 256, 128};
+    const GemmComputeCost cost =
+        model_gemm_compute(edge, s, tile, LoopOrder::kMNK,
+                           Stationarity::kOutputStationary);
+    EXPECT_DOUBLE_EQ(cost.compute_cycles,
+                     ideal_gemm_cycles(edge, s.macs()));
+}
+
+TEST(GemmEngine, EdgeTilesLoseUtilization)
+{
+    // m = 40 on a 32-row array wastes 24 rows in the second fold.
+    const AccelConfig edge = edge_accel();
+    const GemmShape s = shape(40, 256, 512);
+    const L2Tile tile{40, 256, 128};
+    const GemmComputeCost cost =
+        model_gemm_compute(edge, s, tile, LoopOrder::kMNK,
+                           Stationarity::kOutputStationary);
+    EXPECT_GT(cost.compute_cycles, ideal_gemm_cycles(edge, s.macs()));
+}
+
+TEST(GemmEngine, NarrowGemmWastesArrayColumnsUnderOS)
+{
+    // n = 64 < 256 columns: OS cannot fill the cloud array, IS can.
+    const AccelConfig cloud = cloud_accel();
+    const GemmShape s = shape(4096, 4096, 64);
+    const L2Tile tile{1024, 1024, 64};
+    const GemmComputeCost os =
+        model_gemm_compute(cloud, s, tile, LoopOrder::kMNK,
+                           Stationarity::kOutputStationary);
+    const GemmComputeCost is =
+        model_gemm_compute(cloud, s, tile, LoopOrder::kMNK,
+                           Stationarity::kInputStationary);
+    EXPECT_GT(os.compute_cycles, 1.9 * is.compute_cycles);
+}
+
+TEST(GemmEngine, FillDrainSmallForDeepRuns)
+{
+    // Long accumulation runs hide the systolic skew almost entirely.
+    const AccelConfig edge = edge_accel();
+    const GemmShape s = shape(512, 4096, 512);
+    const L2Tile tile{128, 4096, 128};
+    const GemmComputeCost cost =
+        model_gemm_compute(edge, s, tile, LoopOrder::kMNK,
+                           Stationarity::kOutputStationary);
+    EXPECT_LT(cost.fill_drain_cycles, 0.01 * cost.compute_cycles);
+}
+
+TEST(GemmEngine, StreamedOperandVolumeScalesWithReuseLoops)
+{
+    const AccelConfig edge = edge_accel();
+    const GemmShape s = shape(512, 64, 512);
+    const L2Tile tile{128, 64, 128};
+    const GemmComputeCost cost =
+        model_gemm_compute(edge, s, tile, LoopOrder::kMNK,
+                           Stationarity::kOutputStationary);
+    // A streams once per n tile (4 trips), B once per m tile (4 trips).
+    const double a_bytes = 512.0 * 64 * 2;
+    const double b_bytes = 64.0 * 512 * 2;
+    EXPECT_DOUBLE_EQ(cost.sg_read_bytes, 4 * a_bytes + 4 * b_bytes);
+    // Output-stationary with k innermost: one write per C tile, no
+    // partial-sum re-reads.
+    EXPECT_DOUBLE_EQ(cost.sg_write_bytes, 512.0 * 512 * 2);
+    EXPECT_DOUBLE_EQ(cost.sg_psum_read_bytes, 0.0);
+}
+
+TEST(GemmEngine, WeightStationarySpillsPartialSums)
+{
+    const AccelConfig edge = edge_accel();
+    const GemmShape s = shape(512, 256, 512);
+    const L2Tile tile{128, 64, 128}; // trips_k = 4
+    const GemmComputeCost cost =
+        model_gemm_compute(edge, s, tile, LoopOrder::kMNK,
+                           Stationarity::kWeightStationary);
+    EXPECT_DOUBLE_EQ(cost.sg_write_bytes, 4 * 512.0 * 512 * 2);
+    EXPECT_DOUBLE_EQ(cost.sg_psum_read_bytes, 3 * 512.0 * 512 * 2);
+}
+
+TEST(GemmEngine, DefaultTileFitsBudget)
+{
+    const AccelConfig edge = edge_accel();
+    const GemmShape s = shape(65536, 2048, 2048);
+    for (std::uint64_t budget :
+         {std::uint64_t{16} * 1024, std::uint64_t{256} * 1024,
+          std::uint64_t{4} * 1024 * 1024}) {
+        const L2Tile tile = default_l2_tile(
+            edge, s, budget, Stationarity::kOutputStationary);
+        const std::uint64_t bytes =
+            2 * (tile.a_bytes(2) + tile.b_bytes(2) + tile.c_bytes(2));
+        EXPECT_LE(bytes, budget) << "budget " << budget;
+        EXPECT_GE(tile.m, 1u);
+        EXPECT_GE(tile.k, 1u);
+        EXPECT_GE(tile.n, 1u);
+    }
+}
+
+TEST(GemmEngine, DefaultTileClampsToShape)
+{
+    const AccelConfig edge = edge_accel();
+    const GemmShape s = shape(8, 8, 8);
+    const L2Tile tile = default_l2_tile(edge, s, 1 << 20,
+                                        Stationarity::kOutputStationary);
+    EXPECT_LE(tile.m, 8u);
+    EXPECT_LE(tile.k, 8u);
+    EXPECT_LE(tile.n, 8u);
+}
+
+/** Property: compute cycles never undercut the ideal. */
+class ComputeLowerBound : public ::testing::TestWithParam<Stationarity>
+{
+};
+
+TEST_P(ComputeLowerBound, NeverFasterThanIdeal)
+{
+    const AccelConfig edge = edge_accel();
+    for (const GemmShape& s :
+         {shape(100, 64, 300), shape(512, 512, 512), shape(33, 7, 1000),
+          shape(1, 1, 1)}) {
+        const L2Tile tile = default_l2_tile(edge, s, 128 * 1024,
+                                            GetParam());
+        const GemmComputeCost cost = model_gemm_compute(
+            edge, s, tile, LoopOrder::kMNK, GetParam());
+        EXPECT_GE(cost.compute_cycles,
+                  ideal_gemm_cycles(edge, s.macs()) - 1e-9)
+            << s.m << "x" << s.k << "x" << s.n;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllStationarities, ComputeLowerBound,
+                         ::testing::Values(
+                             Stationarity::kOutputStationary,
+                             Stationarity::kWeightStationary,
+                             Stationarity::kInputStationary),
+                         [](const auto& info) {
+                             return to_string(info.param);
+                         });
+
+} // namespace
+} // namespace flat

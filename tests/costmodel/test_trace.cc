@@ -1,0 +1,104 @@
+#include "costmodel/trace.h"
+
+#include <gtest/gtest.h>
+
+#include "common/units.h"
+#include "costmodel/attention_cost.h"
+
+namespace flat {
+namespace {
+
+AttentionDims
+dims(std::uint64_t n)
+{
+    AttentionDims d;
+    d.batch = 8;
+    d.heads = 8;
+    d.q_len = n;
+    d.kv_len = n;
+    d.head_dim = 64;
+    return d;
+}
+
+FusedDataflow
+flat_r(std::uint64_t rows)
+{
+    FusedDataflow df;
+    df.cross = {Granularity::kRow, rows};
+    df.l2_logit = {128, 64, 128};
+    df.l2_attend = {128, 128, 64};
+    return df;
+}
+
+TEST(Trace, PhasesInExecutionOrder)
+{
+    const ExecutionTrace t =
+        trace_flat_attention(edge_accel(), dims(1024), flat_r(64));
+    ASSERT_EQ(t.phases.size(), 5u);
+    EXPECT_NE(t.phases[0].label.find("prefetch"), std::string::npos);
+    EXPECT_NE(t.phases[1].label.find("L:"), std::string::npos);
+    EXPECT_NE(t.phases[2].label.find("softmax"), std::string::npos);
+    EXPECT_NE(t.phases[3].label.find("A:"), std::string::npos);
+    EXPECT_NE(t.phases[4].label.find("writeback"), std::string::npos);
+}
+
+TEST(Trace, TransfersMarkedOverlapped)
+{
+    const ExecutionTrace t =
+        trace_flat_attention(edge_accel(), dims(1024), flat_r(64));
+    EXPECT_FALSE(t.phases[0].on_critical_path);
+    EXPECT_TRUE(t.phases[1].on_critical_path);
+    EXPECT_TRUE(t.phases[2].on_critical_path);
+    EXPECT_TRUE(t.phases[3].on_critical_path);
+    EXPECT_FALSE(t.phases[4].on_critical_path);
+}
+
+TEST(Trace, TotalsMatchCostModel)
+{
+    const AttentionDims d = dims(2048);
+    const FusedDataflow df = flat_r(64);
+    const ExecutionTrace t =
+        trace_flat_attention(edge_accel(), d, df);
+    const OperatorCost cost =
+        model_flat_attention(edge_accel(), d, df);
+    EXPECT_DOUBLE_EQ(t.total_cycles, cost.cycles);
+    EXPECT_NEAR(t.pass_cycles * t.passes, cost.cycles,
+                1e-6 * cost.cycles);
+}
+
+TEST(Trace, PassCountMatchesCrossLoop)
+{
+    const ExecutionTrace t =
+        trace_flat_attention(edge_accel(), dims(1024), flat_r(64));
+    // 8 batch x 8 heads x (1024/64) chunks.
+    EXPECT_DOUBLE_EQ(t.passes, 8.0 * 8.0 * 16.0);
+}
+
+TEST(Trace, BoundByIdentifiesBottleneck)
+{
+    // Roomy buffer + fat pipe: compute bound.
+    AccelConfig roomy = edge_accel();
+    roomy.sg_bytes = 64 * kMiB;
+    roomy.offchip_bw = 400e9;
+    const ExecutionTrace fast =
+        trace_flat_attention(roomy, dims(4096), flat_r(64));
+    EXPECT_EQ(fast.bound_by, "compute");
+
+    // Tiny buffer at long N: off-chip bound.
+    const ExecutionTrace slow =
+        trace_flat_attention(edge_accel(), dims(32768), flat_r(32));
+    EXPECT_EQ(slow.bound_by, "off-chip BW");
+}
+
+TEST(Trace, RenderContainsBarsAndLabels)
+{
+    const ExecutionTrace t =
+        trace_flat_attention(edge_accel(), dims(1024), flat_r(64));
+    const std::string text = t.render(40);
+    EXPECT_NE(text.find("L: logits slice GEMM"), std::string::npos);
+    EXPECT_NE(text.find('#'), std::string::npos);
+    EXPECT_NE(text.find("passes"), std::string::npos);
+}
+
+} // namespace
+} // namespace flat

@@ -1,0 +1,92 @@
+#include "dataflow/tiling.h"
+
+#include <gtest/gtest.h>
+
+#include "common/status.h"
+
+namespace flat {
+namespace {
+
+GemmShape
+shape(std::uint64_t m, std::uint64_t k, std::uint64_t n)
+{
+    GemmShape s;
+    s.m = m;
+    s.k = k;
+    s.n = n;
+    return s;
+}
+
+TEST(Tiling, ClampedTileNeverExceedsShape)
+{
+    const L2Tile tile{1024, 1024, 1024};
+    const L2Tile clamped = tile.clamped(shape(512, 64, 2048));
+    EXPECT_EQ(clamped.m, 512u);
+    EXPECT_EQ(clamped.k, 64u);
+    EXPECT_EQ(clamped.n, 1024u);
+}
+
+TEST(Tiling, TripCountsUseCeil)
+{
+    const L2Tile tile{128, 64, 100};
+    const GemmShape s = shape(512, 64, 512);
+    EXPECT_EQ(tile.trips_m(s), 4u);
+    EXPECT_EQ(tile.trips_k(s), 1u);
+    EXPECT_EQ(tile.trips_n(s), 6u); // ceil(512/100)
+    EXPECT_EQ(tile.total_trips(s), 24u);
+}
+
+TEST(Tiling, TileBytes)
+{
+    const L2Tile tile{128, 64, 256};
+    EXPECT_EQ(tile.a_bytes(2), 128u * 64 * 2);
+    EXPECT_EQ(tile.b_bytes(2), 64u * 256 * 2);
+    EXPECT_EQ(tile.c_bytes(2), 128u * 256 * 2);
+}
+
+TEST(Tiling, ValidateRejectsZeroDims)
+{
+    EXPECT_THROW((L2Tile{0, 1, 1}).validate(), Error);
+    EXPECT_NO_THROW((L2Tile{1, 1, 1}).validate());
+}
+
+TEST(Tiling, LoopOrderDims)
+{
+    Dim dims[3];
+    loop_order_dims(LoopOrder::kNKM, dims);
+    EXPECT_EQ(dims[0], Dim::kN);
+    EXPECT_EQ(dims[1], Dim::kK);
+    EXPECT_EQ(dims[2], Dim::kM);
+}
+
+TEST(Tiling, AllSixOrdersDistinct)
+{
+    // Every permutation of (m, k, n) appears exactly once.
+    std::set<std::string> seen;
+    for (LoopOrder order : kAllLoopOrders) {
+        Dim dims[3];
+        loop_order_dims(order, dims);
+        std::string sig;
+        for (Dim d : dims) {
+            sig += static_cast<char>('0' + static_cast<int>(d));
+        }
+        EXPECT_TRUE(seen.insert(sig).second) << to_string(order);
+    }
+    EXPECT_EQ(seen.size(), 6u);
+}
+
+TEST(Tiling, ToStringNames)
+{
+    EXPECT_EQ(to_string(LoopOrder::kMKN), "mkn");
+    EXPECT_EQ(to_string(Stationarity::kWeightStationary), "WS");
+    EXPECT_EQ(to_string(Stationarity::kOutputStationary), "OS");
+    EXPECT_EQ(to_string(Stationarity::kInputStationary), "IS");
+}
+
+TEST(Tiling, TagFormat)
+{
+    EXPECT_EQ((L2Tile{128, 64, 256}).tag(), "128x64x256");
+}
+
+} // namespace
+} // namespace flat

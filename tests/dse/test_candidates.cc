@@ -1,0 +1,98 @@
+#include "dse/candidates.h"
+
+#include <gtest/gtest.h>
+
+namespace flat {
+namespace {
+
+GemmShape
+shape(std::uint64_t m, std::uint64_t k, std::uint64_t n)
+{
+    GemmShape s;
+    s.m = m;
+    s.k = k;
+    s.n = n;
+    return s;
+}
+
+TEST(Candidates, TileMenuDeduplicated)
+{
+    const auto tiles =
+        tile_candidates(edge_accel(), shape(32, 32, 32),
+                        CandidateOptions{},
+                        Stationarity::kOutputStationary);
+    // A tiny GEMM clamps every budget to the same tile.
+    EXPECT_EQ(tiles.size(), 1u);
+}
+
+TEST(Candidates, TileMenuGrowsWithShape)
+{
+    const auto tiles =
+        tile_candidates(edge_accel(), shape(65536, 4096, 65536),
+                        CandidateOptions{},
+                        Stationarity::kOutputStationary);
+    EXPECT_GE(tiles.size(), 2u);
+    for (const L2Tile& t : tiles) {
+        EXPECT_NO_THROW(t.validate());
+    }
+}
+
+TEST(Candidates, RowCandidatesClampToSequence)
+{
+    const auto rows =
+        row_tile_candidates(edge_accel(), 48, CandidateOptions{});
+    for (std::uint64_t r : rows) {
+        EXPECT_LE(r, 48u);
+        EXPECT_GT(r, 0u);
+    }
+}
+
+TEST(Candidates, RowCandidatesDerivedFromArray)
+{
+    const auto rows =
+        row_tile_candidates(edge_accel(), 1 << 20, CandidateOptions{});
+    // 16, 32, 64, 128, 256 for a 32-row array.
+    EXPECT_EQ(rows.size(), 5u);
+    EXPECT_EQ(rows.front(), 16u);
+    EXPECT_EQ(rows.back(), 256u);
+}
+
+TEST(Candidates, CrossLoopIncludesRowOnlyWhenFused)
+{
+    const auto fused = cross_loop_candidates(edge_accel(), 4096,
+                                             CandidateOptions{}, true);
+    const auto baseline = cross_loop_candidates(edge_accel(), 4096,
+                                                CandidateOptions{}, false);
+    EXPECT_EQ(baseline.size(), 3u);
+    EXPECT_GT(fused.size(), baseline.size());
+    for (const CrossLoop& c : baseline) {
+        EXPECT_NE(c.granularity, Granularity::kRow);
+    }
+}
+
+TEST(Candidates, StageFlagSweepHas32Combos)
+{
+    CandidateOptions opt;
+    EXPECT_EQ(stage_flag_candidates(opt).size(), 32u);
+    opt.sweep_stage_flags = false;
+    const auto only = stage_flag_candidates(opt);
+    ASSERT_EQ(only.size(), 1u);
+    EXPECT_TRUE(only[0].intermediate);
+}
+
+TEST(Candidates, ExplicitOverridesRespected)
+{
+    CandidateOptions opt;
+    opt.loop_orders = {LoopOrder::kKNM};
+    opt.stationarities = {Stationarity::kWeightStationary};
+    opt.row_candidates = {17, 1000000};
+    EXPECT_EQ(loop_order_candidates(opt).size(), 1u);
+    EXPECT_EQ(stationarity_candidates(opt).size(), 1u);
+    const auto rows = row_tile_candidates(edge_accel(), 512, opt);
+    ASSERT_EQ(rows.size(), 2u);
+    EXPECT_EQ(rows[0], 17u);
+    EXPECT_EQ(rows[1], 512u); // clamped
+}
+
+} // namespace
+} // namespace flat

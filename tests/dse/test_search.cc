@@ -1,0 +1,213 @@
+#include "dse/search.h"
+
+#include <gtest/gtest.h>
+
+#include <limits>
+
+#include "common/status.h"
+#include "workload/attention.h"
+#include "workload/model_config.h"
+
+namespace flat {
+namespace {
+
+AttentionDims
+dims(std::uint64_t n)
+{
+    AttentionDims d;
+    d.batch = 16;
+    d.heads = 8;
+    d.q_len = n;
+    d.kv_len = n;
+    d.head_dim = 64;
+    return d;
+}
+
+TEST(Search, FindsAPoint)
+{
+    AttentionSearchOptions opt;
+    opt.quick = true;
+    const AttentionSearchResult res =
+        search_attention(edge_accel(), dims(1024), opt);
+    EXPECT_TRUE(res.found);
+    EXPECT_GT(res.evaluated, 100u);
+    EXPECT_GT(res.best.cost.cycles, 0.0);
+    EXPECT_GT(res.best.energy_j, 0.0);
+}
+
+TEST(Search, FusedOptimumNeverWorseThanBaselineOptimum)
+{
+    // FLAT's space strictly contains everything the baseline space can
+    // express plus fusion; the optimum must dominate (§6.2).
+    for (std::uint64_t n : {512u, 4096u, 16384u}) {
+        AttentionSearchOptions opt;
+        opt.quick = true;
+        opt.fused = true;
+        const auto flat_res =
+            search_attention(edge_accel(), dims(n), opt);
+        opt.fused = false;
+        const auto base_res =
+            search_attention(edge_accel(), dims(n), opt);
+        EXPECT_LE(flat_res.best.cost.cycles,
+                  base_res.best.cost.cycles * 1.0001)
+            << "N=" << n;
+    }
+}
+
+TEST(Search, FixedCrossRestrictsSpace)
+{
+    AttentionSearchOptions opt;
+    opt.quick = true;
+    opt.fixed_cross = CrossLoop{Granularity::kHead, 0};
+    const auto res = search_attention(edge_accel(), dims(1024), opt);
+    EXPECT_EQ(res.best.dataflow.cross.granularity, Granularity::kHead);
+}
+
+TEST(Search, FixedFlagsRestrictSpace)
+{
+    AttentionSearchOptions opt;
+    opt.quick = true;
+    FusedStageFlags flags = FusedStageFlags::decode(0);
+    opt.fixed_flags = flags;
+    const auto res = search_attention(edge_accel(), dims(1024), opt);
+    EXPECT_EQ(FusedStageFlags::encode(res.best.dataflow.stage), 0u);
+}
+
+TEST(Search, BaselineSpaceExcludesRowGranularity)
+{
+    AttentionSearchOptions opt;
+    opt.quick = true;
+    opt.fused = false;
+    const auto points =
+        explore_attention(edge_accel(), dims(1024), opt);
+    ASSERT_FALSE(points.empty());
+    for (const DsePoint& p : points) {
+        EXPECT_NE(p.dataflow.cross.granularity, Granularity::kRow);
+    }
+}
+
+TEST(Search, ExploreRespectsMaxPoints)
+{
+    AttentionSearchOptions opt;
+    opt.quick = true;
+    const auto points =
+        explore_attention(edge_accel(), dims(1024), opt, 10);
+    EXPECT_EQ(points.size(), 10u);
+}
+
+TEST(Search, EnergyObjectivePicksLowerEnergyPoint)
+{
+    AttentionSearchOptions runtime_opt;
+    runtime_opt.quick = true;
+    runtime_opt.objective = Objective::kRuntime;
+    AttentionSearchOptions energy_opt = runtime_opt;
+    energy_opt.objective = Objective::kEnergy;
+
+    const auto by_runtime =
+        search_attention(edge_accel(), dims(4096), runtime_opt);
+    const auto by_energy =
+        search_attention(edge_accel(), dims(4096), energy_opt);
+    EXPECT_LE(by_energy.best.energy_j,
+              by_runtime.best.energy_j * 1.0001);
+    EXPECT_LE(by_runtime.best.cost.cycles,
+              by_energy.best.cost.cycles * 1.0001);
+}
+
+TEST(Search, EdpObjectiveBetweenExtremes)
+{
+    const DsePoint p{FusedDataflow{}, OperatorCost{}, 2.0};
+    DsePoint q = p;
+    q.cost.cycles = 3.0;
+    EXPECT_DOUBLE_EQ(q.objective_value(Objective::kRuntime), 3.0);
+    EXPECT_DOUBLE_EQ(q.objective_value(Objective::kEnergy), 2.0);
+    EXPECT_DOUBLE_EQ(q.objective_value(Objective::kEdp), 6.0);
+}
+
+TEST(OperatorSearch, FindsDataflowForProjection)
+{
+    const Workload w = make_workload(bert_base(), 64, 512);
+    OperatorSearchOptions opt;
+    opt.quick = true;
+    const OperatorSearchResult res =
+        search_operator(edge_accel(), w.ops[0], opt);
+    EXPECT_TRUE(res.found);
+    EXPECT_GT(res.cost.util(), 0.5);
+}
+
+TEST(OperatorSearch, L3ForbiddenMeansNoStaging)
+{
+    const Workload w = make_workload(bert_base(), 64, 512);
+    OperatorSearchOptions opt;
+    opt.quick = true;
+    opt.allow_l3 = false;
+    const OperatorSearchResult res =
+        search_operator(edge_accel(), w.ops[0], opt);
+    EXPECT_FALSE(res.dataflow.l3.any());
+}
+
+TEST(OperatorSearch, AllowingL3NeverHurts)
+{
+    const Workload w = make_workload(bert_base(), 64, 2048);
+    OperatorSearchOptions with;
+    with.quick = true;
+    OperatorSearchOptions without = with;
+    without.allow_l3 = false;
+    const auto res_with = search_operator(edge_accel(), w.ops[0], with);
+    const auto res_without =
+        search_operator(edge_accel(), w.ops[0], without);
+    EXPECT_LE(res_with.cost.cycles, res_without.cost.cycles * 1.0001);
+}
+
+TEST(Search, UtilMonotoneInBufferSize)
+{
+    // Property: a larger SG can never make the best fused dataflow
+    // slower (the DSE can always ignore the extra capacity).
+    const AttentionDims d = dims(8192);
+    double prev_cycles = std::numeric_limits<double>::infinity();
+    for (std::uint64_t buf = 64 * 1024; buf <= 256ull * 1024 * 1024;
+         buf *= 8) {
+        AccelConfig accel = edge_accel();
+        accel.sg_bytes = buf;
+        AttentionSearchOptions opt;
+        opt.quick = true;
+        const auto res = search_attention(accel, d, opt);
+        EXPECT_LE(res.best.cost.cycles, prev_cycles * 1.0001)
+            << "buffer " << buf;
+        prev_cycles = res.best.cost.cycles;
+    }
+}
+
+TEST(Search, SerializedBaselineNeverFasterThanOverlapped)
+{
+    for (std::uint64_t n : {1024u, 16384u}) {
+        AttentionSearchOptions opt;
+        opt.quick = true;
+        opt.fused = false;
+        const auto full = search_attention(edge_accel(), dims(n), opt);
+        opt.baseline_overlap = BaselineOverlap::kSerialized;
+        const auto serial = search_attention(edge_accel(), dims(n), opt);
+        EXPECT_GE(serial.best.cost.cycles,
+                  full.best.cost.cycles * 0.9999)
+            << "N=" << n;
+    }
+}
+
+TEST(Search, BestPointNeverBeatsIdealCycles)
+{
+    AttentionSearchOptions opt;
+    opt.quick = true;
+    const AttentionDims d = dims(4096);
+    const auto res = search_attention(edge_accel(), d, opt);
+    EXPECT_GE(res.best.cost.cycles,
+              attention_ideal_cycles(edge_accel(), d) * 0.9999);
+}
+
+TEST(OperatorSearch, RejectsSoftmax)
+{
+    const Workload w = make_workload(bert_base(), 1, 128);
+    EXPECT_THROW(
+        search_operator(edge_accel(), w.softmax_op(), {}), Error);
+}
+
+} // namespace
+} // namespace flat

@@ -1,0 +1,104 @@
+#include "energy/energy_model.h"
+
+#include <gtest/gtest.h>
+
+#include "common/status.h"
+#include "common/units.h"
+
+namespace flat {
+namespace {
+
+ActivityCounts
+sample_activity()
+{
+    ActivityCounts a;
+    a.macs = 1e9;
+    a.sl_accesses = 3e9;
+    a.sfu_elems = 1e7;
+    a.traffic.dram_read = 1e8;
+    a.traffic.dram_write = 5e7;
+    a.traffic.sg_read = 1e9;
+    a.traffic.sg_write = 5e8;
+    return a;
+}
+
+TEST(EnergyModel, BreakdownSumsToTotal)
+{
+    const EnergyBreakdown e =
+        estimate_energy(EnergyTable{}, sample_activity());
+    EXPECT_NEAR(e.total(),
+                e.compute_j + e.sl_j + e.sg_j + e.dram_j + e.sfu_j,
+                1e-15);
+    EXPECT_GT(e.total(), 0.0);
+}
+
+TEST(EnergyModel, DramDominatesAtEqualBytes)
+{
+    // The core Accelergy property the paper relies on (§5.3.2): an
+    // off-chip byte costs orders of magnitude more than an on-chip byte.
+    ActivityCounts a;
+    a.traffic.dram_read = 1e6;
+    a.traffic.sg_read = 1e6;
+    const EnergyBreakdown e = estimate_energy(EnergyTable{}, a);
+    EXPECT_GT(e.dram_j, 20.0 * e.sg_j);
+}
+
+TEST(EnergyModel, LinearInActivity)
+{
+    ActivityCounts a = sample_activity();
+    const double e1 = estimate_energy(EnergyTable{}, a).total();
+    a += sample_activity();
+    const double e2 = estimate_energy(EnergyTable{}, a).total();
+    EXPECT_NEAR(e2, 2.0 * e1, 1e-12 * e2);
+}
+
+TEST(EnergyModel, ForAccelScalesSgEnergyWithCapacity)
+{
+    const EnergyTable edge = EnergyTable::for_accel(edge_accel());
+    const EnergyTable cloud = EnergyTable::for_accel(cloud_accel());
+    EXPECT_GT(cloud.sg_pj_per_byte, edge.sg_pj_per_byte);
+    EXPECT_GT(edge.dram_pj_per_byte, 10 * cloud.sg_pj_per_byte);
+}
+
+TEST(EnergyModel, ForAccelKeepsHierarchyOrderedAtHugeCapacity)
+{
+    // Regression: a 64 GiB scratchpad once pushed SG energy past the
+    // SG2 constant and failed validation.
+    AccelConfig accel = edge_accel();
+    accel.sg_bytes = 64ull * 1024 * 1024 * 1024;
+    const EnergyTable table = EnergyTable::for_accel(accel);
+    EXPECT_NO_THROW(table.validate());
+    EXPECT_GT(table.sg2_pj_per_byte, table.sg_pj_per_byte);
+    EXPECT_GT(table.dram_pj_per_byte, table.sg2_pj_per_byte);
+}
+
+TEST(EnergyModel, ValidateRejectsInvertedHierarchy)
+{
+    EnergyTable t;
+    t.dram_pj_per_byte = t.sg_pj_per_byte / 2;
+    EXPECT_THROW(t.validate(), Error);
+}
+
+TEST(EnergyModel, ValidateRejectsNonPositiveEntries)
+{
+    EnergyTable t;
+    t.mac_pj = 0.0;
+    EXPECT_THROW(t.validate(), Error);
+}
+
+TEST(EnergyModel, AccumulateBreakdowns)
+{
+    EnergyBreakdown a = estimate_energy(EnergyTable{}, sample_activity());
+    const double total = a.total();
+    a += a;
+    EXPECT_NEAR(a.total(), 2 * total, 1e-12 * total);
+}
+
+TEST(EnergyModel, ZeroActivityZeroEnergy)
+{
+    const EnergyBreakdown e = estimate_energy(EnergyTable{}, {});
+    EXPECT_DOUBLE_EQ(e.total(), 0.0);
+}
+
+} // namespace
+} // namespace flat

@@ -1,0 +1,199 @@
+#include "kernels/attention.h"
+
+#include <gtest/gtest.h>
+
+#include "common/status.h"
+
+namespace flat {
+namespace {
+
+struct Inputs {
+    Matrix q, k, v;
+};
+
+Inputs
+make_inputs(std::size_t n, std::size_t n_kv, std::size_t dk,
+            std::uint64_t seed)
+{
+    Inputs in{Matrix(n, dk), Matrix(n_kv, dk), Matrix(n_kv, dk)};
+    fill_random(in.q, seed + 1);
+    fill_random(in.k, seed + 2);
+    fill_random(in.v, seed + 3);
+    return in;
+}
+
+/**
+ * The central functional claim of the paper: FLAT is a pure dataflow
+ * transformation — fused row-streamed attention computes EXACTLY the
+ * same function as the materialized baseline (§4).
+ */
+class FusedEqualsReference
+    : public ::testing::TestWithParam<std::tuple<std::size_t, std::size_t>>
+{
+};
+
+TEST_P(FusedEqualsReference, SelfAttention)
+{
+    const auto [n, row_tile] = GetParam();
+    const Inputs in = make_inputs(n, n, 32, 77);
+    const Matrix ref = attention_reference(in.q, in.k, in.v);
+    const Matrix fused =
+        attention_flat(in.q, in.k, in.v, row_tile);
+    EXPECT_LT(ref.max_abs_diff(fused), 1e-5f)
+        << "N=" << n << " R=" << row_tile;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, FusedEqualsReference,
+    ::testing::Combine(::testing::Values(1, 7, 64, 128, 257),
+                       ::testing::Values(1, 3, 16, 64, 1024)));
+
+TEST(AttentionKernels, CrossAttentionMatches)
+{
+    const Inputs in = make_inputs(48, 160, 32, 5);
+    const Matrix ref = attention_reference(in.q, in.k, in.v);
+    const Matrix fused = attention_flat(in.q, in.k, in.v, 16);
+    EXPECT_LT(ref.max_abs_diff(fused), 1e-5f);
+}
+
+TEST(AttentionKernels, CausalMaskingMatches)
+{
+    AttentionOptions opts;
+    opts.causal = true;
+    const Inputs in = make_inputs(96, 96, 16, 13);
+    const Matrix ref = attention_reference(in.q, in.k, in.v, opts);
+    const Matrix fused = attention_flat(in.q, in.k, in.v, 32, opts);
+    EXPECT_LT(ref.max_abs_diff(fused), 1e-5f);
+}
+
+TEST(AttentionKernels, UnscaledVariantMatches)
+{
+    AttentionOptions opts;
+    opts.scaled = false;
+    const Inputs in = make_inputs(32, 32, 8, 21);
+    const Matrix ref = attention_reference(in.q, in.k, in.v, opts);
+    const Matrix fused = attention_flat(in.q, in.k, in.v, 8, opts);
+    EXPECT_LT(ref.max_abs_diff(fused), 1e-5f);
+}
+
+TEST(AttentionKernels, OutputRowsAreConvexCombinationsOfV)
+{
+    // Softmax weights are a distribution, so each output element lies
+    // within the [min, max] range of its V column.
+    const Inputs in = make_inputs(16, 64, 8, 3);
+    const Matrix out = attention_flat(in.q, in.k, in.v, 4);
+    for (std::size_t c = 0; c < out.cols(); ++c) {
+        float lo = 1e30f;
+        float hi = -1e30f;
+        for (std::size_t r = 0; r < in.v.rows(); ++r) {
+            lo = std::min(lo, in.v.at(r, c));
+            hi = std::max(hi, in.v.at(r, c));
+        }
+        for (std::size_t r = 0; r < out.rows(); ++r) {
+            EXPECT_GE(out.at(r, c), lo - 1e-5f);
+            EXPECT_LE(out.at(r, c), hi + 1e-5f);
+        }
+    }
+}
+
+TEST(AttentionKernels, BaselineMovesIntermediateOffChip)
+{
+    const std::size_t n = 128;
+    const Inputs in = make_inputs(n, n, 32, 1);
+    TrafficMeter meter;
+    attention_reference(in.q, in.k, in.v, {}, &meter);
+    // Four crossings: L write, softmax read+write, A read.
+    const std::uint64_t inter = n * n * sizeof(float);
+    EXPECT_EQ(meter.offchip_bytes("intermediate"), 4 * inter);
+}
+
+TEST(AttentionKernels, FlatMovesZeroIntermediateOffChip)
+{
+    const std::size_t n = 128;
+    const Inputs in = make_inputs(n, n, 32, 1);
+    TrafficMeter meter;
+    attention_flat(in.q, in.k, in.v, 16, {}, &meter);
+    EXPECT_EQ(meter.offchip_bytes("intermediate"), 0u);
+    EXPECT_GT(meter.onchip_bytes("intermediate"), 0u);
+}
+
+TEST(AttentionKernels, FlatTotalOffchipIsLinearInN)
+{
+    // O(N * dk) I/O for FLAT vs O(N^2) for the baseline.
+    const std::size_t dk = 32;
+    const auto offchip = [&](std::size_t n, bool fused) {
+        const Inputs in = make_inputs(n, n, dk, 2);
+        TrafficMeter meter;
+        if (fused) {
+            attention_flat(in.q, in.k, in.v, 16, {}, &meter);
+        } else {
+            attention_reference(in.q, in.k, in.v, {}, &meter);
+        }
+        return meter.total_offchip();
+    };
+    const std::uint64_t flat1 = offchip(128, true);
+    const std::uint64_t flat2 = offchip(256, true);
+    EXPECT_LT(flat2, 3 * flat1); // ~2x
+    const std::uint64_t base1 = offchip(128, false);
+    const std::uint64_t base2 = offchip(256, false);
+    EXPECT_GT(base2, 3 * base1); // ~4x
+}
+
+TEST(AttentionKernels, LayerForwardFlatMatchesBaseline)
+{
+    const std::size_t n = 64;
+    const std::size_t d = 32;
+    Matrix x(n, d);
+    fill_random(x, 99);
+    const AttentionLayerWeights w = AttentionLayerWeights::random(d, 7);
+    const Matrix ref =
+        attention_layer_forward(x, x, w, /*heads=*/4, /*row_tile=*/0);
+    const Matrix fused =
+        attention_layer_forward(x, x, w, /*heads=*/4, /*row_tile=*/16);
+    EXPECT_LT(ref.max_abs_diff(fused), 1e-4f);
+}
+
+TEST(AttentionKernels, LayerForwardCrossAttention)
+{
+    Matrix xq(24, 32);
+    Matrix xkv(80, 32);
+    fill_random(xq, 1);
+    fill_random(xkv, 2);
+    const AttentionLayerWeights w = AttentionLayerWeights::random(32, 3);
+    const Matrix ref =
+        attention_layer_forward(xq, xkv, w, 4, 0);
+    const Matrix fused = attention_layer_forward(xq, xkv, w, 4, 8);
+    ASSERT_EQ(ref.rows(), 24u);
+    ASSERT_EQ(ref.cols(), 32u);
+    EXPECT_LT(ref.max_abs_diff(fused), 1e-4f);
+}
+
+TEST(AttentionKernels, SplitHeadSlicesColumns)
+{
+    Matrix x(2, 8);
+    for (std::size_t c = 0; c < 8; ++c) {
+        x.at(0, c) = static_cast<float>(c);
+    }
+    const Matrix h1 = split_head(x, 4, 1);
+    ASSERT_EQ(h1.cols(), 2u);
+    EXPECT_FLOAT_EQ(h1.at(0, 0), 2.0f);
+    EXPECT_FLOAT_EQ(h1.at(0, 1), 3.0f);
+    EXPECT_THROW(split_head(x, 4, 4), Error);
+    EXPECT_THROW(split_head(x, 3, 0), Error);
+}
+
+TEST(AttentionKernels, ShapeValidation)
+{
+    EXPECT_THROW(
+        attention_reference(Matrix(4, 8), Matrix(4, 16), Matrix(4, 8)),
+        Error);
+    EXPECT_THROW(
+        attention_flat(Matrix(4, 8), Matrix(6, 8), Matrix(4, 8), 2),
+        Error);
+    EXPECT_THROW(
+        attention_flat(Matrix(4, 8), Matrix(4, 8), Matrix(4, 8), 0),
+        Error);
+}
+
+} // namespace
+} // namespace flat

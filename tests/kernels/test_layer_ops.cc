@@ -1,0 +1,151 @@
+#include "kernels/layer_ops.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/status.h"
+#include "kernels/softmax.h"
+
+namespace flat {
+namespace {
+
+TEST(LayerNorm, NormalizesEachRow)
+{
+    Matrix x(4, 64);
+    fill_random(x, 7);
+    scale(x, 5.0f);
+    std::vector<float> gamma(64, 1.0f);
+    std::vector<float> beta(64, 0.0f);
+    layernorm_rows(x, gamma, beta);
+    for (std::size_t r = 0; r < x.rows(); ++r) {
+        float mean = 0.0f;
+        float var = 0.0f;
+        for (std::size_t c = 0; c < 64; ++c) {
+            mean += x.at(r, c);
+        }
+        mean /= 64.0f;
+        for (std::size_t c = 0; c < 64; ++c) {
+            var += (x.at(r, c) - mean) * (x.at(r, c) - mean);
+        }
+        var /= 64.0f;
+        EXPECT_NEAR(mean, 0.0f, 1e-4f);
+        EXPECT_NEAR(var, 1.0f, 1e-2f);
+    }
+}
+
+TEST(LayerNorm, AffineParametersApplied)
+{
+    Matrix x(1, 4);
+    fill_random(x, 3);
+    std::vector<float> gamma(4, 2.0f);
+    std::vector<float> beta(4, 1.0f);
+    Matrix reference = x;
+    std::vector<float> unit_gamma(4, 1.0f);
+    std::vector<float> zero_beta(4, 0.0f);
+    layernorm_rows(reference, unit_gamma, zero_beta);
+    layernorm_rows(x, gamma, beta);
+    for (std::size_t c = 0; c < 4; ++c) {
+        EXPECT_NEAR(x.at(0, c), 2.0f * reference.at(0, c) + 1.0f, 1e-5f);
+    }
+}
+
+TEST(LayerNorm, RejectsWrongParameterSize)
+{
+    Matrix x(2, 8);
+    std::vector<float> bad(4, 1.0f);
+    std::vector<float> good(8, 0.0f);
+    EXPECT_THROW(layernorm_rows(x, bad, good), Error);
+}
+
+TEST(LayerNorm, ConstantRowStaysFinite)
+{
+    Matrix x(1, 16);
+    for (std::size_t c = 0; c < 16; ++c) {
+        x.at(0, c) = 3.0f;
+    }
+    std::vector<float> gamma(16, 1.0f);
+    std::vector<float> beta(16, 0.0f);
+    layernorm_rows(x, gamma, beta);
+    for (std::size_t c = 0; c < 16; ++c) {
+        EXPECT_TRUE(std::isfinite(x.at(0, c)));
+        EXPECT_NEAR(x.at(0, c), 0.0f, 1e-2f);
+    }
+}
+
+TEST(Gelu, KnownValues)
+{
+    Matrix x(1, 3);
+    x.at(0, 0) = 0.0f;
+    x.at(0, 1) = 10.0f;
+    x.at(0, 2) = -10.0f;
+    gelu(x);
+    EXPECT_FLOAT_EQ(x.at(0, 0), 0.0f);
+    EXPECT_NEAR(x.at(0, 1), 10.0f, 1e-3f);  // ~identity for large +x
+    EXPECT_NEAR(x.at(0, 2), 0.0f, 1e-3f);   // ~zero for large -x
+}
+
+TEST(Gelu, BoundedBySignRangeAndMonotoneOnPositives)
+{
+    // GELU is NOT monotone on negatives (it dips to ~-0.17 near
+    // x = -0.75); the true properties: x <= gelu(x) <= 0 for x < 0,
+    // 0 <= gelu(x) <= x for x >= 0, monotone for x >= 0.
+    Matrix x(1, 41);
+    for (int i = 0; i <= 40; ++i) {
+        x.at(0, i) = -2.0f + 0.1f * i;
+    }
+    Matrix original = x;
+    gelu(x);
+    for (int i = 0; i <= 40; ++i) {
+        const float in = original.at(0, i);
+        const float out = x.at(0, i);
+        if (in < 0.0f) {
+            EXPECT_GE(out, in - 1e-6f) << "x=" << in;
+            EXPECT_LE(out, 1e-6f) << "x=" << in;
+        } else {
+            EXPECT_GE(out, -1e-6f) << "x=" << in;
+            EXPECT_LE(out, in + 1e-6f) << "x=" << in;
+        }
+        if (i > 0 && original.at(0, i - 1) >= 0.0f) {
+            EXPECT_GE(out, x.at(0, i - 1) - 1e-6f);
+        }
+    }
+}
+
+TEST(Relu, ClampsNegatives)
+{
+    Matrix x(1, 3);
+    x.at(0, 0) = -1.0f;
+    x.at(0, 1) = 0.0f;
+    x.at(0, 2) = 2.0f;
+    relu(x);
+    EXPECT_FLOAT_EQ(x.at(0, 0), 0.0f);
+    EXPECT_FLOAT_EQ(x.at(0, 1), 0.0f);
+    EXPECT_FLOAT_EQ(x.at(0, 2), 2.0f);
+}
+
+TEST(Residual, AddInplace)
+{
+    Matrix a(2, 2);
+    Matrix b(2, 2);
+    a.at(0, 0) = 1.0f;
+    b.at(0, 0) = 2.0f;
+    add_inplace(a, b);
+    EXPECT_FLOAT_EQ(a.at(0, 0), 3.0f);
+    EXPECT_THROW(add_inplace(a, Matrix(2, 3)), Error);
+}
+
+TEST(Bias, AddedToEveryRow)
+{
+    Matrix x(3, 2);
+    std::vector<float> bias{1.0f, -1.0f};
+    add_bias(x, bias);
+    for (std::size_t r = 0; r < 3; ++r) {
+        EXPECT_FLOAT_EQ(x.at(r, 0), 1.0f);
+        EXPECT_FLOAT_EQ(x.at(r, 1), -1.0f);
+    }
+    EXPECT_THROW(add_bias(x, std::vector<float>(3, 0.0f)), Error);
+}
+
+} // namespace
+} // namespace flat

@@ -1,0 +1,141 @@
+#include "kernels/attention.h"
+
+#include <gtest/gtest.h>
+
+#include "common/status.h"
+
+namespace flat {
+namespace {
+
+struct Inputs {
+    Matrix q, k, v;
+};
+
+Inputs
+make_inputs(std::size_t n, std::size_t dk, std::uint64_t seed)
+{
+    Inputs in{Matrix(n, dk), Matrix(n, dk), Matrix(n, dk)};
+    fill_random(in.q, seed + 1);
+    fill_random(in.k, seed + 2);
+    fill_random(in.v, seed + 3);
+    return in;
+}
+
+/** FLAT composed with local attention == masked reference. */
+class LocalEquivalence
+    : public ::testing::TestWithParam<
+          std::tuple<std::size_t, std::size_t, std::size_t>>
+{
+};
+
+TEST_P(LocalEquivalence, FusedEqualsReference)
+{
+    const auto [n, window, row_tile] = GetParam();
+    const Inputs in = make_inputs(n, 16, 42);
+    const Matrix ref =
+        attention_local_reference(in.q, in.k, in.v, window);
+    const Matrix fused =
+        attention_flat_local(in.q, in.k, in.v, row_tile, window);
+    EXPECT_LT(ref.max_abs_diff(fused), 1e-5f)
+        << "N=" << n << " w=" << window << " R=" << row_tile;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, LocalEquivalence,
+    ::testing::Combine(::testing::Values(33, 96, 200),
+                       ::testing::Values(1, 8, 31),
+                       ::testing::Values(1, 16, 64)));
+
+TEST(LocalAttention, HugeWindowEqualsDenseAttention)
+{
+    const Inputs in = make_inputs(64, 16, 7);
+    const Matrix dense = attention_reference(in.q, in.k, in.v);
+    const Matrix local =
+        attention_local_reference(in.q, in.k, in.v, 1000);
+    const Matrix fused_local =
+        attention_flat_local(in.q, in.k, in.v, 16, 1000);
+    EXPECT_LT(dense.max_abs_diff(local), 1e-5f);
+    EXPECT_LT(dense.max_abs_diff(fused_local), 1e-5f);
+}
+
+TEST(LocalAttention, WindowZeroIsSelfOnly)
+{
+    // Window 0: each row attends only to itself -> output = V row.
+    const Inputs in = make_inputs(8, 4, 3);
+    const Matrix out = attention_flat_local(in.q, in.k, in.v, 4, 0);
+    EXPECT_LT(out.max_abs_diff(in.v), 1e-6f);
+}
+
+TEST(LocalAttention, CausalWindowMatchesReference)
+{
+    AttentionOptions options;
+    options.causal = true;
+    const Inputs in = make_inputs(50, 8, 5);
+    const Matrix ref =
+        attention_local_reference(in.q, in.k, in.v, 8, options);
+    const Matrix fused =
+        attention_flat_local(in.q, in.k, in.v, 16, 8, options);
+    EXPECT_LT(ref.max_abs_diff(fused), 1e-5f);
+}
+
+TEST(LocalAttention, FlatLocalKvTrafficIndependentOfN)
+{
+    // The composition claim (§7): with a fixed window, FLAT-local moves
+    // O(N * w/R) K/V bytes — per-token traffic independent of N.
+    const std::size_t window = 16;
+    const std::size_t row_tile = 16;
+    const auto kv_bytes = [&](std::size_t n) {
+        const Inputs in = make_inputs(n, 16, 9);
+        TrafficMeter meter;
+        attention_flat_local(in.q, in.k, in.v, row_tile, window, {},
+                             &meter);
+        return meter.offchip_bytes("K") + meter.offchip_bytes("V");
+    };
+    const std::uint64_t at_256 = kv_bytes(256);
+    const std::uint64_t at_512 = kv_bytes(512);
+    // Linear in N (doubling), not quadratic.
+    EXPECT_NEAR(static_cast<double>(at_512) / at_256, 2.0, 0.1);
+}
+
+TEST(LocalAttention, DenseFlatKvTrafficIsQuadraticWithoutResidency)
+{
+    // Contrast: if K/V had to be re-streamed per chunk (no residency),
+    // dense FLAT K/V traffic grows ~quadratically. The kernel models
+    // residency (reads K/V once), so this checks the *local* variant
+    // is strictly cheaper per pass instead.
+    const std::size_t n = 512;
+    const Inputs in = make_inputs(n, 16, 11);
+    TrafficMeter dense_meter;
+    attention_flat(in.q, in.k, in.v, 32, {}, &dense_meter);
+    TrafficMeter local_meter;
+    attention_flat_local(in.q, in.k, in.v, 32, 16, {}, &local_meter);
+    // Dense stages K+V once: 2*N*dk floats; local touches only window
+    // slices per pass: 16 passes x (R+2w) rows.
+    EXPECT_GT(local_meter.offchip_bytes("K") +
+                  local_meter.offchip_bytes("V"),
+              0u);
+    EXPECT_LT(local_meter.onchip_bytes("intermediate"),
+              dense_meter.onchip_bytes("intermediate"));
+}
+
+TEST(LocalAttention, IntermediateStaysOnChip)
+{
+    const Inputs in = make_inputs(128, 16, 13);
+    TrafficMeter meter;
+    attention_flat_local(in.q, in.k, in.v, 32, 8, {}, &meter);
+    EXPECT_EQ(meter.offchip_bytes("intermediate"), 0u);
+    EXPECT_GT(meter.onchip_bytes("intermediate"), 0u);
+}
+
+TEST(LocalAttention, RejectsCrossAttention)
+{
+    EXPECT_THROW(attention_local_reference(Matrix(8, 4), Matrix(16, 4),
+                                           Matrix(16, 4), 2),
+                 Error);
+    EXPECT_THROW(attention_flat_local(Matrix(8, 4), Matrix(16, 4),
+                                      Matrix(16, 4), 4, 2),
+                 Error);
+}
+
+} // namespace
+} // namespace flat

@@ -1,0 +1,106 @@
+#include "kernels/matrix.h"
+
+#include <gtest/gtest.h>
+
+#include "common/status.h"
+
+namespace flat {
+namespace {
+
+TEST(Matrix, ZeroInitialized)
+{
+    const Matrix m(3, 4);
+    EXPECT_EQ(m.rows(), 3u);
+    EXPECT_EQ(m.cols(), 4u);
+    for (std::size_t r = 0; r < 3; ++r) {
+        for (std::size_t c = 0; c < 4; ++c) {
+            EXPECT_EQ(m.at(r, c), 0.0f);
+        }
+    }
+}
+
+TEST(Matrix, FillRandomDeterministic)
+{
+    Matrix a(8, 8);
+    Matrix b(8, 8);
+    fill_random(a, 42);
+    fill_random(b, 42);
+    EXPECT_EQ(a.max_abs_diff(b), 0.0f);
+
+    Matrix c(8, 8);
+    fill_random(c, 43);
+    EXPECT_GT(a.max_abs_diff(c), 0.0f);
+}
+
+TEST(Matrix, FillRandomInRange)
+{
+    Matrix m(16, 16);
+    fill_random(m, 7);
+    for (std::size_t i = 0; i < m.size(); ++i) {
+        EXPECT_GE(m.data()[i], -1.0f);
+        EXPECT_LE(m.data()[i], 1.0f);
+    }
+}
+
+TEST(Matrix, MatmulIdentity)
+{
+    Matrix a(3, 3);
+    fill_random(a, 1);
+    Matrix eye(3, 3);
+    for (std::size_t i = 0; i < 3; ++i) {
+        eye.at(i, i) = 1.0f;
+    }
+    const Matrix c = matmul(a, eye);
+    EXPECT_LT(c.max_abs_diff(a), 1e-6f);
+}
+
+TEST(Matrix, MatmulKnownValues)
+{
+    Matrix a(2, 2);
+    a.at(0, 0) = 1;
+    a.at(0, 1) = 2;
+    a.at(1, 0) = 3;
+    a.at(1, 1) = 4;
+    Matrix b(2, 2);
+    b.at(0, 0) = 5;
+    b.at(0, 1) = 6;
+    b.at(1, 0) = 7;
+    b.at(1, 1) = 8;
+    const Matrix c = matmul(a, b);
+    EXPECT_FLOAT_EQ(c.at(0, 0), 19.0f);
+    EXPECT_FLOAT_EQ(c.at(0, 1), 22.0f);
+    EXPECT_FLOAT_EQ(c.at(1, 0), 43.0f);
+    EXPECT_FLOAT_EQ(c.at(1, 1), 50.0f);
+}
+
+TEST(Matrix, MatmulTransposedAgreesWithMatmul)
+{
+    Matrix a(5, 7);
+    Matrix b(7, 6);
+    fill_random(a, 2);
+    fill_random(b, 3);
+    // Build b^T and compare paths.
+    Matrix bt(6, 7);
+    for (std::size_t r = 0; r < 7; ++r) {
+        for (std::size_t c = 0; c < 6; ++c) {
+            bt.at(c, r) = b.at(r, c);
+        }
+    }
+    const Matrix c1 = matmul(a, b);
+    const Matrix c2 = matmul_transposed(a, bt);
+    EXPECT_LT(c1.max_abs_diff(c2), 1e-5f);
+}
+
+TEST(Matrix, MatmulRejectsShapeMismatch)
+{
+    EXPECT_THROW(matmul(Matrix(2, 3), Matrix(4, 2)), Error);
+    EXPECT_THROW(matmul_transposed(Matrix(2, 3), Matrix(4, 5)), Error);
+}
+
+TEST(Matrix, MaxAbsDiffRejectsShapeMismatch)
+{
+    EXPECT_THROW(Matrix(2, 2).max_abs_diff(Matrix(2, 3)), Error);
+}
+
+} // namespace
+} // namespace flat

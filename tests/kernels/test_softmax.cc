@@ -1,0 +1,119 @@
+#include "kernels/softmax.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/status.h"
+
+namespace flat {
+namespace {
+
+TEST(Softmax, RowsSumToOne)
+{
+    Matrix m(4, 16);
+    fill_random(m, 11);
+    softmax_rows(m);
+    for (std::size_t r = 0; r < m.rows(); ++r) {
+        float sum = 0.0f;
+        for (std::size_t c = 0; c < m.cols(); ++c) {
+            sum += m.at(r, c);
+            EXPECT_GE(m.at(r, c), 0.0f);
+        }
+        EXPECT_NEAR(sum, 1.0f, 1e-5f);
+    }
+}
+
+TEST(Softmax, NumericallyStableForLargeLogits)
+{
+    Matrix m(1, 4);
+    m.at(0, 0) = 1000.0f;
+    m.at(0, 1) = 999.0f;
+    m.at(0, 2) = -1000.0f;
+    m.at(0, 3) = 0.0f;
+    softmax_rows(m);
+    EXPECT_FALSE(std::isnan(m.at(0, 0)));
+    EXPECT_GT(m.at(0, 0), m.at(0, 1));
+    EXPECT_NEAR(m.at(0, 2), 0.0f, 1e-6f);
+}
+
+TEST(Softmax, UniformLogitsUniformProbabilities)
+{
+    Matrix m(1, 8);
+    for (std::size_t c = 0; c < 8; ++c) {
+        m.at(0, c) = 3.5f;
+    }
+    softmax_rows(m);
+    for (std::size_t c = 0; c < 8; ++c) {
+        EXPECT_NEAR(m.at(0, c), 0.125f, 1e-6f);
+    }
+}
+
+TEST(Softmax, RangeVariantOnlyTouchesSelectedRows)
+{
+    Matrix m(4, 4);
+    fill_random(m, 5);
+    Matrix copy = m;
+    softmax_rows(m, 1, 3);
+    for (std::size_t c = 0; c < 4; ++c) {
+        EXPECT_EQ(m.at(0, c), copy.at(0, c));
+        EXPECT_EQ(m.at(3, c), copy.at(3, c));
+    }
+    float sum = 0.0f;
+    for (std::size_t c = 0; c < 4; ++c) {
+        sum += m.at(1, c);
+    }
+    EXPECT_NEAR(sum, 1.0f, 1e-5f);
+}
+
+TEST(Softmax, RangeValidation)
+{
+    Matrix m(4, 4);
+    EXPECT_THROW(softmax_rows(m, 3, 2), Error);
+    EXPECT_THROW(softmax_rows(m, 0, 5), Error);
+}
+
+TEST(Softmax, CausalMasksFuturePositions)
+{
+    Matrix m(3, 5);
+    fill_random(m, 9);
+    softmax_rows_causal(m, /*row_offset=*/0);
+    // Row r may only attend to columns <= r.
+    EXPECT_EQ(m.at(0, 1), 0.0f);
+    EXPECT_EQ(m.at(0, 4), 0.0f);
+    EXPECT_EQ(m.at(1, 2), 0.0f);
+    EXPECT_GT(m.at(2, 2), 0.0f);
+    EXPECT_EQ(m.at(2, 3), 0.0f);
+    for (std::size_t r = 0; r < 3; ++r) {
+        float sum = 0.0f;
+        for (std::size_t c = 0; c < 5; ++c) {
+            sum += m.at(r, c);
+        }
+        EXPECT_NEAR(sum, 1.0f, 1e-5f);
+    }
+}
+
+TEST(Softmax, CausalRowOffsetShiftsMask)
+{
+    Matrix m(2, 6);
+    fill_random(m, 10);
+    softmax_rows_causal(m, /*row_offset=*/3);
+    // Local row 0 is global row 3: columns 0..3 visible.
+    EXPECT_GT(m.at(0, 3), 0.0f);
+    EXPECT_EQ(m.at(0, 4), 0.0f);
+    EXPECT_GT(m.at(1, 4), 0.0f);
+    EXPECT_EQ(m.at(1, 5), 0.0f);
+}
+
+TEST(Softmax, ScaleMultipliesEveryElement)
+{
+    Matrix m(2, 2);
+    m.at(0, 0) = 1.0f;
+    m.at(1, 1) = -2.0f;
+    scale(m, 0.5f);
+    EXPECT_FLOAT_EQ(m.at(0, 0), 0.5f);
+    EXPECT_FLOAT_EQ(m.at(1, 1), -1.0f);
+}
+
+} // namespace
+} // namespace flat

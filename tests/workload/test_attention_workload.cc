@@ -1,0 +1,184 @@
+#include "workload/attention.h"
+
+#include <gtest/gtest.h>
+
+#include "common/status.h"
+#include "workload/model_config.h"
+
+namespace flat {
+namespace {
+
+TEST(AttentionWorkload, BlockHasNineOperatorsInOrder)
+{
+    const Workload w = make_workload(bert_base(), 64, 512);
+    ASSERT_EQ(w.ops.size(), 9u);
+    const char* expected[] = {"Q", "K", "V", "L", "softmax",
+                              "A", "O", "FC1", "FC2"};
+    for (std::size_t i = 0; i < 9; ++i) {
+        EXPECT_EQ(w.ops[i].name, expected[i]);
+    }
+}
+
+TEST(AttentionWorkload, LogitShapeMatchesFigure1)
+{
+    const Workload w = make_workload(bert_base(), 64, 512);
+    const Operator& logit = w.logit_op();
+    EXPECT_EQ(logit.gemm.m, 512u);
+    EXPECT_EQ(logit.gemm.k, 64u);  // dk = 768 / 12
+    EXPECT_EQ(logit.gemm.n, 512u);
+    EXPECT_EQ(logit.gemm.instances, 64u * 12u); // B * H
+    EXPECT_TRUE(logit.gemm.activation_activation());
+}
+
+TEST(AttentionWorkload, AttendShapeTransposesLogit)
+{
+    const Workload w = make_workload(bert_base(), 64, 512);
+    const Operator& attend = w.attend_op();
+    EXPECT_EQ(attend.gemm.m, 512u);
+    EXPECT_EQ(attend.gemm.k, 512u);
+    EXPECT_EQ(attend.gemm.n, 64u);
+    EXPECT_TRUE(attend.gemm.activation_activation());
+}
+
+TEST(AttentionWorkload, ProjectionFoldsBatchIntoM)
+{
+    const Workload w = make_workload(bert_base(), 64, 512);
+    const Operator& q = w.ops[0];
+    EXPECT_EQ(q.gemm.m, 64u * 512u);
+    EXPECT_EQ(q.gemm.k, 768u);
+    EXPECT_EQ(q.gemm.n, 768u);
+    EXPECT_EQ(q.gemm.instances, 1u);
+    EXPECT_EQ(q.gemm.b_kind, OperandKind::kWeight);
+}
+
+TEST(AttentionWorkload, SoftmaxCoversLogitsTensor)
+{
+    const Workload w = make_workload(bert_base(), 64, 512);
+    const Operator& sm = w.softmax_op();
+    EXPECT_EQ(sm.softmax_instances, 64u * 12u);
+    EXPECT_EQ(sm.softmax_rows, 512u);
+    EXPECT_EQ(sm.softmax_cols, 512u);
+    EXPECT_EQ(sm.output_elems(), 64ull * 12 * 512 * 512);
+}
+
+TEST(AttentionWorkload, LogitAttendScopeFiltersOps)
+{
+    const Workload w = make_workload(bert_base(), 64, 512);
+    const auto la = w.ops_in_scope(Scope::kLogitAttend);
+    ASSERT_EQ(la.size(), 3u);
+    EXPECT_EQ(la[0].name, "L");
+    EXPECT_EQ(la[1].name, "softmax");
+    EXPECT_EQ(la[2].name, "A");
+}
+
+TEST(AttentionWorkload, ModelScopeMultiplier)
+{
+    const Workload w = make_workload(bert_base(), 64, 512);
+    EXPECT_EQ(w.scope_multiplier(Scope::kBlock), 1u);
+    EXPECT_EQ(w.scope_multiplier(Scope::kModel), 12u);
+    EXPECT_EQ(w.total_macs(Scope::kModel),
+              12u * w.total_macs(Scope::kBlock));
+}
+
+TEST(AttentionWorkload, CrossAttentionUsesDifferentKvLength)
+{
+    const Workload w =
+        make_cross_attention_workload(t5_small(), 8, 128, 1024);
+    EXPECT_EQ(w.logit_op().gemm.m, 128u);
+    EXPECT_EQ(w.logit_op().gemm.n, 1024u);
+    EXPECT_EQ(w.attend_op().gemm.k, 1024u);
+    EXPECT_EQ(w.attend_op().gemm.n, t5_small().head_dim());
+    // K/V projections work on the kv-side sequence.
+    EXPECT_EQ(w.ops[1].gemm.m, 8u * 1024u);
+}
+
+TEST(AttentionWorkload, QuadraticGrowthOfLogitAttendMacs)
+{
+    const Workload w1 = make_workload(bert_base(), 1, 512);
+    const Workload w2 = make_workload(bert_base(), 1, 1024);
+    const auto macs = [](const Workload& w) {
+        return w.logit_op().gemm.macs() + w.attend_op().gemm.macs();
+    };
+    EXPECT_EQ(macs(w2), 4u * macs(w1));
+}
+
+TEST(AttentionWorkload, RejectsZeroBatch)
+{
+    EXPECT_THROW(make_workload(bert_base(), 0, 512), Error);
+    EXPECT_THROW(make_workload(bert_base(), 1, 0), Error);
+}
+
+TEST(AttentionWorkload, FindOpThrowsForMissingName)
+{
+    Workload w = make_workload(bert_base(), 1, 128);
+    w.ops.clear();
+    EXPECT_THROW(w.logit_op(), Error);
+}
+
+TEST(LocalAttentionWorkload, ShrinksLogitAttendOnly)
+{
+    const Workload dense = make_workload(bert_base(), 8, 4096);
+    const Workload local =
+        make_local_attention_workload(bert_base(), 8, 4096, 128);
+    // L/A and softmax shrink to the effective window width 2w+1.
+    EXPECT_EQ(local.logit_op().gemm.n, 257u);
+    EXPECT_EQ(local.attend_op().gemm.k, 257u);
+    EXPECT_EQ(local.softmax_op().softmax_cols, 257u);
+    // Projections and FCs are untouched (full sequence).
+    for (const char* name : {"Q", "K", "V", "O", "FC1", "FC2"}) {
+        bool found = false;
+        for (std::size_t i = 0; i < dense.ops.size(); ++i) {
+            if (dense.ops[i].name == name) {
+                EXPECT_EQ(local.ops[i].gemm.macs(),
+                          dense.ops[i].gemm.macs())
+                    << name;
+                found = true;
+            }
+        }
+        EXPECT_TRUE(found) << name;
+    }
+}
+
+TEST(LocalAttentionWorkload, MacsLinearInNForFixedWindow)
+{
+    const auto la_macs = [](std::uint64_t n) {
+        const Workload w =
+            make_local_attention_workload(bert_base(), 1, n, 64);
+        return w.logit_op().gemm.macs() + w.attend_op().gemm.macs();
+    };
+    EXPECT_EQ(la_macs(8192), 2 * la_macs(4096));
+}
+
+TEST(LocalAttentionWorkload, HugeWindowEqualsDense)
+{
+    const Workload dense = make_workload(bert_base(), 4, 512);
+    const Workload local =
+        make_local_attention_workload(bert_base(), 4, 512, 100000);
+    EXPECT_EQ(local.logit_op().gemm.macs(),
+              dense.logit_op().gemm.macs());
+    EXPECT_EQ(local.kv_seq_len, 512u);
+}
+
+/** Property: L-A MACs equal 2*B*H*N*Nkv*dk for every zoo model. */
+class LaMacsProperty : public ::testing::TestWithParam<std::string>
+{
+};
+
+TEST_P(LaMacsProperty, ClosedForm)
+{
+    const ModelConfig m = model_by_name(GetParam());
+    const std::uint64_t batch = 4;
+    const std::uint64_t n = 256;
+    const Workload w = make_workload(m, batch, n);
+    const std::uint64_t expected =
+        2ull * batch * m.num_heads * n * n * m.head_dim();
+    EXPECT_EQ(w.logit_op().gemm.macs() + w.attend_op().gemm.macs(),
+              expected);
+}
+
+INSTANTIATE_TEST_SUITE_P(Zoo, LaMacsProperty,
+                         ::testing::Values("bert", "trxl", "flaubert",
+                                           "t5", "xlm"));
+
+} // namespace
+} // namespace flat

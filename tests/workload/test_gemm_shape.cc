@@ -1,0 +1,119 @@
+#include "workload/gemm_shape.h"
+
+#include <gtest/gtest.h>
+
+#include "common/math_util.h"
+#include "common/status.h"
+
+namespace flat {
+namespace {
+
+GemmShape
+projection_shape(std::uint64_t batch_tokens, std::uint64_t d)
+{
+    GemmShape s;
+    s.m = batch_tokens;
+    s.k = d;
+    s.n = d;
+    s.a_kind = OperandKind::kActivation;
+    s.b_kind = OperandKind::kWeight;
+    return s;
+}
+
+GemmShape
+logit_shape(std::uint64_t n, std::uint64_t dk, std::uint64_t instances)
+{
+    GemmShape s;
+    s.m = n;
+    s.k = dk;
+    s.n = n;
+    s.instances = instances;
+    s.a_kind = OperandKind::kActivation;
+    s.b_kind = OperandKind::kActivation;
+    return s;
+}
+
+TEST(GemmShape, MacCount)
+{
+    GemmShape s = logit_shape(512, 64, 12);
+    EXPECT_EQ(s.macs(), 12ull * 512 * 64 * 512);
+}
+
+TEST(GemmShape, WeightOperandSharedAcrossInstances)
+{
+    GemmShape s = projection_shape(1024, 768);
+    s.instances = 4;
+    EXPECT_EQ(s.b_elems_total(), 768ull * 768);        // shared weight
+    EXPECT_EQ(s.a_elems_total(), 4ull * 1024 * 768);   // per instance
+    EXPECT_EQ(s.c_elems_total(), 4ull * 1024 * 768);
+}
+
+TEST(GemmShape, ActivationActivationDetection)
+{
+    EXPECT_TRUE(logit_shape(512, 64, 1).activation_activation());
+    EXPECT_FALSE(projection_shape(512, 768).activation_activation());
+}
+
+TEST(GemmShape, ValidateRejectsZeroDims)
+{
+    GemmShape s = logit_shape(512, 64, 1);
+    s.k = 0;
+    EXPECT_THROW(s.validate(), Error);
+    s = logit_shape(512, 64, 1);
+    s.instances = 0;
+    EXPECT_THROW(s.validate(), Error);
+}
+
+/**
+ * §2.2: projection intensity reciprocal is 2/D + 1/(B*N) — so larger
+ * batch raises intensity.
+ */
+TEST(GemmShape, BatchRaisesProjectionIntensity)
+{
+    const GemmShape small = projection_shape(512, 1024);
+    const GemmShape big = projection_shape(64 * 512, 1024);
+    EXPECT_GT(big.operational_intensity(),
+              small.operational_intensity());
+}
+
+/**
+ * §2.2: L/A intensity reciprocal is 2/N + 1/D per single-head; batching
+ * via instances leaves intensity unchanged.
+ */
+TEST(GemmShape, BatchDoesNotChangeAttentionIntensity)
+{
+    const GemmShape one = logit_shape(512, 64, 1);
+    const GemmShape many = logit_shape(512, 64, 64);
+    EXPECT_DOUBLE_EQ(one.operational_intensity(),
+                     many.operational_intensity());
+}
+
+TEST(GemmShape, AttentionIntensityMatchesClosedForm)
+{
+    // For L: macs = N*dk*N, accesses = N*dk + dk*N + N*N, so
+    // 1/intensity = 2/N + 1/dk.
+    const std::uint64_t n = 2048;
+    const std::uint64_t dk = 64;
+    const GemmShape s = logit_shape(n, dk, 8);
+    const double reciprocal = 1.0 / s.operational_intensity();
+    EXPECT_NEAR(reciprocal, 2.0 / n + 1.0 / dk, 1e-12);
+}
+
+/** Parameterized: projection intensity approaches D/2 as batch grows. */
+class ProjectionIntensity : public ::testing::TestWithParam<std::uint64_t>
+{
+};
+
+TEST_P(ProjectionIntensity, BoundedByHalfD)
+{
+    const std::uint64_t d = 1024;
+    const GemmShape s = projection_shape(GetParam(), d);
+    EXPECT_LE(s.operational_intensity(), d / 2.0 + 1e-9);
+    EXPECT_GT(s.operational_intensity(), 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(BatchSweep, ProjectionIntensity,
+                         ::testing::Values(1, 8, 64, 512, 4096, 1u << 20));
+
+} // namespace
+} // namespace flat

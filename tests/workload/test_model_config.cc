@@ -1,0 +1,74 @@
+#include "workload/model_config.h"
+
+#include <gtest/gtest.h>
+
+#include "common/status.h"
+
+namespace flat {
+namespace {
+
+TEST(ModelConfig, ZooHasFivePaperModels)
+{
+    const auto zoo = model_zoo();
+    ASSERT_EQ(zoo.size(), 5u);
+    for (const ModelConfig& m : zoo) {
+        EXPECT_NO_THROW(m.validate()) << m.name;
+    }
+}
+
+TEST(ModelConfig, BertBase)
+{
+    const ModelConfig m = bert_base();
+    EXPECT_EQ(m.num_blocks, 12u);
+    EXPECT_EQ(m.hidden_dim, 768u);
+    EXPECT_EQ(m.num_heads, 12u);
+    EXPECT_EQ(m.head_dim(), 64u);
+    EXPECT_EQ(m.ff_dim, 3072u);
+}
+
+TEST(ModelConfig, XlmIsWidest)
+{
+    // xlm-mlm-en-2048: the model the paper uses for the cloud plots.
+    const ModelConfig m = xlm();
+    EXPECT_EQ(m.hidden_dim, 2048u);
+    EXPECT_EQ(m.head_dim(), 128u);
+    for (const ModelConfig& other : model_zoo()) {
+        EXPECT_LE(other.hidden_dim, m.hidden_dim) << other.name;
+    }
+}
+
+TEST(ModelConfig, HeadDimDividesHidden)
+{
+    for (const ModelConfig& m : model_zoo()) {
+        EXPECT_EQ(m.head_dim() * m.num_heads, m.hidden_dim) << m.name;
+    }
+}
+
+TEST(ModelConfig, LookupByNameCaseInsensitive)
+{
+    EXPECT_EQ(model_by_name("BERT").hidden_dim, 768u);
+    EXPECT_EQ(model_by_name("t5").num_blocks, 6u);
+    EXPECT_EQ(model_by_name("TrXL").num_blocks, 18u);
+}
+
+TEST(ModelConfig, LookupUnknownThrows)
+{
+    EXPECT_THROW(model_by_name("gpt17"), Error);
+}
+
+TEST(ModelConfig, ValidateRejectsIndivisibleHeads)
+{
+    ModelConfig m = bert_base();
+    m.num_heads = 7;
+    EXPECT_THROW(m.validate(), Error);
+}
+
+TEST(ModelConfig, ValidateRejectsZeroBlocks)
+{
+    ModelConfig m = bert_base();
+    m.num_blocks = 0;
+    EXPECT_THROW(m.validate(), Error);
+}
+
+} // namespace
+} // namespace flat

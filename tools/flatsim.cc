@@ -1,0 +1,373 @@
+/**
+ * @file
+ * flatsim — command-line front end to the FLAT/ATTACC simulator.
+ *
+ * Examples:
+ *   flatsim --model bert --platform edge --policy flat-opt --seq 4096
+ *   flatsim --model xlm --platform cloud --accel attacc --scope model \
+ *           --seq 65536 --objective energy
+ *   flatsim --model t5 --platform edge --policy flat-r64 --buffer 2MiB
+ *   flatsim --list
+ */
+#include <cstdio>
+#include <cstring>
+#include <iostream>
+#include <map>
+#include <string>
+
+#include "arch/accel_config_io.h"
+#include "common/json.h"
+#include "common/status.h"
+#include "common/string_util.h"
+#include "common/table.h"
+#include "common/units.h"
+#include "core/simulator.h"
+#include "costmodel/trace.h"
+#include "workload/model_config.h"
+
+namespace {
+
+using namespace flat;
+
+void
+print_usage()
+{
+    std::printf(R"(flatsim — FLAT/ATTACC attention dataflow simulator
+
+usage: flatsim [options]
+  --model NAME       bert | trxl | flaubert | t5 | xlm      (default bert)
+  --platform NAME    edge | cloud                           (default edge)
+  --platform-file F  load a custom platform (key = value; see
+                     arch/accel_config_io.h for the keys)
+  --policy NAME      base | base-{M,B,H} | base-opt |
+                     flat-{M,B,H} | flat-R<rows> | flat-opt (default flat-opt)
+  --accel NAME       baseaccel | flexaccel-m | flexaccel |
+                     attacc-m | attacc-r<rows> | attacc     (overrides --policy)
+  --scope NAME       la | block | model                     (default block)
+  --seq N            sequence length                        (default 4096)
+  --kv-seq N         key/value sequence length (cross-attention)
+  --window W         local (windowed) attention with radius W
+  --batch N          batch size                             (default 64)
+  --buffer SIZE      override on-chip buffer, e.g. 2MiB
+  --sg2 SIZE         add a second-level on-chip buffer, e.g. 64MiB
+  --sg2-bw BW        SG2 bandwidth (default 200GB/s)
+  --offchip-bw BW    override off-chip bandwidth, e.g. 100GB/s
+  --objective NAME   runtime | energy | edp                 (default runtime)
+  --serialized-baseline   model the baseline without transfer overlap
+  --quick            smaller DSE menus
+  --json             emit the report as JSON instead of tables
+  --trace            append a per-pass timeline of the picked L-A dataflow
+  --list             list models, policies and accelerators
+  --help             this text
+)");
+}
+
+void
+print_catalog()
+{
+    std::printf("models:\n");
+    for (const ModelConfig& m : model_zoo()) {
+        std::printf("  %-9s blocks=%-3u D=%-5u H=%-3u FF=%u\n",
+                    m.name.c_str(), m.num_blocks, m.hidden_dim,
+                    m.num_heads, m.ff_dim);
+    }
+    std::printf("\ndataflow policies (Fig. 7b): Base, Base-M/B/H, "
+                "Base-opt, FLAT-M/B/H, FLAT-R<rows>, FLAT-opt\n");
+    std::printf("accelerators (Fig. 7c): BaseAccel, FlexAccel-M, "
+                "FlexAccel, ATTACC-M, ATTACC-R<rows>, ATTACC\n");
+    std::printf("\nplatforms (Fig. 7a):\n");
+    for (const AccelConfig& a : {edge_accel(), cloud_accel()}) {
+        std::printf("  %-6s %ux%u PEs, %s SG, %s on-chip, %s off-chip\n",
+                    a.name.c_str(), a.pe_rows, a.pe_cols,
+                    format_bytes(a.sg_bytes).c_str(),
+                    format_bandwidth(a.onchip_bw).c_str(),
+                    format_bandwidth(a.offchip_bw).c_str());
+    }
+}
+
+struct Args {
+    std::string model = "bert";
+    std::string platform = "edge";
+    std::string platform_file;
+    std::string policy = "flat-opt";
+    std::string accel;
+    std::string scope = "block";
+    std::uint64_t seq = 4096;
+    std::uint64_t kv_seq = 0;
+    std::uint64_t window = 0;
+    std::uint64_t batch = 64;
+    std::string buffer;
+    std::string sg2;
+    std::string sg2_bw = "200GB/s";
+    std::string offchip_bw;
+    std::string objective = "runtime";
+    bool serialized_baseline = false;
+    bool quick = false;
+    bool json = false;
+    bool trace = false;
+};
+
+Scope
+parse_scope(const std::string& name)
+{
+    const std::string key = to_lower(name);
+    if (key == "la" || key == "l-a") {
+        return Scope::kLogitAttend;
+    }
+    if (key == "block") {
+        return Scope::kBlock;
+    }
+    if (key == "model") {
+        return Scope::kModel;
+    }
+    FLAT_FAIL("unknown scope '" << name << "' (la | block | model)");
+}
+
+Objective
+parse_objective(const std::string& name)
+{
+    const std::string key = to_lower(name);
+    if (key == "runtime") {
+        return Objective::kRuntime;
+    }
+    if (key == "energy") {
+        return Objective::kEnergy;
+    }
+    if (key == "edp") {
+        return Objective::kEdp;
+    }
+    FLAT_FAIL("unknown objective '" << name
+                                    << "' (runtime | energy | edp)");
+}
+
+int
+run(const Args& args)
+{
+    const ModelConfig model = model_by_name(args.model);
+    FLAT_CHECK(to_lower(args.platform) == "cloud" ||
+                   to_lower(args.platform) == "edge",
+               "unknown platform '" << args.platform
+                                    << "' (edge | cloud)");
+    AccelConfig accel = (to_lower(args.platform) == "cloud")
+                            ? cloud_accel()
+                            : edge_accel();
+    if (!args.platform_file.empty()) {
+        accel = accel_from_config_file(args.platform_file, accel);
+    }
+    if (!args.buffer.empty()) {
+        accel.sg_bytes = parse_bytes(args.buffer);
+    }
+    if (!args.sg2.empty()) {
+        accel.sg2_bytes = parse_bytes(args.sg2);
+        accel.sg2_bw = parse_bandwidth(args.sg2_bw);
+    }
+    if (!args.offchip_bw.empty()) {
+        accel.offchip_bw = parse_bandwidth(args.offchip_bw);
+    }
+
+    FLAT_CHECK(args.kv_seq == 0 || args.window == 0,
+               "--kv-seq and --window are mutually exclusive");
+    Workload workload = make_workload(model, args.batch, args.seq);
+    if (args.kv_seq != 0) {
+        workload = make_cross_attention_workload(model, args.batch,
+                                                 args.seq, args.kv_seq);
+    } else if (args.window != 0) {
+        workload = make_local_attention_workload(model, args.batch,
+                                                 args.seq, args.window);
+    }
+    const Scope scope = parse_scope(args.scope);
+
+    SimOptions options;
+    options.objective = parse_objective(args.objective);
+    options.quick = args.quick;
+    options.baseline_overlap = args.serialized_baseline
+                                   ? BaselineOverlap::kSerialized
+                                   : BaselineOverlap::kFull;
+
+    const Simulator sim(accel);
+    const ScopeReport report =
+        args.accel.empty()
+            ? sim.run(workload, scope, DataflowPolicy::parse(args.policy),
+                      options)
+            : sim.run(workload, scope,
+                      AcceleratorSpec::parse(args.accel), options);
+
+    if (args.json) {
+        JsonWriter json;
+        json.begin_object();
+        json.field("model", model.name);
+        json.field("platform", accel.name);
+        json.field("policy", report.policy_name);
+        json.field("picked_dataflow", report.la_dataflow_tag);
+        json.field("scope", to_string(scope));
+        json.field("batch", static_cast<std::uint64_t>(args.batch));
+        json.field("seq_len", static_cast<std::uint64_t>(args.seq));
+        json.field("utilization", report.util());
+        json.field("runtime_s", report.runtime_s);
+        json.field("cycles", report.cycles);
+        json.field("ideal_cycles", report.ideal_cycles);
+        json.field("energy_j", report.energy_j);
+        json.field("dram_bytes", report.traffic.total_dram());
+        json.field("sg_bytes", report.traffic.total_sg());
+        json.field("la_footprint_bytes",
+                   static_cast<std::uint64_t>(report.la_footprint_bytes));
+        json.field("la_resident_fraction", report.la_resident_fraction);
+        json.key("breakdown_cycles");
+        json.begin_object();
+        json.field("la", report.breakdown.la_cycles);
+        json.field("projection", report.breakdown.proj_cycles);
+        json.field("fc", report.breakdown.fc_cycles);
+        json.end_object();
+        json.end_object();
+        std::printf("%s\n", json.str().c_str());
+        return 0;
+    }
+
+    std::printf("workload : %s, batch %llu, N=%llu%s (%s scope)\n",
+                model.name.c_str(),
+                static_cast<unsigned long long>(args.batch),
+                static_cast<unsigned long long>(args.seq),
+                args.kv_seq != 0
+                    ? strprintf(", N_kv=%llu",
+                                static_cast<unsigned long long>(
+                                    args.kv_seq))
+                          .c_str()
+                    : "",
+                to_string(scope).c_str());
+    std::printf("platform : %s (%ux%u PEs, %s SG, %s off-chip)\n",
+                accel.name.c_str(), accel.pe_rows, accel.pe_cols,
+                format_bytes(accel.sg_bytes).c_str(),
+                format_bandwidth(accel.offchip_bw).c_str());
+    std::printf("dataflow : %s -> picked %s\n\n",
+                report.policy_name.c_str(),
+                report.la_dataflow_tag.c_str());
+
+    TextTable table({"metric", "value"});
+    table.add_row({"utilization", strprintf("%.3f", report.util())});
+    table.add_row({"runtime", format_time(report.runtime_s)});
+    table.add_row({"cycles", format_count(report.cycles)});
+    table.add_row({"non-stall cycles", format_count(report.ideal_cycles)});
+    table.add_row({"energy", strprintf("%.4g J", report.energy_j)});
+    table.add_row({"DRAM traffic",
+                   format_bytes(static_cast<std::uint64_t>(
+                       report.traffic.total_dram()))});
+    table.add_row({"on-chip traffic",
+                   format_bytes(static_cast<std::uint64_t>(
+                       report.traffic.total_sg()))});
+    table.add_row({"L-A live footprint",
+                   format_bytes(report.la_footprint_bytes)});
+    table.add_row({"L-A resident fraction",
+                   strprintf("%.2f", report.la_resident_fraction)});
+    table.print(std::cout);
+
+    if (args.trace) {
+        // Re-run the L-A search to recover the picked dataflow, then
+        // expand it into a per-pass timeline.
+        const AttentionSearchResult la = search_attention(
+            accel, AttentionDims::from_workload(workload),
+            args.accel.empty()
+                ? attention_options(DataflowPolicy::parse(args.policy),
+                                    options)
+                : attention_options(AcceleratorSpec::parse(args.accel),
+                                    options));
+        std::printf("\n");
+        const bool fused =
+            args.accel.empty()
+                ? DataflowPolicy::parse(args.policy).fused()
+                : AcceleratorSpec::parse(args.accel).la_policy().fused();
+        if (fused) {
+            const ExecutionTrace t = trace_flat_attention(
+                accel, AttentionDims::from_workload(workload),
+                la.best.dataflow);
+            std::printf("%s", t.render().c_str());
+        } else {
+            std::printf("(--trace renders fused dataflows only)\n");
+        }
+    }
+
+    if (scope != Scope::kLogitAttend) {
+        std::printf("\nlatency breakdown (cycles):\n");
+        TextTable breakdown({"category", "cycles", "share"});
+        const auto row = [&](const char* name, double cycles) {
+            breakdown.add_row({name, format_count(cycles),
+                               strprintf("%.1f%%", 100.0 * cycles /
+                                                       report.cycles)});
+        };
+        row("L-A (fused/sequential)", report.breakdown.la_cycles);
+        row("Projections (Q/K/V/O)", report.breakdown.proj_cycles);
+        row("Feed-forward FCs", report.breakdown.fc_cycles);
+        breakdown.print(std::cout);
+    }
+    return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char** argv)
+{
+    Args args;
+    try {
+        for (int i = 1; i < argc; ++i) {
+            const std::string flag = argv[i];
+            auto next = [&]() -> std::string {
+                FLAT_CHECK(i + 1 < argc, flag << " needs a value");
+                return argv[++i];
+            };
+            if (flag == "--help" || flag == "-h") {
+                print_usage();
+                return 0;
+            } else if (flag == "--list") {
+                print_catalog();
+                return 0;
+            } else if (flag == "--model") {
+                args.model = next();
+            } else if (flag == "--platform") {
+                args.platform = next();
+            } else if (flag == "--platform-file") {
+                args.platform_file = next();
+            } else if (flag == "--policy") {
+                args.policy = next();
+            } else if (flag == "--accel") {
+                args.accel = next();
+            } else if (flag == "--scope") {
+                args.scope = next();
+            } else if (flag == "--seq") {
+                args.seq = std::stoull(next());
+            } else if (flag == "--kv-seq") {
+                args.kv_seq = std::stoull(next());
+            } else if (flag == "--window") {
+                args.window = std::stoull(next());
+            } else if (flag == "--batch") {
+                args.batch = std::stoull(next());
+            } else if (flag == "--buffer") {
+                args.buffer = next();
+            } else if (flag == "--sg2") {
+                args.sg2 = next();
+            } else if (flag == "--sg2-bw") {
+                args.sg2_bw = next();
+            } else if (flag == "--offchip-bw") {
+                args.offchip_bw = next();
+            } else if (flag == "--objective") {
+                args.objective = next();
+            } else if (flag == "--serialized-baseline") {
+                args.serialized_baseline = true;
+            } else if (flag == "--quick") {
+                args.quick = true;
+            } else if (flag == "--json") {
+                args.json = true;
+            } else if (flag == "--trace") {
+                args.trace = true;
+            } else {
+                std::fprintf(stderr, "unknown flag: %s\n\n",
+                             flag.c_str());
+                print_usage();
+                return 2;
+            }
+        }
+        return run(args);
+    } catch (const flat::Error& e) {
+        std::fprintf(stderr, "%s\n", e.what());
+        return 1;
+    }
+}
