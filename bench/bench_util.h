@@ -8,8 +8,10 @@
 #ifndef FLAT_BENCH_BENCH_UTIL_H
 #define FLAT_BENCH_BENCH_UTIL_H
 
+#include <chrono>
 #include <cstdint>
 #include <cstdio>
+#include <cstring>
 #include <filesystem>
 #include <iostream>
 #include <optional>
@@ -90,6 +92,75 @@ banner(const std::string& title, const std::string& what)
     std::printf("%s\n", title.c_str());
     std::printf("%s\n", what.c_str());
     std::printf("==============================================\n\n");
+}
+
+/**
+ * DSE worker threads for a bench binary: `--threads N` on the command
+ * line wins, otherwise 0 ("auto" = FLAT_THREADS env, else all hardware
+ * threads — see flat::default_threads()).
+ */
+inline unsigned
+cli_threads(int argc, char** argv)
+{
+    for (int i = 1; i + 1 < argc; ++i) {
+        if (std::strcmp(argv[i], "--threads") == 0) {
+            const long parsed = std::atol(argv[i + 1]);
+            if (parsed > 0) {
+                return static_cast<unsigned>(parsed);
+            }
+        }
+    }
+    return 0;
+}
+
+/**
+ * Scoped wall-clock timer. Reports elapsed seconds on demand and, when
+ * given a label, prints "<label>: N.NNN s" once at scope exit.
+ */
+class ScopedTimer
+{
+  public:
+    ScopedTimer() = default;
+
+    explicit ScopedTimer(std::string label) : label_(std::move(label)) {}
+
+    ~ScopedTimer()
+    {
+        if (!label_.empty()) {
+            std::printf("%s: %.3f s\n", label_.c_str(), seconds());
+        }
+    }
+
+    ScopedTimer(const ScopedTimer&) = delete;
+    ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+    double seconds() const
+    {
+        const auto now = std::chrono::steady_clock::now();
+        return std::chrono::duration<double>(now - start_).count();
+    }
+
+  private:
+    std::string label_;
+    std::chrono::steady_clock::time_point start_ =
+        std::chrono::steady_clock::now();
+};
+
+/** One audit line for a finished DSE sweep: totals and throughput. */
+inline void
+print_search_stats(const std::string& what, std::size_t evaluated,
+                   std::size_t pruned, double seconds)
+{
+    const double rate =
+        (seconds > 0.0) ? static_cast<double>(evaluated) / seconds : 0.0;
+    std::printf("%s: %zu points evaluated, %zu pruned (%.1f%% of "
+                "space), %.3f s wall, %.0f points/s\n",
+                what.c_str(), evaluated, pruned,
+                (evaluated + pruned) > 0
+                    ? 100.0 * static_cast<double>(pruned) /
+                          static_cast<double>(evaluated + pruned)
+                    : 0.0,
+                seconds, rate);
 }
 
 } // namespace flat::bench

@@ -14,7 +14,7 @@ using namespace flat;
 using namespace flat::bench;
 
 int
-main()
+main(int argc, char** argv)
 {
     banner("Figure 10 — the FLAT design space (BERT N=512, edge)",
            "Each point: one dataflow config; top-left = high Util at "
@@ -27,9 +27,14 @@ main()
     AttentionSearchOptions options;
     options.quick = true;
     options.fused = true;
+    options.threads = cli_threads(argc, argv);
+
+    const ScopedTimer explore_timer;
     const std::vector<DsePoint> points =
         explore_attention(edge, dims, options);
-    std::printf("Evaluated %zu design points.\n\n", points.size());
+    print_search_stats("full-space sweep (explore)", points.size(), 0,
+                       explore_timer.seconds());
+    std::printf("\n");
 
     // Histogram: best Util per footprint decade.
     struct Bin {
@@ -106,5 +111,18 @@ main()
                 "max-Util (right-most high point), best "
                 "Util-per-footprint (top-left), min footprint "
                 "(left-most).\n");
+
+    // The objective-driven search over the same space: the pruned,
+    // parallel engine must land on the same optimum while touching a
+    // fraction of the points.
+    std::printf("\nDSE pick (runtime objective):\n");
+    const ScopedTimer search_timer;
+    const AttentionSearchResult picked =
+        search_attention(edge, dims, options);
+    print_search_stats("pruned search", picked.evaluated, picked.pruned,
+                       search_timer.seconds());
+    std::printf("best dataflow: %s (Util %.3f)\n",
+                picked.best.dataflow.tag().c_str(),
+                picked.best.cost.util());
     return 0;
 }

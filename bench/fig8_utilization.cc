@@ -12,15 +12,23 @@ using namespace flat::bench;
 
 namespace {
 
-void
+/** DSE work done by one platform sweep, for the throughput report. */
+struct SweepStats {
+    std::size_t evaluated = 0;
+    std::size_t pruned = 0;
+};
+
+SweepStats
 sweep_platform(const char* title, const AccelConfig& platform,
                const ModelConfig& model,
                const std::vector<std::uint64_t>& seq_lens,
-               std::uint64_t rx, CsvWriter* csv)
+               std::uint64_t rx, unsigned threads, CsvWriter* csv)
 {
     const std::vector<DataflowPolicy> policies = figure8_policies(rx);
     SimOptions options;
     options.quick = true;
+    options.threads = threads;
+    SweepStats stats;
 
     for (std::uint64_t n : seq_lens) {
         const Workload w = make_workload(model, kBatch, n);
@@ -41,8 +49,11 @@ sweep_platform(const char* title, const AccelConfig& platform,
                 const Simulator sim(accel);
                 std::vector<std::string> row{format_bytes(buf)};
                 for (const DataflowPolicy& policy : policies) {
-                    const double util =
-                        sim.run(w, scope, policy, options).util();
+                    const ScopeReport report =
+                        sim.run(w, scope, policy, options);
+                    const double util = report.util();
+                    stats.evaluated += report.la_points_evaluated;
+                    stats.pruned += report.la_points_pruned;
                     row.push_back(fmt(util, 3));
                     if (csv != nullptr) {
                         csv->add_row({platform.name, model.name,
@@ -57,12 +68,13 @@ sweep_platform(const char* title, const AccelConfig& platform,
             table.print(std::cout);
         }
     }
+    return stats;
 }
 
 } // namespace
 
 int
-main()
+main(int argc, char** argv)
 {
     banner("Figure 8 — compute utilization vs on-chip buffer size",
            "Util = ideal runtime / modeled runtime; buffer sweep "
@@ -71,15 +83,29 @@ main()
     auto csv = open_csv("fig8.csv", {"platform", "model", "seq", "scope",
                                      "buffer_bytes", "policy", "util"});
     CsvWriter* csv_ptr = csv ? &*csv : nullptr;
+    const unsigned threads = cli_threads(argc, argv);
+
+    const ScopedTimer timer;
+    SweepStats stats;
 
     // (a) BERT under edge platform resources; Rx = 64 rows.
-    sweep_platform("(a) edge", edge_accel(), bert_base(),
-                   edge_seq_sweep(), 64, csv_ptr);
+    const SweepStats edge_stats =
+        sweep_platform("(a) edge", edge_accel(), bert_base(),
+                       edge_seq_sweep(), 64, threads, csv_ptr);
+    stats.evaluated += edge_stats.evaluated;
+    stats.pruned += edge_stats.pruned;
 
     // (b) XLM under cloud platform resources; larger Rx for the larger
     // array (§6.2.2).
-    sweep_platform("(b) cloud", cloud_accel(), xlm(), cloud_seq_sweep(),
-                   512, csv_ptr);
+    const SweepStats cloud_stats =
+        sweep_platform("(b) cloud", cloud_accel(), xlm(),
+                       cloud_seq_sweep(), 512, threads, csv_ptr);
+    stats.evaluated += cloud_stats.evaluated;
+    stats.pruned += cloud_stats.pruned;
+
+    std::printf("\n");
+    print_search_stats("figure 8 DSE total", stats.evaluated,
+                       stats.pruned, timer.seconds());
 
     std::printf(
         "\nExpected shape (paper): Base caps near 0.6; Base-M needs the "

@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Minimal std::thread-based work-sharing primitives for the DSE engine:
+ * a reusable fixed-size ThreadPool and a blocking parallel_for built on
+ * top of it. No external dependencies; safe under TSan.
+ *
+ * Concurrency contract of parallel_for:
+ *  - every index in [0, n) is executed exactly once;
+ *  - the call returns only after all iterations finished;
+ *  - the first exception thrown by any iteration is rethrown to the
+ *    caller (remaining iterations are abandoned);
+ *  - nested calls (parallel_for from inside a body) degrade to serial
+ *    execution instead of spawning threads recursively.
+ */
+#ifndef FLAT_COMMON_THREAD_POOL_H
+#define FLAT_COMMON_THREAD_POOL_H
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace flat {
+
+/**
+ * Worker-thread count to use when the caller passes 0 ("auto"): the
+ * FLAT_THREADS environment variable when set to a positive integer,
+ * otherwise std::thread::hardware_concurrency() (at least 1).
+ */
+unsigned default_threads();
+
+/** @p requested when positive, otherwise default_threads(). */
+unsigned resolve_threads(unsigned requested);
+
+/**
+ * Fixed-size pool of worker threads draining a FIFO task queue.
+ * Threads are started in the constructor and joined in the destructor;
+ * wait() blocks until every task submitted so far has completed.
+ */
+class ThreadPool
+{
+  public:
+    /** Starts @p workers threads (clamped to at least 1). */
+    explicit ThreadPool(unsigned workers);
+
+    /** Drains the queue, then joins all workers. */
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool&) = delete;
+    ThreadPool& operator=(const ThreadPool&) = delete;
+
+    unsigned size() const
+    {
+        return static_cast<unsigned>(workers_.size());
+    }
+
+    /** Enqueues @p task for execution on some worker thread. */
+    void submit(std::function<void()> task);
+
+    /** Blocks until the queue is empty and no task is running. */
+    void wait();
+
+  private:
+    void worker_loop();
+
+    std::vector<std::thread> workers_;
+    std::deque<std::function<void()>> queue_;
+    std::mutex mutex_;
+    std::condition_variable work_available_;
+    std::condition_variable all_idle_;
+    std::size_t running_ = 0;
+    bool stopping_ = false;
+};
+
+/**
+ * Runs @p body(i) for every i in [0, n) on up to @p threads threads
+ * (0 = auto, see default_threads()). Iterations are handed out
+ * dynamically in index order; with threads == 1 (or a nested call) the
+ * loop runs serially, in order, on the calling thread.
+ */
+void parallel_for(std::size_t n, unsigned threads,
+                  const std::function<void(std::size_t)>& body);
+
+} // namespace flat
+
+#endif // FLAT_COMMON_THREAD_POOL_H

@@ -29,6 +29,8 @@ attention_options(const DataflowPolicy& policy, const SimOptions& options)
     out.objective = options.objective;
     out.quick = options.quick;
     out.baseline_overlap = options.baseline_overlap;
+    out.threads = options.threads;
+    out.prune = options.prune;
     out.fused = policy.fused();
 
     if (policy.searched()) {
@@ -55,6 +57,8 @@ attention_options(const AcceleratorSpec& spec, const SimOptions& options)
     out.objective = options.objective;
     out.quick = options.quick;
     out.baseline_overlap = options.baseline_overlap;
+    out.threads = options.threads;
+    out.prune = options.prune;
     out.fused = policy.fused();
 
     switch (spec.kind) {
@@ -138,6 +142,8 @@ Simulator::run_impl(const Workload& workload, Scope scope,
     report.la_resident_fraction = la.best.cost.resident_fraction;
     report.la_dataflow_tag =
         (la_options.fused ? "fused:" : "seq:") + la.best.dataflow.tag();
+    report.la_points_evaluated = la.evaluated;
+    report.la_points_pruned = la.pruned;
     report.traffic += la.best.cost.activity.traffic;
 
     // Projections and FCs at Block/Model scope.

@@ -27,6 +27,14 @@ struct SimOptions {
 
     /** Overlap assumption for sequential-baseline dataflows. */
     BaselineOverlap baseline_overlap = BaselineOverlap::kFull;
+
+    /** DSE worker threads; 0 = auto (FLAT_THREADS env, else all
+     *  hardware threads). Results are identical for any count. */
+    unsigned threads = 0;
+
+    /** Incumbent lower-bound pruning in the L-A DSE (identical result,
+     *  fewer cost-model evaluations). */
+    bool prune = true;
 };
 
 /** Per-category cycle/energy decomposition (Figure 11). */
@@ -59,6 +67,11 @@ struct ScopeReport {
     std::uint64_t la_footprint_bytes = 0;
     double la_resident_fraction = 1.0;
     std::string la_dataflow_tag;
+
+    /** L-A DSE audit: design points run through the full cost model
+     *  and points skipped by the pruning bound. */
+    std::size_t la_points_evaluated = 0;
+    std::size_t la_points_pruned = 0;
 
     double util() const
     {

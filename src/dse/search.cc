@@ -1,9 +1,16 @@
 #include "dse/search.h"
 
+#include <atomic>
 #include <limits>
+#include <map>
+#include <string>
+#include <tuple>
+#include <utility>
 
 #include "common/logging.h"
 #include "common/status.h"
+#include "common/thread_pool.h"
+#include "costmodel/gemm_engine.h"
 
 namespace flat {
 namespace {
@@ -31,13 +38,63 @@ effective_candidates(const CandidateOptions& base, bool quick)
     return opt;
 }
 
-/** Calls @p visit for every dataflow in the (restricted) space. */
-template <typename Visit>
-void
-enumerate_attention_space(const AccelConfig& accel,
-                          const AttentionDims& dims,
-                          const AttentionSearchOptions& options,
-                          Visit&& visit)
+/**
+ * One independent unit of parallel work: a (cross-loop, logit
+ * stationarity, attend stationarity) slice of the space. Everything a
+ * slice iterates over (tiles x orders x staging flags) is enumerated
+ * serially inside the owning thread, in a deterministic order.
+ */
+struct SearchSlice {
+    CrossLoop cross;
+    CrossLoopExtent extent;
+    GemmShape logit_shape;
+    GemmShape attend_shape;
+    Stationarity stat_logit = Stationarity::kOutputStationary;
+    Stationarity stat_attend = Stationarity::kOutputStationary;
+    const std::vector<L2Tile>* tiles_logit = nullptr;
+    const std::vector<L2Tile>* tiles_attend = nullptr;
+};
+
+/**
+ * The sliced search space plus every per-slice invariant hoisted out of
+ * the inner loops: tile menus are computed once per (GEMM shape,
+ * stationarity) and shared by all slices with that key.
+ */
+struct SlicedSpace {
+    std::vector<LoopOrder> orders;
+    std::vector<FusedStageFlags> flag_sets;
+    std::vector<SearchSlice> slices;
+
+    /** Owns the cached tile menus; keys are (m, k, n, stationarity).
+     *  std::map guarantees stable addresses for SearchSlice pointers. */
+    std::map<std::tuple<std::uint64_t, std::uint64_t, std::uint64_t, int>,
+             std::vector<L2Tile>>
+        tile_menus;
+};
+
+/** Shapes of the two staged GEMMs for one cross-loop choice. */
+std::pair<GemmShape, GemmShape>
+stage_shapes(const AttentionDims& dims, const CrossLoopExtent& extent)
+{
+    GemmShape logit_shape;
+    logit_shape.m = extent.rows_per_pass;
+    logit_shape.k = dims.head_dim;
+    logit_shape.n = dims.kv_len;
+    GemmShape attend_shape;
+    attend_shape.m = extent.rows_per_pass;
+    attend_shape.k = dims.kv_len;
+    attend_shape.n = dims.head_dim;
+    return {logit_shape, attend_shape};
+}
+
+/**
+ * Decomposes the (restricted) space into slices. Slice order is the
+ * serial enumeration order (cross outer, then stat_logit, stat_attend),
+ * so concatenating per-slice results reproduces the serial walk.
+ */
+SlicedSpace
+build_sliced_space(const AccelConfig& accel, const AttentionDims& dims,
+                   const AttentionSearchOptions& options)
 {
     const CandidateOptions cand =
         effective_candidates(options.candidates, options.quick);
@@ -50,15 +107,28 @@ enumerate_attention_space(const AccelConfig& accel,
                                         /*include_row=*/options.fused);
     }
 
-    std::vector<FusedStageFlags> flag_sets;
+    SlicedSpace space;
     if (options.fixed_flags.has_value()) {
-        flag_sets.push_back(*options.fixed_flags);
+        space.flag_sets.push_back(*options.fixed_flags);
     } else {
-        flag_sets = stage_flag_candidates(cand);
+        space.flag_sets = stage_flag_candidates(cand);
     }
-
-    const std::vector<LoopOrder> orders = loop_order_candidates(cand);
+    space.orders = loop_order_candidates(cand);
     const std::vector<Stationarity> stats = stationarity_candidates(cand);
+
+    const auto menu = [&](const GemmShape& shape, Stationarity stat)
+        -> const std::vector<L2Tile>* {
+        const auto key = std::make_tuple(shape.m, shape.k, shape.n,
+                                         static_cast<int>(stat));
+        auto it = space.tile_menus.find(key);
+        if (it == space.tile_menus.end()) {
+            it = space.tile_menus
+                     .emplace(key,
+                              tile_candidates(accel, shape, cand, stat))
+                     .first;
+        }
+        return &it->second;
+    };
 
     for (const CrossLoop& cross : crosses) {
         if (!options.fused && cross.granularity == Granularity::kRow) {
@@ -66,41 +136,58 @@ enumerate_attention_space(const AccelConfig& accel,
         }
         const CrossLoopExtent extent = cross_loop_extent(
             cross, dims.batch, dims.heads, dims.q_len);
-
-        // Stage GEMM shapes for tile-menu generation.
-        GemmShape logit_shape;
-        logit_shape.m = extent.rows_per_pass;
-        logit_shape.k = dims.head_dim;
-        logit_shape.n = dims.kv_len;
-        GemmShape attend_shape;
-        attend_shape.m = extent.rows_per_pass;
-        attend_shape.k = dims.kv_len;
-        attend_shape.n = dims.head_dim;
-
+        const auto [logit_shape, attend_shape] =
+            stage_shapes(dims, extent);
         for (Stationarity stat_l : stats) {
-            const std::vector<L2Tile> tiles_l =
-                tile_candidates(accel, logit_shape, cand, stat_l);
+            const std::vector<L2Tile>* tiles_l = menu(logit_shape, stat_l);
             for (Stationarity stat_a : stats) {
-                const std::vector<L2Tile> tiles_a =
-                    tile_candidates(accel, attend_shape, cand, stat_a);
-                for (const L2Tile& tile_l : tiles_l) {
-                    for (const L2Tile& tile_a : tiles_a) {
-                        for (LoopOrder order_l : orders) {
-                            for (LoopOrder order_a : orders) {
-                                for (const FusedStageFlags& flags :
-                                     flag_sets) {
-                                    FusedDataflow df;
-                                    df.cross = cross;
-                                    df.l2_logit = tile_l;
-                                    df.order_logit = order_l;
-                                    df.stat_logit = stat_l;
-                                    df.l2_attend = tile_a;
-                                    df.order_attend = order_a;
-                                    df.stat_attend = stat_a;
-                                    df.stage = flags;
-                                    visit(df);
-                                }
-                            }
+                SearchSlice slice;
+                slice.cross = cross;
+                slice.extent = extent;
+                slice.logit_shape = logit_shape;
+                slice.attend_shape = attend_shape;
+                slice.stat_logit = stat_l;
+                slice.stat_attend = stat_a;
+                slice.tiles_logit = tiles_l;
+                slice.tiles_attend = menu(attend_shape, stat_a);
+                space.slices.push_back(slice);
+            }
+        }
+    }
+    return space;
+}
+
+/**
+ * Visits every design point of @p slice in the deterministic serial
+ * order. @p visit receives the dataflow plus the (tile, order) indices
+ * of both stages (so callers can address per-slice caches) and returns
+ * false to stop the slice early.
+ */
+template <typename Visit>
+void
+for_each_slice_point(const SearchSlice& slice,
+                     const std::vector<LoopOrder>& orders,
+                     const std::vector<FusedStageFlags>& flag_sets,
+                     Visit&& visit)
+{
+    const std::vector<L2Tile>& tiles_l = *slice.tiles_logit;
+    const std::vector<L2Tile>& tiles_a = *slice.tiles_attend;
+    for (std::size_t tl = 0; tl < tiles_l.size(); ++tl) {
+        for (std::size_t ta = 0; ta < tiles_a.size(); ++ta) {
+            for (std::size_t ol = 0; ol < orders.size(); ++ol) {
+                for (std::size_t oa = 0; oa < orders.size(); ++oa) {
+                    for (const FusedStageFlags& flags : flag_sets) {
+                        FusedDataflow df;
+                        df.cross = slice.cross;
+                        df.l2_logit = tiles_l[tl];
+                        df.order_logit = orders[ol];
+                        df.stat_logit = slice.stat_logit;
+                        df.l2_attend = tiles_a[ta];
+                        df.order_attend = orders[oa];
+                        df.stat_attend = slice.stat_attend;
+                        df.stage = flags;
+                        if (!visit(df, tl, ta, ol, oa)) {
+                            return;
                         }
                     }
                 }
@@ -109,20 +196,167 @@ enumerate_attention_space(const AccelConfig& accel,
     }
 }
 
+/**
+ * Per-slice ingredients of the pruning lower bound, hoisted out of the
+ * point loop. The bound on modeled cycles is
+ *
+ *   compute(logit) + compute(attend) per slice  x  #slices
+ *   + softmax cycles + cold-start cycles
+ *
+ * using the exact same model_gemm_compute values the full cost model
+ * uses, so it never exceeds the true cycle count: both the fused model
+ * (max of compute and the transfer windows, plus cold start) and the
+ * baseline model (sum of per-stage windows, each at least its compute
+ * time, plus cold start) are lower-bounded by it. The energy bound
+ * keeps only the traffic-independent activity (MACs, SL, SFU) plus the
+ * guaranteed SG streaming volume; DRAM/SG2 terms are dropped (>= 0).
+ */
+struct SliceBound {
+    double slices_count = 1.0;
+    double softmax_plus_cold = 0.0; ///< cycles added to every point
+    double fixed_energy_j = 0.0;    ///< traffic-independent energy
+    double inter_sg_bytes = 0.0;    ///< intermediate SG round trip
+    double sg_pj_per_byte = 0.0;
+
+    /** Compute cost per (tile, order), memoized once per slice. */
+    std::vector<GemmComputeCost> logit_costs;
+    std::vector<GemmComputeCost> attend_costs;
+
+    double lower_bound(Objective objective, std::size_t li,
+                       std::size_t ai) const
+    {
+        const GemmComputeCost& lc = logit_costs[li];
+        const GemmComputeCost& ac = attend_costs[ai];
+        const double cycles_lb =
+            (lc.total_cycles() + ac.total_cycles()) * slices_count +
+            softmax_plus_cold;
+        if (objective == Objective::kRuntime) {
+            return cycles_lb;
+        }
+        const double stream_bytes =
+            (lc.sg_read_bytes + lc.sg_psum_read_bytes +
+             lc.sg_write_bytes + ac.sg_read_bytes +
+             ac.sg_psum_read_bytes + ac.sg_write_bytes) *
+                slices_count +
+            inter_sg_bytes;
+        const double energy_lb =
+            fixed_energy_j + stream_bytes * sg_pj_per_byte * 1e-12;
+        if (objective == Objective::kEnergy) {
+            return energy_lb;
+        }
+        return cycles_lb * energy_lb; // kEdp
+    }
+};
+
+SliceBound
+make_slice_bound(const AccelConfig& accel, const AttentionDims& dims,
+                 const EnergyTable& energy_table, const SearchSlice& slice,
+                 const std::vector<LoopOrder>& orders)
+{
+    SliceBound bound;
+    bound.slices_count = static_cast<double>(slice.extent.passes) *
+                         static_cast<double>(slice.extent.instances_per_pass);
+    const double bpe = accel.bytes_per_element;
+    const double bh =
+        static_cast<double>(dims.batch) * static_cast<double>(dims.heads);
+    const double inter_elems = bh * static_cast<double>(dims.q_len) *
+                               static_cast<double>(dims.kv_len);
+    const double q_bytes =
+        bh * dims.q_len * dims.head_dim * bpe;
+    const double k_bytes =
+        bh * dims.kv_len * dims.head_dim * bpe;
+    const double softmax_cycles = inter_elems / accel.sfu_lanes;
+    const double cold_start =
+        (q_bytes + k_bytes) /
+        (bound.slices_count > 0.0 ? bound.slices_count : 1.0) /
+        accel.offchip_bytes_per_cycle();
+    bound.softmax_plus_cold = softmax_cycles + cold_start;
+
+    const double macs = static_cast<double>(attention_macs(dims));
+    bound.fixed_energy_j = (macs * energy_table.mac_pj +
+                            3.0 * macs * energy_table.sl_access_pj +
+                            inter_elems * energy_table.sfu_op_pj) *
+                           1e-12;
+    // plan_sg_traffic always adds one intermediate pass to both SG
+    // directions on top of the array streaming volume.
+    bound.inter_sg_bytes = 2.0 * inter_elems * bpe;
+    bound.sg_pj_per_byte = energy_table.sg_pj_per_byte;
+
+    bound.logit_costs.reserve(slice.tiles_logit->size() * orders.size());
+    for (const L2Tile& tile : *slice.tiles_logit) {
+        for (LoopOrder order : orders) {
+            bound.logit_costs.push_back(
+                model_gemm_compute(accel, slice.logit_shape, tile, order,
+                                   slice.stat_logit));
+        }
+    }
+    bound.attend_costs.reserve(slice.tiles_attend->size() *
+                               orders.size());
+    for (const L2Tile& tile : *slice.tiles_attend) {
+        for (LoopOrder order : orders) {
+            bound.attend_costs.push_back(
+                model_gemm_compute(accel, slice.attend_shape, tile, order,
+                                   slice.stat_attend));
+        }
+    }
+    return bound;
+}
+
+/** Best point of one slice plus its audit counters. */
+struct SliceOutcome {
+    DsePoint best;
+    double value = std::numeric_limits<double>::infinity();
+    std::string tag; ///< tie-break key of the incumbent
+    bool found = false;
+    std::size_t evaluated = 0;
+    std::size_t pruned = 0;
+};
+
+/**
+ * Total order on candidates: lower objective value wins; exact ties go
+ * to the lexicographically smallest dataflow tag. This makes the result
+ * independent of enumeration and thread interleaving.
+ */
+bool
+improves(double value, const std::string& tag, double best_value,
+         const std::string& best_tag)
+{
+    return value < best_value ||
+           (value == best_value && tag < best_tag);
+}
+
+/** Monotonically lowers @p shared_best to @p value (relaxed is enough:
+ *  the bound is only a hint; correctness never depends on freshness). */
+void
+update_shared_best(std::atomic<double>& shared_best, double value)
+{
+    double current = shared_best.load(std::memory_order_relaxed);
+    while (value < current &&
+           !shared_best.compare_exchange_weak(
+               current, value, std::memory_order_relaxed)) {
+    }
+}
+
 } // namespace
+
+double
+objective_value(Objective objective, double cycles, double energy_j)
+{
+    switch (objective) {
+      case Objective::kRuntime:
+        return cycles;
+      case Objective::kEnergy:
+        return energy_j;
+      case Objective::kEdp:
+        return cycles * energy_j;
+    }
+    return cycles;
+}
 
 double
 DsePoint::objective_value(Objective objective) const
 {
-    switch (objective) {
-      case Objective::kRuntime:
-        return cost.cycles;
-      case Objective::kEnergy:
-        return energy_j;
-      case Objective::kEdp:
-        return cost.cycles * energy_j;
-    }
-    return cost.cycles;
+    return flat::objective_value(objective, cost.cycles, energy_j);
 }
 
 AttentionSearchResult
@@ -132,31 +366,88 @@ search_attention(const AccelConfig& accel, const AttentionDims& dims,
     accel.validate();
     dims.validate();
     const EnergyTable energy_table = EnergyTable::for_accel(accel);
+    const SlicedSpace space = build_sliced_space(accel, dims, options);
 
-    AttentionSearchResult result;
-    double best_value = std::numeric_limits<double>::infinity();
+    // Best objective value seen by ANY thread. Pruning compares against
+    // it with a strict >, so a skipped point is strictly worse than the
+    // final optimum and can never win, not even on the tag tie-break.
+    std::atomic<double> shared_best{
+        std::numeric_limits<double>::infinity()};
+    std::vector<SliceOutcome> outcomes(space.slices.size());
 
-    enumerate_attention_space(
-        accel, dims, options, [&](const FusedDataflow& df) {
-            const OperatorCost cost =
-                options.fused
-                    ? model_flat_attention(accel, dims, df)
-                    : model_baseline_attention(accel, dims, df,
-                                               options.baseline_overlap);
-            DsePoint point;
-            point.dataflow = df;
-            point.cost = cost;
-            point.energy_j =
-                estimate_energy(energy_table, cost.activity).total();
-            ++result.evaluated;
-            const double value = point.objective_value(options.objective);
-            if (value < best_value) {
-                best_value = value;
-                result.best = point;
-                result.found = true;
-            }
+    parallel_for(
+        space.slices.size(), options.threads, [&](std::size_t si) {
+            const SearchSlice& slice = space.slices[si];
+            SliceOutcome& out = outcomes[si];
+            const SliceBound bound = make_slice_bound(
+                accel, dims, energy_table, slice, space.orders);
+            const std::size_t n_orders = space.orders.size();
+
+            for_each_slice_point(
+                slice, space.orders, space.flag_sets,
+                [&](const FusedDataflow& df, std::size_t tl,
+                    std::size_t ta, std::size_t ol, std::size_t oa) {
+                    if (options.prune) {
+                        const double lb = bound.lower_bound(
+                            options.objective, tl * n_orders + ol,
+                            ta * n_orders + oa);
+                        if (lb >
+                            shared_best.load(std::memory_order_relaxed)) {
+                            ++out.pruned;
+                            return true;
+                        }
+                    }
+                    DsePoint point;
+                    point.dataflow = df;
+                    point.cost =
+                        options.fused
+                            ? model_flat_attention(accel, dims, df)
+                            : model_baseline_attention(
+                                  accel, dims, df,
+                                  options.baseline_overlap);
+                    point.energy_j =
+                        estimate_energy(energy_table,
+                                        point.cost.activity)
+                            .total();
+                    ++out.evaluated;
+                    const double value =
+                        point.objective_value(options.objective);
+                    if (value <= out.value) {
+                        // Tag construction is deferred to the rare
+                        // improves/ties path; strictly worse points
+                        // never pay for it.
+                        const std::string tag = df.tag();
+                        if (improves(value, tag, out.value, out.tag)) {
+                            out.value = value;
+                            out.tag = tag;
+                            out.best = std::move(point);
+                            out.found = true;
+                            update_shared_best(shared_best, value);
+                        }
+                    }
+                    return true;
+                });
         });
 
+    // Deterministic reduction, in slice order, under the same total
+    // order used inside the slices.
+    AttentionSearchResult result;
+    double best_value = std::numeric_limits<double>::infinity();
+    std::string best_tag;
+    for (const SliceOutcome& out : outcomes) {
+        result.evaluated += out.evaluated;
+        result.pruned += out.pruned;
+        if (!out.found) {
+            continue;
+        }
+        if (!result.found ||
+            improves(out.value, out.tag, best_value, best_tag)) {
+            best_value = out.value;
+            best_tag = out.tag;
+            result.best = out.best;
+            result.found = true;
+        }
+    }
     FLAT_CHECK(result.found, "attention DSE evaluated an empty space");
     return result;
 }
@@ -169,24 +460,50 @@ explore_attention(const AccelConfig& accel, const AttentionDims& dims,
     accel.validate();
     dims.validate();
     const EnergyTable energy_table = EnergyTable::for_accel(accel);
+    const SlicedSpace space = build_sliced_space(accel, dims, options);
+
+    // Per-slice collection preserves the serial enumeration order when
+    // concatenated. Each slice stops once it alone could satisfy the
+    // cap (no slice ever needs more than max_points of its prefix), so
+    // a small cap no longer walks the entire space.
+    std::vector<std::vector<DsePoint>> per_slice(space.slices.size());
+    parallel_for(
+        space.slices.size(), options.threads, [&](std::size_t si) {
+            const SearchSlice& slice = space.slices[si];
+            std::vector<DsePoint>& local = per_slice[si];
+            for_each_slice_point(
+                slice, space.orders, space.flag_sets,
+                [&](const FusedDataflow& df, std::size_t, std::size_t,
+                    std::size_t, std::size_t) {
+                    if (max_points != 0 && local.size() >= max_points) {
+                        return false; // stop flag: slice satisfied
+                    }
+                    DsePoint point;
+                    point.dataflow = df;
+                    point.cost =
+                        options.fused
+                            ? model_flat_attention(accel, dims, df)
+                            : model_baseline_attention(
+                                  accel, dims, df,
+                                  options.baseline_overlap);
+                    point.energy_j =
+                        estimate_energy(energy_table,
+                                        point.cost.activity)
+                            .total();
+                    local.push_back(std::move(point));
+                    return true;
+                });
+        });
 
     std::vector<DsePoint> points;
-    enumerate_attention_space(
-        accel, dims, options, [&](const FusedDataflow& df) {
+    for (std::vector<DsePoint>& local : per_slice) {
+        for (DsePoint& point : local) {
             if (max_points != 0 && points.size() >= max_points) {
-                return;
+                return points;
             }
-            DsePoint point;
-            point.dataflow = df;
-            point.cost =
-                options.fused
-                    ? model_flat_attention(accel, dims, df)
-                    : model_baseline_attention(accel, dims, df,
-                                               options.baseline_overlap);
-            point.energy_j =
-                estimate_energy(energy_table, point.cost.activity).total();
             points.push_back(std::move(point));
-        });
+        }
+    }
     return points;
 }
 
@@ -239,12 +556,8 @@ search_operator(const AccelConfig& accel, const Operator& op,
                             .total();
                     ++result.evaluated;
 
-                    double value = cost.cycles;
-                    if (options.objective == Objective::kEnergy) {
-                        value = energy;
-                    } else if (options.objective == Objective::kEdp) {
-                        value = cost.cycles * energy;
-                    }
+                    const double value = objective_value(
+                        options.objective, cost.cycles, energy);
                     if (value < best_value) {
                         best_value = value;
                         result.dataflow = df;

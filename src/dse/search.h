@@ -27,6 +27,11 @@ enum class Objective {
     kEdp,     ///< minimize energy-delay product
 };
 
+/** Objective value (lower is better) of a (cycles, energy) outcome.
+ *  Single source of truth for every search loop. */
+double objective_value(Objective objective, double cycles,
+                       double energy_j);
+
 /** One evaluated design point. */
 struct DsePoint {
     FusedDataflow dataflow;
@@ -57,24 +62,56 @@ struct AttentionSearchOptions {
     /** Overlap assumption for the sequential baseline (ablation). */
     BaselineOverlap baseline_overlap = BaselineOverlap::kFull;
 
+    /**
+     * Worker threads sweeping the space; 0 = auto (the FLAT_THREADS
+     * environment variable, else all hardware threads). The result is
+     * bit-identical for any thread count: each (cross-loop x
+     * stationarity) slice keeps a local incumbent and a final
+     * deterministic reduction breaks ties by (objective value, tag).
+     */
+    unsigned threads = 0;
+
+    /**
+     * Incumbent lower-bound pruning: skip the full cost model whenever
+     * a cheap monotone bound (ideal compute cycles of the two staged
+     * GEMMs plus the softmax and cold-start terms) already exceeds the
+     * best objective seen so far. Never changes the returned optimum —
+     * only strictly-worse points are skipped.
+     */
+    bool prune = true;
+
     CandidateOptions candidates;
 };
 
 /** DSE outcome for the fused/baseline L-A operator. */
 struct AttentionSearchResult {
     DsePoint best;
+
+    /** Points run through the full cost model. */
     std::size_t evaluated = 0;
+
+    /** Points skipped by the lower-bound test. evaluated + pruned is
+     *  the full space size and is stable across thread counts; the
+     *  split may shift with scheduling when threads > 1. */
+    std::size_t pruned = 0;
+
     bool found = false;
 };
 
-/** Finds the best L-A dataflow on @p accel for @p dims. */
+/**
+ * Finds the best L-A dataflow on @p accel for @p dims. The sweep runs
+ * on opt.threads workers with incumbent pruning (see the options); the
+ * returned point is bit-identical to a serial unpruned search.
+ */
 AttentionSearchResult search_attention(const AccelConfig& accel,
                                        const AttentionDims& dims,
                                        const AttentionSearchOptions& opt);
 
 /**
- * Evaluates and returns every design point (Figure 10's scatter).
- * @p max_points caps the output (0 = unlimited).
+ * Evaluates and returns every design point (Figure 10's scatter) in the
+ * serial enumeration order regardless of opt.threads.
+ * @p max_points caps the output (0 = unlimited; a cap stops the
+ * enumeration early instead of walking the whole space).
  */
 std::vector<DsePoint> explore_attention(const AccelConfig& accel,
                                         const AttentionDims& dims,

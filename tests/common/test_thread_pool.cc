@@ -1,0 +1,151 @@
+#include "common/thread_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <set>
+#include <stdexcept>
+#include <vector>
+
+namespace flat {
+namespace {
+
+TEST(ParallelFor, EmptyRangeNeverInvokesBody)
+{
+    std::atomic<int> calls{0};
+    parallel_for(0, 4, [&](std::size_t) { ++calls; });
+    EXPECT_EQ(calls.load(), 0);
+}
+
+TEST(ParallelFor, VisitsEveryIndexExactlyOnce)
+{
+    constexpr std::size_t kN = 10000;
+    std::vector<std::atomic<int>> hits(kN);
+    parallel_for(kN, 8, [&](std::size_t i) { ++hits[i]; });
+    for (std::size_t i = 0; i < kN; ++i) {
+        ASSERT_EQ(hits[i].load(), 1) << "index " << i;
+    }
+}
+
+TEST(ParallelFor, SingleThreadRunsInOrderOnCaller)
+{
+    const std::thread::id caller = std::this_thread::get_id();
+    std::vector<std::size_t> order;
+    parallel_for(100, 1, [&](std::size_t i) {
+        EXPECT_EQ(std::this_thread::get_id(), caller);
+        order.push_back(i);
+    });
+    ASSERT_EQ(order.size(), 100u);
+    for (std::size_t i = 0; i < order.size(); ++i) {
+        EXPECT_EQ(order[i], i);
+    }
+}
+
+TEST(ParallelFor, PropagatesTheFirstException)
+{
+    EXPECT_THROW(
+        parallel_for(1000, 4,
+                     [&](std::size_t i) {
+                         if (i == 37) {
+                             throw std::runtime_error("boom");
+                         }
+                     }),
+        std::runtime_error);
+
+    // Serial path too.
+    EXPECT_THROW(parallel_for(10, 1,
+                              [&](std::size_t) {
+                                  throw std::logic_error("serial boom");
+                              }),
+                 std::logic_error);
+}
+
+TEST(ParallelFor, ExceptionAbandonsRemainingIterations)
+{
+    std::atomic<int> calls{0};
+    try {
+        parallel_for(100000, 4, [&](std::size_t i) {
+            ++calls;
+            if (i == 0) {
+                throw std::runtime_error("stop");
+            }
+        });
+        FAIL() << "expected an exception";
+    } catch (const std::runtime_error&) {
+    }
+    // Not all 100k iterations should have run: workers observe the
+    // failure flag and bail out.
+    EXPECT_LT(calls.load(), 100000);
+}
+
+TEST(ParallelFor, NestedCallRunsSeriallyWithoutDeadlock)
+{
+    constexpr std::size_t kOuter = 8;
+    constexpr std::size_t kInner = 500;
+    std::vector<std::atomic<int>> hits(kOuter * kInner);
+    parallel_for(kOuter, 4, [&](std::size_t o) {
+        const std::thread::id outer_thread = std::this_thread::get_id();
+        parallel_for(kInner, 4, [&](std::size_t i) {
+            // The nested loop must stay on the worker that owns the
+            // outer iteration (serial fallback).
+            EXPECT_EQ(std::this_thread::get_id(), outer_thread);
+            ++hits[o * kInner + i];
+        });
+    });
+    for (std::size_t i = 0; i < hits.size(); ++i) {
+        ASSERT_EQ(hits[i].load(), 1) << "index " << i;
+    }
+}
+
+TEST(ParallelFor, MoreThreadsThanWorkIsFine)
+{
+    std::atomic<int> calls{0};
+    parallel_for(3, 64, [&](std::size_t) { ++calls; });
+    EXPECT_EQ(calls.load(), 3);
+}
+
+TEST(ThreadPool, RunsEverySubmittedTask)
+{
+    std::atomic<int> done{0};
+    ThreadPool pool(4);
+    EXPECT_EQ(pool.size(), 4u);
+    for (int i = 0; i < 256; ++i) {
+        pool.submit([&] { ++done; });
+    }
+    pool.wait();
+    EXPECT_EQ(done.load(), 256);
+}
+
+TEST(ThreadPool, WaitIsReusable)
+{
+    std::atomic<int> done{0};
+    ThreadPool pool(2);
+    pool.submit([&] { ++done; });
+    pool.wait();
+    EXPECT_EQ(done.load(), 1);
+    pool.submit([&] { ++done; });
+    pool.submit([&] { ++done; });
+    pool.wait();
+    EXPECT_EQ(done.load(), 3);
+}
+
+TEST(ThreadPool, ZeroWorkersClampsToOne)
+{
+    ThreadPool pool(0);
+    EXPECT_EQ(pool.size(), 1u);
+    std::atomic<int> done{0};
+    pool.submit([&] { ++done; });
+    pool.wait();
+    EXPECT_EQ(done.load(), 1);
+}
+
+TEST(Threads, ResolveHonorsExplicitRequest)
+{
+    EXPECT_EQ(resolve_threads(5), 5u);
+    EXPECT_EQ(resolve_threads(1), 1u);
+    EXPECT_GE(resolve_threads(0), 1u); // auto is at least one thread
+    EXPECT_GE(default_threads(), 1u);
+}
+
+} // namespace
+} // namespace flat

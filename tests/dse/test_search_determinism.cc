@@ -1,0 +1,192 @@
+/**
+ * @file
+ * Determinism contract of the parallel, pruned DSE engine: for any
+ * thread count and with pruning on or off, search_attention must return
+ * exactly the same best point (tag, cycles, energy) as the serial
+ * unpruned reference, and explore_attention must return the same point
+ * sequence. Bit-exact equality is intentional — every point is modeled
+ * by exactly one thread with an identical instruction sequence, and the
+ * reduction only compares, never accumulates, across threads.
+ */
+#include "dse/search.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "workload/model_config.h"
+
+namespace flat {
+namespace {
+
+AttentionDims
+self_attention(std::uint64_t n)
+{
+    AttentionDims d;
+    d.batch = 16;
+    d.heads = 8;
+    d.q_len = n;
+    d.kv_len = n;
+    d.head_dim = 64;
+    return d;
+}
+
+AttentionDims
+cross_attention(std::uint64_t q, std::uint64_t kv)
+{
+    AttentionDims d;
+    d.batch = 8;
+    d.heads = 12;
+    d.q_len = q;
+    d.kv_len = kv;
+    d.head_dim = 64;
+    return d;
+}
+
+struct Config {
+    const char* name;
+    AccelConfig accel;
+    AttentionDims dims;
+};
+
+std::vector<Config>
+configs()
+{
+    // Two presets x two workloads (plus a baseline-space case below).
+    return {
+        {"edge/self-1024", edge_accel(), self_attention(1024)},
+        {"edge/cross-512x2048", edge_accel(), cross_attention(512, 2048)},
+        {"cloud/self-4096", cloud_accel(), self_attention(4096)},
+        {"cloud/cross-1024x4096", cloud_accel(),
+         cross_attention(1024, 4096)},
+    };
+}
+
+AttentionSearchResult
+run(const Config& cfg, unsigned threads, bool prune,
+    Objective objective = Objective::kRuntime, bool fused = true)
+{
+    AttentionSearchOptions opt;
+    opt.quick = true;
+    opt.fused = fused;
+    opt.objective = objective;
+    opt.threads = threads;
+    opt.prune = prune;
+    return search_attention(cfg.accel, cfg.dims, opt);
+}
+
+void
+expect_same_best(const AttentionSearchResult& reference,
+                 const AttentionSearchResult& candidate,
+                 const char* what)
+{
+    ASSERT_TRUE(candidate.found) << what;
+    EXPECT_EQ(candidate.best.dataflow.tag(),
+              reference.best.dataflow.tag())
+        << what;
+    EXPECT_EQ(candidate.best.cost.cycles, reference.best.cost.cycles)
+        << what;
+    EXPECT_EQ(candidate.best.energy_j, reference.best.energy_j) << what;
+    // Pruning may skip points but never lose any: the audit counters
+    // must cover the full space.
+    EXPECT_EQ(candidate.evaluated + candidate.pruned,
+              reference.evaluated + reference.pruned)
+        << what;
+}
+
+TEST(SearchDeterminism, ParallelAndPrunedMatchSerialUnpruned)
+{
+    for (const Config& cfg : configs()) {
+        SCOPED_TRACE(cfg.name);
+        const AttentionSearchResult reference =
+            run(cfg, /*threads=*/1, /*prune=*/false);
+        ASSERT_TRUE(reference.found);
+        EXPECT_EQ(reference.pruned, 0u);
+
+        expect_same_best(reference, run(cfg, 1, true),
+                         "serial, pruned");
+        expect_same_best(reference, run(cfg, 4, false),
+                         "4 threads, unpruned");
+        expect_same_best(reference, run(cfg, 4, true),
+                         "4 threads, pruned");
+        expect_same_best(reference, run(cfg, 7, true),
+                         "7 threads, pruned");
+    }
+}
+
+TEST(SearchDeterminism, HoldsForTheBaselineSpace)
+{
+    const Config cfg{"edge/self-1024/base", edge_accel(),
+                     self_attention(1024)};
+    const auto reference = run(cfg, 1, false, Objective::kRuntime,
+                               /*fused=*/false);
+    expect_same_best(reference,
+                     run(cfg, 4, true, Objective::kRuntime, false),
+                     "baseline space");
+}
+
+TEST(SearchDeterminism, HoldsForEnergyAndEdpObjectives)
+{
+    const Config cfg{"edge/self-1024", edge_accel(),
+                     self_attention(1024)};
+    for (Objective objective : {Objective::kEnergy, Objective::kEdp}) {
+        SCOPED_TRACE(static_cast<int>(objective));
+        const auto reference = run(cfg, 1, false, objective);
+        expect_same_best(reference, run(cfg, 4, true, objective),
+                         "objective variant");
+    }
+}
+
+TEST(SearchDeterminism, PruningActuallyFires)
+{
+    // Sanity that the determinism guarantee is not vacuous: on a
+    // non-trivial space the bound must skip a decent share of points.
+    const Config cfg{"edge/self-4096", edge_accel(),
+                     self_attention(4096)};
+    const auto pruned = run(cfg, 1, true);
+    EXPECT_GT(pruned.pruned, 0u);
+    const auto reference = run(cfg, 1, false);
+    EXPECT_EQ(pruned.evaluated + pruned.pruned, reference.evaluated);
+    expect_same_best(reference, pruned, "pruned run");
+}
+
+TEST(ExploreDeterminism, PointOrderIndependentOfThreads)
+{
+    AttentionSearchOptions opt;
+    opt.quick = true;
+    opt.threads = 1;
+    const AccelConfig accel = edge_accel();
+    const AttentionDims dims = self_attention(1024);
+    const auto serial = explore_attention(accel, dims, opt);
+    opt.threads = 4;
+    const auto parallel = explore_attention(accel, dims, opt);
+    ASSERT_EQ(parallel.size(), serial.size());
+    for (std::size_t i = 0; i < serial.size(); ++i) {
+        ASSERT_EQ(parallel[i].dataflow.tag(), serial[i].dataflow.tag())
+            << "point " << i;
+        ASSERT_EQ(parallel[i].cost.cycles, serial[i].cost.cycles)
+            << "point " << i;
+    }
+}
+
+TEST(ExploreDeterminism, MaxPointsPrefixMatchesFullEnumeration)
+{
+    AttentionSearchOptions opt;
+    opt.quick = true;
+    const AccelConfig accel = edge_accel();
+    const AttentionDims dims = self_attention(1024);
+    opt.threads = 1;
+    const auto full = explore_attention(accel, dims, opt);
+    for (unsigned threads : {1u, 4u}) {
+        opt.threads = threads;
+        const auto capped = explore_attention(accel, dims, opt, 25);
+        ASSERT_EQ(capped.size(), 25u) << threads << " threads";
+        for (std::size_t i = 0; i < capped.size(); ++i) {
+            ASSERT_EQ(capped[i].dataflow.tag(), full[i].dataflow.tag())
+                << threads << " threads, point " << i;
+        }
+    }
+}
+
+} // namespace
+} // namespace flat

@@ -53,6 +53,11 @@ usage: flatsim [options]
   --sg2-bw BW        SG2 bandwidth (default 200GB/s)
   --offchip-bw BW    override off-chip bandwidth, e.g. 100GB/s
   --objective NAME   runtime | energy | edp                 (default runtime)
+  --threads N        DSE worker threads (default: FLAT_THREADS env,
+                     else all hardware threads; result is identical
+                     for any thread count)
+  --no-prune         disable DSE lower-bound pruning (same result,
+                     every design point evaluated)
   --serialized-baseline   model the baseline without transfer overlap
   --quick            smaller DSE menus
   --json             emit the report as JSON instead of tables
@@ -101,6 +106,8 @@ struct Args {
     std::string sg2_bw = "200GB/s";
     std::string offchip_bw;
     std::string objective = "runtime";
+    std::uint64_t threads = 0;
+    bool no_prune = false;
     bool serialized_baseline = false;
     bool quick = false;
     bool json = false;
@@ -180,6 +187,8 @@ run(const Args& args)
     SimOptions options;
     options.objective = parse_objective(args.objective);
     options.quick = args.quick;
+    options.threads = static_cast<unsigned>(args.threads);
+    options.prune = !args.no_prune;
     options.baseline_overlap = args.serialized_baseline
                                    ? BaselineOverlap::kSerialized
                                    : BaselineOverlap::kFull;
@@ -212,6 +221,10 @@ run(const Args& args)
         json.field("la_footprint_bytes",
                    static_cast<std::uint64_t>(report.la_footprint_bytes));
         json.field("la_resident_fraction", report.la_resident_fraction);
+        json.field("la_points_evaluated",
+                   static_cast<std::uint64_t>(report.la_points_evaluated));
+        json.field("la_points_pruned",
+                   static_cast<std::uint64_t>(report.la_points_pruned));
         json.key("breakdown_cycles");
         json.begin_object();
         json.field("la", report.breakdown.la_cycles);
@@ -258,6 +271,10 @@ run(const Args& args)
                    format_bytes(report.la_footprint_bytes)});
     table.add_row({"L-A resident fraction",
                    strprintf("%.2f", report.la_resident_fraction)});
+    table.add_row({"L-A DSE points",
+                   strprintf("%zu evaluated, %zu pruned",
+                             report.la_points_evaluated,
+                             report.la_points_pruned)});
     table.print(std::cout);
 
     if (args.trace) {
@@ -350,6 +367,10 @@ main(int argc, char** argv)
                 args.offchip_bw = next();
             } else if (flag == "--objective") {
                 args.objective = next();
+            } else if (flag == "--threads") {
+                args.threads = std::stoull(next());
+            } else if (flag == "--no-prune") {
+                args.no_prune = true;
             } else if (flag == "--serialized-baseline") {
                 args.serialized_baseline = true;
             } else if (flag == "--quick") {
