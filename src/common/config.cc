@@ -3,6 +3,8 @@
 #include <fstream>
 #include <sstream>
 
+#include "common/diagnostics.h"
+#include "common/fault_injection.h"
 #include "common/status.h"
 #include "common/string_util.h"
 
@@ -11,12 +13,14 @@ namespace flat {
 ConfigMap
 parse_config_text(const std::string& text)
 {
+    FLAT_FAULT_POINT("config.parse");
     ConfigMap out;
     std::istringstream stream(text);
     std::string line;
     std::size_t line_no = 0;
     while (std::getline(stream, line)) {
         ++line_no;
+        const std::string raw = trim(line);
         const std::size_t hash = line.find('#');
         if (hash != std::string::npos) {
             line = line.substr(0, hash);
@@ -28,12 +32,25 @@ parse_config_text(const std::string& text)
         const std::size_t eq = trimmed.find('=');
         FLAT_CHECK(eq != std::string::npos && eq > 0,
                    "config line " << line_no << " is not 'key = value': '"
-                                  << trimmed << "'");
+                                  << raw << "'");
         const std::string key = to_lower(trim(trimmed.substr(0, eq)));
         const std::string value = trim(trimmed.substr(eq + 1));
         FLAT_CHECK(!key.empty() && !value.empty(),
-                   "config line " << line_no << " has an empty key or "
-                                     "value");
+                   "config line " << line_no
+                                  << " has an empty key or value: '"
+                                  << raw << "'");
+        const auto it = out.find(key);
+        if (it != out.end()) {
+            Diagnostic diag;
+            diag.severity = DiagSeverity::kWarning;
+            diag.kind = DiagKind::kConfig;
+            diag.message = "config line " + std::to_string(line_no) +
+                           " duplicates key '" + key +
+                           "' (overriding earlier value '" + it->second +
+                           "' with '" + value + "')";
+            diag.context = diagnostic_context();
+            emit_diagnostic(diag);
+        }
         out[key] = value;
     }
     return out;
@@ -46,6 +63,7 @@ parse_config_file(const std::string& path)
     FLAT_CHECK(in.good(), "cannot open config file: " << path);
     std::ostringstream buffer;
     buffer << in.rdbuf();
+    FLAT_ERROR_CONTEXT("parsing " << path);
     return parse_config_text(buffer.str());
 }
 

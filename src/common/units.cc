@@ -74,8 +74,8 @@ format_count(double count)
 namespace {
 
 bool
-parse_scaled_value(const std::string& text, bool* binary_out,
-                   double* value_out, std::string* suffix_out)
+parse_scaled_value(const std::string& text, double* value_out,
+                   std::string* suffix_out)
 {
     std::size_t pos = 0;
     double value = 0.0;
@@ -89,27 +89,34 @@ parse_scaled_value(const std::string& text, bool* binary_out,
     }
     *value_out = value;
     *suffix_out = text.substr(pos);
-    *binary_out = suffix_out->find('i') != std::string::npos;
     return true;
 }
+
+/** 2^64 as a double; scaled values at or above it overflow uint64_t. */
+constexpr double kUint64Limit = 18446744073709551616.0;
 
 } // namespace
 
 std::uint64_t
 parse_bytes(const std::string& text)
 {
-    bool binary = false;
     double value = 0.0;
     std::string suffix;
-    if (!parse_scaled_value(text, &binary, &value, &suffix) ||
-        value < 0.0) {
+    if (!parse_scaled_value(text, &value, &suffix) || value < 0.0 ||
+        !std::isfinite(value)) {
         FLAT_FAIL("cannot parse byte size: '" << text << "'");
     }
     double scale = 1.0;
-    const double base = binary ? 1024.0 : 1000.0;
-    if (suffix.empty() || suffix == "B" || suffix == "b") {
-        scale = 1.0;
-    } else {
+    if (!suffix.empty() && suffix != "B" && suffix != "b") {
+        // Strict suffix grammar: [KMGT], optional binary 'i', optional
+        // trailing B — anything else (e.g. "4MiBx") is rejected.
+        const std::string rest = suffix.substr(1);
+        const bool binary = !rest.empty() && rest[0] == 'i';
+        const double base = binary ? 1024.0 : 1000.0;
+        const std::string tail = binary ? rest.substr(1) : rest;
+        if (tail != "" && tail != "B" && tail != "b") {
+            FLAT_FAIL("cannot parse byte size: '" << text << "'");
+        }
         switch (suffix[0]) {
           case 'K': case 'k': scale = base; break;
           case 'M': case 'm': scale = base * base; break;
@@ -119,7 +126,10 @@ parse_bytes(const std::string& text)
             FLAT_FAIL("cannot parse byte size: '" << text << "'");
         }
     }
-    return static_cast<std::uint64_t>(value * scale);
+    const double scaled = value * scale;
+    FLAT_CHECK(scaled < kUint64Limit,
+               "byte size '" << text << "' overflows 64 bits");
+    return static_cast<std::uint64_t>(scaled);
 }
 
 double
@@ -128,6 +138,8 @@ parse_bandwidth(const std::string& text)
     std::string stripped = text;
     const std::size_t slash = stripped.find("/s");
     if (slash != std::string::npos) {
+        FLAT_CHECK(slash + 2 == stripped.size(),
+                   "cannot parse bandwidth: '" << text << "'");
         stripped = stripped.substr(0, slash);
     }
     return static_cast<double>(parse_bytes(stripped));

@@ -1,0 +1,456 @@
+#include "core/sweep.h"
+
+#include <atomic>
+#include <chrono>
+#include <ostream>
+#include <utility>
+
+#include "common/csv.h"
+#include "common/fault_injection.h"
+#include "common/json.h"
+#include "common/string_util.h"
+#include "common/table.h"
+#include "common/thread_pool.h"
+#include "common/units.h"
+#include "workload/model_config.h"
+
+namespace flat {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double
+elapsed_ms(Clock::time_point since)
+{
+    return std::chrono::duration<double, std::milli>(Clock::now() -
+                                                     since)
+        .count();
+}
+
+std::vector<std::string>
+parse_name_list(const std::string& key, const std::string& value)
+{
+    std::vector<std::string> out;
+    for (const std::string& part : split(value, ',')) {
+        const std::string name = trim(part);
+        FLAT_CHECK(!name.empty(),
+                   "sweep key '" << key << "' has an empty list entry: '"
+                                 << value << "'");
+        out.push_back(name);
+    }
+    return out;
+}
+
+std::vector<std::uint64_t>
+parse_u64_list(const std::string& key, const std::string& value)
+{
+    std::vector<std::uint64_t> out;
+    for (const std::string& name : parse_name_list(key, value)) {
+        std::size_t pos = 0;
+        std::uint64_t v = 0;
+        try {
+            v = std::stoull(name, &pos);
+        } catch (const std::exception&) {
+            pos = 0;
+        }
+        FLAT_CHECK(pos != 0 && pos == name.size() && v > 0,
+                   "sweep key '" << key
+                                 << "' expects positive integers, got '"
+                                 << name << "'");
+        out.push_back(v);
+    }
+    return out;
+}
+
+bool
+parse_bool(const std::string& key, const std::string& value)
+{
+    const std::string v = to_lower(value);
+    if (v == "true" || v == "yes" || v == "1") {
+        return true;
+    }
+    if (v == "false" || v == "no" || v == "0") {
+        return false;
+    }
+    FLAT_FAIL("sweep key '" << key << "' expects a boolean, got '"
+                            << value << "'");
+}
+
+AccelConfig
+platform_accel(const std::string& name)
+{
+    const std::string key = to_lower(name);
+    if (key == "edge") {
+        return edge_accel();
+    }
+    if (key == "cloud") {
+        return cloud_accel();
+    }
+    FLAT_FAIL("unknown platform '" << name << "' (edge | cloud)");
+}
+
+/** Evaluates one point; throws on any failure (isolated by the caller). */
+ScopeReport
+evaluate_point(const SweepPoint& point, const SweepSpec& spec,
+               const SweepOptions& options)
+{
+    FLAT_FAULT_POINT("sweep.point");
+    const ModelConfig model = model_by_name(point.model);
+    const AccelConfig accel = platform_accel(point.platform);
+    const Workload workload =
+        make_workload(model, point.batch, point.seq);
+
+    SimOptions sim = options.sim;
+    sim.objective = spec.objective;
+    sim.quick = spec.quick;
+
+    const Simulator simulator(accel);
+    return simulator.run(workload, spec.scope,
+                         DataflowPolicy::parse(point.policy), sim);
+}
+
+const char*
+status_name(const SweepPointResult& r)
+{
+    return r.ok ? "ok" : (r.skipped ? "skipped" : "failed");
+}
+
+} // namespace
+
+std::string
+SweepPoint::tag() const
+{
+    return strprintf("%s/%s/%s/seq=%llu/batch=%llu", model.c_str(),
+                     platform.c_str(), policy.c_str(),
+                     static_cast<unsigned long long>(seq),
+                     static_cast<unsigned long long>(batch));
+}
+
+SweepSpec
+SweepSpec::parse(const ConfigMap& config)
+{
+    SweepSpec spec;
+    for (const auto& [key, value] : config) {
+        if (key == "models") {
+            spec.models = parse_name_list(key, value);
+        } else if (key == "platforms") {
+            spec.platforms = parse_name_list(key, value);
+        } else if (key == "policies") {
+            spec.policies = parse_name_list(key, value);
+        } else if (key == "seq") {
+            spec.seq_lens = parse_u64_list(key, value);
+        } else if (key == "batch") {
+            spec.batches = parse_u64_list(key, value);
+        } else if (key == "scope") {
+            spec.scope = parse_scope(value);
+        } else if (key == "objective") {
+            spec.objective = parse_objective(value);
+        } else if (key == "quick") {
+            spec.quick = parse_bool(key, value);
+        } else {
+            FLAT_FAIL("unknown sweep key '"
+                      << key
+                      << "' (models | platforms | policies | seq | "
+                         "batch | scope | objective | quick)");
+        }
+    }
+    return spec;
+}
+
+SweepSpec
+SweepSpec::from_text(const std::string& text)
+{
+    return parse(parse_config_text(text));
+}
+
+SweepSpec
+SweepSpec::from_file(const std::string& path)
+{
+    FLAT_ERROR_CONTEXT("sweep spec " << path);
+    return parse(parse_config_file(path));
+}
+
+std::vector<SweepPoint>
+SweepSpec::expand() const
+{
+    // Validate every axis value once, up front: a typo fails the sweep
+    // before any evaluation starts instead of failing every point.
+    for (const std::string& model : models) {
+        model_by_name(model);
+    }
+    for (const std::string& platform : platforms) {
+        platform_accel(platform);
+    }
+    for (const std::string& policy : policies) {
+        DataflowPolicy::parse(policy);
+    }
+    FLAT_CHECK(!seq_lens.empty() && !batches.empty(),
+               "sweep needs at least one seq and batch value");
+
+    std::vector<SweepPoint> points;
+    for (const std::string& model : models) {
+        for (const std::string& platform : platforms) {
+            for (const std::string& policy : policies) {
+                for (const std::uint64_t seq : seq_lens) {
+                    for (const std::uint64_t batch : batches) {
+                        SweepPoint point;
+                        point.index = points.size();
+                        point.model = model;
+                        point.platform = platform;
+                        point.policy = policy;
+                        point.seq = seq;
+                        point.batch = batch;
+                        points.push_back(std::move(point));
+                    }
+                }
+            }
+        }
+    }
+    return points;
+}
+
+std::size_t
+SweepReport::completed() const
+{
+    std::size_t n = 0;
+    for (const SweepPointResult& r : results) {
+        n += r.ok ? 1 : 0;
+    }
+    return n;
+}
+
+std::size_t
+SweepReport::failed() const
+{
+    std::size_t n = 0;
+    for (const SweepPointResult& r : results) {
+        n += (!r.ok && !r.skipped) ? 1 : 0;
+    }
+    return n;
+}
+
+std::size_t
+SweepReport::skipped() const
+{
+    std::size_t n = 0;
+    for (const SweepPointResult& r : results) {
+        n += r.skipped ? 1 : 0;
+    }
+    return n;
+}
+
+std::vector<const SweepPointResult*>
+SweepReport::failures() const
+{
+    std::vector<const SweepPointResult*> out;
+    for (const SweepPointResult& r : results) {
+        if (!r.ok && !r.skipped) {
+            out.push_back(&r);
+        }
+    }
+    return out;
+}
+
+int
+SweepReport::exit_code() const
+{
+    return (failed() == 0 && skipped() == 0) ? 0 : 4;
+}
+
+void
+SweepReport::write_json(JsonWriter& json) const
+{
+    json.begin_object();
+    json.field("points", static_cast<std::uint64_t>(results.size()));
+    json.field("completed", static_cast<std::uint64_t>(completed()));
+    json.field("failed", static_cast<std::uint64_t>(failed()));
+    json.field("skipped", static_cast<std::uint64_t>(skipped()));
+    json.field("wall_ms", wall_ms);
+    json.field("exit_code",
+               static_cast<std::int64_t>(exit_code()));
+
+    json.key("results");
+    json.begin_array();
+    for (const SweepPointResult& r : results) {
+        json.begin_object();
+        json.field("index", static_cast<std::uint64_t>(r.point.index));
+        json.field("tag", r.point.tag());
+        json.field("model", r.point.model);
+        json.field("platform", r.point.platform);
+        json.field("policy", r.point.policy);
+        json.field("seq", r.point.seq);
+        json.field("batch", r.point.batch);
+        json.field("status", status_name(r));
+        json.field("wall_ms", r.wall_ms);
+        if (r.ok) {
+            json.key("report");
+            json.begin_object();
+            json.field("picked_dataflow", r.report.la_dataflow_tag);
+            json.field("utilization", r.report.util());
+            json.field("runtime_s", r.report.runtime_s);
+            json.field("cycles", r.report.cycles);
+            json.field("energy_j", r.report.energy_j);
+            json.field("dram_bytes", r.report.traffic.total_dram());
+            json.end_object();
+        } else if (!r.skipped) {
+            json.key("diagnostic");
+            r.diag.write_json(json);
+        }
+        if (!r.warnings.empty()) {
+            json.key("warnings");
+            json.begin_array();
+            for (const Diagnostic& w : r.warnings) {
+                w.write_json(json);
+            }
+            json.end_array();
+        }
+        json.end_object();
+    }
+    json.end_array();
+
+    // Flat list of failure diagnostics for report consumers that only
+    // triage errors.
+    json.key("diagnostics");
+    json.begin_array();
+    for (const SweepPointResult* r : failures()) {
+        json.begin_object();
+        json.field("index", static_cast<std::uint64_t>(r->point.index));
+        json.field("tag", r->point.tag());
+        json.key("diagnostic");
+        r->diag.write_json(json);
+        json.end_object();
+    }
+    json.end_array();
+    json.end_object();
+}
+
+void
+SweepReport::print(std::ostream& os) const
+{
+    TextTable table({"point", "status", "runtime", "util", "energy",
+                     "wall"});
+    for (const SweepPointResult& r : results) {
+        if (r.ok) {
+            table.add_row({r.point.tag(), "ok",
+                           format_time(r.report.runtime_s),
+                           strprintf("%.3f", r.report.util()),
+                           strprintf("%.4g J", r.report.energy_j),
+                           format_time(r.wall_ms / 1e3)});
+        } else {
+            table.add_row({r.point.tag(), status_name(r), "-", "-", "-",
+                           format_time(r.wall_ms / 1e3)});
+        }
+    }
+    table.print(os);
+
+    const std::vector<const SweepPointResult*> failed_points =
+        failures();
+    os << "\n"
+       << completed() << "/" << results.size() << " points completed, "
+       << failed_points.size() << " failed, " << skipped()
+       << " skipped\n";
+    if (!failed_points.empty()) {
+        os << "\nfailure diagnostics:\n";
+        std::vector<std::string> header = {"point"};
+        for (std::string& col : Diagnostic::table_header()) {
+            header.push_back(std::move(col));
+        }
+        TextTable diag_table(std::move(header));
+        for (const SweepPointResult* r : failed_points) {
+            std::vector<std::string> row = {r->point.tag()};
+            for (std::string& cell : r->diag.table_row()) {
+                row.push_back(std::move(cell));
+            }
+            diag_table.add_row(std::move(row));
+        }
+        diag_table.print(os);
+    }
+}
+
+void
+SweepReport::write_csv(const std::string& path) const
+{
+    CsvWriter csv(path,
+                  {"index", "tag", "status", "runtime_s", "cycles",
+                   "energy_j", "utilization", "wall_ms", "kind",
+                   "message"});
+    for (const SweepPointResult& r : results) {
+        if (r.ok) {
+            csv.add_row({std::to_string(r.point.index), r.point.tag(),
+                         "ok", strprintf("%.6g", r.report.runtime_s),
+                         strprintf("%.6g", r.report.cycles),
+                         strprintf("%.6g", r.report.energy_j),
+                         strprintf("%.4f", r.report.util()),
+                         strprintf("%.1f", r.wall_ms), "", ""});
+        } else {
+            csv.add_row({std::to_string(r.point.index), r.point.tag(),
+                         status_name(r), "", "", "", "",
+                         strprintf("%.1f", r.wall_ms),
+                         r.skipped ? "" : to_string(r.diag.kind),
+                         r.skipped ? "" : r.diag.message});
+        }
+    }
+}
+
+SweepReport
+run_sweep(const SweepSpec& spec, const SweepOptions& options)
+{
+    const std::vector<SweepPoint> points = spec.expand();
+
+    SweepReport report;
+    report.results.resize(points.size());
+    std::atomic<bool> stop{false};
+    const Clock::time_point sweep_start = Clock::now();
+
+    parallel_for(points.size(), options.threads, [&](std::size_t i) {
+        SweepPointResult& r = report.results[i];
+        r.point = points[i];
+        if (options.fail_fast &&
+            stop.load(std::memory_order_relaxed)) {
+            r.skipped = true;
+            return;
+        }
+
+        // Deterministic fault targeting: probes hit while evaluating
+        // point i fire iff the armed seed equals i.
+        FaultScope fault_scope(i);
+        DiagnosticCapture capture;
+        FLAT_ERROR_CONTEXT("sweep point " << i << " ("
+                                          << r.point.tag() << ")");
+        (void)take_last_fired_fault_site(); // drop stale attribution
+        const Clock::time_point start = Clock::now();
+        try {
+            r.report = evaluate_point(r.point, spec, options);
+            r.ok = true;
+        } catch (...) {
+            // Spec axes were validated by expand(), so an Error here
+            // means the point itself is infeasible.
+            r.diag = diagnostic_from_current_exception(
+                DiagKind::kInfeasible);
+            r.ok = false;
+        }
+        r.wall_ms = elapsed_ms(start);
+
+        if (r.ok && options.deadline_ms > 0.0 &&
+            r.wall_ms > options.deadline_ms) {
+            r.ok = false;
+            r.diag = Diagnostic{};
+            r.diag.kind = DiagKind::kTimeout;
+            r.diag.message = strprintf(
+                "point exceeded deadline: %.0fms > %.0fms", r.wall_ms,
+                options.deadline_ms);
+            r.diag.context = diagnostic_context();
+            // A delay fault that slept here gets the attribution.
+            r.diag.probe_site = take_last_fired_fault_site();
+        }
+        r.warnings = capture.take();
+        if (!r.ok && options.fail_fast) {
+            stop.store(true, std::memory_order_relaxed);
+        }
+    });
+
+    report.wall_ms = elapsed_ms(sweep_start);
+    return report;
+}
+
+} // namespace flat

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "common/fault_injection.h"
 #include "common/math_util.h"
 #include "common/status.h"
 #include "dataflow/reuse.h"
@@ -167,6 +168,7 @@ L2Tile
 default_l2_tile(const AccelConfig& accel, const GemmShape& shape,
                 std::uint64_t sg_budget_bytes, Stationarity stationarity)
 {
+    FLAT_FAULT_POINT("gemm_engine.tile_menu");
     FLAT_CHECK(sg_budget_bytes > 0, "SG budget must be positive");
     const std::uint32_t bpe = accel.bytes_per_element;
 

@@ -7,8 +7,10 @@
 #include <tuple>
 #include <utility>
 
+#include "common/fault_injection.h"
 #include "common/logging.h"
 #include "common/status.h"
+#include "common/string_util.h"
 #include "common/thread_pool.h"
 #include "costmodel/gemm_engine.h"
 
@@ -353,6 +355,23 @@ objective_value(Objective objective, double cycles, double energy_j)
     return cycles;
 }
 
+Objective
+parse_objective(const std::string& name)
+{
+    const std::string key = to_lower(name);
+    if (key == "runtime") {
+        return Objective::kRuntime;
+    }
+    if (key == "energy") {
+        return Objective::kEnergy;
+    }
+    if (key == "edp") {
+        return Objective::kEdp;
+    }
+    FLAT_FAIL("unknown objective '" << name
+                                    << "' (runtime | energy | edp)");
+}
+
 double
 DsePoint::objective_value(Objective objective) const
 {
@@ -363,6 +382,7 @@ AttentionSearchResult
 search_attention(const AccelConfig& accel, const AttentionDims& dims,
                  const AttentionSearchOptions& options)
 {
+    FLAT_FAULT_POINT("dse.search_attention");
     accel.validate();
     dims.validate();
     const EnergyTable energy_table = EnergyTable::for_accel(accel);

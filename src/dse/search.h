@@ -32,6 +32,9 @@ enum class Objective {
 double objective_value(Objective objective, double cycles,
                        double energy_j);
 
+/** Parses "runtime" / "energy" / "edp"; throws flat::Error. */
+Objective parse_objective(const std::string& name);
+
 /** One evaluated design point. */
 struct DsePoint {
     FusedDataflow dataflow;

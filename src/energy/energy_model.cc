@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "common/fault_injection.h"
 #include "common/status.h"
 #include "common/units.h"
 
@@ -10,6 +11,7 @@ namespace flat {
 EnergyTable
 EnergyTable::for_accel(const AccelConfig& accel)
 {
+    FLAT_FAULT_POINT("energy.table");
     EnergyTable table;
     // SG access energy grows logarithmically with capacity: bigger
     // arrays mean longer bitlines and wires. Anchored at 1.5 pJ/B for a

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/status.h"
+#include "common/string_util.h"
 
 namespace flat {
 
@@ -15,6 +16,22 @@ to_string(Scope scope)
       case Scope::kModel: return "Model";
     }
     return "?";
+}
+
+Scope
+parse_scope(const std::string& name)
+{
+    const std::string key = to_lower(name);
+    if (key == "la" || key == "l-a") {
+        return Scope::kLogitAttend;
+    }
+    if (key == "block") {
+        return Scope::kBlock;
+    }
+    if (key == "model") {
+        return Scope::kModel;
+    }
+    FLAT_FAIL("unknown scope '" << name << "' (la | block | model)");
 }
 
 std::vector<Operator>

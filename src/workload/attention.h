@@ -25,6 +25,9 @@ enum class Scope {
 
 std::string to_string(Scope scope);
 
+/** Parses "la" / "l-a" / "block" / "model"; throws flat::Error. */
+Scope parse_scope(const std::string& name);
+
 /**
  * One instantiated workload: the operators of a single attention block
  * (in execution order) plus the replication factor for model scope.

@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdio>
+#include <fstream>
+
 #include "common/status.h"
 #include "common/units.h"
 
@@ -47,6 +50,26 @@ TEST(AccelConfigIo, RejectsUnknownKeys)
 {
     EXPECT_THROW(accel_from_config(parse_config_text("pe_rowz = 64")),
                  Error);
+    // The error names the offending key so typos are actionable.
+    try {
+        accel_from_config(parse_config_text("offchip_bandwidth = 1GB/s"));
+        FAIL() << "unknown key should throw";
+    } catch (const Error& e) {
+        EXPECT_NE(std::string(e.what()).find("offchip_bandwidth"),
+                  std::string::npos);
+    }
+}
+
+TEST(AccelConfigIo, RejectsBadNocKindName)
+{
+    try {
+        accel_from_config(parse_config_text("reduction_noc = torus"));
+        FAIL() << "bad NoC kind should throw";
+    } catch (const Error& e) {
+        const std::string what = e.what();
+        EXPECT_NE(what.find("torus"), std::string::npos) << what;
+        EXPECT_NE(what.find("systolic"), std::string::npos) << what;
+    }
 }
 
 TEST(AccelConfigIo, ValidatesResult)
@@ -54,6 +77,46 @@ TEST(AccelConfigIo, ValidatesResult)
     // SG2 without bandwidth fails validation.
     EXPECT_THROW(accel_from_config(parse_config_text("sg2 = 32MiB")),
                  Error);
+}
+
+TEST(AccelConfigIo, RejectsSg2BwOutsideValidityWindow)
+{
+    const AccelConfig base = edge_accel(); // 1TB/s on-chip, 50GB/s off
+    // Below the off-chip bandwidth: SG2 would be slower than DRAM.
+    EXPECT_THROW(accel_from_config(parse_config_text(
+                     "sg2 = 32MiB\nsg2_bw = 10GB/s"),
+                 base),
+                 Error);
+    // Above the on-chip bandwidth: SG2 would outrun the SG itself.
+    EXPECT_THROW(accel_from_config(parse_config_text(
+                     "sg2 = 32MiB\nsg2_bw = 2TB/s"),
+                 base),
+                 Error);
+    // Inside the [offchip_bw, onchip_bw] window it is accepted.
+    const AccelConfig ok = accel_from_config(
+        parse_config_text("sg2 = 32MiB\nsg2_bw = 200GB/s"), base);
+    EXPECT_DOUBLE_EQ(ok.sg2_bw, 200e9);
+}
+
+TEST(AccelConfigIo, MidParseFailureLeavesNoPartialState)
+{
+    const std::string path =
+        ::testing::TempDir() + "/flat_partial_platform.conf";
+    {
+        std::ofstream out(path);
+        // Valid overrides first, then a key that fails to parse.
+        out << "name = poisoned\npe_rows = 64\nsg = 2MiB\n"
+            << "offchip_bw = 4MiBx\n";
+    }
+    AccelConfig base = edge_accel();
+    EXPECT_THROW(accel_from_config_file(path, base), Error);
+    // The base object the caller holds is untouched: no partially
+    // applied overrides escape a failed load.
+    EXPECT_EQ(base.name, edge_accel().name);
+    EXPECT_EQ(base.pe_rows, edge_accel().pe_rows);
+    EXPECT_EQ(base.sg_bytes, edge_accel().sg_bytes);
+    EXPECT_DOUBLE_EQ(base.offchip_bw, edge_accel().offchip_bw);
+    std::remove(path.c_str());
 }
 
 TEST(AccelConfigIo, ClockAndSfu)

@@ -5,6 +5,7 @@
 #include <cstdio>
 #include <fstream>
 
+#include "common/diagnostics.h"
 #include "common/status.h"
 
 namespace flat {
@@ -38,11 +39,48 @@ TEST(Config, LaterDuplicateWins)
     EXPECT_EQ(map.at("k"), "2");
 }
 
+TEST(Config, DuplicateKeyEmitsWarningDiagnostic)
+{
+    DiagnosticCapture capture;
+    parse_config_text("k = 1\nother = x\nk = 2");
+    ASSERT_EQ(capture.diagnostics().size(), 1u);
+    const Diagnostic& diag = capture.diagnostics()[0];
+    EXPECT_EQ(diag.severity, DiagSeverity::kWarning);
+    EXPECT_EQ(diag.kind, DiagKind::kConfig);
+    EXPECT_NE(diag.message.find("line 3"), std::string::npos);
+    EXPECT_NE(diag.message.find("'k'"), std::string::npos);
+    EXPECT_NE(diag.message.find("'1'"), std::string::npos);
+    EXPECT_NE(diag.message.find("'2'"), std::string::npos);
+}
+
 TEST(Config, RejectsMalformedLines)
 {
     EXPECT_THROW(parse_config_text("no-equals-here"), Error);
     EXPECT_THROW(parse_config_text("= value"), Error);
     EXPECT_THROW(parse_config_text("key ="), Error);
+}
+
+TEST(Config, ErrorsNameLineNumberAndText)
+{
+    try {
+        parse_config_text("a = 1\nb = 2\nbroken line three");
+        FAIL() << "malformed line should throw";
+    } catch (const Error& e) {
+        const std::string what = e.what();
+        EXPECT_NE(what.find("line 3"), std::string::npos) << what;
+        EXPECT_NE(what.find("broken line three"), std::string::npos)
+            << what;
+    }
+    try {
+        parse_config_text("a = 1\nkey =   # only a comment");
+        FAIL() << "empty value should throw";
+    } catch (const Error& e) {
+        const std::string what = e.what();
+        EXPECT_NE(what.find("line 2"), std::string::npos) << what;
+        EXPECT_NE(what.find("key =   # only a comment"),
+                  std::string::npos)
+            << what;
+    }
 }
 
 TEST(Config, FileRoundTrip)

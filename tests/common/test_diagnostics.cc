@@ -1,0 +1,165 @@
+#include "common/diagnostics.h"
+
+#include <gtest/gtest.h>
+
+#include <new>
+#include <stdexcept>
+#include <thread>
+
+#include "common/json.h"
+
+namespace flat {
+namespace {
+
+TEST(Diagnostics, ContextStackIsScoped)
+{
+    EXPECT_TRUE(diagnostic_context().empty());
+    {
+        FLAT_ERROR_CONTEXT("outer phase " << 1);
+        {
+            FLAT_ERROR_CONTEXT("inner " << "phase");
+            const std::vector<std::string> stack = diagnostic_context();
+            ASSERT_EQ(stack.size(), 2u);
+            EXPECT_EQ(stack[0], "outer phase 1");
+            EXPECT_EQ(stack[1], "inner phase");
+        }
+        EXPECT_EQ(diagnostic_context().size(), 1u);
+    }
+    EXPECT_TRUE(diagnostic_context().empty());
+}
+
+TEST(Diagnostics, ContextStackIsPerThread)
+{
+    FLAT_ERROR_CONTEXT("main thread frame");
+    std::vector<std::string> other;
+    std::thread t([&] { other = diagnostic_context(); });
+    t.join();
+    EXPECT_TRUE(other.empty());
+    EXPECT_EQ(diagnostic_context().size(), 1u);
+}
+
+TEST(Diagnostics, ClassifiesExceptionTaxonomy)
+{
+    EXPECT_EQ(diagnostic_from_exception(UsageError("bad flag")).kind,
+              DiagKind::kUsage);
+    EXPECT_EQ(diagnostic_from_exception(Error("bad config")).kind,
+              DiagKind::kConfig);
+    EXPECT_EQ(diagnostic_from_exception(Error("no feasible point"),
+                                        DiagKind::kInfeasible)
+                  .kind,
+              DiagKind::kInfeasible);
+    EXPECT_EQ(diagnostic_from_exception(InternalError("bug")).kind,
+              DiagKind::kInternal);
+    EXPECT_EQ(diagnostic_from_exception(std::bad_alloc()).kind,
+              DiagKind::kOom);
+    EXPECT_EQ(
+        diagnostic_from_exception(std::runtime_error("surprise")).kind,
+        DiagKind::kInternal);
+}
+
+TEST(Diagnostics, ClassificationCapturesContext)
+{
+    FLAT_ERROR_CONTEXT("evaluating point seq=65536 policy=flat-opt");
+    const Diagnostic diag = diagnostic_from_exception(Error("boom"));
+    ASSERT_EQ(diag.context.size(), 1u);
+    EXPECT_EQ(diag.context[0],
+              "evaluating point seq=65536 policy=flat-opt");
+    EXPECT_EQ(diag.message, "boom");
+}
+
+TEST(Diagnostics, FromCurrentExceptionHandlesNonStd)
+{
+    Diagnostic diag;
+    try {
+        throw 42;
+    } catch (...) {
+        diag = diagnostic_from_current_exception();
+    }
+    EXPECT_EQ(diag.kind, DiagKind::kInternal);
+}
+
+TEST(Diagnostics, ExitCodeContract)
+{
+    EXPECT_EQ(exit_code_for(DiagKind::kUsage), 2);
+    EXPECT_EQ(exit_code_for(DiagKind::kConfig), 1);
+    EXPECT_EQ(exit_code_for(DiagKind::kInfeasible), 1);
+    EXPECT_EQ(exit_code_for(DiagKind::kInternal), 3);
+    EXPECT_EQ(exit_code_for(DiagKind::kTimeout), 3);
+    EXPECT_EQ(exit_code_for(DiagKind::kOom), 3);
+}
+
+TEST(Diagnostics, JsonSerialization)
+{
+    Diagnostic diag;
+    diag.kind = DiagKind::kTimeout;
+    diag.message = "point exceeded deadline";
+    diag.probe_site = "sweep.point";
+    diag.context = {"sweep point 9"};
+
+    JsonWriter json;
+    diag.write_json(json);
+    const std::string text = json.str();
+    EXPECT_NE(text.find("\"kind\":\"timeout\""), std::string::npos);
+    EXPECT_NE(text.find("\"probe_site\":\"sweep.point\""),
+              std::string::npos);
+    EXPECT_NE(text.find("\"sweep point 9\""), std::string::npos);
+}
+
+TEST(Diagnostics, TableRowMatchesHeader)
+{
+    Diagnostic diag;
+    diag.kind = DiagKind::kInfeasible;
+    diag.message = "m";
+    diag.context = {"a", "b"};
+    EXPECT_EQ(diag.table_row().size(), Diagnostic::table_header().size());
+    EXPECT_EQ(diag.table_row()[3], "a > b");
+}
+
+TEST(Diagnostics, ToStringNamesSeverityKindAndContext)
+{
+    Diagnostic diag;
+    diag.severity = DiagSeverity::kWarning;
+    diag.kind = DiagKind::kConfig;
+    diag.message = "duplicate key";
+    diag.context = {"parsing x.conf"};
+    const std::string text = diag.to_string();
+    EXPECT_NE(text.find("warning[config]"), std::string::npos);
+    EXPECT_NE(text.find("duplicate key"), std::string::npos);
+    EXPECT_NE(text.find("parsing x.conf"), std::string::npos);
+}
+
+TEST(Diagnostics, CaptureCollectsEmittedRecords)
+{
+    DiagnosticCapture capture;
+    Diagnostic diag;
+    diag.severity = DiagSeverity::kWarning;
+    diag.message = "w1";
+    emit_diagnostic(diag);
+    diag.message = "w2";
+    emit_diagnostic(diag);
+    ASSERT_EQ(capture.diagnostics().size(), 2u);
+    EXPECT_EQ(capture.diagnostics()[0].message, "w1");
+    const std::vector<Diagnostic> taken = capture.take();
+    EXPECT_EQ(taken.size(), 2u);
+    EXPECT_TRUE(capture.diagnostics().empty());
+}
+
+TEST(Diagnostics, CapturesNest)
+{
+    DiagnosticCapture outer;
+    {
+        DiagnosticCapture inner;
+        Diagnostic diag;
+        diag.message = "inner only";
+        emit_diagnostic(diag);
+        EXPECT_EQ(inner.diagnostics().size(), 1u);
+        EXPECT_TRUE(outer.diagnostics().empty());
+    }
+    Diagnostic diag;
+    diag.message = "outer now";
+    emit_diagnostic(diag);
+    EXPECT_EQ(outer.diagnostics().size(), 1u);
+}
+
+} // namespace
+} // namespace flat

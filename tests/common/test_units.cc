@@ -78,11 +78,47 @@ TEST(Units, ParseBytesRejectsGarbage)
     EXPECT_THROW(parse_bytes("-5KiB"), Error);
 }
 
+TEST(Units, ParseBytesRejectsNonFiniteValues)
+{
+    // NaN slips past a plain `value < 0.0` guard; both must throw.
+    EXPECT_THROW(parse_bytes("nan"), Error);
+    EXPECT_THROW(parse_bytes("NaN MiB"), Error);
+    EXPECT_THROW(parse_bytes("inf"), Error);
+    EXPECT_THROW(parse_bytes("infKiB"), Error);
+}
+
+TEST(Units, ParseBytesRejectsOverflow)
+{
+    // 2^64 bytes and anything whose scaled value exceeds it.
+    EXPECT_THROW(parse_bytes("18446744073709551616"), Error);
+    EXPECT_THROW(parse_bytes("20000000TiB"), Error);
+    EXPECT_THROW(parse_bytes("1e300"), Error);
+    // Near-limit values still parse.
+    EXPECT_EQ(parse_bytes("16000000TiB"),
+              16000000ull * 1024 * 1024 * 1024 * 1024);
+}
+
+TEST(Units, ParseBytesRejectsTrailingGarbage)
+{
+    EXPECT_THROW(parse_bytes("4MiBx"), Error);
+    EXPECT_THROW(parse_bytes("4Mx"), Error);
+    EXPECT_THROW(parse_bytes("4KiBB"), Error);
+    EXPECT_THROW(parse_bytes("123Bq"), Error);
+}
+
 TEST(Units, ParseBandwidth)
 {
     EXPECT_DOUBLE_EQ(parse_bandwidth("50GB/s"), 50e9);
     EXPECT_DOUBLE_EQ(parse_bandwidth("1TB/s"), 1e12);
     EXPECT_DOUBLE_EQ(parse_bandwidth("400e9"), 400e9);
+}
+
+TEST(Units, ParseBandwidthRejectsGarbage)
+{
+    EXPECT_THROW(parse_bandwidth("100GB/sx"), Error);
+    EXPECT_THROW(parse_bandwidth("nanGB/s"), Error);
+    EXPECT_THROW(parse_bandwidth("infTB/s"), Error);
+    EXPECT_THROW(parse_bandwidth("100GiBx/s"), Error);
 }
 
 } // namespace

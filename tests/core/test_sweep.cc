@@ -1,0 +1,226 @@
+#include "core/sweep.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/fault_injection.h"
+#include "common/json.h"
+
+namespace flat {
+namespace {
+
+/** 2 models x 2 policies x 3 seqs x 2 batches = 24 points, all cheap
+ *  (L-A scope, quick menus). */
+SweepSpec
+small_spec()
+{
+    return SweepSpec::from_text(
+        "models    = bert, t5\n"
+        "platforms = edge\n"
+        "policies  = flat-opt, base\n"
+        "seq       = 256, 512, 1024\n"
+        "batch     = 2, 4\n"
+        "scope     = la\n"
+        "quick     = true\n");
+}
+
+class Sweep : public ::testing::Test
+{
+  protected:
+    void TearDown() override { disarm_all_faults(); }
+};
+
+TEST_F(Sweep, SpecParsesAndExpandsCrossProduct)
+{
+    const SweepSpec spec = small_spec();
+    const std::vector<SweepPoint> points = spec.expand();
+    ASSERT_EQ(points.size(), 24u);
+    EXPECT_EQ(points[0].tag(), "bert/edge/flat-opt/seq=256/batch=2");
+    EXPECT_EQ(points[23].tag(), "t5/edge/base/seq=1024/batch=4");
+    for (std::size_t i = 0; i < points.size(); ++i) {
+        EXPECT_EQ(points[i].index, i);
+    }
+}
+
+TEST_F(Sweep, SpecRejectsUnknownKeysAndBadValues)
+{
+    EXPECT_THROW(SweepSpec::from_text("modells = bert"), Error);
+    EXPECT_THROW(SweepSpec::from_text("seq = twelve"), Error);
+    EXPECT_THROW(SweepSpec::from_text("seq = 0"), Error);
+    EXPECT_THROW(SweepSpec::from_text("quick = perhaps"), Error);
+    EXPECT_THROW(SweepSpec::from_text("scope = galaxy"), Error);
+}
+
+TEST_F(Sweep, ExpandValidatesAxesEagerly)
+{
+    SweepSpec spec = small_spec();
+    spec.models = {"bert", "gpt17"};
+    EXPECT_THROW(spec.expand(), Error);
+    spec = small_spec();
+    spec.platforms = {"tpu"};
+    EXPECT_THROW(spec.expand(), Error);
+    spec = small_spec();
+    spec.policies = {"flat-warp"};
+    EXPECT_THROW(spec.expand(), Error);
+}
+
+TEST_F(Sweep, AllHealthyPointsComplete)
+{
+    SweepOptions options;
+    options.threads = 2;
+    const SweepReport report = run_sweep(small_spec(), options);
+    ASSERT_EQ(report.results.size(), 24u);
+    EXPECT_EQ(report.completed(), 24u);
+    EXPECT_EQ(report.failed(), 0u);
+    EXPECT_EQ(report.exit_code(), 0);
+    for (const SweepPointResult& r : report.results) {
+        EXPECT_TRUE(r.ok);
+        EXPECT_GT(r.report.cycles, 0.0);
+    }
+}
+
+/**
+ * The acceptance scenario: 24 points, point 5 poisoned with a thrown
+ * fault and point 17 with an injected delay that exceeds the per-point
+ * deadline. The sweep must finish with results for every healthy point
+ * and structured diagnostics for exactly the two failed ones —
+ * identically for 1 and 4 threads.
+ */
+TEST_F(Sweep, PoisonedPointsAreIsolatedIdenticallyAcrossThreadCounts)
+{
+    FaultSpec poison;
+    poison.seed = 5;
+    arm_fault("dse.search_attention", poison);
+    FaultSpec delay;
+    delay.action = FaultAction::kDelay;
+    delay.seed = 17;
+    delay.delay_ms = 1500;
+    arm_fault("sweep.point", delay);
+
+    for (const unsigned threads : {1u, 4u}) {
+        SweepOptions options;
+        options.threads = threads;
+        options.deadline_ms = 500.0;
+        const SweepReport report = run_sweep(small_spec(), options);
+
+        ASSERT_EQ(report.results.size(), 24u) << threads << " threads";
+        EXPECT_EQ(report.completed(), 22u) << threads << " threads";
+        EXPECT_EQ(report.failed(), 2u) << threads << " threads";
+        EXPECT_EQ(report.skipped(), 0u) << threads << " threads";
+        EXPECT_EQ(report.exit_code(), 4) << threads << " threads";
+
+        const std::vector<const SweepPointResult*> failures =
+            report.failures();
+        ASSERT_EQ(failures.size(), 2u);
+        EXPECT_EQ(failures[0]->point.index, 5u);
+        EXPECT_EQ(failures[0]->diag.kind, DiagKind::kInfeasible);
+        EXPECT_EQ(failures[0]->diag.probe_site, "dse.search_attention");
+        ASSERT_FALSE(failures[0]->diag.context.empty());
+        EXPECT_NE(failures[0]->diag.context[0].find("sweep point 5"),
+                  std::string::npos);
+
+        EXPECT_EQ(failures[1]->point.index, 17u);
+        EXPECT_EQ(failures[1]->diag.kind, DiagKind::kTimeout);
+        EXPECT_EQ(failures[1]->diag.probe_site, "sweep.point");
+        ASSERT_FALSE(failures[1]->diag.context.empty());
+        EXPECT_NE(failures[1]->diag.context[0].find("sweep point 17"),
+                  std::string::npos);
+
+        // Every healthy point still carries a full report.
+        for (const SweepPointResult& r : report.results) {
+            if (r.point.index != 5 && r.point.index != 17) {
+                EXPECT_TRUE(r.ok) << r.point.tag();
+                EXPECT_GT(r.report.cycles, 0.0);
+            }
+        }
+
+        // The JSON report names the kind, probe site and context of
+        // exactly the two failures.
+        JsonWriter json;
+        report.write_json(json);
+        const std::string text = json.str();
+        EXPECT_NE(text.find("\"failed\":2"), std::string::npos);
+        EXPECT_NE(text.find("\"kind\":\"infeasible\""),
+                  std::string::npos);
+        EXPECT_NE(text.find("\"kind\":\"timeout\""), std::string::npos);
+        EXPECT_NE(text.find("\"probe_site\":\"dse.search_attention\""),
+                  std::string::npos);
+        EXPECT_NE(text.find("\"probe_site\":\"sweep.point\""),
+                  std::string::npos);
+        EXPECT_NE(text.find("sweep point 5"), std::string::npos);
+        EXPECT_NE(text.find("sweep point 17"), std::string::npos);
+    }
+}
+
+TEST_F(Sweep, InternalAndOomFaultsAreIsolatedToo)
+{
+    FaultSpec internal;
+    internal.action = FaultAction::kThrowInternal;
+    internal.seed = 0;
+    arm_fault("energy.table", internal);
+    FaultSpec oom;
+    oom.action = FaultAction::kThrowBadAlloc;
+    oom.seed = 3;
+    arm_fault("gemm_engine.tile_menu", oom);
+
+    SweepOptions options;
+    options.threads = 2;
+    const SweepReport report = run_sweep(small_spec(), options);
+    EXPECT_EQ(report.failed(), 2u);
+    EXPECT_EQ(report.results[0].diag.kind, DiagKind::kInternal);
+    EXPECT_EQ(report.results[3].diag.kind, DiagKind::kOom);
+    EXPECT_EQ(report.completed(), 22u);
+}
+
+TEST_F(Sweep, FailFastSkipsRemainingPoints)
+{
+    FaultSpec poison;
+    poison.seed = 2;
+    arm_fault("sweep.point", poison);
+
+    SweepOptions options;
+    options.threads = 1; // serial: points after #2 must all be skipped
+    options.fail_fast = true;
+    const SweepReport report = run_sweep(small_spec(), options);
+    EXPECT_EQ(report.failed(), 1u);
+    EXPECT_EQ(report.completed(), 2u);
+    EXPECT_EQ(report.skipped(), 21u);
+    EXPECT_EQ(report.exit_code(), 4);
+}
+
+TEST_F(Sweep, ReportSerializesToTablesAndCsv)
+{
+    FaultSpec poison;
+    poison.seed = 1;
+    arm_fault("sweep.point", poison);
+
+    SweepSpec spec = small_spec();
+    spec.seq_lens = {256};
+    spec.batches = {2};
+    SweepOptions options;
+    options.threads = 1;
+    const SweepReport report = run_sweep(spec, options);
+    EXPECT_EQ(report.failed(), 1u);
+
+    std::ostringstream oss;
+    report.print(oss);
+    EXPECT_NE(oss.str().find("failure diagnostics"), std::string::npos);
+    EXPECT_NE(oss.str().find("sweep.point"), std::string::npos);
+
+    const std::string path = ::testing::TempDir() + "/flat_sweep.csv";
+    report.write_csv(path);
+    std::ifstream in(path);
+    std::string csv((std::istreambuf_iterator<char>(in)),
+                    std::istreambuf_iterator<char>());
+    EXPECT_NE(csv.find("infeasible"), std::string::npos);
+    EXPECT_NE(csv.find("ok"), std::string::npos);
+    std::remove(path.c_str());
+}
+
+} // namespace
+} // namespace flat

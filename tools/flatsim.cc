@@ -14,14 +14,18 @@
 #include <iostream>
 #include <map>
 #include <string>
+#include <vector>
 
 #include "arch/accel_config_io.h"
+#include "common/diagnostics.h"
+#include "common/fault_injection.h"
 #include "common/json.h"
 #include "common/status.h"
 #include "common/string_util.h"
 #include "common/table.h"
 #include "common/units.h"
 #include "core/simulator.h"
+#include "core/sweep.h"
 #include "costmodel/trace.h"
 #include "workload/model_config.h"
 
@@ -64,6 +68,22 @@ usage: flatsim [options]
   --trace            append a per-pass timeline of the picked L-A dataflow
   --list             list models, policies and accelerators
   --help             this text
+
+batch sweeps (fault-isolated; see core/sweep.h for the spec syntax):
+  --sweep FILE       evaluate the cross product described by FILE; a
+                     failing point is recorded as a diagnostic and the
+                     sweep keeps going
+  --deadline MS      per-point wall-clock deadline (0 = none)
+  --keep-going       continue past failed points (the default)
+  --fail-fast        stop scheduling new points after the first failure
+  --sweep-csv FILE   also write per-point results as CSV
+  --inject-fault SITE[:SEED][:ACTION[=MS]]
+                     arm a fault probe (repeatable); ACTION is one of
+                     error | internal | oom | delay[=MS]. In a sweep,
+                     SEED is the poisoned point index.
+
+exit codes: 0 success, 1 config error, 2 usage, 3 internal error,
+            4 sweep completed with failed points
 )");
 }
 
@@ -90,6 +110,9 @@ print_catalog()
     }
 }
 
+/** Upper bound for dimension-like flags (seq, batch, window). */
+constexpr std::uint64_t kMaxDim = 1ull << 32;
+
 struct Args {
     std::string model = "bert";
     std::string platform = "edge";
@@ -112,39 +135,45 @@ struct Args {
     bool quick = false;
     bool json = false;
     bool trace = false;
+
+    std::string sweep_file;
+    std::string sweep_csv;
+    std::uint64_t deadline_ms = 0;
+    bool fail_fast = false;
+    std::vector<std::string> inject_faults;
 };
 
-Scope
-parse_scope(const std::string& name)
+/**
+ * Parses a numeric flag value strictly: the whole token must be a
+ * non-negative integer in [min, max]. Anything else (letters, trailing
+ * garbage, a sign, overflow) is a usage error, exit code 2.
+ */
+std::uint64_t
+parse_u64_flag(const std::string& flag, const std::string& text,
+               std::uint64_t min = 0,
+               std::uint64_t max = std::uint64_t(-1))
 {
-    const std::string key = to_lower(name);
-    if (key == "la" || key == "l-a") {
-        return Scope::kLogitAttend;
+    std::size_t pos = 0;
+    unsigned long long value = 0;
+    if (text.empty() || text[0] == '-' || text[0] == '+') {
+        throw UsageError(flag + " expects a non-negative integer, got '" +
+                         text + "'");
     }
-    if (key == "block") {
-        return Scope::kBlock;
+    try {
+        value = std::stoull(text, &pos);
+    } catch (const std::exception&) {
+        pos = 0;
     }
-    if (key == "model") {
-        return Scope::kModel;
+    if (pos == 0 || pos != text.size()) {
+        throw UsageError(flag + " expects a non-negative integer, got '" +
+                         text + "'");
     }
-    FLAT_FAIL("unknown scope '" << name << "' (la | block | model)");
-}
-
-Objective
-parse_objective(const std::string& name)
-{
-    const std::string key = to_lower(name);
-    if (key == "runtime") {
-        return Objective::kRuntime;
+    if (value < min || value > max) {
+        throw UsageError(flag + " value " + text + " is out of range [" +
+                         std::to_string(min) + ", " +
+                         std::to_string(max) + "]");
     }
-    if (key == "energy") {
-        return Objective::kEnergy;
-    }
-    if (key == "edp") {
-        return Objective::kEdp;
-    }
-    FLAT_FAIL("unknown objective '" << name
-                                    << "' (runtime | energy | edp)");
+    return value;
 }
 
 int
@@ -318,6 +347,34 @@ run(const Args& args)
     return 0;
 }
 
+int
+run_sweep_mode(const Args& args)
+{
+    const SweepSpec spec = SweepSpec::from_file(args.sweep_file);
+    SweepOptions options;
+    options.threads = static_cast<unsigned>(args.threads);
+    options.deadline_ms = static_cast<double>(args.deadline_ms);
+    options.fail_fast = args.fail_fast;
+    options.sim.prune = !args.no_prune;
+    options.sim.baseline_overlap = args.serialized_baseline
+                                       ? BaselineOverlap::kSerialized
+                                       : BaselineOverlap::kFull;
+
+    const SweepReport report = run_sweep(spec, options);
+
+    if (!args.sweep_csv.empty()) {
+        report.write_csv(args.sweep_csv);
+    }
+    if (args.json) {
+        JsonWriter json;
+        report.write_json(json);
+        std::printf("%s\n", json.str().c_str());
+    } else {
+        report.print(std::cout);
+    }
+    return report.exit_code();
+}
+
 } // namespace
 
 int
@@ -328,7 +385,9 @@ main(int argc, char** argv)
         for (int i = 1; i < argc; ++i) {
             const std::string flag = argv[i];
             auto next = [&]() -> std::string {
-                FLAT_CHECK(i + 1 < argc, flag << " needs a value");
+                if (i + 1 >= argc) {
+                    throw UsageError(flag + " needs a value");
+                }
                 return argv[++i];
             };
             if (flag == "--help" || flag == "-h") {
@@ -350,13 +409,13 @@ main(int argc, char** argv)
             } else if (flag == "--scope") {
                 args.scope = next();
             } else if (flag == "--seq") {
-                args.seq = std::stoull(next());
+                args.seq = parse_u64_flag(flag, next(), 1, kMaxDim);
             } else if (flag == "--kv-seq") {
-                args.kv_seq = std::stoull(next());
+                args.kv_seq = parse_u64_flag(flag, next(), 1, kMaxDim);
             } else if (flag == "--window") {
-                args.window = std::stoull(next());
+                args.window = parse_u64_flag(flag, next(), 1, kMaxDim);
             } else if (flag == "--batch") {
-                args.batch = std::stoull(next());
+                args.batch = parse_u64_flag(flag, next(), 1, kMaxDim);
             } else if (flag == "--buffer") {
                 args.buffer = next();
             } else if (flag == "--sg2") {
@@ -368,7 +427,19 @@ main(int argc, char** argv)
             } else if (flag == "--objective") {
                 args.objective = next();
             } else if (flag == "--threads") {
-                args.threads = std::stoull(next());
+                args.threads = parse_u64_flag(flag, next(), 0, 4096);
+            } else if (flag == "--sweep") {
+                args.sweep_file = next();
+            } else if (flag == "--sweep-csv") {
+                args.sweep_csv = next();
+            } else if (flag == "--deadline") {
+                args.deadline_ms = parse_u64_flag(flag, next());
+            } else if (flag == "--keep-going") {
+                args.fail_fast = false;
+            } else if (flag == "--fail-fast") {
+                args.fail_fast = true;
+            } else if (flag == "--inject-fault") {
+                args.inject_faults.push_back(next());
             } else if (flag == "--no-prune") {
                 args.no_prune = true;
             } else if (flag == "--serialized-baseline") {
@@ -386,9 +457,28 @@ main(int argc, char** argv)
                 return 2;
             }
         }
-        return run(args);
-    } catch (const flat::Error& e) {
-        std::fprintf(stderr, "%s\n", e.what());
-        return 1;
+        for (const std::string& spec : args.inject_faults) {
+            // A malformed fault spec is CLI misuse, not a config error.
+            try {
+                const auto [site, fault] = flat::parse_fault_spec(spec);
+                flat::arm_fault(site, fault);
+            } catch (const flat::Error& e) {
+                throw flat::UsageError(e.what());
+            }
+        }
+        return args.sweep_file.empty() ? run(args)
+                                       : run_sweep_mode(args);
+    } catch (const std::exception& e) {
+        // Map the taxonomy onto the exit-code contract: usage -> 2,
+        // config/infeasible -> 1, internal/oom -> 3 (see diagnostics.h).
+        const flat::Diagnostic diag = flat::diagnostic_from_exception(e);
+        std::fprintf(stderr, "%s\n", diag.to_string().c_str());
+        if (diag.kind == flat::DiagKind::kUsage) {
+            std::fprintf(stderr, "run 'flatsim --help' for usage\n");
+        }
+        return flat::exit_code_for(diag.kind);
+    } catch (...) {
+        std::fprintf(stderr, "[flat] unexpected unknown exception\n");
+        return 3;
     }
 }
