@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analysis/roofline.cc" "src/analysis/CMakeFiles/flat_analysis.dir/roofline.cc.o" "gcc" "src/analysis/CMakeFiles/flat_analysis.dir/roofline.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-ubsan/src/common/CMakeFiles/flat_common.dir/DependInfo.cmake"
+  "/root/repo/build-ubsan/src/arch/CMakeFiles/flat_arch.dir/DependInfo.cmake"
+  "/root/repo/build-ubsan/src/workload/CMakeFiles/flat_workload.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flat_analysis.dir/roofline.cc.o"
+  "CMakeFiles/flat_analysis.dir/roofline.cc.o.d"
+  "libflat_analysis.a"
+  "libflat_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flat_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/arch/accel_config.cc" "src/arch/CMakeFiles/flat_arch.dir/accel_config.cc.o" "gcc" "src/arch/CMakeFiles/flat_arch.dir/accel_config.cc.o.d"
+  "/root/repo/src/arch/accel_config_io.cc" "src/arch/CMakeFiles/flat_arch.dir/accel_config_io.cc.o" "gcc" "src/arch/CMakeFiles/flat_arch.dir/accel_config_io.cc.o.d"
+  "/root/repo/src/arch/noc.cc" "src/arch/CMakeFiles/flat_arch.dir/noc.cc.o" "gcc" "src/arch/CMakeFiles/flat_arch.dir/noc.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-ubsan/src/common/CMakeFiles/flat_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

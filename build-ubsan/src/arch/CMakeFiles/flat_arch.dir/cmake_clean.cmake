@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flat_arch.dir/accel_config.cc.o"
+  "CMakeFiles/flat_arch.dir/accel_config.cc.o.d"
+  "CMakeFiles/flat_arch.dir/accel_config_io.cc.o"
+  "CMakeFiles/flat_arch.dir/accel_config_io.cc.o.d"
+  "CMakeFiles/flat_arch.dir/noc.cc.o"
+  "CMakeFiles/flat_arch.dir/noc.cc.o.d"
+  "libflat_arch.a"
+  "libflat_arch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flat_arch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/common/config.cc" "src/common/CMakeFiles/flat_common.dir/config.cc.o" "gcc" "src/common/CMakeFiles/flat_common.dir/config.cc.o.d"
+  "/root/repo/src/common/csv.cc" "src/common/CMakeFiles/flat_common.dir/csv.cc.o" "gcc" "src/common/CMakeFiles/flat_common.dir/csv.cc.o.d"
+  "/root/repo/src/common/diagnostics.cc" "src/common/CMakeFiles/flat_common.dir/diagnostics.cc.o" "gcc" "src/common/CMakeFiles/flat_common.dir/diagnostics.cc.o.d"
+  "/root/repo/src/common/fault_injection.cc" "src/common/CMakeFiles/flat_common.dir/fault_injection.cc.o" "gcc" "src/common/CMakeFiles/flat_common.dir/fault_injection.cc.o.d"
+  "/root/repo/src/common/json.cc" "src/common/CMakeFiles/flat_common.dir/json.cc.o" "gcc" "src/common/CMakeFiles/flat_common.dir/json.cc.o.d"
+  "/root/repo/src/common/logging.cc" "src/common/CMakeFiles/flat_common.dir/logging.cc.o" "gcc" "src/common/CMakeFiles/flat_common.dir/logging.cc.o.d"
+  "/root/repo/src/common/status.cc" "src/common/CMakeFiles/flat_common.dir/status.cc.o" "gcc" "src/common/CMakeFiles/flat_common.dir/status.cc.o.d"
+  "/root/repo/src/common/string_util.cc" "src/common/CMakeFiles/flat_common.dir/string_util.cc.o" "gcc" "src/common/CMakeFiles/flat_common.dir/string_util.cc.o.d"
+  "/root/repo/src/common/table.cc" "src/common/CMakeFiles/flat_common.dir/table.cc.o" "gcc" "src/common/CMakeFiles/flat_common.dir/table.cc.o.d"
+  "/root/repo/src/common/thread_pool.cc" "src/common/CMakeFiles/flat_common.dir/thread_pool.cc.o" "gcc" "src/common/CMakeFiles/flat_common.dir/thread_pool.cc.o.d"
+  "/root/repo/src/common/units.cc" "src/common/CMakeFiles/flat_common.dir/units.cc.o" "gcc" "src/common/CMakeFiles/flat_common.dir/units.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flat_common.dir/config.cc.o"
+  "CMakeFiles/flat_common.dir/config.cc.o.d"
+  "CMakeFiles/flat_common.dir/csv.cc.o"
+  "CMakeFiles/flat_common.dir/csv.cc.o.d"
+  "CMakeFiles/flat_common.dir/diagnostics.cc.o"
+  "CMakeFiles/flat_common.dir/diagnostics.cc.o.d"
+  "CMakeFiles/flat_common.dir/fault_injection.cc.o"
+  "CMakeFiles/flat_common.dir/fault_injection.cc.o.d"
+  "CMakeFiles/flat_common.dir/json.cc.o"
+  "CMakeFiles/flat_common.dir/json.cc.o.d"
+  "CMakeFiles/flat_common.dir/logging.cc.o"
+  "CMakeFiles/flat_common.dir/logging.cc.o.d"
+  "CMakeFiles/flat_common.dir/status.cc.o"
+  "CMakeFiles/flat_common.dir/status.cc.o.d"
+  "CMakeFiles/flat_common.dir/string_util.cc.o"
+  "CMakeFiles/flat_common.dir/string_util.cc.o.d"
+  "CMakeFiles/flat_common.dir/table.cc.o"
+  "CMakeFiles/flat_common.dir/table.cc.o.d"
+  "CMakeFiles/flat_common.dir/thread_pool.cc.o"
+  "CMakeFiles/flat_common.dir/thread_pool.cc.o.d"
+  "CMakeFiles/flat_common.dir/units.cc.o"
+  "CMakeFiles/flat_common.dir/units.cc.o.d"
+  "libflat_common.a"
+  "libflat_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flat_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libflat_common.a"
+)

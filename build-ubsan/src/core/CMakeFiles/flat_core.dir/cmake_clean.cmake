@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flat_core.dir/catalog.cc.o"
+  "CMakeFiles/flat_core.dir/catalog.cc.o.d"
+  "CMakeFiles/flat_core.dir/simulator.cc.o"
+  "CMakeFiles/flat_core.dir/simulator.cc.o.d"
+  "CMakeFiles/flat_core.dir/sweep.cc.o"
+  "CMakeFiles/flat_core.dir/sweep.cc.o.d"
+  "libflat_core.a"
+  "libflat_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flat_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/costmodel/attention_cost.cc" "src/costmodel/CMakeFiles/flat_costmodel.dir/attention_cost.cc.o" "gcc" "src/costmodel/CMakeFiles/flat_costmodel.dir/attention_cost.cc.o.d"
+  "/root/repo/src/costmodel/cost_types.cc" "src/costmodel/CMakeFiles/flat_costmodel.dir/cost_types.cc.o" "gcc" "src/costmodel/CMakeFiles/flat_costmodel.dir/cost_types.cc.o.d"
+  "/root/repo/src/costmodel/gemm_engine.cc" "src/costmodel/CMakeFiles/flat_costmodel.dir/gemm_engine.cc.o" "gcc" "src/costmodel/CMakeFiles/flat_costmodel.dir/gemm_engine.cc.o.d"
+  "/root/repo/src/costmodel/operator_cost.cc" "src/costmodel/CMakeFiles/flat_costmodel.dir/operator_cost.cc.o" "gcc" "src/costmodel/CMakeFiles/flat_costmodel.dir/operator_cost.cc.o.d"
+  "/root/repo/src/costmodel/trace.cc" "src/costmodel/CMakeFiles/flat_costmodel.dir/trace.cc.o" "gcc" "src/costmodel/CMakeFiles/flat_costmodel.dir/trace.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-ubsan/src/common/CMakeFiles/flat_common.dir/DependInfo.cmake"
+  "/root/repo/build-ubsan/src/arch/CMakeFiles/flat_arch.dir/DependInfo.cmake"
+  "/root/repo/build-ubsan/src/workload/CMakeFiles/flat_workload.dir/DependInfo.cmake"
+  "/root/repo/build-ubsan/src/dataflow/CMakeFiles/flat_dataflow.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flat_costmodel.dir/attention_cost.cc.o"
+  "CMakeFiles/flat_costmodel.dir/attention_cost.cc.o.d"
+  "CMakeFiles/flat_costmodel.dir/cost_types.cc.o"
+  "CMakeFiles/flat_costmodel.dir/cost_types.cc.o.d"
+  "CMakeFiles/flat_costmodel.dir/gemm_engine.cc.o"
+  "CMakeFiles/flat_costmodel.dir/gemm_engine.cc.o.d"
+  "CMakeFiles/flat_costmodel.dir/operator_cost.cc.o"
+  "CMakeFiles/flat_costmodel.dir/operator_cost.cc.o.d"
+  "CMakeFiles/flat_costmodel.dir/trace.cc.o"
+  "CMakeFiles/flat_costmodel.dir/trace.cc.o.d"
+  "libflat_costmodel.a"
+  "libflat_costmodel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flat_costmodel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

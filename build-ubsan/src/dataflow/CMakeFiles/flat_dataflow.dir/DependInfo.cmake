@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dataflow/fused_dataflow.cc" "src/dataflow/CMakeFiles/flat_dataflow.dir/fused_dataflow.cc.o" "gcc" "src/dataflow/CMakeFiles/flat_dataflow.dir/fused_dataflow.cc.o.d"
+  "/root/repo/src/dataflow/granularity.cc" "src/dataflow/CMakeFiles/flat_dataflow.dir/granularity.cc.o" "gcc" "src/dataflow/CMakeFiles/flat_dataflow.dir/granularity.cc.o.d"
+  "/root/repo/src/dataflow/operator_dataflow.cc" "src/dataflow/CMakeFiles/flat_dataflow.dir/operator_dataflow.cc.o" "gcc" "src/dataflow/CMakeFiles/flat_dataflow.dir/operator_dataflow.cc.o.d"
+  "/root/repo/src/dataflow/reuse.cc" "src/dataflow/CMakeFiles/flat_dataflow.dir/reuse.cc.o" "gcc" "src/dataflow/CMakeFiles/flat_dataflow.dir/reuse.cc.o.d"
+  "/root/repo/src/dataflow/tiling.cc" "src/dataflow/CMakeFiles/flat_dataflow.dir/tiling.cc.o" "gcc" "src/dataflow/CMakeFiles/flat_dataflow.dir/tiling.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-ubsan/src/common/CMakeFiles/flat_common.dir/DependInfo.cmake"
+  "/root/repo/build-ubsan/src/workload/CMakeFiles/flat_workload.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

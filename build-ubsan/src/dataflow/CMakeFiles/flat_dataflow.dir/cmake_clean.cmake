@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flat_dataflow.dir/fused_dataflow.cc.o"
+  "CMakeFiles/flat_dataflow.dir/fused_dataflow.cc.o.d"
+  "CMakeFiles/flat_dataflow.dir/granularity.cc.o"
+  "CMakeFiles/flat_dataflow.dir/granularity.cc.o.d"
+  "CMakeFiles/flat_dataflow.dir/operator_dataflow.cc.o"
+  "CMakeFiles/flat_dataflow.dir/operator_dataflow.cc.o.d"
+  "CMakeFiles/flat_dataflow.dir/reuse.cc.o"
+  "CMakeFiles/flat_dataflow.dir/reuse.cc.o.d"
+  "CMakeFiles/flat_dataflow.dir/tiling.cc.o"
+  "CMakeFiles/flat_dataflow.dir/tiling.cc.o.d"
+  "libflat_dataflow.a"
+  "libflat_dataflow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flat_dataflow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

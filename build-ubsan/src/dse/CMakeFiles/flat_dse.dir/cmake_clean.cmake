@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flat_dse.dir/candidates.cc.o"
+  "CMakeFiles/flat_dse.dir/candidates.cc.o.d"
+  "CMakeFiles/flat_dse.dir/search.cc.o"
+  "CMakeFiles/flat_dse.dir/search.cc.o.d"
+  "libflat_dse.a"
+  "libflat_dse.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flat_dse.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

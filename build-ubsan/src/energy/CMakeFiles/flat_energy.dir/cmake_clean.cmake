@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flat_energy.dir/energy_model.cc.o"
+  "CMakeFiles/flat_energy.dir/energy_model.cc.o.d"
+  "libflat_energy.a"
+  "libflat_energy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flat_energy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/kernels/attention.cc" "src/kernels/CMakeFiles/flat_kernels.dir/attention.cc.o" "gcc" "src/kernels/CMakeFiles/flat_kernels.dir/attention.cc.o.d"
+  "/root/repo/src/kernels/layer_ops.cc" "src/kernels/CMakeFiles/flat_kernels.dir/layer_ops.cc.o" "gcc" "src/kernels/CMakeFiles/flat_kernels.dir/layer_ops.cc.o.d"
+  "/root/repo/src/kernels/matrix.cc" "src/kernels/CMakeFiles/flat_kernels.dir/matrix.cc.o" "gcc" "src/kernels/CMakeFiles/flat_kernels.dir/matrix.cc.o.d"
+  "/root/repo/src/kernels/softmax.cc" "src/kernels/CMakeFiles/flat_kernels.dir/softmax.cc.o" "gcc" "src/kernels/CMakeFiles/flat_kernels.dir/softmax.cc.o.d"
+  "/root/repo/src/kernels/traffic_meter.cc" "src/kernels/CMakeFiles/flat_kernels.dir/traffic_meter.cc.o" "gcc" "src/kernels/CMakeFiles/flat_kernels.dir/traffic_meter.cc.o.d"
+  "/root/repo/src/kernels/transformer_block.cc" "src/kernels/CMakeFiles/flat_kernels.dir/transformer_block.cc.o" "gcc" "src/kernels/CMakeFiles/flat_kernels.dir/transformer_block.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-ubsan/src/common/CMakeFiles/flat_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flat_kernels.dir/attention.cc.o"
+  "CMakeFiles/flat_kernels.dir/attention.cc.o.d"
+  "CMakeFiles/flat_kernels.dir/layer_ops.cc.o"
+  "CMakeFiles/flat_kernels.dir/layer_ops.cc.o.d"
+  "CMakeFiles/flat_kernels.dir/matrix.cc.o"
+  "CMakeFiles/flat_kernels.dir/matrix.cc.o.d"
+  "CMakeFiles/flat_kernels.dir/softmax.cc.o"
+  "CMakeFiles/flat_kernels.dir/softmax.cc.o.d"
+  "CMakeFiles/flat_kernels.dir/traffic_meter.cc.o"
+  "CMakeFiles/flat_kernels.dir/traffic_meter.cc.o.d"
+  "CMakeFiles/flat_kernels.dir/transformer_block.cc.o"
+  "CMakeFiles/flat_kernels.dir/transformer_block.cc.o.d"
+  "libflat_kernels.a"
+  "libflat_kernels.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flat_kernels.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

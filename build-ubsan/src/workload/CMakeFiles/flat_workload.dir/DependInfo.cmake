@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workload/attention.cc" "src/workload/CMakeFiles/flat_workload.dir/attention.cc.o" "gcc" "src/workload/CMakeFiles/flat_workload.dir/attention.cc.o.d"
+  "/root/repo/src/workload/gemm_shape.cc" "src/workload/CMakeFiles/flat_workload.dir/gemm_shape.cc.o" "gcc" "src/workload/CMakeFiles/flat_workload.dir/gemm_shape.cc.o.d"
+  "/root/repo/src/workload/model_config.cc" "src/workload/CMakeFiles/flat_workload.dir/model_config.cc.o" "gcc" "src/workload/CMakeFiles/flat_workload.dir/model_config.cc.o.d"
+  "/root/repo/src/workload/operator.cc" "src/workload/CMakeFiles/flat_workload.dir/operator.cc.o" "gcc" "src/workload/CMakeFiles/flat_workload.dir/operator.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-ubsan/src/common/CMakeFiles/flat_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

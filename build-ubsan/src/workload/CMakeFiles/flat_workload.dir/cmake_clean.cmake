@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flat_workload.dir/attention.cc.o"
+  "CMakeFiles/flat_workload.dir/attention.cc.o.d"
+  "CMakeFiles/flat_workload.dir/gemm_shape.cc.o"
+  "CMakeFiles/flat_workload.dir/gemm_shape.cc.o.d"
+  "CMakeFiles/flat_workload.dir/model_config.cc.o"
+  "CMakeFiles/flat_workload.dir/model_config.cc.o.d"
+  "CMakeFiles/flat_workload.dir/operator.cc.o"
+  "CMakeFiles/flat_workload.dir/operator.cc.o.d"
+  "libflat_workload.a"
+  "libflat_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flat_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

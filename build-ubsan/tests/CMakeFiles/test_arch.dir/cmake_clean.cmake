@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_arch.dir/arch/test_accel_config.cc.o"
+  "CMakeFiles/test_arch.dir/arch/test_accel_config.cc.o.d"
+  "CMakeFiles/test_arch.dir/arch/test_accel_config_io.cc.o"
+  "CMakeFiles/test_arch.dir/arch/test_accel_config_io.cc.o.d"
+  "CMakeFiles/test_arch.dir/arch/test_noc.cc.o"
+  "CMakeFiles/test_arch.dir/arch/test_noc.cc.o.d"
+  "test_arch"
+  "test_arch.pdb"
+  "test_arch[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_arch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_common.dir/common/test_config.cc.o"
+  "CMakeFiles/test_common.dir/common/test_config.cc.o.d"
+  "CMakeFiles/test_common.dir/common/test_csv.cc.o"
+  "CMakeFiles/test_common.dir/common/test_csv.cc.o.d"
+  "CMakeFiles/test_common.dir/common/test_json.cc.o"
+  "CMakeFiles/test_common.dir/common/test_json.cc.o.d"
+  "CMakeFiles/test_common.dir/common/test_math_util.cc.o"
+  "CMakeFiles/test_common.dir/common/test_math_util.cc.o.d"
+  "CMakeFiles/test_common.dir/common/test_status.cc.o"
+  "CMakeFiles/test_common.dir/common/test_status.cc.o.d"
+  "CMakeFiles/test_common.dir/common/test_string_util.cc.o"
+  "CMakeFiles/test_common.dir/common/test_string_util.cc.o.d"
+  "CMakeFiles/test_common.dir/common/test_table.cc.o"
+  "CMakeFiles/test_common.dir/common/test_table.cc.o.d"
+  "CMakeFiles/test_common.dir/common/test_units.cc.o"
+  "CMakeFiles/test_common.dir/common/test_units.cc.o.d"
+  "test_common"
+  "test_common.pdb"
+  "test_common[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_costmodel.dir/costmodel/test_attention_cost.cc.o"
+  "CMakeFiles/test_costmodel.dir/costmodel/test_attention_cost.cc.o.d"
+  "CMakeFiles/test_costmodel.dir/costmodel/test_gemm_engine.cc.o"
+  "CMakeFiles/test_costmodel.dir/costmodel/test_gemm_engine.cc.o.d"
+  "CMakeFiles/test_costmodel.dir/costmodel/test_hierarchy.cc.o"
+  "CMakeFiles/test_costmodel.dir/costmodel/test_hierarchy.cc.o.d"
+  "CMakeFiles/test_costmodel.dir/costmodel/test_operator_cost.cc.o"
+  "CMakeFiles/test_costmodel.dir/costmodel/test_operator_cost.cc.o.d"
+  "CMakeFiles/test_costmodel.dir/costmodel/test_trace.cc.o"
+  "CMakeFiles/test_costmodel.dir/costmodel/test_trace.cc.o.d"
+  "test_costmodel"
+  "test_costmodel.pdb"
+  "test_costmodel[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_costmodel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dataflow.dir/dataflow/test_footprint.cc.o"
+  "CMakeFiles/test_dataflow.dir/dataflow/test_footprint.cc.o.d"
+  "CMakeFiles/test_dataflow.dir/dataflow/test_granularity.cc.o"
+  "CMakeFiles/test_dataflow.dir/dataflow/test_granularity.cc.o.d"
+  "CMakeFiles/test_dataflow.dir/dataflow/test_reuse.cc.o"
+  "CMakeFiles/test_dataflow.dir/dataflow/test_reuse.cc.o.d"
+  "CMakeFiles/test_dataflow.dir/dataflow/test_tiling.cc.o"
+  "CMakeFiles/test_dataflow.dir/dataflow/test_tiling.cc.o.d"
+  "test_dataflow"
+  "test_dataflow.pdb"
+  "test_dataflow[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dataflow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

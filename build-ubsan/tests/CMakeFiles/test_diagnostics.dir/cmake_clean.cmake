@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_diagnostics.dir/common/test_diagnostics.cc.o"
+  "CMakeFiles/test_diagnostics.dir/common/test_diagnostics.cc.o.d"
+  "CMakeFiles/test_diagnostics.dir/common/test_fault_injection.cc.o"
+  "CMakeFiles/test_diagnostics.dir/common/test_fault_injection.cc.o.d"
+  "test_diagnostics"
+  "test_diagnostics.pdb"
+  "test_diagnostics[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_diagnostics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

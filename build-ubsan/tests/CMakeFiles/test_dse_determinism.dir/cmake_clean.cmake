@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dse_determinism.dir/dse/test_search_determinism.cc.o"
+  "CMakeFiles/test_dse_determinism.dir/dse/test_search_determinism.cc.o.d"
+  "test_dse_determinism"
+  "test_dse_determinism.pdb"
+  "test_dse_determinism[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dse_determinism.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_kernels.dir/kernels/test_attention_kernels.cc.o"
+  "CMakeFiles/test_kernels.dir/kernels/test_attention_kernels.cc.o.d"
+  "CMakeFiles/test_kernels.dir/kernels/test_layer_ops.cc.o"
+  "CMakeFiles/test_kernels.dir/kernels/test_layer_ops.cc.o.d"
+  "CMakeFiles/test_kernels.dir/kernels/test_local_attention.cc.o"
+  "CMakeFiles/test_kernels.dir/kernels/test_local_attention.cc.o.d"
+  "CMakeFiles/test_kernels.dir/kernels/test_matrix.cc.o"
+  "CMakeFiles/test_kernels.dir/kernels/test_matrix.cc.o.d"
+  "CMakeFiles/test_kernels.dir/kernels/test_softmax.cc.o"
+  "CMakeFiles/test_kernels.dir/kernels/test_softmax.cc.o.d"
+  "CMakeFiles/test_kernels.dir/kernels/test_transformer_block.cc.o"
+  "CMakeFiles/test_kernels.dir/kernels/test_transformer_block.cc.o.d"
+  "test_kernels"
+  "test_kernels.pdb"
+  "test_kernels[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_kernels.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

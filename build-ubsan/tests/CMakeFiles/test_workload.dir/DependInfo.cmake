@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/workload/test_attention_workload.cc" "tests/CMakeFiles/test_workload.dir/workload/test_attention_workload.cc.o" "gcc" "tests/CMakeFiles/test_workload.dir/workload/test_attention_workload.cc.o.d"
+  "/root/repo/tests/workload/test_gemm_shape.cc" "tests/CMakeFiles/test_workload.dir/workload/test_gemm_shape.cc.o" "gcc" "tests/CMakeFiles/test_workload.dir/workload/test_gemm_shape.cc.o.d"
+  "/root/repo/tests/workload/test_model_config.cc" "tests/CMakeFiles/test_workload.dir/workload/test_model_config.cc.o" "gcc" "tests/CMakeFiles/test_workload.dir/workload/test_model_config.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-ubsan/src/kernels/CMakeFiles/flat_kernels.dir/DependInfo.cmake"
+  "/root/repo/build-ubsan/src/analysis/CMakeFiles/flat_analysis.dir/DependInfo.cmake"
+  "/root/repo/build-ubsan/src/core/CMakeFiles/flat_core.dir/DependInfo.cmake"
+  "/root/repo/build-ubsan/src/dse/CMakeFiles/flat_dse.dir/DependInfo.cmake"
+  "/root/repo/build-ubsan/src/energy/CMakeFiles/flat_energy.dir/DependInfo.cmake"
+  "/root/repo/build-ubsan/src/costmodel/CMakeFiles/flat_costmodel.dir/DependInfo.cmake"
+  "/root/repo/build-ubsan/src/arch/CMakeFiles/flat_arch.dir/DependInfo.cmake"
+  "/root/repo/build-ubsan/src/dataflow/CMakeFiles/flat_dataflow.dir/DependInfo.cmake"
+  "/root/repo/build-ubsan/src/workload/CMakeFiles/flat_workload.dir/DependInfo.cmake"
+  "/root/repo/build-ubsan/src/common/CMakeFiles/flat_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_workload.dir/workload/test_attention_workload.cc.o"
+  "CMakeFiles/test_workload.dir/workload/test_attention_workload.cc.o.d"
+  "CMakeFiles/test_workload.dir/workload/test_gemm_shape.cc.o"
+  "CMakeFiles/test_workload.dir/workload/test_gemm_shape.cc.o.d"
+  "CMakeFiles/test_workload.dir/workload/test_model_config.cc.o"
+  "CMakeFiles/test_workload.dir/workload/test_model_config.cc.o.d"
+  "test_workload"
+  "test_workload.pdb"
+  "test_workload[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

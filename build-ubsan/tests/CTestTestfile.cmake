@@ -1,0 +1,21 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build-ubsan/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build-ubsan/tests/test_common[1]_include.cmake")
+include("/root/repo/build-ubsan/tests/test_arch[1]_include.cmake")
+include("/root/repo/build-ubsan/tests/test_workload[1]_include.cmake")
+include("/root/repo/build-ubsan/tests/test_dataflow[1]_include.cmake")
+include("/root/repo/build-ubsan/tests/test_costmodel[1]_include.cmake")
+include("/root/repo/build-ubsan/tests/test_energy[1]_include.cmake")
+include("/root/repo/build-ubsan/tests/test_dse[1]_include.cmake")
+include("/root/repo/build-ubsan/tests/test_thread_pool[1]_include.cmake")
+include("/root/repo/build-ubsan/tests/test_dse_determinism[1]_include.cmake")
+include("/root/repo/build-ubsan/tests/test_diagnostics[1]_include.cmake")
+include("/root/repo/build-ubsan/tests/test_sweep[1]_include.cmake")
+include("/root/repo/build-ubsan/tests/test_kernels[1]_include.cmake")
+include("/root/repo/build-ubsan/tests/test_analysis[1]_include.cmake")
+include("/root/repo/build-ubsan/tests/test_core[1]_include.cmake")
+include("/root/repo/build-ubsan/tests/test_integration[1]_include.cmake")

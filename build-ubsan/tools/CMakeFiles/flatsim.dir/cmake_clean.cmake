@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flatsim.dir/flatsim.cc.o"
+  "CMakeFiles/flatsim.dir/flatsim.cc.o.d"
+  "flatsim"
+  "flatsim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flatsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
