@@ -24,7 +24,8 @@ main()
                      "sequential", "pipelined", "interleaved (FLAT)"});
     auto csv = open_csv("ablation_execution.csv",
                         {"platform", "model", "seq", "gran", "seq_util",
-                         "pipe_util", "inter_util"});
+                         "seq_bound", "pipe_util", "pipe_bound",
+                         "inter_util", "inter_bound"});
 
     struct Case {
         AccelConfig accel;
@@ -53,26 +54,46 @@ main()
                     c.accel.sg_bytes / 4,
                     Stationarity::kOutputStationary);
 
+                // All three styles are evaluated through the one
+                // timeline evaluator; the cost wrappers consume the
+                // same timelines, so util() and bound_by agree.
                 const double inter =
                     model_flat_attention(c.accel, dims, df).util();
+                const std::string inter_bound = to_string(
+                    flat_attention_timeline(c.accel, dims, df).bound_by);
                 const double pipe =
                     model_pipelined_attention(c.accel, dims, df).util();
+                const std::string pipe_bound = to_string(
+                    pipelined_attention_timeline(c.accel, dims, df)
+                        .bound_by);
+                const bool has_seq = g != Granularity::kRow;
                 const double seq =
-                    (g == Granularity::kRow)
-                        ? 0.0 // baseline cannot run row granularity
-                        : model_baseline_attention(c.accel, dims, df)
-                              .util();
+                    has_seq // baseline cannot run row granularity
+                        ? model_baseline_attention(c.accel, dims, df)
+                              .util()
+                        : 0.0;
+                const std::string seq_bound =
+                    has_seq ? to_string(baseline_attention_timeline(
+                                            c.accel, dims, df,
+                                            BaselineOverlap::kFull)
+                                            .bound_by)
+                            : "n/a";
 
+                const auto cell = [](double util,
+                                     const std::string& bound) {
+                    return fmt(util, 3) + " (" + bound + ")";
+                };
                 table.add_row({c.accel.name, c.model.name,
                                std::to_string(n), df.cross.tag(),
-                               g == Granularity::kRow ? "n/a"
-                                                      : fmt(seq, 3),
-                               fmt(pipe, 3), fmt(inter, 3)});
+                               has_seq ? cell(seq, seq_bound) : "n/a",
+                               cell(pipe, pipe_bound),
+                               cell(inter, inter_bound)});
                 if (csv) {
                     csv->add_row({c.accel.name, c.model.name,
                                   std::to_string(n), df.cross.tag(),
-                                  fmt(seq, 4), fmt(pipe, 4),
-                                  fmt(inter, 4)});
+                                  fmt(seq, 4), seq_bound, fmt(pipe, 4),
+                                  pipe_bound, fmt(inter, 4),
+                                  inter_bound});
                 }
             }
         }

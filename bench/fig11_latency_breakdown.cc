@@ -3,6 +3,11 @@
  * Reproduces Figure 11: end-to-end latency breakdown (L-A operators vs
  * Projections vs FCs, plus the non-stall ideal) across BaseAccel,
  * FlexAccel and ATTACC. (a) BERT at edge, (b) XLM at cloud.
+ *
+ * The L-A bar is additionally split per stage (prefetch / logit /
+ * softmax / attend / writeback / cold start) from the evaluated phase
+ * timeline of the picked dataflow — the same ledger the cost model and
+ * `flatsim --trace` consume.
  */
 #include "bench_util.h"
 
@@ -27,14 +32,20 @@ breakdown(const char* title, const AccelConfig& platform,
                     title, model.name.c_str(),
                     static_cast<unsigned long long>(n),
                     model.num_blocks);
-        TextTable table({"accelerator", "L-A", "Projection", "FCs",
-                         "total", "non-stall (ideal)"});
+        TextTable table({"accelerator", "L-A", "L-A split L/sm/A",
+                         "L-A bound", "Projection", "FCs", "total",
+                         "non-stall (ideal)"});
         const Simulator sim(platform);
         for (const char* name : accels) {
             const ScopeReport r = sim.run(
                 w, Scope::kModel, AcceleratorSpec::parse(name), options);
             const double ms = 1e3 * platform.cycle_time();
             table.add_row({name, fmt(r.breakdown.la_cycles * ms, 2),
+                           fmt(r.la_stages.logit_cycles * ms, 2) + "/" +
+                               fmt(r.la_stages.softmax_cycles * ms, 2) +
+                               "/" +
+                               fmt(r.la_stages.attend_cycles * ms, 2),
+                           r.la_stages.bound_by,
                            fmt(r.breakdown.proj_cycles * ms, 2),
                            fmt(r.breakdown.fc_cycles * ms, 2),
                            fmt(r.cycles * ms, 2),
@@ -43,6 +54,13 @@ breakdown(const char* title, const AccelConfig& platform,
                 csv->add_row({platform.name, model.name,
                               std::to_string(n), name,
                               fmt(r.breakdown.la_cycles, 1),
+                              fmt(r.la_stages.prefetch_cycles, 1),
+                              fmt(r.la_stages.logit_cycles, 1),
+                              fmt(r.la_stages.softmax_cycles, 1),
+                              fmt(r.la_stages.attend_cycles, 1),
+                              fmt(r.la_stages.writeback_cycles, 1),
+                              fmt(r.la_stages.cold_start_cycles, 1),
+                              r.la_stages.bound_by,
                               fmt(r.breakdown.proj_cycles, 1),
                               fmt(r.breakdown.fc_cycles, 1),
                               fmt(r.ideal_cycles, 1)});
@@ -61,9 +79,12 @@ main()
            "Projections/FCs are identical on FlexAccel and ATTACC; the "
            "L-A share is what FLAT shrinks");
 
-    auto csv = open_csv("fig11.csv",
-                        {"platform", "model", "seq", "accel", "la_cycles",
-                         "proj_cycles", "fc_cycles", "ideal_cycles"});
+    auto csv = open_csv(
+        "fig11.csv",
+        {"platform", "model", "seq", "accel", "la_cycles",
+         "la_prefetch_cycles", "la_logit_cycles", "la_softmax_cycles",
+         "la_attend_cycles", "la_writeback_cycles", "la_cold_cycles",
+         "la_bound_by", "proj_cycles", "fc_cycles", "ideal_cycles"});
     CsvWriter* csv_ptr = csv ? &*csv : nullptr;
 
     breakdown("(a) edge", edge_accel(), bert_base(),

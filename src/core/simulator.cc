@@ -1,9 +1,38 @@
 #include "core/simulator.h"
 
 #include "common/status.h"
+#include "costmodel/attention_cost.h"
+#include "costmodel/timeline.h"
 
 namespace flat {
 namespace {
+
+/** Folds an evaluated L-A timeline into the per-stage ledger view. */
+LaStageBreakdown
+fold_la_stages(const TimelineResult& timeline)
+{
+    LaStageBreakdown out;
+    for (std::size_t i = 0; i < timeline.phases.size(); ++i) {
+        const Phase& phase = timeline.phases[i];
+        if (phase.pace_only) {
+            continue; // warm-up windows live in cold_start_cycles
+        }
+        const double paced = timeline.phase_timings[i].paced_cycles;
+        switch (phase.stage) {
+          case StageTag::kPrefetch: out.prefetch_cycles += paced; break;
+          case StageTag::kLogit: out.logit_cycles += paced; break;
+          case StageTag::kSoftmax: out.softmax_cycles += paced; break;
+          case StageTag::kAttend: out.attend_cycles += paced; break;
+          case StageTag::kWriteback: out.writeback_cycles += paced; break;
+          case StageTag::kCompute:
+          case StageTag::kColdStart:
+            break; // not emitted by the attention models
+        }
+    }
+    out.cold_start_cycles = timeline.cold_start_cycles;
+    out.bound_by = to_string(timeline.bound_by);
+    return out;
+}
 
 /** Single-point candidate menus for the fixed (non-opt) policies. */
 CandidateOptions
@@ -146,6 +175,16 @@ Simulator::run_impl(const Workload& workload, Scope scope,
     report.la_points_pruned = la.pruned;
     report.traffic += la.best.cost.activity.traffic;
 
+    // Re-evaluate the winning dataflow's timeline for the per-stage
+    // view (the cost model consumed the same timeline, so cycles agree
+    // exactly with breakdown.la_cycles before scaling).
+    const TimelineResult la_timeline =
+        la_options.fused
+            ? flat_attention_timeline(accel_, dims, la.best.dataflow)
+            : baseline_attention_timeline(accel_, dims, la.best.dataflow,
+                                          la_options.baseline_overlap);
+    report.la_stages = fold_la_stages(la_timeline);
+
     // Projections and FCs at Block/Model scope.
     if (scope != Scope::kLogitAttend) {
         OperatorSearchOptions op_options;
@@ -190,6 +229,12 @@ Simulator::run_impl(const Workload& workload, Scope scope,
     report.breakdown.fc_cycles *= mult;
     report.breakdown.fc_ideal *= mult;
     report.breakdown.fc_energy_j *= mult;
+    report.la_stages.prefetch_cycles *= mult;
+    report.la_stages.logit_cycles *= mult;
+    report.la_stages.softmax_cycles *= mult;
+    report.la_stages.attend_cycles *= mult;
+    report.la_stages.writeback_cycles *= mult;
+    report.la_stages.cold_start_cycles *= mult;
 
     report.cycles = report.breakdown.la_cycles +
                     report.breakdown.proj_cycles +

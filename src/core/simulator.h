@@ -50,6 +50,25 @@ struct CategoryBreakdown {
     double fc_energy_j = 0.0;
 };
 
+/**
+ * Per-stage split of the L-A bar, sourced from the picked dataflow's
+ * evaluated phase timeline (the same ledger the cost model and the
+ * trace consume). Each stage's cycles are the latency that stage alone
+ * would need — overlapped stages sum to more than `la_cycles`, which
+ * is the point: the gap is what double buffering hides.
+ */
+struct LaStageBreakdown {
+    double prefetch_cycles = 0.0;  ///< DRAM->SG transfers (overlapped)
+    double logit_cycles = 0.0;     ///< L GEMM occupancy window
+    double softmax_cycles = 0.0;   ///< SFU window
+    double attend_cycles = 0.0;    ///< A GEMM occupancy window
+    double writeback_cycles = 0.0; ///< SG->DRAM transfers (overlapped)
+    double cold_start_cycles = 0.0; ///< exposed warm-up / pipeline fill
+
+    /** Pacing resource of the dominant timeline window. */
+    std::string bound_by;
+};
+
 /** Evaluation result at one scope. */
 struct ScopeReport {
     Scope scope = Scope::kLogitAttend;
@@ -61,6 +80,7 @@ struct ScopeReport {
     double runtime_s = 0.0;
 
     CategoryBreakdown breakdown;
+    LaStageBreakdown la_stages;
     TrafficBytes traffic;
 
     /** L-A dataflow details. */

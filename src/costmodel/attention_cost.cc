@@ -93,7 +93,7 @@ split_fetches(bool staged, double rho_sg, double rho_sg2,
     return out;
 }
 
-/** Everything both models need, computed once. */
+/** Everything the phase emitters need, computed once. */
 struct AttentionPlan {
     CrossLoopExtent extent;
     GemmShape logit_shape;  ///< per staged slice
@@ -351,48 +351,336 @@ plan_dram_traffic(const AttentionPlan& plan, const FusedStageFlags& stage)
     return t;
 }
 
-/** SG traffic: array streaming + softmax + DRAM pass-through. */
-TrafficBytes
-plan_sg_traffic(const AttentionPlan& plan, const TrafficBytes& dram)
-{
-    TrafficBytes traffic = dram;
-    const double stream_read =
-        (plan.logit_compute.sg_read_bytes +
-         plan.logit_compute.sg_psum_read_bytes +
-         plan.attend_compute.sg_read_bytes +
-         plan.attend_compute.sg_psum_read_bytes) *
-        plan.slices;
-    const double stream_write = (plan.logit_compute.sg_write_bytes +
-                                 plan.attend_compute.sg_write_bytes) *
-                                plan.slices;
-    traffic.sg_read = stream_read + plan.inter_bytes + dram.dram_write;
-    traffic.sg_write = stream_write + plan.inter_bytes + dram.dram_read;
-    return traffic;
-}
-
+/** SFU time of the whole softmax (every intermediate element once). */
 double
-plan_compute_cycles(const AttentionPlan& plan)
+softmax_sfu_cycles(const AccelConfig& accel, const AttentionPlan& plan)
 {
-    return (plan.logit_compute.total_cycles() +
-            plan.attend_compute.total_cycles()) *
-           plan.slices;
+    return (plan.inter_bytes / accel.bytes_per_element) / accel.sfu_lanes;
 }
 
+/** Half the L-A MACs: each GEMM contributes exactly one half. */
+double
+half_macs(const AttentionDims& dims)
+{
+    return static_cast<double>(attention_macs(dims)) / 2.0;
+}
+
+/**
+ * Exposed first-fetch window: the first Q/K slice cannot hide under
+ * any compute. Pace-only — its bytes are already in the steady-state
+ * prefetch ledger.
+ */
+Phase
+cold_start_phase(const AttentionPlan& plan)
+{
+    Phase phase;
+    phase.label = "cold start (first Q/K slice fetch)";
+    phase.stage = StageTag::kColdStart;
+    phase.group = 0;
+    phase.pace_only = true;
+    phase.activity.traffic.dram_read =
+        (plan.q_bytes + plan.k_bytes) /
+        (plan.slices > 0.0 ? plan.slices : 1.0);
+    return phase;
+}
+
+/** GEMM phase skeleton: array occupancy, MACs/SL, SG streaming. */
+Phase
+gemm_phase(const char* label, StageTag stage, int group,
+           const GemmComputeCost& compute, double occupancy_cycles,
+           const AttentionDims& dims, double slices)
+{
+    Phase phase;
+    phase.label = label;
+    phase.stage = stage;
+    phase.group = group;
+    phase.compute_cycles = occupancy_cycles;
+    phase.activity.macs = half_macs(dims);
+    phase.activity.sl_accesses = 3.0 * phase.activity.macs;
+    phase.activity.traffic.sg_read =
+        (compute.sg_read_bytes + compute.sg_psum_read_bytes) * slices;
+    phase.activity.traffic.sg_write = compute.sg_write_bytes * slices;
+    return phase;
+}
+
+/**
+ * FLAT (interleaved) execution: one shared overlap window — all
+ * transfers hide under the combined duration of L + softmax + A —
+ * preceded by the exposed cold-start fetch.
+ */
+std::vector<Phase>
+emit_flat_phases(const AccelConfig& accel, const AttentionDims& dims,
+                 const AttentionPlan& plan, const FusedStageFlags& stage)
+{
+    const TrafficBytes dram = plan_dram_traffic(plan, stage);
+
+    std::vector<Phase> phases;
+    phases.push_back(cold_start_phase(plan));
+
+    Phase prefetch;
+    prefetch.label = "prefetch (DRAM->SG, overlapped)";
+    prefetch.stage = StageTag::kPrefetch;
+    prefetch.group = 1;
+    prefetch.activity.traffic.dram_read = dram.dram_read;
+    prefetch.activity.traffic.sg_write = dram.dram_read; // pass-through
+    prefetch.activity.traffic.sg2_read = dram.sg2_read;
+    phases.push_back(prefetch);
+
+    phases.push_back(gemm_phase(
+        "L: logits slice GEMM", StageTag::kLogit, 1, plan.logit_compute,
+        plan.logit_compute.total_cycles() * plan.slices, dims,
+        plan.slices));
+
+    Phase softmax;
+    softmax.label = "softmax on SFU";
+    softmax.stage = StageTag::kSoftmax;
+    softmax.group = 1;
+    softmax.sfu_cycles = softmax_sfu_cycles(accel, plan);
+    softmax.activity.sfu_elems =
+        plan.inter_bytes / accel.bytes_per_element;
+    softmax.activity.traffic.sg_read = plan.inter_bytes;
+    softmax.activity.traffic.sg_write = plan.inter_bytes;
+    phases.push_back(softmax);
+
+    phases.push_back(gemm_phase(
+        "A: attend slice GEMM", StageTag::kAttend, 1, plan.attend_compute,
+        plan.attend_compute.total_cycles() * plan.slices, dims,
+        plan.slices));
+
+    Phase writeback;
+    writeback.label = "writeback (SG->DRAM, overlapped)";
+    writeback.stage = StageTag::kWriteback;
+    writeback.group = 1;
+    writeback.activity.traffic.dram_write = dram.dram_write;
+    writeback.activity.traffic.sg_read = dram.dram_write; // pass-through
+    writeback.activity.traffic.sg2_write = dram.sg2_write;
+    phases.push_back(writeback);
+    return phases;
+}
+
+/**
+ * Sequential baseline: three windows (L, softmax, A), each overlapping
+ * only its own transfers, after the cold-start fetch. The spilled
+ * intermediate fraction round-trips through DRAM between windows.
+ */
+std::vector<Phase>
+emit_baseline_phases(const AccelConfig& accel, const AttentionDims& dims,
+                     const AttentionPlan& plan,
+                     const FusedDataflow& dataflow)
+{
+    FLAT_CHECK(dataflow.cross.granularity != Granularity::kRow,
+               "the sequential baseline cannot execute at R-granularity; "
+               "row-chunked L-A is exactly the fusion FLAT adds (§4.2)");
+    const FusedStageFlags& stage = dataflow.stage;
+    const TrafficBytes dram = plan_dram_traffic(plan, stage);
+    const Residency& res = plan.res;
+    const double spill =
+        stage.intermediate
+            ? std::max(0.0, 1.0 - res.inter - res.inter2)
+            : 1.0;
+    const double staging_penalty = stage.intermediate ? spill : 0.0;
+    // The SG2 traffic is dominated by the intermediate, produced in the
+    // L window and consumed in the A window: half to each.
+    const double sg2_read_half = dram.sg2_read / 2.0;
+    const double sg2_write_half = dram.sg2_write / 2.0;
+
+    std::vector<Phase> phases;
+    phases.push_back(cold_start_phase(plan));
+
+    // Window 1: L reads Q and K and round-trips the spilled
+    // intermediate fraction (psum re-reads out, result writes in).
+    Phase l_xfer;
+    l_xfer.label = "L transfers (Q/K in, spill out)";
+    l_xfer.stage = StageTag::kPrefetch;
+    l_xfer.group = 1;
+    l_xfer.activity.traffic.dram_read =
+        split_fetches(stage.query, res.q, res.q2,
+                      plan.logit_reuse.a_repeats)
+                .dram *
+            plan.q_bytes +
+        split_fetches(stage.key, res.k, res.k2,
+                      plan.kv_chunks * plan.logit_reuse.b_repeats)
+                .dram *
+            plan.k_bytes +
+        spill * plan.logit_reuse.c_read_repeats * plan.inter_bytes;
+    l_xfer.activity.traffic.dram_write =
+        (spill * plan.logit_reuse.c_write_repeats + staging_penalty) *
+        plan.inter_bytes;
+    l_xfer.activity.traffic.sg_write =
+        l_xfer.activity.traffic.dram_read; // pass-through
+    l_xfer.activity.traffic.sg_read = l_xfer.activity.traffic.dram_write;
+    l_xfer.activity.traffic.sg2_read = sg2_read_half;
+    l_xfer.activity.traffic.sg2_write = sg2_write_half;
+    phases.push_back(l_xfer);
+
+    phases.push_back(gemm_phase(
+        "L: logits GEMM", StageTag::kLogit, 1, plan.logit_compute,
+        plan.logit_compute.total_cycles() * plan.slices, dims,
+        plan.slices));
+
+    // Window 2: softmax round-trips the spilled fraction.
+    Phase softmax;
+    softmax.label = "softmax on SFU (spill round-trip)";
+    softmax.stage = StageTag::kSoftmax;
+    softmax.group = 2;
+    softmax.sfu_cycles = softmax_sfu_cycles(accel, plan);
+    softmax.activity.sfu_elems =
+        plan.inter_bytes / accel.bytes_per_element;
+    softmax.activity.traffic.dram_read = spill * plan.inter_bytes;
+    softmax.activity.traffic.dram_write = spill * plan.inter_bytes;
+    softmax.activity.traffic.sg_read =
+        plan.inter_bytes + softmax.activity.traffic.dram_write;
+    softmax.activity.traffic.sg_write =
+        plan.inter_bytes + softmax.activity.traffic.dram_read;
+    phases.push_back(softmax);
+
+    // Window 3: A reads V and the intermediate, writes the output.
+    Phase a_xfer;
+    a_xfer.label = "A transfers (V/inter in)";
+    a_xfer.stage = StageTag::kPrefetch;
+    a_xfer.group = 3;
+    a_xfer.activity.traffic.dram_read =
+        split_fetches(stage.value, res.v, res.v2,
+                      plan.kv_chunks * plan.attend_reuse.b_repeats)
+                .dram *
+            plan.v_bytes +
+        (spill * plan.attend_reuse.a_repeats + staging_penalty) *
+            plan.inter_bytes;
+    Phase writeback;
+    writeback.label = "writeback (out, SG->DRAM)";
+    writeback.stage = StageTag::kWriteback;
+    writeback.group = 3;
+    if (stage.output) {
+        const double spill_out =
+            std::max(0.0, 1.0 - res.out - res.out2);
+        a_xfer.activity.traffic.dram_read +=
+            spill_out * plan.attend_reuse.c_read_repeats *
+            plan.out_bytes;
+        writeback.activity.traffic.dram_write =
+            (res.out + res.out2 +
+             spill_out * plan.attend_reuse.c_write_repeats) *
+            plan.out_bytes;
+    } else {
+        a_xfer.activity.traffic.dram_read +=
+            plan.attend_reuse.c_read_repeats * plan.out_bytes;
+        writeback.activity.traffic.dram_write =
+            plan.attend_reuse.c_write_repeats * plan.out_bytes;
+    }
+    a_xfer.activity.traffic.sg_write = a_xfer.activity.traffic.dram_read;
+    a_xfer.activity.traffic.sg2_read = sg2_read_half;
+    writeback.activity.traffic.sg_read =
+        writeback.activity.traffic.dram_write;
+    writeback.activity.traffic.sg2_write = sg2_write_half;
+
+    phases.push_back(a_xfer);
+    phases.push_back(gemm_phase(
+        "A: attend GEMM", StageTag::kAttend, 3, plan.attend_compute,
+        plan.attend_compute.total_cycles() * plan.slices, dims,
+        plan.slices));
+    phases.push_back(writeback);
+    return phases;
+}
+
+/**
+ * Spatially pipelined execution: L and A on concurrent half-array
+ * tracks inside one overlap window, softmax serial between them, plus
+ * a pace-only pipeline-fill window (one L slice + its softmax share).
+ */
+std::vector<Phase>
+emit_pipelined_phases(const AccelConfig& accel, const AttentionDims& dims,
+                      const AttentionPlan& plan,
+                      const FusedDataflow& dataflow)
+{
+    FLAT_CHECK(accel.pe_rows >= 2,
+               "pipelined execution needs an array splittable in two");
+
+    // Each stage runs on half the array (split along rows). The halves
+    // share the SG and the memory interfaces, so the byte ledger keeps
+    // the full-array plan's streaming volume.
+    AccelConfig half = accel;
+    half.pe_rows = accel.pe_rows / 2;
+    const GemmComputeCost logit_half =
+        model_gemm_compute(half, plan.logit_shape, dataflow.l2_logit,
+                           dataflow.order_logit, dataflow.stat_logit);
+    const GemmComputeCost attend_half =
+        model_gemm_compute(half, plan.attend_shape, dataflow.l2_attend,
+                           dataflow.order_attend, dataflow.stat_attend);
+    const TrafficBytes dram = plan_dram_traffic(plan, dataflow.stage);
+    const double softmax_cycles = softmax_sfu_cycles(accel, plan);
+
+    std::vector<Phase> phases;
+
+    // Pipeline fill: one slice of L (and its softmax) before A starts.
+    Phase fill;
+    fill.label = "pipeline fill (first L slice + softmax)";
+    fill.stage = StageTag::kColdStart;
+    fill.group = 0;
+    fill.pace_only = true;
+    if (plan.slices > 0.0) {
+        fill.compute_cycles = logit_half.total_cycles();
+        fill.sfu_cycles = softmax_cycles / plan.slices;
+    }
+    phases.push_back(fill);
+
+    Phase prefetch;
+    prefetch.label = "prefetch (DRAM->SG, overlapped)";
+    prefetch.stage = StageTag::kPrefetch;
+    prefetch.group = 1;
+    prefetch.activity.traffic.dram_read = dram.dram_read;
+    prefetch.activity.traffic.sg_write = dram.dram_read; // pass-through
+    prefetch.activity.traffic.sg2_read = dram.sg2_read;
+    phases.push_back(prefetch);
+
+    Phase logit = gemm_phase(
+        "L: logits GEMM (half array)", StageTag::kLogit, 1,
+        plan.logit_compute, logit_half.total_cycles() * plan.slices,
+        dims, plan.slices);
+    logit.track = 0;
+    phases.push_back(logit);
+
+    Phase softmax;
+    softmax.label = "softmax on SFU (between halves)";
+    softmax.stage = StageTag::kSoftmax;
+    softmax.group = 1;
+    softmax.sfu_cycles = softmax_cycles;
+    softmax.activity.sfu_elems =
+        plan.inter_bytes / accel.bytes_per_element;
+    softmax.activity.traffic.sg_read = plan.inter_bytes;
+    softmax.activity.traffic.sg_write = plan.inter_bytes;
+    phases.push_back(softmax);
+
+    Phase attend = gemm_phase(
+        "A: attend GEMM (half array)", StageTag::kAttend, 1,
+        plan.attend_compute, attend_half.total_cycles() * plan.slices,
+        dims, plan.slices);
+    attend.track = 1;
+    phases.push_back(attend);
+
+    Phase writeback;
+    writeback.label = "writeback (SG->DRAM, overlapped)";
+    writeback.stage = StageTag::kWriteback;
+    writeback.group = 1;
+    writeback.activity.traffic.dram_write = dram.dram_write;
+    writeback.activity.traffic.sg_read = dram.dram_write; // pass-through
+    writeback.activity.traffic.sg2_write = dram.sg2_write;
+    phases.push_back(writeback);
+    return phases;
+}
+
+/** Cost report from a plan and its evaluated timeline: the cycles and
+ *  the activity ledger ARE the timeline's — no re-aggregation. */
 OperatorCost
 finalize_cost(const AccelConfig& accel, const AttentionDims& dims,
-              const AttentionPlan& plan, const TrafficBytes& traffic,
-              double cycles, const char* name)
+              const AttentionPlan& plan, const TimelineResult& timeline,
+              const char* name)
 {
     OperatorCost cost;
     cost.name = name;
     cost.ideal_cycles = attention_ideal_cycles(accel, dims);
-    cost.cycles = cycles;
+    cost.cycles = timeline.cycles;
     cost.live_footprint_bytes = plan.footprint;
     cost.resident_fraction = plan.res.overall;
-    cost.activity.macs = static_cast<double>(attention_macs(dims));
-    cost.activity.sl_accesses = 3.0 * cost.activity.macs;
-    cost.activity.sfu_elems = plan.inter_bytes / accel.bytes_per_element;
-    cost.activity.traffic = traffic;
+    cost.activity = timeline.activity;
     return cost;
 }
 
@@ -413,36 +701,55 @@ attention_ideal_cycles(const AccelConfig& accel, const AttentionDims& dims)
            accel.macs_per_cycle();
 }
 
+TimelineResult
+flat_attention_timeline(const AccelConfig& accel,
+                        const AttentionDims& dims,
+                        const FusedDataflow& dataflow)
+{
+    accel.validate();
+    const AttentionPlan plan = make_plan(accel, dims, dataflow);
+    return evaluate_timeline(
+        emit_flat_phases(accel, dims, plan, dataflow.stage), accel,
+        OverlapKind::kOverlapped);
+}
+
+TimelineResult
+baseline_attention_timeline(const AccelConfig& accel,
+                            const AttentionDims& dims,
+                            const FusedDataflow& dataflow,
+                            BaselineOverlap overlap)
+{
+    accel.validate();
+    const AttentionPlan plan = make_plan(accel, dims, dataflow);
+    return evaluate_timeline(
+        emit_baseline_phases(accel, dims, plan, dataflow), accel,
+        overlap == BaselineOverlap::kFull
+            ? OverlapKind::kOverlapped
+            : OverlapKind::kSerialTransfers);
+}
+
+TimelineResult
+pipelined_attention_timeline(const AccelConfig& accel,
+                             const AttentionDims& dims,
+                             const FusedDataflow& dataflow)
+{
+    accel.validate();
+    const AttentionPlan plan = make_plan(accel, dims, dataflow);
+    return evaluate_timeline(
+        emit_pipelined_phases(accel, dims, plan, dataflow), accel,
+        OverlapKind::kOverlapped);
+}
+
 OperatorCost
 model_flat_attention(const AccelConfig& accel, const AttentionDims& dims,
                      const FusedDataflow& dataflow)
 {
     accel.validate();
     const AttentionPlan plan = make_plan(accel, dims, dataflow);
-    const TrafficBytes dram = plan_dram_traffic(plan, dataflow.stage);
-    const TrafficBytes traffic = plan_sg_traffic(plan, dram);
-
-    const double softmax_cycles =
-        (plan.inter_bytes / accel.bytes_per_element) / accel.sfu_lanes;
-    const double compute = plan_compute_cycles(plan) + softmax_cycles;
-    const double offchip =
-        dram.total_dram() / accel.offchip_bytes_per_cycle();
-    const double onchip =
-        traffic.total_sg() / accel.onchip_bytes_per_cycle();
-    const double second_level =
-        accel.has_sg2()
-            ? traffic.total_sg2() / accel.sg2_bytes_per_cycle()
-            : 0.0;
-
-    // One shared overlap window: interleaved execution lets the prefetch
-    // of either stage hide under the combined compute of both.
-    const double cold_start = (plan.q_bytes + plan.k_bytes) /
-                              (plan.slices > 0.0 ? plan.slices : 1.0) /
-                              accel.offchip_bytes_per_cycle();
-    const double cycles =
-        std::max({compute, offchip, onchip, second_level}) + cold_start;
-
-    return finalize_cost(accel, dims, plan, traffic, cycles, "L-A(FLAT)");
+    const TimelineResult timeline = evaluate_timeline(
+        emit_flat_phases(accel, dims, plan, dataflow.stage), accel,
+        OverlapKind::kOverlapped);
+    return finalize_cost(accel, dims, plan, timeline, "L-A(FLAT)");
 }
 
 OperatorCost
@@ -451,58 +758,11 @@ model_pipelined_attention(const AccelConfig& accel,
                           const FusedDataflow& dataflow)
 {
     accel.validate();
-    FLAT_CHECK(accel.pe_rows >= 2,
-               "pipelined execution needs an array splittable in two");
-
-    // Each stage runs on half the array (split along rows).
-    AccelConfig half = accel;
-    half.pe_rows = accel.pe_rows / 2;
-    // The halves share the SG and the memory interfaces; the plan is
-    // built against the full accelerator for footprint/residency and
-    // against the half arrays for compute.
     const AttentionPlan plan = make_plan(accel, dims, dataflow);
-
-    const GemmComputeCost logit_half =
-        model_gemm_compute(half, plan.logit_shape, dataflow.l2_logit,
-                           dataflow.order_logit, dataflow.stat_logit);
-    const GemmComputeCost attend_half =
-        model_gemm_compute(half, plan.attend_shape, dataflow.l2_attend,
-                           dataflow.order_attend, dataflow.stat_attend);
-
-    const TrafficBytes dram = plan_dram_traffic(plan, dataflow.stage);
-    const TrafficBytes traffic = plan_sg_traffic(plan, dram);
-
-    const double off_bpc = accel.offchip_bytes_per_cycle();
-    const double on_bpc = accel.onchip_bytes_per_cycle();
-    const double softmax_cycles =
-        (plan.inter_bytes / accel.bytes_per_element) / accel.sfu_lanes;
-
-    // Steady state: the slower stage paces the pipeline (imbalance
-    // between L and A on the two half-arrays is wasted time, unlike
-    // interleaving where the full array runs both back to back). The
-    // softmax between the halves stays on the critical path.
-    const double l_cycles = logit_half.total_cycles() * plan.slices;
-    const double a_cycles = attend_half.total_cycles() * plan.slices;
-    const double stage_cycles = std::max(l_cycles, a_cycles);
-    // Pipeline fill: one slice of L (and its softmax) before A starts.
-    const double slice_fill =
-        (plan.slices > 0.0)
-            ? logit_half.total_cycles() + softmax_cycles / plan.slices
-            : 0.0;
-
-    const double second_level =
-        accel.has_sg2()
-            ? traffic.total_sg2() / accel.sg2_bytes_per_cycle()
-            : 0.0;
-    const double cycles =
-        std::max({stage_cycles + softmax_cycles,
-                  dram.total_dram() / off_bpc,
-                  traffic.total_sg() / on_bpc, second_level}) +
-        slice_fill;
-
-    OperatorCost cost = finalize_cost(accel, dims, plan, traffic, cycles,
-                                      "L-A(pipelined)");
-    return cost;
+    const TimelineResult timeline = evaluate_timeline(
+        emit_pipelined_phases(accel, dims, plan, dataflow), accel,
+        OverlapKind::kOverlapped);
+    return finalize_cost(accel, dims, plan, timeline, "L-A(pipelined)");
 }
 
 OperatorCost
@@ -512,111 +772,13 @@ model_baseline_attention(const AccelConfig& accel,
                          BaselineOverlap overlap)
 {
     accel.validate();
-    FLAT_CHECK(dataflow.cross.granularity != Granularity::kRow,
-               "the sequential baseline cannot execute at R-granularity; "
-               "row-chunked L-A is exactly the fusion FLAT adds (§4.2)");
     const AttentionPlan plan = make_plan(accel, dims, dataflow);
-    const TrafficBytes dram = plan_dram_traffic(plan, dataflow.stage);
-    const TrafficBytes traffic = plan_sg_traffic(plan, dram);
-
-    // Split the pipeline into three sequential windows; each overlaps
-    // only its own transfers (no cross-stage hiding).
-    const Residency& res = plan.res;
-    const double spill =
-        dataflow.stage.intermediate
-            ? std::max(0.0, 1.0 - res.inter - res.inter2)
-            : 1.0;
-    const double staging_penalty =
-        dataflow.stage.intermediate ? spill : 0.0;
-
-    // Window 1: L. Reads Q and K, writes the intermediate.
-    const double l_compute =
-        plan.logit_compute.total_cycles() * plan.slices;
-    double l_dram =
-        split_fetches(dataflow.stage.query, res.q, res.q2,
-                      plan.logit_reuse.a_repeats)
-                .dram *
-            plan.q_bytes +
-        split_fetches(dataflow.stage.key, res.k, res.k2,
-                      plan.kv_chunks * plan.logit_reuse.b_repeats)
-                .dram *
-            plan.k_bytes +
-        (spill * (plan.logit_reuse.c_write_repeats +
-                  plan.logit_reuse.c_read_repeats) +
-         staging_penalty) *
-            plan.inter_bytes;
-
-    // Window 2: softmax round-trips the spilled fraction.
-    const double sfu_cycles =
-        (plan.inter_bytes / accel.bytes_per_element) / accel.sfu_lanes;
-    const double softmax_dram = spill * 2.0 * plan.inter_bytes;
-
-    // Window 3: A. Reads the intermediate and V, writes the output.
-    const double a_compute =
-        plan.attend_compute.total_cycles() * plan.slices;
-    double a_dram =
-        split_fetches(dataflow.stage.value, res.v, res.v2,
-                      plan.kv_chunks * plan.attend_reuse.b_repeats)
-                .dram *
-            plan.v_bytes +
-        (spill * plan.attend_reuse.a_repeats + staging_penalty) *
-            plan.inter_bytes;
-    if (dataflow.stage.output) {
-        const double spill_out =
-            std::max(0.0, 1.0 - res.out - res.out2);
-        a_dram += (res.out + res.out2 +
-                   spill_out * (plan.attend_reuse.c_write_repeats +
-                                plan.attend_reuse.c_read_repeats)) *
-                  plan.out_bytes;
-    } else {
-        a_dram += (plan.attend_reuse.c_write_repeats +
-                   plan.attend_reuse.c_read_repeats) *
-                  plan.out_bytes;
-    }
-
-    const double off_bpc = accel.offchip_bytes_per_cycle();
-    const double on_bpc = accel.onchip_bytes_per_cycle();
-    // SG2 traffic is dominated by the intermediate, produced in the L
-    // window and consumed in the A window: split its time evenly.
-    const double sg2_half =
-        accel.has_sg2()
-            ? traffic.total_sg2() / accel.sg2_bytes_per_cycle() / 2.0
-            : 0.0;
-
-    // Combine a stage's compute and transfer times per the overlap
-    // assumption.
-    const auto window = [overlap](double compute, double offchip,
-                                  double onchip) {
-        if (overlap == BaselineOverlap::kFull) {
-            return std::max({compute, offchip, onchip});
-        }
-        // Serialized: operand streaming inside the array still proceeds
-        // with compute, but off-chip transfers are not hidden.
-        return std::max(compute, onchip) + offchip;
-    };
-
-    const double window_l =
-        window(l_compute, std::max(l_dram / off_bpc, sg2_half),
-               (plan.logit_compute.sg_read_bytes +
-                plan.logit_compute.sg_write_bytes +
-                plan.logit_compute.sg_psum_read_bytes) *
-                   plan.slices / on_bpc);
-    const double window_sfu =
-        window(sfu_cycles, softmax_dram / off_bpc,
-               2.0 * plan.inter_bytes / on_bpc);
-    const double window_a =
-        window(a_compute, std::max(a_dram / off_bpc, sg2_half),
-               (plan.attend_compute.sg_read_bytes +
-                plan.attend_compute.sg_write_bytes +
-                plan.attend_compute.sg_psum_read_bytes) *
-                   plan.slices / on_bpc);
-
-    const double cold_start = (plan.q_bytes + plan.k_bytes) /
-                              (plan.slices > 0.0 ? plan.slices : 1.0) /
-                              off_bpc;
-    const double cycles = window_l + window_sfu + window_a + cold_start;
-
-    return finalize_cost(accel, dims, plan, traffic, cycles, "L-A(Base)");
+    const TimelineResult timeline = evaluate_timeline(
+        emit_baseline_phases(accel, dims, plan, dataflow), accel,
+        overlap == BaselineOverlap::kFull
+            ? OverlapKind::kOverlapped
+            : OverlapKind::kSerialTransfers);
+    return finalize_cost(accel, dims, plan, timeline, "L-A(Base)");
 }
 
 } // namespace flat

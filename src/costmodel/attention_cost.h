@@ -9,6 +9,7 @@
 
 #include "arch/accel_config.h"
 #include "costmodel/cost_types.h"
+#include "costmodel/timeline.h"
 #include "dataflow/fused_dataflow.h"
 
 namespace flat {
@@ -67,6 +68,30 @@ OperatorCost model_baseline_attention(
 OperatorCost model_pipelined_attention(const AccelConfig& accel,
                                        const AttentionDims& dims,
                                        const FusedDataflow& dataflow);
+
+/**
+ * Evaluated phase timelines of the three execution styles. Each model
+ * above is a pure phase emitter over one shared `AttentionPlan`; these
+ * entry points expose the evaluated timeline itself (per-phase cycles,
+ * per-group `bound_by`, the activity ledger). By construction
+ *
+ *   *_attention_timeline(...).cycles == model_*_attention(...).cycles
+ *
+ * exactly — cold start and pipeline fill included — and the ledger's
+ * `activity` equals the model's `OperatorCost::activity`.
+ */
+TimelineResult flat_attention_timeline(const AccelConfig& accel,
+                                       const AttentionDims& dims,
+                                       const FusedDataflow& dataflow);
+
+TimelineResult baseline_attention_timeline(
+    const AccelConfig& accel, const AttentionDims& dims,
+    const FusedDataflow& dataflow,
+    BaselineOverlap overlap = BaselineOverlap::kFull);
+
+TimelineResult pipelined_attention_timeline(const AccelConfig& accel,
+                                            const AttentionDims& dims,
+                                            const FusedDataflow& dataflow);
 
 /** Ideal PE cycles of the whole L-A pair (both GEMMs, no stalls). */
 double attention_ideal_cycles(const AccelConfig& accel,

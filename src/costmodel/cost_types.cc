@@ -4,6 +4,22 @@
 
 namespace flat {
 
+const char*
+to_string(BoundBy bound)
+{
+    switch (bound) {
+      case BoundBy::kCompute:
+        return "compute";
+      case BoundBy::kOffchip:
+        return "off-chip BW";
+      case BoundBy::kOnchip:
+        return "on-chip BW";
+      case BoundBy::kSg2:
+        return "SG2 BW";
+    }
+    return "compute";
+}
+
 TrafficBytes&
 TrafficBytes::operator+=(const TrafficBytes& other)
 {

@@ -11,6 +11,22 @@
 
 namespace flat {
 
+/**
+ * The resource that paces a phase, an overlap group or a whole
+ * timeline under the shared-bandwidth arbitration (§4.3, Fig. 11).
+ * Ties break toward the earlier enumerator (compute wins a dead heat),
+ * matching the historical trace attribution.
+ */
+enum class BoundBy {
+    kCompute, ///< PE-array / SFU occupancy
+    kOffchip, ///< DRAM <-> SG interface
+    kOnchip,  ///< SG <-> PE-array interface
+    kSg2,     ///< SG2 <-> SG interface (second-level buffer)
+};
+
+/** Display names: "compute", "off-chip BW", "on-chip BW", "SG2 BW". */
+const char* to_string(BoundBy bound);
+
 /** Byte traffic at the two memory interfaces. */
 struct TrafficBytes {
     double dram_read = 0.0;  ///< DRAM -> SG

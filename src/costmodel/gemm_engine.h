@@ -42,6 +42,14 @@ struct GemmComputeCost {
     {
         return compute_cycles + fill_drain_cycles;
     }
+
+    /** Total SG<->array streaming volume (operands + results + partial
+     *  sums) per instance — the on-chip bytes a timeline phase ledgers
+     *  for this GEMM. */
+    double sg_stream_bytes() const
+    {
+        return sg_read_bytes + sg_psum_read_bytes + sg_write_bytes;
+    }
 };
 
 /**

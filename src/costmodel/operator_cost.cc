@@ -5,6 +5,7 @@
 
 #include "common/status.h"
 #include "costmodel/gemm_engine.h"
+#include "costmodel/timeline.h"
 #include "dataflow/reuse.h"
 
 namespace flat {
@@ -89,32 +90,57 @@ model_gemm_operator(const AccelConfig& accel, const Operator& op,
         dram.dram_read += c_read_repeats * c_bytes_total;
     }
 
-    // On-chip traffic: operand streaming into the array plus the DRAM
+    // Express the operator as a phase timeline: an exposed first-tile
+    // fetch, then one double-buffered window where the GEMM's compute
+    // arbitrates against the prefetch/writeback streams. The on-chip
+    // ledger covers operand streaming into the array plus the DRAM
     // transfers landing in / leaving SG.
-    TrafficBytes traffic = dram;
-    traffic.sg_read = (compute.sg_read_bytes + compute.sg_psum_read_bytes) *
-                          instances +
-                      dram.dram_write; // SG read on the way out to DRAM
-    traffic.sg_write = compute.sg_write_bytes * instances +
-                       dram.dram_read; // SG write on the way in from DRAM
+    std::vector<Phase> phases;
 
-    // Steady-state overlap: slowest of compute / off-chip / on-chip.
-    const double offchip_cycles =
-        dram.total_dram() / accel.offchip_bytes_per_cycle();
-    const double onchip_cycles =
-        traffic.total_sg() / accel.onchip_bytes_per_cycle();
-    const double cold_start =
-        static_cast<double>(tile.a_bytes(bpe) + tile.b_bytes(bpe)) /
-        accel.offchip_bytes_per_cycle();
+    Phase cold;
+    cold.label = "cold start (first A/B tile fetch)";
+    cold.stage = StageTag::kColdStart;
+    cold.group = 0;
+    cold.pace_only = true;
+    cold.activity.traffic.dram_read =
+        static_cast<double>(tile.a_bytes(bpe) + tile.b_bytes(bpe));
+    phases.push_back(cold);
 
-    cost.cycles = std::max({compute_cycles, offchip_cycles,
-                            onchip_cycles}) +
-                  cold_start;
+    Phase prefetch;
+    prefetch.label = "prefetch (DRAM->SG, overlapped)";
+    prefetch.stage = StageTag::kPrefetch;
+    prefetch.group = 1;
+    prefetch.activity.traffic.dram_read = dram.dram_read;
+    prefetch.activity.traffic.sg_write =
+        dram.dram_read; // SG write on the way in from DRAM
+    phases.push_back(prefetch);
 
-    cost.activity.macs = static_cast<double>(shape.macs());
+    Phase gemm;
+    gemm.label = op.name + " GEMM";
+    gemm.stage = StageTag::kCompute;
+    gemm.group = 1;
+    gemm.compute_cycles = compute_cycles;
+    gemm.activity.macs = static_cast<double>(shape.macs());
     // Each MAC reads two operands from and accumulates into the SL.
-    cost.activity.sl_accesses = 3.0 * cost.activity.macs;
-    cost.activity.traffic = traffic;
+    gemm.activity.sl_accesses = 3.0 * gemm.activity.macs;
+    gemm.activity.traffic.sg_read =
+        (compute.sg_read_bytes + compute.sg_psum_read_bytes) * instances;
+    gemm.activity.traffic.sg_write = compute.sg_write_bytes * instances;
+    phases.push_back(gemm);
+
+    Phase writeback;
+    writeback.label = "writeback (SG->DRAM, overlapped)";
+    writeback.stage = StageTag::kWriteback;
+    writeback.group = 1;
+    writeback.activity.traffic.dram_write = dram.dram_write;
+    writeback.activity.traffic.sg_read =
+        dram.dram_write; // SG read on the way out to DRAM
+    phases.push_back(writeback);
+
+    const TimelineResult timeline =
+        evaluate_timeline(std::move(phases), accel);
+    cost.cycles = timeline.cycles;
+    cost.activity = timeline.activity;
     return cost;
 }
 
@@ -133,21 +159,22 @@ model_baseline_softmax(const AccelConfig& accel, const Operator& op,
     // Ideal time for the SFU work itself.
     cost.ideal_cycles = elems / accel.sfu_lanes;
 
-    TrafficBytes traffic;
-    traffic.dram_read = (1.0 - rho) * bytes;
-    traffic.dram_write = (1.0 - rho) * bytes;
-    traffic.sg_read = bytes;
-    traffic.sg_write = bytes;
+    // One overlapped window: SFU work against the spill round-trip.
+    Phase softmax;
+    softmax.label = op.name + " on SFU";
+    softmax.stage = StageTag::kSoftmax;
+    softmax.group = 0;
+    softmax.sfu_cycles = elems / accel.sfu_lanes;
+    softmax.activity.sfu_elems = elems;
+    softmax.activity.traffic.dram_read = (1.0 - rho) * bytes;
+    softmax.activity.traffic.dram_write = (1.0 - rho) * bytes;
+    softmax.activity.traffic.sg_read = bytes;
+    softmax.activity.traffic.sg_write = bytes;
 
-    const double sfu_cycles = elems / accel.sfu_lanes;
-    const double offchip_cycles =
-        traffic.total_dram() / accel.offchip_bytes_per_cycle();
-    const double onchip_cycles =
-        traffic.total_sg() / accel.onchip_bytes_per_cycle();
-    cost.cycles = std::max({sfu_cycles, offchip_cycles, onchip_cycles});
-
-    cost.activity.sfu_elems = elems;
-    cost.activity.traffic = traffic;
+    const TimelineResult timeline =
+        evaluate_timeline({softmax}, accel);
+    cost.cycles = timeline.cycles;
+    cost.activity = timeline.activity;
     return cost;
 }
 

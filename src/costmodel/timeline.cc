@@ -1,0 +1,179 @@
+#include "costmodel/timeline.h"
+
+#include <algorithm>
+
+namespace flat {
+namespace {
+
+/** Lane with the largest cycle count; ties break toward compute, then
+ *  off-chip, then on-chip, then SG2 (the historical attribution order). */
+BoundBy
+pick_bound(const LaneCycles& lanes)
+{
+    BoundBy bound = BoundBy::kCompute;
+    double best = lanes.compute;
+    if (lanes.offchip > best) {
+        bound = BoundBy::kOffchip;
+        best = lanes.offchip;
+    }
+    if (lanes.onchip > best) {
+        bound = BoundBy::kOnchip;
+        best = lanes.onchip;
+    }
+    if (lanes.sg2 > best) {
+        bound = BoundBy::kSg2;
+        best = lanes.sg2;
+    }
+    return bound;
+}
+
+double
+combine_lanes(const LaneCycles& lanes, OverlapKind overlap)
+{
+    if (overlap == OverlapKind::kOverlapped) {
+        return std::max(
+            {lanes.compute, lanes.offchip, lanes.onchip, lanes.sg2});
+    }
+    // Serialized: operand streaming inside the array still proceeds
+    // with compute, but transfers below the SG are not hidden.
+    return std::max(lanes.compute, lanes.onchip) +
+           std::max(lanes.offchip, lanes.sg2);
+}
+
+} // namespace
+
+const char*
+to_string(StageTag stage)
+{
+    switch (stage) {
+      case StageTag::kPrefetch:
+        return "prefetch";
+      case StageTag::kLogit:
+        return "logit";
+      case StageTag::kSoftmax:
+        return "softmax";
+      case StageTag::kAttend:
+        return "attend";
+      case StageTag::kWriteback:
+        return "writeback";
+      case StageTag::kCompute:
+        return "compute";
+      case StageTag::kColdStart:
+        return "cold-start";
+    }
+    return "compute";
+}
+
+TimelineResult
+evaluate_timeline(std::vector<Phase> phases, const AccelConfig& accel,
+                  OverlapKind overlap)
+{
+    accel.validate();
+
+    TimelineResult out;
+    out.phases = std::move(phases);
+    out.phase_timings.resize(out.phases.size());
+
+    const double off_bpc = accel.offchip_bytes_per_cycle();
+    const double on_bpc = accel.onchip_bytes_per_cycle();
+    const bool has_sg2 = accel.has_sg2();
+    const double sg2_bpc = has_sg2 ? accel.sg2_bytes_per_cycle() : 0.0;
+
+    const auto lanes_of = [&](double compute, const TrafficBytes& bytes) {
+        LaneCycles lanes;
+        lanes.compute = compute;
+        lanes.offchip = bytes.total_dram() / off_bpc;
+        lanes.onchip = bytes.total_sg() / on_bpc;
+        lanes.sg2 = has_sg2 ? bytes.total_sg2() / sg2_bpc : 0.0;
+        return lanes;
+    };
+
+    // Group discovery in order of first appearance; evaluation never
+    // reorders what the emitter laid out.
+    std::vector<int> group_order;
+    for (const Phase& phase : out.phases) {
+        if (std::find(group_order.begin(), group_order.end(),
+                      phase.group) == group_order.end()) {
+            group_order.push_back(phase.group);
+        }
+    }
+
+    for (const int group_id : group_order) {
+        GroupTiming timing;
+        timing.group = group_id;
+        timing.overlap = overlap;
+
+        // Serial phases chain on the array/SFU; tracks >= 0 run
+        // side by side (spatial pipelining), so only the slowest
+        // track adds to the group's compute lane.
+        double serial_cycles = 0.0;
+        std::vector<std::pair<int, double>> track_cycles;
+        TrafficBytes bytes;
+        bool all_pace_only = true;
+        for (std::size_t i = 0; i < out.phases.size(); ++i) {
+            const Phase& phase = out.phases[i];
+            if (phase.group != group_id) {
+                continue;
+            }
+            timing.phase_indices.push_back(i);
+            const double occupancy =
+                phase.compute_cycles + phase.sfu_cycles;
+            if (phase.track < 0) {
+                serial_cycles += occupancy;
+            } else {
+                auto it = std::find_if(
+                    track_cycles.begin(), track_cycles.end(),
+                    [&](const auto& t) {
+                        return t.first == phase.track;
+                    });
+                if (it == track_cycles.end()) {
+                    track_cycles.emplace_back(phase.track, occupancy);
+                } else {
+                    it->second += occupancy;
+                }
+            }
+            bytes += phase.activity.traffic;
+            all_pace_only = all_pace_only && phase.pace_only;
+        }
+        double parallel_cycles = 0.0;
+        for (const auto& [track, cycles] : track_cycles) {
+            parallel_cycles = std::max(parallel_cycles, cycles);
+        }
+
+        timing.lanes = lanes_of(serial_cycles + parallel_cycles, bytes);
+        timing.latency = combine_lanes(timing.lanes, overlap);
+        timing.bound_by = pick_bound(timing.lanes);
+        out.cycles += timing.latency;
+        if (all_pace_only && !timing.phase_indices.empty()) {
+            out.cold_start_cycles += timing.latency;
+        }
+        out.groups.push_back(std::move(timing));
+    }
+
+    for (std::size_t i = 0; i < out.phases.size(); ++i) {
+        const Phase& phase = out.phases[i];
+        PhaseTiming& timing = out.phase_timings[i];
+        timing.occupancy_cycles = phase.compute_cycles + phase.sfu_cycles;
+        const LaneCycles lanes =
+            lanes_of(timing.occupancy_cycles, phase.activity.traffic);
+        timing.paced_cycles = combine_lanes(lanes, overlap);
+        timing.bound_by = pick_bound(lanes);
+        timing.on_critical_path = timing.occupancy_cycles > 0.0;
+        if (!phase.pace_only) {
+            out.activity += phase.activity;
+        }
+    }
+
+    // The whole timeline is attributed to the lane that paces its
+    // slowest group (ties break toward the earlier group).
+    double slowest = -1.0;
+    for (const GroupTiming& group : out.groups) {
+        if (group.latency > slowest) {
+            slowest = group.latency;
+            out.bound_by = group.bound_by;
+        }
+    }
+    return out;
+}
+
+} // namespace flat

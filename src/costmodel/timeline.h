@@ -1,0 +1,177 @@
+/**
+ * @file
+ * Phase-timeline IR of the performance model.
+ *
+ * Every execution style (FLAT interleaved, sequential baseline,
+ * spatially pipelined, and the standalone operator models) is expressed
+ * as a list of Phase records — label, stage tag, compute/SFU occupancy,
+ * per-interface byte vector, overlap group — and evaluated by ONE
+ * engine, evaluate_timeline(), which owns the shared-bandwidth
+ * arbitration, the serialized-vs-overlapped transfer policy and the
+ * per-phase/per-group "which resource paces this" attribution (§4.3,
+ * §5.1, Fig. 11).
+ *
+ * The cost models are pure *phase emitters*; the energy model, the
+ * Fig. 11 breakdown and the --trace observability layer all consume the
+ * same evaluated ledger, so their totals agree exactly by construction.
+ */
+#ifndef FLAT_COSTMODEL_TIMELINE_H
+#define FLAT_COSTMODEL_TIMELINE_H
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "arch/accel_config.h"
+#include "costmodel/cost_types.h"
+
+namespace flat {
+
+/** What a phase does in the L -> softmax -> A cascade. */
+enum class StageTag {
+    kPrefetch,  ///< DRAM/SG2 -> SG input transfers
+    kLogit,     ///< L = Q.K^T on the PE array
+    kSoftmax,   ///< softmax on the SFU
+    kAttend,    ///< A = P.V on the PE array
+    kWriteback, ///< SG -> DRAM output transfers
+    kCompute,   ///< generic (non-fused operator) array work
+    kColdStart, ///< exposed first-fetch / pipeline-fill window
+};
+
+/** Short stable name ("prefetch", "logit", ..., "cold-start"). */
+const char* to_string(StageTag stage);
+
+/**
+ * One phase of an execution timeline.
+ *
+ * Phases with the same @ref group share one arbitration window: the
+ * group's latency is decided jointly from the summed compute occupancy
+ * and the summed per-interface bytes of its members. Groups execute
+ * back-to-back in order of first appearance.
+ */
+struct Phase {
+    std::string label;
+    StageTag stage = StageTag::kCompute;
+
+    /** Overlap group id; groups run sequentially, members overlap. */
+    int group = 0;
+
+    /**
+     * Concurrency track inside the group. -1 (default) = serial: the
+     * phase's compute/SFU occupancy adds to the group's compute lane.
+     * Tracks >= 0 run concurrently with each other (spatial pipelining:
+     * the group's parallel contribution is the max over tracks).
+     */
+    int track = -1;
+
+    /** PE-array occupancy in cycles. */
+    double compute_cycles = 0.0;
+
+    /** SFU occupancy in cycles (serial with the array inside a track). */
+    double sfu_cycles = 0.0;
+
+    /**
+     * Activity ledger of this phase: MACs, SL accesses, SFU elements
+     * and the per-interface byte vector. The bytes both pace the
+     * group's transfer lanes and feed the energy model — one ledger,
+     * no separately-aggregated scalars.
+     */
+    ActivityCounts activity;
+
+    /**
+     * True for windows whose latency is exposed but whose bytes/work
+     * are already counted by a steady-state phase (cold-start fetches,
+     * pipeline fill). Pace-only phases contribute to timing, never to
+     * the summed ledger.
+     */
+    bool pace_only = false;
+};
+
+/** How a group's compute and transfer lanes combine (§5.1(4)). */
+enum class OverlapKind {
+    /** Double-buffered: latency = max(compute, per-interface lanes). */
+    kOverlapped,
+    /** No off-chip hiding: latency = max(compute, on-chip lane)
+     *  + max(off-chip lane, SG2 lane). */
+    kSerialTransfers,
+};
+
+/** Cycle cost of one overlap group, per resource lane. */
+struct LaneCycles {
+    double compute = 0.0; ///< serial compute/SFU chain (+ max over tracks)
+    double offchip = 0.0; ///< DRAM bytes / off-chip bytes-per-cycle
+    double onchip = 0.0;  ///< SG bytes / on-chip bytes-per-cycle
+    double sg2 = 0.0;     ///< SG2 bytes / SG2 bytes-per-cycle
+};
+
+/** Arbitration outcome of one overlap group. */
+struct GroupTiming {
+    int group = 0;
+    OverlapKind overlap = OverlapKind::kOverlapped;
+    LaneCycles lanes;
+    double latency = 0.0;
+    BoundBy bound_by = BoundBy::kCompute;
+    std::vector<std::size_t> phase_indices; ///< members, emission order
+};
+
+/** Per-phase attribution (observability; totals live in GroupTiming). */
+struct PhaseTiming {
+    /** Time this phase occupies its own binding resource. */
+    double occupancy_cycles = 0.0;
+
+    /** Latency the phase alone would need: max of its own lanes. */
+    double paced_cycles = 0.0;
+
+    /** The phase's own pacing resource. */
+    BoundBy bound_by = BoundBy::kCompute;
+
+    /** True if the phase occupies the PE array / SFU serially. */
+    bool on_critical_path = false;
+};
+
+/** Evaluated timeline: the model's single source of truth. */
+struct TimelineResult {
+    /** The phases as emitted (evaluation does not reorder them). */
+    std::vector<Phase> phases;
+
+    /** Parallel to @ref phases. */
+    std::vector<PhaseTiming> phase_timings;
+
+    /** One entry per overlap group, execution order. */
+    std::vector<GroupTiming> groups;
+
+    /** Total modeled cycles: sum of group latencies. */
+    double cycles = 0.0;
+
+    /** Latency of pace-only groups (cold start / pipeline fill). */
+    double cold_start_cycles = 0.0;
+
+    /** Pacing resource of the dominant group (ties -> earlier group). */
+    BoundBy bound_by = BoundBy::kCompute;
+
+    /** Ledger sum over non-pace-only phases, in emission order. */
+    ActivityCounts activity;
+};
+
+/**
+ * Evaluates @p phases on @p accel under one arbitration policy.
+ *
+ * For each overlap group, in order of first appearance:
+ *   compute lane  = sum of serial (track -1) compute+SFU cycles
+ *                   + max over tracks of the per-track sums;
+ *   off-chip lane = sum of member DRAM bytes / off-chip BW;
+ *   on-chip lane  = sum of member SG bytes / on-chip BW;
+ *   SG2 lane      = sum of member SG2 bytes / SG2 BW (0 without SG2);
+ *   latency       = per @p overlap (see OverlapKind).
+ * Total cycles = sum of group latencies. A group made only of
+ * pace-only phases models an exposed warm-up window (cold start or
+ * pipeline fill); its latency lands in cold_start_cycles too.
+ */
+TimelineResult evaluate_timeline(std::vector<Phase> phases,
+                                 const AccelConfig& accel,
+                                 OverlapKind overlap =
+                                     OverlapKind::kOverlapped);
+
+} // namespace flat
+
+#endif // FLAT_COSTMODEL_TIMELINE_H

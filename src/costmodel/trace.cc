@@ -3,92 +3,102 @@
 #include <algorithm>
 #include <cmath>
 
+#include "common/json.h"
 #include "common/string_util.h"
-#include "costmodel/attention_cost.h"
-#include "costmodel/gemm_engine.h"
 
 namespace flat {
+namespace {
+
+double
+passes_of(const AttentionDims& dims, const FusedDataflow& dataflow)
+{
+    return static_cast<double>(
+        cross_loop_extent(dataflow.cross, dims.batch, dims.heads,
+                          dims.q_len)
+            .passes);
+}
+
+/** CSV cell, quoted when it contains a delimiter or quote. */
+std::string
+csv_cell(const std::string& text)
+{
+    if (text.find_first_of(",\"\n") == std::string::npos) {
+        return text;
+    }
+    std::string out = "\"";
+    for (const char c : text) {
+        if (c == '"') {
+            out += '"';
+        }
+        out += c;
+    }
+    out += '"';
+    return out;
+}
+
+} // namespace
+
+ExecutionTrace
+trace_from_timeline(const TimelineResult& timeline, std::string style,
+                    std::string dataflow_tag, double passes)
+{
+    ExecutionTrace trace;
+    trace.style = std::move(style);
+    trace.dataflow_tag = std::move(dataflow_tag);
+    trace.passes = passes;
+    trace.total_cycles = timeline.cycles;
+    trace.cold_start_cycles = timeline.cold_start_cycles;
+    trace.pass_cycles = timeline.cycles / std::max(1.0, passes);
+    trace.bound_by = to_string(timeline.bound_by);
+
+    const double per_pass = std::max(1.0, passes);
+    for (std::size_t i = 0; i < timeline.phases.size(); ++i) {
+        const Phase& phase = timeline.phases[i];
+        if (phase.pace_only) {
+            continue; // warm-up windows live in cold_start_cycles
+        }
+        const PhaseTiming& timing = timeline.phase_timings[i];
+        TracePhase out;
+        out.label = phase.label;
+        out.stage = to_string(phase.stage);
+        out.cycles = timing.paced_cycles / per_pass;
+        out.bound_by = to_string(timing.bound_by);
+        out.on_critical_path = timing.on_critical_path;
+        trace.phases.push_back(std::move(out));
+    }
+    return trace;
+}
 
 ExecutionTrace
 trace_flat_attention(const AccelConfig& accel, const AttentionDims& dims,
                      const FusedDataflow& dataflow)
 {
-    accel.validate();
-    dims.validate();
-    dataflow.validate();
+    return trace_from_timeline(
+        flat_attention_timeline(accel, dims, dataflow), "flat",
+        dataflow.tag(), passes_of(dims, dataflow));
+}
 
-    const CrossLoopExtent extent = cross_loop_extent(
-        dataflow.cross, dims.batch, dims.heads, dims.q_len);
-    const double passes = static_cast<double>(extent.passes);
-    const double inst = static_cast<double>(extent.instances_per_pass);
-    const double rows = static_cast<double>(extent.rows_per_pass);
+ExecutionTrace
+trace_baseline_attention(const AccelConfig& accel,
+                         const AttentionDims& dims,
+                         const FusedDataflow& dataflow,
+                         BaselineOverlap overlap)
+{
+    return trace_from_timeline(
+        baseline_attention_timeline(accel, dims, dataflow, overlap),
+        overlap == BaselineOverlap::kFull ? "baseline-full"
+                                          : "baseline-serialized",
+        dataflow.tag(), passes_of(dims, dataflow));
+}
 
-    GemmShape logit_shape;
-    logit_shape.m = extent.rows_per_pass;
-    logit_shape.k = dims.head_dim;
-    logit_shape.n = dims.kv_len;
-    GemmShape attend_shape;
-    attend_shape.m = extent.rows_per_pass;
-    attend_shape.k = dims.kv_len;
-    attend_shape.n = dims.head_dim;
-
-    const GemmComputeCost logit = model_gemm_compute(
-        accel, logit_shape, dataflow.l2_logit, dataflow.order_logit,
-        dataflow.stat_logit);
-    const GemmComputeCost attend = model_gemm_compute(
-        accel, attend_shape, dataflow.l2_attend, dataflow.order_attend,
-        dataflow.stat_attend);
-
-    const OperatorCost total = model_flat_attention(accel, dims, dataflow);
-    const TrafficBytes& traffic = total.activity.traffic;
-
-    ExecutionTrace trace;
-    trace.dataflow_tag = dataflow.tag();
-    trace.passes = passes;
-    trace.total_cycles = total.cycles;
-    trace.pass_cycles = total.cycles / std::max(1.0, passes);
-
-    const double l_cycles = logit.total_cycles() * inst;
-    const double a_cycles = attend.total_cycles() * inst;
-    const double softmax_cycles =
-        rows * static_cast<double>(dims.kv_len) * inst / accel.sfu_lanes;
-    const double prefetch_cycles =
-        traffic.dram_read / std::max(1.0, passes) /
-        accel.offchip_bytes_per_cycle();
-    const double writeback_cycles =
-        traffic.dram_write / std::max(1.0, passes) /
-        accel.offchip_bytes_per_cycle();
-
-    trace.phases.push_back(
-        {"prefetch (DRAM->SG, overlapped)", prefetch_cycles, false});
-    trace.phases.push_back({"L: logits slice GEMM", l_cycles, true});
-    trace.phases.push_back({"softmax on SFU", softmax_cycles, true});
-    trace.phases.push_back({"A: attend slice GEMM", a_cycles, true});
-    trace.phases.push_back(
-        {"writeback (SG->DRAM, overlapped)", writeback_cycles, false});
-
-    // What paces a pass: the serial compute chain or a transfer stream.
-    const double compute_chain = l_cycles + softmax_cycles + a_cycles;
-    const double offchip = (prefetch_cycles + writeback_cycles);
-    const double onchip = traffic.total_sg() / std::max(1.0, passes) /
-                          accel.onchip_bytes_per_cycle();
-    const double second = accel.has_sg2()
-                              ? traffic.total_sg2() /
-                                    std::max(1.0, passes) /
-                                    accel.sg2_bytes_per_cycle()
-                              : 0.0;
-    const double pace =
-        std::max({compute_chain, offchip, onchip, second});
-    if (pace == compute_chain) {
-        trace.bound_by = "compute";
-    } else if (pace == offchip) {
-        trace.bound_by = "off-chip BW";
-    } else if (pace == onchip) {
-        trace.bound_by = "on-chip BW";
-    } else {
-        trace.bound_by = "SG2 BW";
-    }
-    return trace;
+ExecutionTrace
+trace_pipelined_attention(const AccelConfig& accel,
+                          const AttentionDims& dims,
+                          const FusedDataflow& dataflow)
+{
+    return trace_from_timeline(
+        pipelined_attention_timeline(accel, dims, dataflow), "pipelined",
+        dataflow.tag(), passes_of(dims, dataflow));
 }
 
 std::string
@@ -99,8 +109,9 @@ ExecutionTrace::render(std::size_t width) const
         max_cycles = std::max(max_cycles, phase.cycles);
     }
     std::string out;
-    out += strprintf("dataflow %s — %.0f passes, %s-bound\n",
-                     dataflow_tag.c_str(), passes, bound_by.c_str());
+    out += strprintf("dataflow %s (%s) — %.0f passes, %s-bound\n",
+                     dataflow_tag.c_str(), style.c_str(), passes,
+                     bound_by.c_str());
     out += strprintf("one steady-state pass (~%.0f cycles):\n",
                      pass_cycles);
     for (const TracePhase& phase : phases) {
@@ -111,9 +122,55 @@ ExecutionTrace::render(std::size_t width) const
                          static_cast<int>(width), bar.c_str(),
                          phase.cycles);
     }
+    if (cold_start_cycles > 0.0) {
+        out += strprintf("cold start / fill: %.3g cycles exposed\n",
+                         cold_start_cycles);
+    }
     out += strprintf("total: %.3g cycles ('#' serial on the array/SFU, "
                      "'~' overlapped transfers)\n",
                      total_cycles);
+    return out;
+}
+
+std::string
+ExecutionTrace::to_json() const
+{
+    JsonWriter json;
+    json.begin_object();
+    json.field("style", style);
+    json.field("dataflow", dataflow_tag);
+    json.field("passes", passes);
+    json.field("bound_by", bound_by);
+    json.field("pass_cycles", pass_cycles);
+    json.field("cold_start_cycles", cold_start_cycles);
+    json.field("total_cycles", total_cycles);
+    json.key("phases");
+    json.begin_array();
+    for (const TracePhase& phase : phases) {
+        json.begin_object();
+        json.field("label", phase.label);
+        json.field("stage", phase.stage);
+        json.field("cycles", phase.cycles);
+        json.field("bound_by", phase.bound_by);
+        json.field("on_critical_path", phase.on_critical_path);
+        json.end_object();
+    }
+    json.end_array();
+    json.end_object();
+    return json.str();
+}
+
+std::string
+ExecutionTrace::to_csv() const
+{
+    std::string out = "phase,stage,cycles,bound_by,on_critical_path\n";
+    for (const TracePhase& phase : phases) {
+        out += strprintf("%s,%s,%.17g,%s,%d\n",
+                         csv_cell(phase.label).c_str(),
+                         phase.stage.c_str(), phase.cycles,
+                         csv_cell(phase.bound_by).c_str(),
+                         phase.on_critical_path ? 1 : 0);
+    }
     return out;
 }
 

@@ -1,5 +1,7 @@
 #include "costmodel/trace.h"
 
+#include <algorithm>
+
 #include <gtest/gtest.h>
 
 #include "common/units.h"
@@ -64,6 +66,104 @@ TEST(Trace, TotalsMatchCostModel)
     EXPECT_DOUBLE_EQ(t.total_cycles, cost.cycles);
     EXPECT_NEAR(t.pass_cycles * t.passes, cost.cycles,
                 1e-6 * cost.cycles);
+}
+
+/** Head-granularity dataflow every execution style can run. */
+FusedDataflow
+head_df()
+{
+    FusedDataflow df;
+    df.cross = {Granularity::kHead, 0};
+    df.l2_logit = {128, 64, 128};
+    df.l2_attend = {128, 128, 64};
+    return df;
+}
+
+TEST(Trace, TotalsExactForEveryStyle)
+{
+    // The trace and the cost model consume the SAME evaluated
+    // timeline, so totals agree bit-for-bit — cold start included —
+    // for every execution style, on several hardware points.
+    AccelConfig starved = edge_accel();
+    starved.offchip_bw /= 8.0;
+    for (const AccelConfig& accel :
+         {edge_accel(), cloud_accel(), starved}) {
+        for (const std::uint64_t n :
+             {std::uint64_t{1024}, std::uint64_t{8192}}) {
+            const AttentionDims d = dims(n);
+            const FusedDataflow df = head_df();
+
+            const ExecutionTrace flat_t =
+                trace_flat_attention(accel, d, df);
+            EXPECT_DOUBLE_EQ(flat_t.total_cycles,
+                             model_flat_attention(accel, d, df).cycles);
+            EXPECT_EQ(flat_t.style, "flat");
+
+            const ExecutionTrace base_full = trace_baseline_attention(
+                accel, d, df, BaselineOverlap::kFull);
+            EXPECT_DOUBLE_EQ(
+                base_full.total_cycles,
+                model_baseline_attention(accel, d, df,
+                                         BaselineOverlap::kFull)
+                    .cycles);
+            EXPECT_EQ(base_full.style, "baseline-full");
+
+            const ExecutionTrace base_ser = trace_baseline_attention(
+                accel, d, df, BaselineOverlap::kSerialized);
+            EXPECT_DOUBLE_EQ(
+                base_ser.total_cycles,
+                model_baseline_attention(accel, d, df,
+                                         BaselineOverlap::kSerialized)
+                    .cycles);
+            EXPECT_EQ(base_ser.style, "baseline-serialized");
+            EXPECT_GE(base_ser.total_cycles, base_full.total_cycles);
+
+            const ExecutionTrace pipe =
+                trace_pipelined_attention(accel, d, df);
+            EXPECT_DOUBLE_EQ(
+                pipe.total_cycles,
+                model_pipelined_attention(accel, d, df).cycles);
+            EXPECT_EQ(pipe.style, "pipelined");
+        }
+    }
+}
+
+TEST(Trace, ColdStartIncludedInTotals)
+{
+    const AttentionDims d = dims(2048);
+    const ExecutionTrace t =
+        trace_flat_attention(edge_accel(), d, flat_r(64));
+    EXPECT_GT(t.cold_start_cycles, 0.0);
+    double phase_sum = 0.0;
+    for (const TracePhase& p : t.phases) {
+        phase_sum += p.cycles;
+    }
+    // The per-pass phase bars exclude the exposed warm-up; the total
+    // includes it (that is what makes the totals exact).
+    EXPECT_LT(t.cold_start_cycles, t.total_cycles);
+    EXPECT_GE(phase_sum * t.passes + t.cold_start_cycles,
+              t.total_cycles);
+}
+
+TEST(Trace, JsonAndCsvCarryTheTimeline)
+{
+    const ExecutionTrace t = trace_baseline_attention(
+        edge_accel(), dims(1024), head_df(), BaselineOverlap::kFull);
+    const std::string json = t.to_json();
+    EXPECT_NE(json.find("\"style\":\"baseline-full\""),
+              std::string::npos);
+    EXPECT_NE(json.find("\"bound_by\""), std::string::npos);
+    EXPECT_NE(json.find("\"total_cycles\""), std::string::npos);
+    EXPECT_NE(json.find("\"phases\":["), std::string::npos);
+
+    const std::string csv = t.to_csv();
+    EXPECT_EQ(csv.find("phase,stage,cycles,bound_by,on_critical_path"),
+              0u);
+    // One header line plus one line per phase.
+    const std::size_t lines =
+        static_cast<std::size_t>(
+            std::count(csv.begin(), csv.end(), '\n'));
+    EXPECT_EQ(lines, t.phases.size() + 1);
 }
 
 TEST(Trace, PassCountMatchesCrossLoop)

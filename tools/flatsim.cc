@@ -65,7 +65,11 @@ usage: flatsim [options]
   --serialized-baseline   model the baseline without transfer overlap
   --quick            smaller DSE menus
   --json             emit the report as JSON instead of tables
-  --trace            append a per-pass timeline of the picked L-A dataflow
+  --trace            append a per-pass timeline of the picked L-A
+                     dataflow (any execution style; totals equal the
+                     cost model's cycles exactly)
+  --trace-json       emit the per-phase timeline as a JSON document
+  --trace-csv FILE   write the per-phase timeline as CSV to FILE
   --list             list models, policies and accelerators
   --help             this text
 
@@ -135,6 +139,8 @@ struct Args {
     bool quick = false;
     bool json = false;
     bool trace = false;
+    bool trace_json = false;
+    std::string trace_csv;
 
     std::string sweep_file;
     std::string sweep_csv;
@@ -230,6 +236,37 @@ run(const Args& args)
             : sim.run(workload, scope,
                       AcceleratorSpec::parse(args.accel), options);
 
+    // Per-phase timeline of the picked L-A dataflow. The search is
+    // re-run to recover the winning dataflow; the trace then re-shapes
+    // the same evaluated timeline the cost model consumed, so its
+    // totals equal the report's (unscaled) L-A cycles exactly.
+    ExecutionTrace trace;
+    const bool want_trace =
+        args.trace || args.trace_json || !args.trace_csv.empty();
+    if (want_trace) {
+        const AttentionDims dims = AttentionDims::from_workload(workload);
+        const AttentionSearchOptions la_options =
+            args.accel.empty()
+                ? attention_options(DataflowPolicy::parse(args.policy),
+                                    options)
+                : attention_options(AcceleratorSpec::parse(args.accel),
+                                    options);
+        const AttentionSearchResult la =
+            search_attention(accel, dims, la_options);
+        trace = la_options.fused
+                    ? trace_flat_attention(accel, dims, la.best.dataflow)
+                    : trace_baseline_attention(accel, dims,
+                                               la.best.dataflow,
+                                               la_options.baseline_overlap);
+        if (!args.trace_csv.empty()) {
+            std::FILE* file = std::fopen(args.trace_csv.c_str(), "w");
+            FLAT_CHECK(file != nullptr, "cannot write trace CSV '"
+                                            << args.trace_csv << "'");
+            std::fputs(trace.to_csv().c_str(), file);
+            std::fclose(file);
+        }
+    }
+
     if (args.json) {
         JsonWriter json;
         json.begin_object();
@@ -260,8 +297,21 @@ run(const Args& args)
         json.field("projection", report.breakdown.proj_cycles);
         json.field("fc", report.breakdown.fc_cycles);
         json.end_object();
+        json.field("la_bound_by", report.la_stages.bound_by);
+        json.key("la_stage_cycles");
+        json.begin_object();
+        json.field("prefetch", report.la_stages.prefetch_cycles);
+        json.field("logit", report.la_stages.logit_cycles);
+        json.field("softmax", report.la_stages.softmax_cycles);
+        json.field("attend", report.la_stages.attend_cycles);
+        json.field("writeback", report.la_stages.writeback_cycles);
+        json.field("cold_start", report.la_stages.cold_start_cycles);
+        json.end_object();
         json.end_object();
         std::printf("%s\n", json.str().c_str());
+        if (args.trace_json) {
+            std::printf("%s\n", trace.to_json().c_str());
+        }
         return 0;
     }
 
@@ -306,29 +356,29 @@ run(const Args& args)
                              report.la_points_pruned)});
     table.print(std::cout);
 
+    std::printf("\nL-A stages (%s-bound; cycles each stage alone "
+                "would need):\n",
+                report.la_stages.bound_by.c_str());
+    TextTable stages({"stage", "cycles"});
+    stages.add_row({"prefetch",
+                    format_count(report.la_stages.prefetch_cycles)});
+    stages.add_row({"logit GEMM",
+                    format_count(report.la_stages.logit_cycles)});
+    stages.add_row({"softmax",
+                    format_count(report.la_stages.softmax_cycles)});
+    stages.add_row({"attend GEMM",
+                    format_count(report.la_stages.attend_cycles)});
+    stages.add_row({"writeback",
+                    format_count(report.la_stages.writeback_cycles)});
+    stages.add_row({"cold start",
+                    format_count(report.la_stages.cold_start_cycles)});
+    stages.print(std::cout);
+
     if (args.trace) {
-        // Re-run the L-A search to recover the picked dataflow, then
-        // expand it into a per-pass timeline.
-        const AttentionSearchResult la = search_attention(
-            accel, AttentionDims::from_workload(workload),
-            args.accel.empty()
-                ? attention_options(DataflowPolicy::parse(args.policy),
-                                    options)
-                : attention_options(AcceleratorSpec::parse(args.accel),
-                                    options));
-        std::printf("\n");
-        const bool fused =
-            args.accel.empty()
-                ? DataflowPolicy::parse(args.policy).fused()
-                : AcceleratorSpec::parse(args.accel).la_policy().fused();
-        if (fused) {
-            const ExecutionTrace t = trace_flat_attention(
-                accel, AttentionDims::from_workload(workload),
-                la.best.dataflow);
-            std::printf("%s", t.render().c_str());
-        } else {
-            std::printf("(--trace renders fused dataflows only)\n");
-        }
+        std::printf("\n%s", trace.render().c_str());
+    }
+    if (args.trace_json) {
+        std::printf("\n%s\n", trace.to_json().c_str());
     }
 
     if (scope != Scope::kLogitAttend) {
@@ -450,6 +500,10 @@ main(int argc, char** argv)
                 args.json = true;
             } else if (flag == "--trace") {
                 args.trace = true;
+            } else if (flag == "--trace-json") {
+                args.trace_json = true;
+            } else if (flag == "--trace-csv") {
+                args.trace_csv = next();
             } else {
                 std::fprintf(stderr, "unknown flag: %s\n\n",
                              flag.c_str());
