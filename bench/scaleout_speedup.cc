@@ -1,0 +1,135 @@
+/**
+ * @file
+ * Scale-out speedup: L-A layer latency when one attention layer is
+ * sharded across D = 1, 2, 4, 8, 16 FLAT devices, for the model zoo on
+ * the cloud platform. For each D the scale-out DSE picks the best
+ * (shard axis x per-device dataflow) combination end to end, so the
+ * table shows the achievable speedup including collective costs — not
+ * the ideal D-fold scaling. D=1 is bit-identical to the single-device
+ * model (zero collective phases) and anchors every ratio.
+ */
+#include "bench_util.h"
+
+#include "scaleout/scaleout_search.h"
+
+using namespace flat;
+using namespace flat::bench;
+
+namespace {
+
+struct Point {
+    double speedup = 1.0;
+    double efficiency = 1.0;
+    ShardAxis axis = ShardAxis::kBatch;
+    double exposed_collective_cycles = 0.0;
+    double link_gb_per_device = 0.0;
+};
+
+ScaleOutSearchResult
+evaluate(const AccelConfig& platform, const ModelConfig& model,
+         std::uint64_t n, std::uint64_t batch, std::uint32_t devices,
+         unsigned threads)
+{
+    const Workload w = make_workload(model, batch, n);
+    ScaleOutSearchOptions options;
+    options.attention.quick = true;
+    options.attention.fused = true;
+    options.attention.threads = threads;
+    options.fabric = scaleout_preset("pod-ring");
+    options.fabric.devices = devices;
+    return search_scaleout(platform,
+                           AttentionDims::from_workload(w), options);
+}
+
+} // namespace
+
+int
+main(int argc, char** argv)
+{
+    const unsigned threads = cli_threads(argc, argv);
+    const std::vector<std::uint32_t> device_sweep = {1, 2, 4, 8, 16};
+    const std::vector<std::uint64_t> seqs = {4096, 16384};
+    const AccelConfig platform = cloud_accel();
+    const ScaleOutConfig fabric = scaleout_preset("pod-ring");
+
+    banner("Scale-out speedup (L-A layer)",
+           strprintf("cloud platform, %s fabric (%s per link), batch %llu; "
+                     "best shard axis per point",
+                     fabric.name.c_str(),
+                     format_bandwidth(fabric.link_bw).c_str(),
+                     static_cast<unsigned long long>(kBatch)));
+
+    auto csv = open_csv("scaleout_speedup.csv",
+                        {"model", "seq", "batch", "devices", "axis",
+                         "cycles", "speedup", "efficiency",
+                         "exposed_collective_cycles",
+                         "link_gb_per_device", "fleet_energy_j"});
+
+    // Two regimes: batch 64 (the paper's serving batch — batch
+    // sharding is embarrassingly parallel), and batch 1 (single-query
+    // long-context serving — the batch axis cannot shard, so the DSE
+    // must pay for head/sequence collectives).
+    for (const std::uint64_t batch : {kBatch, std::uint64_t{1}}) {
+        for (std::uint64_t n : seqs) {
+            std::vector<std::string> header{"model"};
+            for (std::uint32_t d : device_sweep) {
+                header.push_back(strprintf("D=%u", d));
+            }
+            TextTable table(header);
+            std::printf("batch = %llu, N = %llu "
+                        "(speedup vs 1 device; best axis)\n",
+                        static_cast<unsigned long long>(batch),
+                        static_cast<unsigned long long>(n));
+
+            for (const ModelConfig& model : model_zoo()) {
+                double base_cycles = 0.0;
+                std::vector<std::string> row{model.name};
+                for (std::uint32_t d : device_sweep) {
+                    const ScaleOutSearchResult result = evaluate(
+                        platform, model, n, batch, d, threads);
+                    FLAT_CHECK(result.found,
+                               "no feasible sharding for "
+                                   << model.name << " across " << d
+                                   << " devices");
+                    const ScaleOutCost& cost = result.best.cost;
+                    if (d == 1) {
+                        base_cycles = cost.cycles;
+                        FLAT_CHECK(cost.collective_phases == 0,
+                                   "D=1 must emit zero collective "
+                                   "phases");
+                    }
+                    Point p;
+                    p.speedup = base_cycles / cost.cycles;
+                    p.efficiency = p.speedup / d;
+                    p.axis = cost.axis;
+                    p.exposed_collective_cycles =
+                        cost.exposed_collective_cycles;
+                    p.link_gb_per_device =
+                        cost.link_bytes_per_device / 1e9;
+                    row.push_back(
+                        d == 1 ? "1.00x"
+                               : strprintf("%.2fx (%s)", p.speedup,
+                                           to_string(p.axis)));
+                    if (csv) {
+                        csv->add_row(
+                            {model.name, std::to_string(n),
+                             std::to_string(batch), std::to_string(d),
+                             to_string(p.axis), fmt(cost.cycles, 2),
+                             fmt(p.speedup, 4), fmt(p.efficiency, 4),
+                             fmt(p.exposed_collective_cycles, 2),
+                             fmt(p.link_gb_per_device, 3),
+                             strprintf("%.6g",
+                                       result.best.total_energy_j)});
+                    }
+                }
+                table.add_row(row);
+            }
+            table.print(std::cout);
+            std::printf("\n");
+        }
+    }
+    if (csv) {
+        std::printf("CSV: bench_out/scaleout_speedup.csv\n");
+    }
+    return 0;
+}

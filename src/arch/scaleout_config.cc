@@ -1,0 +1,165 @@
+#include "arch/scaleout_config.h"
+
+#include <cmath>
+
+#include "common/status.h"
+#include "common/string_util.h"
+#include "common/units.h"
+
+namespace flat {
+
+const char*
+to_string(ShardAxis axis)
+{
+    switch (axis) {
+      case ShardAxis::kBatch:
+        return "batch";
+      case ShardAxis::kHead:
+        return "head";
+      case ShardAxis::kSequence:
+        return "seq";
+      case ShardAxis::kAuto:
+        return "auto";
+    }
+    return "auto";
+}
+
+ShardAxis
+parse_shard_axis(const std::string& text)
+{
+    const std::string key = to_lower(text);
+    if (key == "batch" || key == "b") {
+        return ShardAxis::kBatch;
+    }
+    if (key == "head" || key == "heads" || key == "h") {
+        return ShardAxis::kHead;
+    }
+    if (key == "seq" || key == "sequence" || key == "n") {
+        return ShardAxis::kSequence;
+    }
+    if (key == "auto") {
+        return ShardAxis::kAuto;
+    }
+    FLAT_FAIL("unknown shard axis '" << text
+                                     << "' (batch | head | seq | auto)");
+}
+
+const char*
+to_string(LinkTopology topology)
+{
+    switch (topology) {
+      case LinkTopology::kRing:
+        return "ring";
+      case LinkTopology::kTree:
+        return "tree";
+    }
+    return "ring";
+}
+
+LinkTopology
+parse_topology(const std::string& text)
+{
+    const std::string key = to_lower(text);
+    if (key == "ring") {
+        return LinkTopology::kRing;
+    }
+    if (key == "tree") {
+        return LinkTopology::kTree;
+    }
+    FLAT_FAIL("unknown link topology '" << text << "' (ring | tree)");
+}
+
+double
+ScaleOutConfig::link_bytes_per_cycle(const AccelConfig& accel) const
+{
+    return link_bw / accel.clock_hz;
+}
+
+double
+ScaleOutConfig::link_latency_cycles(const AccelConfig& accel) const
+{
+    return link_latency_s * accel.clock_hz;
+}
+
+void
+ScaleOutConfig::validate() const
+{
+    FLAT_CHECK(devices >= 1, "scale-out needs at least one device");
+    if (devices == 1) {
+        return; // fabric parameters are unused single-device
+    }
+    FLAT_CHECK(std::isfinite(link_bw) && link_bw > 0.0,
+               "link bandwidth must be positive, got " << link_bw);
+    FLAT_CHECK(std::isfinite(link_latency_s) && link_latency_s >= 0.0,
+               "link latency must be non-negative, got "
+                   << link_latency_s);
+}
+
+ScaleOutConfig
+scaleout_preset(const std::string& name)
+{
+    const std::string key = to_lower(name);
+    ScaleOutConfig out;
+    out.name = key;
+    if (key == "single") {
+        out.devices = 1;
+        return out;
+    }
+    if (key == "pod-ring" || key == "pod-tree") {
+        out.devices = 8;
+        out.topology = key == "pod-ring" ? LinkTopology::kRing
+                                         : LinkTopology::kTree;
+        out.link_bw = 300e9;
+        out.link_latency_s = 700e-9;
+        return out;
+    }
+    if (key == "edge-mesh") {
+        out.devices = 4;
+        out.topology = LinkTopology::kRing;
+        out.link_bw = 25e9;
+        out.link_latency_s = 1e-6;
+        return out;
+    }
+    FLAT_FAIL("unknown scale-out preset '"
+              << name << "' (single | pod-ring | pod-tree | edge-mesh)");
+}
+
+std::vector<std::string>
+scaleout_preset_names()
+{
+    return {"single", "pod-ring", "pod-tree", "edge-mesh"};
+}
+
+ScaleOutConfig
+scaleout_from_config(const ConfigMap& config, ScaleOutConfig base)
+{
+    ScaleOutConfig out = std::move(base);
+    for (const auto& [key, value] : config) {
+        if (key == "name") {
+            out.name = value;
+        } else if (key == "devices") {
+            out.devices =
+                static_cast<std::uint32_t>(std::stoul(value));
+        } else if (key == "shard_axis") {
+            out.axis = parse_shard_axis(value);
+        } else if (key == "topology") {
+            out.topology = parse_topology(value);
+        } else if (key == "link_bw") {
+            out.link_bw = parse_bandwidth(value);
+        } else if (key == "link_latency") {
+            out.link_latency_s = parse_time(value);
+        } else {
+            FLAT_FAIL("unknown scale-out config key '" << key << "'");
+        }
+    }
+    out.validate();
+    return out;
+}
+
+ScaleOutConfig
+scaleout_from_config_file(const std::string& path, ScaleOutConfig base)
+{
+    return scaleout_from_config(parse_config_file(path), std::move(base));
+}
+
+} // namespace flat

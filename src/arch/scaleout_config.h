@@ -1,0 +1,111 @@
+/**
+ * @file
+ * Multi-accelerator scale-out description: how many FLAT devices share
+ * one attention layer, which tensor axis is sharded across them, and
+ * what inter-device fabric connects them.
+ *
+ * The fabric is a flat point-to-point link model (per-link bandwidth +
+ * per-hop latency) arranged as a ring or a tree; collective cost models
+ * in src/scaleout translate it into timeline phases.
+ */
+#ifndef FLAT_ARCH_SCALEOUT_CONFIG_H
+#define FLAT_ARCH_SCALEOUT_CONFIG_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "arch/accel_config.h"
+#include "common/config.h"
+
+namespace flat {
+
+/** Which attention tensor axis is partitioned across devices. */
+enum class ShardAxis {
+    kBatch,    ///< batch B: fully independent, no collectives
+    kHead,     ///< heads H: output all-gather at layer end
+    kSequence, ///< query rows N: KV all-gather + softmax-stat rescale
+    kAuto,     ///< let the DSE pick the best feasible axis
+};
+
+/** Short stable name ("batch", "head", "seq", "auto"). */
+const char* to_string(ShardAxis axis);
+
+/** Parses "batch" | "head" | "seq"/"sequence" | "auto". */
+ShardAxis parse_shard_axis(const std::string& text);
+
+/** Physical arrangement of the inter-device links. */
+enum class LinkTopology {
+    kRing, ///< bidirectional ring: D-1 steps, bandwidth-optimal
+    kTree, ///< binomial tree: ceil(log2 D) steps, latency-optimal
+};
+
+/** Short stable name ("ring", "tree"). */
+const char* to_string(LinkTopology topology);
+
+/** Parses "ring" | "tree". */
+LinkTopology parse_topology(const std::string& text);
+
+/** Scale-out configuration: device count, shard axis and fabric. */
+struct ScaleOutConfig {
+    std::string name = "single";
+
+    /** Number of identical FLAT accelerators. 1 = no scale-out. */
+    std::uint32_t devices = 1;
+
+    /** Axis the attention layer is partitioned along. */
+    ShardAxis axis = ShardAxis::kAuto;
+
+    /** Link arrangement between devices. */
+    LinkTopology topology = LinkTopology::kRing;
+
+    /** Per-link, per-direction bandwidth (bytes/s, full duplex). */
+    double link_bw = 100e9;
+
+    /** Per-hop link latency (seconds), exposed once per collective
+     *  step. */
+    double link_latency_s = 500e-9;
+
+    /** True iff this is the trivial single-device configuration. */
+    bool single_device() const { return devices == 1; }
+
+    /** Link bytes transferable per @p accel clock cycle. */
+    double link_bytes_per_cycle(const AccelConfig& accel) const;
+
+    /** Per-hop latency in @p accel clock cycles. */
+    double link_latency_cycles(const AccelConfig& accel) const;
+
+    /** Throws flat::Error if the configuration is inconsistent. */
+    void validate() const;
+};
+
+/**
+ * Named presets:
+ *   "single"    - 1 device (the pre-scale-out behavior);
+ *   "pod-ring"  - 8 devices, ring, 300 GB/s links, 700 ns hops
+ *                 (NVLink-class pod);
+ *   "pod-tree"  - 8 devices, tree, 300 GB/s links, 700 ns hops;
+ *   "edge-mesh" - 4 devices, ring, 25 GB/s links, 1 us hops
+ *                 (PCIe-class edge board).
+ * Throws flat::Error on an unknown name.
+ */
+ScaleOutConfig scaleout_preset(const std::string& name);
+
+/** Names accepted by scaleout_preset(), in display order. */
+std::vector<std::string> scaleout_preset_names();
+
+/**
+ * Applies "key = value" pairs onto @p base. Keys: name, devices,
+ * shard_axis, topology, link_bw, link_latency. Unknown keys throw
+ * flat::Error. The result is validated.
+ */
+ScaleOutConfig scaleout_from_config(const ConfigMap& config,
+                                    ScaleOutConfig base = {});
+
+/** Reads and applies a scale-out configuration file. */
+ScaleOutConfig scaleout_from_config_file(const std::string& path,
+                                         ScaleOutConfig base = {});
+
+} // namespace flat
+
+#endif // FLAT_ARCH_SCALEOUT_CONFIG_H

@@ -2,6 +2,7 @@
 
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
 
 #include "common/status.h"
 
@@ -105,8 +106,17 @@ JsonWriter::value(double number)
 {
     prepare_value();
     if (std::isfinite(number)) {
+        // Shortest round-trip form: the fewest digits that strtod()
+        // parses back to the identical bits. Keeps emitted JSON stable
+        // across compilers/libcs, which the golden-trace suite compares
+        // byte-for-byte on.
         char buf[64];
-        std::snprintf(buf, sizeof(buf), "%.12g", number);
+        for (int precision = 15; precision <= 17; ++precision) {
+            std::snprintf(buf, sizeof(buf), "%.*g", precision, number);
+            if (std::strtod(buf, nullptr) == number) {
+                break;
+            }
+        }
         out_ << buf;
     } else {
         out_ << "null"; // JSON has no inf/nan

@@ -133,6 +133,31 @@ parse_bytes(const std::string& text)
 }
 
 double
+parse_time(const std::string& text)
+{
+    double value = 0.0;
+    std::string suffix;
+    if (!parse_scaled_value(text, &value, &suffix) || value < 0.0 ||
+        !std::isfinite(value)) {
+        FLAT_FAIL("cannot parse time: '" << text << "'");
+    }
+    if (suffix.empty() || suffix == "s") {
+        return value;
+    }
+    if (suffix == "ms") {
+        return value * 1e-3;
+    }
+    if (suffix == "us") {
+        return value * 1e-6;
+    }
+    if (suffix == "ns") {
+        return value * 1e-9;
+    }
+    FLAT_FAIL("cannot parse time: '" << text
+                                     << "' (use s | ms | us | ns)");
+}
+
+double
 parse_bandwidth(const std::string& text)
 {
     std::string stripped = text;

@@ -43,6 +43,13 @@ std::uint64_t parse_bytes(const std::string& text);
 /** Parses bandwidths like "50GB/s", "1TB/s", "400e9". */
 double parse_bandwidth(const std::string& text);
 
+/**
+ * Parses durations like "500ns", "1.2us", "3ms", "0.5s", or a plain
+ * number of seconds. Returns seconds. Throws flat::Error on malformed
+ * input.
+ */
+double parse_time(const std::string& text);
+
 } // namespace flat
 
 #endif // FLAT_COMMON_UNITS_H

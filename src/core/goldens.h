@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Golden-trace catalog: the canonical (preset x workload x style)
+ * configurations whose --trace-json output is pinned byte-for-byte in
+ * tests/goldens/. One generator serves both the regeneration tool
+ * (tools/regen_goldens) and the regression test (ctest -L golden), so
+ * the two can never drift apart.
+ */
+#ifndef FLAT_CORE_GOLDENS_H
+#define FLAT_CORE_GOLDENS_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace flat {
+
+/** Execution style a golden pins. */
+enum class GoldenStyle {
+    kFlat,               ///< FLAT fused interleaved
+    kBaselineFull,       ///< sequential baseline, overlapped transfers
+    kBaselineSerialized, ///< sequential baseline, serialized transfers
+    kPipelined,          ///< spatially pipelined halves
+    kScaleOutSequence,   ///< sequence-sharded multi-device FLAT
+    kScaleOutHead,       ///< head-sharded multi-device FLAT
+};
+
+/** One pinned configuration. */
+struct GoldenConfig {
+    std::string id;     ///< file stem in tests/goldens/<id>.json
+    std::string preset; ///< "edge" | "cloud" | "edge-sg2"
+    std::string model;  ///< model-zoo name ("bert", "trxl", ...)
+    std::uint64_t seq_len = 512;
+    std::uint64_t batch = 8;
+    GoldenStyle style = GoldenStyle::kFlat;
+    std::uint32_t devices = 1; ///< > 1 only for the scale-out styles
+};
+
+/** The pinned catalog, stable order. */
+const std::vector<GoldenConfig>& golden_configs();
+
+/**
+ * The exact golden bytes for @p config: a quick deterministic DSE
+ * picks the dataflow, the style's timeline is evaluated, and the
+ * trace is serialized with the shortest-round-trip JSON emitter.
+ */
+std::string golden_trace_json(const GoldenConfig& config);
+
+} // namespace flat
+
+#endif // FLAT_CORE_GOLDENS_H

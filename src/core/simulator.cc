@@ -26,7 +26,8 @@ fold_la_stages(const TimelineResult& timeline)
           case StageTag::kWriteback: out.writeback_cycles += paced; break;
           case StageTag::kCompute:
           case StageTag::kColdStart:
-            break; // not emitted by the attention models
+          case StageTag::kCollective:
+            break; // not emitted by the single-device attention models
         }
     }
     out.cold_start_cycles = timeline.cold_start_cycles;

@@ -701,16 +701,65 @@ attention_ideal_cycles(const AccelConfig& accel, const AttentionDims& dims)
            accel.macs_per_cycle();
 }
 
+int
+AttentionPhases::max_group() const
+{
+    int max_group = 0;
+    for (const Phase& phase : phases) {
+        max_group = std::max(max_group, phase.group);
+    }
+    return max_group;
+}
+
+AttentionPhases
+flat_attention_phases(const AccelConfig& accel, const AttentionDims& dims,
+                      const FusedDataflow& dataflow)
+{
+    accel.validate();
+    const AttentionPlan plan = make_plan(accel, dims, dataflow);
+    AttentionPhases out;
+    out.phases = emit_flat_phases(accel, dims, plan, dataflow.stage);
+    out.overlap = OverlapKind::kOverlapped;
+    return out;
+}
+
+AttentionPhases
+baseline_attention_phases(const AccelConfig& accel,
+                          const AttentionDims& dims,
+                          const FusedDataflow& dataflow,
+                          BaselineOverlap overlap)
+{
+    accel.validate();
+    const AttentionPlan plan = make_plan(accel, dims, dataflow);
+    AttentionPhases out;
+    out.phases = emit_baseline_phases(accel, dims, plan, dataflow);
+    out.overlap = overlap == BaselineOverlap::kFull
+                      ? OverlapKind::kOverlapped
+                      : OverlapKind::kSerialTransfers;
+    return out;
+}
+
+AttentionPhases
+pipelined_attention_phases(const AccelConfig& accel,
+                           const AttentionDims& dims,
+                           const FusedDataflow& dataflow)
+{
+    accel.validate();
+    const AttentionPlan plan = make_plan(accel, dims, dataflow);
+    AttentionPhases out;
+    out.phases = emit_pipelined_phases(accel, dims, plan, dataflow);
+    out.overlap = OverlapKind::kOverlapped;
+    return out;
+}
+
 TimelineResult
 flat_attention_timeline(const AccelConfig& accel,
                         const AttentionDims& dims,
                         const FusedDataflow& dataflow)
 {
-    accel.validate();
-    const AttentionPlan plan = make_plan(accel, dims, dataflow);
-    return evaluate_timeline(
-        emit_flat_phases(accel, dims, plan, dataflow.stage), accel,
-        OverlapKind::kOverlapped);
+    AttentionPhases emitted = flat_attention_phases(accel, dims, dataflow);
+    return evaluate_timeline(std::move(emitted.phases), accel,
+                             emitted.overlap);
 }
 
 TimelineResult
@@ -719,13 +768,10 @@ baseline_attention_timeline(const AccelConfig& accel,
                             const FusedDataflow& dataflow,
                             BaselineOverlap overlap)
 {
-    accel.validate();
-    const AttentionPlan plan = make_plan(accel, dims, dataflow);
-    return evaluate_timeline(
-        emit_baseline_phases(accel, dims, plan, dataflow), accel,
-        overlap == BaselineOverlap::kFull
-            ? OverlapKind::kOverlapped
-            : OverlapKind::kSerialTransfers);
+    AttentionPhases emitted =
+        baseline_attention_phases(accel, dims, dataflow, overlap);
+    return evaluate_timeline(std::move(emitted.phases), accel,
+                             emitted.overlap);
 }
 
 TimelineResult
@@ -733,11 +779,10 @@ pipelined_attention_timeline(const AccelConfig& accel,
                              const AttentionDims& dims,
                              const FusedDataflow& dataflow)
 {
-    accel.validate();
-    const AttentionPlan plan = make_plan(accel, dims, dataflow);
-    return evaluate_timeline(
-        emit_pipelined_phases(accel, dims, plan, dataflow), accel,
-        OverlapKind::kOverlapped);
+    AttentionPhases emitted =
+        pipelined_attention_phases(accel, dims, dataflow);
+    return evaluate_timeline(std::move(emitted.phases), accel,
+                             emitted.overlap);
 }
 
 OperatorCost

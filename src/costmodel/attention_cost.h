@@ -93,6 +93,34 @@ TimelineResult pipelined_attention_timeline(const AccelConfig& accel,
                                             const AttentionDims& dims,
                                             const FusedDataflow& dataflow);
 
+/**
+ * Un-evaluated phase list of one execution style plus the overlap
+ * policy it must be evaluated under. This is the seam the scale-out
+ * model builds on: it appends collective phases to `phases` and feeds
+ * the result to the same evaluate_timeline() call the single-device
+ * entry points use — one arbitration engine, no second timing path.
+ */
+struct AttentionPhases {
+    std::vector<Phase> phases;
+    OverlapKind overlap = OverlapKind::kOverlapped;
+
+    /** Largest group id used so far (epilogue phases go after it). */
+    int max_group() const;
+};
+
+AttentionPhases flat_attention_phases(const AccelConfig& accel,
+                                      const AttentionDims& dims,
+                                      const FusedDataflow& dataflow);
+
+AttentionPhases baseline_attention_phases(
+    const AccelConfig& accel, const AttentionDims& dims,
+    const FusedDataflow& dataflow,
+    BaselineOverlap overlap = BaselineOverlap::kFull);
+
+AttentionPhases pipelined_attention_phases(const AccelConfig& accel,
+                                           const AttentionDims& dims,
+                                           const FusedDataflow& dataflow);
+
 /** Ideal PE cycles of the whole L-A pair (both GEMMs, no stalls). */
 double attention_ideal_cycles(const AccelConfig& accel,
                               const AttentionDims& dims);

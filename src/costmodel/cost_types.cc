@@ -16,6 +16,8 @@ to_string(BoundBy bound)
         return "on-chip BW";
       case BoundBy::kSg2:
         return "SG2 BW";
+      case BoundBy::kLink:
+        return "link BW";
     }
     return "compute";
 }
@@ -29,6 +31,8 @@ TrafficBytes::operator+=(const TrafficBytes& other)
     sg_write += other.sg_write;
     sg2_read += other.sg2_read;
     sg2_write += other.sg2_write;
+    link_in += other.link_in;
+    link_out += other.link_out;
     return *this;
 }
 

@@ -22,12 +22,14 @@ enum class BoundBy {
     kOffchip, ///< DRAM <-> SG interface
     kOnchip,  ///< SG <-> PE-array interface
     kSg2,     ///< SG2 <-> SG interface (second-level buffer)
+    kLink,    ///< inter-device fabric link (scale-out collectives)
 };
 
-/** Display names: "compute", "off-chip BW", "on-chip BW", "SG2 BW". */
+/** Display names: "compute", "off-chip BW", "on-chip BW", "SG2 BW",
+ *  "link BW". */
 const char* to_string(BoundBy bound);
 
-/** Byte traffic at the two memory interfaces. */
+/** Byte traffic at the memory interfaces and the inter-device fabric. */
 struct TrafficBytes {
     double dram_read = 0.0;  ///< DRAM -> SG
     double dram_write = 0.0; ///< SG -> DRAM
@@ -35,10 +37,13 @@ struct TrafficBytes {
     double sg_write = 0.0;   ///< PE array / SFU -> SG
     double sg2_read = 0.0;   ///< SG2 -> SG (second-level buffer)
     double sg2_write = 0.0;  ///< SG -> SG2
+    double link_in = 0.0;    ///< fabric -> device (collective receive)
+    double link_out = 0.0;   ///< device -> fabric (collective send)
 
     double total_dram() const { return dram_read + dram_write; }
     double total_sg() const { return sg_read + sg_write; }
     double total_sg2() const { return sg2_read + sg2_write; }
+    double total_link() const { return link_in + link_out; }
 
     TrafficBytes& operator+=(const TrafficBytes& other);
 };

@@ -2,11 +2,14 @@
 
 #include <algorithm>
 
+#include "common/status.h"
+
 namespace flat {
 namespace {
 
 /** Lane with the largest cycle count; ties break toward compute, then
- *  off-chip, then on-chip, then SG2 (the historical attribution order). */
+ *  off-chip, then on-chip, then SG2, then link (the historical
+ *  attribution order; link is last because it is the newest lane). */
 BoundBy
 pick_bound(const LaneCycles& lanes)
 {
@@ -24,6 +27,10 @@ pick_bound(const LaneCycles& lanes)
         bound = BoundBy::kSg2;
         best = lanes.sg2;
     }
+    if (lanes.link > best) {
+        bound = BoundBy::kLink;
+        best = lanes.link;
+    }
     return bound;
 }
 
@@ -31,13 +38,14 @@ double
 combine_lanes(const LaneCycles& lanes, OverlapKind overlap)
 {
     if (overlap == OverlapKind::kOverlapped) {
-        return std::max(
-            {lanes.compute, lanes.offchip, lanes.onchip, lanes.sg2});
+        return std::max({lanes.compute, lanes.offchip, lanes.onchip,
+                         lanes.sg2, lanes.link});
     }
     // Serialized: operand streaming inside the array still proceeds
-    // with compute, but transfers below the SG are not hidden.
+    // with compute, but transfers below the SG (and off-device) are
+    // not hidden.
     return std::max(lanes.compute, lanes.onchip) +
-           std::max(lanes.offchip, lanes.sg2);
+           std::max({lanes.offchip, lanes.sg2, lanes.link});
 }
 
 } // namespace
@@ -60,13 +68,15 @@ to_string(StageTag stage)
         return "compute";
       case StageTag::kColdStart:
         return "cold-start";
+      case StageTag::kCollective:
+        return "collective";
     }
     return "compute";
 }
 
 TimelineResult
 evaluate_timeline(std::vector<Phase> phases, const AccelConfig& accel,
-                  OverlapKind overlap)
+                  OverlapKind overlap, double link_bytes_per_cycle)
 {
     accel.validate();
 
@@ -78,13 +88,27 @@ evaluate_timeline(std::vector<Phase> phases, const AccelConfig& accel,
     const double on_bpc = accel.onchip_bytes_per_cycle();
     const bool has_sg2 = accel.has_sg2();
     const double sg2_bpc = has_sg2 ? accel.sg2_bytes_per_cycle() : 0.0;
+    const double link_bpc = link_bytes_per_cycle;
 
-    const auto lanes_of = [&](double compute, const TrafficBytes& bytes) {
+    // The fabric is full duplex: send and receive of the same
+    // collective step proceed concurrently, so the byte-paced time is
+    // the max of the two directions, plus any exposed hop latency.
+    const auto lanes_of = [&](double compute, const TrafficBytes& bytes,
+                              double link_latency) {
         LaneCycles lanes;
         lanes.compute = compute;
         lanes.offchip = bytes.total_dram() / off_bpc;
         lanes.onchip = bytes.total_sg() / on_bpc;
         lanes.sg2 = has_sg2 ? bytes.total_sg2() / sg2_bpc : 0.0;
+        const double link_bytes = std::max(bytes.link_in, bytes.link_out);
+        if (link_bytes > 0.0 || link_latency > 0.0) {
+            FLAT_CHECK(link_bpc > 0.0,
+                       "timeline carries link traffic ("
+                           << link_bytes << " B, " << link_latency
+                           << " latency cycles) but no link bandwidth "
+                              "was supplied to evaluate_timeline()");
+            lanes.link = link_bytes / link_bpc + link_latency;
+        }
         return lanes;
     };
 
@@ -109,6 +133,7 @@ evaluate_timeline(std::vector<Phase> phases, const AccelConfig& accel,
         double serial_cycles = 0.0;
         std::vector<std::pair<int, double>> track_cycles;
         TrafficBytes bytes;
+        double link_latency = 0.0;
         bool all_pace_only = true;
         for (std::size_t i = 0; i < out.phases.size(); ++i) {
             const Phase& phase = out.phases[i];
@@ -133,6 +158,7 @@ evaluate_timeline(std::vector<Phase> phases, const AccelConfig& accel,
                 }
             }
             bytes += phase.activity.traffic;
+            link_latency += phase.link_latency_cycles;
             all_pace_only = all_pace_only && phase.pace_only;
         }
         double parallel_cycles = 0.0;
@@ -140,7 +166,8 @@ evaluate_timeline(std::vector<Phase> phases, const AccelConfig& accel,
             parallel_cycles = std::max(parallel_cycles, cycles);
         }
 
-        timing.lanes = lanes_of(serial_cycles + parallel_cycles, bytes);
+        timing.lanes =
+            lanes_of(serial_cycles + parallel_cycles, bytes, link_latency);
         timing.latency = combine_lanes(timing.lanes, overlap);
         timing.bound_by = pick_bound(timing.lanes);
         out.cycles += timing.latency;
@@ -155,7 +182,8 @@ evaluate_timeline(std::vector<Phase> phases, const AccelConfig& accel,
         PhaseTiming& timing = out.phase_timings[i];
         timing.occupancy_cycles = phase.compute_cycles + phase.sfu_cycles;
         const LaneCycles lanes =
-            lanes_of(timing.occupancy_cycles, phase.activity.traffic);
+            lanes_of(timing.occupancy_cycles, phase.activity.traffic,
+                     phase.link_latency_cycles);
         timing.paced_cycles = combine_lanes(lanes, overlap);
         timing.bound_by = pick_bound(lanes);
         timing.on_critical_path = timing.occupancy_cycles > 0.0;

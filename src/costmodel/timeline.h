@@ -36,9 +36,10 @@ enum class StageTag {
     kWriteback, ///< SG -> DRAM output transfers
     kCompute,   ///< generic (non-fused operator) array work
     kColdStart, ///< exposed first-fetch / pipeline-fill window
+    kCollective, ///< inter-device collective (all-gather / all-reduce)
 };
 
-/** Short stable name ("prefetch", "logit", ..., "cold-start"). */
+/** Short stable name ("prefetch", "logit", ..., "collective"). */
 const char* to_string(StageTag stage);
 
 /**
@@ -69,6 +70,13 @@ struct Phase {
 
     /** SFU occupancy in cycles (serial with the array inside a track). */
     double sfu_cycles = 0.0;
+
+    /**
+     * Exposed fabric hop latency in cycles (collective startup: one
+     * per-hop link latency per serialized step). Added to the group's
+     * link lane on top of the byte-paced time; 0 for on-device phases.
+     */
+    double link_latency_cycles = 0.0;
 
     /**
      * Activity ledger of this phase: MACs, SL accesses, SFU elements
@@ -102,6 +110,7 @@ struct LaneCycles {
     double offchip = 0.0; ///< DRAM bytes / off-chip bytes-per-cycle
     double onchip = 0.0;  ///< SG bytes / on-chip bytes-per-cycle
     double sg2 = 0.0;     ///< SG2 bytes / SG2 bytes-per-cycle
+    double link = 0.0;    ///< fabric bytes / link bytes-per-cycle + hops
 };
 
 /** Arbitration outcome of one overlap group. */
@@ -162,15 +171,24 @@ struct TimelineResult {
  *   off-chip lane = sum of member DRAM bytes / off-chip BW;
  *   on-chip lane  = sum of member SG bytes / on-chip BW;
  *   SG2 lane      = sum of member SG2 bytes / SG2 BW (0 without SG2);
+ *   link lane     = max(summed link_in, summed link_out) bytes /
+ *                   @p link_bytes_per_cycle + summed hop latency
+ *                   (full-duplex fabric; 0 without collectives);
  *   latency       = per @p overlap (see OverlapKind).
  * Total cycles = sum of group latencies. A group made only of
  * pace-only phases models an exposed warm-up window (cold start or
  * pipeline fill); its latency lands in cold_start_cycles too.
+ *
+ * @p link_bytes_per_cycle may stay 0 (the default) as long as no phase
+ * carries link traffic; supplying link bytes without a link bandwidth
+ * is a configuration error. Single-device timelines never carry link
+ * traffic, so every pre-scale-out call site is unchanged bit for bit.
  */
 TimelineResult evaluate_timeline(std::vector<Phase> phases,
                                  const AccelConfig& accel,
                                  OverlapKind overlap =
-                                     OverlapKind::kOverlapped);
+                                     OverlapKind::kOverlapped,
+                                 double link_bytes_per_cycle = 0.0);
 
 } // namespace flat
 

@@ -35,7 +35,8 @@ void
 EnergyTable::validate() const
 {
     FLAT_CHECK(mac_pj > 0 && sl_access_pj > 0 && sg_pj_per_byte > 0 &&
-                   dram_pj_per_byte > 0 && sfu_op_pj > 0,
+                   dram_pj_per_byte > 0 && sfu_op_pj > 0 &&
+                   link_pj_per_byte > 0,
                "energy table entries must be positive");
     FLAT_CHECK(sg2_pj_per_byte > sg_pj_per_byte &&
                    sg2_pj_per_byte < dram_pj_per_byte,
@@ -73,6 +74,8 @@ estimate_energy(const EnergyTable& table, const ActivityCounts& activity)
     out.dram_j = activity.traffic.total_dram() * table.dram_pj_per_byte *
                  kPjToJ;
     out.sfu_j = activity.sfu_elems * table.sfu_op_pj * kPjToJ;
+    out.link_j = activity.traffic.total_link() * table.link_pj_per_byte *
+                 kPjToJ;
     return out;
 }
 

@@ -25,6 +25,7 @@ struct EnergyTable {
     double sg2_pj_per_byte = 10.0; ///< second-level on-chip, per byte
     double dram_pj_per_byte = 100; ///< off-chip, per byte
     double sfu_op_pj = 1.0;        ///< one SFU element operation
+    double link_pj_per_byte = 60;  ///< inter-device fabric, per byte
 
     /**
      * Builds a table matched to @p accel: SG energy grows slowly with
@@ -44,10 +45,11 @@ struct EnergyBreakdown {
     double sg2_j = 0.0;     ///< second-level on-chip buffer
     double dram_j = 0.0;    ///< off-chip accesses
     double sfu_j = 0.0;     ///< softmax / reductions
+    double link_j = 0.0;    ///< inter-device collective traffic
 
     double total() const
     {
-        return compute_j + sl_j + sg_j + sg2_j + dram_j + sfu_j;
+        return compute_j + sl_j + sg_j + sg2_j + dram_j + sfu_j + link_j;
     }
 
     EnergyBreakdown& operator+=(const EnergyBreakdown& other);

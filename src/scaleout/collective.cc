@@ -1,0 +1,76 @@
+#include "scaleout/collective.h"
+
+#include <cmath>
+
+#include "common/status.h"
+
+namespace flat {
+
+const char*
+to_string(CollectiveKind kind)
+{
+    switch (kind) {
+      case CollectiveKind::kAllGather:
+        return "all-gather";
+      case CollectiveKind::kAllReduce:
+        return "all-reduce";
+    }
+    return "all-gather";
+}
+
+CollectiveCost
+model_collective(CollectiveKind kind, LinkTopology topology,
+                 std::uint32_t devices, double tensor_bytes)
+{
+    FLAT_CHECK(devices >= 1, "collective needs at least one device");
+    FLAT_CHECK(std::isfinite(tensor_bytes) && tensor_bytes >= 0.0,
+               "collective tensor size must be non-negative, got "
+                   << tensor_bytes);
+    CollectiveCost cost;
+    if (devices == 1) {
+        return cost; // nothing to exchange
+    }
+
+    const double d = static_cast<double>(devices);
+    const double steps =
+        topology == LinkTopology::kRing
+            ? d - 1.0
+            : std::ceil(std::log2(d));
+
+    // Bandwidth-optimal volume: each device is missing (D-1)/D of the
+    // tensor (all-gather); a reduce-scatter + all-gather doubles it.
+    const double gather_bytes = tensor_bytes * (d - 1.0) / d;
+    switch (kind) {
+      case CollectiveKind::kAllGather:
+        cost.steps = steps;
+        cost.bytes_in = gather_bytes;
+        break;
+      case CollectiveKind::kAllReduce:
+        cost.steps = 2.0 * steps;
+        cost.bytes_in = 2.0 * gather_bytes;
+        break;
+    }
+    cost.bytes_out = cost.bytes_in;
+    return cost;
+}
+
+Phase
+collective_phase(std::string label, int group, CollectiveKind kind,
+                 const ScaleOutConfig& fabric, const AccelConfig& accel,
+                 double tensor_bytes)
+{
+    const CollectiveCost cost = model_collective(
+        kind, fabric.topology, fabric.devices, tensor_bytes);
+
+    Phase phase;
+    phase.label = std::move(label);
+    phase.stage = StageTag::kCollective;
+    phase.group = group;
+    phase.activity.traffic.link_in = cost.bytes_in;
+    phase.activity.traffic.link_out = cost.bytes_out;
+    phase.link_latency_cycles =
+        cost.steps * fabric.link_latency_cycles(accel);
+    return phase;
+}
+
+} // namespace flat

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Analytic cost models for the inter-device collectives the scale-out
+ * model emits: all-gather (head-sharded output, sequence-sharded KV)
+ * and all-reduce (sequence-sharded partial-softmax rescale).
+ *
+ * Both topologies move the bandwidth-optimal byte volume per device —
+ * S*(D-1)/D for an all-gather, twice that for an all-reduce — and
+ * differ in the number of serialized steps, each of which exposes one
+ * link hop latency: D-1 steps on a ring, ceil(log2 D) on a binomial
+ * tree (recursive doubling).
+ */
+#ifndef FLAT_SCALEOUT_COLLECTIVE_H
+#define FLAT_SCALEOUT_COLLECTIVE_H
+
+#include <cstdint>
+#include <string>
+
+#include "arch/accel_config.h"
+#include "arch/scaleout_config.h"
+#include "costmodel/timeline.h"
+
+namespace flat {
+
+/** Collective operation family. */
+enum class CollectiveKind {
+    kAllGather, ///< every device ends with the full tensor
+    kAllReduce, ///< every device ends with the element-wise reduction
+};
+
+/** Short stable name ("all-gather", "all-reduce"). */
+const char* to_string(CollectiveKind kind);
+
+/** Per-device cost of one collective over @p devices devices. */
+struct CollectiveCost {
+    /** Serialized fabric steps (each exposes one hop latency). */
+    double steps = 0.0;
+
+    /** Bytes received per device over the whole collective. */
+    double bytes_in = 0.0;
+
+    /** Bytes sent per device (equal to bytes_in for both families). */
+    double bytes_out = 0.0;
+};
+
+/**
+ * Cost of a @p kind collective of a @p tensor_bytes-byte tensor (the
+ * FULL logical tensor, summed over shards) across @p devices devices
+ * on a @p topology fabric. devices == 1 returns an all-zero cost.
+ */
+CollectiveCost model_collective(CollectiveKind kind,
+                                LinkTopology topology,
+                                std::uint32_t devices,
+                                double tensor_bytes);
+
+/**
+ * Builds the timeline phase of one collective: link bytes in the
+ * activity ledger, hop latencies in link_latency_cycles, tagged
+ * StageTag::kCollective. The caller assigns it to an overlap group
+ * (steady-state group to overlap with compute, a fresh trailing group
+ * for an exposed epilogue).
+ */
+Phase collective_phase(std::string label, int group, CollectiveKind kind,
+                       const ScaleOutConfig& fabric,
+                       const AccelConfig& accel, double tensor_bytes);
+
+} // namespace flat
+
+#endif // FLAT_SCALEOUT_COLLECTIVE_H

@@ -1,0 +1,110 @@
+/**
+ * @file
+ * ScaleOutConfig: parsing, presets, config-file I/O, unit conversion
+ * and validation.
+ */
+#include "arch/scaleout_config.h"
+
+#include <gtest/gtest.h>
+
+#include "common/status.h"
+#include "common/units.h"
+
+namespace flat {
+namespace {
+
+TEST(ScaleOutConfig, DefaultIsSingleDevice)
+{
+    const ScaleOutConfig config;
+    EXPECT_TRUE(config.single_device());
+    EXPECT_NO_THROW(config.validate());
+}
+
+TEST(ScaleOutConfig, ShardAxisRoundTrips)
+{
+    for (const ShardAxis axis :
+         {ShardAxis::kBatch, ShardAxis::kHead, ShardAxis::kSequence,
+          ShardAxis::kAuto}) {
+        EXPECT_EQ(parse_shard_axis(to_string(axis)), axis);
+    }
+    EXPECT_EQ(parse_shard_axis("sequence"), ShardAxis::kSequence);
+    EXPECT_EQ(parse_shard_axis("HEADS"), ShardAxis::kHead);
+    EXPECT_THROW(parse_shard_axis("diagonal"), Error);
+}
+
+TEST(ScaleOutConfig, TopologyRoundTrips)
+{
+    EXPECT_EQ(parse_topology("ring"), LinkTopology::kRing);
+    EXPECT_EQ(parse_topology("Tree"), LinkTopology::kTree);
+    EXPECT_THROW(parse_topology("torus"), Error);
+}
+
+TEST(ScaleOutConfig, LinkUnitConversionUsesAccelClock)
+{
+    ScaleOutConfig config;
+    config.devices = 4;
+    config.link_bw = 100e9;
+    config.link_latency_s = 1e-6;
+    AccelConfig accel = edge_accel();
+    accel.clock_hz = 1e9;
+    EXPECT_DOUBLE_EQ(config.link_bytes_per_cycle(accel), 100.0);
+    EXPECT_DOUBLE_EQ(config.link_latency_cycles(accel), 1000.0);
+}
+
+TEST(ScaleOutConfig, PresetsAreValid)
+{
+    for (const std::string& name : scaleout_preset_names()) {
+        const ScaleOutConfig preset = scaleout_preset(name);
+        EXPECT_NO_THROW(preset.validate()) << name;
+    }
+    EXPECT_EQ(scaleout_preset("single").devices, 1u);
+    EXPECT_EQ(scaleout_preset("pod-ring").devices, 8u);
+    EXPECT_EQ(scaleout_preset("pod-ring").topology, LinkTopology::kRing);
+    EXPECT_EQ(scaleout_preset("pod-tree").topology, LinkTopology::kTree);
+    EXPECT_EQ(scaleout_preset("edge-mesh").devices, 4u);
+    EXPECT_THROW(scaleout_preset("hypercube"), Error);
+}
+
+TEST(ScaleOutConfig, ConfigMapOverridesBase)
+{
+    const ConfigMap map = {{"devices", "8"},
+                           {"shard_axis", "seq"},
+                           {"topology", "tree"},
+                           {"link_bw", "300GB/s"},
+                           {"link_latency", "700ns"}};
+    const ScaleOutConfig config = scaleout_from_config(map);
+    EXPECT_EQ(config.devices, 8u);
+    EXPECT_EQ(config.axis, ShardAxis::kSequence);
+    EXPECT_EQ(config.topology, LinkTopology::kTree);
+    EXPECT_DOUBLE_EQ(config.link_bw, 300e9);
+    EXPECT_DOUBLE_EQ(config.link_latency_s, 700e-9);
+}
+
+TEST(ScaleOutConfig, UnknownKeyRejected)
+{
+    EXPECT_THROW(scaleout_from_config({{"devcies", "8"}}), Error);
+}
+
+TEST(ScaleOutConfig, InvalidFabricRejected)
+{
+    ConfigMap map = {{"devices", "4"}, {"link_bw", "0"}};
+    EXPECT_THROW(scaleout_from_config(map), Error);
+    // A single device never needs the fabric, so 0 link BW is fine.
+    map["devices"] = "1";
+    EXPECT_NO_THROW(scaleout_from_config(map));
+}
+
+TEST(ScaleOutConfig, ParseTimeUnits)
+{
+    EXPECT_DOUBLE_EQ(parse_time("1.5us"), 1.5e-6);
+    EXPECT_DOUBLE_EQ(parse_time("250ns"), 250e-9);
+    EXPECT_DOUBLE_EQ(parse_time("2ms"), 2e-3);
+    EXPECT_DOUBLE_EQ(parse_time("0.25"), 0.25);
+    EXPECT_DOUBLE_EQ(parse_time("3s"), 3.0);
+    EXPECT_THROW(parse_time("fast"), Error);
+    EXPECT_THROW(parse_time("5parsecs"), Error);
+    EXPECT_THROW(parse_time("-1us"), Error);
+}
+
+} // namespace
+} // namespace flat

@@ -3,7 +3,9 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstdlib>
 #include <limits>
+#include <string>
 
 #include "common/status.h"
 
@@ -98,6 +100,53 @@ TEST(Json, RootScalar)
     JsonWriter json;
     json.value(3.25);
     EXPECT_EQ(json.str(), "3.25");
+}
+
+namespace {
+
+std::string
+emit(double value)
+{
+    JsonWriter json;
+    json.value(value);
+    return json.str();
+}
+
+} // namespace
+
+TEST(Json, DoublesRoundTripBitExactly)
+{
+    // The emitter must pick the SHORTEST decimal form that strtod maps
+    // back to the identical bits — the invariant the golden-trace suite
+    // (ctest -L golden) leans on for its zero-tolerance comparison.
+    const double values[] = {
+        0.1,
+        1.0 / 3.0,
+        2.0 / 3.0,
+        1e-300,
+        6.02214076e23,
+        9007199254740993.0,          // 2^53 + 1 rounds to 2^53
+        123456789.123456789,
+        std::nextafter(1.0, 2.0),    // 1 + 2^-52 needs 17 digits
+        3270432.3199999998,          // a real trace total_cycles
+    };
+    for (const double value : values) {
+        const std::string token = emit(value);
+        EXPECT_EQ(std::strtod(token.c_str(), nullptr), value)
+            << "token '" << token << "' does not re-parse to the same "
+            << "bits";
+    }
+}
+
+TEST(Json, DoublesUseShortestForm)
+{
+    // Values with short exact forms must not be padded to 17 digits.
+    EXPECT_EQ(emit(0.1), "0.1");
+    EXPECT_EQ(emit(0.5), "0.5");
+    EXPECT_EQ(emit(1234.0), "1234");
+    EXPECT_EQ(emit(1e100), "1e+100");
+    // ...but values that NEED 17 digits get them.
+    EXPECT_EQ(emit(std::nextafter(1.0, 2.0)), "1.0000000000000002");
 }
 
 } // namespace

@@ -1,0 +1,203 @@
+/**
+ * @file
+ * Death / exit-code tests driving the REAL flatsim binary (its path is
+ * baked in as FLAT_FLATSIM_PATH). The shell-based smoke tests in
+ * tools/CMakeLists.txt assert exit codes only; this suite additionally
+ * pins the stderr contract — every failure ends with one well-formed
+ * JSON diagnostic record whose "kind" matches the exit code:
+ *
+ *   0 success, 1 config/infeasible, 2 usage, 3 internal/oom,
+ *   4 sweep completed with failed points.
+ */
+#include <sys/wait.h>
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "support/minijson.h"
+
+namespace {
+
+struct CliResult {
+    int exit_code = -1;
+    std::string stderr_text;
+};
+
+std::string
+flatsim_path()
+{
+#ifdef FLAT_FLATSIM_PATH
+    return FLAT_FLATSIM_PATH;
+#else
+    return "flatsim";
+#endif
+}
+
+/** Runs `flatsim <args>`, capturing exit code and stderr. */
+CliResult
+run_flatsim(const std::string& args)
+{
+    // 2>&1 1>/dev/null: the pipe sees stderr only; stdout is dropped.
+    const std::string command =
+        "'" + flatsim_path() + "' " + args + " 2>&1 1>/dev/null";
+    std::FILE* pipe = popen(command.c_str(), "r");
+    EXPECT_NE(pipe, nullptr) << "popen failed for: " << command;
+    CliResult result;
+    if (pipe == nullptr) {
+        return result;
+    }
+    char buf[4096];
+    std::size_t n = 0;
+    while ((n = std::fread(buf, 1, sizeof(buf), pipe)) > 0) {
+        result.stderr_text.append(buf, n);
+    }
+    const int status = pclose(pipe);
+    result.exit_code = WIFEXITED(status) ? WEXITSTATUS(status) : -1;
+    return result;
+}
+
+/** Last non-empty stderr line — the machine-readable diagnostic. */
+std::string
+last_line(const std::string& text)
+{
+    std::size_t end = text.size();
+    while (end > 0 && text[end - 1] == '\n') {
+        --end;
+    }
+    const std::size_t start = text.rfind('\n', end - 1);
+    return text.substr(start == std::string::npos ? 0 : start + 1,
+                       end - (start == std::string::npos ? 0 : start + 1));
+}
+
+/** Asserts the stderr tail is one JSON diagnostic of @p kind. */
+void
+expect_json_diagnostic(const CliResult& result, const std::string& kind)
+{
+    ASSERT_FALSE(result.stderr_text.empty());
+    const std::string record = last_line(result.stderr_text);
+    flat::testing::FlatJson doc;
+    ASSERT_NO_THROW(doc = flat::testing::parse_flat_json(record))
+        << "stderr tail is not well-formed JSON: " << record;
+    ASSERT_TRUE(doc.count("kind")) << record;
+    EXPECT_EQ(doc.at("kind"), "\"" + kind + "\"") << record;
+    ASSERT_TRUE(doc.count("severity")) << record;
+    EXPECT_EQ(doc.at("severity"), "\"error\"") << record;
+    EXPECT_TRUE(doc.count("message")) << record;
+}
+
+TEST(FlatsimCli, SuccessExitsZeroWithSilentStderr)
+{
+    const CliResult result =
+        run_flatsim("--model bert --seq 512 --scope la --quick");
+    EXPECT_EQ(result.exit_code, 0);
+    EXPECT_TRUE(result.stderr_text.empty()) << result.stderr_text;
+}
+
+TEST(FlatsimCli, UnknownFlagExitsTwo)
+{
+    const CliResult result = run_flatsim("--frobnicate");
+    EXPECT_EQ(result.exit_code, 2);
+}
+
+TEST(FlatsimCli, BadNumericFlagExitsTwoWithUsageDiagnostic)
+{
+    const CliResult result = run_flatsim("--seq banana");
+    EXPECT_EQ(result.exit_code, 2);
+    expect_json_diagnostic(result, "usage");
+}
+
+TEST(FlatsimCli, MissingFlagValueExitsTwo)
+{
+    const CliResult result = run_flatsim("--seq");
+    EXPECT_EQ(result.exit_code, 2);
+    expect_json_diagnostic(result, "usage");
+}
+
+TEST(FlatsimCli, BadShardAxisExitsTwo)
+{
+    const CliResult result =
+        run_flatsim("--devices 4 --shard-axis sideways");
+    EXPECT_EQ(result.exit_code, 2);
+    expect_json_diagnostic(result, "usage");
+}
+
+TEST(FlatsimCli, MalformedFaultSpecExitsTwo)
+{
+    const CliResult result = run_flatsim("--inject-fault ':::bogus'");
+    EXPECT_EQ(result.exit_code, 2);
+    expect_json_diagnostic(result, "usage");
+}
+
+TEST(FlatsimCli, UnknownModelExitsOneWithConfigDiagnostic)
+{
+    const CliResult result = run_flatsim("--model gpt17");
+    EXPECT_EQ(result.exit_code, 1);
+    expect_json_diagnostic(result, "config");
+}
+
+TEST(FlatsimCli, MissingPlatformFileExitsOne)
+{
+    const CliResult result =
+        run_flatsim("--platform-file /nonexistent/platform.cfg");
+    EXPECT_EQ(result.exit_code, 1);
+    expect_json_diagnostic(result, "config");
+}
+
+TEST(FlatsimCli, InfeasibleScaleOutExitsOne)
+{
+    // bert has 12 heads: a pinned head shard across 16 devices cannot
+    // be satisfied, and neither can batch=2 or seq=64 cover 16.
+    const CliResult result = run_flatsim(
+        "--model bert --seq 64 --batch 2 --scope la --quick "
+        "--devices 16 --shard-axis head");
+    EXPECT_EQ(result.exit_code, 1);
+    expect_json_diagnostic(result, "config");
+}
+
+TEST(FlatsimCli, ScaleOutRunExitsZero)
+{
+    const CliResult result = run_flatsim(
+        "--model bert --seq 1024 --scope la --quick --devices 4 "
+        "--shard-axis seq --topology ring --link-bw 300GB/s");
+    EXPECT_EQ(result.exit_code, 0);
+    EXPECT_TRUE(result.stderr_text.empty()) << result.stderr_text;
+}
+
+TEST(FlatsimCli, InjectedInternalFaultExitsThree)
+{
+    const CliResult result = run_flatsim(
+        "--seq 512 --scope la --quick "
+        "--inject-fault dse.search_attention:0:internal");
+    EXPECT_EQ(result.exit_code, 3);
+    expect_json_diagnostic(result, "internal");
+}
+
+TEST(FlatsimCli, InjectedOomExitsThree)
+{
+    const CliResult result = run_flatsim(
+        "--seq 512 --scope la --quick "
+        "--inject-fault dse.search_attention:0:oom");
+    EXPECT_EQ(result.exit_code, 3);
+    expect_json_diagnostic(result, "oom");
+}
+
+TEST(FlatsimCli, PoisonedSweepPointExitsFour)
+{
+    const std::string spec_path = "flatsim_cli_poison.sweep";
+    {
+        std::ofstream spec(spec_path);
+        ASSERT_TRUE(spec.is_open());
+        spec << "models = bert\nplatforms = edge\n"
+             << "policies = flat-opt, base\nseq = 256, 512\n"
+             << "batch = 2, 4\nscope = la\nquick = true\n";
+    }
+    const CliResult result = run_flatsim(
+        "--sweep " + spec_path + " --json --inject-fault sweep.point:3");
+    std::remove(spec_path.c_str());
+    EXPECT_EQ(result.exit_code, 4);
+}
+
+} // namespace

@@ -1,0 +1,111 @@
+/**
+ * @file
+ * Collective cost-model contract: bandwidth-optimal byte volumes, the
+ * ring/tree step counts, and the translation into timeline phases.
+ */
+#include "scaleout/collective.h"
+
+#include <gtest/gtest.h>
+
+#include "common/status.h"
+
+namespace flat {
+namespace {
+
+TEST(Collective, SingleDeviceIsFree)
+{
+    for (const CollectiveKind kind :
+         {CollectiveKind::kAllGather, CollectiveKind::kAllReduce}) {
+        for (const LinkTopology topo :
+             {LinkTopology::kRing, LinkTopology::kTree}) {
+            const CollectiveCost c =
+                model_collective(kind, topo, 1, 4096.0);
+            EXPECT_EQ(c.steps, 0.0);
+            EXPECT_EQ(c.bytes_in, 0.0);
+            EXPECT_EQ(c.bytes_out, 0.0);
+        }
+    }
+}
+
+TEST(Collective, RingAllGatherIsBandwidthOptimal)
+{
+    const double s = 1024.0 * 1024.0;
+    const CollectiveCost c = model_collective(
+        CollectiveKind::kAllGather, LinkTopology::kRing, 8, s);
+    EXPECT_DOUBLE_EQ(c.steps, 7.0);
+    EXPECT_DOUBLE_EQ(c.bytes_in, s * 7.0 / 8.0);
+    EXPECT_DOUBLE_EQ(c.bytes_out, c.bytes_in);
+}
+
+TEST(Collective, TreeAllGatherUsesLogSteps)
+{
+    const double s = 4096.0;
+    const CollectiveCost ring = model_collective(
+        CollectiveKind::kAllGather, LinkTopology::kRing, 16, s);
+    const CollectiveCost tree = model_collective(
+        CollectiveKind::kAllGather, LinkTopology::kTree, 16, s);
+    EXPECT_DOUBLE_EQ(tree.steps, 4.0); // log2(16)
+    EXPECT_DOUBLE_EQ(ring.steps, 15.0);
+    // Same bandwidth-optimal volume on both topologies.
+    EXPECT_DOUBLE_EQ(tree.bytes_in, ring.bytes_in);
+}
+
+TEST(Collective, TreeStepsRoundUpForNonPowerOfTwo)
+{
+    const CollectiveCost c = model_collective(
+        CollectiveKind::kAllGather, LinkTopology::kTree, 5, 1.0);
+    EXPECT_DOUBLE_EQ(c.steps, 3.0); // ceil(log2(5))
+}
+
+TEST(Collective, AllReduceDoublesGatherCost)
+{
+    const double s = 65536.0;
+    const CollectiveCost gather = model_collective(
+        CollectiveKind::kAllGather, LinkTopology::kRing, 4, s);
+    const CollectiveCost reduce = model_collective(
+        CollectiveKind::kAllReduce, LinkTopology::kRing, 4, s);
+    EXPECT_DOUBLE_EQ(reduce.steps, 2.0 * gather.steps);
+    EXPECT_DOUBLE_EQ(reduce.bytes_in, 2.0 * gather.bytes_in);
+}
+
+TEST(Collective, RejectsNegativeTensor)
+{
+    EXPECT_THROW(model_collective(CollectiveKind::kAllGather,
+                                  LinkTopology::kRing, 4, -1.0),
+                 Error);
+}
+
+TEST(CollectivePhase, CarriesLinkBytesAndHopLatency)
+{
+    ScaleOutConfig fabric;
+    fabric.devices = 4;
+    fabric.topology = LinkTopology::kRing;
+    fabric.link_bw = 100e9;
+    fabric.link_latency_s = 1e-6;
+
+    const AccelConfig accel = edge_accel(); // 1 GHz
+    const double s = 1e6;
+    const Phase phase =
+        collective_phase("kv gather", 3, CollectiveKind::kAllGather,
+                         fabric, accel, s);
+
+    EXPECT_EQ(phase.stage, StageTag::kCollective);
+    EXPECT_EQ(phase.group, 3);
+    EXPECT_DOUBLE_EQ(phase.activity.traffic.link_in, s * 3.0 / 4.0);
+    EXPECT_DOUBLE_EQ(phase.activity.traffic.link_out, s * 3.0 / 4.0);
+    // 3 ring steps x 1 us x 1 GHz = 3000 cycles of exposed hops.
+    EXPECT_DOUBLE_EQ(phase.link_latency_cycles, 3000.0);
+    // No memory-system traffic: the fabric lane is its own resource.
+    EXPECT_EQ(phase.activity.traffic.total_dram(), 0.0);
+    EXPECT_EQ(phase.activity.traffic.total_sg(), 0.0);
+}
+
+TEST(CollectivePhase, StageTagHasStableName)
+{
+    EXPECT_STREQ(to_string(StageTag::kCollective), "collective");
+    EXPECT_STREQ(to_string(CollectiveKind::kAllGather), "all-gather");
+    EXPECT_STREQ(to_string(CollectiveKind::kAllReduce), "all-reduce");
+}
+
+} // namespace
+} // namespace flat

@@ -1,0 +1,182 @@
+/**
+ * @file
+ * Minimal recursive-descent JSON reader for tests only: flattens a
+ * document into an ordered (path -> scalar token) map so golden-trace
+ * comparisons can report field-level diffs. The production JsonWriter
+ * stays writer-only; this parser lives with the tests on purpose.
+ *
+ * Paths look like "phases[3].cycles". Scalar tokens keep their exact
+ * source spelling ("1.5e+06", "true", "\"flat\"") so comparing tokens
+ * is an absolute-zero-tolerance comparison of the emitted bytes.
+ */
+#ifndef FLAT_TESTS_SUPPORT_MINIJSON_H
+#define FLAT_TESTS_SUPPORT_MINIJSON_H
+
+#include <cctype>
+#include <map>
+#include <stdexcept>
+#include <string>
+
+namespace flat::testing {
+
+/** Ordered path -> raw scalar token map of one JSON document. */
+using FlatJson = std::map<std::string, std::string>;
+
+namespace detail {
+
+class MiniJsonParser
+{
+  public:
+    explicit MiniJsonParser(const std::string& text) : text_(text) {}
+
+    FlatJson parse()
+    {
+        FlatJson out;
+        skip_ws();
+        parse_value("", out);
+        skip_ws();
+        if (pos_ != text_.size()) {
+            fail("trailing characters after the document");
+        }
+        return out;
+    }
+
+  private:
+    [[noreturn]] void fail(const std::string& what) const
+    {
+        throw std::runtime_error("minijson: " + what + " at offset " +
+                                 std::to_string(pos_));
+    }
+
+    void skip_ws()
+    {
+        while (pos_ < text_.size() &&
+               std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+            ++pos_;
+        }
+    }
+
+    char peek() const
+    {
+        if (pos_ >= text_.size()) {
+            throw std::runtime_error("minijson: unexpected end of input");
+        }
+        return text_[pos_];
+    }
+
+    void expect(char c)
+    {
+        if (peek() != c) {
+            fail(std::string("expected '") + c + "', got '" + peek() +
+                 "'");
+        }
+        ++pos_;
+    }
+
+    /** Returns the raw token of a quoted string (quotes included). */
+    std::string parse_string_token()
+    {
+        const std::size_t start = pos_;
+        expect('"');
+        while (peek() != '"') {
+            if (peek() == '\\') {
+                ++pos_; // skip the escape introducer
+            }
+            ++pos_;
+        }
+        ++pos_; // closing quote
+        return text_.substr(start, pos_ - start);
+    }
+
+    void parse_value(const std::string& path, FlatJson& out)
+    {
+        skip_ws();
+        const char c = peek();
+        if (c == '{') {
+            parse_object(path, out);
+        } else if (c == '[') {
+            parse_array(path, out);
+        } else if (c == '"') {
+            out[path] = parse_string_token();
+        } else {
+            // number / true / false / null: one bare token.
+            const std::size_t start = pos_;
+            while (pos_ < text_.size() &&
+                   std::string("}],").find(text_[pos_]) ==
+                       std::string::npos &&
+                   !std::isspace(
+                       static_cast<unsigned char>(text_[pos_]))) {
+                ++pos_;
+            }
+            if (pos_ == start) {
+                fail("empty scalar");
+            }
+            out[path] = text_.substr(start, pos_ - start);
+        }
+    }
+
+    void parse_object(const std::string& path, FlatJson& out)
+    {
+        expect('{');
+        skip_ws();
+        if (peek() == '}') {
+            ++pos_;
+            out[path.empty() ? "{}" : path] = "{}";
+            return;
+        }
+        while (true) {
+            skip_ws();
+            std::string key = parse_string_token();
+            key = key.substr(1, key.size() - 2); // strip quotes
+            skip_ws();
+            expect(':');
+            parse_value(path.empty() ? key : path + "." + key, out);
+            skip_ws();
+            if (peek() == ',') {
+                ++pos_;
+                continue;
+            }
+            expect('}');
+            break;
+        }
+    }
+
+    void parse_array(const std::string& path, FlatJson& out)
+    {
+        expect('[');
+        skip_ws();
+        if (peek() == ']') {
+            ++pos_;
+            out[path + "[]"] = "[]";
+            return;
+        }
+        std::size_t index = 0;
+        while (true) {
+            parse_value(path + "[" + std::to_string(index) + "]", out);
+            ++index;
+            skip_ws();
+            if (peek() == ',') {
+                ++pos_;
+                continue;
+            }
+            expect(']');
+            break;
+        }
+    }
+
+    const std::string& text_;
+    std::size_t pos_ = 0;
+};
+
+} // namespace detail
+
+/** Parses @p text; throws std::runtime_error on malformed JSON. */
+inline FlatJson
+parse_flat_json(const std::string& text)
+{
+    return detail::MiniJsonParser(text).parse();
+}
+
+} // namespace flat::testing
+
+#endif // FLAT_TESTS_SUPPORT_MINIJSON_H

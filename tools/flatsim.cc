@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "arch/accel_config_io.h"
+#include "arch/scaleout_config.h"
 #include "common/diagnostics.h"
 #include "common/fault_injection.h"
 #include "common/json.h"
@@ -27,6 +28,7 @@
 #include "core/simulator.h"
 #include "core/sweep.h"
 #include "costmodel/trace.h"
+#include "scaleout/scaleout_search.h"
 #include "workload/model_config.h"
 
 namespace {
@@ -73,6 +75,17 @@ usage: flatsim [options]
   --list             list models, policies and accelerators
   --help             this text
 
+multi-device scale-out (shards the L-A layer; see src/scaleout/):
+  --devices D        number of identical FLAT accelerators (default 1)
+  --shard-axis NAME  batch | head | seq | auto               (default auto)
+  --topology NAME    ring | tree                             (default ring)
+  --link-bw BW       per-link, per-direction bandwidth, e.g. 300GB/s
+  --link-latency T   per-hop link latency, e.g. 700ns
+  --scaleout NAME    fabric preset: single | pod-ring | pod-tree |
+                     edge-mesh (flags above override preset fields)
+  --scaleout-file F  load a fabric description (key = value; see
+                     arch/scaleout_config.h for the keys)
+
 batch sweeps (fault-isolated; see core/sweep.h for the spec syntax):
   --sweep FILE       evaluate the cross product described by FILE; a
                      failing point is recorded as a diagnostic and the
@@ -88,6 +101,8 @@ batch sweeps (fault-isolated; see core/sweep.h for the spec syntax):
 
 exit codes: 0 success, 1 config error, 2 usage, 3 internal error,
             4 sweep completed with failed points
+on error, stderr carries a human-readable line followed by one
+machine-readable JSON diagnostic record
 )");
 }
 
@@ -142,6 +157,14 @@ struct Args {
     bool trace_json = false;
     std::string trace_csv;
 
+    std::uint64_t devices = 0; // 0 = not set, keep the fabric default
+    std::string shard_axis;
+    std::string topology;
+    std::string link_bw;
+    std::string link_latency;
+    std::string scaleout_preset;
+    std::string scaleout_file;
+
     std::string sweep_file;
     std::string sweep_csv;
     std::uint64_t deadline_ms = 0;
@@ -180,6 +203,54 @@ parse_u64_flag(const std::string& flag, const std::string& text,
                          std::to_string(max) + "]");
     }
     return value;
+}
+
+/**
+ * Builds the scale-out fabric: preset / file base first, then
+ * individual flag overrides. Bad flag VALUES are usage errors (exit
+ * 2); an inconsistent resulting fabric is a config error (exit 1).
+ */
+ScaleOutConfig
+fabric_from_args(const Args& args)
+{
+    ScaleOutConfig fabric;
+    if (!args.scaleout_preset.empty()) {
+        try {
+            fabric = scaleout_preset(args.scaleout_preset);
+        } catch (const InternalError&) {
+            throw;
+        } catch (const Error& e) {
+            throw UsageError(e.what());
+        }
+    }
+    // File CONTENT problems are config errors, like --platform-file.
+    if (!args.scaleout_file.empty()) {
+        fabric = scaleout_from_config_file(args.scaleout_file, fabric);
+    }
+    try {
+        if (args.devices != 0) {
+            fabric.devices = static_cast<std::uint32_t>(args.devices);
+        }
+        if (!args.shard_axis.empty()) {
+            fabric.axis = parse_shard_axis(args.shard_axis);
+        }
+        if (!args.topology.empty()) {
+            fabric.topology = parse_topology(args.topology);
+        }
+        if (!args.link_bw.empty()) {
+            fabric.link_bw = parse_bandwidth(args.link_bw);
+        }
+        if (!args.link_latency.empty()) {
+            fabric.link_latency_s = parse_time(args.link_latency);
+        }
+    } catch (const InternalError&) {
+        throw;
+    } catch (const Error& e) {
+        // Only flag-VALUE parsing runs inside this try: misuse.
+        throw UsageError(e.what());
+    }
+    fabric.validate();
+    return fabric;
 }
 
 int
@@ -236,14 +307,57 @@ run(const Args& args)
             : sim.run(workload, scope,
                       AcceleratorSpec::parse(args.accel), options);
 
+    // Multi-device scale-out of the L-A layer: two-level DSE (axis x
+    // devices outer, per-device dataflow inner) plus a D=1 reference
+    // point for the speedup row. Single-device runs skip all of this.
+    const ScaleOutConfig fabric = fabric_from_args(args);
+    ScaleOutSearchResult scaleout;
+    ScaleOutSearchResult scaleout_ref;
+    if (!fabric.single_device()) {
+        const AttentionDims dims = AttentionDims::from_workload(workload);
+        ScaleOutSearchOptions so_options;
+        so_options.attention =
+            args.accel.empty()
+                ? attention_options(DataflowPolicy::parse(args.policy),
+                                    options)
+                : attention_options(AcceleratorSpec::parse(args.accel),
+                                    options);
+        FLAT_CHECK(so_options.attention.fused,
+                   "scale-out shards the fused FLAT execution; pick a "
+                   "flat-* policy or an ATTACC accelerator (got "
+                       << report.policy_name << ")");
+        so_options.fabric = fabric;
+        scaleout = search_scaleout(accel, dims, so_options);
+        FLAT_CHECK(scaleout.found,
+                   "no feasible sharding of this layer across "
+                       << fabric.devices << " devices");
+        ScaleOutSearchOptions ref_options = so_options;
+        ref_options.device_counts = {1};
+        scaleout_ref = search_scaleout(accel, dims, ref_options);
+    }
+
     // Per-phase timeline of the picked L-A dataflow. The search is
     // re-run to recover the winning dataflow; the trace then re-shapes
     // the same evaluated timeline the cost model consumed, so its
-    // totals equal the report's (unscaled) L-A cycles exactly.
+    // totals equal the report's (unscaled) L-A cycles exactly. With
+    // --devices > 1 the trace shows ONE device's sharded timeline,
+    // collective phases included.
     ExecutionTrace trace;
     const bool want_trace =
         args.trace || args.trace_json || !args.trace_csv.empty();
-    if (want_trace) {
+    if (want_trace && !fabric.single_device()) {
+        const ScaleOutCost& cost = scaleout.best.cost;
+        trace = trace_from_timeline(
+            cost.timeline,
+            std::string("scaleout-") + to_string(cost.axis),
+            scaleout.best.dataflow.tag(),
+            static_cast<double>(
+                cross_loop_extent(scaleout.best.dataflow.cross,
+                                  cost.device_dims.batch,
+                                  cost.device_dims.heads,
+                                  cost.device_dims.q_len)
+                    .passes));
+    } else if (want_trace) {
         const AttentionDims dims = AttentionDims::from_workload(workload);
         const AttentionSearchOptions la_options =
             args.accel.empty()
@@ -258,6 +372,8 @@ run(const Args& args)
                     : trace_baseline_attention(accel, dims,
                                                la.best.dataflow,
                                                la_options.baseline_overlap);
+    }
+    if (want_trace) {
         if (!args.trace_csv.empty()) {
             std::FILE* file = std::fopen(args.trace_csv.c_str(), "w");
             FLAT_CHECK(file != nullptr, "cannot write trace CSV '"
@@ -307,6 +423,42 @@ run(const Args& args)
         json.field("writeback", report.la_stages.writeback_cycles);
         json.field("cold_start", report.la_stages.cold_start_cycles);
         json.end_object();
+        if (!fabric.single_device()) {
+            const ScaleOutSearchPoint& best = scaleout.best;
+            const ScaleOutCost& cost = best.cost;
+            json.key("scaleout");
+            json.begin_object();
+            json.field("devices",
+                       static_cast<std::uint64_t>(cost.devices));
+            json.field("shard_axis", to_string(cost.axis));
+            json.field("topology", to_string(fabric.topology));
+            json.field("link_bw", fabric.link_bw);
+            json.field("link_latency_s", fabric.link_latency_s);
+            json.key("device_dims");
+            json.begin_object();
+            json.field("batch", cost.device_dims.batch);
+            json.field("heads", cost.device_dims.heads);
+            json.field("q_len", cost.device_dims.q_len);
+            json.field("kv_len", cost.device_dims.kv_len);
+            json.field("head_dim", cost.device_dims.head_dim);
+            json.end_object();
+            json.field("device_dataflow", best.dataflow.tag());
+            json.field("la_cycles", cost.cycles);
+            json.field("la_cycles_single_device",
+                       scaleout_ref.best.cost.cycles);
+            json.field("speedup",
+                       scaleout_ref.best.cost.cycles / cost.cycles);
+            json.field("collective_phases",
+                       static_cast<std::uint64_t>(cost.collective_phases));
+            json.field("exposed_collective_cycles",
+                       cost.exposed_collective_cycles);
+            json.field("overlapped_link_cycles",
+                       cost.overlapped_link_cycles);
+            json.field("link_bytes_per_device",
+                       cost.link_bytes_per_device);
+            json.field("fleet_energy_j", best.total_energy_j);
+            json.end_object();
+        }
         json.end_object();
         std::printf("%s\n", json.str().c_str());
         if (args.trace_json) {
@@ -373,6 +525,51 @@ run(const Args& args)
     stages.add_row({"cold start",
                     format_count(report.la_stages.cold_start_cycles)});
     stages.print(std::cout);
+
+    if (!fabric.single_device()) {
+        const ScaleOutSearchPoint& best = scaleout.best;
+        const ScaleOutCost& cost = best.cost;
+        const double ref_cycles = scaleout_ref.best.cost.cycles;
+        const double speedup = ref_cycles / cost.cycles;
+        std::printf("\nscale-out (L-A layer): %u devices, %s-sharded, "
+                    "%s @ %s per link\n",
+                    cost.devices, to_string(cost.axis),
+                    to_string(fabric.topology),
+                    format_bandwidth(fabric.link_bw).c_str());
+        TextTable so_table({"metric", "value"});
+        so_table.add_row(
+            {"per-device shard",
+             strprintf("B=%llu H=%llu N=%llu N_kv=%llu",
+                       static_cast<unsigned long long>(
+                           cost.device_dims.batch),
+                       static_cast<unsigned long long>(
+                           cost.device_dims.heads),
+                       static_cast<unsigned long long>(
+                           cost.device_dims.q_len),
+                       static_cast<unsigned long long>(
+                           cost.device_dims.kv_len))});
+        so_table.add_row({"device dataflow", best.dataflow.tag()});
+        so_table.add_row({"L-A cycles (1 device)",
+                          format_count(ref_cycles)});
+        so_table.add_row({"L-A cycles (sharded)",
+                          format_count(cost.cycles)});
+        so_table.add_row(
+            {"speedup", strprintf("%.2fx (%.0f%% efficiency)", speedup,
+                                  100.0 * speedup / cost.devices)});
+        so_table.add_row({"collective phases",
+                          std::to_string(cost.collective_phases)});
+        so_table.add_row({"exposed collective cycles",
+                          format_count(cost.exposed_collective_cycles)});
+        so_table.add_row({"overlapped link cycles",
+                          format_count(cost.overlapped_link_cycles)});
+        so_table.add_row(
+            {"link traffic / device",
+             format_bytes(static_cast<std::uint64_t>(
+                 cost.link_bytes_per_device))});
+        so_table.add_row({"fleet energy (L-A)",
+                          strprintf("%.4g J", best.total_energy_j)});
+        so_table.print(std::cout);
+    }
 
     if (args.trace) {
         std::printf("\n%s", trace.render().c_str());
@@ -504,6 +701,20 @@ main(int argc, char** argv)
                 args.trace_json = true;
             } else if (flag == "--trace-csv") {
                 args.trace_csv = next();
+            } else if (flag == "--devices") {
+                args.devices = parse_u64_flag(flag, next(), 1, 4096);
+            } else if (flag == "--shard-axis") {
+                args.shard_axis = next();
+            } else if (flag == "--topology") {
+                args.topology = next();
+            } else if (flag == "--link-bw") {
+                args.link_bw = next();
+            } else if (flag == "--link-latency") {
+                args.link_latency = next();
+            } else if (flag == "--scaleout") {
+                args.scaleout_preset = next();
+            } else if (flag == "--scaleout-file") {
+                args.scaleout_file = next();
             } else {
                 std::fprintf(stderr, "unknown flag: %s\n\n",
                              flag.c_str());
@@ -530,6 +741,11 @@ main(int argc, char** argv)
         if (diag.kind == flat::DiagKind::kUsage) {
             std::fprintf(stderr, "run 'flatsim --help' for usage\n");
         }
+        // Last stderr line is a machine-readable record of the same
+        // diagnostic (tests and wrappers parse it; see --help).
+        flat::JsonWriter json;
+        diag.write_json(json);
+        std::fprintf(stderr, "%s\n", json.str().c_str());
         return flat::exit_code_for(diag.kind);
     } catch (...) {
         std::fprintf(stderr, "[flat] unexpected unknown exception\n");

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Golden-trace regeneration tool: writes the --trace-json bytes of
+ * every catalog configuration (src/core/goldens.cc) into
+ * tests/goldens/<id>.json. Run it after an INTENTIONAL model change,
+ * review the diff, and commit the result; `ctest -L golden` pins the
+ * files byte-for-byte (tests/goldens/README.md).
+ *
+ * Usage: regen_goldens [output-dir]
+ * The default output directory is the source tree's tests/goldens/
+ * (baked in at configure time via FLAT_GOLDEN_DIR).
+ */
+#include <cstdio>
+#include <fstream>
+#include <string>
+
+#include "common/diagnostics.h"
+#include "core/goldens.h"
+
+int
+main(int argc, char** argv)
+{
+    using namespace flat;
+    try {
+        std::string dir =
+#ifdef FLAT_GOLDEN_DIR
+            FLAT_GOLDEN_DIR;
+#else
+            "tests/goldens";
+#endif
+        if (argc > 2) {
+            throw UsageError("usage: regen_goldens [output-dir]");
+        }
+        if (argc == 2) {
+            dir = argv[1];
+        }
+
+        for (const GoldenConfig& config : golden_configs()) {
+            const std::string path = dir + "/" + config.id + ".json";
+            const std::string text = golden_trace_json(config);
+            std::ofstream out(path, std::ios::binary | std::ios::trunc);
+            if (!out) {
+                FLAT_FAIL("cannot open '" << path << "' for writing");
+            }
+            out << text << '\n';
+            out.close();
+            if (!out) {
+                FLAT_FAIL("write to '" << path << "' failed");
+            }
+            std::printf("wrote %s (%zu bytes)\n", path.c_str(),
+                        text.size() + 1);
+        }
+        std::printf("regenerated %zu goldens into %s\n",
+                    golden_configs().size(), dir.c_str());
+        return 0;
+    } catch (const std::exception& err) {
+        const Diagnostic diag = diagnostic_from_exception(err);
+        std::fprintf(stderr, "%s\n", diag.to_string().c_str());
+        return exit_code_for(diag.kind);
+    }
+}
