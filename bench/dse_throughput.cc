@@ -1,0 +1,309 @@
+/**
+ * @file
+ * DSE throughput harness for the evaluation cache and the
+ * allocation-free timeline hot path. Three measurements:
+ *
+ *   1. search_attention throughput (points/s) over a sweep-shaped
+ *      workload — the same searches repeated with the process-wide
+ *      EvalCache disabled and then enabled, so the cache's cross-point
+ *      reuse shows up as a points/s ratio on identical work;
+ *   2. the per-point hot path in isolation — the plain (allocating)
+ *      model_flat_attention entry vs the scratch-buffer overload that
+ *      reuses one AttentionEvalScratch across calls;
+ *   3. heap allocations per evaluated point, via a replaced global
+ *      operator new that counts every allocation in the process.
+ *
+ * Pruning is disabled for the throughput legs so "points" is the full
+ * space size — a fixed work unit that makes points/s comparable across
+ * runs, thread counts and cache settings.
+ *
+ * Emits BENCH_dse.json (tools/bench_compare.py diffs two of them and
+ * fails on a >10% points/s regression; `ctest -L perf` runs that as a
+ * smoke test).
+ *
+ * Usage: dse_throughput [--threads N] [--repeats R] [--out FILE]
+ */
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <new>
+
+#include "bench_util.h"
+#include "common/json.h"
+#include "common/thread_pool.h"
+#include "costmodel/attention_cost.h"
+#include "costmodel/eval_cache.h"
+#include "dse/search.h"
+
+// ---------------------------------------------------------------------
+// Instrumented allocator: counts every heap allocation in the process.
+// Replacing these in any TU of the executable replaces them globally;
+// the counter is relaxed-atomic so the hot path stays cheap.
+// ---------------------------------------------------------------------
+
+namespace {
+std::atomic<std::uint64_t> g_allocations{0};
+} // namespace
+
+void*
+operator new(std::size_t size)
+{
+    g_allocations.fetch_add(1, std::memory_order_relaxed);
+    if (void* p = std::malloc(size > 0 ? size : 1)) {
+        return p;
+    }
+    throw std::bad_alloc();
+}
+
+void*
+operator new[](std::size_t size)
+{
+    return ::operator new(size);
+}
+
+void
+operator delete(void* p) noexcept
+{
+    std::free(p);
+}
+
+void
+operator delete[](void* p) noexcept
+{
+    std::free(p);
+}
+
+void
+operator delete(void* p, std::size_t) noexcept
+{
+    std::free(p);
+}
+
+void
+operator delete[](void* p, std::size_t) noexcept
+{
+    std::free(p);
+}
+
+using namespace flat;
+using namespace flat::bench;
+
+namespace {
+
+/** Restores the cache's enabled flag on every exit path. */
+struct CacheEnabledGuard {
+    bool saved = EvalCache::enabled();
+    ~CacheEnabledGuard() { EvalCache::set_enabled(saved); }
+};
+
+struct SearchLeg {
+    double seconds = 0.0;
+    std::uint64_t points = 0;
+    std::uint64_t allocations = 0;
+
+    double
+    points_per_sec() const
+    {
+        return seconds > 0.0 ? static_cast<double>(points) / seconds
+                             : 0.0;
+    }
+};
+
+/** One pass over the sweep-shaped workload: every (dims) searched. */
+SearchLeg
+run_searches(const AccelConfig& accel,
+             const std::vector<AttentionDims>& sweep,
+             const AttentionSearchOptions& options, unsigned repeats)
+{
+    SearchLeg leg;
+    const std::uint64_t allocs_before =
+        g_allocations.load(std::memory_order_relaxed);
+    const ScopedTimer timer;
+    for (unsigned r = 0; r < repeats; ++r) {
+        for (const AttentionDims& dims : sweep) {
+            const AttentionSearchResult result =
+                search_attention(accel, dims, options);
+            leg.points += result.evaluated + result.pruned;
+        }
+    }
+    leg.seconds = timer.seconds();
+    leg.allocations = g_allocations.load(std::memory_order_relaxed) -
+                      allocs_before;
+    return leg;
+}
+
+struct HotPathLeg {
+    double ns_per_eval = 0.0;
+    double allocs_per_eval = 0.0;
+};
+
+/** Repeated single-point evaluation through @p eval. */
+template <typename Eval>
+HotPathLeg
+run_hot_path(unsigned iterations, const Eval& eval)
+{
+    // One warm-up call grows the scratch buffers to steady state.
+    eval();
+    const std::uint64_t allocs_before =
+        g_allocations.load(std::memory_order_relaxed);
+    const ScopedTimer timer;
+    for (unsigned i = 0; i < iterations; ++i) {
+        eval();
+    }
+    const double seconds = timer.seconds();
+    const std::uint64_t allocs =
+        g_allocations.load(std::memory_order_relaxed) - allocs_before;
+    HotPathLeg leg;
+    leg.ns_per_eval = iterations > 0 ? seconds * 1e9 / iterations : 0.0;
+    leg.allocs_per_eval =
+        iterations > 0 ? static_cast<double>(allocs) / iterations : 0.0;
+    return leg;
+}
+
+} // namespace
+
+int
+main(int argc, char** argv)
+{
+    banner("DSE throughput — evaluation cache + hot-path memory",
+           "points/s with the eval cache off vs on, per-point eval "
+           "cost, allocations/point");
+
+    unsigned repeats = 4;
+    std::string out_path = "BENCH_dse.json";
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--repeats") == 0 && i + 1 < argc) {
+            const long parsed = std::atol(argv[++i]);
+            if (parsed > 0) {
+                repeats = static_cast<unsigned>(parsed);
+            }
+        } else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
+            out_path = argv[++i];
+        }
+    }
+
+    const AccelConfig accel = edge_accel();
+    const ModelConfig bert = bert_base();
+    std::vector<AttentionDims> sweep;
+    for (const std::uint64_t seq : {512ull, 1024ull, 2048ull}) {
+        sweep.push_back(AttentionDims::from_workload(
+            make_workload(bert, /*batch=*/8, seq)));
+    }
+
+    AttentionSearchOptions options;
+    options.quick = false; // full menus: a realistic per-search load
+    options.fused = true;
+    options.prune = false; // fixed work unit: points == full space
+    options.threads = cli_threads(argc, argv);
+    const unsigned threads = resolve_threads(options.threads);
+
+    std::printf("workload: %zu dims x %u repeats, threads=%u, "
+                "prune=off\n\n",
+                sweep.size(), repeats, threads);
+
+    CacheEnabledGuard guard;
+
+    // Leg 1: identical searches, cache off then on.
+    EvalCache::set_enabled(false);
+    const SearchLeg off = run_searches(accel, sweep, options, repeats);
+    print_search_stats("cache off", off.points, 0, off.seconds);
+
+    EvalCache::set_enabled(true);
+    EvalCache::instance().clear();
+    EvalCache::instance().reset_stats();
+    const SearchLeg on = run_searches(accel, sweep, options, repeats);
+    const CacheStats stats = EvalCache::instance().stats();
+    print_search_stats("cache on ", on.points, 0, on.seconds);
+    const double speedup = off.seconds > 0.0 && on.seconds > 0.0
+                               ? off.points_per_sec() == 0.0
+                                     ? 0.0
+                                     : on.points_per_sec() /
+                                           off.points_per_sec()
+                               : 0.0;
+    std::printf("cache speedup: %s  (hit rate %.1f%%, %llu hits / "
+                "%llu misses)\n\n",
+                fmt_x(speedup).c_str(), 100.0 * stats.hit_rate(),
+                static_cast<unsigned long long>(stats.hits),
+                static_cast<unsigned long long>(stats.misses));
+
+    // Allocations per point: a cache-warm single-threaded search so the
+    // counter sees only the evaluation hot path, not worker startup.
+    AttentionSearchOptions serial = options;
+    serial.threads = 1;
+    const SearchLeg warm = run_searches(accel, sweep, serial, 1);
+    const double allocs_per_point =
+        warm.points > 0
+            ? static_cast<double>(warm.allocations) /
+                  static_cast<double>(warm.points)
+            : 0.0;
+    std::printf("allocations/point (cache warm, 1 thread): %.2f\n",
+                allocs_per_point);
+
+    // Leg 2: the per-point hot path in isolation on one dataflow.
+    const AttentionDims dims = sweep.back();
+    const AttentionSearchResult best =
+        search_attention(accel, dims, serial);
+    const FusedDataflow dataflow = best.best.dataflow;
+    constexpr unsigned kEvalIters = 20000;
+    const HotPathLeg plain = run_hot_path(kEvalIters, [&] {
+        (void)model_flat_attention(accel, dims, dataflow);
+    });
+    AttentionEvalScratch scratch;
+    const HotPathLeg reused = run_hot_path(kEvalIters, [&] {
+        (void)model_flat_attention(accel, dims, dataflow, scratch);
+    });
+    std::printf("\nper-point eval (%u iters): plain %.0f ns "
+                "(%.1f allocs), scratch %.0f ns (%.2f allocs) — %s\n",
+                kEvalIters, plain.ns_per_eval, plain.allocs_per_eval,
+                reused.ns_per_eval, reused.allocs_per_eval,
+                fmt_x(reused.ns_per_eval > 0.0
+                          ? plain.ns_per_eval / reused.ns_per_eval
+                          : 0.0)
+                    .c_str());
+
+    JsonWriter json;
+    json.begin_object();
+    json.field("bench", "dse_throughput");
+    json.field("threads", static_cast<std::uint64_t>(threads));
+    json.field("repeats", static_cast<std::uint64_t>(repeats));
+    json.key("cache_off");
+    json.begin_object();
+    json.field("seconds", off.seconds);
+    json.field("points", off.points);
+    json.field("points_per_sec", off.points_per_sec());
+    json.end_object();
+    json.key("cache_on");
+    json.begin_object();
+    json.field("seconds", on.seconds);
+    json.field("points", on.points);
+    json.field("points_per_sec", on.points_per_sec());
+    json.field("hit_rate", stats.hit_rate());
+    json.field("hits", stats.hits);
+    json.field("misses", stats.misses);
+    json.end_object();
+    json.field("cache_speedup", speedup);
+    json.field("allocs_per_point", allocs_per_point);
+    json.key("hot_path");
+    json.begin_object();
+    json.field("plain_ns_per_eval", plain.ns_per_eval);
+    json.field("plain_allocs_per_eval", plain.allocs_per_eval);
+    json.field("scratch_ns_per_eval", reused.ns_per_eval);
+    json.field("scratch_allocs_per_eval", reused.allocs_per_eval);
+    json.field("speedup",
+               reused.ns_per_eval > 0.0
+                   ? plain.ns_per_eval / reused.ns_per_eval
+                   : 0.0);
+    json.end_object();
+    json.end_object();
+
+    std::ofstream out(out_path, std::ios::binary | std::ios::trunc);
+    if (!out) {
+        std::fprintf(stderr, "cannot write %s\n", out_path.c_str());
+        return 1;
+    }
+    out << json.str() << '\n';
+    out.close();
+    std::printf("\nwrote %s\n", out_path.c_str());
+    return 0;
+}

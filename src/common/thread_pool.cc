@@ -110,11 +110,13 @@ ThreadPool::worker_loop()
 
 void
 parallel_for(std::size_t n, unsigned threads,
-             const std::function<void(std::size_t)>& body)
+             const std::function<void(std::size_t)>& body,
+             std::size_t grain)
 {
     if (n == 0) {
         return;
     }
+    const std::size_t step = grain > 0 ? grain : 1;
     const std::size_t want =
         std::min<std::size_t>(resolve_threads(threads), n);
     if (want <= 1 || g_parallel_depth > 0) {
@@ -135,17 +137,23 @@ parallel_for(std::size_t n, unsigned threads,
     const auto runner = [&] {
         DepthGuard guard;
         while (!failed.load(std::memory_order_relaxed)) {
-            const std::size_t i =
-                next.fetch_add(1, std::memory_order_relaxed);
-            if (i >= n) {
+            const std::size_t begin =
+                next.fetch_add(step, std::memory_order_relaxed);
+            if (begin >= n) {
                 break;
             }
-            try {
-                body(i);
-            } catch (...) {
-                std::lock_guard<std::mutex> lock(error_mutex);
-                if (!failed.exchange(true)) {
-                    error = std::current_exception();
+            const std::size_t end = std::min(begin + step, n);
+            for (std::size_t i = begin; i < end; ++i) {
+                if (failed.load(std::memory_order_relaxed)) {
+                    break;
+                }
+                try {
+                    body(i);
+                } catch (...) {
+                    std::lock_guard<std::mutex> lock(error_mutex);
+                    if (!failed.exchange(true)) {
+                        error = std::current_exception();
+                    }
                 }
             }
         }

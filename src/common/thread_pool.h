@@ -80,9 +80,16 @@ class ThreadPool
  * (0 = auto, see default_threads()). Iterations are handed out
  * dynamically in index order; with threads == 1 (or a nested call) the
  * loop runs serially, in order, on the calling thread.
+ *
+ * @p grain batches the dynamic hand-out: each worker claims @p grain
+ * consecutive indices per atomic fetch (clamped to at least 1) and runs
+ * them in index order. Larger grains amortize the scheduling atomics
+ * for cheap bodies; the set of executed indices — and the exception
+ * contract — is identical for every grain.
  */
 void parallel_for(std::size_t n, unsigned threads,
-                  const std::function<void(std::size_t)>& body);
+                  const std::function<void(std::size_t)>& body,
+                  std::size_t grain = 1);
 
 } // namespace flat
 

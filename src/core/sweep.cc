@@ -188,6 +188,8 @@ SweepSpec::expand() const
                "sweep needs at least one seq and batch value");
 
     std::vector<SweepPoint> points;
+    points.reserve(models.size() * platforms.size() * policies.size() *
+                   seq_lens.size() * batches.size());
     for (const std::string& model : models) {
         for (const std::string& platform : platforms) {
             for (const std::string& policy : policies) {
@@ -243,6 +245,7 @@ std::vector<const SweepPointResult*>
 SweepReport::failures() const
 {
     std::vector<const SweepPointResult*> out;
+    out.reserve(failed());
     for (const SweepPointResult& r : results) {
         if (!r.ok && !r.skipped) {
             out.push_back(&r);
@@ -395,7 +398,7 @@ SweepReport::write_csv(const std::string& path) const
 SweepReport
 run_sweep(const SweepSpec& spec, const SweepOptions& options)
 {
-    const std::vector<SweepPoint> points = spec.expand();
+    std::vector<SweepPoint> points = spec.expand();
 
     SweepReport report;
     report.results.resize(points.size());
@@ -404,7 +407,9 @@ run_sweep(const SweepSpec& spec, const SweepOptions& options)
 
     parallel_for(points.size(), options.threads, [&](std::size_t i) {
         SweepPointResult& r = report.results[i];
-        r.point = points[i];
+        // Each point's record owns its SweepPoint; the expanded list is
+        // not read again, so the strings move instead of copying.
+        r.point = std::move(points[i]);
         if (options.fail_fast &&
             stop.load(std::memory_order_relaxed)) {
             r.skipped = true;

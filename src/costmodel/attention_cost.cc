@@ -13,32 +13,6 @@
 namespace flat {
 namespace {
 
-/** Per-tensor DRAM fetch-event multipliers for one attention stage. */
-struct StageReuse {
-    double a_repeats = 1.0;       ///< streaming repeats of the A operand
-    double b_repeats = 1.0;       ///< streaming repeats of the B operand
-    double c_write_repeats = 1.0; ///< output write passes
-    double c_read_repeats = 0.0;  ///< partial-sum re-read passes
-};
-
-StageReuse
-stage_reuse(const GemmShape& shape, const L2Tile& tile_in, LoopOrder order)
-{
-    const L2Tile tile = tile_in.clamped(shape);
-    const std::uint64_t tm = tile.trips_m(shape);
-    const std::uint64_t tk = tile.trips_k(shape);
-    const std::uint64_t tn = tile.trips_n(shape);
-    const ReuseCounts reuse = analyze_reuse(order, tm, tk, tn);
-
-    StageReuse out;
-    out.a_repeats = static_cast<double>(reuse.a_fetches) / (tm * tk);
-    out.b_repeats = static_cast<double>(reuse.b_fetches) / (tk * tn);
-    out.c_write_repeats =
-        static_cast<double>(reuse.c_writes) / reuse.c_tiles;
-    out.c_read_repeats = static_cast<double>(reuse.c_reads) / reuse.c_tiles;
-    return out;
-}
-
 /**
  * Per-tensor resident fractions of the staged working set. The SG is
  * allocated greedily: streaming tiles are mandatory, the intermediate
@@ -169,35 +143,53 @@ allocate_residency(const AccelConfig& accel, const FusedDataflow& dataflow,
         double bytes;
     };
     Residency res;
-    std::vector<Demand> demands;
+    // Fixed-capacity demand lists (at most 1 + 4 tensors): this runs
+    // once per DSE point, so it must not touch the heap.
+    Demand demands[5];
+    std::size_t n_demands = 0;
     if (dataflow.stage.intermediate) {
         // Highest priority: the FLAT-tile itself (single-buffered).
-        demands.push_back({&res.inter, &res.inter2,
-                           rows * kv * inst * bpe});
+        demands[n_demands++] = {&res.inter, &res.inter2,
+                                rows * kv * inst * bpe};
     }
-    std::vector<Demand> staged;
+    Demand staged[4];
+    std::size_t n_staged = 0;
     if (dataflow.stage.query) {
-        staged.push_back({&res.q, &res.q2, 2.0 * rows * dk * inst * bpe});
+        staged[n_staged++] = {&res.q, &res.q2,
+                              2.0 * rows * dk * inst * bpe};
     }
     if (dataflow.stage.output) {
-        staged.push_back({&res.out, &res.out2,
-                          2.0 * rows * dk * inst * bpe});
+        staged[n_staged++] = {&res.out, &res.out2,
+                              2.0 * rows * dk * inst * bpe};
     }
     if (dataflow.stage.key) {
-        staged.push_back({&res.k, &res.k2, 2.0 * kv * dk * inst * bpe});
+        staged[n_staged++] = {&res.k, &res.k2,
+                              2.0 * kv * dk * inst * bpe};
     }
     if (dataflow.stage.value) {
-        staged.push_back({&res.v, &res.v2, 2.0 * kv * dk * inst * bpe});
+        staged[n_staged++] = {&res.v, &res.v2,
+                              2.0 * kv * dk * inst * bpe};
     }
-    std::sort(staged.begin(), staged.end(),
-              [](const Demand& x, const Demand& y) {
-                  return x.bytes < y.bytes;
-              });
-    demands.insert(demands.end(), staged.begin(), staged.end());
+    // Insertion sort by bytes ascending (stable; <= 4 elements). Equal
+    // demands keep the q/out/k/v emission order above, matching what
+    // std::sort's small-range insertion path produced historically.
+    for (std::size_t i = 1; i < n_staged; ++i) {
+        const Demand d = staged[i];
+        std::size_t j = i;
+        while (j > 0 && d.bytes < staged[j - 1].bytes) {
+            staged[j] = staged[j - 1];
+            --j;
+        }
+        staged[j] = d;
+    }
+    for (std::size_t i = 0; i < n_staged; ++i) {
+        demands[n_demands++] = staged[i];
+    }
 
     double wanted = 0.0;
     double granted = 0.0;
-    for (const Demand& d : demands) {
+    for (std::size_t di = 0; di < n_demands; ++di) {
+        const Demand& d = demands[di];
         const double fit =
             (d.bytes <= 0.0) ? 1.0 : std::min(1.0, capacity / d.bytes);
         *d.rho = fit;
@@ -219,7 +211,8 @@ allocate_residency(const AccelConfig& accel, const FusedDataflow& dataflow,
 
 AttentionPlan
 make_plan(const AccelConfig& accel, const AttentionDims& dims,
-          const FusedDataflow& dataflow)
+          const FusedDataflow& dataflow,
+          const PlannedGemmCosts& planned = {})
 {
     dims.validate();
     dataflow.validate();
@@ -246,16 +239,29 @@ make_plan(const AccelConfig& accel, const AttentionDims& dims,
     plan.slices = static_cast<double>(plan.extent.passes) *
                   plan.extent.instances_per_pass;
 
-    plan.logit_compute =
-        model_gemm_compute(accel, plan.logit_shape, dataflow.l2_logit,
-                           dataflow.order_logit, dataflow.stat_logit);
-    plan.attend_compute =
-        model_gemm_compute(accel, plan.attend_shape, dataflow.l2_attend,
-                           dataflow.order_attend, dataflow.stat_attend);
-    plan.logit_reuse = stage_reuse(plan.logit_shape, dataflow.l2_logit,
-                                   dataflow.order_logit);
-    plan.attend_reuse = stage_reuse(plan.attend_shape, dataflow.l2_attend,
-                                    dataflow.order_attend);
+    // Injected costs come from the DSE's per-slice tables (see
+    // PlannedGemmCosts): same pure functions of the same inputs, so the
+    // plan is bit-identical either way — just cheaper.
+    if (planned.logit != nullptr) {
+        plan.logit_compute = planned.logit->compute;
+        plan.logit_reuse = planned.logit->reuse;
+    } else {
+        plan.logit_compute =
+            model_gemm_compute(accel, plan.logit_shape, dataflow.l2_logit,
+                               dataflow.order_logit, dataflow.stat_logit);
+        plan.logit_reuse = stage_reuse(plan.logit_shape, dataflow.l2_logit,
+                                       dataflow.order_logit);
+    }
+    if (planned.attend != nullptr) {
+        plan.attend_compute = planned.attend->compute;
+        plan.attend_reuse = planned.attend->reuse;
+    } else {
+        plan.attend_compute = model_gemm_compute(
+            accel, plan.attend_shape, dataflow.l2_attend,
+            dataflow.order_attend, dataflow.stat_attend);
+        plan.attend_reuse = stage_reuse(
+            plan.attend_shape, dataflow.l2_attend, dataflow.order_attend);
+    }
 
     const double bpe = accel.bytes_per_element;
     const double bh =
@@ -366,34 +372,58 @@ half_macs(const AttentionDims& dims)
 }
 
 /**
+ * Appends-or-reuses the phase at @p idx of @p out, resetting every
+ * field. Label assignment reuses the existing string's capacity, so a
+ * steady-state emit loop (same style, hence same label lengths) never
+ * allocates. The emitters fill phases strictly one at a time — the
+ * returned reference is invalidated by the next next_phase() call.
+ */
+Phase&
+next_phase(std::vector<Phase>& out, std::size_t& idx, const char* label,
+           StageTag stage, int group)
+{
+    if (idx == out.size()) {
+        out.emplace_back();
+    }
+    Phase& phase = out[idx++];
+    phase.label = label;
+    phase.stage = stage;
+    phase.group = group;
+    phase.track = -1;
+    phase.compute_cycles = 0.0;
+    phase.sfu_cycles = 0.0;
+    phase.link_latency_cycles = 0.0;
+    phase.activity = ActivityCounts{};
+    phase.pace_only = false;
+    return phase;
+}
+
+/**
  * Exposed first-fetch window: the first Q/K slice cannot hide under
  * any compute. Pace-only — its bytes are already in the steady-state
  * prefetch ledger.
  */
-Phase
-cold_start_phase(const AttentionPlan& plan)
+void
+emit_cold_start(std::vector<Phase>& out, std::size_t& idx,
+                const AttentionPlan& plan)
 {
-    Phase phase;
-    phase.label = "cold start (first Q/K slice fetch)";
-    phase.stage = StageTag::kColdStart;
-    phase.group = 0;
+    Phase& phase = next_phase(out, idx,
+                              "cold start (first Q/K slice fetch)",
+                              StageTag::kColdStart, 0);
     phase.pace_only = true;
     phase.activity.traffic.dram_read =
         (plan.q_bytes + plan.k_bytes) /
         (plan.slices > 0.0 ? plan.slices : 1.0);
-    return phase;
 }
 
 /** GEMM phase skeleton: array occupancy, MACs/SL, SG streaming. */
-Phase
-gemm_phase(const char* label, StageTag stage, int group,
-           const GemmComputeCost& compute, double occupancy_cycles,
-           const AttentionDims& dims, double slices)
+Phase&
+emit_gemm_phase(std::vector<Phase>& out, std::size_t& idx,
+                const char* label, StageTag stage, int group,
+                const GemmComputeCost& compute, double occupancy_cycles,
+                const AttentionDims& dims, double slices)
 {
-    Phase phase;
-    phase.label = label;
-    phase.stage = stage;
-    phase.group = group;
+    Phase& phase = next_phase(out, idx, label, stage, group);
     phase.compute_cycles = occupancy_cycles;
     phase.activity.macs = half_macs(dims);
     phase.activity.sl_accesses = 3.0 * phase.activity.macs;
@@ -406,66 +436,70 @@ gemm_phase(const char* label, StageTag stage, int group,
 /**
  * FLAT (interleaved) execution: one shared overlap window — all
  * transfers hide under the combined duration of L + softmax + A —
- * preceded by the exposed cold-start fetch.
+ * preceded by the exposed cold-start fetch. Emits into @p phases in
+ * place, reusing its capacity (see next_phase()).
  */
-std::vector<Phase>
-emit_flat_phases(const AccelConfig& accel, const AttentionDims& dims,
-                 const AttentionPlan& plan, const FusedStageFlags& stage)
+void
+emit_flat_phases(std::vector<Phase>& phases, const AccelConfig& accel,
+                 const AttentionDims& dims, const AttentionPlan& plan,
+                 const FusedStageFlags& stage)
 {
     const TrafficBytes dram = plan_dram_traffic(plan, stage);
 
-    std::vector<Phase> phases;
-    phases.push_back(cold_start_phase(plan));
+    std::size_t idx = 0;
+    emit_cold_start(phases, idx, plan);
 
-    Phase prefetch;
-    prefetch.label = "prefetch (DRAM->SG, overlapped)";
-    prefetch.stage = StageTag::kPrefetch;
-    prefetch.group = 1;
-    prefetch.activity.traffic.dram_read = dram.dram_read;
-    prefetch.activity.traffic.sg_write = dram.dram_read; // pass-through
-    prefetch.activity.traffic.sg2_read = dram.sg2_read;
-    phases.push_back(prefetch);
+    {
+        Phase& prefetch =
+            next_phase(phases, idx, "prefetch (DRAM->SG, overlapped)",
+                       StageTag::kPrefetch, 1);
+        prefetch.activity.traffic.dram_read = dram.dram_read;
+        prefetch.activity.traffic.sg_write =
+            dram.dram_read; // pass-through
+        prefetch.activity.traffic.sg2_read = dram.sg2_read;
+    }
 
-    phases.push_back(gemm_phase(
-        "L: logits slice GEMM", StageTag::kLogit, 1, plan.logit_compute,
-        plan.logit_compute.total_cycles() * plan.slices, dims,
-        plan.slices));
+    emit_gemm_phase(phases, idx, "L: logits slice GEMM", StageTag::kLogit,
+                    1, plan.logit_compute,
+                    plan.logit_compute.total_cycles() * plan.slices, dims,
+                    plan.slices);
 
-    Phase softmax;
-    softmax.label = "softmax on SFU";
-    softmax.stage = StageTag::kSoftmax;
-    softmax.group = 1;
-    softmax.sfu_cycles = softmax_sfu_cycles(accel, plan);
-    softmax.activity.sfu_elems =
-        plan.inter_bytes / accel.bytes_per_element;
-    softmax.activity.traffic.sg_read = plan.inter_bytes;
-    softmax.activity.traffic.sg_write = plan.inter_bytes;
-    phases.push_back(softmax);
+    {
+        Phase& softmax = next_phase(phases, idx, "softmax on SFU",
+                                    StageTag::kSoftmax, 1);
+        softmax.sfu_cycles = softmax_sfu_cycles(accel, plan);
+        softmax.activity.sfu_elems =
+            plan.inter_bytes / accel.bytes_per_element;
+        softmax.activity.traffic.sg_read = plan.inter_bytes;
+        softmax.activity.traffic.sg_write = plan.inter_bytes;
+    }
 
-    phases.push_back(gemm_phase(
-        "A: attend slice GEMM", StageTag::kAttend, 1, plan.attend_compute,
-        plan.attend_compute.total_cycles() * plan.slices, dims,
-        plan.slices));
+    emit_gemm_phase(phases, idx, "A: attend slice GEMM",
+                    StageTag::kAttend, 1, plan.attend_compute,
+                    plan.attend_compute.total_cycles() * plan.slices,
+                    dims, plan.slices);
 
-    Phase writeback;
-    writeback.label = "writeback (SG->DRAM, overlapped)";
-    writeback.stage = StageTag::kWriteback;
-    writeback.group = 1;
-    writeback.activity.traffic.dram_write = dram.dram_write;
-    writeback.activity.traffic.sg_read = dram.dram_write; // pass-through
-    writeback.activity.traffic.sg2_write = dram.sg2_write;
-    phases.push_back(writeback);
-    return phases;
+    {
+        Phase& writeback =
+            next_phase(phases, idx, "writeback (SG->DRAM, overlapped)",
+                       StageTag::kWriteback, 1);
+        writeback.activity.traffic.dram_write = dram.dram_write;
+        writeback.activity.traffic.sg_read =
+            dram.dram_write; // pass-through
+        writeback.activity.traffic.sg2_write = dram.sg2_write;
+    }
+    phases.resize(idx);
 }
 
 /**
  * Sequential baseline: three windows (L, softmax, A), each overlapping
  * only its own transfers, after the cold-start fetch. The spilled
  * intermediate fraction round-trips through DRAM between windows.
+ * Emits into @p phases in place, reusing its capacity.
  */
-std::vector<Phase>
-emit_baseline_phases(const AccelConfig& accel, const AttentionDims& dims,
-                     const AttentionPlan& plan,
+void
+emit_baseline_phases(std::vector<Phase>& phases, const AccelConfig& accel,
+                     const AttentionDims& dims, const AttentionPlan& plan,
                      const FusedDataflow& dataflow)
 {
     FLAT_CHECK(dataflow.cross.granularity != Granularity::kRow,
@@ -484,101 +518,107 @@ emit_baseline_phases(const AccelConfig& accel, const AttentionDims& dims,
     const double sg2_read_half = dram.sg2_read / 2.0;
     const double sg2_write_half = dram.sg2_write / 2.0;
 
-    std::vector<Phase> phases;
-    phases.push_back(cold_start_phase(plan));
-
-    // Window 1: L reads Q and K and round-trips the spilled
-    // intermediate fraction (psum re-reads out, result writes in).
-    Phase l_xfer;
-    l_xfer.label = "L transfers (Q/K in, spill out)";
-    l_xfer.stage = StageTag::kPrefetch;
-    l_xfer.group = 1;
-    l_xfer.activity.traffic.dram_read =
-        split_fetches(stage.query, res.q, res.q2,
-                      plan.logit_reuse.a_repeats)
-                .dram *
-            plan.q_bytes +
-        split_fetches(stage.key, res.k, res.k2,
-                      plan.kv_chunks * plan.logit_reuse.b_repeats)
-                .dram *
-            plan.k_bytes +
-        spill * plan.logit_reuse.c_read_repeats * plan.inter_bytes;
-    l_xfer.activity.traffic.dram_write =
-        (spill * plan.logit_reuse.c_write_repeats + staging_penalty) *
-        plan.inter_bytes;
-    l_xfer.activity.traffic.sg_write =
-        l_xfer.activity.traffic.dram_read; // pass-through
-    l_xfer.activity.traffic.sg_read = l_xfer.activity.traffic.dram_write;
-    l_xfer.activity.traffic.sg2_read = sg2_read_half;
-    l_xfer.activity.traffic.sg2_write = sg2_write_half;
-    phases.push_back(l_xfer);
-
-    phases.push_back(gemm_phase(
-        "L: logits GEMM", StageTag::kLogit, 1, plan.logit_compute,
-        plan.logit_compute.total_cycles() * plan.slices, dims,
-        plan.slices));
-
-    // Window 2: softmax round-trips the spilled fraction.
-    Phase softmax;
-    softmax.label = "softmax on SFU (spill round-trip)";
-    softmax.stage = StageTag::kSoftmax;
-    softmax.group = 2;
-    softmax.sfu_cycles = softmax_sfu_cycles(accel, plan);
-    softmax.activity.sfu_elems =
-        plan.inter_bytes / accel.bytes_per_element;
-    softmax.activity.traffic.dram_read = spill * plan.inter_bytes;
-    softmax.activity.traffic.dram_write = spill * plan.inter_bytes;
-    softmax.activity.traffic.sg_read =
-        plan.inter_bytes + softmax.activity.traffic.dram_write;
-    softmax.activity.traffic.sg_write =
-        plan.inter_bytes + softmax.activity.traffic.dram_read;
-    phases.push_back(softmax);
-
-    // Window 3: A reads V and the intermediate, writes the output.
-    Phase a_xfer;
-    a_xfer.label = "A transfers (V/inter in)";
-    a_xfer.stage = StageTag::kPrefetch;
-    a_xfer.group = 3;
-    a_xfer.activity.traffic.dram_read =
+    // Window 3 volumes, computed up front (the output-staging branch
+    // couples the A-transfer reads and the writeback writes).
+    double a_xfer_dram_read =
         split_fetches(stage.value, res.v, res.v2,
                       plan.kv_chunks * plan.attend_reuse.b_repeats)
                 .dram *
             plan.v_bytes +
         (spill * plan.attend_reuse.a_repeats + staging_penalty) *
             plan.inter_bytes;
-    Phase writeback;
-    writeback.label = "writeback (out, SG->DRAM)";
-    writeback.stage = StageTag::kWriteback;
-    writeback.group = 3;
+    double writeback_dram_write = 0.0;
     if (stage.output) {
         const double spill_out =
             std::max(0.0, 1.0 - res.out - res.out2);
-        a_xfer.activity.traffic.dram_read +=
-            spill_out * plan.attend_reuse.c_read_repeats *
-            plan.out_bytes;
-        writeback.activity.traffic.dram_write =
+        a_xfer_dram_read += spill_out *
+                            plan.attend_reuse.c_read_repeats *
+                            plan.out_bytes;
+        writeback_dram_write =
             (res.out + res.out2 +
              spill_out * plan.attend_reuse.c_write_repeats) *
             plan.out_bytes;
     } else {
-        a_xfer.activity.traffic.dram_read +=
+        a_xfer_dram_read +=
             plan.attend_reuse.c_read_repeats * plan.out_bytes;
-        writeback.activity.traffic.dram_write =
+        writeback_dram_write =
             plan.attend_reuse.c_write_repeats * plan.out_bytes;
     }
-    a_xfer.activity.traffic.sg_write = a_xfer.activity.traffic.dram_read;
-    a_xfer.activity.traffic.sg2_read = sg2_read_half;
-    writeback.activity.traffic.sg_read =
-        writeback.activity.traffic.dram_write;
-    writeback.activity.traffic.sg2_write = sg2_write_half;
 
-    phases.push_back(a_xfer);
-    phases.push_back(gemm_phase(
-        "A: attend GEMM", StageTag::kAttend, 3, plan.attend_compute,
-        plan.attend_compute.total_cycles() * plan.slices, dims,
-        plan.slices));
-    phases.push_back(writeback);
-    return phases;
+    std::size_t idx = 0;
+    emit_cold_start(phases, idx, plan);
+
+    // Window 1: L reads Q and K and round-trips the spilled
+    // intermediate fraction (psum re-reads out, result writes in).
+    {
+        Phase& l_xfer =
+            next_phase(phases, idx, "L transfers (Q/K in, spill out)",
+                       StageTag::kPrefetch, 1);
+        l_xfer.activity.traffic.dram_read =
+            split_fetches(stage.query, res.q, res.q2,
+                          plan.logit_reuse.a_repeats)
+                    .dram *
+                plan.q_bytes +
+            split_fetches(stage.key, res.k, res.k2,
+                          plan.kv_chunks * plan.logit_reuse.b_repeats)
+                    .dram *
+                plan.k_bytes +
+            spill * plan.logit_reuse.c_read_repeats * plan.inter_bytes;
+        l_xfer.activity.traffic.dram_write =
+            (spill * plan.logit_reuse.c_write_repeats + staging_penalty) *
+            plan.inter_bytes;
+        l_xfer.activity.traffic.sg_write =
+            l_xfer.activity.traffic.dram_read; // pass-through
+        l_xfer.activity.traffic.sg_read =
+            l_xfer.activity.traffic.dram_write;
+        l_xfer.activity.traffic.sg2_read = sg2_read_half;
+        l_xfer.activity.traffic.sg2_write = sg2_write_half;
+    }
+
+    emit_gemm_phase(phases, idx, "L: logits GEMM", StageTag::kLogit, 1,
+                    plan.logit_compute,
+                    plan.logit_compute.total_cycles() * plan.slices, dims,
+                    plan.slices);
+
+    // Window 2: softmax round-trips the spilled fraction.
+    {
+        Phase& softmax =
+            next_phase(phases, idx, "softmax on SFU (spill round-trip)",
+                       StageTag::kSoftmax, 2);
+        softmax.sfu_cycles = softmax_sfu_cycles(accel, plan);
+        softmax.activity.sfu_elems =
+            plan.inter_bytes / accel.bytes_per_element;
+        softmax.activity.traffic.dram_read = spill * plan.inter_bytes;
+        softmax.activity.traffic.dram_write = spill * plan.inter_bytes;
+        softmax.activity.traffic.sg_read =
+            plan.inter_bytes + softmax.activity.traffic.dram_write;
+        softmax.activity.traffic.sg_write =
+            plan.inter_bytes + softmax.activity.traffic.dram_read;
+    }
+
+    // Window 3: A reads V and the intermediate, writes the output.
+    {
+        Phase& a_xfer = next_phase(phases, idx, "A transfers (V/inter in)",
+                                   StageTag::kPrefetch, 3);
+        a_xfer.activity.traffic.dram_read = a_xfer_dram_read;
+        a_xfer.activity.traffic.sg_write = a_xfer_dram_read;
+        a_xfer.activity.traffic.sg2_read = sg2_read_half;
+    }
+
+    emit_gemm_phase(phases, idx, "A: attend GEMM", StageTag::kAttend, 3,
+                    plan.attend_compute,
+                    plan.attend_compute.total_cycles() * plan.slices,
+                    dims, plan.slices);
+
+    {
+        Phase& writeback =
+            next_phase(phases, idx, "writeback (out, SG->DRAM)",
+                       StageTag::kWriteback, 3);
+        writeback.activity.traffic.dram_write = writeback_dram_write;
+        writeback.activity.traffic.sg_read = writeback_dram_write;
+        writeback.activity.traffic.sg2_write = sg2_write_half;
+    }
+    phases.resize(idx);
 }
 
 /**
@@ -586,9 +626,9 @@ emit_baseline_phases(const AccelConfig& accel, const AttentionDims& dims,
  * tracks inside one overlap window, softmax serial between them, plus
  * a pace-only pipeline-fill window (one L slice + its softmax share).
  */
-std::vector<Phase>
-emit_pipelined_phases(const AccelConfig& accel, const AttentionDims& dims,
-                      const AttentionPlan& plan,
+void
+emit_pipelined_phases(std::vector<Phase>& phases, const AccelConfig& accel,
+                      const AttentionDims& dims, const AttentionPlan& plan,
                       const FusedDataflow& dataflow)
 {
     FLAT_CHECK(accel.pe_rows >= 2,
@@ -608,63 +648,68 @@ emit_pipelined_phases(const AccelConfig& accel, const AttentionDims& dims,
     const TrafficBytes dram = plan_dram_traffic(plan, dataflow.stage);
     const double softmax_cycles = softmax_sfu_cycles(accel, plan);
 
-    std::vector<Phase> phases;
+    std::size_t idx = 0;
 
     // Pipeline fill: one slice of L (and its softmax) before A starts.
-    Phase fill;
-    fill.label = "pipeline fill (first L slice + softmax)";
-    fill.stage = StageTag::kColdStart;
-    fill.group = 0;
-    fill.pace_only = true;
-    if (plan.slices > 0.0) {
-        fill.compute_cycles = logit_half.total_cycles();
-        fill.sfu_cycles = softmax_cycles / plan.slices;
+    {
+        Phase& fill =
+            next_phase(phases, idx,
+                       "pipeline fill (first L slice + softmax)",
+                       StageTag::kColdStart, 0);
+        fill.pace_only = true;
+        if (plan.slices > 0.0) {
+            fill.compute_cycles = logit_half.total_cycles();
+            fill.sfu_cycles = softmax_cycles / plan.slices;
+        }
     }
-    phases.push_back(fill);
 
-    Phase prefetch;
-    prefetch.label = "prefetch (DRAM->SG, overlapped)";
-    prefetch.stage = StageTag::kPrefetch;
-    prefetch.group = 1;
-    prefetch.activity.traffic.dram_read = dram.dram_read;
-    prefetch.activity.traffic.sg_write = dram.dram_read; // pass-through
-    prefetch.activity.traffic.sg2_read = dram.sg2_read;
-    phases.push_back(prefetch);
+    {
+        Phase& prefetch =
+            next_phase(phases, idx, "prefetch (DRAM->SG, overlapped)",
+                       StageTag::kPrefetch, 1);
+        prefetch.activity.traffic.dram_read = dram.dram_read;
+        prefetch.activity.traffic.sg_write =
+            dram.dram_read; // pass-through
+        prefetch.activity.traffic.sg2_read = dram.sg2_read;
+    }
 
-    Phase logit = gemm_phase(
-        "L: logits GEMM (half array)", StageTag::kLogit, 1,
-        plan.logit_compute, logit_half.total_cycles() * plan.slices,
-        dims, plan.slices);
-    logit.track = 0;
-    phases.push_back(logit);
+    {
+        Phase& logit = emit_gemm_phase(
+            phases, idx, "L: logits GEMM (half array)", StageTag::kLogit,
+            1, plan.logit_compute,
+            logit_half.total_cycles() * plan.slices, dims, plan.slices);
+        logit.track = 0;
+    }
 
-    Phase softmax;
-    softmax.label = "softmax on SFU (between halves)";
-    softmax.stage = StageTag::kSoftmax;
-    softmax.group = 1;
-    softmax.sfu_cycles = softmax_cycles;
-    softmax.activity.sfu_elems =
-        plan.inter_bytes / accel.bytes_per_element;
-    softmax.activity.traffic.sg_read = plan.inter_bytes;
-    softmax.activity.traffic.sg_write = plan.inter_bytes;
-    phases.push_back(softmax);
+    {
+        Phase& softmax =
+            next_phase(phases, idx, "softmax on SFU (between halves)",
+                       StageTag::kSoftmax, 1);
+        softmax.sfu_cycles = softmax_cycles;
+        softmax.activity.sfu_elems =
+            plan.inter_bytes / accel.bytes_per_element;
+        softmax.activity.traffic.sg_read = plan.inter_bytes;
+        softmax.activity.traffic.sg_write = plan.inter_bytes;
+    }
 
-    Phase attend = gemm_phase(
-        "A: attend GEMM (half array)", StageTag::kAttend, 1,
-        plan.attend_compute, attend_half.total_cycles() * plan.slices,
-        dims, plan.slices);
-    attend.track = 1;
-    phases.push_back(attend);
+    {
+        Phase& attend = emit_gemm_phase(
+            phases, idx, "A: attend GEMM (half array)", StageTag::kAttend,
+            1, plan.attend_compute,
+            attend_half.total_cycles() * plan.slices, dims, plan.slices);
+        attend.track = 1;
+    }
 
-    Phase writeback;
-    writeback.label = "writeback (SG->DRAM, overlapped)";
-    writeback.stage = StageTag::kWriteback;
-    writeback.group = 1;
-    writeback.activity.traffic.dram_write = dram.dram_write;
-    writeback.activity.traffic.sg_read = dram.dram_write; // pass-through
-    writeback.activity.traffic.sg2_write = dram.sg2_write;
-    phases.push_back(writeback);
-    return phases;
+    {
+        Phase& writeback =
+            next_phase(phases, idx, "writeback (SG->DRAM, overlapped)",
+                       StageTag::kWriteback, 1);
+        writeback.activity.traffic.dram_write = dram.dram_write;
+        writeback.activity.traffic.sg_read =
+            dram.dram_write; // pass-through
+        writeback.activity.traffic.sg2_write = dram.sg2_write;
+    }
+    phases.resize(idx);
 }
 
 /** Cost report from a plan and its evaluated timeline: the cycles and
@@ -682,6 +727,121 @@ finalize_cost(const AccelConfig& accel, const AttentionDims& dims,
     cost.resident_fraction = plan.res.overall;
     cost.activity = timeline.activity;
     return cost;
+}
+
+} // namespace
+
+/**
+ * Memoized attention plan plus the exact inputs its order-independent
+ * base was computed from. Everything in AttentionPlan except the four
+ * compute/reuse fields is a pure function of these key fields — the SG
+ * loop orders and stationarities never enter the extent, the stage
+ * shapes, the byte totals, the footprint or the residency split.
+ */
+struct AttentionEvalScratch::PlanMemo {
+    bool valid = false;
+
+    AttentionDims dims;
+    std::uint32_t bytes_per_element = 0;
+    std::uint64_t sg_bytes = 0;
+    std::uint64_t sg2_bytes = 0;
+    CrossLoop cross;
+    L2Tile l2_logit;
+    L2Tile l2_attend;
+    FusedStageFlags stage;
+
+    AttentionPlan plan;
+};
+
+AttentionEvalScratch::AttentionEvalScratch() = default;
+AttentionEvalScratch::~AttentionEvalScratch() = default;
+
+namespace {
+
+/** True when every input the plan base reads is unchanged. */
+bool
+plan_base_matches(const AttentionEvalScratch::PlanMemo& memo,
+                  const AccelConfig& accel, const AttentionDims& dims,
+                  const FusedDataflow& df)
+{
+    return memo.valid &&
+           memo.bytes_per_element == accel.bytes_per_element &&
+           memo.sg_bytes == accel.sg_bytes &&
+           memo.sg2_bytes == accel.sg2_bytes &&
+           memo.dims.batch == dims.batch &&
+           memo.dims.heads == dims.heads &&
+           memo.dims.q_len == dims.q_len &&
+           memo.dims.kv_len == dims.kv_len &&
+           memo.dims.head_dim == dims.head_dim &&
+           memo.cross.granularity == df.cross.granularity &&
+           memo.cross.rows == df.cross.rows &&
+           memo.l2_logit.m == df.l2_logit.m &&
+           memo.l2_logit.k == df.l2_logit.k &&
+           memo.l2_logit.n == df.l2_logit.n &&
+           memo.l2_attend.m == df.l2_attend.m &&
+           memo.l2_attend.k == df.l2_attend.k &&
+           memo.l2_attend.n == df.l2_attend.n &&
+           memo.stage.query == df.stage.query &&
+           memo.stage.key == df.stage.key &&
+           memo.stage.value == df.stage.value &&
+           memo.stage.output == df.stage.output &&
+           memo.stage.intermediate == df.stage.intermediate;
+}
+
+/**
+ * make_plan() through the scratch memo. When only the SG loop orders
+ * or stationarities changed since the previous call — the innermost
+ * DSE axes — the memoized base is reused and just the four
+ * order-dependent compute/reuse fields are refreshed with the identical
+ * values make_plan() would have produced. Any other change recomputes
+ * the whole plan.
+ */
+const AttentionPlan&
+make_plan_memo(const AccelConfig& accel, const AttentionDims& dims,
+               const FusedDataflow& dataflow,
+               const PlannedGemmCosts& planned,
+               AttentionEvalScratch& scratch)
+{
+    if (!scratch.memo) {
+        scratch.memo = std::make_unique<AttentionEvalScratch::PlanMemo>();
+    }
+    AttentionEvalScratch::PlanMemo& memo = *scratch.memo;
+    if (!plan_base_matches(memo, accel, dims, dataflow)) {
+        memo.plan = make_plan(accel, dims, dataflow, planned);
+        memo.dims = dims;
+        memo.bytes_per_element = accel.bytes_per_element;
+        memo.sg_bytes = accel.sg_bytes;
+        memo.sg2_bytes = accel.sg2_bytes;
+        memo.cross = dataflow.cross;
+        memo.l2_logit = dataflow.l2_logit;
+        memo.l2_attend = dataflow.l2_attend;
+        memo.stage = dataflow.stage;
+        memo.valid = true;
+        return memo.plan;
+    }
+
+    AttentionPlan& plan = memo.plan;
+    if (planned.logit != nullptr) {
+        plan.logit_compute = planned.logit->compute;
+        plan.logit_reuse = planned.logit->reuse;
+    } else {
+        plan.logit_compute =
+            model_gemm_compute(accel, plan.logit_shape, dataflow.l2_logit,
+                               dataflow.order_logit, dataflow.stat_logit);
+        plan.logit_reuse = stage_reuse(plan.logit_shape, dataflow.l2_logit,
+                                       dataflow.order_logit);
+    }
+    if (planned.attend != nullptr) {
+        plan.attend_compute = planned.attend->compute;
+        plan.attend_reuse = planned.attend->reuse;
+    } else {
+        plan.attend_compute = model_gemm_compute(
+            accel, plan.attend_shape, dataflow.l2_attend,
+            dataflow.order_attend, dataflow.stat_attend);
+        plan.attend_reuse = stage_reuse(
+            plan.attend_shape, dataflow.l2_attend, dataflow.order_attend);
+    }
+    return plan;
 }
 
 } // namespace
@@ -718,7 +878,7 @@ flat_attention_phases(const AccelConfig& accel, const AttentionDims& dims,
     accel.validate();
     const AttentionPlan plan = make_plan(accel, dims, dataflow);
     AttentionPhases out;
-    out.phases = emit_flat_phases(accel, dims, plan, dataflow.stage);
+    emit_flat_phases(out.phases, accel, dims, plan, dataflow.stage);
     out.overlap = OverlapKind::kOverlapped;
     return out;
 }
@@ -732,7 +892,7 @@ baseline_attention_phases(const AccelConfig& accel,
     accel.validate();
     const AttentionPlan plan = make_plan(accel, dims, dataflow);
     AttentionPhases out;
-    out.phases = emit_baseline_phases(accel, dims, plan, dataflow);
+    emit_baseline_phases(out.phases, accel, dims, plan, dataflow);
     out.overlap = overlap == BaselineOverlap::kFull
                       ? OverlapKind::kOverlapped
                       : OverlapKind::kSerialTransfers;
@@ -747,7 +907,7 @@ pipelined_attention_phases(const AccelConfig& accel,
     accel.validate();
     const AttentionPlan plan = make_plan(accel, dims, dataflow);
     AttentionPhases out;
-    out.phases = emit_pipelined_phases(accel, dims, plan, dataflow);
+    emit_pipelined_phases(out.phases, accel, dims, plan, dataflow);
     out.overlap = OverlapKind::kOverlapped;
     return out;
 }
@@ -789,12 +949,25 @@ OperatorCost
 model_flat_attention(const AccelConfig& accel, const AttentionDims& dims,
                      const FusedDataflow& dataflow)
 {
+    AttentionEvalScratch scratch;
+    return model_flat_attention(accel, dims, dataflow, scratch);
+}
+
+OperatorCost
+model_flat_attention(const AccelConfig& accel, const AttentionDims& dims,
+                     const FusedDataflow& dataflow,
+                     AttentionEvalScratch& scratch,
+                     const PlannedGemmCosts& planned)
+{
     accel.validate();
-    const AttentionPlan plan = make_plan(accel, dims, dataflow);
-    const TimelineResult timeline = evaluate_timeline(
-        emit_flat_phases(accel, dims, plan, dataflow.stage), accel,
-        OverlapKind::kOverlapped);
-    return finalize_cost(accel, dims, plan, timeline, "L-A(FLAT)");
+    const AttentionPlan& plan =
+        make_plan_memo(accel, dims, dataflow, planned, scratch);
+    emit_flat_phases(scratch.timeline.phases, accel, dims, plan,
+                     dataflow.stage);
+    evaluate_timeline_into(scratch.timeline, accel,
+                           OverlapKind::kOverlapped);
+    return finalize_cost(accel, dims, plan, scratch.timeline.result,
+                         "L-A(FLAT)");
 }
 
 OperatorCost
@@ -804,9 +977,10 @@ model_pipelined_attention(const AccelConfig& accel,
 {
     accel.validate();
     const AttentionPlan plan = make_plan(accel, dims, dataflow);
+    std::vector<Phase> phases;
+    emit_pipelined_phases(phases, accel, dims, plan, dataflow);
     const TimelineResult timeline = evaluate_timeline(
-        emit_pipelined_phases(accel, dims, plan, dataflow), accel,
-        OverlapKind::kOverlapped);
+        std::move(phases), accel, OverlapKind::kOverlapped);
     return finalize_cost(accel, dims, plan, timeline, "L-A(pipelined)");
 }
 
@@ -816,14 +990,30 @@ model_baseline_attention(const AccelConfig& accel,
                          const FusedDataflow& dataflow,
                          BaselineOverlap overlap)
 {
+    AttentionEvalScratch scratch;
+    return model_baseline_attention(accel, dims, dataflow, overlap,
+                                    scratch);
+}
+
+OperatorCost
+model_baseline_attention(const AccelConfig& accel,
+                         const AttentionDims& dims,
+                         const FusedDataflow& dataflow,
+                         BaselineOverlap overlap,
+                         AttentionEvalScratch& scratch,
+                         const PlannedGemmCosts& planned)
+{
     accel.validate();
-    const AttentionPlan plan = make_plan(accel, dims, dataflow);
-    const TimelineResult timeline = evaluate_timeline(
-        emit_baseline_phases(accel, dims, plan, dataflow), accel,
-        overlap == BaselineOverlap::kFull
-            ? OverlapKind::kOverlapped
-            : OverlapKind::kSerialTransfers);
-    return finalize_cost(accel, dims, plan, timeline, "L-A(Base)");
+    const AttentionPlan& plan =
+        make_plan_memo(accel, dims, dataflow, planned, scratch);
+    emit_baseline_phases(scratch.timeline.phases, accel, dims, plan,
+                         dataflow);
+    evaluate_timeline_into(scratch.timeline, accel,
+                           overlap == BaselineOverlap::kFull
+                               ? OverlapKind::kOverlapped
+                               : OverlapKind::kSerialTransfers);
+    return finalize_cost(accel, dims, plan, scratch.timeline.result,
+                         "L-A(Base)");
 }
 
 } // namespace flat

@@ -7,8 +7,11 @@
 #ifndef FLAT_COSTMODEL_ATTENTION_COST_H
 #define FLAT_COSTMODEL_ATTENTION_COST_H
 
+#include <memory>
+
 #include "arch/accel_config.h"
 #include "costmodel/cost_types.h"
+#include "costmodel/gemm_engine.h"
 #include "costmodel/timeline.h"
 #include "dataflow/fused_dataflow.h"
 
@@ -120,6 +123,66 @@ AttentionPhases baseline_attention_phases(
 AttentionPhases pipelined_attention_phases(const AccelConfig& accel,
                                            const AttentionDims& dims,
                                            const FusedDataflow& dataflow);
+
+/**
+ * Reusable evaluation buffers for the DSE hot path (one instance per
+ * worker). The scratch model overloads below emit phases into
+ * `timeline.phases` in place (Phase label strings keep their capacity)
+ * and evaluate with evaluate_timeline_into(), so after the first call
+ * the per-point evaluation performs zero heap allocations.
+ *
+ * The scratch also memoizes the loop-order-independent part of the
+ * attention plan (extent, stage shapes, byte totals, footprint,
+ * residency): consecutive evaluations that differ only in the SG loop
+ * orders — the innermost DSE axes — reuse the base and patch the four
+ * order-dependent compute/reuse fields. Same arithmetic on the same
+ * inputs, so results stay bit-identical; the memo is invalidated by
+ * any change to the fields the base depends on.
+ */
+struct AttentionEvalScratch {
+    AttentionEvalScratch();
+    ~AttentionEvalScratch();
+    AttentionEvalScratch(const AttentionEvalScratch&) = delete;
+    AttentionEvalScratch& operator=(const AttentionEvalScratch&) = delete;
+
+    TimelineScratch timeline;
+
+    /** Plan-base memo (defined in attention_cost.cc). */
+    struct PlanMemo;
+    std::unique_ptr<PlanMemo> memo;
+};
+
+/**
+ * Precomputed per-slice GEMM cost records injected into the plan. A
+ * non-null pointer MUST equal {model_gemm_compute(), stage_reuse()} of
+ * the same (accel, stage shape, tile, order, stationarity) — the DSE
+ * engine feeds these from its per-slice cost tables (which the
+ * evaluation cache memoizes), skipping two model_gemm_compute and two
+ * stage_reuse calls per point. Null pointers fall back to computing in
+ * place.
+ */
+struct PlannedGemmCosts {
+    const GemmSliceCost* logit = nullptr;
+    const GemmSliceCost* attend = nullptr;
+};
+
+/**
+ * Hot-path variants of the cost models: bit-identical results to the
+ * plain overloads above, but reusing @p scratch across calls and
+ * honoring injected @p planned compute costs.
+ */
+OperatorCost model_flat_attention(const AccelConfig& accel,
+                                  const AttentionDims& dims,
+                                  const FusedDataflow& dataflow,
+                                  AttentionEvalScratch& scratch,
+                                  const PlannedGemmCosts& planned = {});
+
+OperatorCost model_baseline_attention(const AccelConfig& accel,
+                                      const AttentionDims& dims,
+                                      const FusedDataflow& dataflow,
+                                      BaselineOverlap overlap,
+                                      AttentionEvalScratch& scratch,
+                                      const PlannedGemmCosts& planned = {});
 
 /** Ideal PE cycles of the whole L-A pair (both GEMMs, no stalls). */
 double attention_ideal_cycles(const AccelConfig& accel,

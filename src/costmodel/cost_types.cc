@@ -22,30 +22,6 @@ to_string(BoundBy bound)
     return "compute";
 }
 
-TrafficBytes&
-TrafficBytes::operator+=(const TrafficBytes& other)
-{
-    dram_read += other.dram_read;
-    dram_write += other.dram_write;
-    sg_read += other.sg_read;
-    sg_write += other.sg_write;
-    sg2_read += other.sg2_read;
-    sg2_write += other.sg2_write;
-    link_in += other.link_in;
-    link_out += other.link_out;
-    return *this;
-}
-
-ActivityCounts&
-ActivityCounts::operator+=(const ActivityCounts& other)
-{
-    macs += other.macs;
-    sl_accesses += other.sl_accesses;
-    sfu_elems += other.sfu_elems;
-    traffic += other.traffic;
-    return *this;
-}
-
 OperatorCost&
 OperatorCost::operator+=(const OperatorCost& other)
 {

@@ -45,7 +45,20 @@ struct TrafficBytes {
     double total_sg2() const { return sg2_read + sg2_write; }
     double total_link() const { return link_in + link_out; }
 
-    TrafficBytes& operator+=(const TrafficBytes& other);
+    /** Inline: the timeline evaluator accumulates one of these per
+     *  phase on the DSE hot path. */
+    TrafficBytes& operator+=(const TrafficBytes& other)
+    {
+        dram_read += other.dram_read;
+        dram_write += other.dram_write;
+        sg_read += other.sg_read;
+        sg_write += other.sg_write;
+        sg2_read += other.sg2_read;
+        sg2_write += other.sg2_write;
+        link_in += other.link_in;
+        link_out += other.link_out;
+        return *this;
+    }
 };
 
 /** Activity counts feeding the Accelergy-style energy model. */
@@ -55,7 +68,15 @@ struct ActivityCounts {
     double sfu_elems = 0.0;   ///< elements processed by the SFU
     TrafficBytes traffic;
 
-    ActivityCounts& operator+=(const ActivityCounts& other);
+    /** Inline for the same reason as TrafficBytes::operator+=. */
+    ActivityCounts& operator+=(const ActivityCounts& other)
+    {
+        macs += other.macs;
+        sl_accesses += other.sl_accesses;
+        sfu_elems += other.sfu_elems;
+        traffic += other.traffic;
+        return *this;
+    }
 };
 
 /** Cost report for one operator (or one fused operator pair). */

@@ -1,0 +1,299 @@
+#include "costmodel/eval_cache.h"
+
+#include <cinttypes>
+#include <cstdio>
+#include <mutex>
+#include <type_traits>
+#include <unordered_map>
+#include <utility>
+
+#include "common/fault_injection.h"
+
+namespace flat {
+namespace {
+
+std::atomic<bool> g_enabled{true};
+
+/**
+ * The cached computations carry fault-injection probe sites (e.g.
+ * "gemm_engine.tile_menu"). Serving a memoized entry would skip the
+ * probe and silently defuse an armed fault, so while any fault is armed
+ * the cache steps aside — robustness tests observe the exact same
+ * behavior as before the cache existed.
+ */
+bool
+bypass_cache()
+{
+    return !g_enabled.load(std::memory_order_relaxed) ||
+           fault_injection::enabled();
+}
+
+/** 64-bit FNV-1a over the canonical key; shard selector only — entry
+ *  identity is the full key string, so collisions cannot alias. */
+std::uint64_t
+fnv1a(const std::string& text)
+{
+    std::uint64_t hash = 14695981039346656037ull;
+    for (const char c : text) {
+        hash ^= static_cast<unsigned char>(c);
+        hash *= 1099511628211ull;
+    }
+    return hash;
+}
+
+void
+append_u64(std::string& key, std::uint64_t value)
+{
+    char buf[24];
+    std::snprintf(buf, sizeof(buf), "%" PRIu64 ",", value);
+    key += buf;
+}
+
+/** Shortest-unambiguous canonical double spelling: %.17g round-trips
+ *  every finite IEEE-754 double, so equal keys imply equal inputs. */
+void
+append_double(std::string& key, double value)
+{
+    char buf[40];
+    std::snprintf(buf, sizeof(buf), "%.17g,", value);
+    key += buf;
+}
+
+/**
+ * Canonical fingerprint of the physical fields model_gemm_compute()
+ * and the tile-menu builder can observe. `name` and `caps` are policy
+ * metadata, deliberately excluded so renamed-but-identical platforms
+ * share entries.
+ */
+void
+append_accel(std::string& key, const AccelConfig& accel)
+{
+    append_u64(key, accel.pe_rows);
+    append_u64(key, accel.pe_cols);
+    append_u64(key, accel.sl_bytes);
+    append_u64(key, accel.sg_bytes);
+    append_u64(key, accel.sg2_bytes);
+    append_double(key, accel.sg2_bw);
+    append_double(key, accel.onchip_bw);
+    append_double(key, accel.offchip_bw);
+    append_double(key, accel.clock_hz);
+    append_double(key, accel.sfu_lanes);
+    append_u64(key, accel.bytes_per_element);
+    append_u64(key, static_cast<std::uint64_t>(accel.distribution_noc));
+    append_u64(key, static_cast<std::uint64_t>(accel.reduction_noc));
+}
+
+/** Only (m, k, n) feed the cached computations; operand kinds and
+ *  instance counts are scaling metadata applied by the callers. */
+void
+append_shape(std::string& key, const GemmShape& shape)
+{
+    append_u64(key, shape.m);
+    append_u64(key, shape.k);
+    append_u64(key, shape.n);
+}
+
+/** Approximate footprint of one entry: payload + key + node overhead. */
+template <typename Payload>
+std::uint64_t
+entry_bytes(const std::string& key, const Payload& payload)
+{
+    return payload.size() * sizeof(typename Payload::value_type) +
+           key.size() + 64;
+}
+
+} // namespace
+
+double
+CacheStats::hit_rate() const
+{
+    const std::uint64_t total = hits + misses;
+    return total > 0 ? static_cast<double>(hits) / total : 0.0;
+}
+
+struct EvalCache::Shard {
+    std::mutex mutex;
+    std::unordered_map<std::string, TileMenu> menus;
+    std::unordered_map<std::string, GemmCostTable> costs;
+    std::uint64_t bytes = 0;
+};
+
+EvalCache::EvalCache()
+    : shards_(new Shard[kShards]),
+      capacity_bytes_(256ull * 1024 * 1024)
+{
+}
+
+EvalCache&
+EvalCache::instance()
+{
+    // Leaked on purpose: worker threads may outlive static destructors.
+    static EvalCache* cache = new EvalCache();
+    return *cache;
+}
+
+void
+EvalCache::set_enabled(bool enabled)
+{
+    g_enabled.store(enabled, std::memory_order_relaxed);
+}
+
+bool
+EvalCache::enabled()
+{
+    return g_enabled.load(std::memory_order_relaxed);
+}
+
+template <typename Payload, typename Compute>
+std::shared_ptr<const Payload>
+EvalCache::lookup(std::string key, const Compute& compute)
+{
+    constexpr bool kIsMenu =
+        std::is_same_v<Payload, std::vector<L2Tile>>;
+    Shard& shard = shards_[fnv1a(key) % kShards];
+    auto map_of = [](Shard& s) -> auto& {
+        if constexpr (kIsMenu) {
+            return s.menus;
+        } else {
+            return s.costs;
+        }
+    };
+    {
+        std::lock_guard<std::mutex> lock(shard.mutex);
+        auto& map = map_of(shard);
+        const auto it = map.find(key);
+        if (it != map.end()) {
+            hits_.fetch_add(1, std::memory_order_relaxed);
+            return it->second;
+        }
+    }
+
+    // Compute outside the lock: misses are the expensive path and must
+    // not serialize against each other across threads.
+    misses_.fetch_add(1, std::memory_order_relaxed);
+    auto entry = std::make_shared<const Payload>(compute());
+
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    auto& map = map_of(shard);
+    const auto [it, inserted] = map.emplace(key, entry);
+    if (!inserted) {
+        return it->second; // lost the race; entries are bit-identical
+    }
+    shard.bytes += entry_bytes(key, *entry);
+    const std::uint64_t budget =
+        capacity_bytes_.load(std::memory_order_relaxed) / kShards;
+    if (shard.bytes > budget) {
+        // Whole-shard reset; the just-inserted entry survives via the
+        // shared_ptr we are about to return (and re-inserting it would
+        // immediately re-overflow a tiny budget).
+        evictions_.fetch_add(shard.menus.size() + shard.costs.size(),
+                             std::memory_order_relaxed);
+        shard.menus.clear();
+        shard.costs.clear();
+        shard.bytes = 0;
+    }
+    return entry;
+}
+
+EvalCache::TileMenu
+EvalCache::tile_menu(const AccelConfig& accel, const GemmShape& shape,
+                     const std::vector<double>& budget_fractions,
+                     Stationarity stationarity,
+                     const std::function<std::vector<L2Tile>()>& compute)
+{
+    if (bypass_cache()) {
+        return std::make_shared<const std::vector<L2Tile>>(compute());
+    }
+    std::string key = "menu:";
+    append_accel(key, accel);
+    append_shape(key, shape);
+    append_u64(key, static_cast<std::uint64_t>(stationarity));
+    for (const double fraction : budget_fractions) {
+        append_double(key, fraction);
+    }
+    return lookup<std::vector<L2Tile>>(std::move(key), compute);
+}
+
+EvalCache::GemmCostTable
+EvalCache::gemm_costs(const AccelConfig& accel, const GemmShape& shape,
+                      const std::vector<L2Tile>& tiles,
+                      const std::vector<LoopOrder>& orders,
+                      Stationarity stationarity)
+{
+    const auto compute = [&] {
+        std::vector<GemmSliceCost> table;
+        table.reserve(tiles.size() * orders.size());
+        for (const L2Tile& tile : tiles) {
+            for (const LoopOrder order : orders) {
+                table.push_back(
+                    {model_gemm_compute(accel, shape, tile, order,
+                                        stationarity),
+                     stage_reuse(shape, tile, order)});
+            }
+        }
+        return table;
+    };
+    if (bypass_cache()) {
+        return std::make_shared<const std::vector<GemmSliceCost>>(
+            compute());
+    }
+    std::string key = "costs:";
+    append_accel(key, accel);
+    append_shape(key, shape);
+    append_u64(key, static_cast<std::uint64_t>(stationarity));
+    key += "t:";
+    for (const L2Tile& tile : tiles) {
+        append_u64(key, tile.m);
+        append_u64(key, tile.k);
+        append_u64(key, tile.n);
+    }
+    key += "o:";
+    for (const LoopOrder order : orders) {
+        append_u64(key, static_cast<std::uint64_t>(order));
+    }
+    return lookup<std::vector<GemmSliceCost>>(std::move(key), compute);
+}
+
+CacheStats
+EvalCache::stats() const
+{
+    CacheStats out;
+    out.hits = hits_.load(std::memory_order_relaxed);
+    out.misses = misses_.load(std::memory_order_relaxed);
+    out.evictions = evictions_.load(std::memory_order_relaxed);
+    for (std::size_t s = 0; s < kShards; ++s) {
+        Shard& shard = shards_[s];
+        std::lock_guard<std::mutex> lock(shard.mutex);
+        out.entries += shard.menus.size() + shard.costs.size();
+        out.bytes += shard.bytes;
+    }
+    return out;
+}
+
+void
+EvalCache::reset_stats()
+{
+    hits_.store(0, std::memory_order_relaxed);
+    misses_.store(0, std::memory_order_relaxed);
+    evictions_.store(0, std::memory_order_relaxed);
+}
+
+void
+EvalCache::clear()
+{
+    for (std::size_t s = 0; s < kShards; ++s) {
+        Shard& shard = shards_[s];
+        std::lock_guard<std::mutex> lock(shard.mutex);
+        shard.menus.clear();
+        shard.costs.clear();
+        shard.bytes = 0;
+    }
+}
+
+void
+EvalCache::set_capacity_bytes(std::uint64_t capacity)
+{
+    capacity_bytes_.store(capacity, std::memory_order_relaxed);
+}
+
+} // namespace flat

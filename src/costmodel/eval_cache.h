@@ -1,0 +1,133 @@
+/**
+ * @file
+ * Process-wide, sharded, thread-safe evaluation cache for the DSE hot
+ * path. Two families of sub-problems recur across search_attention
+ * slices, core/sweep points, search_scaleout's inner sweeps and the
+ * bench suite:
+ *
+ *   - the L2 tile menu of a (AccelConfig, GemmShape, budget fractions,
+ *     stationarity) tuple, and
+ *   - the per-(tile, order) GemmSliceCost table of a slice (compute
+ *     cost + DRAM reuse multipliers),
+ *
+ * both pure functions of their keys. The cache memoizes them behind a
+ * canonical string key (FNV-1a picks the shard; full string equality
+ * decides the hit, so a hash collision can never alias two different
+ * sub-problems — results stay bit-identical with the cache on or off).
+ *
+ * Entries are immutable and handed out as shared_ptr, so a consumer
+ * keeps its table alive even if the shard is reset under memory
+ * pressure. Misses compute OUTSIDE the shard lock; a racing duplicate
+ * insert keeps the first entry (both are bit-identical by purity).
+ */
+#ifndef FLAT_COSTMODEL_EVAL_CACHE_H
+#define FLAT_COSTMODEL_EVAL_CACHE_H
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "arch/accel_config.h"
+#include "costmodel/gemm_engine.h"
+#include "dataflow/tiling.h"
+#include "workload/gemm_shape.h"
+
+namespace flat {
+
+/** Snapshot of the cache's behavior counters. */
+struct CacheStats {
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t evictions = 0; ///< entries dropped by capacity resets
+    std::uint64_t entries = 0;   ///< live entries across all shards
+    std::uint64_t bytes = 0;     ///< approximate payload + key bytes
+
+    /** hits / (hits + misses); 0 when the cache was never consulted. */
+    double hit_rate() const;
+};
+
+/**
+ * The process-wide evaluation cache (see file comment). All methods are
+ * thread-safe. Disable it (set_enabled(false) or flatsim
+ * --no-eval-cache) to force every lookup to recompute — results must
+ * not change, only throughput.
+ */
+class EvalCache
+{
+  public:
+    using TileMenu = std::shared_ptr<const std::vector<L2Tile>>;
+    using GemmCostTable =
+        std::shared_ptr<const std::vector<GemmSliceCost>>;
+
+    static EvalCache& instance();
+
+    /** Process-wide switch; disabled lookups bypass the shards (and the
+     *  counters) entirely and recompute. */
+    static void set_enabled(bool enabled);
+    static bool enabled();
+
+    /**
+     * Memoized L2 tile menu. The key covers @p accel's physical fields,
+     * the (m, k, n) shape, @p budget_fractions and @p stationarity;
+     * @p compute supplies the menu on a miss (the dse layer owns
+     * tile_candidates(), which this library cannot call — dependency
+     * order). Operand kinds and instance counts are intentionally not
+     * part of the key: the tile menu is a pure function of the listed
+     * inputs only.
+     */
+    TileMenu tile_menu(const AccelConfig& accel, const GemmShape& shape,
+                       const std::vector<double>& budget_fractions,
+                       Stationarity stationarity,
+                       const std::function<std::vector<L2Tile>()>& compute);
+
+    /**
+     * Memoized per-(tile, order) cost table for one slice: entry
+     * [t * orders.size() + o] is
+     * { model_gemm_compute(accel, shape, tiles[t], orders[o],
+     *   stationarity), stage_reuse(shape, tiles[t], orders[o]) } —
+     * the exact layout the DSE's SliceBound indexes. Both members are
+     * pure functions of the same key, so they share one entry.
+     */
+    GemmCostTable gemm_costs(const AccelConfig& accel,
+                             const GemmShape& shape,
+                             const std::vector<L2Tile>& tiles,
+                             const std::vector<LoopOrder>& orders,
+                             Stationarity stationarity);
+
+    CacheStats stats() const;
+    void reset_stats();
+
+    /** Drops every entry (outstanding shared_ptr handles stay valid). */
+    void clear();
+
+    /**
+     * Approximate process-wide payload budget. A shard whose share
+     * overflows is reset wholesale (counted in CacheStats::evictions) —
+     * the population is small and uniform enough that LRU bookkeeping
+     * would cost more than the occasional recompute.
+     */
+    void set_capacity_bytes(std::uint64_t capacity);
+
+  private:
+    EvalCache();
+
+    struct Shard;
+
+    template <typename Payload, typename Compute>
+    std::shared_ptr<const Payload> lookup(std::string key,
+                                          const Compute& compute);
+
+    static constexpr std::size_t kShards = 16;
+    std::unique_ptr<Shard[]> shards_;
+    std::atomic<std::uint64_t> capacity_bytes_;
+    std::atomic<std::uint64_t> hits_{0};
+    std::atomic<std::uint64_t> misses_{0};
+    std::atomic<std::uint64_t> evictions_{0};
+};
+
+} // namespace flat
+
+#endif // FLAT_COSTMODEL_EVAL_CACHE_H

@@ -217,4 +217,22 @@ default_l2_tile(const AccelConfig& accel, const GemmShape& shape,
     return tile;
 }
 
+StageReuse
+stage_reuse(const GemmShape& shape, const L2Tile& tile_in, LoopOrder order)
+{
+    const L2Tile tile = tile_in.clamped(shape);
+    const std::uint64_t tm = tile.trips_m(shape);
+    const std::uint64_t tk = tile.trips_k(shape);
+    const std::uint64_t tn = tile.trips_n(shape);
+    const ReuseCounts reuse = analyze_reuse(order, tm, tk, tn);
+
+    StageReuse out;
+    out.a_repeats = static_cast<double>(reuse.a_fetches) / (tm * tk);
+    out.b_repeats = static_cast<double>(reuse.b_fetches) / (tk * tn);
+    out.c_write_repeats =
+        static_cast<double>(reuse.c_writes) / reuse.c_tiles;
+    out.c_read_repeats = static_cast<double>(reuse.c_reads) / reuse.c_tiles;
+    return out;
+}
+
 } // namespace flat

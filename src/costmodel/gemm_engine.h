@@ -65,6 +65,32 @@ GemmComputeCost model_gemm_compute(const AccelConfig& accel,
                                    Stationarity stationarity);
 
 /**
+ * Per-tensor DRAM fetch-event multipliers of one tiled GEMM: how many
+ * full passes over each operand/result the (tile, loop order) reuse
+ * pattern implies. A pure function of (shape, tile, order) — the
+ * attention planner consumes it per stage and the evaluation cache
+ * memoizes it alongside GemmComputeCost.
+ */
+struct StageReuse {
+    double a_repeats = 1.0;       ///< streaming repeats of the A operand
+    double b_repeats = 1.0;       ///< streaming repeats of the B operand
+    double c_write_repeats = 1.0; ///< output write passes
+    double c_read_repeats = 0.0;  ///< partial-sum re-read passes
+};
+
+StageReuse stage_reuse(const GemmShape& shape, const L2Tile& tile,
+                       LoopOrder order);
+
+/**
+ * One cached record of the per-(tile, order) slice tables: the compute
+ * cost plus the reuse multipliers, both pure functions of the same key.
+ */
+struct GemmSliceCost {
+    GemmComputeCost compute;
+    StageReuse reuse;
+};
+
+/**
  * Ideal cycles for @p macs MACs on @p accel (all PEs busy every cycle).
  */
 double ideal_gemm_cycles(const AccelConfig& accel, std::uint64_t macs);

@@ -74,15 +74,30 @@ to_string(StageTag stage)
     return "compute";
 }
 
-TimelineResult
-evaluate_timeline(std::vector<Phase> phases, const AccelConfig& accel,
-                  OverlapKind overlap, double link_bytes_per_cycle)
+namespace {
+
+/**
+ * The one arbitration engine behind both evaluate_timeline() entry
+ * points. Reads @p phases (never touching out.phases, so callers can
+ * alias or reuse buffers), reuses @p group_order / @p track_cycles as
+ * scratch and overwrites every field of @p out it is responsible for.
+ * At steady state (same phase-list shape as the previous call on the
+ * same buffers) it performs zero heap allocations.
+ */
+void
+evaluate_core(const std::vector<Phase>& phases, const AccelConfig& accel,
+              OverlapKind overlap, double link_bytes_per_cycle,
+              std::vector<int>& group_order,
+              std::vector<std::pair<int, double>>& track_cycles,
+              bool summary_only, TimelineResult& out)
 {
     accel.validate();
 
-    TimelineResult out;
-    out.phases = std::move(phases);
-    out.phase_timings.resize(out.phases.size());
+    out.phase_timings.resize(summary_only ? 0 : phases.size());
+    out.cycles = 0.0;
+    out.cold_start_cycles = 0.0;
+    out.bound_by = BoundBy::kCompute;
+    out.activity = ActivityCounts{};
 
     const double off_bpc = accel.offchip_bytes_per_cycle();
     const double on_bpc = accel.onchip_bytes_per_cycle();
@@ -114,33 +129,40 @@ evaluate_timeline(std::vector<Phase> phases, const AccelConfig& accel,
 
     // Group discovery in order of first appearance; evaluation never
     // reorders what the emitter laid out.
-    std::vector<int> group_order;
-    for (const Phase& phase : out.phases) {
+    group_order.clear();
+    for (const Phase& phase : phases) {
         if (std::find(group_order.begin(), group_order.end(),
                       phase.group) == group_order.end()) {
             group_order.push_back(phase.group);
         }
     }
 
-    for (const int group_id : group_order) {
-        GroupTiming timing;
+    out.groups.resize(group_order.size());
+    for (std::size_t gi = 0; gi < group_order.size(); ++gi) {
+        const int group_id = group_order[gi];
+        GroupTiming& timing = out.groups[gi];
         timing.group = group_id;
         timing.overlap = overlap;
+        timing.phase_indices.clear();
 
         // Serial phases chain on the array/SFU; tracks >= 0 run
         // side by side (spatial pipelining), so only the slowest
         // track adds to the group's compute lane.
         double serial_cycles = 0.0;
-        std::vector<std::pair<int, double>> track_cycles;
+        track_cycles.clear();
         TrafficBytes bytes;
         double link_latency = 0.0;
         bool all_pace_only = true;
-        for (std::size_t i = 0; i < out.phases.size(); ++i) {
-            const Phase& phase = out.phases[i];
+        std::size_t members = 0;
+        for (std::size_t i = 0; i < phases.size(); ++i) {
+            const Phase& phase = phases[i];
             if (phase.group != group_id) {
                 continue;
             }
-            timing.phase_indices.push_back(i);
+            ++members;
+            if (!summary_only) {
+                timing.phase_indices.push_back(i);
+            }
             const double occupancy =
                 phase.compute_cycles + phase.sfu_cycles;
             if (phase.track < 0) {
@@ -171,24 +193,32 @@ evaluate_timeline(std::vector<Phase> phases, const AccelConfig& accel,
         timing.latency = combine_lanes(timing.lanes, overlap);
         timing.bound_by = pick_bound(timing.lanes);
         out.cycles += timing.latency;
-        if (all_pace_only && !timing.phase_indices.empty()) {
+        if (all_pace_only && members > 0) {
             out.cold_start_cycles += timing.latency;
         }
-        out.groups.push_back(std::move(timing));
     }
 
-    for (std::size_t i = 0; i < out.phases.size(); ++i) {
-        const Phase& phase = out.phases[i];
-        PhaseTiming& timing = out.phase_timings[i];
-        timing.occupancy_cycles = phase.compute_cycles + phase.sfu_cycles;
-        const LaneCycles lanes =
-            lanes_of(timing.occupancy_cycles, phase.activity.traffic,
-                     phase.link_latency_cycles);
-        timing.paced_cycles = combine_lanes(lanes, overlap);
-        timing.bound_by = pick_bound(lanes);
-        timing.on_critical_path = timing.occupancy_cycles > 0.0;
-        if (!phase.pace_only) {
-            out.activity += phase.activity;
+    if (summary_only) {
+        for (const Phase& phase : phases) {
+            if (!phase.pace_only) {
+                out.activity += phase.activity;
+            }
+        }
+    } else {
+        for (std::size_t i = 0; i < phases.size(); ++i) {
+            const Phase& phase = phases[i];
+            PhaseTiming& timing = out.phase_timings[i];
+            timing.occupancy_cycles =
+                phase.compute_cycles + phase.sfu_cycles;
+            const LaneCycles lanes =
+                lanes_of(timing.occupancy_cycles, phase.activity.traffic,
+                         phase.link_latency_cycles);
+            timing.paced_cycles = combine_lanes(lanes, overlap);
+            timing.bound_by = pick_bound(lanes);
+            timing.on_critical_path = timing.occupancy_cycles > 0.0;
+            if (!phase.pace_only) {
+                out.activity += phase.activity;
+            }
         }
     }
 
@@ -201,7 +231,31 @@ evaluate_timeline(std::vector<Phase> phases, const AccelConfig& accel,
             out.bound_by = group.bound_by;
         }
     }
+}
+
+} // namespace
+
+TimelineResult
+evaluate_timeline(std::vector<Phase> phases, const AccelConfig& accel,
+                  OverlapKind overlap, double link_bytes_per_cycle)
+{
+    TimelineResult out;
+    std::vector<int> group_order;
+    std::vector<std::pair<int, double>> track_cycles;
+    evaluate_core(phases, accel, overlap, link_bytes_per_cycle,
+                  group_order, track_cycles, /*summary_only=*/false,
+                  out);
+    out.phases = std::move(phases);
     return out;
+}
+
+void
+evaluate_timeline_into(TimelineScratch& scratch, const AccelConfig& accel,
+                       OverlapKind overlap, double link_bytes_per_cycle)
+{
+    evaluate_core(scratch.phases, accel, overlap, link_bytes_per_cycle,
+                  scratch.group_ids, scratch.track_cycles,
+                  scratch.summary_only, scratch.result);
 }
 
 } // namespace flat

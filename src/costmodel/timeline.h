@@ -20,6 +20,7 @@
 
 #include <cstddef>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "arch/accel_config.h"
@@ -189,6 +190,52 @@ TimelineResult evaluate_timeline(std::vector<Phase> phases,
                                  OverlapKind overlap =
                                      OverlapKind::kOverlapped,
                                  double link_bytes_per_cycle = 0.0);
+
+/**
+ * Reusable buffers for repeated timeline evaluation (one instance per
+ * worker thread). Emitters write into `phases` in place (reusing the
+ * Phase label strings' capacity) and evaluate_timeline_into() fills
+ * `result` without releasing any of its vectors, so a steady-state
+ * evaluate loop performs zero heap allocations.
+ */
+struct TimelineScratch {
+    /** Input: the phase list to evaluate (emitted in place). */
+    std::vector<Phase> phases;
+
+    /**
+     * Output of evaluate_timeline_into(). Unlike evaluate_timeline(),
+     * `result.phases` stays EMPTY — the phases live in `phases` above
+     * (phase_timings is parallel to it); moving them would defeat the
+     * buffer reuse.
+     */
+    TimelineResult result;
+
+    /** Internal evaluator scratch; contents are unspecified. */
+    std::vector<int> group_ids;
+    std::vector<std::pair<int, double>> track_cycles;
+
+    /**
+     * When set, evaluate_timeline_into() skips the per-phase
+     * PhaseTiming fill and the groups' member index lists —
+     * `result.phase_timings` is left empty and
+     * `result.groups[i].phase_indices` is cleared. The scalar summary
+     * (cycles, cold_start_cycles, bound_by, activity, group latencies)
+     * is computed with identical arithmetic either way. The DSE hot
+     * path reads only the summary and sets this to shed the per-phase
+     * bookkeeping.
+     */
+    bool summary_only = false;
+};
+
+/**
+ * Identical arithmetic to evaluate_timeline() — same results bit for
+ * bit — but reads `scratch.phases` and reuses every buffer inside
+ * `scratch.result` instead of allocating a fresh TimelineResult.
+ */
+void evaluate_timeline_into(TimelineScratch& scratch,
+                            const AccelConfig& accel,
+                            OverlapKind overlap = OverlapKind::kOverlapped,
+                            double link_bytes_per_cycle = 0.0);
 
 } // namespace flat
 

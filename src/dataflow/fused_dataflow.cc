@@ -1,5 +1,7 @@
 #include "dataflow/fused_dataflow.h"
 
+#include <cstdio>
+
 #include "common/status.h"
 #include "common/string_util.h"
 
@@ -62,8 +64,46 @@ FusedStageFlags::tag() const
 std::string
 FusedDataflow::tag() const
 {
-    return cross.tag() + "/" + l2_logit.tag() + "/" + l2_attend.tag() +
-           "/" + stage.tag();
+    // Byte-identical to
+    //   cross.tag() + "/" + l2_logit.tag() + "/" + l2_attend.tag() +
+    //   "/" + stage.tag()
+    // but built in one pass: the DSE tie-break constructs this tag for
+    // every candidate that matches the incumbent's objective value, so
+    // the string-concatenation temporaries were a measurable slice of
+    // the per-point cost.
+    char buf[128];
+    int len;
+    if (cross.granularity == Granularity::kRow) {
+        len = std::snprintf(
+            buf, sizeof(buf), "R%llu/%llux%llux%llu/%llux%llux%llu/",
+            static_cast<unsigned long long>(cross.rows),
+            static_cast<unsigned long long>(l2_logit.m),
+            static_cast<unsigned long long>(l2_logit.k),
+            static_cast<unsigned long long>(l2_logit.n),
+            static_cast<unsigned long long>(l2_attend.m),
+            static_cast<unsigned long long>(l2_attend.k),
+            static_cast<unsigned long long>(l2_attend.n));
+    } else {
+        len = std::snprintf(
+            buf, sizeof(buf), "%s/%llux%llux%llu/%llux%llux%llu/",
+            to_string(cross.granularity).c_str(),
+            static_cast<unsigned long long>(l2_logit.m),
+            static_cast<unsigned long long>(l2_logit.k),
+            static_cast<unsigned long long>(l2_logit.n),
+            static_cast<unsigned long long>(l2_attend.m),
+            static_cast<unsigned long long>(l2_attend.k),
+            static_cast<unsigned long long>(l2_attend.n));
+    }
+    FLAT_ASSERT(len > 0 &&
+                    static_cast<std::size_t>(len) + 5 < sizeof(buf),
+                "dataflow tag overflows its buffer");
+    char* p = buf + len;
+    *p++ = stage.query ? 'Q' : '-';
+    *p++ = stage.key ? 'K' : '-';
+    *p++ = stage.value ? 'V' : '-';
+    *p++ = stage.output ? 'O' : '-';
+    *p++ = stage.intermediate ? 'I' : '-';
+    return std::string(buf, static_cast<std::size_t>(p - buf));
 }
 
 void

@@ -1,8 +1,10 @@
 #include "dse/search.h"
 
+#include <algorithm>
 #include <atomic>
 #include <limits>
 #include <map>
+#include <numeric>
 #include <string>
 #include <tuple>
 #include <utility>
@@ -12,6 +14,7 @@
 #include "common/status.h"
 #include "common/string_util.h"
 #include "common/thread_pool.h"
+#include "costmodel/eval_cache.h"
 #include "costmodel/gemm_engine.h"
 
 namespace flat {
@@ -67,10 +70,11 @@ struct SlicedSpace {
     std::vector<FusedStageFlags> flag_sets;
     std::vector<SearchSlice> slices;
 
-    /** Owns the cached tile menus; keys are (m, k, n, stationarity).
-     *  std::map guarantees stable addresses for SearchSlice pointers. */
+    /** Keeps the process-wide cache's tile menus alive for the whole
+     *  search; keys are (m, k, n, stationarity). The shared_ptr targets
+     *  are immutable, so SearchSlice pointers into them stay valid. */
     std::map<std::tuple<std::uint64_t, std::uint64_t, std::uint64_t, int>,
-             std::vector<L2Tile>>
+             EvalCache::TileMenu>
         tile_menus;
 };
 
@@ -126,10 +130,16 @@ build_sliced_space(const AccelConfig& accel, const AttentionDims& dims,
         if (it == space.tile_menus.end()) {
             it = space.tile_menus
                      .emplace(key,
-                              tile_candidates(accel, shape, cand, stat))
+                              EvalCache::instance().tile_menu(
+                                  accel, shape,
+                                  cand.tile_budget_fractions, stat,
+                                  [&] {
+                                      return tile_candidates(accel, shape,
+                                                             cand, stat);
+                                  }))
                      .first;
         }
-        return &it->second;
+        return it->second.get();
     };
 
     for (const CrossLoop& cross : crosses) {
@@ -172,13 +182,19 @@ for_each_slice_point(const SearchSlice& slice,
                      const std::vector<FusedStageFlags>& flag_sets,
                      Visit&& visit)
 {
+    // Loop orders vary innermost: consecutive points then differ only
+    // in the order axes, so the evaluator's plan-base memo (see
+    // AttentionEvalScratch) hits on all but the first point of each
+    // (tiles, flags) block. Enumeration order is otherwise free — the
+    // search's total order on candidates and the capped-explore
+    // prefix semantics are both self-consistent under any fixed order.
     const std::vector<L2Tile>& tiles_l = *slice.tiles_logit;
     const std::vector<L2Tile>& tiles_a = *slice.tiles_attend;
     for (std::size_t tl = 0; tl < tiles_l.size(); ++tl) {
         for (std::size_t ta = 0; ta < tiles_a.size(); ++ta) {
-            for (std::size_t ol = 0; ol < orders.size(); ++ol) {
-                for (std::size_t oa = 0; oa < orders.size(); ++oa) {
-                    for (const FusedStageFlags& flags : flag_sets) {
+            for (const FusedStageFlags& flags : flag_sets) {
+                for (std::size_t ol = 0; ol < orders.size(); ++ol) {
+                    for (std::size_t oa = 0; oa < orders.size(); ++oa) {
                         FusedDataflow df;
                         df.cross = slice.cross;
                         df.l2_logit = tiles_l[tl];
@@ -221,9 +237,14 @@ struct SliceBound {
     double inter_sg_bytes = 0.0;    ///< intermediate SG round trip
     double sg_pj_per_byte = 0.0;
 
-    /** Compute cost per (tile, order), memoized once per slice. */
-    std::vector<GemmComputeCost> logit_costs;
-    std::vector<GemmComputeCost> attend_costs;
+    /** Cost record per (tile, order), entry [t * n_orders + o], from
+     *  the process-wide evaluation cache (shared across slices, sweep
+     *  points and repeated searches). The phase emitters consume these
+     *  same records via PlannedGemmCosts, so each point's two
+     *  model_gemm_compute and two stage_reuse calls happen at most once
+     *  per process. */
+    EvalCache::GemmCostTable logit_costs;
+    EvalCache::GemmCostTable attend_costs;
 
     /** Relative slack keeping the bound strictly below the modeled
      *  value even though the timeline evaluator may associate the same
@@ -234,8 +255,8 @@ struct SliceBound {
     double lower_bound(Objective objective, std::size_t li,
                        std::size_t ai) const
     {
-        const GemmComputeCost& lc = logit_costs[li];
-        const GemmComputeCost& ac = attend_costs[ai];
+        const GemmComputeCost& lc = (*logit_costs)[li].compute;
+        const GemmComputeCost& ac = (*attend_costs)[ai].compute;
         const double cycles_lb =
             ((lc.total_cycles() + ac.total_cycles()) * slices_count +
              softmax_plus_cold) *
@@ -290,23 +311,12 @@ make_slice_bound(const AccelConfig& accel, const AttentionDims& dims,
     bound.inter_sg_bytes = 2.0 * inter_elems * bpe;
     bound.sg_pj_per_byte = energy_table.sg_pj_per_byte;
 
-    bound.logit_costs.reserve(slice.tiles_logit->size() * orders.size());
-    for (const L2Tile& tile : *slice.tiles_logit) {
-        for (LoopOrder order : orders) {
-            bound.logit_costs.push_back(
-                model_gemm_compute(accel, slice.logit_shape, tile, order,
-                                   slice.stat_logit));
-        }
-    }
-    bound.attend_costs.reserve(slice.tiles_attend->size() *
-                               orders.size());
-    for (const L2Tile& tile : *slice.tiles_attend) {
-        for (LoopOrder order : orders) {
-            bound.attend_costs.push_back(
-                model_gemm_compute(accel, slice.attend_shape, tile, order,
-                                   slice.stat_attend));
-        }
-    }
+    bound.logit_costs = EvalCache::instance().gemm_costs(
+        accel, slice.logit_shape, *slice.tiles_logit, orders,
+        slice.stat_logit);
+    bound.attend_costs = EvalCache::instance().gemm_costs(
+        accel, slice.attend_shape, *slice.tiles_attend, orders,
+        slice.stat_attend);
     return bound;
 }
 
@@ -394,6 +404,44 @@ search_attention(const AccelConfig& accel, const AttentionDims& dims,
     const EnergyTable energy_table = EnergyTable::for_accel(accel);
     const SlicedSpace space = build_sliced_space(accel, dims, options);
 
+    // Per-slice pruning bounds, precomputed up front (each is one or
+    // two cache probes plus a handful of arithmetic; the grain batches
+    // the tiny tasks so scheduling atomics do not dominate).
+    std::vector<SliceBound> bounds(space.slices.size());
+    parallel_for(
+        space.slices.size(), options.threads,
+        [&](std::size_t si) {
+            bounds[si] = make_slice_bound(accel, dims, energy_table,
+                                          space.slices[si], space.orders);
+        },
+        /*grain=*/4);
+
+    // Schedule slices by ascending lower bound: promising slices run
+    // first, the shared incumbent drops early, and the worse-bounded
+    // tail prunes harder. The reduction below walks outcomes in the
+    // ORIGINAL slice order, so the schedule cannot change the result —
+    // pruning skips only points strictly worse than the final optimum.
+    std::vector<double> priority(space.slices.size());
+    for (std::size_t si = 0; si < space.slices.size(); ++si) {
+        const SliceBound& bound = bounds[si];
+        double best_lb = std::numeric_limits<double>::infinity();
+        for (std::size_t li = 0; li < bound.logit_costs->size(); ++li) {
+            for (std::size_t ai = 0; ai < bound.attend_costs->size();
+                 ++ai) {
+                best_lb = std::min(
+                    best_lb,
+                    bound.lower_bound(options.objective, li, ai));
+            }
+        }
+        priority[si] = best_lb;
+    }
+    std::vector<std::size_t> schedule(space.slices.size());
+    std::iota(schedule.begin(), schedule.end(), std::size_t{0});
+    std::stable_sort(schedule.begin(), schedule.end(),
+                     [&](std::size_t a, std::size_t b) {
+                         return priority[a] < priority[b];
+                     });
+
     // Best objective value seen by ANY thread. Pruning compares against
     // it with a strict >, so a skipped point is strictly worse than the
     // final optimum and can never win, not even on the tag tie-break.
@@ -402,35 +450,49 @@ search_attention(const AccelConfig& accel, const AttentionDims& dims,
     std::vector<SliceOutcome> outcomes(space.slices.size());
 
     parallel_for(
-        space.slices.size(), options.threads, [&](std::size_t si) {
+        space.slices.size(), options.threads, [&](std::size_t k) {
+            const std::size_t si = schedule[k];
             const SearchSlice& slice = space.slices[si];
             SliceOutcome& out = outcomes[si];
-            const SliceBound bound = make_slice_bound(
-                accel, dims, energy_table, slice, space.orders);
+            const SliceBound& bound = bounds[si];
             const std::size_t n_orders = space.orders.size();
+            const std::vector<GemmSliceCost>& logit_costs =
+                *bound.logit_costs;
+            const std::vector<GemmSliceCost>& attend_costs =
+                *bound.attend_costs;
+            AttentionEvalScratch scratch;
+            // The DSE reads only the scalar cost summary; skip the
+            // per-phase timing fill inside the evaluator.
+            scratch.timeline.summary_only = true;
+            DsePoint point;
 
             for_each_slice_point(
                 slice, space.orders, space.flag_sets,
                 [&](const FusedDataflow& df, std::size_t tl,
                     std::size_t ta, std::size_t ol, std::size_t oa) {
+                    const std::size_t li = tl * n_orders + ol;
+                    const std::size_t ai = ta * n_orders + oa;
                     if (options.prune) {
                         const double lb = bound.lower_bound(
-                            options.objective, tl * n_orders + ol,
-                            ta * n_orders + oa);
+                            options.objective, li, ai);
                         if (lb >
                             shared_best.load(std::memory_order_relaxed)) {
                             ++out.pruned;
                             return true;
                         }
                     }
-                    DsePoint point;
+                    PlannedGemmCosts planned;
+                    planned.logit = &logit_costs[li];
+                    planned.attend = &attend_costs[ai];
                     point.dataflow = df;
                     point.cost =
                         options.fused
-                            ? model_flat_attention(accel, dims, df)
+                            ? model_flat_attention(accel, dims, df,
+                                                   scratch, planned)
                             : model_baseline_attention(
                                   accel, dims, df,
-                                  options.baseline_overlap);
+                                  options.baseline_overlap, scratch,
+                                  planned);
                     point.energy_j =
                         estimate_energy(energy_table,
                                         point.cost.activity)
@@ -446,7 +508,7 @@ search_attention(const AccelConfig& accel, const AttentionDims& dims,
                         if (improves(value, tag, out.value, out.tag)) {
                             out.value = value;
                             out.tag = tag;
-                            out.best = std::move(point);
+                            out.best = point;
                             out.found = true;
                             update_shared_best(shared_best, value);
                         }
@@ -497,6 +559,8 @@ explore_attention(const AccelConfig& accel, const AttentionDims& dims,
         space.slices.size(), options.threads, [&](std::size_t si) {
             const SearchSlice& slice = space.slices[si];
             std::vector<DsePoint>& local = per_slice[si];
+            AttentionEvalScratch scratch;
+            scratch.timeline.summary_only = true;
             for_each_slice_point(
                 slice, space.orders, space.flag_sets,
                 [&](const FusedDataflow& df, std::size_t, std::size_t,
@@ -508,10 +572,11 @@ explore_attention(const AccelConfig& accel, const AttentionDims& dims,
                     point.dataflow = df;
                     point.cost =
                         options.fused
-                            ? model_flat_attention(accel, dims, df)
+                            ? model_flat_attention(accel, dims, df,
+                                                   scratch)
                             : model_baseline_attention(
                                   accel, dims, df,
-                                  options.baseline_overlap);
+                                  options.baseline_overlap, scratch);
                     point.energy_j =
                         estimate_energy(energy_table,
                                         point.cost.activity)
@@ -563,9 +628,11 @@ search_operator(const AccelConfig& accel, const Operator& op,
     }
 
     for (Stationarity stat : stats) {
-        const std::vector<L2Tile> tiles =
-            tile_candidates(accel, op.gemm, cand, stat);
-        for (const L2Tile& tile : tiles) {
+        const EvalCache::TileMenu tiles = EvalCache::instance().tile_menu(
+            accel, op.gemm, cand.tile_budget_fractions, stat, [&] {
+                return tile_candidates(accel, op.gemm, cand, stat);
+            });
+        for (const L2Tile& tile : *tiles) {
             for (LoopOrder order : orders) {
                 for (const L3StageFlags& l3 : l3_sets) {
                     OperatorDataflow df;

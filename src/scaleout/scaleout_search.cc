@@ -1,6 +1,9 @@
 #include "scaleout/scaleout_search.h"
 
 #include <algorithm>
+#include <array>
+#include <cstdint>
+#include <map>
 
 #include "common/status.h"
 #include "energy/energy_model.h"
@@ -66,6 +69,28 @@ search_scaleout(const AccelConfig& accel, const AttentionDims& dims,
 
     const EnergyTable table = EnergyTable::for_accel(accel);
 
+    // Different (devices, axis) points often shard to the SAME
+    // per-device dims (ceil_div plateaus, degenerate axes), and the
+    // level-1 search depends only on those dims — memoize it per call.
+    // The evaluation cache below it still shares the per-slice tables
+    // across distinct dims, but this skips whole searches.
+    std::map<std::array<std::uint64_t, 5>, AttentionSearchResult>
+        inner_memo;
+    const auto inner_search =
+        [&](const AttentionDims& device_dims) -> const AttentionSearchResult& {
+        const std::array<std::uint64_t, 5> key = {
+            device_dims.batch, device_dims.heads, device_dims.q_len,
+            device_dims.kv_len, device_dims.head_dim};
+        auto it = inner_memo.find(key);
+        if (it == inner_memo.end()) {
+            it = inner_memo
+                     .emplace(key,
+                              search_attention(accel, device_dims, inner))
+                     .first;
+        }
+        return it->second;
+    };
+
     ScaleOutSearchResult out;
     double best_value = 0.0;
     for (const std::uint32_t devices : device_counts) {
@@ -86,8 +111,8 @@ search_scaleout(const AccelConfig& accel, const AttentionDims& dims,
                 devices == 1
                     ? dims
                     : shard_attention_dims(dims, axis, devices);
-            const AttentionSearchResult found =
-                search_attention(accel, device_dims, inner);
+            const AttentionSearchResult& found =
+                inner_search(device_dims);
             if (!found.found) {
                 continue;
             }

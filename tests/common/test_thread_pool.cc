@@ -104,6 +104,75 @@ TEST(ParallelFor, MoreThreadsThanWorkIsFine)
     EXPECT_EQ(calls.load(), 3);
 }
 
+TEST(ParallelFor, GrainVisitsEveryIndexExactlyOnce)
+{
+    constexpr std::size_t kN = 10000;
+    for (const std::size_t grain : {std::size_t{1}, std::size_t{3},
+                                    std::size_t{64}, std::size_t{997},
+                                    kN, kN * 2}) {
+        std::vector<std::atomic<int>> hits(kN);
+        parallel_for(kN, 8, [&](std::size_t i) { ++hits[i]; }, grain);
+        for (std::size_t i = 0; i < kN; ++i) {
+            ASSERT_EQ(hits[i].load(), 1)
+                << "grain " << grain << ", index " << i;
+        }
+    }
+}
+
+TEST(ParallelFor, GrainZeroBehavesLikeGrainOne)
+{
+    constexpr std::size_t kN = 257;
+    std::vector<std::atomic<int>> hits(kN);
+    parallel_for(kN, 4, [&](std::size_t i) { ++hits[i]; },
+                 /*grain=*/0);
+    for (std::size_t i = 0; i < kN; ++i) {
+        ASSERT_EQ(hits[i].load(), 1) << "index " << i;
+    }
+}
+
+TEST(ParallelFor, ChunkedMatchesUnchunkedResults)
+{
+    // The grain only batches index hand-out; the computed per-index
+    // results must be identical to the grain-1 schedule.
+    constexpr std::size_t kN = 4096;
+    std::vector<std::uint64_t> unchunked(kN), chunked(kN);
+    const auto body = [](std::size_t i) {
+        return static_cast<std::uint64_t>(i) * 2654435761u + 17u;
+    };
+    parallel_for(kN, 8, [&](std::size_t i) { unchunked[i] = body(i); });
+    parallel_for(kN, 8, [&](std::size_t i) { chunked[i] = body(i); },
+                 /*grain=*/128);
+    EXPECT_EQ(chunked, unchunked);
+}
+
+TEST(ParallelFor, GrainSerialRunsInOrderOnCaller)
+{
+    const std::thread::id caller = std::this_thread::get_id();
+    std::vector<std::size_t> order;
+    parallel_for(100, 1,
+                 [&](std::size_t i) {
+                     EXPECT_EQ(std::this_thread::get_id(), caller);
+                     order.push_back(i);
+                 },
+                 /*grain=*/16);
+    ASSERT_EQ(order.size(), 100u);
+    for (std::size_t i = 0; i < order.size(); ++i) {
+        EXPECT_EQ(order[i], i);
+    }
+}
+
+TEST(ParallelFor, GrainPropagatesTheFirstException)
+{
+    EXPECT_THROW(parallel_for(1000, 4,
+                              [&](std::size_t i) {
+                                  if (i == 537) {
+                                      throw std::runtime_error("boom");
+                                  }
+                              },
+                              /*grain=*/32),
+                 std::runtime_error);
+}
+
 TEST(ThreadPool, RunsEverySubmittedTask)
 {
     std::atomic<int> done{0};

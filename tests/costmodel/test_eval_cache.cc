@@ -1,0 +1,267 @@
+/**
+ * @file
+ * Contract of the process-wide evaluation cache: results are
+ * bit-identical with the cache on or off and for any thread count, the
+ * counters track hits/misses/entries honestly, disabled lookups bypass
+ * the shards entirely, and clear() never invalidates handed-out
+ * payloads. Labeled `concurrency` — the bit-identity checks drive the
+ * parallel DSE engine through the shared cache.
+ */
+#include "costmodel/eval_cache.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "costmodel/gemm_engine.h"
+#include "dse/search.h"
+
+namespace flat {
+namespace {
+
+/** Restores the global enabled flag and leaves a clean cache behind. */
+class CacheFixture : public ::testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        saved_ = EvalCache::enabled();
+        EvalCache::set_enabled(true);
+        EvalCache::instance().clear();
+        EvalCache::instance().reset_stats();
+    }
+
+    void
+    TearDown() override
+    {
+        EvalCache::instance().clear();
+        EvalCache::instance().reset_stats();
+        EvalCache::set_enabled(saved_);
+    }
+
+  private:
+    bool saved_ = true;
+};
+
+AttentionDims
+self_attention(std::uint64_t n)
+{
+    AttentionDims d;
+    d.batch = 16;
+    d.heads = 8;
+    d.q_len = n;
+    d.kv_len = n;
+    d.head_dim = 64;
+    return d;
+}
+
+AttentionSearchResult
+run_search(unsigned threads)
+{
+    AttentionSearchOptions opt;
+    opt.quick = true;
+    opt.threads = threads;
+    return search_attention(edge_accel(), self_attention(1024), opt);
+}
+
+void
+expect_identical(const AttentionSearchResult& a,
+                 const AttentionSearchResult& b, const char* what)
+{
+    ASSERT_TRUE(a.found) << what;
+    ASSERT_TRUE(b.found) << what;
+    EXPECT_EQ(a.best.dataflow.tag(), b.best.dataflow.tag()) << what;
+    EXPECT_EQ(a.best.cost.cycles, b.best.cost.cycles) << what;
+    EXPECT_EQ(a.best.cost.live_footprint_bytes,
+              b.best.cost.live_footprint_bytes)
+        << what;
+    EXPECT_EQ(a.best.energy_j, b.best.energy_j) << what;
+    EXPECT_EQ(a.evaluated + a.pruned, b.evaluated + b.pruned) << what;
+}
+
+TEST_F(CacheFixture, SearchIsBitIdenticalWithCacheOnOrOff)
+{
+    EvalCache::set_enabled(false);
+    const AttentionSearchResult off = run_search(1);
+
+    EvalCache::set_enabled(true);
+    const AttentionSearchResult cold = run_search(1);
+    expect_identical(off, cold, "cache off vs cold cache");
+
+    // A warm cache (every lookup a hit) must not change a single bit.
+    const AttentionSearchResult warm = run_search(1);
+    expect_identical(off, warm, "cache off vs warm cache");
+    EXPECT_GT(EvalCache::instance().stats().hits, 0u);
+}
+
+TEST_F(CacheFixture, SearchIsBitIdenticalAcrossThreadCounts)
+{
+    const AttentionSearchResult serial = run_search(1);
+    const AttentionSearchResult threaded = run_search(8);
+    expect_identical(serial, threaded, "1 thread vs 8 threads");
+}
+
+TEST_F(CacheFixture, CountersTrackMissesThenHits)
+{
+    const AttentionSearchResult first = run_search(1);
+    ASSERT_TRUE(first.found);
+    const CacheStats after_first = EvalCache::instance().stats();
+    EXPECT_GT(after_first.misses, 0u);
+    EXPECT_GT(after_first.entries, 0u);
+    EXPECT_GT(after_first.bytes, 0u);
+
+    run_search(1);
+    const CacheStats after_second = EvalCache::instance().stats();
+    EXPECT_GT(after_second.hits, after_first.hits);
+    // The second identical search re-derives nothing.
+    EXPECT_EQ(after_second.misses, after_first.misses);
+    EXPECT_GT(after_second.hit_rate(), 0.0);
+    EXPECT_LE(after_second.hit_rate(), 1.0);
+}
+
+TEST_F(CacheFixture, TileMenuComputesOncePerKey)
+{
+    const AccelConfig accel = edge_accel();
+    GemmShape shape;
+    shape.m = 512;
+    shape.k = 64;
+    shape.n = 512;
+    const std::vector<double> fractions = {0.25, 0.5};
+    int computes = 0;
+    const auto compute = [&] {
+        ++computes;
+        return std::vector<L2Tile>{
+            default_l2_tile(accel, shape, accel.sg_bytes,
+                            Stationarity::kWeightStationary)};
+    };
+
+    const EvalCache::TileMenu first = EvalCache::instance().tile_menu(
+        accel, shape, fractions, Stationarity::kWeightStationary,
+        compute);
+    const EvalCache::TileMenu second = EvalCache::instance().tile_menu(
+        accel, shape, fractions, Stationarity::kWeightStationary,
+        compute);
+    EXPECT_EQ(computes, 1);
+    EXPECT_EQ(first.get(), second.get()); // the very same payload
+
+    // A different stationarity is a different key.
+    EvalCache::instance().tile_menu(accel, shape, fractions,
+                                    Stationarity::kOutputStationary,
+                                    compute);
+    EXPECT_EQ(computes, 2);
+
+    // So is a different shape.
+    shape.n = 1024;
+    EvalCache::instance().tile_menu(accel, shape, fractions,
+                                    Stationarity::kWeightStationary,
+                                    compute);
+    EXPECT_EQ(computes, 3);
+}
+
+TEST_F(CacheFixture, GemmCostTableMatchesDirectEvaluation)
+{
+    const AccelConfig accel = edge_accel();
+    GemmShape shape;
+    shape.m = 1024;
+    shape.k = 64;
+    shape.n = 1024;
+    const std::vector<L2Tile> tiles = {
+        default_l2_tile(accel, shape, accel.sg_bytes,
+                        Stationarity::kWeightStationary),
+        default_l2_tile(accel, shape, accel.sg_bytes / 4,
+                        Stationarity::kWeightStationary)};
+    const std::vector<LoopOrder> orders = {LoopOrder::kMKN,
+                                           LoopOrder::kNKM};
+
+    const EvalCache::GemmCostTable table =
+        EvalCache::instance().gemm_costs(
+            accel, shape, tiles, orders,
+            Stationarity::kWeightStationary);
+    ASSERT_EQ(table->size(), tiles.size() * orders.size());
+    for (std::size_t t = 0; t < tiles.size(); ++t) {
+        for (std::size_t o = 0; o < orders.size(); ++o) {
+            const GemmComputeCost direct = model_gemm_compute(
+                accel, shape, tiles[t], orders[o],
+                Stationarity::kWeightStationary);
+            const StageReuse reuse =
+                stage_reuse(shape, tiles[t], orders[o]);
+            const GemmSliceCost& cached =
+                (*table)[t * orders.size() + o];
+            EXPECT_EQ(cached.compute.compute_cycles,
+                      direct.compute_cycles);
+            EXPECT_EQ(cached.compute.fill_drain_cycles,
+                      direct.fill_drain_cycles);
+            EXPECT_EQ(cached.compute.tile_switches,
+                      direct.tile_switches);
+            EXPECT_EQ(cached.compute.sg_stream_bytes(),
+                      direct.sg_stream_bytes());
+            EXPECT_EQ(cached.reuse.a_repeats, reuse.a_repeats);
+            EXPECT_EQ(cached.reuse.b_repeats, reuse.b_repeats);
+            EXPECT_EQ(cached.reuse.c_write_repeats,
+                      reuse.c_write_repeats);
+            EXPECT_EQ(cached.reuse.c_read_repeats,
+                      reuse.c_read_repeats);
+        }
+    }
+}
+
+TEST_F(CacheFixture, DisabledLookupsBypassShardsAndCounters)
+{
+    EvalCache::set_enabled(false);
+    const AccelConfig accel = edge_accel();
+    GemmShape shape;
+    shape.m = 256;
+    shape.k = 64;
+    shape.n = 256;
+    int computes = 0;
+    const auto compute = [&] {
+        ++computes;
+        return std::vector<L2Tile>{
+            default_l2_tile(accel, shape, accel.sg_bytes,
+                            Stationarity::kWeightStationary)};
+    };
+    for (int i = 0; i < 3; ++i) {
+        EvalCache::instance().tile_menu(
+            accel, shape, {0.5}, Stationarity::kWeightStationary,
+            compute);
+    }
+    EXPECT_EQ(computes, 3); // every lookup recomputed
+    const CacheStats stats = EvalCache::instance().stats();
+    EXPECT_EQ(stats.hits, 0u);
+    EXPECT_EQ(stats.misses, 0u);
+    EXPECT_EQ(stats.entries, 0u);
+}
+
+TEST_F(CacheFixture, ClearKeepsHandedOutPayloadsAlive)
+{
+    const AccelConfig accel = edge_accel();
+    GemmShape shape;
+    shape.m = 128;
+    shape.k = 64;
+    shape.n = 128;
+    const EvalCache::TileMenu menu = EvalCache::instance().tile_menu(
+        accel, shape, {0.5}, Stationarity::kWeightStationary, [&] {
+            return std::vector<L2Tile>{
+                default_l2_tile(accel, shape, accel.sg_bytes,
+                                Stationarity::kWeightStationary)};
+        });
+    ASSERT_EQ(menu->size(), 1u);
+    const L2Tile before = (*menu)[0];
+
+    EvalCache::instance().clear();
+    EXPECT_EQ(EvalCache::instance().stats().entries, 0u);
+    // The shared_ptr handle outlives the shard entry.
+    ASSERT_EQ(menu->size(), 1u);
+    EXPECT_EQ((*menu)[0].m, before.m);
+    EXPECT_EQ((*menu)[0].k, before.k);
+    EXPECT_EQ((*menu)[0].n, before.n);
+}
+
+TEST_F(CacheFixture, HitRateIsZeroWhenNeverConsulted)
+{
+    EXPECT_EQ(EvalCache::instance().stats().hit_rate(), 0.0);
+}
+
+} // namespace
+} // namespace flat

@@ -1,0 +1,112 @@
+#!/usr/bin/env python3
+"""Compare two BENCH_dse.json files from bench/dse_throughput.
+
+Usage: bench_compare.py BASELINE.json CANDIDATE.json [--threshold PCT]
+
+Fails (exit 1) when the candidate's cache-on points/s regresses by more
+than the threshold (default 10%) relative to the baseline. Secondary
+metrics (cache-off points/s, hit rate, allocations/point, hot-path
+ns/eval) are reported but only warn: they are noisier and a regression
+there shows up in the headline number anyway.
+
+Exit codes: 0 no regression, 1 regression past the threshold, 2 usage
+or malformed input.
+"""
+
+import json
+import sys
+
+
+def load(path):
+    try:
+        with open(path, "r", encoding="utf-8") as fh:
+            doc = json.load(fh)
+    except (OSError, ValueError) as err:
+        print(f"bench_compare: cannot read {path}: {err}",
+              file=sys.stderr)
+        sys.exit(2)
+    if doc.get("bench") != "dse_throughput":
+        print(f"bench_compare: {path} is not a dse_throughput report",
+              file=sys.stderr)
+        sys.exit(2)
+    return doc
+
+
+def pick(doc, *keys):
+    node = doc
+    for key in keys:
+        if not isinstance(node, dict) or key not in node:
+            return None
+        node = node[key]
+    return node
+
+
+def rel_change(base, cand):
+    if base is None or cand is None or base <= 0:
+        return None
+    return (cand - base) / base
+
+
+def main(argv):
+    threshold = 0.10
+    paths = []
+    i = 1
+    while i < len(argv):
+        if argv[i] == "--threshold" and i + 1 < len(argv):
+            try:
+                threshold = float(argv[i + 1]) / 100.0
+            except ValueError:
+                print("bench_compare: bad --threshold", file=sys.stderr)
+                return 2
+            i += 2
+        else:
+            paths.append(argv[i])
+            i += 1
+    if len(paths) != 2:
+        print(__doc__.strip().splitlines()[2], file=sys.stderr)
+        return 2
+
+    base = load(paths[0])
+    cand = load(paths[1])
+
+    headline = ("cache_on", "points_per_sec")
+    secondary = [
+        ("cache_off points/s", ("cache_off", "points_per_sec"), +1),
+        ("cache hit rate", ("cache_on", "hit_rate"), +1),
+        ("allocs/point", ("allocs_per_point",), -1),
+        ("hot path scratch ns/eval",
+         ("hot_path", "scratch_ns_per_eval"), -1),
+    ]
+
+    b = pick(base, *headline)
+    c = pick(cand, *headline)
+    change = rel_change(b, c)
+    if change is None:
+        print("bench_compare: cache_on.points_per_sec missing or zero",
+              file=sys.stderr)
+        return 2
+    print(f"cache-on points/s: {b:.0f} -> {c:.0f} "
+          f"({100.0 * change:+.1f}%)")
+
+    for label, keys, direction in secondary:
+        sb, sc = pick(base, *keys), pick(cand, *keys)
+        schange = rel_change(sb, sc)
+        if schange is None:
+            continue
+        note = ""
+        if direction * schange < -threshold:
+            note = "  [warn: worse than threshold]"
+        print(f"{label}: {sb:.4g} -> {sc:.4g} "
+              f"({100.0 * schange:+.1f}%){note}")
+
+    if change < -threshold:
+        print(f"REGRESSION: cache-on points/s down "
+              f"{100.0 * -change:.1f}% (> {100.0 * threshold:.0f}% "
+              f"threshold)")
+        return 1
+    print("no regression")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

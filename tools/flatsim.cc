@@ -27,6 +27,7 @@
 #include "common/units.h"
 #include "core/simulator.h"
 #include "core/sweep.h"
+#include "costmodel/eval_cache.h"
 #include "costmodel/trace.h"
 #include "scaleout/scaleout_search.h"
 #include "workload/model_config.h"
@@ -64,6 +65,10 @@ usage: flatsim [options]
                      for any thread count)
   --no-prune         disable DSE lower-bound pruning (same result,
                      every design point evaluated)
+  --no-eval-cache    disable the process-wide evaluation cache (same
+                     result bit for bit, every menu/cost recomputed)
+  --cache-stats      append evaluation-cache hit/miss/size counters to
+                     the report (table or JSON)
   --serialized-baseline   model the baseline without transfer overlap
   --quick            smaller DSE menus
   --json             emit the report as JSON instead of tables
@@ -132,6 +137,40 @@ print_catalog()
 /** Upper bound for dimension-like flags (seq, batch, window). */
 constexpr std::uint64_t kMaxDim = 1ull << 32;
 
+/** --cache-stats table epilogue (shared by run and sweep modes). */
+void
+print_cache_stats(std::ostream& os)
+{
+    const CacheStats stats = EvalCache::instance().stats();
+    os << "\nevaluation cache (process-wide):\n";
+    TextTable table({"metric", "value"});
+    table.add_row({"enabled", EvalCache::enabled() ? "yes" : "no"});
+    table.add_row({"hits", std::to_string(stats.hits)});
+    table.add_row({"misses", std::to_string(stats.misses)});
+    table.add_row({"hit rate", strprintf("%.3f", stats.hit_rate())});
+    table.add_row({"entries", std::to_string(stats.entries)});
+    table.add_row({"bytes", format_bytes(stats.bytes)});
+    table.add_row({"evictions", std::to_string(stats.evictions)});
+    table.print(os);
+}
+
+/** --cache-stats JSON object, emitted under the key "eval_cache". */
+void
+write_cache_stats(JsonWriter& json)
+{
+    const CacheStats stats = EvalCache::instance().stats();
+    json.key("eval_cache");
+    json.begin_object();
+    json.field("enabled", EvalCache::enabled());
+    json.field("hits", stats.hits);
+    json.field("misses", stats.misses);
+    json.field("hit_rate", stats.hit_rate());
+    json.field("entries", stats.entries);
+    json.field("bytes", stats.bytes);
+    json.field("evictions", stats.evictions);
+    json.end_object();
+}
+
 struct Args {
     std::string model = "bert";
     std::string platform = "edge";
@@ -150,6 +189,8 @@ struct Args {
     std::string objective = "runtime";
     std::uint64_t threads = 0;
     bool no_prune = false;
+    bool no_eval_cache = false;
+    bool cache_stats = false;
     bool serialized_baseline = false;
     bool quick = false;
     bool json = false;
@@ -459,6 +500,9 @@ run(const Args& args)
             json.field("fleet_energy_j", best.total_energy_j);
             json.end_object();
         }
+        if (args.cache_stats) {
+            write_cache_stats(json);
+        }
         json.end_object();
         std::printf("%s\n", json.str().c_str());
         if (args.trace_json) {
@@ -591,6 +635,9 @@ run(const Args& args)
         row("Feed-forward FCs", report.breakdown.fc_cycles);
         breakdown.print(std::cout);
     }
+    if (args.cache_stats) {
+        print_cache_stats(std::cout);
+    }
     return 0;
 }
 
@@ -616,8 +663,20 @@ run_sweep_mode(const Args& args)
         JsonWriter json;
         report.write_json(json);
         std::printf("%s\n", json.str().c_str());
+        if (args.cache_stats) {
+            // Second JSON document, like --trace-json in run():
+            // consumers read stdout as a document stream.
+            JsonWriter cache_json;
+            cache_json.begin_object();
+            write_cache_stats(cache_json);
+            cache_json.end_object();
+            std::printf("%s\n", cache_json.str().c_str());
+        }
     } else {
         report.print(std::cout);
+        if (args.cache_stats) {
+            print_cache_stats(std::cout);
+        }
     }
     return report.exit_code();
 }
@@ -689,6 +748,10 @@ main(int argc, char** argv)
                 args.inject_faults.push_back(next());
             } else if (flag == "--no-prune") {
                 args.no_prune = true;
+            } else if (flag == "--no-eval-cache") {
+                args.no_eval_cache = true;
+            } else if (flag == "--cache-stats") {
+                args.cache_stats = true;
             } else if (flag == "--serialized-baseline") {
                 args.serialized_baseline = true;
             } else if (flag == "--quick") {
@@ -721,6 +784,9 @@ main(int argc, char** argv)
                 print_usage();
                 return 2;
             }
+        }
+        if (args.no_eval_cache) {
+            flat::EvalCache::set_enabled(false);
         }
         for (const std::string& spec : args.inject_faults) {
             // A malformed fault spec is CLI misuse, not a config error.

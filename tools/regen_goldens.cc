@@ -6,12 +6,18 @@
  * review the diff, and commit the result; `ctest -L golden` pins the
  * files byte-for-byte (tests/goldens/README.md).
  *
- * Usage: regen_goldens [output-dir]
+ * Usage: regen_goldens [--check] [output-dir]
  * The default output directory is the source tree's tests/goldens/
  * (baked in at configure time via FLAT_GOLDEN_DIR).
+ *
+ * With --check nothing is written: every golden is recomputed and
+ * compared byte-for-byte against the file on disk; stale or missing
+ * files are listed and the exit code is 1. This is the CI-friendly
+ * "are the committed goldens current?" probe.
  */
 #include <cstdio>
 #include <fstream>
+#include <sstream>
 #include <string>
 
 #include "common/diagnostics.h"
@@ -28,27 +34,67 @@ main(int argc, char** argv)
 #else
             "tests/goldens";
 #endif
-        if (argc > 2) {
-            throw UsageError("usage: regen_goldens [output-dir]");
-        }
-        if (argc == 2) {
-            dir = argv[1];
+        bool check = false;
+        int positional = 0;
+        for (int i = 1; i < argc; ++i) {
+            const std::string arg = argv[i];
+            if (arg == "--check") {
+                check = true;
+            } else if (!arg.empty() && arg[0] == '-') {
+                throw UsageError(
+                    "usage: regen_goldens [--check] [output-dir]");
+            } else {
+                if (++positional > 1) {
+                    throw UsageError(
+                        "usage: regen_goldens [--check] [output-dir]");
+                }
+                dir = arg;
+            }
         }
 
+        std::size_t stale = 0;
         for (const GoldenConfig& config : golden_configs()) {
             const std::string path = dir + "/" + config.id + ".json";
-            const std::string text = golden_trace_json(config);
+            const std::string text = golden_trace_json(config) + '\n';
+            if (check) {
+                std::ifstream in(path, std::ios::binary);
+                if (!in) {
+                    std::printf("MISSING %s\n", path.c_str());
+                    ++stale;
+                    continue;
+                }
+                std::ostringstream disk;
+                disk << in.rdbuf();
+                if (disk.str() != text) {
+                    std::printf("STALE   %s\n", path.c_str());
+                    ++stale;
+                } else {
+                    std::printf("ok      %s\n", path.c_str());
+                }
+                continue;
+            }
             std::ofstream out(path, std::ios::binary | std::ios::trunc);
             if (!out) {
                 FLAT_FAIL("cannot open '" << path << "' for writing");
             }
-            out << text << '\n';
+            out << text;
             out.close();
             if (!out) {
                 FLAT_FAIL("write to '" << path << "' failed");
             }
             std::printf("wrote %s (%zu bytes)\n", path.c_str(),
-                        text.size() + 1);
+                        text.size());
+        }
+        if (check) {
+            if (stale > 0) {
+                std::printf("%zu of %zu goldens stale or missing in %s "
+                            "(run regen_goldens to update)\n",
+                            stale, golden_configs().size(), dir.c_str());
+                return 1;
+            }
+            std::printf("all %zu goldens current in %s\n",
+                        golden_configs().size(), dir.c_str());
+            return 0;
         }
         std::printf("regenerated %zu goldens into %s\n",
                     golden_configs().size(), dir.c_str());
