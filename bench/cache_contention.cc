@@ -1,0 +1,270 @@
+/**
+ * @file
+ * Contention microbenchmark for the two-level evaluation cache
+ * (costmodel/eval_cache.h): raw tile_menu lookups/s at 1, 8 and 32
+ * threads under three regimes,
+ *
+ *   - hot-hit: every thread cycles over one small pinned key set, so
+ *     after warm-up every lookup is served by the lock-free
+ *     thread-local L1 front-end — the regime a search slice lives in
+ *     when it re-asks for the same menu per stage-flag/loop-order
+ *     combination. This leg is the front-end's scaling proof: no
+ *     shard mutex, no shared cache line, throughput should track the
+ *     thread count up to the core count;
+ *   - cold-miss: every lookup uses a key nobody has seen (per-thread
+ *     disjoint shape ranges), so every lookup computes, takes a shard
+ *     lock and inserts — the worst case for the mutex shards;
+ *   - mixed: 9 hot lookups per 1 cold one, the steady state of a broad
+ *     sweep that keeps revisiting known shapes while exploring new
+ *     ones.
+ *
+ * The menu compute callback is deliberately trivial (one default
+ * tile), so the numbers measure cache mechanics — key packing, L1
+ * probe, shard mutex, insert — not menu construction.
+ *
+ * Emits BENCH_cache.json (headline for tools/bench_compare.py:
+ * mixed.t8.lookups_per_sec). `ctest -L perf` runs a small-iteration
+ * smoke of this binary.
+ *
+ * Usage: cache_contention [--iters N] [--out FILE]
+ *   --iters N   lookups per thread per regime (default 200000)
+ */
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <thread>
+#include <vector>
+
+#include "bench_util.h"
+#include "common/json.h"
+#include "costmodel/eval_cache.h"
+
+using namespace flat;
+using namespace flat::bench;
+
+namespace {
+
+/** Restores the cache's enabled flag on every exit path. */
+struct CacheEnabledGuard {
+    bool saved = EvalCache::enabled();
+    ~CacheEnabledGuard() { EvalCache::set_enabled(saved); }
+};
+
+/** Thread counts the issue tracks: serial, typical, oversubscribed. */
+constexpr unsigned kThreadCounts[] = {1, 8, 32};
+
+/** Pinned key-set size for the hot regime; comfortably inside the
+ *  direct-mapped L1 (EvalCache::kL1Slots) so steady state is all
+ *  L1 hits. */
+constexpr std::uint64_t kHotShapes = 64;
+
+/** One timed measurement: aggregate lookups/s plus the cache's view. */
+struct Measurement {
+    std::uint64_t lookups = 0;
+    double seconds = 0.0;
+    CacheStats stats;
+
+    double
+    lookups_per_sec() const
+    {
+        return seconds > 0.0 ? static_cast<double>(lookups) / seconds
+                             : 0.0;
+    }
+};
+
+/** A distinct, never-colliding cache key per @p index: the key covers
+ *  the (m, k, n) shape, so varying m/k/n varies the key. */
+GemmShape
+shape_for(std::uint64_t index)
+{
+    GemmShape shape;
+    shape.m = 64 + (index % 1024) * 16;
+    shape.k = 64 + ((index / 1024) % 1024) * 16;
+    shape.n = 64 + (index / (1024 * 1024)) * 16;
+    return shape;
+}
+
+/** One tile_menu lookup for @p index's shape; the compute callback is
+ *  trivial so a miss costs (almost) only the insert. */
+void
+lookup(const AccelConfig& accel, const std::vector<double>& fractions,
+       std::uint64_t index)
+{
+    const GemmShape shape = shape_for(index);
+    (void)EvalCache::instance().tile_menu(
+        accel, shape, fractions, Stationarity::kOutputStationary, [&] {
+            return std::vector<L2Tile>{L2Tile{16, 16, 16}};
+        });
+}
+
+/**
+ * Runs @p iters lookups on each of @p threads threads; thread t's i-th
+ * key index comes from @p key_of (t, i). Wall clock covers the whole
+ * fork/join (thread startup is amortized by the iteration count).
+ */
+template <typename KeyOf>
+Measurement
+run_regime(const AccelConfig& accel, unsigned threads,
+           std::uint64_t iters, const KeyOf& key_of)
+{
+    const std::vector<double> fractions = {0.25, 0.25, 0.5};
+    EvalCache::instance().reset_stats();
+    Measurement m;
+    const ScopedTimer timer;
+    if (threads <= 1) {
+        for (std::uint64_t i = 0; i < iters; ++i) {
+            lookup(accel, fractions, key_of(0, i));
+        }
+    } else {
+        std::vector<std::thread> workers;
+        workers.reserve(threads);
+        for (unsigned t = 0; t < threads; ++t) {
+            workers.emplace_back([&, t] {
+                for (std::uint64_t i = 0; i < iters; ++i) {
+                    lookup(accel, fractions, key_of(t, i));
+                }
+            });
+        }
+        for (std::thread& worker : workers) {
+            worker.join();
+        }
+    }
+    m.seconds = timer.seconds();
+    m.lookups = static_cast<std::uint64_t>(threads) * iters;
+    m.stats = EvalCache::instance().stats();
+    return m;
+}
+
+void
+print_row(const std::string& regime, unsigned threads,
+          const Measurement& m)
+{
+    std::printf("%-6s t=%-3u %12.0f lookups/s  (hit rate %5.1f%%, "
+                "L1 share %5.1f%%)\n",
+                regime.c_str(), threads, m.lookups_per_sec(),
+                100.0 * m.stats.hit_rate(),
+                m.stats.hits > 0
+                    ? 100.0 * static_cast<double>(m.stats.l1_hits) /
+                          static_cast<double>(m.stats.hits)
+                    : 0.0);
+}
+
+void
+emit_measurement(JsonWriter& json, unsigned threads,
+                 const Measurement& m)
+{
+    json.key("t" + std::to_string(threads));
+    json.begin_object();
+    json.field("lookups", m.lookups);
+    json.field("seconds", m.seconds);
+    json.field("lookups_per_sec", m.lookups_per_sec());
+    json.field("hit_rate", m.stats.hit_rate());
+    json.field("hits", m.stats.hits);
+    json.field("l1_hits", m.stats.l1_hits);
+    json.field("misses", m.stats.misses);
+    json.end_object();
+}
+
+} // namespace
+
+int
+main(int argc, char** argv)
+{
+    banner("Eval-cache contention — lookups/s at 1/8/32 threads",
+           "hot-hit (thread-local L1), cold-miss (shard inserts), "
+           "mixed 9:1");
+
+    std::uint64_t iters = 200000;
+    std::string out_path = "BENCH_cache.json";
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--iters") == 0 && i + 1 < argc) {
+            const long long parsed = std::atoll(argv[++i]);
+            if (parsed > 0) {
+                iters = static_cast<std::uint64_t>(parsed);
+            }
+        } else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
+            out_path = argv[++i];
+        }
+    }
+    std::printf("%llu lookups per thread per regime\n\n",
+                static_cast<unsigned long long>(iters));
+
+    const AccelConfig accel = edge_accel();
+    const std::vector<double> fractions = {0.25, 0.25, 0.5};
+
+    CacheEnabledGuard guard;
+    EvalCache::set_enabled(true);
+
+    // Disjoint key ranges: the cold regime must never touch a key any
+    // other regime (or thread, or repeat of the same regime at another
+    // thread count) has inserted. The hot set lives in [0, kHotShapes);
+    // cold keys are handed out from a monotonically growing base.
+    std::uint64_t cold_base = kHotShapes;
+
+    JsonWriter json;
+    json.begin_object();
+    json.field("bench", "cache_contention");
+    json.field("iters_per_thread", iters);
+
+    Measurement mixed_t8; // headline source
+    for (const char* regime : {"hot", "cold", "mixed"}) {
+        json.key(regime);
+        json.begin_object();
+        for (const unsigned threads : kThreadCounts) {
+            EvalCache::instance().clear();
+            Measurement m;
+            if (std::strcmp(regime, "hot") == 0) {
+                // Warm the shards (thread-local L1s refill on first
+                // touch per thread — that IS the measured behavior).
+                for (std::uint64_t i = 0; i < kHotShapes; ++i) {
+                    lookup(accel, fractions, i);
+                }
+                m = run_regime(accel, threads, iters,
+                               [](unsigned, std::uint64_t i) {
+                                   return i % kHotShapes;
+                               });
+            } else if (std::strcmp(regime, "cold") == 0) {
+                const std::uint64_t base = cold_base;
+                m = run_regime(accel, threads, iters,
+                               [base, iters](unsigned t,
+                                             std::uint64_t i) {
+                                   return base + t * iters + i;
+                               });
+                cold_base += static_cast<std::uint64_t>(threads) * iters;
+            } else {
+                // 9 hot : 1 cold, deterministic interleave.
+                const std::uint64_t base = cold_base;
+                m = run_regime(accel, threads, iters,
+                               [base, iters](unsigned t,
+                                             std::uint64_t i) {
+                                   if (i % 10 == 9) {
+                                       return base + t * iters + i;
+                                   }
+                                   return i % kHotShapes;
+                               });
+                cold_base += static_cast<std::uint64_t>(threads) * iters;
+                if (threads == 8) {
+                    mixed_t8 = m;
+                }
+            }
+            print_row(regime, threads, m);
+            emit_measurement(json, threads, m);
+        }
+        json.end_object();
+        std::printf("\n");
+    }
+
+    json.field("headline_lookups_per_sec",
+               mixed_t8.lookups_per_sec());
+    json.end_object();
+
+    std::ofstream out(out_path, std::ios::binary | std::ios::trunc);
+    if (!out) {
+        std::fprintf(stderr, "cannot write %s\n", out_path.c_str());
+        return 1;
+    }
+    out << json.str() << '\n';
+    out.close();
+    std::printf("wrote %s\n", out_path.c_str());
+    return 0;
+}

@@ -16,6 +16,28 @@ struct DepthGuard {
     ~DepthGuard() { --g_parallel_depth; }
 };
 
+/**
+ * The process-wide worker pool behind parallel_for: created on first
+ * use, grown to the largest helper count ever requested, and leaked on
+ * purpose — parked workers hold no locks and touch only the (equally
+ * leaked) pool internals, so process teardown is safe while static
+ * destruction order stays a non-issue. Mirrors the EvalCache
+ * leaked-singleton idiom.
+ */
+ThreadPool&
+shared_pool(unsigned helpers)
+{
+    static std::mutex mutex;
+    static ThreadPool* pool = nullptr;
+    std::lock_guard<std::mutex> lock(mutex);
+    if (pool == nullptr) {
+        pool = new ThreadPool(helpers);
+    } else {
+        pool->grow_to(helpers);
+    }
+    return *pool;
+}
+
 } // namespace
 
 unsigned
@@ -46,6 +68,15 @@ ThreadPool::ThreadPool(unsigned workers)
     const unsigned count = workers > 0 ? workers : 1;
     workers_.reserve(count);
     for (unsigned i = 0; i < count; ++i) {
+        workers_.emplace_back([this] { worker_loop(); });
+    }
+}
+
+void
+ThreadPool::grow_to(unsigned workers)
+{
+    std::unique_lock<std::mutex> lock(mutex_);
+    while (workers_.size() < workers) {
         workers_.emplace_back([this] { worker_loop(); });
     }
 }
@@ -159,13 +190,34 @@ parallel_for(std::size_t n, unsigned threads,
         }
     };
 
+    // Helpers run on the process-wide shared pool; the calling thread
+    // participates too. pool.wait() would also wait on CONCURRENT
+    // parallel_for calls' tasks, so each call tracks its own helpers
+    // with a stack-local latch: every task only touches the latch
+    // under its mutex and the caller returns only after remaining ==
+    // 0, which makes the stack storage safe.
+    struct Latch {
+        std::mutex mutex;
+        std::condition_variable done;
+        std::size_t remaining;
+    } latch;
+    const std::size_t helpers = want - 1;
+    latch.remaining = helpers;
+
+    ThreadPool& pool = shared_pool(static_cast<unsigned>(helpers));
+    for (std::size_t t = 0; t < helpers; ++t) {
+        pool.submit([&runner, &latch] {
+            runner();
+            std::lock_guard<std::mutex> lock(latch.mutex);
+            if (--latch.remaining == 0) {
+                latch.done.notify_all();
+            }
+        });
+    }
+    runner(); // the calling thread participates
     {
-        ThreadPool pool(static_cast<unsigned>(want - 1));
-        for (std::size_t t = 0; t + 1 < want; ++t) {
-            pool.submit(runner);
-        }
-        runner(); // the calling thread participates
-        pool.wait();
+        std::unique_lock<std::mutex> lock(latch.mutex);
+        latch.done.wait(lock, [&latch] { return latch.remaining == 0; });
     }
     if (error) {
         std::rethrow_exception(error);

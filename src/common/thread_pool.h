@@ -49,6 +49,10 @@ class ThreadPool
     /** Drains the queue, then joins all workers. */
     ~ThreadPool();
 
+    /** Adds workers until the pool has at least @p workers threads
+     *  (never shrinks; safe to call while tasks are running). */
+    void grow_to(unsigned workers);
+
     ThreadPool(const ThreadPool&) = delete;
     ThreadPool& operator=(const ThreadPool&) = delete;
 
@@ -80,6 +84,14 @@ class ThreadPool
  * (0 = auto, see default_threads()). Iterations are handed out
  * dynamically in index order; with threads == 1 (or a nested call) the
  * loop runs serially, in order, on the calling thread.
+ *
+ * Worker threads come from one process-wide pool that is created on
+ * first use, grown on demand, and deliberately never destroyed — the
+ * per-call cost is a condition-variable wake, not thread creation, so
+ * fine-grained call sites (one small search per sweep point) pay no
+ * spawn/join tax. Every call still observes its own completion: the
+ * call returns only after all of ITS iterations finished, even when
+ * concurrent parallel_for calls share the pool.
  *
  * @p grain batches the dynamic hand-out: each worker claims @p grain
  * consecutive indices per atomic fetch (clamped to at least 1) and runs

@@ -61,6 +61,7 @@ attention_options(const DataflowPolicy& policy, const SimOptions& options)
     out.baseline_overlap = options.baseline_overlap;
     out.threads = options.threads;
     out.prune = options.prune;
+    out.batch_width = options.batch_width;
     out.fused = policy.fused();
 
     if (policy.searched()) {
@@ -89,6 +90,7 @@ attention_options(const AcceleratorSpec& spec, const SimOptions& options)
     out.baseline_overlap = options.baseline_overlap;
     out.threads = options.threads;
     out.prune = options.prune;
+    out.batch_width = options.batch_width;
     out.fused = policy.fused();
 
     switch (spec.kind) {

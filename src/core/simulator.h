@@ -35,6 +35,10 @@ struct SimOptions {
     /** Incumbent lower-bound pruning in the L-A DSE (identical result,
      *  fewer cost-model evaluations). */
     bool prune = true;
+
+    /** Lanes per batched L-A evaluation; 0 = auto (one whole
+     *  tiles-x-flags block). Identical result at any width. */
+    std::size_t batch_width = 0;
 };
 
 /** Per-category cycle/energy decomposition (Figure 11). */

@@ -1,9 +1,9 @@
 #include "costmodel/eval_cache.h"
 
-#include <cinttypes>
-#include <cstdio>
+#include <algorithm>
+#include <array>
+#include <bit>
 #include <mutex>
-#include <type_traits>
 #include <unordered_map>
 #include <utility>
 
@@ -28,78 +28,273 @@ bypass_cache()
            fault_injection::enabled();
 }
 
-/** 64-bit FNV-1a over the canonical key; shard selector only — entry
- *  identity is the full key string, so collisions cannot alias. */
+/** splitmix64 finalizer; shard/slot selector only — entry identity is
+ *  the full word sequence, so collisions cannot alias. */
 std::uint64_t
-fnv1a(const std::string& text)
+mix64(std::uint64_t x)
 {
-    std::uint64_t hash = 14695981039346656037ull;
-    for (const char c : text) {
-        hash ^= static_cast<unsigned char>(c);
-        hash *= 1099511628211ull;
+    x ^= x >> 33;
+    x *= 0xff51afd7ed558ccdull;
+    x ^= x >> 33;
+    x *= 0xc4ceb9fe1a85ec53ull;
+    x ^= x >> 33;
+    return x;
+}
+
+/** Bumped by clear(); every thread's L1 re-misses after a mismatch. */
+std::atomic<std::uint64_t> g_l1_epoch{0};
+
+/**
+ * Per-thread L1 hit counter block. Blocks are heap-allocated, listed in
+ * a registry that is never freed (stats() may run after a worker thread
+ * exited), and recycled through a freelist when their thread exits so
+ * short-lived pool threads do not grow the registry without bound. The
+ * accumulated count survives recycling — totals only ever grow, except
+ * through reset_stats().
+ */
+struct L1Counters {
+    std::atomic<std::uint64_t> hits{0};
+};
+
+std::mutex&
+l1_registry_mutex()
+{
+    static std::mutex* m = new std::mutex();
+    return *m;
+}
+
+std::vector<L1Counters*>&
+l1_registry()
+{
+    static std::vector<L1Counters*>* all = new std::vector<L1Counters*>();
+    return *all;
+}
+
+std::vector<L1Counters*>&
+l1_freelist()
+{
+    static std::vector<L1Counters*>* free_ = new std::vector<L1Counters*>();
+    return *free_;
+}
+
+L1Counters*
+acquire_l1_counters()
+{
+    std::lock_guard<std::mutex> lock(l1_registry_mutex());
+    if (!l1_freelist().empty()) {
+        L1Counters* block = l1_freelist().back();
+        l1_freelist().pop_back();
+        return block;
     }
-    return hash;
+    L1Counters* block = new L1Counters();
+    l1_registry().push_back(block);
+    return block;
 }
 
 void
-append_u64(std::string& key, std::uint64_t value)
+release_l1_counters(L1Counters* block)
 {
-    char buf[24];
-    std::snprintf(buf, sizeof(buf), "%" PRIu64 ",", value);
-    key += buf;
+    std::lock_guard<std::mutex> lock(l1_registry_mutex());
+    l1_freelist().push_back(block);
 }
 
-/** Shortest-unambiguous canonical double spelling: %.17g round-trips
- *  every finite IEEE-754 double, so equal keys imply equal inputs. */
-void
-append_double(std::string& key, double value)
+} // namespace
+
+/**
+ * Thread-local binary key builder. add() packs one 64-bit word and
+ * folds it into the rolling hash; doubles go in as raw bit patterns
+ * (bit-for-bit identity, stricter than operator==). The buffer is
+ * reused across lookups, so steady-state key building allocates
+ * nothing.
+ */
+struct EvalCache::KeyScratch {
+    std::uint64_t hash = 0;
+    std::vector<std::uint64_t> words;
+
+    void
+    reset(std::uint64_t tag)
+    {
+        hash = 0xcbf29ce484222325ull; // FNV offset basis as seed
+        words.clear();
+        add(tag);
+    }
+
+    void
+    add(std::uint64_t word)
+    {
+        words.push_back(word);
+        hash = mix64(hash ^ word) + 0x9e3779b97f4a7c15ull;
+    }
+
+    void
+    add(double value)
+    {
+        add(std::bit_cast<std::uint64_t>(value));
+    }
+};
+
+namespace {
+
+/** Key families; the tag is the first word of every key, so a tile-menu
+ *  key can never equal a cost-table key word-for-word. Callers of the
+ *  generic memoize() front door bring their own tags starting at
+ *  EvalCache::kFirstExternalTag. */
+constexpr std::uint64_t kTagMenu = 1;
+constexpr std::uint64_t kTagCosts = 2;
+
+EvalCache::KeyScratch&
+scratch_key()
 {
-    char buf[40];
-    std::snprintf(buf, sizeof(buf), "%.17g,", value);
-    key += buf;
+    thread_local EvalCache::KeyScratch key;
+    return key;
 }
 
 /**
- * Canonical fingerprint of the physical fields model_gemm_compute()
- * and the tile-menu builder can observe. `name` and `caps` are policy
- * metadata, deliberately excluded so renamed-but-identical platforms
- * share entries.
+ * Binary fingerprint of the physical fields the cost model can
+ * observe. `name` and `caps` are policy metadata, deliberately
+ * excluded so renamed-but-identical platforms share entries. Templated
+ * over the key builder (KeyScratch and ProbeKey share the add()
+ * vocabulary) so the internal families and the public
+ * EvalCache::append_accel() can never drift apart.
  */
+template <typename Key>
 void
-append_accel(std::string& key, const AccelConfig& accel)
+append_accel_fields(Key& key, const AccelConfig& accel)
 {
-    append_u64(key, accel.pe_rows);
-    append_u64(key, accel.pe_cols);
-    append_u64(key, accel.sl_bytes);
-    append_u64(key, accel.sg_bytes);
-    append_u64(key, accel.sg2_bytes);
-    append_double(key, accel.sg2_bw);
-    append_double(key, accel.onchip_bw);
-    append_double(key, accel.offchip_bw);
-    append_double(key, accel.clock_hz);
-    append_double(key, accel.sfu_lanes);
-    append_u64(key, accel.bytes_per_element);
-    append_u64(key, static_cast<std::uint64_t>(accel.distribution_noc));
-    append_u64(key, static_cast<std::uint64_t>(accel.reduction_noc));
+    key.add(static_cast<std::uint64_t>(accel.pe_rows));
+    key.add(static_cast<std::uint64_t>(accel.pe_cols));
+    key.add(static_cast<std::uint64_t>(accel.sl_bytes));
+    key.add(static_cast<std::uint64_t>(accel.sg_bytes));
+    key.add(static_cast<std::uint64_t>(accel.sg2_bytes));
+    key.add(accel.sg2_bw);
+    key.add(accel.onchip_bw);
+    key.add(accel.offchip_bw);
+    key.add(accel.clock_hz);
+    key.add(accel.sfu_lanes);
+    key.add(static_cast<std::uint64_t>(accel.bytes_per_element));
+    key.add(static_cast<std::uint64_t>(accel.distribution_noc));
+    key.add(static_cast<std::uint64_t>(accel.reduction_noc));
 }
 
 /** Only (m, k, n) feed the cached computations; operand kinds and
  *  instance counts are scaling metadata applied by the callers. */
 void
-append_shape(std::string& key, const GemmShape& shape)
+append_shape(EvalCache::KeyScratch& key, const GemmShape& shape)
 {
-    append_u64(key, shape.m);
-    append_u64(key, shape.k);
-    append_u64(key, shape.n);
+    key.add(shape.m);
+    key.add(shape.k);
+    key.add(shape.n);
 }
 
-/** Approximate footprint of one entry: payload + key + node overhead. */
-template <typename Payload>
-std::uint64_t
-entry_bytes(const std::string& key, const Payload& payload)
+/** Owned copy of a key as stored in a shard map. */
+struct StoredKey {
+    std::uint64_t hash = 0;
+    std::vector<std::uint64_t> words;
+};
+
+/** Non-owning probe view — shard hits never copy the key. */
+struct KeyRef {
+    std::uint64_t hash;
+    const std::uint64_t* data;
+    std::size_t size;
+};
+
+struct KeyHash {
+    using is_transparent = void;
+    std::size_t
+    operator()(const StoredKey& key) const noexcept
+    {
+        return static_cast<std::size_t>(key.hash);
+    }
+    std::size_t
+    operator()(const KeyRef& key) const noexcept
+    {
+        return static_cast<std::size_t>(key.hash);
+    }
+};
+
+struct KeyEqual {
+    using is_transparent = void;
+    static bool
+    words_equal(const std::vector<std::uint64_t>& words,
+                const std::uint64_t* data, std::size_t size)
+    {
+        return words.size() == size &&
+               std::equal(words.begin(), words.end(), data);
+    }
+    bool
+    operator()(const StoredKey& a, const StoredKey& b) const
+    {
+        return a.hash == b.hash &&
+               words_equal(a.words, b.words.data(), b.words.size());
+    }
+    bool
+    operator()(const StoredKey& a, const KeyRef& b) const
+    {
+        return a.hash == b.hash && words_equal(a.words, b.data, b.size);
+    }
+    bool
+    operator()(const KeyRef& a, const StoredKey& b) const
+    {
+        return (*this)(b, a);
+    }
+};
+
+/** Payloads are type-erased; the key's tag word guarantees the stored
+ *  type matches the requested one. */
+struct ShardEntry {
+    std::shared_ptr<const void> payload;
+    std::uint64_t bytes = 0;
+};
+
+/**
+ * Direct-mapped thread_local front-end: kL1Slots slots indexed by the
+ * key hash's low bits, full-key equality on probe. No locks, no shared
+ * cache lines — the hot repeat-lookup path of a search slice never
+ * leaves the thread. Destroyed at thread exit (releasing its pinned
+ * payloads); its counter block outlives it through the registry.
+ */
+struct L1Cache {
+    struct Slot {
+        std::uint64_t hash = 0;
+        std::vector<std::uint64_t> words; // empty = vacant
+        std::shared_ptr<const void> payload;
+    };
+
+    std::uint64_t epoch;
+    L1Counters* counters;
+    std::array<Slot, EvalCache::kL1Slots> slots;
+
+    L1Cache()
+        : epoch(g_l1_epoch.load(std::memory_order_acquire)),
+          counters(acquire_l1_counters())
+    {
+    }
+
+    ~L1Cache() { release_l1_counters(counters); }
+
+    void
+    invalidate_if_stale()
+    {
+        const std::uint64_t now =
+            g_l1_epoch.load(std::memory_order_acquire);
+        if (now == epoch) {
+            return;
+        }
+        for (Slot& slot : slots) {
+            slot.hash = 0;
+            slot.words.clear();
+            slot.payload.reset();
+        }
+        epoch = now;
+    }
+};
+
+L1Cache&
+local_l1()
 {
-    return payload.size() * sizeof(typename Payload::value_type) +
-           key.size() + 64;
+    thread_local L1Cache l1;
+    return l1;
 }
 
 } // namespace
@@ -113,8 +308,7 @@ CacheStats::hit_rate() const
 
 struct EvalCache::Shard {
     std::mutex mutex;
-    std::unordered_map<std::string, TileMenu> menus;
-    std::unordered_map<std::string, GemmCostTable> costs;
+    std::unordered_map<StoredKey, ShardEntry, KeyHash, KeyEqual> entries;
     std::uint64_t bytes = 0;
 };
 
@@ -144,55 +338,299 @@ EvalCache::enabled()
     return g_enabled.load(std::memory_order_relaxed);
 }
 
-template <typename Payload, typename Compute>
-std::shared_ptr<const Payload>
-EvalCache::lookup(std::string key, const Compute& compute)
+template <typename ComputeEntry>
+EvalCache::OpaquePayload
+EvalCache::lookup_raw(const KeyScratch& key,
+                      const ComputeEntry& compute_entry)
 {
-    constexpr bool kIsMenu =
-        std::is_same_v<Payload, std::vector<L2Tile>>;
-    Shard& shard = shards_[fnv1a(key) % kShards];
-    auto map_of = [](Shard& s) -> auto& {
-        if constexpr (kIsMenu) {
-            return s.menus;
-        } else {
-            return s.costs;
-        }
+    // Level 1: thread-local, lock-free, direct-mapped.
+    L1Cache& l1 = local_l1();
+    l1.invalidate_if_stale();
+    L1Cache::Slot& slot = l1.slots[key.hash & (kL1Slots - 1)];
+    if (slot.hash == key.hash &&
+        KeyEqual::words_equal(slot.words, key.words.data(),
+                              key.words.size())) {
+        l1.counters->hits.fetch_add(1, std::memory_order_relaxed);
+        return slot.payload;
+    }
+
+    const auto fill_slot = [&](const std::shared_ptr<const void>& entry) {
+        slot.hash = key.hash;
+        slot.words.assign(key.words.begin(), key.words.end());
+        slot.payload = entry;
     };
+
+    // Level 2: the authoritative mutex shard, picked by the hash's
+    // high bits (the low bits already index the L1 slot). Locks are
+    // opportunistic throughout: every caller owns a compute path, so
+    // when the shard is contended — with oversubscribed workers the
+    // holder may be descheduled for a whole timeslice — recomputing
+    // the pure entry is far cheaper than waiting, and the L1 fill
+    // below still converges each thread to lock-free steady state.
+    Shard& shard = shards_[shard_index(key.hash)];
+    const KeyRef probe{key.hash, key.words.data(), key.words.size()};
     {
-        std::lock_guard<std::mutex> lock(shard.mutex);
-        auto& map = map_of(shard);
-        const auto it = map.find(key);
-        if (it != map.end()) {
-            hits_.fetch_add(1, std::memory_order_relaxed);
-            return it->second;
+        std::shared_ptr<const void> found;
+        bool contended = false;
+        {
+            std::unique_lock<std::mutex> lock(shard.mutex,
+                                              std::try_to_lock);
+            if (lock.owns_lock()) {
+                const auto it = shard.entries.find(probe);
+                if (it != shard.entries.end()) {
+                    hits_.fetch_add(1, std::memory_order_relaxed);
+                    found = it->second.payload;
+                }
+            } else {
+                contended = true;
+            }
+        }
+        if (found) {
+            fill_slot(found); // outside the lock — L1 is ours alone
+            return found;
+        }
+        if (contended) {
+            misses_.fetch_add(1, std::memory_order_relaxed);
+            const auto [entry, payload_bytes] = compute_entry();
+            (void)payload_bytes;
+            fill_slot(entry); // keep our own copy; skip the shard
+            return entry;
         }
     }
 
     // Compute outside the lock: misses are the expensive path and must
     // not serialize against each other across threads.
     misses_.fetch_add(1, std::memory_order_relaxed);
-    auto entry = std::make_shared<const Payload>(compute());
+    const auto [entry, payload_bytes] = compute_entry();
 
-    std::lock_guard<std::mutex> lock(shard.mutex);
-    auto& map = map_of(shard);
-    const auto [it, inserted] = map.emplace(key, entry);
-    if (!inserted) {
-        return it->second; // lost the race; entries are bit-identical
+    StoredKey stored;
+    stored.hash = key.hash;
+    stored.words.assign(key.words.begin(), key.words.end());
+    const std::uint64_t cost = payload_bytes +
+                               stored.words.size() *
+                                   sizeof(std::uint64_t) +
+                               64;
+
+    std::shared_ptr<const void> kept = entry;
+    {
+        std::unique_lock<std::mutex> lock(shard.mutex,
+                                          std::try_to_lock);
+        if (!lock.owns_lock()) {
+            // Contended publish: drop it (a later miss re-inserts the
+            // same bit-identical entry) and keep our copy in the L1.
+            fill_slot(kept);
+            return kept;
+        }
+        const auto [it, inserted] = shard.entries.emplace(
+            std::move(stored),
+            ShardEntry{std::shared_ptr<const void>(entry), cost});
+        if (!inserted) {
+            // Lost the race; entries are bit-identical by purity.
+            kept = it->second.payload;
+        } else {
+            shard.bytes += cost;
+            const std::uint64_t budget =
+                capacity_bytes_.load(std::memory_order_relaxed) /
+                kShards;
+            if (shard.bytes > budget) {
+                // Whole-shard reset; the just-inserted entry survives
+                // via the shared_ptr we are about to return (and
+                // re-inserting it would immediately re-overflow a tiny
+                // budget).
+                evictions_.fetch_add(shard.entries.size(),
+                                     std::memory_order_relaxed);
+                shard.entries.clear();
+                shard.bytes = 0;
+            }
+        }
     }
-    shard.bytes += entry_bytes(key, *entry);
-    const std::uint64_t budget =
-        capacity_bytes_.load(std::memory_order_relaxed) / kShards;
-    if (shard.bytes > budget) {
-        // Whole-shard reset; the just-inserted entry survives via the
-        // shared_ptr we are about to return (and re-inserting it would
-        // immediately re-overflow a tiny budget).
-        evictions_.fetch_add(shard.menus.size() + shard.costs.size(),
-                             std::memory_order_relaxed);
-        shard.menus.clear();
-        shard.costs.clear();
-        shard.bytes = 0;
+    fill_slot(kept);
+    return kept;
+}
+
+template <typename Payload, typename Compute>
+std::shared_ptr<const Payload>
+EvalCache::lookup(const KeyScratch& key, const Compute& compute)
+{
+    return std::static_pointer_cast<const Payload>(
+        lookup_raw(key, [&] {
+            std::shared_ptr<const Payload> entry =
+                std::make_shared<const Payload>(compute());
+            const std::uint64_t payload_bytes =
+                entry->size() *
+                sizeof(typename Payload::value_type);
+            return std::make_pair(
+                std::shared_ptr<const void>(std::move(entry)),
+                payload_bytes);
+        }));
+}
+
+EvalCache::OpaquePayload
+EvalCache::memoize_erased(std::uint64_t tag, const std::uint64_t* words,
+                          std::size_t count, std::uint64_t payload_bytes,
+                          OpaquePayload (*compute)(void*), void* ctx)
+{
+    if (bypass_cache()) {
+        return nullptr;
     }
-    return entry;
+    KeyScratch& key = scratch_key();
+    key.reset(tag);
+    for (std::size_t i = 0; i < count; ++i) {
+        key.add(words[i]);
+    }
+    return lookup_raw(key, [&] {
+        return std::make_pair(compute(ctx), payload_bytes);
+    });
+}
+
+bool
+EvalCache::bypassed()
+{
+    return bypass_cache();
+}
+
+void
+EvalCache::ProbeKey::reset(std::uint64_t tag)
+{
+    hash_ = 0xcbf29ce484222325ull; // FNV offset basis, as KeyScratch
+    words_.clear();
+    add(tag);
+    mark_hash_ = hash_;
+    mark_size_ = words_.size();
+}
+
+void
+EvalCache::ProbeKey::add(std::uint64_t word)
+{
+    words_.push_back(word);
+    hash_ = mix64(hash_ ^ word) + 0x9e3779b97f4a7c15ull;
+}
+
+void
+EvalCache::ProbeKey::add(double value)
+{
+    add(std::bit_cast<std::uint64_t>(value));
+}
+
+void
+EvalCache::ProbeKey::mark()
+{
+    mark_hash_ = hash_;
+    mark_size_ = words_.size();
+}
+
+void
+EvalCache::ProbeKey::rewind()
+{
+    hash_ = mark_hash_;
+    words_.resize(mark_size_);
+}
+
+void
+EvalCache::append_accel(ProbeKey& key, const AccelConfig& accel)
+{
+    append_accel_fields(key, accel);
+}
+
+EvalCache::OpaquePayload
+EvalCache::find(const ProbeKey& key)
+{
+    if (bypass_cache()) {
+        return nullptr;
+    }
+    L1Cache& l1 = local_l1();
+    l1.invalidate_if_stale();
+    L1Cache::Slot& slot = l1.slots[key.hash_ & (kL1Slots - 1)];
+    if (slot.hash == key.hash_ &&
+        KeyEqual::words_equal(slot.words, key.words_.data(),
+                              key.words_.size())) {
+        l1.counters->hits.fetch_add(1, std::memory_order_relaxed);
+        return slot.payload;
+    }
+
+    Shard& shard = shards_[shard_index(key.hash_)];
+    const KeyRef probe{key.hash_, key.words_.data(), key.words_.size()};
+    std::shared_ptr<const void> found;
+    {
+        // Opportunistic lock: find() callers recompute on a miss
+        // anyway, and with oversubscribed worker threads blocking on a
+        // mutex whose holder was descheduled costs a whole timeslice —
+        // far more than recomputing one point. Purity makes the
+        // recompute bit-identical, so contention only shifts a probe
+        // from hit to miss.
+        std::unique_lock<std::mutex> lock(shard.mutex,
+                                          std::try_to_lock);
+        if (!lock.owns_lock()) {
+            misses_.fetch_add(1, std::memory_order_relaxed);
+            return nullptr;
+        }
+        const auto it = shard.entries.find(probe);
+        if (it != shard.entries.end()) {
+            hits_.fetch_add(1, std::memory_order_relaxed);
+            found = it->second.payload;
+        }
+    }
+    if (found) {
+        // Fill outside the lock — the L1 is ours alone.
+        slot.hash = key.hash_;
+        slot.words.assign(key.words_.begin(), key.words_.end());
+        slot.payload = found;
+        return found;
+    }
+    misses_.fetch_add(1, std::memory_order_relaxed);
+    return nullptr;
+}
+
+void
+EvalCache::insert(const ProbeKey& key, OpaquePayload payload,
+                  std::uint64_t payload_bytes)
+{
+    if (bypass_cache() || !payload) {
+        return;
+    }
+    StoredKey stored;
+    stored.hash = key.hash_;
+    stored.words.assign(key.words_.begin(), key.words_.end());
+    const std::uint64_t cost = payload_bytes +
+                               stored.words.size() *
+                                   sizeof(std::uint64_t) +
+                               64;
+    Shard& shard = shards_[shard_index(key.hash_)];
+    {
+        // Opportunistic, like find(): dropping a publish under
+        // contention only means a later evaluate() re-inserts the same
+        // bit-identical entry — the producing thread keeps its copy in
+        // its L1 below either way.
+        std::unique_lock<std::mutex> lock(shard.mutex,
+                                          std::try_to_lock);
+        if (lock.owns_lock()) {
+            const auto [it, inserted] = shard.entries.emplace(
+                std::move(stored), ShardEntry{payload, cost});
+            if (inserted) {
+                shard.bytes += cost;
+                const std::uint64_t budget =
+                    capacity_bytes_.load(std::memory_order_relaxed) /
+                    kShards;
+                if (shard.bytes > budget) {
+                    // Whole-shard reset, as in the memoizing path; the
+                    // caller holds its own reference to the payload.
+                    evictions_.fetch_add(shard.entries.size(),
+                                         std::memory_order_relaxed);
+                    shard.entries.clear();
+                    shard.bytes = 0;
+                }
+            }
+        }
+    }
+    // Seed the producing thread's L1: the warm re-run of the same
+    // search (the common repeat pattern) probes the same keys from the
+    // same worker.
+    L1Cache& l1 = local_l1();
+    l1.invalidate_if_stale();
+    L1Cache::Slot& slot = l1.slots[key.hash_ & (kL1Slots - 1)];
+    slot.hash = key.hash_;
+    slot.words.assign(key.words_.begin(), key.words_.end());
+    slot.payload = std::move(payload);
 }
 
 EvalCache::TileMenu
@@ -204,14 +642,16 @@ EvalCache::tile_menu(const AccelConfig& accel, const GemmShape& shape,
     if (bypass_cache()) {
         return std::make_shared<const std::vector<L2Tile>>(compute());
     }
-    std::string key = "menu:";
-    append_accel(key, accel);
+    KeyScratch& key = scratch_key();
+    key.reset(kTagMenu);
+    append_accel_fields(key, accel);
     append_shape(key, shape);
-    append_u64(key, static_cast<std::uint64_t>(stationarity));
+    key.add(static_cast<std::uint64_t>(stationarity));
+    key.add(static_cast<std::uint64_t>(budget_fractions.size()));
     for (const double fraction : budget_fractions) {
-        append_double(key, fraction);
+        key.add(fraction);
     }
-    return lookup<std::vector<L2Tile>>(std::move(key), compute);
+    return lookup<std::vector<L2Tile>>(key, compute);
 }
 
 EvalCache::GemmCostTable
@@ -237,21 +677,22 @@ EvalCache::gemm_costs(const AccelConfig& accel, const GemmShape& shape,
         return std::make_shared<const std::vector<GemmSliceCost>>(
             compute());
     }
-    std::string key = "costs:";
-    append_accel(key, accel);
+    KeyScratch& key = scratch_key();
+    key.reset(kTagCosts);
+    append_accel_fields(key, accel);
     append_shape(key, shape);
-    append_u64(key, static_cast<std::uint64_t>(stationarity));
-    key += "t:";
+    key.add(static_cast<std::uint64_t>(stationarity));
+    key.add(static_cast<std::uint64_t>(tiles.size()));
     for (const L2Tile& tile : tiles) {
-        append_u64(key, tile.m);
-        append_u64(key, tile.k);
-        append_u64(key, tile.n);
+        key.add(tile.m);
+        key.add(tile.k);
+        key.add(tile.n);
     }
-    key += "o:";
+    key.add(static_cast<std::uint64_t>(orders.size()));
     for (const LoopOrder order : orders) {
-        append_u64(key, static_cast<std::uint64_t>(order));
+        key.add(static_cast<std::uint64_t>(order));
     }
-    return lookup<std::vector<GemmSliceCost>>(std::move(key), compute);
+    return lookup<std::vector<GemmSliceCost>>(key, compute);
 }
 
 CacheStats
@@ -261,10 +702,18 @@ EvalCache::stats() const
     out.hits = hits_.load(std::memory_order_relaxed);
     out.misses = misses_.load(std::memory_order_relaxed);
     out.evictions = evictions_.load(std::memory_order_relaxed);
+    {
+        std::lock_guard<std::mutex> lock(l1_registry_mutex());
+        for (const L1Counters* block : l1_registry()) {
+            out.l1_hits +=
+                block->hits.load(std::memory_order_relaxed);
+        }
+    }
+    out.hits += out.l1_hits;
     for (std::size_t s = 0; s < kShards; ++s) {
         Shard& shard = shards_[s];
         std::lock_guard<std::mutex> lock(shard.mutex);
-        out.entries += shard.menus.size() + shard.costs.size();
+        out.entries += shard.entries.size();
         out.bytes += shard.bytes;
     }
     return out;
@@ -276,6 +725,10 @@ EvalCache::reset_stats()
     hits_.store(0, std::memory_order_relaxed);
     misses_.store(0, std::memory_order_relaxed);
     evictions_.store(0, std::memory_order_relaxed);
+    std::lock_guard<std::mutex> lock(l1_registry_mutex());
+    for (L1Counters* block : l1_registry()) {
+        block->hits.store(0, std::memory_order_relaxed);
+    }
 }
 
 void
@@ -284,10 +737,12 @@ EvalCache::clear()
     for (std::size_t s = 0; s < kShards; ++s) {
         Shard& shard = shards_[s];
         std::lock_guard<std::mutex> lock(shard.mutex);
-        shard.menus.clear();
-        shard.costs.clear();
+        shard.entries.clear();
         shard.bytes = 0;
     }
+    // Release so a thread whose L1 observes the new epoch also observes
+    // the cleared shards (it will re-miss and recompute).
+    g_l1_epoch.fetch_add(1, std::memory_order_release);
 }
 
 void

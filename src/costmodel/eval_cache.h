@@ -1,19 +1,44 @@
 /**
  * @file
- * Process-wide, sharded, thread-safe evaluation cache for the DSE hot
- * path. Two families of sub-problems recur across search_attention
+ * Process-wide, two-level, thread-safe evaluation cache for the DSE hot
+ * path. Three families of sub-problems recur across search_attention
  * slices, core/sweep points, search_scaleout's inner sweeps and the
  * bench suite:
  *
  *   - the L2 tile menu of a (AccelConfig, GemmShape, budget fractions,
- *     stationarity) tuple, and
+ *     stationarity) tuple,
  *   - the per-(tile, order) GemmSliceCost table of a slice (compute
- *     cost + DRAM reuse multipliers),
+ *     cost + DRAM reuse multipliers), and
+ *   - the attention plan base of a (accel buffers, dims, cross loop,
+ *     L2 tiles, staging flags) tuple, registered by attention_cost.cc
+ *     through the generic memoize() front door, and
+ *   - the per-point attention cost (cycles + activity of one fully
+ *     specified design point), registered by the batch evaluator
+ *     through the split find()/insert() pair,
  *
- * both pure functions of their keys. The cache memoizes them behind a
- * canonical string key (FNV-1a picks the shard; full string equality
- * decides the hit, so a hash collision can never alias two different
- * sub-problems — results stay bit-identical with the cache on or off).
+ * all pure functions of their keys. Keys are fixed-width binary words
+ * (raw uint64_t bit patterns of the doubles and the integer fields,
+ * length-prefixed per variable section, hashed once while packing) —
+ * no snprintf, no string allocation per lookup. Full word-for-word key
+ * equality decides a hit, so a hash collision can never alias two
+ * different sub-problems and results stay bit-identical cache-on/off.
+ * Bit-pattern keys are stricter than operator== on doubles: +0.0 and
+ * -0.0 are distinct keys and denormals round-trip exactly.
+ *
+ * Lookups go through two levels:
+ *
+ *   - L1: a small direct-mapped thread_local array, no locks, no shared
+ *     cache lines. Repeat lookups within a slice (the common case: a
+ *     search re-asks for the same menu/table for every stage-flag and
+ *     loop-order combination) are served here without ever touching a
+ *     shard mutex. clear() invalidates every thread's L1 via a global
+ *     epoch.
+ *   - L2: a bank of mutex shards (kShards) holding the authoritative
+ *     entries, selected by the high bits of the key hash. The
+ *     high-rate find()/insert() pair never blocks on a shard — under
+ *     contention it falls back to recomputing (purity makes that
+ *     bit-identical), so a descheduled lock holder can never convoy
+ *     the other workers.
  *
  * Entries are immutable and handed out as shared_ptr, so a consumer
  * keeps its table alive even if the shard is reset under memory
@@ -27,7 +52,6 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
-#include <string>
 #include <vector>
 
 #include "arch/accel_config.h"
@@ -39,7 +63,9 @@ namespace flat {
 
 /** Snapshot of the cache's behavior counters. */
 struct CacheStats {
-    std::uint64_t hits = 0;
+    std::uint64_t hits = 0;      ///< total hits (shard + L1)
+    std::uint64_t l1_hits = 0;   ///< subset of hits served lock-free
+                                 ///< by the thread-local front-ends
     std::uint64_t misses = 0;
     std::uint64_t evictions = 0; ///< entries dropped by capacity resets
     std::uint64_t entries = 0;   ///< live entries across all shards
@@ -64,10 +90,16 @@ class EvalCache
 
     static EvalCache& instance();
 
-    /** Process-wide switch; disabled lookups bypass the shards (and the
-     *  counters) entirely and recompute. */
+    /** Process-wide switch; disabled lookups bypass both levels (and
+     *  the counters) entirely and recompute. */
     static void set_enabled(bool enabled);
     static bool enabled();
+
+    /** True when lookups currently bypass the cache — disabled, or a
+     *  fault-injection probe is armed (serving a memoized entry would
+     *  skip the producer's probe site). High-rate callers check this
+     *  once per block to skip key packing entirely. */
+    static bool bypassed();
 
     /**
      * Memoized L2 tile menu. The key covers @p accel's physical fields,
@@ -97,19 +129,117 @@ class EvalCache
                              const std::vector<LoopOrder>& orders,
                              Stationarity stationarity);
 
+    /**
+     * Generic memoization front door for payload families this header
+     * cannot name (e.g. the attention plan base, whose type lives in
+     * attention_cost.cc). The caller packs its key as raw 64-bit words
+     * (doubles via bit_cast — same bit-for-bit strictness as the typed
+     * methods) under a family @p tag; @p payload_bytes is the
+     * approximate payload footprint charged against the capacity
+     * budget. Returns nullptr when the cache is bypassed (disabled or
+     * a fault is armed) — the caller runs its uncached path; the
+     * typed built-ins use tags below kFirstExternalTag.
+     */
+    using OpaquePayload = std::shared_ptr<const void>;
+    static constexpr std::uint64_t kFirstExternalTag = 8;
+    template <typename Compute>
+    OpaquePayload
+    memoize(std::uint64_t tag, const std::uint64_t* words,
+            std::size_t count, std::uint64_t payload_bytes,
+            Compute&& compute)
+    {
+        // Trampoline instead of std::function: the capture list of a
+        // typical compute lambda overflows the small-object buffer, and
+        // this runs on the hit path — it must not allocate.
+        const auto call = [](void* ctx) -> OpaquePayload {
+            return (*static_cast<Compute*>(ctx))();
+        };
+        return memoize_erased(tag, words, count, payload_bytes, call,
+                              &compute);
+    }
+
+    /**
+     * Incremental binary key for the find()/insert() pair: families
+     * that probe many entries per shared key prefix (e.g. the
+     * per-point attention cost — one prefix per plan-base block, two
+     * suffix words per point) pack the prefix once, mark() it, and
+     * between probes rewind() and re-append only the suffix. Packing
+     * rules match the internal key builder word for word (doubles as
+     * raw bit patterns, tag first), so the same no-aliasing guarantee
+     * applies. The buffer is reused — steady state allocates nothing.
+     */
+    class ProbeKey
+    {
+      public:
+        void reset(std::uint64_t tag);
+        void add(std::uint64_t word);
+        void add(double value); ///< raw bit pattern, bit-for-bit strict
+
+        /** Snapshots the current prefix; rewind() restores it. */
+        void mark();
+        void rewind();
+
+      private:
+        friend class EvalCache;
+        std::uint64_t hash_ = 0;
+        std::uint64_t mark_hash_ = 0;
+        std::size_t mark_size_ = 0;
+        std::vector<std::uint64_t> words_;
+    };
+
+    /**
+     * Probe-only lookup for families whose compute step is batched:
+     * the caller collects the misses, computes them together (SoA
+     * evaluation), then publishes the results through insert().
+     * Returns nullptr on a miss or when the cache is bypassed; counts
+     * one hit or miss per non-bypassed call.
+     */
+    OpaquePayload find(const ProbeKey& key);
+
+    /**
+     * Publishes a computed payload under @p key. No-op when bypassed;
+     * a racing duplicate keeps the first entry (bit-identical by
+     * purity). @p payload_bytes is the approximate footprint charged
+     * against the capacity budget, as in memoize().
+     */
+    void insert(const ProbeKey& key, OpaquePayload payload,
+                std::uint64_t payload_bytes);
+
+    /**
+     * Packs the physical AccelConfig fingerprint (the same field list
+     * the built-in families key on — `name` and `caps` are policy
+     * metadata, deliberately excluded) into @p key, so external
+     * families cannot drift from the internal accel fingerprint.
+     */
+    static void append_accel(ProbeKey& key, const AccelConfig& accel);
+
     CacheStats stats() const;
     void reset_stats();
 
-    /** Drops every entry (outstanding shared_ptr handles stay valid). */
+    /**
+     * Drops every entry and bumps the L1 epoch so every thread's
+     * front-end re-misses (outstanding shared_ptr handles stay valid).
+     */
     void clear();
 
     /**
      * Approximate process-wide payload budget. A shard whose share
      * overflows is reset wholesale (counted in CacheStats::evictions) —
      * the population is small and uniform enough that LRU bookkeeping
-     * would cost more than the occasional recompute.
+     * would cost more than the occasional recompute. Thread-local L1s
+     * are untouched: their slots pin at most kL1Slots payloads per
+     * thread and keep serving bit-identical entries by purity.
      */
     void set_capacity_bytes(std::uint64_t capacity);
+
+    /** Slots in each thread's direct-mapped L1 front-end. Sized so a
+     *  quick-search sweep's whole working set — per-point outcomes
+     *  plus the per-slice menus/tables/plan bases — stays resident
+     *  per thread (~50 KB/thread), keeping steady-state probes
+     *  lock-free even with oversubscribed worker threads. */
+    static constexpr std::size_t kL1Slots = 1024;
+
+    struct KeyScratch; // thread-local binary key builder (see .cc)
 
   private:
     EvalCache();
@@ -117,10 +247,33 @@ class EvalCache
     struct Shard;
 
     template <typename Payload, typename Compute>
-    std::shared_ptr<const Payload> lookup(std::string key,
+    std::shared_ptr<const Payload> lookup(const KeyScratch& key,
                                           const Compute& compute);
 
-    static constexpr std::size_t kShards = 16;
+    /** Type-erased core of lookup(); @p compute_entry returns the
+     *  payload plus its byte cost for the capacity budget. */
+    template <typename ComputeEntry>
+    OpaquePayload lookup_raw(const KeyScratch& key,
+                             const ComputeEntry& compute_entry);
+
+    /** Out-of-line core of memoize() (keeps the template thin). */
+    OpaquePayload memoize_erased(std::uint64_t tag,
+                                 const std::uint64_t* words,
+                                 std::size_t count,
+                                 std::uint64_t payload_bytes,
+                                 OpaquePayload (*compute)(void*),
+                                 void* ctx);
+
+    /** Shard count: sized so per-point probes from oversubscribed
+     *  worker threads rarely collide on one mutex. Selection uses the
+     *  hash's HIGH bits — the low bits index the L1 slots. */
+    static constexpr std::size_t kShards = 64;
+
+    static std::size_t shard_index(std::uint64_t hash)
+    {
+        return (hash >> 58) % kShards;
+    }
+
     std::unique_ptr<Shard[]> shards_;
     std::atomic<std::uint64_t> capacity_bytes_;
     std::atomic<std::uint64_t> hits_{0};

@@ -4,6 +4,22 @@
 
 #include "common/status.h"
 
+/**
+ * Vectorization hint for the batch evaluator's lane-innermost loops.
+ * Only enabled under -DFLAT_SIMD=ON: the pragmas assert the absence of
+ * loop-carried dependences (true here — every lane is independent and
+ * the SoA rows never alias) but do NOT license reassociation, so the
+ * per-lane floating-point operation order — and with it the
+ * bit-identity contract — is unchanged.
+ */
+#if defined(FLAT_SIMD) && defined(__clang__)
+#define FLAT_SIMD_LOOP _Pragma("clang loop vectorize(assume_safety)")
+#elif defined(FLAT_SIMD) && defined(__GNUC__)
+#define FLAT_SIMD_LOOP _Pragma("GCC ivdep")
+#else
+#define FLAT_SIMD_LOOP
+#endif
+
 namespace flat {
 namespace {
 
@@ -256,6 +272,282 @@ evaluate_timeline_into(TimelineScratch& scratch, const AccelConfig& accel,
     evaluate_core(scratch.phases, accel, overlap, link_bytes_per_cycle,
                   scratch.group_ids, scratch.track_cycles,
                   scratch.summary_only, scratch.result);
+}
+
+void
+TimelineBatch::configure(const std::vector<Phase>& structure,
+                         OverlapKind overlap, std::size_t lane_capacity)
+{
+    FLAT_CHECK(lane_capacity > 0,
+               "TimelineBatch needs at least one lane of capacity");
+    overlap_ = overlap;
+    phase_count_ = structure.size();
+    capacity_ = lane_capacity;
+    lanes_ = 0;
+
+    pace_only_.assign(phase_count_, false);
+    // Group ids and per-group track ids in first-appearance order —
+    // the same discovery rule as evaluate_core(), so track slot 0 is
+    // the first distinct track a group's member order encounters.
+    // Retired GroupShape entries and the discovery scratch are reused
+    // in place (no destroy/rebuild): reconfiguring per (tiles, flags)
+    // block is the DSE hot path and must not allocate in steady state.
+    group_count_ = 0;
+    group_ids_.clear();
+    for (std::size_t i = 0; i < structure.size(); ++i) {
+        const Phase& phase = structure[i];
+        pace_only_[i] = phase.pace_only;
+        std::size_t gi = 0;
+        while (gi < group_ids_.size() && group_ids_[gi] != phase.group) {
+            ++gi;
+        }
+        if (gi == group_ids_.size()) {
+            group_ids_.push_back(phase.group);
+            if (track_ids_.size() <= gi) {
+                track_ids_.emplace_back();
+            }
+            track_ids_[gi].clear();
+            if (groups_.size() <= gi) {
+                groups_.emplace_back();
+            }
+            GroupShape& fresh = groups_[gi];
+            fresh.member_phases.clear();
+            fresh.serial_phases.clear();
+            fresh.track_phases.clear();
+            fresh.track_slots = 0;
+            fresh.members = 0;
+            fresh.all_pace_only = true;
+            ++group_count_;
+        }
+        GroupShape& group = groups_[gi];
+        ++group.members;
+        group.member_phases.push_back(i);
+        group.all_pace_only = group.all_pace_only && phase.pace_only;
+        if (phase.track < 0) {
+            group.serial_phases.push_back(i);
+        } else {
+            std::vector<int>& tracks = track_ids_[gi];
+            std::size_t slot = 0;
+            while (slot < tracks.size() && tracks[slot] != phase.track) {
+                ++slot;
+            }
+            if (slot == tracks.size()) {
+                tracks.push_back(phase.track);
+                group.track_slots = tracks.size();
+            }
+            group.track_phases.emplace_back(i, slot);
+        }
+    }
+
+    const std::size_t values = phase_count_ * capacity_;
+    occupancy_.resize(values);
+    link_latency_.resize(values);
+    macs_.resize(values);
+    sl_accesses_.resize(values);
+    sfu_elems_.resize(values);
+    dram_read_.resize(values);
+    dram_write_.resize(values);
+    sg_read_.resize(values);
+    sg_write_.resize(values);
+    sg2_read_.resize(values);
+    sg2_write_.resize(values);
+    link_in_.resize(values);
+    link_out_.resize(values);
+    summaries_.resize(capacity_);
+}
+
+std::size_t
+TimelineBatch::add_lane()
+{
+    FLAT_CHECK(lanes_ < capacity_,
+               "TimelineBatch overflow: " << capacity_
+                                          << " lanes already added");
+    return lanes_++;
+}
+
+void
+TimelineBatch::clear_lanes()
+{
+    lanes_ = 0;
+}
+
+void
+TimelineBatch::set_phase(std::size_t lane, std::size_t phase,
+                         double compute_cycles, double sfu_cycles,
+                         double link_latency_cycles,
+                         const ActivityCounts& activity)
+{
+    const std::size_t i = phase * capacity_ + lane;
+    // Same single addition evaluate_core() performs per phase.
+    occupancy_[i] = compute_cycles + sfu_cycles;
+    link_latency_[i] = link_latency_cycles;
+    macs_[i] = activity.macs;
+    sl_accesses_[i] = activity.sl_accesses;
+    sfu_elems_[i] = activity.sfu_elems;
+    dram_read_[i] = activity.traffic.dram_read;
+    dram_write_[i] = activity.traffic.dram_write;
+    sg_read_[i] = activity.traffic.sg_read;
+    sg_write_[i] = activity.traffic.sg_write;
+    sg2_read_[i] = activity.traffic.sg2_read;
+    sg2_write_[i] = activity.traffic.sg2_write;
+    link_in_[i] = activity.traffic.link_in;
+    link_out_[i] = activity.traffic.link_out;
+}
+
+void
+TimelineBatch::evaluate(const AccelConfig& accel,
+                        double link_bytes_per_cycle)
+{
+    accel.validate();
+    const std::size_t n = lanes_;
+    if (n == 0) {
+        return;
+    }
+
+    const double off_bpc = accel.offchip_bytes_per_cycle();
+    const double on_bpc = accel.onchip_bytes_per_cycle();
+    const bool has_sg2 = accel.has_sg2();
+    const double sg2_bpc = has_sg2 ? accel.sg2_bytes_per_cycle() : 0.0;
+    const double link_bpc = link_bytes_per_cycle;
+
+    std::size_t max_slots = 0;
+    for (std::size_t g = 0; g < group_count_; ++g) {
+        max_slots = std::max(max_slots, groups_[g].track_slots);
+    }
+    serial_.resize(capacity_);
+    tracks_.resize(max_slots * capacity_);
+    acc_bytes_.resize(8 * capacity_);
+    acc_link_latency_.resize(capacity_);
+    slowest_.resize(capacity_);
+
+    for (std::size_t l = 0; l < n; ++l) {
+        summaries_[l] = LaneSummary{};
+        slowest_[l] = -1.0;
+    }
+
+    // The 8 interface rows of acc_bytes_, in TrafficBytes field order.
+    const std::vector<double>* const byte_fields[8] = {
+        &dram_read_, &dram_write_, &sg_read_,  &sg_write_,
+        &sg2_read_,  &sg2_write_,  &link_in_,  &link_out_};
+
+    for (std::size_t g = 0; g < group_count_; ++g) {
+        const GroupShape& group = groups_[g];
+        std::fill_n(serial_.begin(), n, 0.0);
+        std::fill_n(acc_link_latency_.begin(), n, 0.0);
+        for (std::size_t slot = 0; slot < group.track_slots; ++slot) {
+            std::fill_n(tracks_.begin() + slot * capacity_, n, 0.0);
+        }
+        for (std::size_t f = 0; f < 8; ++f) {
+            std::fill_n(acc_bytes_.begin() + f * capacity_, n, 0.0);
+        }
+
+        // Lane-innermost accumulation over contiguous rows — the SIMD
+        // meat. Each accumulator only ever combines with itself across
+        // phases, in member order, so the per-lane FP sequence is the
+        // scalar engine's.
+        for (const std::size_t p : group.serial_phases) {
+            const double* src = occupancy_.data() + p * capacity_;
+            double* dst = serial_.data();
+            FLAT_SIMD_LOOP
+            for (std::size_t l = 0; l < n; ++l) {
+                dst[l] += src[l];
+            }
+        }
+        for (const auto& [p, slot] : group.track_phases) {
+            const double* src = occupancy_.data() + p * capacity_;
+            double* dst = tracks_.data() + slot * capacity_;
+            FLAT_SIMD_LOOP
+            for (std::size_t l = 0; l < n; ++l) {
+                dst[l] += src[l];
+            }
+        }
+        for (const std::size_t p : group.member_phases) {
+            for (std::size_t f = 0; f < 8; ++f) {
+                const double* src =
+                    byte_fields[f]->data() + p * capacity_;
+                double* dst = acc_bytes_.data() + f * capacity_;
+                FLAT_SIMD_LOOP
+                for (std::size_t l = 0; l < n; ++l) {
+                    dst[l] += src[l];
+                }
+            }
+            const double* src = link_latency_.data() + p * capacity_;
+            double* dst = acc_link_latency_.data();
+            FLAT_SIMD_LOOP
+            for (std::size_t l = 0; l < n; ++l) {
+                dst[l] += src[l];
+            }
+        }
+
+        // Per-lane arbitration: the scalar engine's lanes_of /
+        // combine_lanes / pick_bound sequence, streamed over lanes.
+        for (std::size_t l = 0; l < n; ++l) {
+            double parallel = 0.0;
+            for (std::size_t slot = 0; slot < group.track_slots;
+                 ++slot) {
+                parallel = std::max(parallel,
+                                    tracks_[slot * capacity_ + l]);
+            }
+            LaneCycles lanes;
+            lanes.compute = serial_[l] + parallel;
+            lanes.offchip = (acc_bytes_[0 * capacity_ + l] +
+                             acc_bytes_[1 * capacity_ + l]) /
+                            off_bpc;
+            lanes.onchip = (acc_bytes_[2 * capacity_ + l] +
+                            acc_bytes_[3 * capacity_ + l]) /
+                           on_bpc;
+            lanes.sg2 = has_sg2 ? (acc_bytes_[4 * capacity_ + l] +
+                                   acc_bytes_[5 * capacity_ + l]) /
+                                      sg2_bpc
+                                : 0.0;
+            const double link_bytes =
+                std::max(acc_bytes_[6 * capacity_ + l],
+                         acc_bytes_[7 * capacity_ + l]);
+            const double link_latency = acc_link_latency_[l];
+            if (link_bytes > 0.0 || link_latency > 0.0) {
+                FLAT_CHECK(link_bpc > 0.0,
+                           "timeline carries link traffic ("
+                               << link_bytes << " B, " << link_latency
+                               << " latency cycles) but no link "
+                                  "bandwidth was supplied to "
+                                  "TimelineBatch::evaluate()");
+                lanes.link = link_bytes / link_bpc + link_latency;
+            }
+            const double latency = combine_lanes(lanes, overlap_);
+            LaneSummary& sum = summaries_[l];
+            sum.cycles += latency;
+            if (group.all_pace_only && group.members > 0) {
+                sum.cold_start_cycles += latency;
+            }
+            if (latency > slowest_[l]) {
+                slowest_[l] = latency;
+                sum.bound_by = pick_bound(lanes);
+            }
+        }
+    }
+
+    // Ledger sum over non-pace-only phases, phase order per lane —
+    // field-for-field the scalar `activity += phase.activity` chain.
+    for (std::size_t p = 0; p < phase_count_; ++p) {
+        if (pace_only_[p]) {
+            continue;
+        }
+        const std::size_t base = p * capacity_;
+        for (std::size_t l = 0; l < n; ++l) {
+            ActivityCounts& act = summaries_[l].activity;
+            act.macs += macs_[base + l];
+            act.sl_accesses += sl_accesses_[base + l];
+            act.sfu_elems += sfu_elems_[base + l];
+            act.traffic.dram_read += dram_read_[base + l];
+            act.traffic.dram_write += dram_write_[base + l];
+            act.traffic.sg_read += sg_read_[base + l];
+            act.traffic.sg_write += sg_write_[base + l];
+            act.traffic.sg2_read += sg2_read_[base + l];
+            act.traffic.sg2_write += sg2_write_[base + l];
+            act.traffic.link_in += link_in_[base + l];
+            act.traffic.link_out += link_out_[base + l];
+        }
+    }
 }
 
 } // namespace flat

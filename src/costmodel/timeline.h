@@ -237,6 +237,132 @@ void evaluate_timeline_into(TimelineScratch& scratch,
                             OverlapKind overlap = OverlapKind::kOverlapped,
                             double link_bytes_per_cycle = 0.0);
 
+/**
+ * Structure-of-arrays batch evaluator for summary-only timelines.
+ *
+ * The DSE hot path evaluates thousands of candidate plans that all
+ * share one phase *structure* (same phase count, groups, tracks and
+ * pace-only flags — fixed by the execution style) and differ only in
+ * the per-phase *values* (occupancies and byte vectors). This class
+ * lays N such candidates out as lanes of flat per-field arrays
+ * (value index = phase * lane_capacity + lane) and evaluates them in
+ * one pass: the per-phase accumulation loops run lane-innermost over
+ * contiguous doubles, which the compiler auto-vectorizes (and which a
+ * -DFLAT_SIMD=ON build annotates with ivdep-style pragmas).
+ *
+ * Bit-identity contract: evaluate() performs the exact floating-point
+ * operations of evaluate_timeline_into() with summary_only set, in the
+ * same order per lane — per-field accumulators only ever combine with
+ * themselves, phase-order is preserved, and group max/combine logic is
+ * shared with the scalar engine. A lane's summary therefore equals the
+ * scalar result bit for bit (asserted by tests/costmodel/
+ * test_timeline_batch.cc across the golden catalog).
+ */
+class TimelineBatch
+{
+  public:
+    /** The summary-only outputs of one lane (cf. TimelineResult). */
+    struct LaneSummary {
+        double cycles = 0.0;
+        double cold_start_cycles = 0.0;
+        BoundBy bound_by = BoundBy::kCompute;
+        ActivityCounts activity;
+    };
+
+    /**
+     * Rebinds the batch to @p structure's phase skeleton (group, track
+     * and pace_only of each phase; labels/values are ignored) with room
+     * for @p lane_capacity lanes, and drops all lanes. Buffers are
+     * reused when the shape matches the previous configure call.
+     */
+    void configure(const std::vector<Phase>& structure,
+                   OverlapKind overlap, std::size_t lane_capacity);
+
+    std::size_t phase_count() const { return phase_count_; }
+    std::size_t lanes() const { return lanes_; }
+    std::size_t capacity() const { return capacity_; }
+    bool full() const { return lanes_ == capacity_; }
+
+    /** Appends a lane and returns its index; values are UNDEFINED until
+     *  set_phase() has covered every phase of the lane. */
+    std::size_t add_lane();
+
+    /** Drops all lanes; structure and buffer capacity stay. */
+    void clear_lanes();
+
+    /** Writes one (lane, phase) value set. */
+    void set_phase(std::size_t lane, std::size_t phase,
+                   double compute_cycles, double sfu_cycles,
+                   double link_latency_cycles,
+                   const ActivityCounts& activity);
+
+    /** Evaluates every lane; summaries are valid until the next
+     *  configure()/add_lane()/set_phase(). */
+    void evaluate(const AccelConfig& accel,
+                  double link_bytes_per_cycle = 0.0);
+
+    const LaneSummary& summary(std::size_t lane) const
+    {
+        return summaries_[lane];
+    }
+
+  private:
+    /** Per-group structure, precomputed once per configure(). */
+    struct GroupShape {
+        std::vector<std::size_t> member_phases; ///< all members, in order
+        std::vector<std::size_t> serial_phases; ///< track -1, in order
+        /** (phase, track slot) of track >= 0 members, in order. */
+        std::vector<std::pair<std::size_t, std::size_t>> track_phases;
+        std::size_t track_slots = 0; ///< distinct tracks, first-seen order
+        std::size_t members = 0;
+        bool all_pace_only = true;
+    };
+
+    double* field(std::vector<double>& store, std::size_t phase)
+    {
+        return store.data() + phase * capacity_;
+    }
+
+    std::size_t phase_count_ = 0;
+    std::size_t capacity_ = 0;
+    std::size_t lanes_ = 0;
+    OverlapKind overlap_ = OverlapKind::kOverlapped;
+    std::vector<bool> pace_only_;
+
+    // groups_[0..group_count_) are live; entries past group_count_ are
+    // retired but keep their heap buffers so the per-block reconfigure
+    // on the DSE hot path allocates nothing in steady state (the
+    // discovery scratch below persists for the same reason).
+    std::vector<GroupShape> groups_;
+    std::size_t group_count_ = 0;
+    std::vector<int> group_ids_;                 ///< configure() scratch
+    std::vector<std::vector<int>> track_ids_;    ///< configure() scratch
+
+    // Per-(phase, lane) values, phase-major.
+    std::vector<double> occupancy_; ///< compute + SFU cycles
+    std::vector<double> link_latency_;
+    std::vector<double> macs_;
+    std::vector<double> sl_accesses_;
+    std::vector<double> sfu_elems_;
+    std::vector<double> dram_read_;
+    std::vector<double> dram_write_;
+    std::vector<double> sg_read_;
+    std::vector<double> sg_write_;
+    std::vector<double> sg2_read_;
+    std::vector<double> sg2_write_;
+    std::vector<double> link_in_;
+    std::vector<double> link_out_;
+
+    // Per-lane evaluation scratch (group accumulators).
+    std::vector<double> serial_;
+    std::vector<double> tracks_; ///< track_slots x lanes, slot-major
+    std::vector<double> acc_bytes_; ///< 8 interface rows x lanes
+    std::vector<double> acc_link_latency_;
+    std::vector<double> slowest_;
+
+    std::vector<LaneSummary> summaries_;
+};
+
 } // namespace flat
 
 #endif // FLAT_COSTMODEL_TIMELINE_H

@@ -406,15 +406,24 @@ search_attention(const AccelConfig& accel, const AttentionDims& dims,
 
     // Per-slice pruning bounds, precomputed up front (each is one or
     // two cache probes plus a handful of arithmetic; the grain batches
-    // the tiny tasks so scheduling atomics do not dominate).
+    // the tiny tasks so scheduling atomics do not dominate). Small
+    // spaces — quick menus, policy-pinned searches, the per-point
+    // searches of broad sweeps — compute them inline: waking the pool
+    // costs more than the work, and the bounds are deterministic
+    // either way.
     std::vector<SliceBound> bounds(space.slices.size());
-    parallel_for(
-        space.slices.size(), options.threads,
-        [&](std::size_t si) {
-            bounds[si] = make_slice_bound(accel, dims, energy_table,
-                                          space.slices[si], space.orders);
-        },
-        /*grain=*/4);
+    const auto fill_bound = [&](std::size_t si) {
+        bounds[si] = make_slice_bound(accel, dims, energy_table,
+                                      space.slices[si], space.orders);
+    };
+    if (space.slices.size() <= 64) {
+        for (std::size_t si = 0; si < space.slices.size(); ++si) {
+            fill_bound(si);
+        }
+    } else {
+        parallel_for(space.slices.size(), options.threads, fill_bound,
+                     /*grain=*/4);
+    }
 
     // Schedule slices by ascending lower bound: promising slices run
     // first, the shared incumbent drops early, and the worse-bounded
@@ -460,61 +469,120 @@ search_attention(const AccelConfig& accel, const AttentionDims& dims,
                 *bound.logit_costs;
             const std::vector<GemmSliceCost>& attend_costs =
                 *bound.attend_costs;
-            AttentionEvalScratch scratch;
+            // Worker-lifetime evaluation state: the pool threads are
+            // persistent, so scratch buffers, the batch evaluator and
+            // the lane book-keeping all reach allocation-free steady
+            // state across slices AND searches (the plan-base memo
+            // re-validates itself against every input it depends on,
+            // so reuse cannot leak state between searches).
+            thread_local AttentionEvalScratch scratch;
+            thread_local AttentionBatchEvaluator batch;
             // The DSE reads only the scalar cost summary; skip the
             // per-phase timing fill inside the evaluator.
             scratch.timeline.summary_only = true;
-            DsePoint point;
 
-            for_each_slice_point(
-                slice, space.orders, space.flag_sets,
-                [&](const FusedDataflow& df, std::size_t tl,
-                    std::size_t ta, std::size_t ol, std::size_t oa) {
-                    const std::size_t li = tl * n_orders + ol;
-                    const std::size_t ai = ta * n_orders + oa;
-                    if (options.prune) {
-                        const double lb = bound.lower_bound(
-                            options.objective, li, ai);
-                        if (lb >
-                            shared_best.load(std::memory_order_relaxed)) {
-                            ++out.pruned;
-                            return true;
-                        }
-                    }
-                    PlannedGemmCosts planned;
-                    planned.logit = &logit_costs[li];
-                    planned.attend = &attend_costs[ai];
-                    point.dataflow = df;
-                    point.cost =
-                        options.fused
-                            ? model_flat_attention(accel, dims, df,
-                                                   scratch, planned)
-                            : model_baseline_attention(
-                                  accel, dims, df,
-                                  options.baseline_overlap, scratch,
-                                  planned);
-                    point.energy_j =
-                        estimate_energy(energy_table,
-                                        point.cost.activity)
-                            .total();
+            // Batched walk of the slice: the loop-order axes of each
+            // (tiles, flags) block — the innermost, plan-base-sharing
+            // axes — are buffered as lanes and evaluated SoA-style.
+            // Enumeration and improvement order match the scalar
+            // for_each_slice_point walk exactly, so the outcome is
+            // bit-identical at any width; pruning happens at add time
+            // against the incumbent the block started with (a flush
+            // refreshes it), which only shifts the evaluated/pruned
+            // split, never the result.
+            const std::size_t width = options.batch_width > 0
+                                          ? options.batch_width
+                                          : n_orders * n_orders;
+            struct LaneMeta {
+                std::size_t ol;
+                std::size_t oa;
+            };
+            thread_local std::vector<LaneMeta> lane_meta;
+            lane_meta.clear();
+            lane_meta.reserve(width);
+
+            const std::vector<L2Tile>& tiles_l = *slice.tiles_logit;
+            const std::vector<L2Tile>& tiles_a = *slice.tiles_attend;
+            FusedDataflow df;
+            df.cross = slice.cross;
+            df.stat_logit = slice.stat_logit;
+            df.stat_attend = slice.stat_attend;
+
+            const auto flush = [&]() {
+                if (batch.lanes() == 0) {
+                    return;
+                }
+                batch.evaluate();
+                for (std::size_t i = 0; i < batch.lanes(); ++i) {
                     ++out.evaluated;
-                    const double value =
-                        point.objective_value(options.objective);
+                    const double energy =
+                        estimate_energy(energy_table, batch.activity(i))
+                            .total();
+                    const double value = objective_value(
+                        options.objective, batch.cycles(i), energy);
                     if (value <= out.value) {
                         // Tag construction is deferred to the rare
                         // improves/ties path; strictly worse points
                         // never pay for it.
+                        df.order_logit = space.orders[lane_meta[i].ol];
+                        df.order_attend = space.orders[lane_meta[i].oa];
                         const std::string tag = df.tag();
                         if (improves(value, tag, out.value, out.tag)) {
                             out.value = value;
                             out.tag = tag;
-                            out.best = point;
+                            out.best.dataflow = df;
+                            out.best.cost = batch.cost(i);
+                            out.best.energy_j = energy;
                             out.found = true;
                             update_shared_best(shared_best, value);
                         }
                     }
-                    return true;
-                });
+                }
+                batch.clear_lanes();
+                lane_meta.clear();
+            };
+
+            for (std::size_t tl = 0; tl < tiles_l.size(); ++tl) {
+                df.l2_logit = tiles_l[tl];
+                for (std::size_t ta = 0; ta < tiles_a.size(); ++ta) {
+                    df.l2_attend = tiles_a[ta];
+                    for (const FusedStageFlags& flags :
+                         space.flag_sets) {
+                        df.stage = flags;
+                        batch.begin(accel, dims, df, options.fused,
+                                    options.baseline_overlap, width,
+                                    scratch);
+                        for (std::size_t ol = 0; ol < n_orders; ++ol) {
+                            for (std::size_t oa = 0; oa < n_orders;
+                                 ++oa) {
+                                const std::size_t li =
+                                    tl * n_orders + ol;
+                                const std::size_t ai =
+                                    ta * n_orders + oa;
+                                if (options.prune) {
+                                    const double lb = bound.lower_bound(
+                                        options.objective, li, ai);
+                                    if (lb >
+                                        shared_best.load(
+                                            std::memory_order_relaxed)) {
+                                        ++out.pruned;
+                                        continue;
+                                    }
+                                }
+                                batch.add(logit_costs[li],
+                                          attend_costs[ai],
+                                          space.orders[ol],
+                                          space.orders[oa]);
+                                lane_meta.push_back({ol, oa});
+                                if (batch.full()) {
+                                    flush();
+                                }
+                            }
+                        }
+                        flush(); // lanes left over from this block
+                    }
+                }
+            }
         });
 
     // Deterministic reduction, in slice order, under the same total

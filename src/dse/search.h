@@ -83,6 +83,17 @@ struct AttentionSearchOptions {
      */
     bool prune = true;
 
+    /**
+     * Lanes per batched evaluation (see AttentionBatchEvaluator):
+     * the loop-order axes of each (tiles, staging flags) block are
+     * buffered and evaluated SoA-style in groups of this size.
+     * 0 = auto (one whole block, i.e. #loop-orders squared). The
+     * returned optimum is bit-identical for ANY width — smaller widths
+     * only update the pruning incumbent more often, which shifts the
+     * evaluated/pruned split, never the result.
+     */
+    std::size_t batch_width = 0;
+
     CandidateOptions candidates;
 };
 

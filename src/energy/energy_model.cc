@@ -28,6 +28,7 @@ EnergyTable::for_accel(const AccelConfig& accel)
                           2.0 * table.sg_pj_per_byte));
     table.dram_pj_per_byte =
         std::max(table.dram_pj_per_byte, 2.0 * table.sg2_pj_per_byte);
+    table.validate();
     return table;
 }
 
@@ -61,7 +62,9 @@ EnergyBreakdown::operator+=(const EnergyBreakdown& other)
 EnergyBreakdown
 estimate_energy(const EnergyTable& table, const ActivityCounts& activity)
 {
-    table.validate();
+    // The table is validated where it is built (for_accel(), or the
+    // caller's own validate() for hand-assembled tables), not per call:
+    // this runs once per DSE design point.
     constexpr double kPjToJ = 1e-12;
 
     EnergyBreakdown out;

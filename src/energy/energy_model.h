@@ -30,10 +30,16 @@ struct EnergyTable {
     /**
      * Builds a table matched to @p accel: SG energy grows slowly with
      * capacity (longer wires/bigger banks), DRAM stays two orders of
-     * magnitude above it.
+     * magnitude above it. The returned table is validated.
      */
     static EnergyTable for_accel(const AccelConfig& accel);
 
+    /**
+     * Checks the entries are positive and the hierarchy is ordered
+     * (SG < SG2 < DRAM). estimate_energy() trusts its table — it runs
+     * once per DSE design point — so hand-assembled tables should be
+     * validated here before use.
+     */
     void validate() const;
 };
 

@@ -263,5 +263,201 @@ TEST_F(CacheFixture, HitRateIsZeroWhenNeverConsulted)
     EXPECT_EQ(EvalCache::instance().stats().hit_rate(), 0.0);
 }
 
+/** Counts tile_menu computes for one fixed shape/fractions key. */
+class CountingLookup
+{
+  public:
+    explicit CountingLookup(std::vector<double> fractions = {0.5})
+        : accel_(edge_accel()), fractions_(std::move(fractions))
+    {
+        shape_.m = 320;
+        shape_.k = 64;
+        shape_.n = 320;
+    }
+
+    EvalCache::TileMenu
+    operator()()
+    {
+        return EvalCache::instance().tile_menu(
+            accel_, shape_, fractions_,
+            Stationarity::kWeightStationary, [this] {
+                ++computes_;
+                return std::vector<L2Tile>{default_l2_tile(
+                    accel_, shape_, accel_.sg_bytes,
+                    Stationarity::kWeightStationary)};
+            });
+    }
+
+    int computes() const { return computes_; }
+
+  private:
+    AccelConfig accel_;
+    GemmShape shape_;
+    std::vector<double> fractions_;
+    int computes_ = 0;
+};
+
+TEST_F(CacheFixture, ClearInvalidatesThreadLocalFrontEnd)
+{
+    // First lookup misses, second is served by this thread's L1 —
+    // after clear() the L1 must re-miss instead of serving the stale
+    // slot (the global epoch bump), so the compute runs again.
+    CountingLookup look;
+    look();
+    look();
+    EXPECT_EQ(look.computes(), 1);
+    EXPECT_GT(EvalCache::instance().stats().l1_hits, 0u);
+
+    EvalCache::instance().clear();
+    look();
+    EXPECT_EQ(look.computes(), 2);
+
+    // And the refilled L1 serves hits again.
+    look();
+    EXPECT_EQ(look.computes(), 2);
+}
+
+TEST_F(CacheFixture, L1HitsAreASubsetOfTotalHits)
+{
+    CountingLookup look;
+    look(); // miss
+    for (int i = 0; i < 4; ++i) {
+        look(); // same thread, same key: all L1
+    }
+    const CacheStats stats = EvalCache::instance().stats();
+    EXPECT_EQ(stats.hits, 4u);
+    EXPECT_EQ(stats.l1_hits, 4u);
+    EXPECT_EQ(stats.misses, 1u);
+}
+
+TEST_F(CacheFixture, ResetStatsKeepsEntriesAndRestartsCounters)
+{
+    CountingLookup look;
+    look();
+    look();
+    EvalCache::instance().reset_stats();
+    const CacheStats zeroed = EvalCache::instance().stats();
+    EXPECT_EQ(zeroed.hits, 0u);
+    EXPECT_EQ(zeroed.l1_hits, 0u);
+    EXPECT_EQ(zeroed.misses, 0u);
+    EXPECT_GT(zeroed.entries, 0u); // entries survive a stats reset
+
+    look(); // still cached: a hit, not a recompute
+    EXPECT_EQ(look.computes(), 1);
+    EXPECT_EQ(EvalCache::instance().stats().hits, 1u);
+}
+
+TEST_F(CacheFixture, SignedZeroFractionsAreDistinctKeys)
+{
+    // Binary bit-pattern keys are stricter than operator==: +0.0 and
+    // -0.0 compare equal as doubles but are different sub-problems to
+    // the cache (and to any consumer that branches on signbit).
+    CountingLookup positive({0.0});
+    CountingLookup negative({-0.0});
+    positive();
+    negative();
+    EXPECT_EQ(positive.computes(), 1);
+    EXPECT_EQ(negative.computes(), 1);
+    EXPECT_EQ(EvalCache::instance().stats().misses, 2u);
+
+    // Each variant still hits its own entry.
+    positive();
+    negative();
+    EXPECT_EQ(positive.computes(), 1);
+    EXPECT_EQ(negative.computes(), 1);
+    EXPECT_EQ(EvalCache::instance().stats().hits, 2u);
+}
+
+TEST_F(CacheFixture, DenormalFractionsRoundTripExactly)
+{
+    const double denormal = 4.9406564584124654e-324; // smallest double
+    CountingLookup tiny({denormal});
+    CountingLookup doubled({2.0 * denormal});
+    tiny();
+    tiny();
+    EXPECT_EQ(tiny.computes(), 1); // no precision loss in the key
+
+    doubled(); // a neighboring denormal is a different key
+    EXPECT_EQ(doubled.computes(), 1);
+    EXPECT_EQ(EvalCache::instance().stats().misses, 2u);
+}
+
+// ---------------------------------------------------------------------
+// ProbeKey + find()/insert(): the split front door batched producers
+// use — probe every point, compute the misses together, publish.
+// ---------------------------------------------------------------------
+
+std::shared_ptr<const int>
+payload_of(int value)
+{
+    return std::make_shared<const int>(value);
+}
+
+TEST_F(CacheFixture, FindMissesThenServesInsertedPayload)
+{
+    EvalCache& cache = EvalCache::instance();
+    EvalCache::ProbeKey key;
+    key.reset(EvalCache::kFirstExternalTag + 100);
+    key.add(std::uint64_t{42});
+    key.add(0.25);
+
+    EXPECT_EQ(cache.find(key), nullptr);
+    EXPECT_EQ(cache.stats().misses, 1u);
+
+    cache.insert(key, payload_of(7), sizeof(int));
+    const EvalCache::OpaquePayload hit = cache.find(key);
+    ASSERT_NE(hit, nullptr);
+    EXPECT_EQ(*std::static_pointer_cast<const int>(hit), 7);
+    EXPECT_GT(cache.stats().hits, 0u);
+    EXPECT_GE(cache.stats().entries, 1u);
+}
+
+TEST_F(CacheFixture, RewindRestoresTheMarkedPrefix)
+{
+    EvalCache& cache = EvalCache::instance();
+    EvalCache::ProbeKey key;
+    key.reset(EvalCache::kFirstExternalTag + 100);
+    EvalCache::append_accel(key, edge_accel());
+    key.mark();
+
+    key.add(std::uint64_t{1});
+    cache.insert(key, payload_of(1), sizeof(int));
+    key.rewind();
+    key.add(std::uint64_t{2});
+    cache.insert(key, payload_of(2), sizeof(int));
+
+    // Re-deriving each suffix from the restored prefix finds its own
+    // entry — rewind() loses no prefix words and leaks no suffix words.
+    key.rewind();
+    key.add(std::uint64_t{1});
+    const EvalCache::OpaquePayload first = cache.find(key);
+    key.rewind();
+    key.add(std::uint64_t{2});
+    const EvalCache::OpaquePayload second = cache.find(key);
+    ASSERT_NE(first, nullptr);
+    ASSERT_NE(second, nullptr);
+    EXPECT_EQ(*std::static_pointer_cast<const int>(first), 1);
+    EXPECT_EQ(*std::static_pointer_cast<const int>(second), 2);
+}
+
+TEST_F(CacheFixture, FindAndInsertBypassDisabledCache)
+{
+    EvalCache& cache = EvalCache::instance();
+    EvalCache::ProbeKey key;
+    key.reset(EvalCache::kFirstExternalTag + 100);
+    key.add(std::uint64_t{9});
+
+    EvalCache::set_enabled(false);
+    EXPECT_TRUE(EvalCache::bypassed());
+    cache.insert(key, payload_of(9), sizeof(int));
+    EXPECT_EQ(cache.find(key), nullptr);
+
+    // Nothing was stored or counted while disabled.
+    EvalCache::set_enabled(true);
+    EXPECT_EQ(cache.stats().entries, 0u);
+    EXPECT_EQ(cache.stats().hits, 0u);
+    EXPECT_EQ(cache.stats().misses, 0u);
+}
+
 } // namespace
 } // namespace flat

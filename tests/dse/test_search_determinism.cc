@@ -150,6 +150,54 @@ TEST(SearchDeterminism, PruningActuallyFires)
     expect_same_best(reference, pruned, "pruned run");
 }
 
+TEST(SearchDeterminism, OneThreadMatchesThirtyTwoThreads)
+{
+    // The oversubscribed extreme: 32 workers on any core count must
+    // still reduce to the bit-identical optimum (slice order is fixed,
+    // the shared incumbent only tightens pruning).
+    for (const Config& cfg : configs()) {
+        SCOPED_TRACE(cfg.name);
+        const AttentionSearchResult reference = run(cfg, 1, true);
+        expect_same_best(reference, run(cfg, 32, true),
+                         "32 threads, pruned");
+    }
+}
+
+TEST(SearchDeterminism, BatchWidthNeverChangesTheResult)
+{
+    // The batched evaluator buffers lanes per (tiles, flags) block;
+    // a smaller width only flushes (and refreshes the pruning
+    // incumbent) more often. Any width — including degenerate 1-lane
+    // batches and widths that straddle block boundaries — must return
+    // the same optimum over the same audited space.
+    const Config cfg{"edge/self-1024", edge_accel(),
+                     self_attention(1024)};
+    AttentionSearchOptions opt;
+    opt.quick = true;
+    opt.threads = 1;
+    opt.batch_width = 0; // auto: one whole block
+    const AttentionSearchResult reference =
+        search_attention(cfg.accel, cfg.dims, opt);
+    ASSERT_TRUE(reference.found);
+
+    for (const std::size_t width : {1ul, 2ul, 3ul, 7ul, 64ul}) {
+        for (const bool prune : {false, true}) {
+            for (const unsigned threads : {1u, 4u}) {
+                SCOPED_TRACE("width=" + std::to_string(width) +
+                             " prune=" + std::to_string(prune) +
+                             " threads=" + std::to_string(threads));
+                opt.batch_width = width;
+                opt.prune = prune;
+                opt.threads = threads;
+                expect_same_best(
+                    reference,
+                    search_attention(cfg.accel, cfg.dims, opt),
+                    "batch width variant");
+            }
+        }
+    }
+}
+
 TEST(ExploreDeterminism, PointOrderIndependentOfThreads)
 {
     AttentionSearchOptions opt;

@@ -1,13 +1,22 @@
 #!/usr/bin/env python3
-"""Compare two BENCH_dse.json files from bench/dse_throughput.
+"""Compare two bench JSON reports (BENCH_dse.json, BENCH_cache.json).
 
 Usage: bench_compare.py BASELINE.json CANDIDATE.json [--threshold PCT]
 
-Fails (exit 1) when the candidate's cache-on points/s regresses by more
-than the threshold (default 10%) relative to the baseline. Secondary
-metrics (cache-off points/s, hit rate, allocations/point, hot-path
-ns/eval) are reported but only warn: they are noisier and a regression
-there shows up in the headline number anyway.
+Fails (exit 1) when the candidate's headline metric regresses by more
+than the threshold (default 7.5%) relative to the baseline:
+
+  dse_throughput    cache_on.points_per_sec
+  cache_contention  mixed.t8.lookups_per_sec
+
+Secondary metrics are reported but only warn: they are noisier and a
+real regression shows up in the headline number anyway.
+
+Both documents are flattened to dot-joined numeric keys and only the
+INTERSECTION is compared, so a report produced by a newer bench binary
+(added fields) or an older one (missing fields) still compares cleanly;
+keys present in only one file are listed as schema drift, never an
+error. This keeps stored baselines usable across bench revisions.
 
 Exit codes: 0 no regression, 1 regression past the threshold, 2 usage
 or malformed input.
@@ -15,6 +24,30 @@ or malformed input.
 
 import json
 import sys
+
+# Per-bench headline (the metric that can FAIL the comparison) and
+# secondary metrics (report + warn only). direction +1 = higher is
+# better, -1 = lower is better.
+HEADLINES = {
+    "dse_throughput": ("cache-on points/s", "cache_on.points_per_sec"),
+    "cache_contention": ("mixed t8 lookups/s",
+                         "mixed.t8.lookups_per_sec"),
+}
+SECONDARY = {
+    "dse_throughput": [
+        ("cache-off points/s", "cache_off.points_per_sec", +1),
+        ("sweep cache speedup", "cache_speedup", +1),
+        ("cache hit rate", "cache_on.hit_rate", +1),
+        ("allocs/point", "allocs_per_point", -1),
+        ("hot path scratch ns/eval", "hot_path.scratch_ns_per_eval",
+         -1),
+    ],
+    "cache_contention": [
+        ("hot t1 lookups/s", "hot.t1.lookups_per_sec", +1),
+        ("hot t32 lookups/s", "hot.t32.lookups_per_sec", +1),
+        ("cold t8 lookups/s", "cold.t8.lookups_per_sec", +1),
+    ],
+}
 
 
 def load(path):
@@ -25,20 +58,24 @@ def load(path):
         print(f"bench_compare: cannot read {path}: {err}",
               file=sys.stderr)
         sys.exit(2)
-    if doc.get("bench") != "dse_throughput":
-        print(f"bench_compare: {path} is not a dse_throughput report",
+    if not isinstance(doc, dict):
+        print(f"bench_compare: {path} is not a JSON object",
               file=sys.stderr)
         sys.exit(2)
     return doc
 
 
-def pick(doc, *keys):
-    node = doc
-    for key in keys:
-        if not isinstance(node, dict) or key not in node:
-            return None
-        node = node[key]
-    return node
+def flatten(doc, prefix=""):
+    """Dot-joined {key: number} view of every numeric leaf."""
+    flat = {}
+    for key, value in doc.items():
+        name = f"{prefix}{key}"
+        if isinstance(value, dict):
+            flat.update(flatten(value, name + "."))
+        elif isinstance(value, (int, float)) and not isinstance(
+                value, bool):
+            flat[name] = float(value)
+    return flat
 
 
 def rel_change(base, cand):
@@ -48,7 +85,7 @@ def rel_change(base, cand):
 
 
 def main(argv):
-    threshold = 0.10
+    threshold = 0.075
     paths = []
     i = 1
     while i < len(argv):
@@ -66,43 +103,58 @@ def main(argv):
         print(__doc__.strip().splitlines()[2], file=sys.stderr)
         return 2
 
-    base = load(paths[0])
-    cand = load(paths[1])
-
-    headline = ("cache_on", "points_per_sec")
-    secondary = [
-        ("cache_off points/s", ("cache_off", "points_per_sec"), +1),
-        ("cache hit rate", ("cache_on", "hit_rate"), +1),
-        ("allocs/point", ("allocs_per_point",), -1),
-        ("hot path scratch ns/eval",
-         ("hot_path", "scratch_ns_per_eval"), -1),
-    ]
-
-    b = pick(base, *headline)
-    c = pick(cand, *headline)
-    change = rel_change(b, c)
-    if change is None:
-        print("bench_compare: cache_on.points_per_sec missing or zero",
+    base_doc = load(paths[0])
+    cand_doc = load(paths[1])
+    bench = base_doc.get("bench")
+    if bench != cand_doc.get("bench"):
+        print(f"bench_compare: comparing different benches "
+              f"({base_doc.get('bench')} vs {cand_doc.get('bench')})",
               file=sys.stderr)
         return 2
-    print(f"cache-on points/s: {b:.0f} -> {c:.0f} "
+
+    base = flatten(base_doc)
+    cand = flatten(cand_doc)
+
+    # Schema drift: tolerated, but say so — a silently shrinking
+    # intersection could otherwise hide a renamed headline.
+    for name, only in (("baseline", base.keys() - cand.keys()),
+                       ("candidate", cand.keys() - base.keys())):
+        for key in sorted(only):
+            print(f"note: {key} only in {name} (schema drift, "
+                  f"ignored)")
+
+    if bench not in HEADLINES:
+        print(f"bench_compare: unknown bench '{bench}': comparing "
+              f"intersection only, nothing can fail")
+        for key in sorted(base.keys() & cand.keys()):
+            change = rel_change(base[key], cand[key])
+            if change is not None:
+                print(f"{key}: {base[key]:.4g} -> {cand[key]:.4g} "
+                      f"({100.0 * change:+.1f}%)")
+        return 0
+
+    label, key = HEADLINES[bench]
+    change = rel_change(base.get(key), cand.get(key))
+    if change is None:
+        print(f"bench_compare: headline {key} missing or zero",
+              file=sys.stderr)
+        return 2
+    print(f"{label}: {base[key]:.0f} -> {cand[key]:.0f} "
           f"({100.0 * change:+.1f}%)")
 
-    for label, keys, direction in secondary:
-        sb, sc = pick(base, *keys), pick(cand, *keys)
-        schange = rel_change(sb, sc)
+    for slabel, skey, direction in SECONDARY.get(bench, []):
+        schange = rel_change(base.get(skey), cand.get(skey))
         if schange is None:
             continue
         note = ""
         if direction * schange < -threshold:
             note = "  [warn: worse than threshold]"
-        print(f"{label}: {sb:.4g} -> {sc:.4g} "
+        print(f"{slabel}: {base[skey]:.4g} -> {cand[skey]:.4g} "
               f"({100.0 * schange:+.1f}%){note}")
 
     if change < -threshold:
-        print(f"REGRESSION: cache-on points/s down "
-              f"{100.0 * -change:.1f}% (> {100.0 * threshold:.0f}% "
-              f"threshold)")
+        print(f"REGRESSION: {label} down {100.0 * -change:.1f}% "
+              f"(> {100.0 * threshold:.1f}% threshold)")
         return 1
     print("no regression")
     return 0

@@ -65,6 +65,9 @@ usage: flatsim [options]
                      for any thread count)
   --no-prune         disable DSE lower-bound pruning (same result,
                      every design point evaluated)
+  --batch-width N    lanes per batched DSE evaluation (default 0 =
+                     one whole tiles-x-flags block; result is
+                     identical for any width)
   --no-eval-cache    disable the process-wide evaluation cache (same
                      result bit for bit, every menu/cost recomputed)
   --cache-stats      append evaluation-cache hit/miss/size counters to
@@ -146,6 +149,7 @@ print_cache_stats(std::ostream& os)
     TextTable table({"metric", "value"});
     table.add_row({"enabled", EvalCache::enabled() ? "yes" : "no"});
     table.add_row({"hits", std::to_string(stats.hits)});
+    table.add_row({"L1 hits", std::to_string(stats.l1_hits)});
     table.add_row({"misses", std::to_string(stats.misses)});
     table.add_row({"hit rate", strprintf("%.3f", stats.hit_rate())});
     table.add_row({"entries", std::to_string(stats.entries)});
@@ -163,6 +167,7 @@ write_cache_stats(JsonWriter& json)
     json.begin_object();
     json.field("enabled", EvalCache::enabled());
     json.field("hits", stats.hits);
+    json.field("l1_hits", stats.l1_hits);
     json.field("misses", stats.misses);
     json.field("hit_rate", stats.hit_rate());
     json.field("entries", stats.entries);
@@ -188,6 +193,7 @@ struct Args {
     std::string offchip_bw;
     std::string objective = "runtime";
     std::uint64_t threads = 0;
+    std::uint64_t batch_width = 0;
     bool no_prune = false;
     bool no_eval_cache = false;
     bool cache_stats = false;
@@ -336,6 +342,7 @@ run(const Args& args)
     options.quick = args.quick;
     options.threads = static_cast<unsigned>(args.threads);
     options.prune = !args.no_prune;
+    options.batch_width = static_cast<std::size_t>(args.batch_width);
     options.baseline_overlap = args.serialized_baseline
                                    ? BaselineOverlap::kSerialized
                                    : BaselineOverlap::kFull;
@@ -650,6 +657,7 @@ run_sweep_mode(const Args& args)
     options.deadline_ms = static_cast<double>(args.deadline_ms);
     options.fail_fast = args.fail_fast;
     options.sim.prune = !args.no_prune;
+    options.sim.batch_width = static_cast<std::size_t>(args.batch_width);
     options.sim.baseline_overlap = args.serialized_baseline
                                        ? BaselineOverlap::kSerialized
                                        : BaselineOverlap::kFull;
@@ -734,6 +742,8 @@ main(int argc, char** argv)
                 args.objective = next();
             } else if (flag == "--threads") {
                 args.threads = parse_u64_flag(flag, next(), 0, 4096);
+            } else if (flag == "--batch-width") {
+                args.batch_width = parse_u64_flag(flag, next(), 0, 1 << 20);
             } else if (flag == "--sweep") {
                 args.sweep_file = next();
             } else if (flag == "--sweep-csv") {
