@@ -1,0 +1,139 @@
+#include "common/cancellation.h"
+
+#include <csignal>
+#include <cstdlib>
+
+#include "common/string_util.h"
+
+namespace flat {
+
+const char*
+to_string(CancelReason reason)
+{
+    switch (reason) {
+      case CancelReason::kNone: return "none";
+      case CancelReason::kSignal: return "signal";
+      case CancelReason::kDeadline: return "deadline";
+      case CancelReason::kUser: return "user";
+    }
+    return "none";
+}
+
+void
+CancellationToken::set_deadline_ms(double ms_from_now)
+{
+    has_deadline_ = true;
+    deadline_ = std::chrono::steady_clock::now() +
+                std::chrono::duration_cast<
+                    std::chrono::steady_clock::duration>(
+                    std::chrono::duration<double, std::milli>(
+                        ms_from_now));
+}
+
+void
+CancellationToken::set_parent(const CancellationToken* parent)
+{
+    parent_ = parent;
+}
+
+void
+CancellationToken::request(CancelReason reason)
+{
+    int expected = 0;
+    state_.compare_exchange_strong(expected, static_cast<int>(reason),
+                                   std::memory_order_acq_rel);
+}
+
+bool
+CancellationToken::cancelled() const
+{
+    if (state_.load(std::memory_order_acquire) != 0) {
+        return true;
+    }
+    if (parent_ != nullptr && parent_->cancelled()) {
+        return true;
+    }
+    if (has_deadline_ &&
+        std::chrono::steady_clock::now() >= deadline_) {
+        // Latch the deadline so reason() stays stable afterwards.
+        int expected = 0;
+        state_.compare_exchange_strong(
+            expected, static_cast<int>(CancelReason::kDeadline),
+            std::memory_order_acq_rel);
+        return true;
+    }
+    return false;
+}
+
+CancelReason
+CancellationToken::reason() const
+{
+    const int state = state_.load(std::memory_order_acquire);
+    if (state != 0) {
+        return static_cast<CancelReason>(state);
+    }
+    if (parent_ != nullptr) {
+        const CancelReason parent_reason = parent_->reason();
+        if (parent_reason != CancelReason::kNone) {
+            return parent_reason;
+        }
+    }
+    if (cancelled()) { // trips a passed deadline
+        return static_cast<CancelReason>(
+            state_.load(std::memory_order_acquire));
+    }
+    return CancelReason::kNone;
+}
+
+void
+CancellationToken::poll() const
+{
+    if (!cancelled()) {
+        return;
+    }
+    const CancelReason why = reason();
+    if (why == CancelReason::kDeadline) {
+        throw CancelledError(why, "deadline exceeded");
+    }
+    throw CancelledError(
+        why, strprintf("run cancelled (%s)", to_string(why)));
+}
+
+namespace {
+
+/** Token the signal handlers target; set before installation. */
+CancellationToken* g_signal_token = nullptr;
+
+/** Signals seen so far; the second one hard-exits. */
+std::atomic<int> g_signal_count{0};
+
+extern "C" void
+flat_cancellation_signal_handler(int signo)
+{
+    if (g_signal_count.fetch_add(1, std::memory_order_acq_rel) == 0) {
+        if (g_signal_token != nullptr) {
+            g_signal_token->request(CancelReason::kSignal);
+        }
+        return;
+    }
+    // Second signal: the user is done waiting for the drain.
+    std::_Exit(128 + signo);
+}
+
+} // namespace
+
+void
+install_signal_cancellation(CancellationToken* token)
+{
+    g_signal_token = token;
+    struct sigaction action = {};
+    action.sa_handler = flat_cancellation_signal_handler;
+    sigemptyset(&action.sa_mask);
+    // SA_RESTART: the drain is poll-driven; interrupted syscalls would
+    // only add spurious failure modes to in-flight point evaluations.
+    action.sa_flags = SA_RESTART;
+    sigaction(SIGINT, &action, nullptr);
+    sigaction(SIGTERM, &action, nullptr);
+}
+
+} // namespace flat

@@ -1,0 +1,113 @@
+/**
+ * @file
+ * Cooperative cancellation for long-running work (sweeps, DSE).
+ *
+ * A CancellationToken is a tiny shared flag that work loops poll at
+ * natural boundaries (per sweep point, per DSE block). Cancellation is
+ * requested either programmatically, by an optional wall-clock deadline
+ * checked at poll time, or asynchronously from a signal handler —
+ * request() touches only lock-free atomics and is async-signal-safe.
+ *
+ * Polling code either checks cancelled() and winds down on its own
+ * (the sweep engine marks unstarted points as cancelled) or calls
+ * poll(), which throws CancelledError to unwind a deep evaluation.
+ * diagnostics.h classifies CancelledError by its reason: a deadline
+ * trip becomes DiagKind::kTimeout, an external request (signal)
+ * becomes DiagKind::kCancelled.
+ *
+ * install_signal_cancellation() wires SIGINT/SIGTERM to a token for a
+ * graceful drain: the first signal requests cancellation (workers
+ * finish their current item, partial results and journals are
+ * flushed), a second signal hard-exits with 128+signo.
+ */
+#ifndef FLAT_COMMON_CANCELLATION_H
+#define FLAT_COMMON_CANCELLATION_H
+
+#include <atomic>
+#include <chrono>
+#include <stdexcept>
+#include <string>
+
+namespace flat {
+
+/** Why a token was cancelled. */
+enum class CancelReason {
+    kNone = 0,
+    kSignal,   ///< SIGINT/SIGTERM drain
+    kDeadline, ///< wall-clock deadline passed
+    kUser,     ///< programmatic request
+};
+
+const char* to_string(CancelReason reason);
+
+/**
+ * Thrown by CancellationToken::poll() (and by cancellation-aware loops)
+ * to unwind an evaluation that should stop. Deliberately NOT a
+ * flat::Error: batch drivers that map Error to "this item is
+ * infeasible" must not misclassify a cancelled item.
+ */
+class CancelledError : public std::runtime_error
+{
+  public:
+    explicit CancelledError(CancelReason reason, const std::string& msg)
+        : std::runtime_error(msg), reason_(reason)
+    {
+    }
+
+    CancelReason reason() const { return reason_; }
+
+  private:
+    CancelReason reason_;
+};
+
+/** Shared cancellation flag; see the file header. */
+class CancellationToken
+{
+  public:
+    CancellationToken() = default;
+
+    CancellationToken(const CancellationToken&) = delete;
+    CancellationToken& operator=(const CancellationToken&) = delete;
+
+    /** Arms a deadline @p ms_from_now milliseconds in the future; it
+     *  trips lazily on the next cancelled() call past that instant.
+     *  Call before sharing the token (not thread-safe vs. polls). */
+    void set_deadline_ms(double ms_from_now);
+
+    /** Chains @p parent: this token also reports cancelled when the
+     *  parent does. Call before sharing the token. */
+    void set_parent(const CancellationToken* parent);
+
+    /** Requests cancellation. Async-signal-safe (atomics only); the
+     *  first reason wins and later requests are ignored. */
+    void request(CancelReason reason);
+
+    /** True once cancellation was requested, the deadline passed, or a
+     *  chained parent is cancelled. */
+    bool cancelled() const;
+
+    /** The winning reason; kNone while not cancelled. */
+    CancelReason reason() const;
+
+    /** Throws CancelledError when cancelled; no-op otherwise. */
+    void poll() const;
+
+  private:
+    mutable std::atomic<int> state_{0};
+    const CancellationToken* parent_ = nullptr;
+    bool has_deadline_ = false;
+    std::chrono::steady_clock::time_point deadline_{};
+};
+
+/**
+ * Installs SIGINT/SIGTERM handlers requesting CancelReason::kSignal on
+ * @p token (which must outlive the handlers, i.e. effectively the
+ * process). The second signal of either kind exits immediately with
+ * code 128+signo, the conventional "killed by signal" encoding, so a
+ * wedged drain can still be interrupted interactively.
+ */
+void install_signal_cancellation(CancellationToken* token);
+
+} // namespace flat
+
+#endif // FLAT_COMMON_CANCELLATION_H

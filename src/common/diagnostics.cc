@@ -2,6 +2,7 @@
 
 #include <typeinfo>
 
+#include "common/cancellation.h"
 #include "common/fault_injection.h"
 #include "common/json.h"
 #include "common/logging.h"
@@ -36,8 +37,36 @@ to_string(DiagKind kind)
       case DiagKind::kInternal: return "internal";
       case DiagKind::kTimeout: return "timeout";
       case DiagKind::kOom: return "oom";
+      case DiagKind::kTransient: return "transient";
+      case DiagKind::kCancelled: return "cancelled";
     }
     return "internal";
+}
+
+DiagKind
+parse_diag_kind(const std::string& name)
+{
+    for (const DiagKind kind :
+         {DiagKind::kUsage, DiagKind::kConfig, DiagKind::kInfeasible,
+          DiagKind::kInternal, DiagKind::kTimeout, DiagKind::kOom,
+          DiagKind::kTransient, DiagKind::kCancelled}) {
+        if (name == to_string(kind)) {
+            return kind;
+        }
+    }
+    FLAT_FAIL("unknown diagnostic kind '" << name << "'");
+}
+
+DiagSeverity
+parse_diag_severity(const std::string& name)
+{
+    for (const DiagSeverity severity :
+         {DiagSeverity::kWarning, DiagSeverity::kError}) {
+        if (name == to_string(severity)) {
+            return severity;
+        }
+    }
+    FLAT_FAIL("unknown diagnostic severity '" << name << "'");
 }
 
 int
@@ -52,7 +81,10 @@ exit_code_for(DiagKind kind)
       case DiagKind::kInternal:
       case DiagKind::kTimeout:
       case DiagKind::kOom:
+      case DiagKind::kTransient:
         return 3;
+      case DiagKind::kCancelled:
+        return 5;
     }
     return 3;
 }
@@ -131,10 +163,19 @@ diagnostic_from_exception(const std::exception& e, DiagKind error_kind)
 
     if (dynamic_cast<const UsageError*>(&e) != nullptr) {
         diag.kind = DiagKind::kUsage;
+    } else if (const auto* cancelled =
+                   dynamic_cast<const CancelledError*>(&e)) {
+        // A tripped deadline keeps the established kTimeout contract;
+        // everything else (signal drain, programmatic) is kCancelled.
+        diag.kind = (cancelled->reason() == CancelReason::kDeadline)
+                        ? DiagKind::kTimeout
+                        : DiagKind::kCancelled;
     } else if (const auto* fault =
                    dynamic_cast<const FaultInjectedError*>(&e)) {
         diag.kind = error_kind;
         diag.probe_site = fault->site();
+    } else if (dynamic_cast<const TransientError*>(&e) != nullptr) {
+        diag.kind = DiagKind::kTransient;
     } else if (dynamic_cast<const Error*>(&e) != nullptr) {
         diag.kind = error_kind;
     } else if (dynamic_cast<const InternalError*>(&e) != nullptr) {

@@ -50,16 +50,27 @@ enum class DiagKind {
     kInternal,   ///< violated library invariant (a bug)
     kTimeout,    ///< a work item exceeded its wall-clock deadline
     kOom,        ///< allocation failure while evaluating
+    kTransient,  ///< retryable failure (exhausted its retry budget)
+    kCancelled,  ///< run cancelled (SIGINT/SIGTERM graceful drain)
 };
 
 const char* to_string(DiagSeverity severity);
 const char* to_string(DiagKind kind);
 
+/** Inverse of to_string(DiagKind); throws flat::Error on unknown
+ *  names. Used to round-trip diagnostics through the run journal. */
+DiagKind parse_diag_kind(const std::string& name);
+
+/** Inverse of to_string(DiagSeverity); throws flat::Error. */
+DiagSeverity parse_diag_severity(const std::string& name);
+
 /**
  * Process exit code contract (shared by flatsim and the sweep engine):
- * 0 success, 1 config/infeasible error, 2 usage, 3 internal/oom/timeout.
+ * 0 success, 1 config/infeasible error, 2 usage, 3 internal/oom/
+ * timeout/transient, 5 run cancelled by a SIGINT/SIGTERM drain.
  * (Exit code 4 — sweep completed with failed points — is owned by the
- * sweep report, not by a single diagnostic.)
+ * sweep report, not by a single diagnostic; a cancelled sweep reports
+ * 5 even when it also has failed points.)
  */
 int exit_code_for(DiagKind kind);
 
@@ -106,11 +117,13 @@ class DiagContext
 std::vector<std::string> diagnostic_context();
 
 /**
- * Classifies a caught exception: UsageError -> usage, InternalError ->
- * internal, bad_alloc -> oom, other std::exception -> internal, and
- * plain flat::Error -> @p error_kind (callers that already validated
- * their configuration pass kInfeasible). The current context stack and
- * the last fired fault-injection site (if any) are attached.
+ * Classifies a caught exception: UsageError -> usage, CancelledError ->
+ * cancelled (or timeout when its reason is a deadline), TransientError
+ * -> transient, InternalError -> internal, bad_alloc -> oom, other
+ * std::exception -> internal, and plain flat::Error -> @p error_kind
+ * (callers that already validated their configuration pass
+ * kInfeasible). The current context stack and the last fired
+ * fault-injection site (if any) are attached.
  */
 Diagnostic diagnostic_from_exception(const std::exception& e,
                                      DiagKind error_kind = DiagKind::kConfig);

@@ -1,5 +1,6 @@
 #include "common/json.h"
 
+#include <cctype>
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
@@ -197,6 +198,350 @@ JsonWriter::escape(const std::string& text)
         }
     }
     return out;
+}
+
+namespace {
+
+/** Recursive-descent parser over one in-memory document. */
+class JsonParser
+{
+  public:
+    explicit JsonParser(std::string_view json_text) : text_(json_text) {}
+
+    JsonValue
+    parse_document()
+    {
+        JsonValue value = parse_value();
+        skip_ws();
+        FLAT_CHECK(pos_ == text_.size(),
+                   "JSON: trailing input at offset " << pos_);
+        return value;
+    }
+
+  private:
+    [[noreturn]] void
+    fail(const char* what)
+    {
+        FLAT_FAIL("JSON: " << what << " at offset " << pos_);
+    }
+
+    void
+    skip_ws()
+    {
+        while (pos_ < text_.size() &&
+               (text_[pos_] == ' ' || text_[pos_] == '\t' ||
+                text_[pos_] == '\n' || text_[pos_] == '\r')) {
+            ++pos_;
+        }
+    }
+
+    char
+    peek()
+    {
+        if (pos_ >= text_.size()) {
+            fail("unexpected end of input");
+        }
+        return text_[pos_];
+    }
+
+    void
+    expect(char c)
+    {
+        if (pos_ >= text_.size() || text_[pos_] != c) {
+            fail("unexpected character");
+        }
+        ++pos_;
+    }
+
+    bool
+    consume_literal(std::string_view literal)
+    {
+        if (text_.substr(pos_, literal.size()) != literal) {
+            return false;
+        }
+        pos_ += literal.size();
+        return true;
+    }
+
+    std::string
+    parse_string()
+    {
+        expect('"');
+        std::string out;
+        for (;;) {
+            if (pos_ >= text_.size()) {
+                fail("unterminated string");
+            }
+            const char c = text_[pos_++];
+            if (c == '"') {
+                return out;
+            }
+            if (c != '\\') {
+                out += c;
+                continue;
+            }
+            if (pos_ >= text_.size()) {
+                fail("unterminated escape");
+            }
+            const char esc = text_[pos_++];
+            switch (esc) {
+              case '"': out += '"'; break;
+              case '\\': out += '\\'; break;
+              case '/': out += '/'; break;
+              case 'b': out += '\b'; break;
+              case 'f': out += '\f'; break;
+              case 'n': out += '\n'; break;
+              case 'r': out += '\r'; break;
+              case 't': out += '\t'; break;
+              case 'u': {
+                if (pos_ + 4 > text_.size()) {
+                    fail("truncated \\u escape");
+                }
+                unsigned code = 0;
+                for (int i = 0; i < 4; ++i) {
+                    const char h = text_[pos_++];
+                    code <<= 4;
+                    if (h >= '0' && h <= '9') {
+                        code |= static_cast<unsigned>(h - '0');
+                    } else if (h >= 'a' && h <= 'f') {
+                        code |= static_cast<unsigned>(h - 'a' + 10);
+                    } else if (h >= 'A' && h <= 'F') {
+                        code |= static_cast<unsigned>(h - 'A' + 10);
+                    } else {
+                        fail("bad \\u escape digit");
+                    }
+                }
+                // UTF-8 encode the code point (no surrogate pairing:
+                // the writer only emits \u00xx control escapes).
+                if (code < 0x80) {
+                    out += static_cast<char>(code);
+                } else if (code < 0x800) {
+                    out += static_cast<char>(0xC0 | (code >> 6));
+                    out += static_cast<char>(0x80 | (code & 0x3F));
+                } else {
+                    out += static_cast<char>(0xE0 | (code >> 12));
+                    out += static_cast<char>(0x80 |
+                                             ((code >> 6) & 0x3F));
+                    out += static_cast<char>(0x80 | (code & 0x3F));
+                }
+                break;
+              }
+              default:
+                fail("unknown escape");
+            }
+        }
+    }
+
+    JsonValue
+    parse_number()
+    {
+        const std::size_t start = pos_;
+        if (pos_ < text_.size() && text_[pos_] == '-') {
+            ++pos_;
+        }
+        while (pos_ < text_.size() &&
+               (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+                text_[pos_] == '.' || text_[pos_] == 'e' ||
+                text_[pos_] == 'E' || text_[pos_] == '+' ||
+                text_[pos_] == '-')) {
+            ++pos_;
+        }
+        JsonValue value;
+        value.kind = JsonValue::Kind::kNumber;
+        value.text.assign(text_.substr(start, pos_ - start));
+        // Validate eagerly so corrupt journals fail at parse time.
+        char* end = nullptr;
+        std::strtod(value.text.c_str(), &end);
+        if (value.text.empty() ||
+            end != value.text.c_str() + value.text.size()) {
+            fail("malformed number");
+        }
+        return value;
+    }
+
+    JsonValue
+    parse_value()
+    {
+        skip_ws();
+        const char c = peek();
+        JsonValue value;
+        if (c == '{') {
+            ++pos_;
+            value.kind = JsonValue::Kind::kObject;
+            skip_ws();
+            if (peek() == '}') {
+                ++pos_;
+                return value;
+            }
+            for (;;) {
+                skip_ws();
+                std::string key = parse_string();
+                skip_ws();
+                expect(':');
+                value.object.emplace_back(std::move(key), parse_value());
+                skip_ws();
+                if (peek() == ',') {
+                    ++pos_;
+                    continue;
+                }
+                expect('}');
+                return value;
+            }
+        }
+        if (c == '[') {
+            ++pos_;
+            value.kind = JsonValue::Kind::kArray;
+            skip_ws();
+            if (peek() == ']') {
+                ++pos_;
+                return value;
+            }
+            for (;;) {
+                value.array.push_back(parse_value());
+                skip_ws();
+                if (peek() == ',') {
+                    ++pos_;
+                    continue;
+                }
+                expect(']');
+                return value;
+            }
+        }
+        if (c == '"') {
+            value.kind = JsonValue::Kind::kString;
+            value.text = parse_string();
+            return value;
+        }
+        if (c == 't' && consume_literal("true")) {
+            value.kind = JsonValue::Kind::kBool;
+            value.boolean = true;
+            return value;
+        }
+        if (c == 'f' && consume_literal("false")) {
+            value.kind = JsonValue::Kind::kBool;
+            value.boolean = false;
+            return value;
+        }
+        if (c == 'n' && consume_literal("null")) {
+            return value; // kNull
+        }
+        if (c == '-' || std::isdigit(static_cast<unsigned char>(c))) {
+            return parse_number();
+        }
+        fail("unexpected character");
+    }
+
+    std::string_view text_;
+    std::size_t pos_ = 0;
+};
+
+} // namespace
+
+const JsonValue*
+JsonValue::find(const std::string& key) const
+{
+    if (kind != Kind::kObject) {
+        return nullptr;
+    }
+    for (const auto& [name, value] : object) {
+        if (name == key) {
+            return &value;
+        }
+    }
+    return nullptr;
+}
+
+bool
+JsonValue::as_bool() const
+{
+    FLAT_CHECK(kind == Kind::kBool, "JSON value is not a bool");
+    return boolean;
+}
+
+double
+JsonValue::as_number() const
+{
+    FLAT_CHECK(kind == Kind::kNumber, "JSON value is not a number");
+    return std::strtod(text.c_str(), nullptr);
+}
+
+std::uint64_t
+JsonValue::as_u64() const
+{
+    FLAT_CHECK(kind == Kind::kNumber, "JSON value is not a number");
+    try {
+        std::size_t pos = 0;
+        const std::uint64_t v = std::stoull(text, &pos);
+        FLAT_CHECK(pos == text.size(),
+                   "JSON number '" << text
+                                   << "' is not an unsigned integer");
+        return v;
+    } catch (const Error&) {
+        throw;
+    } catch (const std::exception&) {
+        FLAT_FAIL("JSON number '" << text
+                                  << "' is not an unsigned integer");
+    }
+}
+
+const std::string&
+JsonValue::as_string() const
+{
+    FLAT_CHECK(kind == Kind::kString, "JSON value is not a string");
+    return text;
+}
+
+bool
+JsonValue::member_bool(const std::string& key) const
+{
+    const JsonValue* member = find(key);
+    FLAT_CHECK(member != nullptr, "JSON object misses key '" << key
+                                                             << "'");
+    return member->as_bool();
+}
+
+double
+JsonValue::member_number(const std::string& key) const
+{
+    const JsonValue* member = find(key);
+    FLAT_CHECK(member != nullptr, "JSON object misses key '" << key
+                                                             << "'");
+    return member->as_number();
+}
+
+std::uint64_t
+JsonValue::member_u64(const std::string& key) const
+{
+    const JsonValue* member = find(key);
+    FLAT_CHECK(member != nullptr, "JSON object misses key '" << key
+                                                             << "'");
+    return member->as_u64();
+}
+
+const std::string&
+JsonValue::member_string(const std::string& key) const
+{
+    const JsonValue* member = find(key);
+    FLAT_CHECK(member != nullptr, "JSON object misses key '" << key
+                                                             << "'");
+    return member->as_string();
+}
+
+JsonValue
+parse_json(std::string_view json_text)
+{
+    return JsonParser(json_text).parse_document();
+}
+
+bool
+try_parse_json(std::string_view json_text, JsonValue* out)
+{
+    try {
+        *out = parse_json(json_text);
+        return true;
+    } catch (const Error&) {
+        return false;
+    }
 }
 
 } // namespace flat

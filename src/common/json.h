@@ -1,8 +1,11 @@
 /**
  * @file
  * Minimal JSON writer (objects, arrays, scalars) used to emit
- * machine-readable reports from the CLI and benches. Writer-only by
- * design: the library never needs to parse JSON.
+ * machine-readable reports from the CLI and benches, plus a matching
+ * minimal parser (JsonValue / parse_json) so the run journal can read
+ * its own records back. The parser keeps each number's raw token, so
+ * values written by JsonWriter (shortest round-trip doubles, plain
+ * integers) reparse bit-exactly.
  */
 #ifndef FLAT_COMMON_JSON_H
 #define FLAT_COMMON_JSON_H
@@ -10,6 +13,8 @@
 #include <cstdint>
 #include <sstream>
 #include <string>
+#include <string_view>
+#include <utility>
 #include <vector>
 
 namespace flat {
@@ -76,6 +81,46 @@ class JsonWriter
     bool pending_key_ = false;
     bool done_ = false;
 };
+
+/**
+ * One parsed JSON value. Numbers keep their raw token text and are
+ * converted on access, so a double that JsonWriter emitted in shortest
+ * round-trip form comes back bit-identical, and 64-bit integers never
+ * lose precision through a double detour.
+ */
+struct JsonValue {
+    enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+
+    Kind kind = Kind::kNull;
+    bool boolean = false;
+    std::string text; ///< string payload, or the raw number token
+    std::vector<JsonValue> array;
+    std::vector<std::pair<std::string, JsonValue>> object;
+
+    /** Object member by key; nullptr when absent or not an object. */
+    const JsonValue* find(const std::string& key) const;
+
+    /** Typed accessors; throw flat::Error on a kind mismatch. */
+    bool as_bool() const;
+    double as_number() const;
+    std::uint64_t as_u64() const;
+    const std::string& as_string() const;
+
+    /** find() + typed access; throws flat::Error when the member is
+     *  missing or has the wrong type (@p key names the context). */
+    bool member_bool(const std::string& key) const;
+    double member_number(const std::string& key) const;
+    std::uint64_t member_u64(const std::string& key) const;
+    const std::string& member_string(const std::string& key) const;
+};
+
+/** Parses one complete JSON document; throws flat::Error with the
+ *  byte offset on malformed or trailing input. */
+JsonValue parse_json(std::string_view json_text);
+
+/** Non-throwing parse_json; returns false on malformed input (used
+ *  for torn-final-line tolerance in the run journal). */
+bool try_parse_json(std::string_view json_text, JsonValue* out);
 
 } // namespace flat
 

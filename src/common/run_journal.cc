@@ -1,0 +1,290 @@
+#include "common/run_journal.h"
+
+#include <cerrno>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include "common/status.h"
+#include "common/string_util.h"
+
+namespace flat {
+namespace {
+
+constexpr std::uint64_t kJournalVersion = 1;
+
+std::string
+hash_to_hex(std::uint64_t hash)
+{
+    return strprintf("0x%016llx",
+                     static_cast<unsigned long long>(hash));
+}
+
+std::uint64_t
+hex_to_hash(const std::string& text)
+{
+    FLAT_CHECK(text.size() > 2 && text[0] == '0' && text[1] == 'x',
+               "journal space_hash '" << text << "' is not 0x-hex");
+    std::size_t pos = 0;
+    std::uint64_t value = 0;
+    try {
+        value = std::stoull(text.substr(2), &pos, 16);
+    } catch (const std::exception&) {
+        pos = 0;
+    }
+    FLAT_CHECK(pos != 0 && pos == text.size() - 2,
+               "journal space_hash '" << text << "' is not 0x-hex");
+    return value;
+}
+
+std::string
+header_line(const RunJournalHeader& header)
+{
+    JsonWriter json;
+    json.begin_object();
+    json.field("flat_run_journal", kJournalVersion);
+    json.field("mode", header.mode);
+    json.field("space_hash", hash_to_hex(header.space_hash));
+    json.field("points", header.points);
+    json.end_object();
+    return json.str();
+}
+
+int
+open_for_append(const std::string& path, bool truncate)
+{
+    const int flags = O_CREAT | O_WRONLY | (truncate ? O_TRUNC : 0);
+    const int fd = ::open(path.c_str(), flags, 0644);
+    FLAT_CHECK(fd >= 0, "cannot open run journal '"
+                            << path << "': " << std::strerror(errno));
+    return fd;
+}
+
+void
+write_all(int fd, const std::string& path, const std::string& bytes)
+{
+    std::size_t written = 0;
+    while (written < bytes.size()) {
+        const ssize_t n = ::write(fd, bytes.data() + written,
+                                  bytes.size() - written);
+        if (n < 0) {
+            if (errno == EINTR) {
+                continue;
+            }
+            FLAT_FAIL("cannot write run journal '"
+                      << path << "': " << std::strerror(errno));
+        }
+        written += static_cast<std::size_t>(n);
+    }
+}
+
+} // namespace
+
+std::uint64_t
+fnv1a64(std::string_view text)
+{
+    std::uint64_t hash = 0xcbf29ce484222325ull;
+    for (const char c : text) {
+        hash ^= static_cast<unsigned char>(c);
+        hash *= 0x100000001b3ull;
+    }
+    return hash;
+}
+
+std::unique_ptr<RunJournal>
+RunJournal::create(const std::string& path,
+                   const RunJournalHeader& header)
+{
+    std::unique_ptr<RunJournal> journal(new RunJournal());
+    journal->path_ = path;
+    journal->fd_ = open_for_append(path, /*truncate=*/true);
+    write_all(journal->fd_, path, header_line(header) + "\n");
+    FLAT_CHECK(::fsync(journal->fd_) == 0,
+               "cannot fsync run journal '" << path << "': "
+                                            << std::strerror(errno));
+    return journal;
+}
+
+std::unique_ptr<RunJournal>
+RunJournal::open_resume(const std::string& path,
+                        const RunJournalHeader& expected)
+{
+    std::ifstream in(path, std::ios::binary);
+    FLAT_CHECK(in.good(), "cannot read run journal '" << path << "'");
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    const std::string content = buffer.str();
+
+    std::unique_ptr<RunJournal> journal(new RunJournal());
+    journal->path_ = path;
+
+    // Walk the lines, tracking the byte offset after the last INTACT
+    // record so a torn tail can be truncated away below.
+    std::size_t offset = 0;
+    std::size_t good_end = 0;
+    std::size_t line_no = 0;
+    bool saw_header = false;
+    while (offset < content.size()) {
+        const std::size_t newline = content.find('\n', offset);
+        const bool torn_no_newline = (newline == std::string::npos);
+        const std::string_view line(
+            content.data() + offset,
+            (torn_no_newline ? content.size() : newline) - offset);
+        const std::size_t next =
+            torn_no_newline ? content.size() : newline + 1;
+        ++line_no;
+
+        JsonValue record;
+        const bool parsed =
+            !line.empty() && try_parse_json(line, &record) &&
+            record.kind == JsonValue::Kind::kObject;
+        const bool is_final_line = (next >= content.size());
+        if (!parsed || torn_no_newline) {
+            // A damaged FINAL line is the expected crash artifact
+            // (torn write); anything earlier is real corruption.
+            FLAT_CHECK(is_final_line, "run journal '"
+                                          << path
+                                          << "' is corrupt at line "
+                                          << line_no);
+            break; // drop the torn tail; good_end stays put
+        }
+
+        if (!saw_header) {
+            FLAT_CHECK(
+                record.find("flat_run_journal") != nullptr &&
+                    record.member_u64("flat_run_journal") ==
+                        kJournalVersion,
+                "run journal '" << path
+                                << "' has no recognizable header");
+            const std::string mode = record.member_string("mode");
+            const std::uint64_t hash =
+                hex_to_hash(record.member_string("space_hash"));
+            const std::uint64_t points = record.member_u64("points");
+            FLAT_CHECK(mode == expected.mode &&
+                           hash == expected.space_hash &&
+                           points == expected.points,
+                       "run journal '"
+                           << path
+                           << "' is stale: it was written for a "
+                              "different run (journal mode="
+                           << mode << " space_hash="
+                           << hash_to_hex(hash) << " points=" << points
+                           << ", this run mode=" << expected.mode
+                           << " space_hash="
+                           << hash_to_hex(expected.space_hash)
+                           << " points=" << expected.points << ")");
+            saw_header = true;
+        } else {
+            const JsonValue* data = record.find("data");
+            FLAT_CHECK(data != nullptr,
+                       "run journal '" << path
+                                       << "' record at line " << line_no
+                                       << " has no data field");
+            journal->records_.insert_or_assign(
+                {record.member_string("scope"),
+                 record.member_string("key")},
+                *data);
+        }
+        good_end = next;
+        offset = next;
+    }
+    FLAT_CHECK(saw_header,
+               "run journal '" << path << "' has no header record");
+
+    journal->fd_ = open_for_append(path, /*truncate=*/false);
+    // Drop the torn tail (if any) and position appends after the last
+    // intact record.
+    FLAT_CHECK(::ftruncate(journal->fd_,
+                           static_cast<off_t>(good_end)) == 0,
+               "cannot truncate run journal '"
+                   << path << "': " << std::strerror(errno));
+    FLAT_CHECK(::lseek(journal->fd_, 0, SEEK_END) >= 0,
+               "cannot seek run journal '" << path << "': "
+                                           << std::strerror(errno));
+    return journal;
+}
+
+RunJournal::~RunJournal()
+{
+    try {
+        flush();
+    } catch (...) {
+        // Destructor: the run is over; a failed final flush only costs
+        // re-evaluating the lost records on the next resume.
+    }
+    if (fd_ >= 0) {
+        ::close(fd_);
+    }
+}
+
+const JsonValue*
+RunJournal::find(const std::string& scope, const std::string& key) const
+{
+    const auto it = records_.find({scope, key});
+    return it == records_.end() ? nullptr : &it->second;
+}
+
+void
+RunJournal::append(const std::string& scope, const std::string& key,
+                   const std::string& data_json)
+{
+    // data_json is a complete value by contract; splice it verbatim so
+    // doubles keep their shortest round-trip form.
+    std::string line;
+    {
+        JsonWriter head;
+        head.begin_object();
+        head.field("scope", scope);
+        head.field("key", key);
+        head.end_object();
+        const std::string closed = head.str();
+        // "{...}" -> "{...,\"data\":<payload>}\n"
+        line = closed.substr(0, closed.size() - 1) + ",\"data\":" +
+               data_json + "}\n";
+    }
+
+    std::lock_guard<std::mutex> lock(mutex_);
+    const std::pair<std::string, std::string> id{scope, key};
+    if (records_.count(id) > 0 || appended_.count(id) > 0) {
+        return; // already journaled (restored or re-computed)
+    }
+    appended_.insert(id);
+    pending_ += line;
+    ++pending_records_;
+    if (pending_records_ >= flush_every_) {
+        flush_locked();
+    }
+}
+
+void
+RunJournal::flush()
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    flush_locked();
+}
+
+void
+RunJournal::flush_locked()
+{
+    if (pending_.empty()) {
+        return;
+    }
+    write_all(fd_, path_, pending_);
+    pending_.clear();
+    pending_records_ = 0;
+    FLAT_CHECK(::fsync(fd_) == 0, "cannot fsync run journal '"
+                                      << path_ << "': "
+                                      << std::strerror(errno));
+}
+
+void
+RunJournal::set_flush_every(std::size_t n)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    flush_every_ = n > 0 ? n : 1;
+}
+
+} // namespace flat

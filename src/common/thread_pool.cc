@@ -5,6 +5,8 @@
 #include <exception>
 #include <string>
 
+#include "common/cancellation.h"
+
 namespace flat {
 namespace {
 
@@ -142,7 +144,7 @@ ThreadPool::worker_loop()
 void
 parallel_for(std::size_t n, unsigned threads,
              const std::function<void(std::size_t)>& body,
-             std::size_t grain)
+             std::size_t grain, const CancellationToken* cancel)
 {
     if (n == 0) {
         return;
@@ -155,6 +157,9 @@ parallel_for(std::size_t n, unsigned threads,
         // parallel_for body (nested calls must not spawn recursively).
         DepthGuard guard;
         for (std::size_t i = 0; i < n; ++i) {
+            if (cancel != nullptr && cancel->cancelled()) {
+                return;
+            }
             body(i);
         }
         return;
@@ -168,6 +173,9 @@ parallel_for(std::size_t n, unsigned threads,
     const auto runner = [&] {
         DepthGuard guard;
         while (!failed.load(std::memory_order_relaxed)) {
+            if (cancel != nullptr && cancel->cancelled()) {
+                break; // stop claiming batches; started ones finish
+            }
             const std::size_t begin =
                 next.fetch_add(step, std::memory_order_relaxed);
             if (begin >= n) {

@@ -25,6 +25,8 @@
 
 namespace flat {
 
+class CancellationToken;
+
 /**
  * Worker-thread count to use when the caller passes 0 ("auto"): the
  * FLAT_THREADS environment variable when set to a positive integer,
@@ -98,10 +100,20 @@ class ThreadPool
  * them in index order. Larger grains amortize the scheduling atomics
  * for cheap bodies; the set of executed indices — and the exception
  * contract — is identical for every grain.
+ *
+ * @p cancel (optional) makes the loop cooperative: once the token is
+ * cancelled, workers stop CLAIMING new index batches; iterations
+ * already started run to completion, and the call returns normally
+ * without throwing. Some indices are then simply never executed, so
+ * only pass a token when the caller checks for cancellation afterwards
+ * and discards partial results (the DSE search does; the sweep loop
+ * instead polls the token inside its body so every result slot is
+ * written).
  */
 void parallel_for(std::size_t n, unsigned threads,
                   const std::function<void(std::size_t)>& body,
-                  std::size_t grain = 1);
+                  std::size_t grain = 1,
+                  const CancellationToken* cancel = nullptr);
 
 } // namespace flat
 

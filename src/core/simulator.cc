@@ -62,6 +62,8 @@ attention_options(const DataflowPolicy& policy, const SimOptions& options)
     out.threads = options.threads;
     out.prune = options.prune;
     out.batch_width = options.batch_width;
+    out.journal = options.journal;
+    out.cancel = options.cancel;
     out.fused = policy.fused();
 
     if (policy.searched()) {
@@ -91,6 +93,8 @@ attention_options(const AcceleratorSpec& spec, const SimOptions& options)
     out.threads = options.threads;
     out.prune = options.prune;
     out.batch_width = options.batch_width;
+    out.journal = options.journal;
+    out.cancel = options.cancel;
     out.fused = policy.fused();
 
     switch (spec.kind) {
@@ -194,6 +198,7 @@ Simulator::run_impl(const Workload& workload, Scope scope,
         op_options.objective = options.objective;
         op_options.allow_l3 = allow_l3;
         op_options.quick = options.quick;
+        op_options.cancel = options.cancel;
         if (!flexible_ops) {
             op_options.candidates = fixed_policy_candidates();
             op_options.allow_l3 = false;

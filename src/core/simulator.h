@@ -39,6 +39,14 @@ struct SimOptions {
     /** Lanes per batched L-A evaluation; 0 = auto (one whole
      *  tiles-x-flags block). Identical result at any width. */
     std::size_t batch_width = 0;
+
+    /** Optional checkpoint journal threaded into the L-A DSE (see
+     *  AttentionSearchOptions::journal). Not owned. */
+    RunJournal* journal = nullptr;
+
+    /** Optional cooperative cancellation threaded into every search
+     *  loop (see AttentionSearchOptions::cancel). Not owned. */
+    const CancellationToken* cancel = nullptr;
 };
 
 /** Per-category cycle/energy decomposition (Figure 11). */

@@ -3,8 +3,11 @@
 #include <atomic>
 #include <chrono>
 #include <ostream>
+#include <sstream>
+#include <thread>
 #include <utility>
 
+#include "common/cancellation.h"
 #include "common/csv.h"
 #include "common/fault_injection.h"
 #include "common/json.h"
@@ -92,7 +95,8 @@ platform_accel(const std::string& name)
 /** Evaluates one point; throws on any failure (isolated by the caller). */
 ScopeReport
 evaluate_point(const SweepPoint& point, const SweepSpec& spec,
-               const SweepOptions& options)
+               const SweepOptions& options,
+               const CancellationToken* cancel)
 {
     FLAT_FAULT_POINT("sweep.point");
     const ModelConfig model = model_by_name(point.model);
@@ -103,6 +107,11 @@ evaluate_point(const SweepPoint& point, const SweepSpec& spec,
     SimOptions sim = options.sim;
     sim.objective = spec.objective;
     sim.quick = spec.quick;
+    // The sweep-level journal also flows into the per-point DSE, so a
+    // crash mid-point resumes from completed search slices, not from
+    // scratch. The per-point deadline token makes --deadline preemptive.
+    sim.journal = options.journal;
+    sim.cancel = cancel;
 
     const Simulator simulator(accel);
     return simulator.run(workload, spec.scope,
@@ -112,7 +121,110 @@ evaluate_point(const SweepPoint& point, const SweepSpec& spec,
 const char*
 status_name(const SweepPointResult& r)
 {
-    return r.ok ? "ok" : (r.skipped ? "skipped" : "failed");
+    if (r.ok) {
+        return "ok";
+    }
+    if (r.cancelled) {
+        return "cancelled";
+    }
+    return r.skipped ? "skipped" : "failed";
+}
+
+/** Serializes one FINAL point outcome for the checkpoint journal. */
+std::string
+encode_point_record(const SweepPointResult& r)
+{
+    JsonWriter json;
+    json.begin_object();
+    json.field("ok", r.ok);
+    json.field("wall_ms", r.wall_ms);
+    json.field("attempts", static_cast<std::uint64_t>(r.attempts));
+    if (r.ok) {
+        json.key("report");
+        json.begin_object();
+        json.field("dataflow", r.report.la_dataflow_tag);
+        json.field("cycles", r.report.cycles);
+        json.field("ideal_cycles", r.report.ideal_cycles);
+        json.field("runtime_s", r.report.runtime_s);
+        json.field("energy_j", r.report.energy_j);
+        json.field("dram_bytes", r.report.traffic.total_dram());
+        json.end_object();
+    } else {
+        json.key("diag");
+        r.diag.write_json(json);
+    }
+    if (!r.warnings.empty()) {
+        json.key("warnings");
+        json.begin_array();
+        for (const Diagnostic& w : r.warnings) {
+            w.write_json(json);
+        }
+        json.end_array();
+    }
+    json.end_object();
+    return json.str();
+}
+
+/** Inverse of Diagnostic::write_json. */
+Diagnostic
+decode_diag(const JsonValue& v)
+{
+    Diagnostic d;
+    d.severity = parse_diag_severity(v.member_string("severity"));
+    d.kind = parse_diag_kind(v.member_string("kind"));
+    d.message = v.member_string("message");
+    if (const JsonValue* site = v.find("probe_site")) {
+        d.probe_site = site->as_string();
+    }
+    if (const JsonValue* ctx = v.find("context")) {
+        for (const JsonValue& frame : ctx->array) {
+            d.context.push_back(frame.as_string());
+        }
+    }
+    return d;
+}
+
+/**
+ * Restores a journaled point outcome. Only the emitter-visible slice
+ * of the ScopeReport is stored/restored (tag, cycles, ideal cycles,
+ * runtime, energy, DRAM traffic) — exactly the fields the sweep JSON,
+ * CSV and tables read — so a resumed report renders byte-identically
+ * to the uninterrupted one.
+ */
+void
+restore_point_record(const JsonValue& data, SweepPointResult& r)
+{
+    r.ok = data.member_bool("ok");
+    r.wall_ms = data.member_number("wall_ms");
+    r.attempts = static_cast<unsigned>(data.member_u64("attempts"));
+    r.resumed = true;
+    if (r.ok) {
+        const JsonValue* rep = data.find("report");
+        FLAT_CHECK(rep != nullptr, "journaled sweep point '"
+                                       << r.point.tag()
+                                       << "' has ok=true but no report");
+        r.report.la_dataflow_tag = rep->member_string("dataflow");
+        r.report.cycles = rep->member_number("cycles");
+        r.report.ideal_cycles = rep->member_number("ideal_cycles");
+        r.report.runtime_s = rep->member_number("runtime_s");
+        r.report.energy_j = rep->member_number("energy_j");
+        // total_dram() = dram_read + dram_write; park the restored sum
+        // on one side so the emitters reproduce it exactly.
+        r.report.traffic.dram_read = rep->member_number("dram_bytes");
+        r.report.traffic.dram_write = 0.0;
+    } else {
+        const JsonValue* diag = data.find("diag");
+        FLAT_CHECK(diag != nullptr,
+                   "journaled sweep point '"
+                       << r.point.tag()
+                       << "' has ok=false but no diagnostic");
+        r.diag = decode_diag(*diag);
+    }
+    if (const JsonValue* warns = data.find("warnings")) {
+        for (const JsonValue& w : warns->array) {
+            r.warnings.push_back(decode_diag(w));
+        }
+    }
 }
 
 } // namespace
@@ -226,7 +338,7 @@ SweepReport::failed() const
 {
     std::size_t n = 0;
     for (const SweepPointResult& r : results) {
-        n += (!r.ok && !r.skipped) ? 1 : 0;
+        n += (!r.ok && !r.skipped && !r.cancelled) ? 1 : 0;
     }
     return n;
 }
@@ -241,13 +353,53 @@ SweepReport::skipped() const
     return n;
 }
 
+std::size_t
+SweepReport::cancelled() const
+{
+    std::size_t n = 0;
+    for (const SweepPointResult& r : results) {
+        n += r.cancelled ? 1 : 0;
+    }
+    return n;
+}
+
+std::size_t
+SweepReport::resumed() const
+{
+    std::size_t n = 0;
+    for (const SweepPointResult& r : results) {
+        n += r.resumed ? 1 : 0;
+    }
+    return n;
+}
+
+std::size_t
+SweepReport::retried_points() const
+{
+    std::size_t n = 0;
+    for (const SweepPointResult& r : results) {
+        n += (r.attempts > 1) ? 1 : 0;
+    }
+    return n;
+}
+
+std::size_t
+SweepReport::extra_attempts() const
+{
+    std::size_t n = 0;
+    for (const SweepPointResult& r : results) {
+        n += (r.attempts > 1) ? (r.attempts - 1) : 0;
+    }
+    return n;
+}
+
 std::vector<const SweepPointResult*>
 SweepReport::failures() const
 {
     std::vector<const SweepPointResult*> out;
     out.reserve(failed());
     for (const SweepPointResult& r : results) {
-        if (!r.ok && !r.skipped) {
+        if (!r.ok && !r.skipped && !r.cancelled) {
             out.push_back(&r);
         }
     }
@@ -257,6 +409,9 @@ SweepReport::failures() const
 int
 SweepReport::exit_code() const
 {
+    if (cancelled() > 0) {
+        return 5; // cancellation wins over per-point failures
+    }
     return (failed() == 0 && skipped() == 0) ? 0 : 4;
 }
 
@@ -268,6 +423,14 @@ SweepReport::write_json(JsonWriter& json) const
     json.field("completed", static_cast<std::uint64_t>(completed()));
     json.field("failed", static_cast<std::uint64_t>(failed()));
     json.field("skipped", static_cast<std::uint64_t>(skipped()));
+    // Resumed-point counts deliberately stay OUT of the JSON: a resumed
+    // run must emit byte-identical machine output to an uninterrupted
+    // one (the resume provenance goes to the human footer instead).
+    json.field("cancelled", static_cast<std::uint64_t>(cancelled()));
+    json.field("retried_points",
+               static_cast<std::uint64_t>(retried_points()));
+    json.field("extra_attempts",
+               static_cast<std::uint64_t>(extra_attempts()));
     json.field("wall_ms", wall_ms);
     json.field("exit_code",
                static_cast<std::int64_t>(exit_code()));
@@ -285,6 +448,12 @@ SweepReport::write_json(JsonWriter& json) const
         json.field("batch", r.point.batch);
         json.field("status", status_name(r));
         json.field("wall_ms", r.wall_ms);
+        if (r.attempts > 1) {
+            // Only retried points carry the field, so retry-free runs
+            // keep their exact historical byte layout.
+            json.field("attempts",
+                       static_cast<std::uint64_t>(r.attempts));
+        }
         if (r.ok) {
             json.key("report");
             json.begin_object();
@@ -295,7 +464,7 @@ SweepReport::write_json(JsonWriter& json) const
             json.field("energy_j", r.report.energy_j);
             json.field("dram_bytes", r.report.traffic.total_dram());
             json.end_object();
-        } else if (!r.skipped) {
+        } else if (!r.skipped && !r.cancelled) {
             json.key("diagnostic");
             r.diag.write_json(json);
         }
@@ -351,7 +520,18 @@ SweepReport::print(std::ostream& os) const
     os << "\n"
        << completed() << "/" << results.size() << " points completed, "
        << failed_points.size() << " failed, " << skipped()
-       << " skipped\n";
+       << " skipped";
+    if (cancelled() > 0) {
+        os << ", " << cancelled() << " cancelled";
+    }
+    if (resumed() > 0) {
+        os << " (" << resumed() << " restored from journal)";
+    }
+    if (retried_points() > 0) {
+        os << " (" << retried_points() << " retried, "
+           << extra_attempts() << " extra attempts)";
+    }
+    os << "\n";
     if (!failed_points.empty()) {
         os << "\nfailure diagnostics:\n";
         std::vector<std::string> header = {"point"};
@@ -386,11 +566,12 @@ SweepReport::write_csv(const std::string& path) const
                          strprintf("%.4f", r.report.util()),
                          strprintf("%.1f", r.wall_ms), "", ""});
         } else {
+            const bool has_diag = !r.skipped && !r.cancelled;
             csv.add_row({std::to_string(r.point.index), r.point.tag(),
                          status_name(r), "", "", "", "",
                          strprintf("%.1f", r.wall_ms),
-                         r.skipped ? "" : to_string(r.diag.kind),
-                         r.skipped ? "" : r.diag.message});
+                         has_diag ? to_string(r.diag.kind) : "",
+                         has_diag ? r.diag.message : ""});
         }
     }
 }
@@ -405,6 +586,11 @@ run_sweep(const SweepSpec& spec, const SweepOptions& options)
     std::atomic<bool> stop{false};
     const Clock::time_point sweep_start = Clock::now();
 
+    // The cancellation token is deliberately NOT passed to parallel_for
+    // here: every result slot must be written (as ok / failed /
+    // skipped / cancelled), so the body always runs and does its own
+    // token check at entry. Points already running when the signal
+    // lands simply finish.
     parallel_for(points.size(), options.threads, [&](std::size_t i) {
         SweepPointResult& r = report.results[i];
         // Each point's record owns its SweepPoint; the expanded list is
@@ -415,29 +601,91 @@ run_sweep(const SweepSpec& spec, const SweepOptions& options)
             r.skipped = true;
             return;
         }
+        if (options.cancel != nullptr && options.cancel->cancelled()) {
+            // Graceful drain: unstarted points are marked cancelled
+            // and never journaled, so a resume attempts them again.
+            r.cancelled = true;
+            return;
+        }
 
-        // Deterministic fault targeting: probes hit while evaluating
-        // point i fire iff the armed seed equals i.
-        FaultScope fault_scope(i);
+        // Checkpoint restore: a journaled outcome is final — ok and
+        // failed alike (failures are deterministic; transients already
+        // consumed their retry budget when they were journaled).
+        if (options.journal != nullptr) {
+            const JsonValue* rec =
+                options.journal->find("sweep", r.point.tag());
+            if (rec != nullptr) {
+                restore_point_record(*rec, r);
+                if (!r.ok && options.fail_fast) {
+                    stop.store(true, std::memory_order_relaxed);
+                }
+                return;
+            }
+        }
+
         DiagnosticCapture capture;
         FLAT_ERROR_CONTEXT("sweep point " << i << " ("
                                           << r.point.tag() << ")");
         (void)take_last_fired_fault_site(); // drop stale attribution
+
+        // Per-point preemptive deadline. A separate token — NOT
+        // parented to options.cancel — so a SIGINT lets the running
+        // point finish instead of aborting it mid-search.
+        CancellationToken deadline;
+        const CancellationToken* point_cancel = nullptr;
+        if (options.deadline_ms > 0.0) {
+            deadline.set_deadline_ms(options.deadline_ms);
+            point_cancel = &deadline;
+        }
+
         const Clock::time_point start = Clock::now();
-        try {
-            r.report = evaluate_point(r.point, spec, options);
-            r.ok = true;
-        } catch (...) {
-            // Spec axes were validated by expand(), so an Error here
-            // means the point itself is infeasible.
-            r.diag = diagnostic_from_current_exception(
-                DiagKind::kInfeasible);
-            r.ok = false;
+        const unsigned max_attempts = 1 + options.retries;
+        for (unsigned attempt = 1; attempt <= max_attempts; ++attempt) {
+            if (attempt > 1 && options.retry_backoff_ms > 0.0) {
+                // Deterministic exponential backoff, no jitter:
+                // base * 2^(retry - 1) milliseconds.
+                const double delay_ms =
+                    options.retry_backoff_ms *
+                    static_cast<double>(1u << (attempt - 2));
+                std::this_thread::sleep_for(
+                    std::chrono::duration<double, std::milli>(
+                        delay_ms));
+            }
+            // Deterministic fault targeting: probes hit while
+            // evaluating point i fire iff the armed seed equals i. One
+            // scope per attempt; the transient-fault attempt counter
+            // survives scope re-construction by design.
+            FaultScope fault_scope(i);
+            r.attempts = attempt;
+            try {
+                r.report = evaluate_point(r.point, spec, options,
+                                          point_cancel);
+                r.ok = true;
+                break;
+            } catch (...) {
+                // Spec axes were validated by expand(), so an Error
+                // here means the point itself is infeasible.
+                r.diag = diagnostic_from_current_exception(
+                    DiagKind::kInfeasible);
+                r.ok = false;
+            }
+            if (r.diag.kind != DiagKind::kTransient ||
+                attempt == max_attempts) {
+                break; // deterministic failure, or budget exhausted
+            }
+            Diagnostic warn = r.diag;
+            warn.severity = DiagSeverity::kWarning;
+            warn.message = strprintf(
+                "attempt %u/%u failed, retrying: %s", attempt,
+                max_attempts, r.diag.message.c_str());
+            emit_diagnostic(warn);
         }
         r.wall_ms = elapsed_ms(start);
 
         if (r.ok && options.deadline_ms > 0.0 &&
             r.wall_ms > options.deadline_ms) {
+            // Post-hoc backstop for points that never reached a poll
+            // site (the preemptive token already caught the rest).
             r.ok = false;
             r.diag = Diagnostic{};
             r.diag.kind = DiagKind::kTimeout;
@@ -452,10 +700,61 @@ run_sweep(const SweepSpec& spec, const SweepOptions& options)
         if (!r.ok && options.fail_fast) {
             stop.store(true, std::memory_order_relaxed);
         }
+
+        // Journal the FINAL outcome (ok or failed, with attempts and
+        // warnings); the per-slice search records for this point were
+        // already appended by the DSE while it ran.
+        if (options.journal != nullptr) {
+            options.journal->append("sweep", r.point.tag(),
+                                    encode_point_record(r));
+        }
     });
 
+    if (options.journal != nullptr) {
+        options.journal->flush();
+    }
     report.wall_ms = elapsed_ms(sweep_start);
     return report;
+}
+
+RunJournalHeader
+sweep_journal_header(const SweepSpec& spec, const SimOptions& sim)
+{
+    // Canonical text of every knob that shapes the sweep's RESULTS.
+    // Execution knobs (threads, prune, batch width, deadlines, retry
+    // budgets) are excluded on purpose: a journal written under one
+    // execution configuration must resume under another.
+    std::ostringstream text;
+    text << "models=";
+    for (const std::string& m : spec.models) {
+        text << m << ',';
+    }
+    text << " platforms=";
+    for (const std::string& p : spec.platforms) {
+        text << p << ',';
+    }
+    text << " policies=";
+    for (const std::string& p : spec.policies) {
+        text << p << ',';
+    }
+    text << " seq=";
+    for (const std::uint64_t s : spec.seq_lens) {
+        text << s << ',';
+    }
+    text << " batch=";
+    for (const std::uint64_t b : spec.batches) {
+        text << b << ',';
+    }
+    text << " scope=" << static_cast<int>(spec.scope)
+         << " objective=" << static_cast<int>(spec.objective)
+         << " quick=" << spec.quick
+         << " overlap=" << static_cast<int>(sim.baseline_overlap);
+
+    RunJournalHeader header;
+    header.mode = "sweep";
+    header.space_hash = fnv1a64(text.str());
+    header.points = spec.expand().size();
+    return header;
 }
 
 } // namespace flat

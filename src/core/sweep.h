@@ -10,10 +10,22 @@
  *    one point is recorded as a structured Diagnostic and never stops
  *    the other points (unless fail_fast is requested);
  *  - a per-point wall-clock deadline demotes over-budget points to
- *    kTimeout diagnostics;
+ *    kTimeout diagnostics; the deadline is enforced PREEMPTIVELY via a
+ *    per-point CancellationToken polled inside the DSE loops, so a
+ *    stuck point stops near its budget instead of after it;
+ *  - transient failures (TransientError) are retried up to
+ *    options.retries times with deterministic exponential backoff
+ *    before the point is recorded as failed;
  *  - partial results are always emitted: the report carries one entry
  *    per point, completed or failed, in spec order regardless of the
  *    thread count;
+ *  - a cancellation request (SIGINT/SIGTERM via options.cancel) drains
+ *    gracefully: running points finish, unstarted points are marked
+ *    cancelled, and the report's exit code becomes 5;
+ *  - with options.journal set, every final point outcome (ok or
+ *    failed) is checkpointed; a resumed sweep restores journaled
+ *    points instead of re-evaluating them and produces the same
+ *    machine-readable report as an uninterrupted run;
  *  - each point is wrapped in a FaultScope carrying its index, so
  *    `--inject-fault SITE:N` deterministically poisons point N only.
  *
@@ -40,6 +52,7 @@
 
 #include "common/config.h"
 #include "common/diagnostics.h"
+#include "common/run_journal.h"
 #include "core/simulator.h"
 
 namespace flat {
@@ -94,6 +107,35 @@ struct SweepOptions {
      *  points still finish; unstarted ones are reported as skipped. */
     bool fail_fast = false;
 
+    /**
+     * Transparent retries of TransientError failures, per point
+     * (0 = fail on the first transient error). Other failure classes
+     * are deterministic and never retried.
+     */
+    unsigned retries = 0;
+
+    /** Backoff before retry attempt k: retry_backoff_ms * 2^(k-1)
+     *  milliseconds — deterministic, no jitter. */
+    double retry_backoff_ms = 0.0;
+
+    /**
+     * Optional checkpoint journal (scope "sweep", key = point tag):
+     * each point's FINAL outcome — completed or failed, with its
+     * diagnostics, warnings and attempt count — is appended once;
+     * points already journaled are restored instead of re-evaluated.
+     * Skipped/cancelled points are never journaled (a resume retries
+     * them). Not owned.
+     */
+    RunJournal* journal = nullptr;
+
+    /**
+     * Optional cooperative cancellation (SIGINT/SIGTERM drain): polled
+     * as each point starts. Running points FINISH (the token is not
+     * threaded into point evaluation), pending points are marked
+     * cancelled, and the report's exit code becomes 5. Not owned.
+     */
+    const CancellationToken* cancel = nullptr;
+
     /** Forwarded to Simulator::run (threads is overridden to 1). */
     SimOptions sim;
 };
@@ -102,11 +144,17 @@ struct SweepOptions {
 struct SweepPointResult {
     SweepPoint point;
     bool ok = false;
-    bool skipped = false; ///< not attempted (fail-fast abort)
-    ScopeReport report;   ///< valid iff ok
-    Diagnostic diag;      ///< valid iff !ok && !skipped
+    bool skipped = false;   ///< not attempted (fail-fast abort)
+    bool cancelled = false; ///< not attempted (cancellation drain)
+    bool resumed = false;   ///< restored from the checkpoint journal
+    ScopeReport report;     ///< valid iff ok
+    Diagnostic diag;        ///< valid iff !ok && !skipped && !cancelled
     std::vector<Diagnostic> warnings; ///< captured during evaluation
     double wall_ms = 0.0;
+
+    /** Evaluation attempts consumed (>1 iff transient retries fired);
+     *  0 when the point was never attempted. */
+    unsigned attempts = 0;
 };
 
 /** Aggregate outcome; always has one entry per expanded point. */
@@ -117,11 +165,22 @@ struct SweepReport {
     std::size_t completed() const;
     std::size_t failed() const;
     std::size_t skipped() const;
+    std::size_t cancelled() const;
 
-    /** Failed (not skipped) points, in spec order. */
+    /** Points restored from the checkpoint journal. */
+    std::size_t resumed() const;
+
+    /** Points that needed more than one attempt (transient retries). */
+    std::size_t retried_points() const;
+
+    /** Total retry attempts beyond the first, across all points. */
+    std::size_t extra_attempts() const;
+
+    /** Failed (not skipped/cancelled) points, in spec order. */
     std::vector<const SweepPointResult*> failures() const;
 
-    /** 0 when every attempted point completed, 4 otherwise. */
+    /** 0 when every attempted point completed, 5 when the run was
+     *  cancelled (even with failures), 4 otherwise. */
     int exit_code() const;
 
     /** Full machine-readable report (spec echo, per-point results,
@@ -138,6 +197,16 @@ struct SweepReport {
 /** Runs @p spec under @p options; throws only on spec-level errors
  *  (per-point failures are isolated into the report). */
 SweepReport run_sweep(const SweepSpec& spec, const SweepOptions& options);
+
+/**
+ * Journal identity of @p spec under @p sim: mode "sweep", a hash over
+ * every result-shaping knob (axes, scope, objective, quick, overlap
+ * model — NOT threads/prune/batch_width) and the expanded point count.
+ * flatsim uses this to create fresh journals and to reject stale ones
+ * on --resume.
+ */
+RunJournalHeader sweep_journal_header(const SweepSpec& spec,
+                                      const SimOptions& sim);
 
 } // namespace flat
 

@@ -5,12 +5,15 @@
 #include <limits>
 #include <map>
 #include <numeric>
+#include <sstream>
 #include <string>
 #include <tuple>
 #include <utility>
 
+#include "common/cancellation.h"
 #include "common/fault_injection.h"
 #include "common/logging.h"
+#include "common/run_journal.h"
 #include "common/status.h"
 #include "common/string_util.h"
 #include "common/thread_pool.h"
@@ -331,6 +334,178 @@ struct SliceOutcome {
 };
 
 /**
+ * Canonical text of everything that shapes the search space and its
+ * outcome — accelerator resources, attention dims, space restrictions
+ * and candidate menus. Execution knobs (threads, prune, batch width)
+ * are deliberately EXCLUDED: they never change the returned optimum,
+ * so a journal written at one thread count resumes at another.
+ */
+std::string
+search_space_canonical(const AccelConfig& accel,
+                       const AttentionDims& dims,
+                       const AttentionSearchOptions& options)
+{
+    std::ostringstream text;
+    text << "accel " << accel.name << ' ' << accel.pe_rows << 'x'
+         << accel.pe_cols << " sl=" << accel.sl_bytes
+         << " sg=" << accel.sg_bytes << " sg2=" << accel.sg2_bytes
+         << '@' << accel.sg2_bw << " on=" << accel.onchip_bw
+         << " off=" << accel.offchip_bw << " clk=" << accel.clock_hz
+         << " sfu=" << accel.sfu_lanes
+         << " bpe=" << accel.bytes_per_element
+         << " noc=" << static_cast<int>(accel.distribution_noc) << '/'
+         << static_cast<int>(accel.reduction_noc)
+         << " caps=" << accel.caps.flexible_intra_dataflow
+         << accel.caps.l3_tiling << accel.caps.fused_execution << '\n';
+    text << "dims " << dims.batch << ' ' << dims.heads << ' '
+         << dims.q_len << ' ' << dims.kv_len << ' ' << dims.head_dim
+         << '\n';
+    text << "opt obj=" << static_cast<int>(options.objective)
+         << " fused=" << options.fused << " cross="
+         << (options.fixed_cross.has_value() ? options.fixed_cross->tag()
+                                             : std::string("*"))
+         << " flags="
+         << (options.fixed_flags.has_value()
+                 ? std::to_string(
+                       FusedStageFlags::encode(*options.fixed_flags))
+                 : std::string("*"))
+         << " quick=" << options.quick
+         << " overlap=" << static_cast<int>(options.baseline_overlap)
+         << '\n';
+    const CandidateOptions& cand = options.candidates;
+    text << "cand budgets=";
+    for (const double f : cand.tile_budget_fractions) {
+        text << f << ',';
+    }
+    text << " rows=";
+    for (const std::uint64_t r : cand.row_candidates) {
+        text << r << ',';
+    }
+    text << " orders=";
+    for (const LoopOrder o : cand.loop_orders) {
+        text << static_cast<int>(o) << ',';
+    }
+    text << " stats=";
+    for (const Stationarity s : cand.stationarities) {
+        text << static_cast<int>(s) << ',';
+    }
+    text << " flags=" << cand.sweep_stage_flags;
+    return text.str();
+}
+
+/** Journal scope of one search: "search:" + space hash. One journal
+ *  holds records of every distinct search that ran under it (a sweep
+ *  runs one search per point), each in its own scope. */
+std::string
+search_scope_key(const AccelConfig& accel, const AttentionDims& dims,
+                 const AttentionSearchOptions& options)
+{
+    return strprintf("search:%016llx",
+                     static_cast<unsigned long long>(fnv1a64(
+                         search_space_canonical(accel, dims, options))));
+}
+
+/** Journal key of one slice within a search scope. */
+std::string
+slice_journal_key(const SearchSlice& slice)
+{
+    return strprintf("%s/%s/%s", slice.cross.tag().c_str(),
+                     to_string(slice.stat_logit).c_str(),
+                     to_string(slice.stat_attend).c_str());
+}
+
+/** Serializes a completed slice outcome. Only the winning dataflow's
+ *  identity is stored — restore re-runs the cost model on it, which is
+ *  cheap, deterministic, and immune to float-formatting drift. */
+std::string
+encode_slice_outcome(const SliceOutcome& out)
+{
+    JsonWriter json;
+    json.begin_object();
+    json.field("found", out.found);
+    json.field("evaluated", static_cast<std::uint64_t>(out.evaluated));
+    json.field("pruned", static_cast<std::uint64_t>(out.pruned));
+    if (out.found) {
+        const FusedDataflow& df = out.best.dataflow;
+        json.key("df");
+        json.begin_object();
+        json.field("gran",
+                   static_cast<std::uint64_t>(df.cross.granularity));
+        json.field("rows", df.cross.rows);
+        json.field("lm", df.l2_logit.m);
+        json.field("lk", df.l2_logit.k);
+        json.field("ln", df.l2_logit.n);
+        json.field("lo", static_cast<std::uint64_t>(df.order_logit));
+        json.field("am", df.l2_attend.m);
+        json.field("ak", df.l2_attend.k);
+        json.field("an", df.l2_attend.n);
+        json.field("ao", static_cast<std::uint64_t>(df.order_attend));
+        json.field("stage", static_cast<std::uint64_t>(
+                                FusedStageFlags::encode(df.stage)));
+        json.end_object();
+    }
+    json.end_object();
+    return json.str();
+}
+
+/** Rebuilds a slice outcome from its journal record by re-evaluating
+ *  the winning dataflow through the cost model. */
+SliceOutcome
+restore_slice_outcome(const JsonValue& data, const AccelConfig& accel,
+                      const AttentionDims& dims,
+                      const AttentionSearchOptions& options,
+                      const SearchSlice& slice,
+                      const EnergyTable& energy_table)
+{
+    SliceOutcome out;
+    out.evaluated =
+        static_cast<std::size_t>(data.member_u64("evaluated"));
+    out.pruned = static_cast<std::size_t>(data.member_u64("pruned"));
+    if (!data.member_bool("found")) {
+        return out;
+    }
+    const JsonValue* df_json = data.find("df");
+    FLAT_CHECK(df_json != nullptr,
+               "journaled slice record has found=true but no dataflow");
+    FusedDataflow df;
+    df.cross.granularity =
+        static_cast<Granularity>(df_json->member_u64("gran"));
+    df.cross.rows = df_json->member_u64("rows");
+    df.l2_logit.m = df_json->member_u64("lm");
+    df.l2_logit.k = df_json->member_u64("lk");
+    df.l2_logit.n = df_json->member_u64("ln");
+    df.order_logit =
+        static_cast<LoopOrder>(df_json->member_u64("lo"));
+    df.stat_logit = slice.stat_logit;
+    df.l2_attend.m = df_json->member_u64("am");
+    df.l2_attend.k = df_json->member_u64("ak");
+    df.l2_attend.n = df_json->member_u64("an");
+    df.order_attend =
+        static_cast<LoopOrder>(df_json->member_u64("ao"));
+    df.stat_attend = slice.stat_attend;
+    df.stage = FusedStageFlags::decode(
+        static_cast<std::uint32_t>(df_json->member_u64("stage")));
+    df.validate();
+
+    AttentionEvalScratch scratch;
+    scratch.timeline.summary_only = true;
+    out.best.dataflow = df;
+    out.best.cost =
+        options.fused
+            ? model_flat_attention(accel, dims, df, scratch)
+            : model_baseline_attention(accel, dims, df,
+                                       options.baseline_overlap,
+                                       scratch);
+    out.best.energy_j =
+        estimate_energy(energy_table, out.best.cost.activity).total();
+    out.value = objective_value(options.objective, out.best.cost.cycles,
+                                out.best.energy_j);
+    out.tag = df.tag();
+    out.found = true;
+    return out;
+}
+
+/**
  * Total order on candidates: lower objective value wins; exact ties go
  * to the lexicographically smallest dataflow tag. This makes the result
  * independent of enumeration and thread interleaving.
@@ -444,13 +619,6 @@ search_attention(const AccelConfig& accel, const AttentionDims& dims,
         }
         priority[si] = best_lb;
     }
-    std::vector<std::size_t> schedule(space.slices.size());
-    std::iota(schedule.begin(), schedule.end(), std::size_t{0});
-    std::stable_sort(schedule.begin(), schedule.end(),
-                     [&](std::size_t a, std::size_t b) {
-                         return priority[a] < priority[b];
-                     });
-
     // Best objective value seen by ANY thread. Pruning compares against
     // it with a strict >, so a skipped point is strictly worse than the
     // final optimum and can never win, not even on the tag tie-break.
@@ -458,8 +626,44 @@ search_attention(const AccelConfig& accel, const AttentionDims& dims,
         std::numeric_limits<double>::infinity()};
     std::vector<SliceOutcome> outcomes(space.slices.size());
 
+    // Checkpoint restore: slices already in the journal are rebuilt
+    // instead of searched, and their incumbents seed the shared bound
+    // so pending slices prune as if the restored ones had just run.
+    std::string journal_scope;
+    std::vector<char> slice_restored(space.slices.size(), 0);
+    if (options.journal != nullptr) {
+        journal_scope = search_scope_key(accel, dims, options);
+        for (std::size_t si = 0; si < space.slices.size(); ++si) {
+            const JsonValue* rec = options.journal->find(
+                journal_scope, slice_journal_key(space.slices[si]));
+            if (rec == nullptr) {
+                continue;
+            }
+            outcomes[si] = restore_slice_outcome(*rec, accel, dims,
+                                                 options,
+                                                 space.slices[si],
+                                                 energy_table);
+            slice_restored[si] = 1;
+            if (outcomes[si].found) {
+                update_shared_best(shared_best, outcomes[si].value);
+            }
+        }
+    }
+
+    std::vector<std::size_t> schedule;
+    schedule.reserve(space.slices.size());
+    for (std::size_t si = 0; si < space.slices.size(); ++si) {
+        if (slice_restored[si] == 0) {
+            schedule.push_back(si);
+        }
+    }
+    std::stable_sort(schedule.begin(), schedule.end(),
+                     [&](std::size_t a, std::size_t b) {
+                         return priority[a] < priority[b];
+                     });
+
     parallel_for(
-        space.slices.size(), options.threads, [&](std::size_t k) {
+        schedule.size(), options.threads, [&](std::size_t k) {
             const std::size_t si = schedule[k];
             const SearchSlice& slice = space.slices[si];
             SliceOutcome& out = outcomes[si];
@@ -548,6 +752,14 @@ search_attention(const AccelConfig& accel, const AttentionDims& dims,
                     df.l2_attend = tiles_a[ta];
                     for (const FusedStageFlags& flags :
                          space.flag_sets) {
+                        if (options.cancel != nullptr &&
+                            options.cancel->cancelled()) {
+                            // Abandon the slice mid-walk: its partial
+                            // outcome is never journaled, and the
+                            // poll() after the loop turns the
+                            // cancellation into CancelledError.
+                            return;
+                        }
                         df.stage = flags;
                         batch.begin(accel, dims, df, options.fused,
                                     options.baseline_overlap, width,
@@ -583,7 +795,23 @@ search_attention(const AccelConfig& accel, const AttentionDims& dims,
                     }
                 }
             }
-        });
+            if (options.journal != nullptr) {
+                // Only COMPLETE slices reach this append (cancellation
+                // returns early above); workers journal their own
+                // slices, so a crash loses at most the unflushed batch.
+                options.journal->append(journal_scope,
+                                        slice_journal_key(slice),
+                                        encode_slice_outcome(out));
+            }
+        },
+        /*grain=*/1, options.cancel);
+
+    if (options.journal != nullptr) {
+        options.journal->flush();
+    }
+    if (options.cancel != nullptr) {
+        options.cancel->poll(); // throws CancelledError when tripped
+    }
 
     // Deterministic reduction, in slice order, under the same total
     // order used inside the slices.
@@ -701,6 +929,9 @@ search_operator(const AccelConfig& accel, const Operator& op,
                 return tile_candidates(accel, op.gemm, cand, stat);
             });
         for (const L2Tile& tile : *tiles) {
+            if (options.cancel != nullptr) {
+                options.cancel->poll();
+            }
             for (LoopOrder order : orders) {
                 for (const L3StageFlags& l3 : l3_sets) {
                     OperatorDataflow df;

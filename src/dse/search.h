@@ -20,6 +20,9 @@
 
 namespace flat {
 
+class CancellationToken;
+class RunJournal;
+
 /** Optimization objective of the DSE (Figure 6(b) outputs). */
 enum class Objective {
     kRuntime, ///< minimize cycles (maximize Util)
@@ -82,6 +85,27 @@ struct AttentionSearchOptions {
      * only strictly-worse points are skipped.
      */
     bool prune = true;
+
+    /**
+     * Optional checkpoint journal: each completed (cross-loop x
+     * stationarity) slice is appended under a scope key derived from
+     * the accelerator, dims and space-shaping options, and slices
+     * already in the journal are restored (the winning dataflow is
+     * re-evaluated through the cost model — cheap and deterministic)
+     * instead of searched. A restored-then-finished search returns a
+     * result bit-identical to an uninterrupted one under the same
+     * determinism conditions that already govern repeated runs
+     * (fixed thread count, or pruning off).
+     */
+    RunJournal* journal = nullptr;
+
+    /**
+     * Optional cooperative cancellation: polled between slices and at
+     * every (tiles, staging flags) block inside a slice. On
+     * cancellation the search journals nothing partial, flushes the
+     * journal and throws CancelledError.
+     */
+    const CancellationToken* cancel = nullptr;
 
     /**
      * Lanes per batched evaluation (see AttentionBatchEvaluator):
@@ -149,6 +173,10 @@ struct OperatorSearchOptions {
     bool allow_l3 = true;
 
     bool quick = false;
+
+    /** Optional cooperative cancellation, polled per tile menu entry;
+     *  throws CancelledError when tripped. */
+    const CancellationToken* cancel = nullptr;
 
     CandidateOptions candidates;
 };

@@ -5,6 +5,7 @@
 #include <cstdint>
 #include <map>
 
+#include "common/cancellation.h"
 #include "common/status.h"
 #include "energy/energy_model.h"
 
@@ -97,6 +98,12 @@ search_scaleout(const AccelConfig& accel, const AttentionDims& dims,
         FLAT_CHECK(devices >= 1,
                    "scale-out needs at least one device per point");
         for (const ShardAxis axis : axes) {
+            // Cooperative cancellation between (devices x axis) points;
+            // the inner searches poll at finer granularity themselves
+            // (and checkpoint completed slices via inner.journal).
+            if (inner.cancel != nullptr) {
+                inner.cancel->poll();
+            }
             if (devices > 1 && !axis_feasible(dims, axis, devices)) {
                 ++out.infeasible;
                 continue;

@@ -1,0 +1,138 @@
+/**
+ * @file
+ * CancellationToken contract: first-reason-wins requests, lazy
+ * deadlines, parent chaining, poll() unwinding, and the diagnostic
+ * classification that maps a cancelled run onto the exit-code contract
+ * (deadline -> timeout/3, signal or programmatic -> cancelled/5).
+ */
+#include "common/cancellation.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "common/diagnostics.h"
+
+namespace flat {
+namespace {
+
+TEST(Cancellation, FreshTokenIsNotCancelled)
+{
+    CancellationToken token;
+    EXPECT_FALSE(token.cancelled());
+    EXPECT_EQ(token.reason(), CancelReason::kNone);
+    EXPECT_NO_THROW(token.poll());
+}
+
+TEST(Cancellation, RequestSetsReasonAndFirstReasonWins)
+{
+    CancellationToken token;
+    token.request(CancelReason::kSignal);
+    EXPECT_TRUE(token.cancelled());
+    EXPECT_EQ(token.reason(), CancelReason::kSignal);
+    token.request(CancelReason::kUser); // ignored: already cancelled
+    EXPECT_EQ(token.reason(), CancelReason::kSignal);
+}
+
+TEST(Cancellation, PollThrowsCancelledErrorCarryingTheReason)
+{
+    CancellationToken token;
+    token.request(CancelReason::kUser);
+    try {
+        token.poll();
+        FAIL() << "poll() must throw once cancelled";
+    } catch (const CancelledError& e) {
+        EXPECT_EQ(e.reason(), CancelReason::kUser);
+    }
+}
+
+TEST(Cancellation, ExpiredDeadlineTripsLazilyOnCheck)
+{
+    CancellationToken token;
+    token.set_deadline_ms(0.0);
+    EXPECT_TRUE(token.cancelled());
+    EXPECT_EQ(token.reason(), CancelReason::kDeadline);
+}
+
+TEST(Cancellation, FutureDeadlineDoesNotTrip)
+{
+    CancellationToken token;
+    token.set_deadline_ms(60000.0);
+    EXPECT_FALSE(token.cancelled());
+    EXPECT_EQ(token.reason(), CancelReason::kNone);
+}
+
+TEST(Cancellation, ParentCancellationPropagatesToChild)
+{
+    CancellationToken parent;
+    CancellationToken child;
+    child.set_parent(&parent);
+    EXPECT_FALSE(child.cancelled());
+    parent.request(CancelReason::kSignal);
+    EXPECT_TRUE(child.cancelled());
+    EXPECT_EQ(child.reason(), CancelReason::kSignal);
+}
+
+TEST(Cancellation, ChildCancellationDoesNotReachTheParent)
+{
+    CancellationToken parent;
+    CancellationToken child;
+    child.set_parent(&parent);
+    child.request(CancelReason::kDeadline);
+    EXPECT_TRUE(child.cancelled());
+    EXPECT_FALSE(parent.cancelled());
+}
+
+/** request() from many threads: exactly one reason wins, no tearing.
+ *  (Run under -DFLAT_SANITIZE=thread to validate the atomics.) */
+TEST(Cancellation, ConcurrentRequestsAgreeOnOneReason)
+{
+    CancellationToken token;
+    std::atomic<int> go{0};
+    std::vector<std::thread> threads;
+    for (int i = 0; i < 8; ++i) {
+        threads.emplace_back([&token, &go, i] {
+            while (go.load() == 0) {
+            }
+            token.request(i % 2 == 0 ? CancelReason::kSignal
+                                     : CancelReason::kUser);
+        });
+    }
+    go.store(1);
+    for (std::thread& t : threads) {
+        t.join();
+    }
+    EXPECT_TRUE(token.cancelled());
+    const CancelReason reason = token.reason();
+    EXPECT_TRUE(reason == CancelReason::kSignal ||
+                reason == CancelReason::kUser);
+    EXPECT_EQ(token.reason(), reason); // stable after the race
+}
+
+TEST(Cancellation, ReasonNamesAreStable)
+{
+    EXPECT_STREQ(to_string(CancelReason::kNone), "none");
+    EXPECT_STREQ(to_string(CancelReason::kSignal), "signal");
+    EXPECT_STREQ(to_string(CancelReason::kDeadline), "deadline");
+    EXPECT_STREQ(to_string(CancelReason::kUser), "user");
+}
+
+/** The taxonomy bridge: a tripped deadline keeps the established
+ *  kTimeout contract (exit 3); signal/user drains are kCancelled
+ *  (exit 5). */
+TEST(Cancellation, DiagnosticsClassifyCancelledErrorByReason)
+{
+    const CancelledError deadline(CancelReason::kDeadline, "over budget");
+    EXPECT_EQ(diagnostic_from_exception(deadline).kind,
+              DiagKind::kTimeout);
+
+    const CancelledError signal(CancelReason::kSignal, "drained");
+    const Diagnostic diag = diagnostic_from_exception(signal);
+    EXPECT_EQ(diag.kind, DiagKind::kCancelled);
+    EXPECT_EQ(exit_code_for(diag.kind), 5);
+}
+
+} // namespace
+} // namespace flat

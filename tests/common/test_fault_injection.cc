@@ -106,6 +106,63 @@ TEST_F(FaultInjection, DelayActionSleepsOncePerScope)
     EXPECT_LT(ms, 1000.0);
 }
 
+TEST_F(FaultInjection, TransientFailsExactlyCountAttemptsPerScope)
+{
+    FaultSpec spec;
+    spec.action = FaultAction::kTransient;
+    spec.seed = 3;
+    spec.count = 2;
+    arm_fault("test.site", spec);
+    {
+        FaultScope other(1); // wrong scope: never fires
+        EXPECT_NO_THROW(probe_once());
+    }
+    // The per-scope attempt counter survives FaultScope
+    // re-construction — exactly how a retrying driver re-scopes each
+    // attempt — so attempts 1..count fail and attempt count+1 works.
+    {
+        FaultScope attempt(3);
+        EXPECT_THROW(probe_once(), TransientError);
+    }
+    {
+        FaultScope attempt(3);
+        EXPECT_THROW(probe_once(), TransientError);
+    }
+    {
+        FaultScope attempt(3);
+        EXPECT_NO_THROW(probe_once());
+        EXPECT_NO_THROW(probe_once()); // stays healthy afterwards
+    }
+}
+
+TEST_F(FaultInjection, TransientClassifiesAsRetryableDiagnostic)
+{
+    FaultSpec spec;
+    spec.action = FaultAction::kTransient;
+    arm_fault("test.site", spec);
+    FaultScope scope(0);
+    try {
+        probe_once();
+        FAIL() << "probe should have thrown";
+    } catch (const std::exception& e) {
+        EXPECT_EQ(diagnostic_from_exception(e).kind,
+                  DiagKind::kTransient);
+    }
+}
+
+TEST_F(FaultInjection, CrashActionAbortsTheProcess)
+{
+    EXPECT_DEATH(
+        {
+            FaultSpec spec;
+            spec.action = FaultAction::kCrash;
+            arm_fault("test.site", spec);
+            FaultScope scope(0);
+            probe_once();
+        },
+        "crash fault");
+}
+
 TEST_F(FaultInjection, FiredSiteIsAttributedToDiagnostics)
 {
     FaultSpec spec;
@@ -161,10 +218,30 @@ TEST_F(FaultInjection, ParsesCliSpecs)
         const auto [site, spec] = parse_fault_spec("x:1:internal");
         EXPECT_EQ(spec.action, FaultAction::kThrowInternal);
     }
+    {
+        const auto [site, spec] =
+            parse_fault_spec("sweep.point:3:transient=2");
+        EXPECT_EQ(spec.seed, 3u);
+        EXPECT_EQ(spec.action, FaultAction::kTransient);
+        EXPECT_EQ(spec.count, 2u);
+    }
+    {
+        const auto [site, spec] = parse_fault_spec("x:1:transient");
+        EXPECT_EQ(spec.action, FaultAction::kTransient);
+        EXPECT_EQ(spec.count, 1u);
+    }
+    {
+        const auto [site, spec] = parse_fault_spec("sweep.point:5:crash");
+        EXPECT_EQ(spec.seed, 5u);
+        EXPECT_EQ(spec.action, FaultAction::kCrash);
+    }
     EXPECT_THROW(parse_fault_spec(""), Error);
     EXPECT_THROW(parse_fault_spec("site:abc"), Error);
     EXPECT_THROW(parse_fault_spec("site:1:frobnicate"), Error);
     EXPECT_THROW(parse_fault_spec("site:1:delay=xyz"), Error);
+    EXPECT_THROW(parse_fault_spec("site:1:transient=0"), Error);
+    EXPECT_THROW(parse_fault_spec("site:1:transient=x"), Error);
+    EXPECT_THROW(parse_fault_spec("site:1:crash=5"), Error);
 }
 
 } // namespace

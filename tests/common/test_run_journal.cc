@@ -1,0 +1,215 @@
+/**
+ * @file
+ * RunJournal contract: header binding, batched appends, (scope, key)
+ * dedup, bit-exact payload round-trips, and the resume semantics —
+ * torn FINAL lines are crash artifacts and tolerated, corrupt middle
+ * lines and stale headers are rejected.
+ */
+#include "common/run_journal.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+
+#include "common/status.h"
+
+namespace flat {
+namespace {
+
+RunJournalHeader
+test_header()
+{
+    RunJournalHeader header;
+    header.mode = "sweep";
+    header.space_hash = fnv1a64("test-space");
+    header.points = 3;
+    return header;
+}
+
+std::string
+point_payload(std::uint64_t cycles, double energy)
+{
+    JsonWriter json;
+    json.begin_object();
+    json.field("cycles", cycles);
+    json.field("energy_j", energy);
+    json.end_object();
+    return json.str();
+}
+
+std::string
+read_file(const std::string& path)
+{
+    std::ifstream in(path, std::ios::binary);
+    return std::string(std::istreambuf_iterator<char>(in),
+                       std::istreambuf_iterator<char>());
+}
+
+class RunJournalTest : public ::testing::Test
+{
+  protected:
+    void SetUp() override
+    {
+        path_ = ::testing::TempDir() + "flat_run_journal_" +
+                ::testing::UnitTest::GetInstance()
+                    ->current_test_info()
+                    ->name() +
+                ".jsonl";
+        std::remove(path_.c_str());
+    }
+
+    void TearDown() override { std::remove(path_.c_str()); }
+
+    std::string path_;
+};
+
+TEST_F(RunJournalTest, HashIsStableAndSensitive)
+{
+    EXPECT_EQ(fnv1a64(""), 0xcbf29ce484222325ull);
+    EXPECT_EQ(fnv1a64("abc"), fnv1a64("abc"));
+    EXPECT_NE(fnv1a64("abc"), fnv1a64("abd"));
+}
+
+TEST_F(RunJournalTest, AppendedRecordsRoundTripBitExactly)
+{
+    const double energy = 0.123456789012345678; // needs 17 digits
+    {
+        auto journal = RunJournal::create(path_, test_header());
+        journal->set_flush_every(1);
+        journal->append("sweep", "p0", point_payload(1234567890123ull,
+                                                     energy));
+        journal->append("sweep", "p1", point_payload(7, 0.5));
+    }
+    auto resumed = RunJournal::open_resume(path_, test_header());
+    EXPECT_EQ(resumed->restored(), 2u);
+    const JsonValue* p0 = resumed->find("sweep", "p0");
+    ASSERT_NE(p0, nullptr);
+    EXPECT_EQ(p0->member_u64("cycles"), 1234567890123ull);
+    // Bit-exact double round-trip (raw token preserved end to end).
+    EXPECT_EQ(p0->member_number("energy_j"), energy);
+    EXPECT_EQ(resumed->find("sweep", "missing"), nullptr);
+    EXPECT_EQ(resumed->find("other", "p0"), nullptr);
+}
+
+TEST_F(RunJournalTest, DuplicateScopeKeyPairsAreDropped)
+{
+    {
+        auto journal = RunJournal::create(path_, test_header());
+        journal->set_flush_every(1);
+        journal->append("sweep", "p0", point_payload(1, 1.0));
+        journal->append("sweep", "p0", point_payload(2, 2.0)); // dropped
+    }
+    {
+        auto resumed = RunJournal::open_resume(path_, test_header());
+        EXPECT_EQ(resumed->restored(), 1u);
+        EXPECT_EQ(resumed->find("sweep", "p0")->member_u64("cycles"), 1u);
+        // Re-appending a restored key is dropped too (the re-run of a
+        // restored search must not double-journal).
+        resumed->append("sweep", "p0", point_payload(3, 3.0));
+        resumed->flush();
+    }
+    auto again = RunJournal::open_resume(path_, test_header());
+    EXPECT_EQ(again->restored(), 1u);
+    EXPECT_EQ(again->find("sweep", "p0")->member_u64("cycles"), 1u);
+}
+
+TEST_F(RunJournalTest, AppendsAreBatchedUntilFlush)
+{
+    auto journal = RunJournal::create(path_, test_header());
+    journal->set_flush_every(100);
+    journal->append("sweep", "p0", point_payload(1, 1.0));
+    // Buffered: on disk the file still holds only the header line.
+    EXPECT_EQ(read_file(path_).find("\"p0\""), std::string::npos);
+    journal->flush();
+    EXPECT_NE(read_file(path_).find("\"p0\""), std::string::npos);
+}
+
+TEST_F(RunJournalTest, TornFinalLineIsDroppedAndTruncated)
+{
+    {
+        auto journal = RunJournal::create(path_, test_header());
+        journal->set_flush_every(1);
+        journal->append("sweep", "p0", point_payload(1, 1.0));
+        journal->append("sweep", "p1", point_payload(2, 2.0));
+    }
+    const std::string intact = read_file(path_);
+    {
+        // Simulate a crash mid-append: a partial record, no newline.
+        std::ofstream out(path_, std::ios::app | std::ios::binary);
+        out << "{\"scope\":\"sweep\",\"key\":\"p2\",\"data\":{\"cy";
+    }
+    {
+        auto resumed = RunJournal::open_resume(path_, test_header());
+        EXPECT_EQ(resumed->restored(), 2u);
+        EXPECT_EQ(resumed->find("sweep", "p2"), nullptr);
+    }
+    // The torn tail was truncated away: the file is intact again.
+    EXPECT_EQ(read_file(path_), intact);
+}
+
+TEST_F(RunJournalTest, CorruptMiddleLineIsRejected)
+{
+    {
+        auto journal = RunJournal::create(path_, test_header());
+        journal->set_flush_every(1);
+        journal->append("sweep", "p0", point_payload(1, 1.0));
+    }
+    std::string text = read_file(path_);
+    // Corrupt the middle record but keep a VALID final line: this is
+    // data loss, not a crash artifact, and must not be silently healed.
+    const std::size_t pos = text.find('\n'); // start of the p0 record
+    ASSERT_NE(pos, std::string::npos);
+    text[pos + 1] = '#'; // "{"scope":... -> "#"scope":... unparsable
+    {
+        std::ofstream out(path_, std::ios::binary | std::ios::trunc);
+        out << text << "{\"scope\":\"sweep\",\"key\":\"p1\","
+            << "\"data\":{\"cycles\":2}}\n";
+    }
+    EXPECT_THROW(RunJournal::open_resume(path_, test_header()), Error);
+}
+
+TEST_F(RunJournalTest, StaleHeaderIsRejected)
+{
+    { auto journal = RunJournal::create(path_, test_header()); }
+
+    RunJournalHeader other = test_header();
+    other.space_hash ^= 1;
+    EXPECT_THROW(RunJournal::open_resume(path_, other), Error);
+
+    other = test_header();
+    other.mode = "run";
+    EXPECT_THROW(RunJournal::open_resume(path_, other), Error);
+
+    other = test_header();
+    other.points = 4;
+    EXPECT_THROW(RunJournal::open_resume(path_, other), Error);
+
+    EXPECT_NO_THROW(RunJournal::open_resume(path_, test_header()));
+}
+
+TEST_F(RunJournalTest, MissingOrHeaderlessFileIsRejected)
+{
+    EXPECT_THROW(RunJournal::open_resume(path_, test_header()), Error);
+    {
+        std::ofstream out(path_, std::ios::binary);
+        out << "{\"not\":\"a journal\"}\n";
+    }
+    EXPECT_THROW(RunJournal::open_resume(path_, test_header()), Error);
+}
+
+TEST_F(RunJournalTest, CreateTruncatesAnExistingJournal)
+{
+    {
+        auto journal = RunJournal::create(path_, test_header());
+        journal->set_flush_every(1);
+        journal->append("sweep", "p0", point_payload(1, 1.0));
+    }
+    { auto journal = RunJournal::create(path_, test_header()); }
+    auto resumed = RunJournal::open_resume(path_, test_header());
+    EXPECT_EQ(resumed->restored(), 0u);
+}
+
+} // namespace
+} // namespace flat

@@ -6,8 +6,12 @@
  * pins the stderr contract — every failure ends with one well-formed
  * JSON diagnostic record whose "kind" matches the exit code:
  *
- *   0 success, 1 config/infeasible, 2 usage, 3 internal/oom,
- *   4 sweep completed with failed points.
+ *   0 success, 1 config/infeasible, 2 usage, 3 internal/oom/timeout,
+ *   4 sweep completed with failed points, 5 cancelled (signal drain).
+ *
+ * Plus the long-run contract: --journal/--resume survive a mid-sweep
+ * crash (kCrash fault = SIGABRT) and a SIGINT drain, and the resumed
+ * output is identical to an uninterrupted run's.
  */
 #include <sys/wait.h>
 
@@ -86,6 +90,70 @@ expect_json_diagnostic(const CliResult& result, const std::string& kind)
     ASSERT_TRUE(doc.count("severity")) << record;
     EXPECT_EQ(doc.at("severity"), "\"error\"") << record;
     EXPECT_TRUE(doc.count("message")) << record;
+}
+
+struct CliOutput {
+    int exit_code = -1;
+    std::string stdout_text;
+};
+
+/** Runs `flatsim <args>`, capturing exit code and stdout. */
+CliOutput
+run_flatsim_stdout(const std::string& args)
+{
+    const std::string command =
+        "'" + flatsim_path() + "' " + args + " 2>/dev/null";
+    std::FILE* pipe = popen(command.c_str(), "r");
+    EXPECT_NE(pipe, nullptr) << "popen failed for: " << command;
+    CliOutput result;
+    if (pipe == nullptr) {
+        return result;
+    }
+    char buf[4096];
+    std::size_t n = 0;
+    while ((n = std::fread(buf, 1, sizeof(buf), pipe)) > 0) {
+        result.stdout_text.append(buf, n);
+    }
+    const int status = pclose(pipe);
+    result.exit_code = WIFEXITED(status) ? WEXITSTATUS(status) : -1;
+    return result;
+}
+
+/** wall_ms values are the only run-to-run noise in sweep JSON. */
+std::string
+scrub_wall_ms(const std::string& text)
+{
+    const std::string key = "\"wall_ms\":";
+    std::string out;
+    out.reserve(text.size());
+    std::size_t pos = 0;
+    while (true) {
+        const std::size_t hit = text.find(key, pos);
+        if (hit == std::string::npos) {
+            out.append(text, pos, std::string::npos);
+            return out;
+        }
+        out.append(text, pos, hit + key.size() - pos);
+        out.push_back('0');
+        std::size_t end = hit + key.size();
+        while (end < text.size() && text[end] != ',' &&
+               text[end] != '}') {
+            ++end;
+        }
+        pos = end;
+    }
+}
+
+/** Writes the 8-point smoke sweep spec used by the long-run tests. */
+std::string
+write_sweep_spec(const std::string& name)
+{
+    std::ofstream spec(name);
+    EXPECT_TRUE(spec.is_open());
+    spec << "models = bert\nplatforms = edge\n"
+         << "policies = flat-opt, base\nseq = 256, 512\n"
+         << "batch = 2, 4\nscope = la\nquick = true\n";
+    return name;
 }
 
 TEST(FlatsimCli, SuccessExitsZeroWithSilentStderr)
@@ -198,6 +266,169 @@ TEST(FlatsimCli, PoisonedSweepPointExitsFour)
         "--sweep " + spec_path + " --json --inject-fault sweep.point:3");
     std::remove(spec_path.c_str());
     EXPECT_EQ(result.exit_code, 4);
+}
+
+TEST(FlatsimCli, JournalingKeepsSingleRunOutputBitIdentical)
+{
+    const std::string journal = "flatsim_cli_run_journal.jsonl";
+    std::remove(journal.c_str());
+    const std::string args = "--model bert --seq 1024 --scope la "
+                             "--quick --json";
+    const CliOutput plain = run_flatsim_stdout(args);
+    const CliOutput journaled =
+        run_flatsim_stdout(args + " --journal " + journal);
+    const CliOutput resumed =
+        run_flatsim_stdout(args + " --resume " + journal);
+    std::remove(journal.c_str());
+    EXPECT_EQ(plain.exit_code, 0);
+    EXPECT_EQ(journaled.exit_code, 0);
+    EXPECT_EQ(resumed.exit_code, 0);
+    EXPECT_EQ(plain.stdout_text, journaled.stdout_text);
+    EXPECT_EQ(plain.stdout_text, resumed.stdout_text);
+}
+
+TEST(FlatsimCli, GoldenTraceJsonBitIdenticalWithJournalingEnabled)
+{
+    const std::string journal = "flatsim_cli_trace_journal.jsonl";
+    std::remove(journal.c_str());
+    // The golden-trace configs pin --trace-json bytes; journaling (and
+    // resuming) must never perturb them.
+    const std::string args = "--model bert --seq 2048 --scope la "
+                             "--quick --trace-json";
+    const CliOutput plain = run_flatsim_stdout(args);
+    const CliOutput journaled =
+        run_flatsim_stdout(args + " --journal " + journal);
+    const CliOutput resumed =
+        run_flatsim_stdout(args + " --resume " + journal);
+    std::remove(journal.c_str());
+    EXPECT_EQ(plain.exit_code, 0);
+    EXPECT_EQ(plain.stdout_text, journaled.stdout_text);
+    EXPECT_EQ(plain.stdout_text, resumed.stdout_text);
+}
+
+TEST(FlatsimCli, CrashedSweepResumesToTheIdenticalReport)
+{
+    const std::string spec = write_sweep_spec("flatsim_cli_crash.sweep");
+    const std::string journal = "flatsim_cli_crash_journal.jsonl";
+    std::remove(journal.c_str());
+
+    const CliOutput fresh =
+        run_flatsim_stdout("--sweep " + spec + " --json");
+    ASSERT_EQ(fresh.exit_code, 0);
+
+    // Kill the run mid-sweep via the deterministic crash probe
+    // (std::abort -> SIGABRT -> the shell reports 128+6).
+    const CliOutput crashed = run_flatsim_stdout(
+        "--sweep " + spec + " --json --journal " + journal +
+        " --inject-fault sweep.point:5:crash");
+    EXPECT_EQ(crashed.exit_code, 134);
+
+    const CliOutput resumed = run_flatsim_stdout(
+        "--sweep " + spec + " --json --resume " + journal);
+    std::remove(spec.c_str());
+    std::remove(journal.c_str());
+    EXPECT_EQ(resumed.exit_code, 0);
+    EXPECT_EQ(scrub_wall_ms(resumed.stdout_text),
+              scrub_wall_ms(fresh.stdout_text));
+}
+
+TEST(FlatsimCli, SigintDrainsGracefullyWithExitFive)
+{
+    const std::string spec = write_sweep_spec("flatsim_cli_drain.sweep");
+    const std::string journal = "flatsim_cli_drain_journal.jsonl";
+    std::remove(journal.c_str());
+
+    // Point 0 sleeps 3 s; SIGINT arrives after ~1 s. The drain lets the
+    // running point finish, marks the rest cancelled and exits 5.
+    const std::string script =
+        "'" + flatsim_path() + "' --sweep " + spec +
+        " --threads 1 --journal " + journal +
+        " --inject-fault sweep.point:0:delay=3000"
+        " > flatsim_cli_drain.out 2>&1 & pid=$!; sleep 1; "
+        "kill -INT $pid; wait $pid; echo $?";
+    std::FILE* pipe = popen(script.c_str(), "r");
+    ASSERT_NE(pipe, nullptr);
+    char buf[64];
+    std::string echoed;
+    std::size_t n = 0;
+    while ((n = std::fread(buf, 1, sizeof(buf), pipe)) > 0) {
+        echoed.append(buf, n);
+    }
+    pclose(pipe);
+    EXPECT_EQ(echoed.substr(0, echoed.find('\n')), "5");
+
+    std::ifstream out("flatsim_cli_drain.out");
+    const std::string text((std::istreambuf_iterator<char>(out)),
+                           std::istreambuf_iterator<char>());
+    EXPECT_NE(text.find("cancelled"), std::string::npos) << text;
+
+    // The drained journal resumes to the uninterrupted report.
+    const CliOutput fresh =
+        run_flatsim_stdout("--sweep " + spec + " --json");
+    const CliOutput resumed = run_flatsim_stdout(
+        "--sweep " + spec + " --json --resume " + journal);
+    std::remove(spec.c_str());
+    std::remove(journal.c_str());
+    std::remove("flatsim_cli_drain.out");
+    EXPECT_EQ(resumed.exit_code, 0);
+    EXPECT_EQ(scrub_wall_ms(resumed.stdout_text),
+              scrub_wall_ms(fresh.stdout_text));
+}
+
+TEST(FlatsimCli, ClosedStdoutPipeKeepsTheRunExitCode)
+{
+    const std::string spec = write_sweep_spec("flatsim_cli_pipe.sweep");
+    const std::string script =
+        "( '" + flatsim_path() + "' --sweep " + spec +
+        " --json; echo $? > flatsim_cli_pipe.code )"
+        " | head -c 32 > /dev/null; cat flatsim_cli_pipe.code";
+    std::FILE* pipe = popen(script.c_str(), "r");
+    ASSERT_NE(pipe, nullptr);
+    char buf[64];
+    std::string echoed;
+    std::size_t n = 0;
+    while ((n = std::fread(buf, 1, sizeof(buf), pipe)) > 0) {
+        echoed.append(buf, n);
+    }
+    pclose(pipe);
+    std::remove(spec.c_str());
+    std::remove("flatsim_cli_pipe.code");
+    EXPECT_EQ(echoed.substr(0, echoed.find('\n')), "0");
+}
+
+TEST(FlatsimCli, StaleJournalExitsOneWithConfigDiagnostic)
+{
+    const std::string journal = "flatsim_cli_stale_journal.jsonl";
+    std::remove(journal.c_str());
+    ASSERT_EQ(run_flatsim_stdout("--model bert --seq 512 --scope la "
+                                 "--quick --journal " + journal)
+                  .exit_code,
+              0);
+    // A different sequence length is a different search space.
+    const CliResult result =
+        run_flatsim("--model bert --seq 1024 --scope la --quick "
+                    "--resume " + journal);
+    std::remove(journal.c_str());
+    EXPECT_EQ(result.exit_code, 1);
+    expect_json_diagnostic(result, "config");
+    EXPECT_NE(result.stderr_text.find("stale"), std::string::npos);
+}
+
+TEST(FlatsimCli, JournalAndResumeAreMutuallyExclusive)
+{
+    const CliResult result =
+        run_flatsim("--journal a.jsonl --resume b.jsonl");
+    EXPECT_EQ(result.exit_code, 2);
+    expect_json_diagnostic(result, "usage");
+}
+
+TEST(FlatsimCli, MissingResumeJournalExitsOne)
+{
+    const CliResult result = run_flatsim(
+        "--model bert --seq 512 --scope la --quick "
+        "--resume /nonexistent/journal.jsonl");
+    EXPECT_EQ(result.exit_code, 1);
+    expect_json_diagnostic(result, "config");
 }
 
 } // namespace

@@ -19,7 +19,10 @@ keys present in only one file are listed as schema drift, never an
 error. This keeps stored baselines usable across bench revisions.
 
 Exit codes: 0 no regression, 1 regression past the threshold, 2 usage
-or malformed input.
+error, 3 unusable bench input — a missing, truncated, or
+schema-mismatched baseline/candidate (no 'bench' field, different
+benches, missing headline, no comparable metrics). Input problems are
+always a one-line diagnostic, never a traceback.
 """
 
 import json
@@ -50,18 +53,23 @@ SECONDARY = {
 }
 
 
+EXIT_BAD_INPUT = 3
+
+
 def load(path):
+    """One report, or a one-line diagnostic + exit 3 (missing file,
+    truncated/garbled JSON, non-object top level — never a traceback)."""
     try:
         with open(path, "r", encoding="utf-8") as fh:
             doc = json.load(fh)
     except (OSError, ValueError) as err:
         print(f"bench_compare: cannot read {path}: {err}",
               file=sys.stderr)
-        sys.exit(2)
+        sys.exit(EXIT_BAD_INPUT)
     if not isinstance(doc, dict):
         print(f"bench_compare: {path} is not a JSON object",
               file=sys.stderr)
-        sys.exit(2)
+        sys.exit(EXIT_BAD_INPUT)
     return doc
 
 
@@ -106,11 +114,20 @@ def main(argv):
     base_doc = load(paths[0])
     cand_doc = load(paths[1])
     bench = base_doc.get("bench")
+    # An empty/partial document ({} from an interrupted bench run) has
+    # no "bench" field; it used to slip through the mismatch check as
+    # None == None and compare an empty intersection — a silent pass.
+    for path, doc in ((paths[0], base_doc), (paths[1], cand_doc)):
+        if not isinstance(doc.get("bench"), str):
+            print(f"bench_compare: {path} has no 'bench' field "
+                  f"(truncated or not a bench report)",
+                  file=sys.stderr)
+            return EXIT_BAD_INPUT
     if bench != cand_doc.get("bench"):
         print(f"bench_compare: comparing different benches "
               f"({base_doc.get('bench')} vs {cand_doc.get('bench')})",
               file=sys.stderr)
-        return 2
+        return EXIT_BAD_INPUT
 
     base = flatten(base_doc)
     cand = flatten(cand_doc)
@@ -122,6 +139,11 @@ def main(argv):
         for key in sorted(only):
             print(f"note: {key} only in {name} (schema drift, "
                   f"ignored)")
+
+    if not (base.keys() & cand.keys()):
+        print(f"bench_compare: no comparable numeric metrics between "
+              f"{paths[0]} and {paths[1]}", file=sys.stderr)
+        return EXIT_BAD_INPUT
 
     if bench not in HEADLINES:
         print(f"bench_compare: unknown bench '{bench}': comparing "
@@ -138,7 +160,7 @@ def main(argv):
     if change is None:
         print(f"bench_compare: headline {key} missing or zero",
               file=sys.stderr)
-        return 2
+        return EXIT_BAD_INPUT
     print(f"{label}: {base[key]:.0f} -> {cand[key]:.0f} "
           f"({100.0 * change:+.1f}%)")
 

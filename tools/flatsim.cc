@@ -9,18 +9,22 @@
  *   flatsim --model t5 --platform edge --policy flat-r64 --buffer 2MiB
  *   flatsim --list
  */
+#include <csignal>
 #include <cstdio>
 #include <cstring>
 #include <iostream>
 #include <map>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "arch/accel_config_io.h"
 #include "arch/scaleout_config.h"
+#include "common/cancellation.h"
 #include "common/diagnostics.h"
 #include "common/fault_injection.h"
 #include "common/json.h"
+#include "common/run_journal.h"
 #include "common/status.h"
 #include "common/string_util.h"
 #include "common/table.h"
@@ -98,17 +102,39 @@ batch sweeps (fault-isolated; see core/sweep.h for the spec syntax):
   --sweep FILE       evaluate the cross product described by FILE; a
                      failing point is recorded as a diagnostic and the
                      sweep keeps going
-  --deadline MS      per-point wall-clock deadline (0 = none)
+  --deadline MS      per-point wall-clock deadline (0 = none); enforced
+                     preemptively inside the DSE loops
   --keep-going       continue past failed points (the default)
   --fail-fast        stop scheduling new points after the first failure
   --sweep-csv FILE   also write per-point results as CSV
-  --inject-fault SITE[:SEED][:ACTION[=MS]]
+  --retries N        retry a point failing with a TRANSIENT error up to
+                     N extra times (sweep mode; default 0)
+  --retry-backoff MS backoff before retry k: MS * 2^(k-1) milliseconds,
+                     deterministic, no jitter (default 0)
+  --inject-fault SITE[:SEED][:ACTION[=N]]
                      arm a fault probe (repeatable); ACTION is one of
-                     error | internal | oom | delay[=MS]. In a sweep,
-                     SEED is the poisoned point index.
+                     error | internal | oom | delay[=MS] |
+                     transient[=N] | crash. In a sweep, SEED is the
+                     poisoned point index.
+
+long runs (crash-safe checkpoints; see common/run_journal.h):
+  --journal FILE     checkpoint completed DSE slices and sweep points
+                     to a fresh append-only JSONL journal at FILE
+  --resume FILE      resume from an earlier journal: completed work is
+                     restored instead of re-evaluated, new work is
+                     appended, and the final output is bit-identical to
+                     an uninterrupted run; a journal written by a
+                     different configuration is rejected as stale
+
+signals: the first SIGINT/SIGTERM drains gracefully (running work
+finishes, the journal is flushed, partial results are emitted, exit
+code 5); a second signal hard-exits with 128+signo. SIGPIPE is
+ignored: when the output pipe closes early (e.g. | head) the report
+is truncated but the exit code still reflects the run.
 
 exit codes: 0 success, 1 config error, 2 usage, 3 internal error,
-            4 sweep completed with failed points
+            4 sweep completed with failed points, 5 cancelled
+            (signal drain or preemptive deadline)
 on error, stderr carries a human-readable line followed by one
 machine-readable JSON diagnostic record
 )");
@@ -217,7 +243,33 @@ struct Args {
     std::uint64_t deadline_ms = 0;
     bool fail_fast = false;
     std::vector<std::string> inject_faults;
+
+    std::string journal_file; ///< --journal: fresh checkpoint journal
+    std::string resume_file;  ///< --resume: restore + append
+    std::uint64_t retries = 0;
+    std::uint64_t retry_backoff_ms = 0;
 };
+
+/**
+ * Process-wide cancellation token for the SIGINT/SIGTERM graceful
+ * drain; handed to install_signal_cancellation() once the flags are
+ * parsed and threaded into every work loop from there.
+ */
+CancellationToken g_signal_cancel;
+
+/** Opens the checkpoint journal requested by --journal / --resume
+ *  (nullptr when neither flag is present). */
+std::unique_ptr<RunJournal>
+open_journal(const Args& args, const RunJournalHeader& header)
+{
+    if (!args.resume_file.empty()) {
+        return RunJournal::open_resume(args.resume_file, header);
+    }
+    if (!args.journal_file.empty()) {
+        return RunJournal::create(args.journal_file, header);
+    }
+    return nullptr;
+}
 
 /**
  * Parses a numeric flag value strictly: the whole token must be a
@@ -346,6 +398,33 @@ run(const Args& args)
     options.baseline_overlap = args.serialized_baseline
                                    ? BaselineOverlap::kSerialized
                                    : BaselineOverlap::kFull;
+
+    // Journal identity of a single-run DSE: a coarse hash over the
+    // result-shaping CLI surface. The fine-grained staleness guard is
+    // the per-search scope key search_attention journals under (a hash
+    // of accelerator + dims + search options) — a record from a
+    // different space simply never matches at restore time.
+    RunJournalHeader journal_header;
+    journal_header.mode = "run";
+    journal_header.space_hash = fnv1a64(strprintf(
+        "run|%s|%llu|%llu|%.17g|%s|%llu|%llu|%llu|%llu|%s|%s|%d|%d|%d",
+        accel.name.c_str(),
+        static_cast<unsigned long long>(accel.sg_bytes),
+        static_cast<unsigned long long>(accel.sg2_bytes),
+        accel.offchip_bw, model.name.c_str(),
+        static_cast<unsigned long long>(args.batch),
+        static_cast<unsigned long long>(args.seq),
+        static_cast<unsigned long long>(args.kv_seq),
+        static_cast<unsigned long long>(args.window),
+        to_string(scope).c_str(),
+        (args.accel.empty() ? args.policy : args.accel).c_str(),
+        static_cast<int>(options.objective),
+        static_cast<int>(options.quick),
+        static_cast<int>(options.baseline_overlap)));
+    const std::unique_ptr<RunJournal> journal =
+        open_journal(args, journal_header);
+    options.journal = journal.get();
+    options.cancel = &g_signal_cancel;
 
     const Simulator sim(accel);
     const ScopeReport report =
@@ -656,11 +735,18 @@ run_sweep_mode(const Args& args)
     options.threads = static_cast<unsigned>(args.threads);
     options.deadline_ms = static_cast<double>(args.deadline_ms);
     options.fail_fast = args.fail_fast;
+    options.retries = static_cast<unsigned>(args.retries);
+    options.retry_backoff_ms = static_cast<double>(args.retry_backoff_ms);
     options.sim.prune = !args.no_prune;
     options.sim.batch_width = static_cast<std::size_t>(args.batch_width);
     options.sim.baseline_overlap = args.serialized_baseline
                                        ? BaselineOverlap::kSerialized
                                        : BaselineOverlap::kFull;
+    options.cancel = &g_signal_cancel;
+
+    const std::unique_ptr<RunJournal> journal =
+        open_journal(args, sweep_journal_header(spec, options.sim));
+    options.journal = journal.get();
 
     const SweepReport report = run_sweep(spec, options);
 
@@ -694,6 +780,13 @@ run_sweep_mode(const Args& args)
 int
 main(int argc, char** argv)
 {
+#ifdef SIGPIPE
+    // A consumer closing the pipe (flatsim --sweep ... | head) must
+    // not kill the run mid-write: writes past the close fail silently,
+    // the report is truncated, and the exit code still reflects the
+    // run (see --help).
+    std::signal(SIGPIPE, SIG_IGN);
+#endif
     Args args;
     try {
         for (int i = 1; i < argc; ++i) {
@@ -754,6 +847,14 @@ main(int argc, char** argv)
                 args.fail_fast = false;
             } else if (flag == "--fail-fast") {
                 args.fail_fast = true;
+            } else if (flag == "--retries") {
+                args.retries = parse_u64_flag(flag, next(), 0, 1000);
+            } else if (flag == "--retry-backoff") {
+                args.retry_backoff_ms = parse_u64_flag(flag, next());
+            } else if (flag == "--journal") {
+                args.journal_file = next();
+            } else if (flag == "--resume") {
+                args.resume_file = next();
             } else if (flag == "--inject-fault") {
                 args.inject_faults.push_back(next());
             } else if (flag == "--no-prune") {
@@ -795,6 +896,11 @@ main(int argc, char** argv)
                 return 2;
             }
         }
+        if (!args.journal_file.empty() && !args.resume_file.empty()) {
+            throw flat::UsageError(
+                "--journal and --resume are mutually exclusive "
+                "(--resume keeps appending to the journal it resumes)");
+        }
         if (args.no_eval_cache) {
             flat::EvalCache::set_enabled(false);
         }
@@ -807,6 +913,9 @@ main(int argc, char** argv)
                 throw flat::UsageError(e.what());
             }
         }
+        // Arm the graceful SIGINT/SIGTERM drain only once real work
+        // starts; a second signal hard-exits with 128+signo.
+        flat::install_signal_cancellation(&g_signal_cancel);
         return args.sweep_file.empty() ? run(args)
                                        : run_sweep_mode(args);
     } catch (const std::exception& e) {

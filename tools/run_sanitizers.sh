@@ -1,0 +1,20 @@
+#!/bin/sh
+# Build the ThreadSanitizer tree and run the concurrency- and
+# robustness-labeled tests under it. The labels cover the thread pool,
+# the deterministic-reduction property tests, cancellation, journaled
+# resume, and the fault-injected sweep paths — the code where a data
+# race would silently break the bit-identical-results contract.
+#
+# Usage: tools/run_sanitizers.sh [BUILD_DIR]   (default: build-tsan)
+set -eu
+
+repo=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
+build=${1:-"$repo/build-tsan"}
+
+cmake -B "$build" -S "$repo" \
+    -DFLAT_SANITIZE=thread \
+    -DFLAT_BUILD_BENCH=OFF \
+    -DFLAT_BUILD_EXAMPLES=OFF
+cmake --build "$build" -j "$(nproc 2>/dev/null || echo 4)"
+ctest --test-dir "$build" -L 'concurrency|robustness' \
+    --output-on-failure -j "$(nproc 2>/dev/null || echo 4)"
