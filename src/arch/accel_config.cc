@@ -47,6 +47,12 @@ AccelConfig::has_sg2() const
     return sg2_bytes > 0;
 }
 
+std::uint64_t
+AccelConfig::rf_capacity_bytes() const
+{
+    return rf_bytes > 0 ? rf_bytes : num_pes() * 64ull;
+}
+
 double
 AccelConfig::sg2_bytes_per_cycle() const
 {

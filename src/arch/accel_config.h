@@ -54,6 +54,14 @@ struct AccelConfig {
      */
     std::uint64_t sg2_bytes = 0;
 
+    /**
+     * Aggregate register-file capacity across the PE array, the staging
+     * tier below SL that column-blocked (online-softmax) styles keep the
+     * running logits block and output accumulator in. 0 = derive a
+     * conservative default of 64 bytes per PE (see rf_capacity_bytes()).
+     */
+    std::uint64_t rf_bytes = 0;
+
     /** SG2 <-> SG bandwidth (bytes/s); only used when sg2_bytes > 0. */
     double sg2_bw = 0.0;
 
@@ -99,6 +107,9 @@ struct AccelConfig {
 
     /** True iff a second-level on-chip buffer is configured. */
     bool has_sg2() const;
+
+    /** Register-tier capacity: rf_bytes, or 64 bytes/PE when unset. */
+    std::uint64_t rf_capacity_bytes() const;
 
     /** SG2 bytes transferable per cycle (0 when absent). */
     double sg2_bytes_per_cycle() const;

@@ -2,6 +2,7 @@
 
 #include "common/status.h"
 #include "common/units.h"
+#include "costmodel/execution_style.h"
 #include "costmodel/trace.h"
 #include "dse/search.h"
 #include "scaleout/scaleout_model.h"
@@ -59,6 +60,21 @@ golden_dataflow(const AccelConfig& accel, const AttentionDims& dims,
     return result.best.dataflow;
 }
 
+/** Quick DSE restricted to the flash style's column-blocked space. */
+FusedDataflow
+golden_flash_dataflow(const AccelConfig& accel, const AttentionDims& dims)
+{
+    AttentionSearchOptions opt;
+    opt.quick = true;
+    opt.fused = true;
+    opt.styles = {"flash"};
+    const AttentionSearchResult result =
+        search_attention(accel, dims, opt);
+    FLAT_CHECK(result.found,
+               "golden DSE found no feasible flash dataflow");
+    return result.best.dataflow;
+}
+
 double
 passes_of(const AttentionDims& dims, const FusedDataflow& dataflow)
 {
@@ -89,6 +105,12 @@ golden_configs()
          GoldenStyle::kScaleOutSequence, 4},
         {"cloud-xlm-scaleout-head-d8", "cloud", "xlm", 2048, 16,
          GoldenStyle::kScaleOutHead, 8},
+        // Appended after the original eight so their bytes (and the
+        // regen tool's file order) stay untouched.
+        {"edge-bert-flash", "edge", "bert", 512, 8,
+         GoldenStyle::kFlash, 1},
+        {"cloud-trxl-flash", "cloud", "trxl", 2048, 16,
+         GoldenStyle::kFlash, 1},
     };
     return configs;
 }
@@ -117,6 +139,10 @@ golden_trace_json(const GoldenConfig& config)
       case GoldenStyle::kPipelined:
         return trace_pipelined_attention(
                    accel, dims, golden_dataflow(accel, dims, true))
+            .to_json();
+      case GoldenStyle::kFlash:
+        return trace_attention(flash_execution_style(), accel, dims,
+                               golden_flash_dataflow(accel, dims))
             .to_json();
       case GoldenStyle::kScaleOutSequence:
       case GoldenStyle::kScaleOutHead: {

@@ -21,6 +21,7 @@ enum class GoldenStyle {
     kBaselineFull,       ///< sequential baseline, overlapped transfers
     kBaselineSerialized, ///< sequential baseline, serialized transfers
     kPipelined,          ///< spatially pipelined halves
+    kFlash,              ///< column-streamed online-softmax (flash)
     kScaleOutSequence,   ///< sequence-sharded multi-device FLAT
     kScaleOutHead,       ///< head-sharded multi-device FLAT
 };

@@ -2,6 +2,7 @@
 
 #include "common/status.h"
 #include "costmodel/attention_cost.h"
+#include "costmodel/execution_style.h"
 #include "costmodel/timeline.h"
 
 namespace flat {
@@ -65,6 +66,7 @@ attention_options(const DataflowPolicy& policy, const SimOptions& options)
     out.journal = options.journal;
     out.cancel = options.cancel;
     out.fused = policy.fused();
+    out.styles = options.styles;
 
     if (policy.searched()) {
         return out; // full sweep
@@ -96,6 +98,7 @@ attention_options(const AcceleratorSpec& spec, const SimOptions& options)
     out.journal = options.journal;
     out.cancel = options.cancel;
     out.fused = policy.fused();
+    out.styles = options.styles;
 
     switch (spec.kind) {
       case AcceleratorKind::kBaseAccel:
@@ -176,8 +179,17 @@ Simulator::run_impl(const Workload& workload, Scope scope,
     report.breakdown.la_energy_j = la_energy;
     report.la_footprint_bytes = la.best.cost.live_footprint_bytes;
     report.la_resident_fraction = la.best.cost.resident_fraction;
-    report.la_dataflow_tag =
-        (la_options.fused ? "fused:" : "seq:") + la.best.dataflow.tag();
+    const ExecutionStyle& la_style =
+        la.best.style != nullptr ? *la.best.style
+                                 : default_execution_style(la_options.fused);
+    // Keep the historical "fused:"/"seq:" prefixes for the two original
+    // styles; newer styles are prefixed by their registry id.
+    const std::string style_prefix =
+        (&la_style == &flat_execution_style())       ? "fused:"
+        : (&la_style == &baseline_execution_style())
+            ? "seq:"
+            : std::string(la_style.id()) + ":";
+    report.la_dataflow_tag = style_prefix + la.best.dataflow.tag();
     report.la_points_evaluated = la.evaluated;
     report.la_points_pruned = la.pruned;
     report.traffic += la.best.cost.activity.traffic;
@@ -185,11 +197,9 @@ Simulator::run_impl(const Workload& workload, Scope scope,
     // Re-evaluate the winning dataflow's timeline for the per-stage
     // view (the cost model consumed the same timeline, so cycles agree
     // exactly with breakdown.la_cycles before scaling).
-    const TimelineResult la_timeline =
-        la_options.fused
-            ? flat_attention_timeline(accel_, dims, la.best.dataflow)
-            : baseline_attention_timeline(accel_, dims, la.best.dataflow,
-                                          la_options.baseline_overlap);
+    const TimelineResult la_timeline = attention_timeline(
+        la_style, accel_, dims, la.best.dataflow,
+        la_options.baseline_overlap);
     report.la_stages = fold_la_stages(la_timeline);
 
     // Projections and FCs at Block/Model scope.

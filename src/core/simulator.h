@@ -8,6 +8,7 @@
 #define FLAT_CORE_SIMULATOR_H
 
 #include <string>
+#include <vector>
 
 #include "arch/accel_config.h"
 #include "core/catalog.h"
@@ -24,6 +25,11 @@ struct SimOptions {
 
     /** Smaller DSE menus (used by the broad Figure 8/9 sweeps). */
     bool quick = false;
+
+    /** Execution styles the L-A DSE may pick from (registry ids, or
+     *  "all"). Empty = the single style the policy's fused flag
+     *  selects, which keeps historical searches bit-identical. */
+    std::vector<std::string> styles;
 
     /** Overlap assumption for sequential-baseline dataflows. */
     BaselineOverlap baseline_overlap = BaselineOverlap::kFull;

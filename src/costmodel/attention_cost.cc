@@ -1,736 +1,13 @@
 #include "costmodel/attention_cost.h"
 
 #include <algorithm>
-#include <cmath>
 #include <vector>
 
-#include "common/math_util.h"
 #include "common/status.h"
 #include "costmodel/eval_cache.h"
-#include "costmodel/gemm_engine.h"
-#include "costmodel/operator_cost.h"
 #include "dataflow/reuse.h"
 
 namespace flat {
-namespace {
-
-/**
- * Per-tensor resident fractions of the staged working set. The SG is
- * allocated greedily: streaming tiles are mandatory, the intermediate
- * FLAT-tile has priority (it is the single-buffered tensor whose
- * off-chip round trip fusion exists to avoid), then the remaining
- * staged tensors smallest-first.
- */
-struct Residency {
-    /** Fraction of the staged working set resident in the SG. */
-    double q = 1.0;
-    double k = 1.0;
-    double v = 1.0;
-    double out = 1.0;
-    double inter = 1.0;
-
-    /** Fraction overflowed into the optional SG2 level (0 without
-     *  SG2); the remainder spills to DRAM. */
-    double q2 = 0.0;
-    double k2 = 0.0;
-    double v2 = 0.0;
-    double out2 = 0.0;
-    double inter2 = 0.0;
-
-    double overall = 1.0;
-};
-
-/** DRAM / SG2 fetch-event split for one staged-or-streamed tensor. */
-struct FetchSplit {
-    double dram = 0.0; ///< full-tensor passes through the DRAM bus
-    double sg2 = 0.0;  ///< full-tensor passes through the SG2 bus
-};
-
-/**
- * Splits the fetch events of a tensor across the hierarchy: the
- * SG-resident fraction is fetched from DRAM once; the SG2-resident
- * fraction is fetched from DRAM once and re-read from SG2 on every
- * reuse pass; the rest streams from DRAM with the failed-staging
- * penalty.
- */
-FetchSplit
-split_fetches(bool staged, double rho_sg, double rho_sg2,
-              double unstaged_events)
-{
-    FetchSplit out;
-    if (!staged) {
-        out.dram = unstaged_events;
-        return out;
-    }
-    const double spill = std::max(0.0, 1.0 - rho_sg - rho_sg2);
-    out.dram = rho_sg + rho_sg2 + spill * (unstaged_events + 1.0);
-    out.sg2 = rho_sg2 * unstaged_events;
-    return out;
-}
-
-/** Everything the phase emitters need, computed once. */
-struct AttentionPlan {
-    CrossLoopExtent extent;
-    GemmShape logit_shape;  ///< per staged slice
-    GemmShape attend_shape; ///< per staged slice
-    double slices = 0.0;    ///< passes * instances_per_pass
-
-    GemmComputeCost logit_compute;  ///< per slice
-    GemmComputeCost attend_compute; ///< per slice
-    StageReuse logit_reuse;
-    StageReuse attend_reuse;
-
-    double q_bytes = 0.0;     ///< total Q rows bytes (B*H*N*dk)
-    double k_bytes = 0.0;     ///< total K bytes
-    double v_bytes = 0.0;     ///< total V bytes
-    double out_bytes = 0.0;   ///< total output bytes
-    double inter_bytes = 0.0; ///< total intermediate bytes (B*H*N*kv)
-
-    /** Row chunks per (batch, head) group: K/V are re-touched once per
-     *  chunk when they are not resident (1 for M/B/H granularity). */
-    double kv_chunks = 1.0;
-
-    std::uint64_t footprint = 0;
-    Residency res;
-};
-
-/** Greedy SG allocation producing per-tensor resident fractions. */
-Residency
-allocate_residency(const AccelConfig& accel, const FusedDataflow& dataflow,
-                   const AttentionDims& dims, const CrossLoopExtent& extent)
-{
-    const double bpe = accel.bytes_per_element;
-    const double inst = static_cast<double>(extent.instances_per_pass);
-    const double rows = static_cast<double>(extent.rows_per_pass);
-    const double kv = static_cast<double>(dims.kv_len);
-    const double dk = static_cast<double>(dims.head_dim);
-
-    // Mandatory streaming-tile reservation for the unstaged tensors.
-    GemmShape logit_shape;
-    logit_shape.m = extent.rows_per_pass;
-    logit_shape.k = dims.head_dim;
-    logit_shape.n = dims.kv_len;
-    GemmShape attend_shape;
-    attend_shape.m = extent.rows_per_pass;
-    attend_shape.k = dims.kv_len;
-    attend_shape.n = dims.head_dim;
-    const L2Tile lt = dataflow.l2_logit.clamped(logit_shape);
-    const L2Tile at = dataflow.l2_attend.clamped(attend_shape);
-    const std::uint32_t b = accel.bytes_per_element;
-    double reserve = 0.0;
-    if (!dataflow.stage.query) {
-        reserve += 2.0 * lt.a_bytes(b);
-    }
-    if (!dataflow.stage.key) {
-        reserve += 2.0 * lt.b_bytes(b);
-    }
-    if (!dataflow.stage.value) {
-        reserve += 2.0 * at.b_bytes(b);
-    }
-    if (!dataflow.stage.output) {
-        reserve += 2.0 * at.c_bytes(b);
-    }
-    if (!dataflow.stage.intermediate) {
-        reserve += 2.0 * (lt.c_bytes(b) + at.a_bytes(b));
-    }
-
-    double capacity =
-        std::max(0.0, static_cast<double>(accel.sg_bytes) - reserve);
-    double capacity2 = static_cast<double>(accel.sg2_bytes);
-
-    struct Demand {
-        double* rho;
-        double* rho2;
-        double bytes;
-    };
-    Residency res;
-    // Fixed-capacity demand lists (at most 1 + 4 tensors): this runs
-    // once per DSE point, so it must not touch the heap.
-    Demand demands[5];
-    std::size_t n_demands = 0;
-    if (dataflow.stage.intermediate) {
-        // Highest priority: the FLAT-tile itself (single-buffered).
-        demands[n_demands++] = {&res.inter, &res.inter2,
-                                rows * kv * inst * bpe};
-    }
-    Demand staged[4];
-    std::size_t n_staged = 0;
-    if (dataflow.stage.query) {
-        staged[n_staged++] = {&res.q, &res.q2,
-                              2.0 * rows * dk * inst * bpe};
-    }
-    if (dataflow.stage.output) {
-        staged[n_staged++] = {&res.out, &res.out2,
-                              2.0 * rows * dk * inst * bpe};
-    }
-    if (dataflow.stage.key) {
-        staged[n_staged++] = {&res.k, &res.k2,
-                              2.0 * kv * dk * inst * bpe};
-    }
-    if (dataflow.stage.value) {
-        staged[n_staged++] = {&res.v, &res.v2,
-                              2.0 * kv * dk * inst * bpe};
-    }
-    // Insertion sort by bytes ascending (stable; <= 4 elements). Equal
-    // demands keep the q/out/k/v emission order above, matching what
-    // std::sort's small-range insertion path produced historically.
-    for (std::size_t i = 1; i < n_staged; ++i) {
-        const Demand d = staged[i];
-        std::size_t j = i;
-        while (j > 0 && d.bytes < staged[j - 1].bytes) {
-            staged[j] = staged[j - 1];
-            --j;
-        }
-        staged[j] = d;
-    }
-    for (std::size_t i = 0; i < n_staged; ++i) {
-        demands[n_demands++] = staged[i];
-    }
-
-    double wanted = 0.0;
-    double granted = 0.0;
-    for (std::size_t di = 0; di < n_demands; ++di) {
-        const Demand& d = demands[di];
-        const double fit =
-            (d.bytes <= 0.0) ? 1.0 : std::min(1.0, capacity / d.bytes);
-        *d.rho = fit;
-        capacity -= fit * d.bytes;
-        // Overflow into the second-level buffer when present.
-        const double left = (1.0 - fit) * d.bytes;
-        const double fit2 =
-            (left <= 0.0 || capacity2 <= 0.0)
-                ? 0.0
-                : std::min(1.0, capacity2 / left) * (1.0 - fit);
-        *d.rho2 = fit2;
-        capacity2 -= fit2 * d.bytes;
-        wanted += d.bytes;
-        granted += (fit + fit2) * d.bytes;
-    }
-    res.overall = (wanted > 0.0) ? granted / wanted : 1.0;
-    return res;
-}
-
-AttentionPlan
-make_plan(const AccelConfig& accel, const AttentionDims& dims,
-          const FusedDataflow& dataflow,
-          const PlannedGemmCosts& planned = {})
-{
-    dims.validate();
-    dataflow.validate();
-
-    AttentionPlan plan;
-    plan.extent = cross_loop_extent(dataflow.cross, dims.batch, dims.heads,
-                                    dims.q_len);
-    const std::uint64_t rows = plan.extent.rows_per_pass;
-
-    plan.logit_shape.m = rows;
-    plan.logit_shape.k = dims.head_dim;
-    plan.logit_shape.n = dims.kv_len;
-    plan.logit_shape.instances = 1;
-    plan.logit_shape.a_kind = OperandKind::kActivation;
-    plan.logit_shape.b_kind = OperandKind::kActivation;
-
-    plan.attend_shape.m = rows;
-    plan.attend_shape.k = dims.kv_len;
-    plan.attend_shape.n = dims.head_dim;
-    plan.attend_shape.instances = 1;
-    plan.attend_shape.a_kind = OperandKind::kActivation;
-    plan.attend_shape.b_kind = OperandKind::kActivation;
-
-    plan.slices = static_cast<double>(plan.extent.passes) *
-                  plan.extent.instances_per_pass;
-
-    // Injected costs come from the DSE's per-slice tables (see
-    // PlannedGemmCosts): same pure functions of the same inputs, so the
-    // plan is bit-identical either way — just cheaper.
-    if (planned.logit != nullptr) {
-        plan.logit_compute = planned.logit->compute;
-        plan.logit_reuse = planned.logit->reuse;
-    } else {
-        plan.logit_compute =
-            model_gemm_compute(accel, plan.logit_shape, dataflow.l2_logit,
-                               dataflow.order_logit, dataflow.stat_logit);
-        plan.logit_reuse = stage_reuse(plan.logit_shape, dataflow.l2_logit,
-                                       dataflow.order_logit);
-    }
-    if (planned.attend != nullptr) {
-        plan.attend_compute = planned.attend->compute;
-        plan.attend_reuse = planned.attend->reuse;
-    } else {
-        plan.attend_compute = model_gemm_compute(
-            accel, plan.attend_shape, dataflow.l2_attend,
-            dataflow.order_attend, dataflow.stat_attend);
-        plan.attend_reuse = stage_reuse(
-            plan.attend_shape, dataflow.l2_attend, dataflow.order_attend);
-    }
-
-    const double bpe = accel.bytes_per_element;
-    const double bh =
-        static_cast<double>(dims.batch) * dims.heads;
-    plan.q_bytes = bh * dims.q_len * dims.head_dim * bpe;
-    plan.k_bytes = bh * dims.kv_len * dims.head_dim * bpe;
-    plan.v_bytes = plan.k_bytes;
-    plan.out_bytes = plan.q_bytes;
-    plan.inter_bytes = bh * dims.q_len * dims.kv_len * bpe;
-
-    plan.kv_chunks = static_cast<double>(
-        ceil_div(dims.q_len, plan.extent.rows_per_pass));
-
-    plan.footprint =
-        fused_live_footprint(dataflow, dims, accel.bytes_per_element);
-    plan.res = allocate_residency(accel, dataflow, dims, plan.extent);
-    return plan;
-}
-
-/**
- * Memory traffic of the whole L-A pipeline given the staging flags:
- * DRAM events plus SG2 events for the fractions that overflow into the
- * optional second-level buffer.
- */
-TrafficBytes
-plan_dram_traffic(const AttentionPlan& plan, const FusedStageFlags& stage)
-{
-    const Residency& res = plan.res;
-    TrafficBytes t;
-
-    // Inputs of L: Q rows stream per slice; K/V per row chunk.
-    const FetchSplit q_split = split_fetches(
-        stage.query, res.q, res.q2, plan.logit_reuse.a_repeats);
-    t.dram_read += q_split.dram * plan.q_bytes;
-    t.sg2_read += q_split.sg2 * plan.q_bytes;
-
-    const FetchSplit k_split = split_fetches(
-        stage.key, res.k, res.k2,
-        plan.kv_chunks * plan.logit_reuse.b_repeats);
-    t.dram_read += k_split.dram * plan.k_bytes;
-    t.sg2_read += k_split.sg2 * plan.k_bytes;
-
-    const FetchSplit v_split = split_fetches(
-        stage.value, res.v, res.v2,
-        plan.kv_chunks * plan.attend_reuse.b_repeats);
-    t.dram_read += v_split.dram * plan.v_bytes;
-    t.sg2_read += v_split.sg2 * plan.v_bytes;
-
-    // SG2-resident input fractions are filled from DRAM through SG2.
-    t.sg2_write += (res.q2 * plan.q_bytes + res.k2 * plan.k_bytes +
-                    res.v2 * plan.v_bytes);
-
-    // Output of A (events mirrored: writes dominate).
-    if (stage.output) {
-        const double spill_out =
-            std::max(0.0, 1.0 - res.out - res.out2);
-        t.dram_write += (res.out + res.out2 +
-                         spill_out * plan.attend_reuse.c_write_repeats) *
-                        plan.out_bytes;
-        t.dram_read += spill_out * plan.attend_reuse.c_read_repeats *
-                       plan.out_bytes;
-        t.sg2_write += res.out2 * plan.attend_reuse.c_write_repeats *
-                       plan.out_bytes;
-        t.sg2_read += res.out2 *
-                      (plan.attend_reuse.c_read_repeats + 1.0) *
-                      plan.out_bytes;
-    } else {
-        t.dram_write +=
-            plan.attend_reuse.c_write_repeats * plan.out_bytes;
-        t.dram_read +=
-            plan.attend_reuse.c_read_repeats * plan.out_bytes;
-    }
-
-    // Intermediate tensor: on-chip when SG-resident; SG2-resident
-    // fractions round-trip through SG2; the rest round-trips through
-    // DRAM (L writes it, softmax reads+writes it, A reads it) plus the
-    // failed-staging penalty (§6.2.1's "one extra pass").
-    const double inter_write_events =
-        plan.logit_reuse.c_write_repeats + 1.0; // + softmax write
-    const double inter_read_events = plan.logit_reuse.c_read_repeats +
-                                     plan.attend_reuse.a_repeats +
-                                     1.0; // + softmax read
-    const double spill = stage.intermediate
-                             ? std::max(0.0, 1.0 - res.inter - res.inter2)
-                             : 1.0;
-    const double staging_penalty = stage.intermediate ? spill : 0.0;
-    t.dram_write += (spill * inter_write_events + staging_penalty) *
-                    plan.inter_bytes;
-    t.dram_read += (spill * inter_read_events + staging_penalty) *
-                   plan.inter_bytes;
-    t.sg2_write += res.inter2 * inter_write_events * plan.inter_bytes;
-    t.sg2_read += res.inter2 * inter_read_events * plan.inter_bytes;
-    return t;
-}
-
-/** SFU time of the whole softmax (every intermediate element once). */
-double
-softmax_sfu_cycles(const AccelConfig& accel, const AttentionPlan& plan)
-{
-    return (plan.inter_bytes / accel.bytes_per_element) / accel.sfu_lanes;
-}
-
-/** Half the L-A MACs: each GEMM contributes exactly one half. */
-double
-half_macs(const AttentionDims& dims)
-{
-    return static_cast<double>(attention_macs(dims)) / 2.0;
-}
-
-/**
- * Appends-or-reuses the phase at @p idx of @p out, resetting every
- * field. Label assignment reuses the existing string's capacity, so a
- * steady-state emit loop (same style, hence same label lengths) never
- * allocates. The emitters fill phases strictly one at a time — the
- * returned reference is invalidated by the next next_phase() call.
- */
-Phase&
-next_phase(std::vector<Phase>& out, std::size_t& idx, const char* label,
-           StageTag stage, int group)
-{
-    if (idx == out.size()) {
-        out.emplace_back();
-    }
-    Phase& phase = out[idx++];
-    phase.label = label;
-    phase.stage = stage;
-    phase.group = group;
-    phase.track = -1;
-    phase.compute_cycles = 0.0;
-    phase.sfu_cycles = 0.0;
-    phase.link_latency_cycles = 0.0;
-    phase.activity = ActivityCounts{};
-    phase.pace_only = false;
-    return phase;
-}
-
-/**
- * Exposed first-fetch window: the first Q/K slice cannot hide under
- * any compute. Pace-only — its bytes are already in the steady-state
- * prefetch ledger.
- */
-void
-emit_cold_start(std::vector<Phase>& out, std::size_t& idx,
-                const AttentionPlan& plan)
-{
-    Phase& phase = next_phase(out, idx,
-                              "cold start (first Q/K slice fetch)",
-                              StageTag::kColdStart, 0);
-    phase.pace_only = true;
-    phase.activity.traffic.dram_read =
-        (plan.q_bytes + plan.k_bytes) /
-        (plan.slices > 0.0 ? plan.slices : 1.0);
-}
-
-/** GEMM phase skeleton: array occupancy, MACs/SL, SG streaming. */
-Phase&
-emit_gemm_phase(std::vector<Phase>& out, std::size_t& idx,
-                const char* label, StageTag stage, int group,
-                const GemmComputeCost& compute, double occupancy_cycles,
-                const AttentionDims& dims, double slices)
-{
-    Phase& phase = next_phase(out, idx, label, stage, group);
-    phase.compute_cycles = occupancy_cycles;
-    phase.activity.macs = half_macs(dims);
-    phase.activity.sl_accesses = 3.0 * phase.activity.macs;
-    phase.activity.traffic.sg_read =
-        (compute.sg_read_bytes + compute.sg_psum_read_bytes) * slices;
-    phase.activity.traffic.sg_write = compute.sg_write_bytes * slices;
-    return phase;
-}
-
-/**
- * FLAT (interleaved) execution: one shared overlap window — all
- * transfers hide under the combined duration of L + softmax + A —
- * preceded by the exposed cold-start fetch. Emits into @p phases in
- * place, reusing its capacity (see next_phase()).
- */
-void
-emit_flat_phases(std::vector<Phase>& phases, const AccelConfig& accel,
-                 const AttentionDims& dims, const AttentionPlan& plan,
-                 const FusedStageFlags& stage)
-{
-    const TrafficBytes dram = plan_dram_traffic(plan, stage);
-
-    std::size_t idx = 0;
-    emit_cold_start(phases, idx, plan);
-
-    {
-        Phase& prefetch =
-            next_phase(phases, idx, "prefetch (DRAM->SG, overlapped)",
-                       StageTag::kPrefetch, 1);
-        prefetch.activity.traffic.dram_read = dram.dram_read;
-        prefetch.activity.traffic.sg_write =
-            dram.dram_read; // pass-through
-        prefetch.activity.traffic.sg2_read = dram.sg2_read;
-    }
-
-    emit_gemm_phase(phases, idx, "L: logits slice GEMM", StageTag::kLogit,
-                    1, plan.logit_compute,
-                    plan.logit_compute.total_cycles() * plan.slices, dims,
-                    plan.slices);
-
-    {
-        Phase& softmax = next_phase(phases, idx, "softmax on SFU",
-                                    StageTag::kSoftmax, 1);
-        softmax.sfu_cycles = softmax_sfu_cycles(accel, plan);
-        softmax.activity.sfu_elems =
-            plan.inter_bytes / accel.bytes_per_element;
-        softmax.activity.traffic.sg_read = plan.inter_bytes;
-        softmax.activity.traffic.sg_write = plan.inter_bytes;
-    }
-
-    emit_gemm_phase(phases, idx, "A: attend slice GEMM",
-                    StageTag::kAttend, 1, plan.attend_compute,
-                    plan.attend_compute.total_cycles() * plan.slices,
-                    dims, plan.slices);
-
-    {
-        Phase& writeback =
-            next_phase(phases, idx, "writeback (SG->DRAM, overlapped)",
-                       StageTag::kWriteback, 1);
-        writeback.activity.traffic.dram_write = dram.dram_write;
-        writeback.activity.traffic.sg_read =
-            dram.dram_write; // pass-through
-        writeback.activity.traffic.sg2_write = dram.sg2_write;
-    }
-    phases.resize(idx);
-}
-
-/**
- * Sequential baseline: three windows (L, softmax, A), each overlapping
- * only its own transfers, after the cold-start fetch. The spilled
- * intermediate fraction round-trips through DRAM between windows.
- * Emits into @p phases in place, reusing its capacity.
- */
-void
-emit_baseline_phases(std::vector<Phase>& phases, const AccelConfig& accel,
-                     const AttentionDims& dims, const AttentionPlan& plan,
-                     const FusedDataflow& dataflow)
-{
-    FLAT_CHECK(dataflow.cross.granularity != Granularity::kRow,
-               "the sequential baseline cannot execute at R-granularity; "
-               "row-chunked L-A is exactly the fusion FLAT adds (§4.2)");
-    const FusedStageFlags& stage = dataflow.stage;
-    const TrafficBytes dram = plan_dram_traffic(plan, stage);
-    const Residency& res = plan.res;
-    const double spill =
-        stage.intermediate
-            ? std::max(0.0, 1.0 - res.inter - res.inter2)
-            : 1.0;
-    const double staging_penalty = stage.intermediate ? spill : 0.0;
-    // The SG2 traffic is dominated by the intermediate, produced in the
-    // L window and consumed in the A window: half to each.
-    const double sg2_read_half = dram.sg2_read / 2.0;
-    const double sg2_write_half = dram.sg2_write / 2.0;
-
-    // Window 3 volumes, computed up front (the output-staging branch
-    // couples the A-transfer reads and the writeback writes).
-    double a_xfer_dram_read =
-        split_fetches(stage.value, res.v, res.v2,
-                      plan.kv_chunks * plan.attend_reuse.b_repeats)
-                .dram *
-            plan.v_bytes +
-        (spill * plan.attend_reuse.a_repeats + staging_penalty) *
-            plan.inter_bytes;
-    double writeback_dram_write = 0.0;
-    if (stage.output) {
-        const double spill_out =
-            std::max(0.0, 1.0 - res.out - res.out2);
-        a_xfer_dram_read += spill_out *
-                            plan.attend_reuse.c_read_repeats *
-                            plan.out_bytes;
-        writeback_dram_write =
-            (res.out + res.out2 +
-             spill_out * plan.attend_reuse.c_write_repeats) *
-            plan.out_bytes;
-    } else {
-        a_xfer_dram_read +=
-            plan.attend_reuse.c_read_repeats * plan.out_bytes;
-        writeback_dram_write =
-            plan.attend_reuse.c_write_repeats * plan.out_bytes;
-    }
-
-    std::size_t idx = 0;
-    emit_cold_start(phases, idx, plan);
-
-    // Window 1: L reads Q and K and round-trips the spilled
-    // intermediate fraction (psum re-reads out, result writes in).
-    {
-        Phase& l_xfer =
-            next_phase(phases, idx, "L transfers (Q/K in, spill out)",
-                       StageTag::kPrefetch, 1);
-        l_xfer.activity.traffic.dram_read =
-            split_fetches(stage.query, res.q, res.q2,
-                          plan.logit_reuse.a_repeats)
-                    .dram *
-                plan.q_bytes +
-            split_fetches(stage.key, res.k, res.k2,
-                          plan.kv_chunks * plan.logit_reuse.b_repeats)
-                    .dram *
-                plan.k_bytes +
-            spill * plan.logit_reuse.c_read_repeats * plan.inter_bytes;
-        l_xfer.activity.traffic.dram_write =
-            (spill * plan.logit_reuse.c_write_repeats + staging_penalty) *
-            plan.inter_bytes;
-        l_xfer.activity.traffic.sg_write =
-            l_xfer.activity.traffic.dram_read; // pass-through
-        l_xfer.activity.traffic.sg_read =
-            l_xfer.activity.traffic.dram_write;
-        l_xfer.activity.traffic.sg2_read = sg2_read_half;
-        l_xfer.activity.traffic.sg2_write = sg2_write_half;
-    }
-
-    emit_gemm_phase(phases, idx, "L: logits GEMM", StageTag::kLogit, 1,
-                    plan.logit_compute,
-                    plan.logit_compute.total_cycles() * plan.slices, dims,
-                    plan.slices);
-
-    // Window 2: softmax round-trips the spilled fraction.
-    {
-        Phase& softmax =
-            next_phase(phases, idx, "softmax on SFU (spill round-trip)",
-                       StageTag::kSoftmax, 2);
-        softmax.sfu_cycles = softmax_sfu_cycles(accel, plan);
-        softmax.activity.sfu_elems =
-            plan.inter_bytes / accel.bytes_per_element;
-        softmax.activity.traffic.dram_read = spill * plan.inter_bytes;
-        softmax.activity.traffic.dram_write = spill * plan.inter_bytes;
-        softmax.activity.traffic.sg_read =
-            plan.inter_bytes + softmax.activity.traffic.dram_write;
-        softmax.activity.traffic.sg_write =
-            plan.inter_bytes + softmax.activity.traffic.dram_read;
-    }
-
-    // Window 3: A reads V and the intermediate, writes the output.
-    {
-        Phase& a_xfer = next_phase(phases, idx, "A transfers (V/inter in)",
-                                   StageTag::kPrefetch, 3);
-        a_xfer.activity.traffic.dram_read = a_xfer_dram_read;
-        a_xfer.activity.traffic.sg_write = a_xfer_dram_read;
-        a_xfer.activity.traffic.sg2_read = sg2_read_half;
-    }
-
-    emit_gemm_phase(phases, idx, "A: attend GEMM", StageTag::kAttend, 3,
-                    plan.attend_compute,
-                    plan.attend_compute.total_cycles() * plan.slices,
-                    dims, plan.slices);
-
-    {
-        Phase& writeback =
-            next_phase(phases, idx, "writeback (out, SG->DRAM)",
-                       StageTag::kWriteback, 3);
-        writeback.activity.traffic.dram_write = writeback_dram_write;
-        writeback.activity.traffic.sg_read = writeback_dram_write;
-        writeback.activity.traffic.sg2_write = sg2_write_half;
-    }
-    phases.resize(idx);
-}
-
-/**
- * Spatially pipelined execution: L and A on concurrent half-array
- * tracks inside one overlap window, softmax serial between them, plus
- * a pace-only pipeline-fill window (one L slice + its softmax share).
- */
-void
-emit_pipelined_phases(std::vector<Phase>& phases, const AccelConfig& accel,
-                      const AttentionDims& dims, const AttentionPlan& plan,
-                      const FusedDataflow& dataflow)
-{
-    FLAT_CHECK(accel.pe_rows >= 2,
-               "pipelined execution needs an array splittable in two");
-
-    // Each stage runs on half the array (split along rows). The halves
-    // share the SG and the memory interfaces, so the byte ledger keeps
-    // the full-array plan's streaming volume.
-    AccelConfig half = accel;
-    half.pe_rows = accel.pe_rows / 2;
-    const GemmComputeCost logit_half =
-        model_gemm_compute(half, plan.logit_shape, dataflow.l2_logit,
-                           dataflow.order_logit, dataflow.stat_logit);
-    const GemmComputeCost attend_half =
-        model_gemm_compute(half, plan.attend_shape, dataflow.l2_attend,
-                           dataflow.order_attend, dataflow.stat_attend);
-    const TrafficBytes dram = plan_dram_traffic(plan, dataflow.stage);
-    const double softmax_cycles = softmax_sfu_cycles(accel, plan);
-
-    std::size_t idx = 0;
-
-    // Pipeline fill: one slice of L (and its softmax) before A starts.
-    {
-        Phase& fill =
-            next_phase(phases, idx,
-                       "pipeline fill (first L slice + softmax)",
-                       StageTag::kColdStart, 0);
-        fill.pace_only = true;
-        if (plan.slices > 0.0) {
-            fill.compute_cycles = logit_half.total_cycles();
-            fill.sfu_cycles = softmax_cycles / plan.slices;
-        }
-    }
-
-    {
-        Phase& prefetch =
-            next_phase(phases, idx, "prefetch (DRAM->SG, overlapped)",
-                       StageTag::kPrefetch, 1);
-        prefetch.activity.traffic.dram_read = dram.dram_read;
-        prefetch.activity.traffic.sg_write =
-            dram.dram_read; // pass-through
-        prefetch.activity.traffic.sg2_read = dram.sg2_read;
-    }
-
-    {
-        Phase& logit = emit_gemm_phase(
-            phases, idx, "L: logits GEMM (half array)", StageTag::kLogit,
-            1, plan.logit_compute,
-            logit_half.total_cycles() * plan.slices, dims, plan.slices);
-        logit.track = 0;
-    }
-
-    {
-        Phase& softmax =
-            next_phase(phases, idx, "softmax on SFU (between halves)",
-                       StageTag::kSoftmax, 1);
-        softmax.sfu_cycles = softmax_cycles;
-        softmax.activity.sfu_elems =
-            plan.inter_bytes / accel.bytes_per_element;
-        softmax.activity.traffic.sg_read = plan.inter_bytes;
-        softmax.activity.traffic.sg_write = plan.inter_bytes;
-    }
-
-    {
-        Phase& attend = emit_gemm_phase(
-            phases, idx, "A: attend GEMM (half array)", StageTag::kAttend,
-            1, plan.attend_compute,
-            attend_half.total_cycles() * plan.slices, dims, plan.slices);
-        attend.track = 1;
-    }
-
-    {
-        Phase& writeback =
-            next_phase(phases, idx, "writeback (SG->DRAM, overlapped)",
-                       StageTag::kWriteback, 1);
-        writeback.activity.traffic.dram_write = dram.dram_write;
-        writeback.activity.traffic.sg_read =
-            dram.dram_write; // pass-through
-        writeback.activity.traffic.sg2_write = dram.sg2_write;
-    }
-    phases.resize(idx);
-}
-
-/** Cost report from a plan and its evaluated timeline: the cycles and
- *  the activity ledger ARE the timeline's — no re-aggregation. */
-OperatorCost
-finalize_cost(const AccelConfig& accel, const AttentionDims& dims,
-              const AttentionPlan& plan, const TimelineResult& timeline,
-              const char* name)
-{
-    OperatorCost cost;
-    cost.name = name;
-    cost.ideal_cycles = attention_ideal_cycles(accel, dims);
-    cost.cycles = timeline.cycles;
-    cost.live_footprint_bytes = plan.footprint;
-    cost.resident_fraction = plan.res.overall;
-    cost.activity = timeline.activity;
-    return cost;
-}
-
-} // namespace
 
 /**
  * Memoized attention plan plus the exact inputs its order-independent
@@ -776,6 +53,7 @@ plan_base_matches(const AttentionEvalScratch::PlanMemo& memo,
            memo.dims.head_dim == dims.head_dim &&
            memo.cross.granularity == df.cross.granularity &&
            memo.cross.rows == df.cross.rows &&
+           memo.cross.cols == df.cross.cols &&
            memo.l2_logit.m == df.l2_logit.m &&
            memo.l2_logit.k == df.l2_logit.k &&
            memo.l2_logit.n == df.l2_logit.n &&
@@ -811,7 +89,7 @@ std::shared_ptr<const AttentionPlan>
 cached_plan_base(const AccelConfig& accel, const AttentionDims& dims,
                  const FusedDataflow& df, const PlannedGemmCosts& planned)
 {
-    std::uint64_t words[17];
+    std::uint64_t words[18];
     std::size_t n = 0;
     words[n++] = accel.bytes_per_element;
     words[n++] = accel.sg_bytes;
@@ -823,6 +101,7 @@ cached_plan_base(const AccelConfig& accel, const AttentionDims& dims,
     words[n++] = dims.head_dim;
     words[n++] = static_cast<std::uint64_t>(df.cross.granularity);
     words[n++] = df.cross.rows;
+    words[n++] = df.cross.cols;
     words[n++] = df.l2_logit.m;
     words[n++] = df.l2_logit.k;
     words[n++] = df.l2_logit.n;
@@ -909,21 +188,6 @@ make_plan_memo(const AccelConfig& accel, const AttentionDims& dims,
 
 } // namespace
 
-std::uint64_t
-attention_macs(const AttentionDims& dims)
-{
-    const std::uint64_t bh = dims.batch * dims.heads;
-    // L: N x dk x kv, A: N x kv x dk per (batch, head).
-    return 2 * bh * dims.q_len * dims.kv_len * dims.head_dim;
-}
-
-double
-attention_ideal_cycles(const AccelConfig& accel, const AttentionDims& dims)
-{
-    return static_cast<double>(attention_macs(dims)) /
-           accel.macs_per_cycle();
-}
-
 int
 AttentionPhases::max_group() const
 {
@@ -935,15 +199,23 @@ AttentionPhases::max_group() const
 }
 
 AttentionPhases
-flat_attention_phases(const AccelConfig& accel, const AttentionDims& dims,
-                      const FusedDataflow& dataflow)
+attention_phases(const ExecutionStyle& style, const AccelConfig& accel,
+                 const AttentionDims& dims, const FusedDataflow& dataflow,
+                 BaselineOverlap overlap)
 {
     accel.validate();
     const AttentionPlan plan = make_plan(accel, dims, dataflow);
     AttentionPhases out;
-    emit_flat_phases(out.phases, accel, dims, plan, dataflow.stage);
-    out.overlap = OverlapKind::kOverlapped;
+    style.emit_phases(out.phases, accel, dims, plan, dataflow);
+    out.overlap = style.overlap(overlap);
     return out;
+}
+
+AttentionPhases
+flat_attention_phases(const AccelConfig& accel, const AttentionDims& dims,
+                      const FusedDataflow& dataflow)
+{
+    return attention_phases(flat_execution_style(), accel, dims, dataflow);
 }
 
 AttentionPhases
@@ -952,14 +224,8 @@ baseline_attention_phases(const AccelConfig& accel,
                           const FusedDataflow& dataflow,
                           BaselineOverlap overlap)
 {
-    accel.validate();
-    const AttentionPlan plan = make_plan(accel, dims, dataflow);
-    AttentionPhases out;
-    emit_baseline_phases(out.phases, accel, dims, plan, dataflow);
-    out.overlap = overlap == BaselineOverlap::kFull
-                      ? OverlapKind::kOverlapped
-                      : OverlapKind::kSerialTransfers;
-    return out;
+    return attention_phases(baseline_execution_style(), accel, dims,
+                            dataflow, overlap);
 }
 
 AttentionPhases
@@ -967,12 +233,19 @@ pipelined_attention_phases(const AccelConfig& accel,
                            const AttentionDims& dims,
                            const FusedDataflow& dataflow)
 {
-    accel.validate();
-    const AttentionPlan plan = make_plan(accel, dims, dataflow);
-    AttentionPhases out;
-    emit_pipelined_phases(out.phases, accel, dims, plan, dataflow);
-    out.overlap = OverlapKind::kOverlapped;
-    return out;
+    return attention_phases(pipelined_execution_style(), accel, dims,
+                            dataflow);
+}
+
+TimelineResult
+attention_timeline(const ExecutionStyle& style, const AccelConfig& accel,
+                   const AttentionDims& dims, const FusedDataflow& dataflow,
+                   BaselineOverlap overlap)
+{
+    AttentionPhases emitted =
+        attention_phases(style, accel, dims, dataflow, overlap);
+    return evaluate_timeline(std::move(emitted.phases), accel,
+                             emitted.overlap);
 }
 
 TimelineResult
@@ -980,9 +253,8 @@ flat_attention_timeline(const AccelConfig& accel,
                         const AttentionDims& dims,
                         const FusedDataflow& dataflow)
 {
-    AttentionPhases emitted = flat_attention_phases(accel, dims, dataflow);
-    return evaluate_timeline(std::move(emitted.phases), accel,
-                             emitted.overlap);
+    return attention_timeline(flat_execution_style(), accel, dims,
+                              dataflow);
 }
 
 TimelineResult
@@ -991,10 +263,8 @@ baseline_attention_timeline(const AccelConfig& accel,
                             const FusedDataflow& dataflow,
                             BaselineOverlap overlap)
 {
-    AttentionPhases emitted =
-        baseline_attention_phases(accel, dims, dataflow, overlap);
-    return evaluate_timeline(std::move(emitted.phases), accel,
-                             emitted.overlap);
+    return attention_timeline(baseline_execution_style(), accel, dims,
+                              dataflow, overlap);
 }
 
 TimelineResult
@@ -1002,18 +272,40 @@ pipelined_attention_timeline(const AccelConfig& accel,
                              const AttentionDims& dims,
                              const FusedDataflow& dataflow)
 {
-    AttentionPhases emitted =
-        pipelined_attention_phases(accel, dims, dataflow);
-    return evaluate_timeline(std::move(emitted.phases), accel,
-                             emitted.overlap);
+    return attention_timeline(pipelined_execution_style(), accel, dims,
+                              dataflow);
+}
+
+OperatorCost
+model_attention(const ExecutionStyle& style, const AccelConfig& accel,
+                const AttentionDims& dims, const FusedDataflow& dataflow,
+                BaselineOverlap overlap)
+{
+    AttentionEvalScratch scratch;
+    return model_attention(style, accel, dims, dataflow, overlap, scratch);
+}
+
+OperatorCost
+model_attention(const ExecutionStyle& style, const AccelConfig& accel,
+                const AttentionDims& dims, const FusedDataflow& dataflow,
+                BaselineOverlap overlap, AttentionEvalScratch& scratch,
+                const PlannedGemmCosts& planned)
+{
+    accel.validate();
+    const AttentionPlan& plan =
+        make_plan_memo(accel, dims, dataflow, planned, scratch);
+    style.emit_phases(scratch.timeline.phases, accel, dims, plan,
+                      dataflow);
+    evaluate_timeline_into(scratch.timeline, accel, style.overlap(overlap));
+    return finalize_cost(accel, dims, plan, scratch.timeline.result,
+                         style.cost_name());
 }
 
 OperatorCost
 model_flat_attention(const AccelConfig& accel, const AttentionDims& dims,
                      const FusedDataflow& dataflow)
 {
-    AttentionEvalScratch scratch;
-    return model_flat_attention(accel, dims, dataflow, scratch);
+    return model_attention(flat_execution_style(), accel, dims, dataflow);
 }
 
 OperatorCost
@@ -1022,15 +314,8 @@ model_flat_attention(const AccelConfig& accel, const AttentionDims& dims,
                      AttentionEvalScratch& scratch,
                      const PlannedGemmCosts& planned)
 {
-    accel.validate();
-    const AttentionPlan& plan =
-        make_plan_memo(accel, dims, dataflow, planned, scratch);
-    emit_flat_phases(scratch.timeline.phases, accel, dims, plan,
-                     dataflow.stage);
-    evaluate_timeline_into(scratch.timeline, accel,
-                           OverlapKind::kOverlapped);
-    return finalize_cost(accel, dims, plan, scratch.timeline.result,
-                         "L-A(FLAT)");
+    return model_attention(flat_execution_style(), accel, dims, dataflow,
+                           BaselineOverlap::kFull, scratch, planned);
 }
 
 OperatorCost
@@ -1038,13 +323,15 @@ model_pipelined_attention(const AccelConfig& accel,
                           const AttentionDims& dims,
                           const FusedDataflow& dataflow)
 {
-    accel.validate();
-    const AttentionPlan plan = make_plan(accel, dims, dataflow);
-    std::vector<Phase> phases;
-    emit_pipelined_phases(phases, accel, dims, plan, dataflow);
-    const TimelineResult timeline = evaluate_timeline(
-        std::move(phases), accel, OverlapKind::kOverlapped);
-    return finalize_cost(accel, dims, plan, timeline, "L-A(pipelined)");
+    return model_attention(pipelined_execution_style(), accel, dims,
+                           dataflow);
+}
+
+OperatorCost
+model_flash_attention(const AccelConfig& accel, const AttentionDims& dims,
+                      const FusedDataflow& dataflow)
+{
+    return model_attention(flash_execution_style(), accel, dims, dataflow);
 }
 
 OperatorCost
@@ -1053,9 +340,8 @@ model_baseline_attention(const AccelConfig& accel,
                          const FusedDataflow& dataflow,
                          BaselineOverlap overlap)
 {
-    AttentionEvalScratch scratch;
-    return model_baseline_attention(accel, dims, dataflow, overlap,
-                                    scratch);
+    return model_attention(baseline_execution_style(), accel, dims,
+                           dataflow, overlap);
 }
 
 OperatorCost
@@ -1066,17 +352,8 @@ model_baseline_attention(const AccelConfig& accel,
                          AttentionEvalScratch& scratch,
                          const PlannedGemmCosts& planned)
 {
-    accel.validate();
-    const AttentionPlan& plan =
-        make_plan_memo(accel, dims, dataflow, planned, scratch);
-    emit_baseline_phases(scratch.timeline.phases, accel, dims, plan,
-                         dataflow);
-    evaluate_timeline_into(scratch.timeline, accel,
-                           overlap == BaselineOverlap::kFull
-                               ? OverlapKind::kOverlapped
-                               : OverlapKind::kSerialTransfers);
-    return finalize_cost(accel, dims, plan, scratch.timeline.result,
-                         "L-A(Base)");
+    return model_attention(baseline_execution_style(), accel, dims,
+                           dataflow, overlap, scratch, planned);
 }
 
 void
@@ -1087,17 +364,27 @@ AttentionBatchEvaluator::begin(const AccelConfig& accel,
                                std::size_t lane_capacity,
                                AttentionEvalScratch& scratch)
 {
+    begin(accel, dims, base, default_execution_style(fused),
+          baseline_overlap, lane_capacity, scratch);
+}
+
+void
+AttentionBatchEvaluator::begin(const AccelConfig& accel,
+                               const AttentionDims& dims,
+                               const FusedDataflow& base,
+                               const ExecutionStyle& style,
+                               BaselineOverlap baseline_overlap,
+                               std::size_t lane_capacity,
+                               AttentionEvalScratch& scratch)
+{
     accel.validate();
     accel_ = &accel;
     dims_ = &dims;
     scratch_ = &scratch;
     base_ = base;
-    fused_ = fused;
+    style_ = &style;
     lane_capacity_ = lane_capacity;
-    overlap_ = fused ? OverlapKind::kOverlapped
-                     : (baseline_overlap == BaselineOverlap::kFull
-                            ? OverlapKind::kOverlapped
-                            : OverlapKind::kSerialTransfers);
+    overlap_ = style.overlap(baseline_overlap);
     ideal_cycles_ = attention_ideal_cycles(accel, dims);
     // Plan binding and batch configuration are deferred to the first
     // cache-miss add(): its GEMM cost records seed the plan memo, so a
@@ -1118,8 +405,8 @@ AttentionBatchEvaluator::begin(const AccelConfig& accel,
                    !EvalCache::bypassed();
     if (point_cache_) {
         key_.reset(kTagPointCost);
-        key_.add(static_cast<std::uint64_t>(
-            (fused_ ? 2u : 0u) | static_cast<unsigned>(overlap_)));
+        key_.add((style.cache_key() << 2) |
+                 static_cast<std::uint64_t>(overlap_));
         EvalCache::append_accel(key_, accel);
         key_.add(dims.batch);
         key_.add(dims.heads);
@@ -1128,6 +415,7 @@ AttentionBatchEvaluator::begin(const AccelConfig& accel,
         key_.add(dims.head_dim);
         key_.add(static_cast<std::uint64_t>(base_.cross.granularity));
         key_.add(base_.cross.rows);
+        key_.add(base_.cross.cols);
         key_.add(base_.l2_logit.m);
         key_.add(base_.l2_logit.k);
         key_.add(base_.l2_logit.n);
@@ -1178,15 +466,11 @@ AttentionBatchEvaluator::add(const GemmSliceCost& logit,
         plan.attend_reuse = attend.reuse;
     }
 
-    // The scalar emitters ARE the batch fill path: identical phase
+    // The scalar emitter IS the batch fill path: identical phase
     // arithmetic by construction, only the evaluation is batched.
     const AttentionPlan& plan = scratch.memo->plan;
     std::vector<Phase>& phases = scratch.timeline.phases;
-    if (fused_) {
-        emit_flat_phases(phases, *accel_, *dims_, plan, base_.stage);
-    } else {
-        emit_baseline_phases(phases, *accel_, *dims_, plan, base_);
-    }
+    style_->emit_phases(phases, *accel_, *dims_, plan, base_);
 
     if (pending_begin_) {
         batch_.configure(phases, overlap_, lane_capacity_);
@@ -1241,7 +525,7 @@ OperatorCost
 AttentionBatchEvaluator::cost(std::size_t lane) const
 {
     OperatorCost cost;
-    cost.name = fused_ ? "L-A(FLAT)" : "L-A(Base)";
+    cost.name = style_->cost_name();
     cost.ideal_cycles = ideal_cycles_;
     if (const CachedPoint* hit = lane_hits_[lane].get()) {
         cost.cycles = hit->cycles;

@@ -1,8 +1,12 @@
 /**
  * @file
- * Cost models for the L -> softmax -> A pipeline: the FLAT fused
- * interleaved execution (§4, §5.1) and the sequential baseline with
- * optional L3 staging (Base / Base-X of Figure 7(b)).
+ * Cost models for the L -> softmax -> A pipeline. Every execution
+ * style — FLAT interleaved (§4, §5.1), the sequential baseline
+ * (Base / Base-X of Figure 7(b)), the spatially pipelined foil and the
+ * column-blocked flash style — is a registered ExecutionStyle
+ * (execution_style.h); the entry points here evaluate one style's
+ * phase emission through the shared timeline engine. The style-named
+ * functions are thin wrappers kept for the established call sites.
  */
 #ifndef FLAT_COSTMODEL_ATTENTION_COST_H
 #define FLAT_COSTMODEL_ATTENTION_COST_H
@@ -12,13 +16,26 @@
 #include <vector>
 
 #include "arch/accel_config.h"
+#include "costmodel/attention_plan.h"
 #include "costmodel/cost_types.h"
 #include "costmodel/eval_cache.h"
+#include "costmodel/execution_style.h"
 #include "costmodel/gemm_engine.h"
 #include "costmodel/timeline.h"
 #include "dataflow/fused_dataflow.h"
 
 namespace flat {
+
+/**
+ * Models the fused L-A operator under @p style. @p overlap is read
+ * only by the baseline style (see BaselineOverlap).
+ */
+OperatorCost model_attention(const ExecutionStyle& style,
+                             const AccelConfig& accel,
+                             const AttentionDims& dims,
+                             const FusedDataflow& dataflow,
+                             BaselineOverlap overlap =
+                                 BaselineOverlap::kFull);
 
 /**
  * Models the fused L-A operator under FLAT.
@@ -32,19 +49,6 @@ namespace flat {
 OperatorCost model_flat_attention(const AccelConfig& accel,
                                   const AttentionDims& dims,
                                   const FusedDataflow& dataflow);
-
-/**
- * How generously the sequential baseline is modeled. The paper's
- * reported baseline numbers are consistent with little or no
- * compute/transfer overlap inside a stage; a double-buffered baseline
- * overlaps fully within its own stage window (§5.1(4) grants it one
- * stage of prefetch window vs FLAT's two). Both are legitimate
- * baselines — the ablation bench quantifies the difference.
- */
-enum class BaselineOverlap {
-    kFull,       ///< stage time = max(compute, transfers)
-    kSerialized, ///< stage time = compute + transfers (no hiding)
-};
 
 /**
  * Models the sequential baseline: within each cross-loop pass the whole
@@ -76,16 +80,33 @@ OperatorCost model_pipelined_attention(const AccelConfig& accel,
                                        const FusedDataflow& dataflow);
 
 /**
- * Evaluated phase timelines of the three execution styles. Each model
- * above is a pure phase emitter over one shared `AttentionPlan`; these
- * entry points expose the evaluated timeline itself (per-phase cycles,
+ * Models the column-blocked flash style: online softmax streams C
+ * key-columns per R-row chunk with the intermediate in the register
+ * tier below SL (C-Gran cross loop required; see execution_style.h).
+ */
+OperatorCost model_flash_attention(const AccelConfig& accel,
+                                   const AttentionDims& dims,
+                                   const FusedDataflow& dataflow);
+
+/**
+ * Evaluated phase timelines of the execution styles. Each model above
+ * is a pure phase emitter over one shared `AttentionPlan`; these entry
+ * points expose the evaluated timeline itself (per-phase cycles,
  * per-group `bound_by`, the activity ledger). By construction
  *
- *   *_attention_timeline(...).cycles == model_*_attention(...).cycles
+ *   attention_timeline(style, ...).cycles ==
+ *       model_attention(style, ...).cycles
  *
  * exactly — cold start and pipeline fill included — and the ledger's
  * `activity` equals the model's `OperatorCost::activity`.
  */
+TimelineResult attention_timeline(const ExecutionStyle& style,
+                                  const AccelConfig& accel,
+                                  const AttentionDims& dims,
+                                  const FusedDataflow& dataflow,
+                                  BaselineOverlap overlap =
+                                      BaselineOverlap::kFull);
+
 TimelineResult flat_attention_timeline(const AccelConfig& accel,
                                        const AttentionDims& dims,
                                        const FusedDataflow& dataflow);
@@ -113,6 +134,13 @@ struct AttentionPhases {
     /** Largest group id used so far (epilogue phases go after it). */
     int max_group() const;
 };
+
+AttentionPhases attention_phases(const ExecutionStyle& style,
+                                 const AccelConfig& accel,
+                                 const AttentionDims& dims,
+                                 const FusedDataflow& dataflow,
+                                 BaselineOverlap overlap =
+                                     BaselineOverlap::kFull);
 
 AttentionPhases flat_attention_phases(const AccelConfig& accel,
                                       const AttentionDims& dims,
@@ -156,24 +184,19 @@ struct AttentionEvalScratch {
 };
 
 /**
- * Precomputed per-slice GEMM cost records injected into the plan. A
- * non-null pointer MUST equal {model_gemm_compute(), stage_reuse()} of
- * the same (accel, stage shape, tile, order, stationarity) — the DSE
- * engine feeds these from its per-slice cost tables (which the
- * evaluation cache memoizes), skipping two model_gemm_compute and two
- * stage_reuse calls per point. Null pointers fall back to computing in
- * place.
+ * Hot-path variant of model_attention(): bit-identical results to the
+ * plain overload, but reusing @p scratch across calls and honoring
+ * injected @p planned compute costs (see PlannedGemmCosts in
+ * attention_plan.h).
  */
-struct PlannedGemmCosts {
-    const GemmSliceCost* logit = nullptr;
-    const GemmSliceCost* attend = nullptr;
-};
+OperatorCost model_attention(const ExecutionStyle& style,
+                             const AccelConfig& accel,
+                             const AttentionDims& dims,
+                             const FusedDataflow& dataflow,
+                             BaselineOverlap overlap,
+                             AttentionEvalScratch& scratch,
+                             const PlannedGemmCosts& planned = {});
 
-/**
- * Hot-path variants of the cost models: bit-identical results to the
- * plain overloads above, but reusing @p scratch across calls and
- * honoring injected @p planned compute costs.
- */
 OperatorCost model_flat_attention(const AccelConfig& accel,
                                   const AttentionDims& dims,
                                   const FusedDataflow& dataflow,
@@ -193,25 +216,24 @@ OperatorCost model_baseline_attention(const AccelConfig& accel,
  * orders and stationarities, the innermost search axes) are laid out
  * as lanes of a TimelineBatch and evaluated in one SoA pass.
  *
- * Bit-identity: add() runs the exact scalar phase emitter
- * (emit_flat_phases / emit_baseline_phases) over the same memoized
- * plan the scalar hot path uses, and TimelineBatch::evaluate()
- * replicates evaluate_timeline_into()'s per-lane arithmetic — so
- * cycles(), activity() and cost() equal model_flat_attention() /
- * model_baseline_attention() bit for bit for every lane, at any batch
- * width.
+ * Bit-identity: add() runs the exact scalar phase emitter (the bound
+ * style's emit_phases()) over the same memoized plan the scalar hot
+ * path uses, and TimelineBatch::evaluate() replicates
+ * evaluate_timeline_into()'s per-lane arithmetic — so cycles(),
+ * activity() and cost() equal model_attention() bit for bit for every
+ * lane, at any batch width.
  *
- * Point cache: every fully specified point (accel, dims, plan-base
- * block, loop-order pair) is also a pure function, so the evaluator
- * memoizes each lane's outcome in the process-wide EvalCache. begin()
- * packs the block's key prefix once; add() appends the two order words
- * and probes — a hit resolves the lane immediately and never touches
- * the batch, a miss fills a batch lane as usual and evaluate()
- * publishes the computed outcome. Repeated searches (figure sweeps,
- * scale-out inner loops, warm re-runs) thus skip phase emission and
- * timeline evaluation wholesale; served values are the stored results
- * of the same pure computation, so results stay bit-identical cache
- * on/off.
+ * Point cache: every fully specified point (style, accel, dims,
+ * plan-base block, loop-order pair) is also a pure function, so the
+ * evaluator memoizes each lane's outcome in the process-wide
+ * EvalCache. begin() packs the block's key prefix once; add() appends
+ * the two order words and probes — a hit resolves the lane immediately
+ * and never touches the batch, a miss fills a batch lane as usual and
+ * evaluate() publishes the computed outcome. Repeated searches (figure
+ * sweeps, scale-out inner loops, warm re-runs) thus skip phase
+ * emission and timeline evaluation wholesale; served values are the
+ * stored results of the same pure computation, so results stay
+ * bit-identical cache on/off.
  *
  * The family engages only for narrow blocks (lane_capacity <=
  * kPointCacheMaxLanes) — the quick-search regime, where every point
@@ -228,13 +250,20 @@ class AttentionBatchEvaluator
 {
   public:
     /**
-     * Rebinds the evaluator to a plan-base block. @p base's loop
-     * orders/stationarities are irrelevant — each add() injects a
-     * lane's own GEMM cost records. @p fused selects the FLAT
-     * interleaved style, otherwise the sequential baseline under
-     * @p baseline_overlap. The plan memo and phase buffers live in
-     * @p scratch (shared with the scalar hot path, same reuse rules).
+     * Rebinds the evaluator to a plan-base block under @p style.
+     * @p base's loop orders/stationarities are irrelevant — each add()
+     * injects a lane's own GEMM cost records. @p baseline_overlap is
+     * read only by the baseline style. The plan memo and phase buffers
+     * live in @p scratch (shared with the scalar hot path, same reuse
+     * rules).
      */
+    void begin(const AccelConfig& accel, const AttentionDims& dims,
+               const FusedDataflow& base, const ExecutionStyle& style,
+               BaselineOverlap baseline_overlap,
+               std::size_t lane_capacity,
+               AttentionEvalScratch& scratch);
+
+    /** Legacy style selector: @p fused picks flat, else baseline. */
     void begin(const AccelConfig& accel, const AttentionDims& dims,
                const FusedDataflow& base, bool fused,
                BaselineOverlap baseline_overlap,
@@ -306,7 +335,7 @@ class AttentionBatchEvaluator
     const AttentionDims* dims_ = nullptr;
     AttentionEvalScratch* scratch_ = nullptr;
     FusedDataflow base_;
-    bool fused_ = true;
+    const ExecutionStyle* style_ = nullptr;
     bool pending_begin_ = false; ///< first miss binds plan + structure
     std::size_t lane_capacity_ = 0;
     OverlapKind overlap_ = OverlapKind::kOverlapped;
@@ -321,13 +350,6 @@ class AttentionBatchEvaluator
     std::vector<std::uint32_t> lane_tb_;
     std::vector<std::array<std::uint32_t, 2>> lane_orders_;
 };
-
-/** Ideal PE cycles of the whole L-A pair (both GEMMs, no stalls). */
-double attention_ideal_cycles(const AccelConfig& accel,
-                              const AttentionDims& dims);
-
-/** Total MACs of the L-A pair. */
-std::uint64_t attention_macs(const AttentionDims& dims);
 
 } // namespace flat
 

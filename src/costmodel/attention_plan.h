@@ -1,0 +1,195 @@
+/**
+ * @file
+ * Shared attention "plan" plumbing of the execution styles: the
+ * cross-loop extent, per-slice stage shapes, byte totals, SG residency
+ * split and DRAM traffic ledger every style's phase emitter reads.
+ *
+ * This is internal machinery factored out of attention_cost.cc so the
+ * pluggable ExecutionStyle emitters (execution_style.h) and the scalar /
+ * batched evaluators can share one plan computation. It is not a stable
+ * public surface — include attention_cost.h for the model entry points.
+ */
+#ifndef FLAT_COSTMODEL_ATTENTION_PLAN_H
+#define FLAT_COSTMODEL_ATTENTION_PLAN_H
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "arch/accel_config.h"
+#include "costmodel/cost_types.h"
+#include "costmodel/gemm_engine.h"
+#include "costmodel/timeline.h"
+#include "dataflow/fused_dataflow.h"
+
+namespace flat {
+
+/**
+ * Precomputed per-slice GEMM cost records injected into the plan. A
+ * non-null pointer MUST equal {model_gemm_compute(), stage_reuse()} of
+ * the same (accel, stage shape, tile, order, stationarity) — the DSE
+ * engine feeds these from its per-slice cost tables (which the
+ * evaluation cache memoizes), skipping two model_gemm_compute and two
+ * stage_reuse calls per point. Null pointers fall back to computing in
+ * place.
+ */
+struct PlannedGemmCosts {
+    const GemmSliceCost* logit = nullptr;
+    const GemmSliceCost* attend = nullptr;
+};
+
+/**
+ * Per-tensor resident fractions of the staged working set. The SG is
+ * allocated greedily: streaming tiles are mandatory, the intermediate
+ * FLAT-tile has priority (it is the single-buffered tensor whose
+ * off-chip round trip fusion exists to avoid), then the remaining
+ * staged tensors smallest-first.
+ */
+struct Residency {
+    /** Fraction of the staged working set resident in the SG. */
+    double q = 1.0;
+    double k = 1.0;
+    double v = 1.0;
+    double out = 1.0;
+    double inter = 1.0;
+
+    /** Fraction overflowed into the optional SG2 level (0 without
+     *  SG2); the remainder spills to DRAM. */
+    double q2 = 0.0;
+    double k2 = 0.0;
+    double v2 = 0.0;
+    double out2 = 0.0;
+    double inter2 = 0.0;
+
+    double overall = 1.0;
+};
+
+/** DRAM / SG2 fetch-event split for one staged-or-streamed tensor. */
+struct FetchSplit {
+    double dram = 0.0; ///< full-tensor passes through the DRAM bus
+    double sg2 = 0.0;  ///< full-tensor passes through the SG2 bus
+};
+
+/**
+ * Splits the fetch events of a tensor across the hierarchy: the
+ * SG-resident fraction is fetched from DRAM once; the SG2-resident
+ * fraction is fetched from DRAM once and re-read from SG2 on every
+ * reuse pass; the rest streams from DRAM with the failed-staging
+ * penalty.
+ */
+FetchSplit split_fetches(bool staged, double rho_sg, double rho_sg2,
+                         double unstaged_events);
+
+/** Everything the phase emitters need, computed once. */
+struct AttentionPlan {
+    CrossLoopExtent extent;
+    GemmShape logit_shape;  ///< per staged slice
+    GemmShape attend_shape; ///< per staged slice
+    double slices = 0.0;    ///< passes * instances (* column blocks)
+
+    GemmComputeCost logit_compute;  ///< per slice
+    GemmComputeCost attend_compute; ///< per slice
+    StageReuse logit_reuse;
+    StageReuse attend_reuse;
+
+    double q_bytes = 0.0;     ///< total Q rows bytes (B*H*N*dk)
+    double k_bytes = 0.0;     ///< total K bytes
+    double v_bytes = 0.0;     ///< total V bytes
+    double out_bytes = 0.0;   ///< total output bytes
+    double inter_bytes = 0.0; ///< total intermediate bytes (B*H*N*kv)
+
+    /** Row chunks per (batch, head) group: K/V are re-touched once per
+     *  chunk when they are not resident (1 for M/B/H granularity). */
+    double kv_chunks = 1.0;
+
+    /** Column blocks each row chunk streams through (1 unless the
+     *  cross loop is C-Gran). */
+    double col_blocks = 1.0;
+
+    /** True when the intermediate lives in the register tier below SL
+     *  (C-Gran / online softmax): it then demands no SG capacity and
+     *  moves zero DRAM/SG2 bytes. */
+    bool inter_in_rf = false;
+
+    std::uint64_t footprint = 0;
+    Residency res;
+};
+
+/** Greedy SG allocation producing per-tensor resident fractions. The
+ *  stage shapes must be the plan's (column-clamped at C-Gran). */
+Residency allocate_residency(const AccelConfig& accel,
+                             const FusedDataflow& dataflow,
+                             const AttentionDims& dims,
+                             const CrossLoopExtent& extent,
+                             const GemmShape& logit_shape,
+                             const GemmShape& attend_shape,
+                             bool inter_in_rf);
+
+AttentionPlan make_plan(const AccelConfig& accel, const AttentionDims& dims,
+                        const FusedDataflow& dataflow,
+                        const PlannedGemmCosts& planned = {});
+
+/**
+ * Memory traffic of the whole L-A pipeline given the staging flags:
+ * DRAM events plus SG2 events for the fractions that overflow into the
+ * optional second-level buffer. A register-tier-resident intermediate
+ * contributes nothing.
+ */
+TrafficBytes plan_dram_traffic(const AttentionPlan& plan,
+                               const FusedStageFlags& stage);
+
+/** SFU time of the whole softmax (every intermediate element once). */
+double softmax_sfu_cycles(const AccelConfig& accel,
+                          const AttentionPlan& plan);
+
+/** Online-softmax rescale elements: every streamed column block after
+ *  the first rescales the (rows x head_dim) output accumulator. */
+double flash_rescale_elems(const AccelConfig& accel,
+                           const AttentionPlan& plan);
+
+/** Half the L-A MACs: each GEMM contributes exactly one half. */
+double half_macs(const AttentionDims& dims);
+
+/**
+ * Appends-or-reuses the phase at @p idx of @p out, resetting every
+ * field. Label assignment reuses the existing string's capacity, so a
+ * steady-state emit loop (same style, hence same label lengths) never
+ * allocates. The emitters fill phases strictly one at a time — the
+ * returned reference is invalidated by the next next_phase() call.
+ */
+Phase& next_phase(std::vector<Phase>& out, std::size_t& idx,
+                  const char* label, StageTag stage, int group);
+
+/**
+ * Exposed first-fetch window: the first Q/K slice cannot hide under
+ * any compute. Pace-only — its bytes are already in the steady-state
+ * prefetch ledger.
+ */
+void emit_cold_start(std::vector<Phase>& out, std::size_t& idx,
+                     const AttentionPlan& plan);
+
+/** GEMM phase skeleton: array occupancy, MACs/SL, SG streaming. */
+Phase& emit_gemm_phase(std::vector<Phase>& out, std::size_t& idx,
+                       const char* label, StageTag stage, int group,
+                       const GemmComputeCost& compute,
+                       double occupancy_cycles, const AttentionDims& dims,
+                       double slices);
+
+/** Cost report from a plan and its evaluated timeline: the cycles and
+ *  the activity ledger ARE the timeline's — no re-aggregation. */
+OperatorCost finalize_cost(const AccelConfig& accel,
+                           const AttentionDims& dims,
+                           const AttentionPlan& plan,
+                           const TimelineResult& timeline,
+                           const char* name);
+
+/** Ideal PE cycles of the whole L-A pair (both GEMMs, no stalls). */
+double attention_ideal_cycles(const AccelConfig& accel,
+                              const AttentionDims& dims);
+
+/** Total MACs of the L-A pair. */
+std::uint64_t attention_macs(const AttentionDims& dims);
+
+} // namespace flat
+
+#endif // FLAT_COSTMODEL_ATTENTION_PLAN_H

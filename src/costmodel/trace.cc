@@ -70,12 +70,26 @@ trace_from_timeline(const TimelineResult& timeline, std::string style,
 }
 
 ExecutionTrace
+trace_attention(const ExecutionStyle& style, const AccelConfig& accel,
+                const AttentionDims& dims, const FusedDataflow& dataflow,
+                BaselineOverlap overlap)
+{
+    std::string name = style.id();
+    if (&style == &baseline_execution_style()) {
+        name = overlap == BaselineOverlap::kFull ? "baseline-full"
+                                                 : "baseline-serialized";
+    }
+    return trace_from_timeline(
+        attention_timeline(style, accel, dims, dataflow, overlap),
+        std::move(name), dataflow.tag(), passes_of(dims, dataflow));
+}
+
+ExecutionTrace
 trace_flat_attention(const AccelConfig& accel, const AttentionDims& dims,
                      const FusedDataflow& dataflow)
 {
-    return trace_from_timeline(
-        flat_attention_timeline(accel, dims, dataflow), "flat",
-        dataflow.tag(), passes_of(dims, dataflow));
+    return trace_attention(flat_execution_style(), accel, dims,
+                           dataflow);
 }
 
 ExecutionTrace
@@ -84,11 +98,8 @@ trace_baseline_attention(const AccelConfig& accel,
                          const FusedDataflow& dataflow,
                          BaselineOverlap overlap)
 {
-    return trace_from_timeline(
-        baseline_attention_timeline(accel, dims, dataflow, overlap),
-        overlap == BaselineOverlap::kFull ? "baseline-full"
-                                          : "baseline-serialized",
-        dataflow.tag(), passes_of(dims, dataflow));
+    return trace_attention(baseline_execution_style(), accel, dims,
+                           dataflow, overlap);
 }
 
 ExecutionTrace
@@ -96,9 +107,8 @@ trace_pipelined_attention(const AccelConfig& accel,
                           const AttentionDims& dims,
                           const FusedDataflow& dataflow)
 {
-    return trace_from_timeline(
-        pipelined_attention_timeline(accel, dims, dataflow), "pipelined",
-        dataflow.tag(), passes_of(dims, dataflow));
+    return trace_attention(pipelined_execution_style(), accel, dims,
+                           dataflow);
 }
 
 std::string

@@ -5,8 +5,9 @@
  * evaluate_timeline() arbitrates them; the trace re-shapes that one
  * result for humans (ASCII bars), machines (JSON/CSV) and tests — so
  * trace totals equal model totals exactly, cold start included.
- * Diagnostic view of §4.3's walk-through example, for every execution
- * style (FLAT interleaved, sequential baseline, pipelined).
+ * Diagnostic view of §4.3's walk-through example, for every registered
+ * execution style (FLAT interleaved, sequential baseline, pipelined,
+ * flash).
  */
 #ifndef FLAT_COSTMODEL_TRACE_H
 #define FLAT_COSTMODEL_TRACE_H
@@ -81,6 +82,19 @@ ExecutionTrace trace_from_timeline(const TimelineResult& timeline,
                                    std::string style,
                                    std::string dataflow_tag,
                                    double passes);
+
+/**
+ * Builds the trace of @p dataflow executed under @p style. The trace
+ * style string is the registry id, except the baseline which keeps its
+ * historical overlap-qualified names ("baseline-full" /
+ * "baseline-serialized"); @p overlap is read only by the baseline.
+ */
+ExecutionTrace trace_attention(const ExecutionStyle& style,
+                               const AccelConfig& accel,
+                               const AttentionDims& dims,
+                               const FusedDataflow& dataflow,
+                               BaselineOverlap overlap =
+                                   BaselineOverlap::kFull);
 
 /** Builds the trace for the FLAT (interleaved) execution. */
 ExecutionTrace trace_flat_attention(const AccelConfig& accel,

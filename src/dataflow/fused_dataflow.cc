@@ -73,7 +73,19 @@ FusedDataflow::tag() const
     // the per-point cost.
     char buf[128];
     int len;
-    if (cross.granularity == Granularity::kRow) {
+    if (cross.granularity == Granularity::kColumn) {
+        len = std::snprintf(
+            buf, sizeof(buf),
+            "R%lluC%llu/%llux%llux%llu/%llux%llux%llu/",
+            static_cast<unsigned long long>(cross.rows),
+            static_cast<unsigned long long>(cross.cols),
+            static_cast<unsigned long long>(l2_logit.m),
+            static_cast<unsigned long long>(l2_logit.k),
+            static_cast<unsigned long long>(l2_logit.n),
+            static_cast<unsigned long long>(l2_attend.m),
+            static_cast<unsigned long long>(l2_attend.k),
+            static_cast<unsigned long long>(l2_attend.n));
+    } else if (cross.granularity == Granularity::kRow) {
         len = std::snprintf(
             buf, sizeof(buf), "R%llu/%llux%llux%llu/%llux%llux%llu/",
             static_cast<unsigned long long>(cross.rows),
@@ -132,13 +144,16 @@ fused_live_footprint(const FusedDataflow& dataflow,
 
     // Clamp the per-stage L2 tiles to the actual stage GEMM shapes so
     // oversized tiles do not inflate the footprint of disabled tensors.
+    // At C-Gran each pass streams cols_eff key-columns at a time, so the
+    // per-stage shapes shrink to the column block.
+    const std::uint64_t cols_eff = cross_col_tile(dataflow.cross, kv);
     GemmShape logit_shape;
     logit_shape.m = rows;
     logit_shape.k = dk;
-    logit_shape.n = kv;
+    logit_shape.n = cols_eff;
     GemmShape attend_shape;
     attend_shape.m = rows;
-    attend_shape.k = kv;
+    attend_shape.k = cols_eff;
     attend_shape.n = dk;
     const L2Tile logit_tile = dataflow.l2_logit.clamped(logit_shape);
     const L2Tile attend_tile = dataflow.l2_attend.clamped(attend_shape);
@@ -159,9 +174,11 @@ fused_live_footprint(const FusedDataflow& dataflow,
                                    : 2 * attend_tile.c_bytes(bpe);
     // Intermediate logits: single-buffered when staged (never leaves the
     // chip); when disabled it round-trips via DRAM at L2-tile size for
-    // both the producer (L output) and the consumer (A input).
+    // both the producer (L output) and the consumer (A input). At C-Gran
+    // the running block lives in the register tier below SL, not the SG.
+    const bool column = dataflow.cross.granularity == Granularity::kColumn;
     bytes += dataflow.stage.intermediate
-                 ? rows * kv * inst * bpe
+                 ? (column ? 0 : rows * kv * inst * bpe)
                  : 2 * (logit_tile.c_bytes(bpe) +
                         attend_tile.a_bytes(bpe));
     return bytes;
@@ -190,6 +207,11 @@ table2_footprint_elems(Granularity granularity, const AttentionDims& dims,
       case Granularity::kRow:
         FLAT_CHECK(r_rows > 0, "Table 2 R-Gran needs a row count");
         return 4 * r_rows * dk + 4 * kv * dk + r_rows * kv;
+      case Granularity::kColumn:
+        // Table 2 predates online softmax; the column-blocked footprint
+        // drops the intermediate term entirely (register-tier resident).
+        FLAT_CHECK(r_rows > 0, "Table 2 C-Gran needs a row count");
+        return 4 * r_rows * dk + 4 * kv * dk;
     }
     FLAT_ASSERT(false, "unreachable granularity");
     return 0;

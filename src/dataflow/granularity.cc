@@ -14,6 +14,7 @@ to_string(Granularity granularity)
       case Granularity::kBatch: return "B";
       case Granularity::kHead: return "H";
       case Granularity::kRow: return "R";
+      case Granularity::kColumn: return "C";
     }
     return "?";
 }
@@ -24,6 +25,10 @@ CrossLoop::tag() const
     if (granularity == Granularity::kRow) {
         return strprintf("R%llu", static_cast<unsigned long long>(rows));
     }
+    if (granularity == Granularity::kColumn) {
+        return strprintf("R%lluC%llu", static_cast<unsigned long long>(rows),
+                         static_cast<unsigned long long>(cols));
+    }
     return to_string(granularity);
 }
 
@@ -32,6 +37,10 @@ CrossLoop::validate() const
 {
     if (granularity == Granularity::kRow) {
         FLAT_CHECK(rows > 0, "R-Gran requires a positive row-tile size");
+    }
+    if (granularity == Granularity::kColumn) {
+        FLAT_CHECK(rows > 0 && cols > 0,
+                   "C-Gran requires positive row- and column-tile sizes");
     }
 }
 
@@ -61,12 +70,39 @@ cross_loop_extent(const CrossLoop& cross, std::uint64_t batch,
         extent.rows_per_pass = query_rows;
         break;
       case Granularity::kRow:
+      case Granularity::kColumn:
         extent.passes = batch * heads * ceil_div(query_rows, cross.rows);
         extent.instances_per_pass = 1;
         extent.rows_per_pass = std::min(cross.rows, query_rows);
         break;
     }
     return extent;
+}
+
+std::uint64_t
+cross_col_tile(const CrossLoop& cross, std::uint64_t kv_len)
+{
+    if (cross.granularity != Granularity::kColumn) return kv_len;
+    return std::min(cross.cols, kv_len);
+}
+
+std::uint64_t
+cross_col_blocks(const CrossLoop& cross, std::uint64_t kv_len)
+{
+    if (cross.granularity != Granularity::kColumn) return 1;
+    FLAT_CHECK(kv_len > 0, "column blocking needs a positive kv length");
+    return ceil_div(kv_len, std::min(cross.cols, kv_len));
+}
+
+std::uint64_t
+register_tier_bytes(std::uint64_t rows, std::uint64_t cols,
+                    std::uint64_t head_dim, std::uint32_t bytes_per_element)
+{
+    // Running (rows x cols) logits block, (rows x head_dim) output
+    // accumulator, and two softmax statistics (running max, running sum)
+    // per row.
+    const std::uint64_t elems = rows * cols + rows * head_dim + 2 * rows;
+    return elems * bytes_per_element;
 }
 
 } // namespace flat

@@ -64,6 +64,45 @@ cross_loop_candidates(const AccelConfig& accel, std::uint64_t q_len,
     return out;
 }
 
+std::vector<std::uint64_t>
+col_tile_candidates(const AccelConfig& accel, std::uint64_t kv_len,
+                    const CandidateOptions& options)
+{
+    std::vector<std::uint64_t> raw = options.col_candidates;
+    if (raw.empty()) {
+        // Multiples of the array width fill the logit GEMM's n
+        // dimension; a geometric menu spans register-tier capacities
+        // from tight (one array pass) to generous (deep streaming).
+        const std::uint64_t base = accel.pe_cols;
+        raw = {base, 4 * base, 16 * base};
+    }
+    std::set<std::uint64_t> dedup;
+    for (std::uint64_t c : raw) {
+        if (c == 0) {
+            continue;
+        }
+        dedup.insert(std::min<std::uint64_t>(c, kv_len));
+    }
+    return {dedup.begin(), dedup.end()};
+}
+
+std::vector<CrossLoop>
+column_cross_candidates(const AccelConfig& accel, std::uint64_t q_len,
+                        std::uint64_t kv_len, const CandidateOptions& opt)
+{
+    std::vector<CrossLoop> out;
+    for (std::uint64_t r : row_tile_candidates(accel, q_len, opt)) {
+        for (std::uint64_t c : col_tile_candidates(accel, kv_len, opt)) {
+            CrossLoop cross;
+            cross.granularity = Granularity::kColumn;
+            cross.rows = r;
+            cross.cols = c;
+            out.push_back(cross);
+        }
+    }
+    return out;
+}
+
 std::vector<LoopOrder>
 loop_order_candidates(const CandidateOptions& opt)
 {

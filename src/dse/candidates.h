@@ -27,6 +27,11 @@ struct CandidateOptions {
      *  and deduplicated). Empty => derived from the PE array. */
     std::vector<std::uint64_t> row_candidates;
 
+    /** Column-tile candidates for C-Gran (clamped to the key/value
+     *  length and deduplicated). Empty => derived from the PE array.
+     *  Only column-streaming styles (flash) consume these. */
+    std::vector<std::uint64_t> col_candidates;
+
     /** Loop orders tried per stage (empty => a pruned default set). */
     std::vector<LoopOrder> loop_orders;
 
@@ -55,6 +60,19 @@ std::vector<CrossLoop> cross_loop_candidates(const AccelConfig& accel,
                                              std::uint64_t q_len,
                                              const CandidateOptions& opt,
                                              bool include_row);
+
+/** Column-tile (C) candidates for @p accel and kv length @p kv_len. */
+std::vector<std::uint64_t> col_tile_candidates(
+    const AccelConfig& accel, std::uint64_t kv_len,
+    const CandidateOptions& options);
+
+/** C-Gran cross-loop candidates: every (row tile, column tile) pair.
+ *  Styles decide admissibility (register-tier capacity) themselves;
+ *  this enumerates the raw menu. */
+std::vector<CrossLoop> column_cross_candidates(const AccelConfig& accel,
+                                               std::uint64_t q_len,
+                                               std::uint64_t kv_len,
+                                               const CandidateOptions& opt);
 
 /** The loop orders to try (pruned default keeps the reduction loop
  *  innermost plus one alternative). */

@@ -47,12 +47,50 @@ effective_candidates(const CandidateOptions& base, bool quick)
 }
 
 /**
- * One independent unit of parallel work: a (cross-loop, logit
+ * The styles a search enumerates, in a deterministic order. An empty
+ * options.styles resolves to the single style the historical `fused`
+ * flag selects, so legacy searches keep their exact space (and journal
+ * scope); explicit ids are honored in the given order with duplicates
+ * dropped, and "all" expands to the registry.
+ */
+std::vector<const ExecutionStyle*>
+resolve_styles(const AttentionSearchOptions& options)
+{
+    std::vector<const ExecutionStyle*> out;
+    const auto push = [&](const ExecutionStyle* style) {
+        if (std::find(out.begin(), out.end(), style) == out.end()) {
+            out.push_back(style);
+        }
+    };
+    if (options.styles.empty()) {
+        push(&default_execution_style(options.fused));
+        return out;
+    }
+    for (const std::string& name : options.styles) {
+        if (to_lower(name) == "all") {
+            for (const ExecutionStyle* style : execution_styles()) {
+                push(style);
+            }
+            continue;
+        }
+        const ExecutionStyle* style = find_execution_style(name);
+        FLAT_CHECK(style != nullptr,
+                   "unknown execution style '"
+                       << name << "' (see --list-styles for the "
+                       << "registered ids)");
+        push(style);
+    }
+    return out;
+}
+
+/**
+ * One independent unit of parallel work: a (style, cross-loop, logit
  * stationarity, attend stationarity) slice of the space. Everything a
  * slice iterates over (tiles x orders x staging flags) is enumerated
  * serially inside the owning thread, in a deterministic order.
  */
 struct SearchSlice {
+    const ExecutionStyle* style = nullptr;
     CrossLoop cross;
     CrossLoopExtent extent;
     GemmShape logit_shape;
@@ -81,25 +119,30 @@ struct SlicedSpace {
         tile_menus;
 };
 
-/** Shapes of the two staged GEMMs for one cross-loop choice. */
+/** Shapes of the two staged GEMMs for one cross-loop choice. C-Gran
+ *  streams kv in column blocks, so its staged shapes cover one block
+ *  (cross_col_tile == kv_len everywhere else). */
 std::pair<GemmShape, GemmShape>
-stage_shapes(const AttentionDims& dims, const CrossLoopExtent& extent)
+stage_shapes(const AttentionDims& dims, const CrossLoop& cross,
+             const CrossLoopExtent& extent)
 {
+    const std::uint64_t kv_tile = cross_col_tile(cross, dims.kv_len);
     GemmShape logit_shape;
     logit_shape.m = extent.rows_per_pass;
     logit_shape.k = dims.head_dim;
-    logit_shape.n = dims.kv_len;
+    logit_shape.n = kv_tile;
     GemmShape attend_shape;
     attend_shape.m = extent.rows_per_pass;
-    attend_shape.k = dims.kv_len;
+    attend_shape.k = kv_tile;
     attend_shape.n = dims.head_dim;
     return {logit_shape, attend_shape};
 }
 
 /**
  * Decomposes the (restricted) space into slices. Slice order is the
- * serial enumeration order (cross outer, then stat_logit, stat_attend),
- * so concatenating per-slice results reproduces the serial walk.
+ * serial enumeration order (style outer, then cross, stat_logit,
+ * stat_attend), so concatenating per-slice results reproduces the
+ * serial walk.
  */
 SlicedSpace
 build_sliced_space(const AccelConfig& accel, const AttentionDims& dims,
@@ -107,13 +150,22 @@ build_sliced_space(const AccelConfig& accel, const AttentionDims& dims,
 {
     const CandidateOptions cand =
         effective_candidates(options.candidates, options.quick);
+    const std::vector<const ExecutionStyle*> styles =
+        resolve_styles(options);
 
+    // One raw cross-loop menu covering every granularity; each style
+    // keeps the crosses its admits() accepts. The shared menu keeps
+    // the slice order (and hence journal keys and the reduction order)
+    // independent of which styles run.
     std::vector<CrossLoop> crosses;
     if (options.fixed_cross.has_value()) {
         crosses.push_back(*options.fixed_cross);
     } else {
         crosses = cross_loop_candidates(accel, dims.q_len, cand,
-                                        /*include_row=*/options.fused);
+                                        /*include_row=*/true);
+        const std::vector<CrossLoop> columns = column_cross_candidates(
+            accel, dims.q_len, dims.kv_len, cand);
+        crosses.insert(crosses.end(), columns.begin(), columns.end());
     }
 
     SlicedSpace space;
@@ -145,27 +197,31 @@ build_sliced_space(const AccelConfig& accel, const AttentionDims& dims,
         return it->second.get();
     };
 
-    for (const CrossLoop& cross : crosses) {
-        if (!options.fused && cross.granularity == Granularity::kRow) {
-            continue; // the sequential baseline cannot run row chunks
-        }
-        const CrossLoopExtent extent = cross_loop_extent(
-            cross, dims.batch, dims.heads, dims.q_len);
-        const auto [logit_shape, attend_shape] =
-            stage_shapes(dims, extent);
-        for (Stationarity stat_l : stats) {
-            const std::vector<L2Tile>* tiles_l = menu(logit_shape, stat_l);
-            for (Stationarity stat_a : stats) {
-                SearchSlice slice;
-                slice.cross = cross;
-                slice.extent = extent;
-                slice.logit_shape = logit_shape;
-                slice.attend_shape = attend_shape;
-                slice.stat_logit = stat_l;
-                slice.stat_attend = stat_a;
-                slice.tiles_logit = tiles_l;
-                slice.tiles_attend = menu(attend_shape, stat_a);
-                space.slices.push_back(slice);
+    for (const ExecutionStyle* style : styles) {
+        for (const CrossLoop& cross : crosses) {
+            if (!style->admits(accel, dims, cross)) {
+                continue; // illegal granularity (or capacity) for it
+            }
+            const CrossLoopExtent extent = cross_loop_extent(
+                cross, dims.batch, dims.heads, dims.q_len);
+            const auto [logit_shape, attend_shape] =
+                stage_shapes(dims, cross, extent);
+            for (Stationarity stat_l : stats) {
+                const std::vector<L2Tile>* tiles_l =
+                    menu(logit_shape, stat_l);
+                for (Stationarity stat_a : stats) {
+                    SearchSlice slice;
+                    slice.style = style;
+                    slice.cross = cross;
+                    slice.extent = extent;
+                    slice.logit_shape = logit_shape;
+                    slice.attend_shape = attend_shape;
+                    slice.stat_logit = stat_l;
+                    slice.stat_attend = stat_a;
+                    slice.tiles_logit = tiles_l;
+                    slice.tiles_attend = menu(attend_shape, stat_a);
+                    space.slices.push_back(slice);
+                }
             }
         }
     }
@@ -219,23 +275,26 @@ for_each_slice_point(const SearchSlice& slice,
 
 /**
  * Per-slice ingredients of the pruning lower bound, hoisted out of the
- * point loop. The bound on modeled cycles is
- *
- *   compute(logit) + compute(attend) per slice  x  #slices
- *   + softmax cycles + cold-start cycles
- *
- * using the exact same model_gemm_compute values the phase emitters
- * use, so it never exceeds the true cycle count: the timeline
- * evaluator's group latency is at least its compute lane under either
- * overlap policy, for the fused model (one window of L + softmax + A,
- * plus cold start) and the baseline model (sum of per-stage windows,
- * plus cold start) alike. The energy bound
- * keeps only the traffic-independent activity (MACs, SL, SFU) plus the
- * guaranteed SG streaming volume; DRAM/SG2 terms are dropped (>= 0).
+ * point loop. The cycle bound combines the per-slice GEMM aggregates
+ * (scaled by the slice count, column blocks included) through the
+ * slice's style — ExecutionStyle::bound_cycles() — so each style keeps
+ * its own monotone bound: the serial/fused styles add summed GEMM
+ * occupancy, softmax and cold start (the timeline's group latency is
+ * at least its compute lane under either overlap policy); the
+ * pipelined style, whose concurrent tracks can beat that sum, bounds
+ * by max(slower stage, softmax); flash adds its online-softmax rescale
+ * SFU time. All use the exact model_gemm_compute values the phase
+ * emitters consume, so no bound exceeds the modeled cycles. The energy
+ * bound keeps only the traffic-independent activity (MACs, SL, SFU,
+ * rescale ops) plus the guaranteed SG streaming volume — the style
+ * hook drops the intermediate round trip when it lives in the register
+ * tier; DRAM/SG2 terms are dropped (>= 0).
  */
 struct SliceBound {
+    const ExecutionStyle* style = nullptr;
     double slices_count = 1.0;
     double softmax_plus_cold = 0.0; ///< cycles added to every point
+    double rescale_cycles = 0.0;    ///< online-softmax rescale (flash)
     double fixed_energy_j = 0.0;    ///< traffic-independent energy
     double inter_sg_bytes = 0.0;    ///< intermediate SG round trip
     double sg_pj_per_byte = 0.0;
@@ -260,9 +319,17 @@ struct SliceBound {
     {
         const GemmComputeCost& lc = (*logit_costs)[li].compute;
         const GemmComputeCost& ac = (*attend_costs)[ai].compute;
+        // Cold start rides in softmax_plus_cold (folded once, up
+        // front) so the default style bound reproduces the historical
+        // sum bit for bit; the cold argument is therefore zero.
+        const double gemm_sum =
+            (lc.total_cycles() + ac.total_cycles()) * slices_count;
+        const double gemm_max =
+            std::max(lc.total_cycles(), ac.total_cycles()) *
+            slices_count;
         const double cycles_lb =
-            ((lc.total_cycles() + ac.total_cycles()) * slices_count +
-             softmax_plus_cold) *
+            style->bound_cycles(gemm_sum, gemm_max, softmax_plus_cold,
+                                0.0, rescale_cycles) *
             kAssocSlack;
         if (objective == Objective::kRuntime) {
             return cycles_lb;
@@ -286,8 +353,16 @@ make_slice_bound(const AccelConfig& accel, const AttentionDims& dims,
                  const std::vector<LoopOrder>& orders)
 {
     SliceBound bound;
+    bound.style = slice.style;
     bound.slices_count = static_cast<double>(slice.extent.passes) *
                          static_cast<double>(slice.extent.instances_per_pass);
+    const double col_blocks = static_cast<double>(
+        cross_col_blocks(slice.cross, dims.kv_len));
+    if (slice.cross.granularity == Granularity::kColumn) {
+        // C-Gran streams kv in blocks: the staged shapes cover one
+        // block, so the per-slice GEMM costs repeat per block.
+        bound.slices_count *= col_blocks;
+    }
     const double bpe = accel.bytes_per_element;
     const double bh =
         static_cast<double>(dims.batch) * static_cast<double>(dims.heads);
@@ -303,15 +378,26 @@ make_slice_bound(const AccelConfig& accel, const AttentionDims& dims,
         (bound.slices_count > 0.0 ? bound.slices_count : 1.0) /
         accel.offchip_bytes_per_cycle();
     bound.softmax_plus_cold = softmax_cycles + cold_start;
+    // Online-softmax rescale work: every column block after the first
+    // rescales the output accumulator. The model ledgers at least this
+    // much (partial passes round up there), so the bound stays below.
+    const double rescale_elems =
+        (col_blocks - 1.0) * bh * static_cast<double>(dims.q_len) *
+        static_cast<double>(dims.head_dim);
+    bound.rescale_cycles = rescale_elems / accel.sfu_lanes;
 
     const double macs = static_cast<double>(attention_macs(dims));
     bound.fixed_energy_j = (macs * energy_table.mac_pj +
                             3.0 * macs * energy_table.sl_access_pj +
-                            inter_elems * energy_table.sfu_op_pj) *
+                            inter_elems * energy_table.sfu_op_pj +
+                            rescale_elems * energy_table.sfu_op_pj) *
                            1e-12;
-    // The softmax phase always ledgers one intermediate pass in both
-    // SG directions on top of the array streaming volume.
-    bound.inter_sg_bytes = 2.0 * inter_elems * bpe;
+    // The softmax phase of the SG-staged styles ledgers one
+    // intermediate pass in both SG directions on top of the array
+    // streaming volume; flash keeps the intermediate in the register
+    // tier and its hook returns zero.
+    bound.inter_sg_bytes =
+        slice.style->inter_sg_round_trip_bytes(inter_elems * bpe);
     bound.sg_pj_per_byte = energy_table.sg_pj_per_byte;
 
     bound.logit_costs = EvalCache::instance().gemm_costs(
@@ -371,7 +457,11 @@ search_space_canonical(const AccelConfig& accel,
                  : std::string("*"))
          << " quick=" << options.quick
          << " overlap=" << static_cast<int>(options.baseline_overlap)
-         << '\n';
+         << " styles=";
+    for (const ExecutionStyle* style : resolve_styles(options)) {
+        text << style->id() << ',';
+    }
+    text << '\n';
     const CandidateOptions& cand = options.candidates;
     text << "cand budgets=";
     for (const double f : cand.tile_budget_fractions) {
@@ -380,6 +470,10 @@ search_space_canonical(const AccelConfig& accel,
     text << " rows=";
     for (const std::uint64_t r : cand.row_candidates) {
         text << r << ',';
+    }
+    text << " cols=";
+    for (const std::uint64_t c : cand.col_candidates) {
+        text << c << ',';
     }
     text << " orders=";
     for (const LoopOrder o : cand.loop_orders) {
@@ -409,9 +503,24 @@ search_scope_key(const AccelConfig& accel, const AttentionDims& dims,
 std::string
 slice_journal_key(const SearchSlice& slice)
 {
-    return strprintf("%s/%s/%s", slice.cross.tag().c_str(),
+    return strprintf("%s/%s/%s/%s", slice.style->id(),
+                     slice.cross.tag().c_str(),
                      to_string(slice.stat_logit).c_str(),
                      to_string(slice.stat_attend).c_str());
+}
+
+/** Tie-break key of a candidate: style id + dataflow tag. Within a
+ *  slice the style prefix is constant (so intra-slice comparisons
+ *  reduce to the dataflow tag, as before styles existed), but the
+ *  prefix makes the final cross-slice reduction a total order even
+ *  when two styles share a winning dataflow. */
+std::string
+candidate_tag(const ExecutionStyle& style, const FusedDataflow& df)
+{
+    std::string tag = style.id();
+    tag += '/';
+    tag += df.tag();
+    return tag;
 }
 
 /** Serializes a completed slice outcome. Only the winning dataflow's
@@ -432,6 +541,7 @@ encode_slice_outcome(const SliceOutcome& out)
         json.field("gran",
                    static_cast<std::uint64_t>(df.cross.granularity));
         json.field("rows", df.cross.rows);
+        json.field("cols", df.cross.cols);
         json.field("lm", df.l2_logit.m);
         json.field("lk", df.l2_logit.k);
         json.field("ln", df.l2_logit.n);
@@ -471,6 +581,7 @@ restore_slice_outcome(const JsonValue& data, const AccelConfig& accel,
     df.cross.granularity =
         static_cast<Granularity>(df_json->member_u64("gran"));
     df.cross.rows = df_json->member_u64("rows");
+    df.cross.cols = df_json->member_u64("cols");
     df.l2_logit.m = df_json->member_u64("lm");
     df.l2_logit.k = df_json->member_u64("lk");
     df.l2_logit.n = df_json->member_u64("ln");
@@ -490,17 +601,14 @@ restore_slice_outcome(const JsonValue& data, const AccelConfig& accel,
     AttentionEvalScratch scratch;
     scratch.timeline.summary_only = true;
     out.best.dataflow = df;
-    out.best.cost =
-        options.fused
-            ? model_flat_attention(accel, dims, df, scratch)
-            : model_baseline_attention(accel, dims, df,
-                                       options.baseline_overlap,
-                                       scratch);
+    out.best.style = slice.style;
+    out.best.cost = model_attention(*slice.style, accel, dims, df,
+                                    options.baseline_overlap, scratch);
     out.best.energy_j =
         estimate_energy(energy_table, out.best.cost.activity).total();
     out.value = objective_value(options.objective, out.best.cost.cycles,
                                 out.best.energy_j);
-    out.tag = df.tag();
+    out.tag = candidate_tag(*slice.style, df);
     out.found = true;
     return out;
 }
@@ -730,11 +838,13 @@ search_attention(const AccelConfig& accel, const AttentionDims& dims,
                         // never pay for it.
                         df.order_logit = space.orders[lane_meta[i].ol];
                         df.order_attend = space.orders[lane_meta[i].oa];
-                        const std::string tag = df.tag();
+                        const std::string tag =
+                            candidate_tag(*slice.style, df);
                         if (improves(value, tag, out.value, out.tag)) {
                             out.value = value;
                             out.tag = tag;
                             out.best.dataflow = df;
+                            out.best.style = slice.style;
                             out.best.cost = batch.cost(i);
                             out.best.energy_j = energy;
                             out.found = true;
@@ -761,7 +871,7 @@ search_attention(const AccelConfig& accel, const AttentionDims& dims,
                             return;
                         }
                         df.stage = flags;
-                        batch.begin(accel, dims, df, options.fused,
+                        batch.begin(accel, dims, df, *slice.style,
                                     options.baseline_overlap, width,
                                     scratch);
                         for (std::size_t ol = 0; ol < n_orders; ++ol) {
@@ -866,13 +976,10 @@ explore_attention(const AccelConfig& accel, const AttentionDims& dims,
                     }
                     DsePoint point;
                     point.dataflow = df;
-                    point.cost =
-                        options.fused
-                            ? model_flat_attention(accel, dims, df,
-                                                   scratch)
-                            : model_baseline_attention(
-                                  accel, dims, df,
-                                  options.baseline_overlap, scratch);
+                    point.style = slice.style;
+                    point.cost = model_attention(
+                        *slice.style, accel, dims, df,
+                        options.baseline_overlap, scratch);
                     point.energy_j =
                         estimate_energy(energy_table,
                                         point.cost.activity)

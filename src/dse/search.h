@@ -44,6 +44,11 @@ struct DsePoint {
     OperatorCost cost;
     double energy_j = 0.0;
 
+    /** Execution style the point was evaluated under. Search and
+     *  explore results always set it; hand-built points default to
+     *  null (treated as the historical fused/baseline pick). */
+    const ExecutionStyle* style = nullptr;
+
     /** Objective value (lower is better). */
     double objective_value(Objective objective) const;
 };
@@ -53,8 +58,21 @@ struct AttentionSearchOptions {
     Objective objective = Objective::kRuntime;
 
     /** true => FLAT fused space; false => sequential baseline space
-     *  (R-granularity excluded automatically). */
+     *  (R-granularity excluded automatically). Read only when `styles`
+     *  is empty. */
     bool fused = true;
+
+    /**
+     * Execution styles to enumerate, by registry id ("baseline",
+     * "flat", "pipelined", "flash"); the literal "all" expands to the
+     * whole registry. Each style contributes the slices its admits()
+     * accepts — flash brings the C-Gran column menu, the baseline
+     * rejects R/C-Gran — and the search optimizes across the union.
+     * Empty => the single style the historical `fused` flag selects,
+     * keeping established search spaces (and their incumbent
+     * trajectories and journal scopes) unchanged.
+     */
+    std::vector<std::string> styles;
 
     /** Pin the cross loop (e.g. FLAT-M, ATTACC-R64); empty => sweep. */
     std::optional<CrossLoop> fixed_cross;

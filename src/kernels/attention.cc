@@ -144,6 +144,144 @@ attention_flat(const Matrix& q, const Matrix& k, const Matrix& v,
     return out;
 }
 
+Matrix
+attention_flash(const Matrix& q, const Matrix& k, const Matrix& v,
+                std::size_t row_tile, std::size_t col_tile,
+                const AttentionOptions& options, TrafficMeter* meter)
+{
+    check_attention_shapes(q, k, v);
+    FLAT_CHECK(row_tile > 0, "row tile R must be positive");
+
+    const std::size_t n = q.rows();
+    const std::size_t n_kv = k.rows();
+    const std::size_t dk = q.cols();
+    if (col_tile == 0 || col_tile > n_kv) {
+        col_tile = n_kv;
+    }
+    Matrix out(n, v.cols());
+
+    // K and V are streamed column-block by column-block but each byte
+    // still crosses the pin boundary once per head (the working set
+    // held on chip at any instant is just one [C, dk] slice per
+    // tensor).
+    if (meter != nullptr) {
+        meter->offchip_read("K", bytes_of(k));
+        meter->offchip_read("V", bytes_of(v));
+    }
+
+    const float factor =
+        options.scaled ? 1.0f / std::sqrt(static_cast<float>(dk)) : 1.0f;
+    const float neg_inf = -std::numeric_limits<float>::infinity();
+
+    for (std::size_t row0 = 0; row0 < n; row0 += row_tile) {
+        const std::size_t rows = std::min(row_tile, n - row0);
+
+        Matrix q_block(rows, dk);
+        for (std::size_t r = 0; r < rows; ++r) {
+            for (std::size_t c = 0; c < dk; ++c) {
+                q_block.at(r, c) = q.at(row0 + r, c);
+            }
+        }
+        if (meter != nullptr) {
+            meter->offchip_read("Q", bytes_of(q_block));
+        }
+
+        // Register-tier state of the pass: the output accumulator and
+        // the per-row running (max, denominator) statistics.
+        Matrix acc(rows, v.cols());
+        std::vector<float> run_max(rows, neg_inf);
+        std::vector<float> denom(rows, 0.0f);
+
+        for (std::size_t col0 = 0; col0 < n_kv; col0 += col_tile) {
+            const std::size_t cols = std::min(col_tile, n_kv - col0);
+
+            Matrix k_slice(cols, dk);
+            Matrix v_slice(cols, v.cols());
+            for (std::size_t r = 0; r < cols; ++r) {
+                for (std::size_t c = 0; c < dk; ++c) {
+                    k_slice.at(r, c) = k.at(col0 + r, c);
+                }
+                for (std::size_t c = 0; c < v.cols(); ++c) {
+                    v_slice.at(r, c) = v.at(col0 + r, c);
+                }
+            }
+
+            // L on one [R, C] block. This is the only intermediate
+            // that ever exists; it lives below SL (register tier).
+            Matrix logits_block = matmul_transposed(q_block, k_slice);
+            if (factor != 1.0f) {
+                scale(logits_block, factor);
+            }
+            if (options.causal) {
+                for (std::size_t r = 0; r < rows; ++r) {
+                    const std::size_t global_row = row0 + r;
+                    for (std::size_t c = 0; c < cols; ++c) {
+                        if (col0 + c > global_row) {
+                            logits_block.at(r, c) = neg_inf;
+                        }
+                    }
+                }
+            }
+            if (meter != nullptr) {
+                meter->onchip("intermediate", bytes_of(logits_block));
+            }
+
+            // Online-softmax update + A on the block: rescale the
+            // accumulated output when the running max grows, then fold
+            // this block's probabilities in.
+            for (std::size_t r = 0; r < rows; ++r) {
+                float* lrow = logits_block.row_ptr(r);
+                float block_max = neg_inf;
+                for (std::size_t c = 0; c < cols; ++c) {
+                    block_max = std::max(block_max, lrow[c]);
+                }
+                const float new_max = std::max(run_max[r], block_max);
+                if (new_max == neg_inf) {
+                    continue; // fully masked so far: nothing to fold
+                }
+                if (new_max > run_max[r] && denom[r] != 0.0f) {
+                    const float correction =
+                        std::exp(run_max[r] - new_max);
+                    denom[r] *= correction;
+                    for (std::size_t c = 0; c < acc.cols(); ++c) {
+                        acc.at(r, c) *= correction;
+                    }
+                }
+                run_max[r] = new_max;
+                float block_sum = 0.0f;
+                for (std::size_t c = 0; c < cols; ++c) {
+                    lrow[c] = std::exp(lrow[c] - new_max);
+                    block_sum += lrow[c];
+                }
+                denom[r] += block_sum;
+                for (std::size_t c = 0; c < cols; ++c) {
+                    const float p = lrow[c];
+                    if (p == 0.0f) {
+                        continue;
+                    }
+                    for (std::size_t cc = 0; cc < acc.cols(); ++cc) {
+                        acc.at(r, cc) += p * v_slice.at(c, cc);
+                    }
+                }
+            }
+        }
+
+        for (std::size_t r = 0; r < rows; ++r) {
+            const float inv =
+                denom[r] != 0.0f ? 1.0f / denom[r] : 0.0f;
+            for (std::size_t c = 0; c < out.cols(); ++c) {
+                out.at(row0 + r, c) = acc.at(r, c) * inv;
+            }
+        }
+        if (meter != nullptr) {
+            meter->offchip_write("output",
+                                 static_cast<std::uint64_t>(rows) *
+                                     out.cols() * kFloatBytes);
+        }
+    }
+    return out;
+}
+
 AttentionLayerWeights
 AttentionLayerWeights::random(std::size_t d, std::uint64_t seed)
 {

@@ -53,6 +53,26 @@ Matrix attention_flat(const Matrix& q, const Matrix& k, const Matrix& v,
                       const AttentionOptions& options = {},
                       TrafficMeter* meter = nullptr);
 
+/**
+ * Flash (column-streamed) single-head attention: logits are computed
+ * R rows x C key-columns at a time; the online-softmax recurrence
+ * (running max + running denominator, see online_softmax.h) rescales
+ * the output accumulator between column blocks, so no phase ever holds
+ * more than an [R, C] logits block — the functional counterpart of the
+ * C-Gran flash execution style.
+ *
+ * Numerically exact: with col_tile >= N_kv it degenerates to one block
+ * per row pass (softmax bit-identical to attention_flat's); smaller
+ * column tiles differ from the reference only by the rescale rounding.
+ *
+ * @param row_tile R — logits rows per pass (>= 1).
+ * @param col_tile C — key columns per block (0 => all of N_kv).
+ */
+Matrix attention_flash(const Matrix& q, const Matrix& k, const Matrix& v,
+                       std::size_t row_tile, std::size_t col_tile,
+                       const AttentionOptions& options = {},
+                       TrafficMeter* meter = nullptr);
+
 /** Weights of a full attention layer (Figure 1(b)). */
 struct AttentionLayerWeights {
     Matrix wq; ///< [D, D]

@@ -1,0 +1,83 @@
+#include "kernels/online_softmax.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace flat {
+namespace {
+
+/**
+ * Online softmax over columns [0, valid_cols) of one row; the tail
+ * [valid_cols, cols) is zeroed. The single-block case never takes the
+ * rescale branch and is bit-identical to softmax_one_row in
+ * softmax.cc: same block maximum, same element order in the
+ * denominator, and the final normalization multiplies by exactly
+ * 1/denominator.
+ */
+void
+online_softmax_one_row(float* row, std::size_t cols,
+                       std::size_t valid_cols, std::size_t block)
+{
+    if (block == 0) {
+        block = valid_cols > 0 ? valid_cols : 1;
+    }
+    float run_max = -std::numeric_limits<float>::infinity();
+    float denom = 0.0f;
+    for (std::size_t b0 = 0; b0 < valid_cols; b0 += block) {
+        const std::size_t b1 = std::min(valid_cols, b0 + block);
+        float block_max = -std::numeric_limits<float>::infinity();
+        for (std::size_t j = b0; j < b1; ++j) {
+            block_max = std::max(block_max, row[j]);
+        }
+        const float new_max = std::max(run_max, block_max);
+        if (new_max > run_max && denom != 0.0f) {
+            // The maximum grew: everything already exponentiated was
+            // relative to the stale maximum. One multiply per stored
+            // element and one on the denominator re-bases them.
+            const float correction = std::exp(run_max - new_max);
+            for (std::size_t j = 0; j < b0; ++j) {
+                row[j] *= correction;
+            }
+            denom *= correction;
+        }
+        run_max = new_max;
+        float block_sum = 0.0f;
+        for (std::size_t j = b0; j < b1; ++j) {
+            row[j] = std::exp(row[j] - run_max);
+            block_sum += row[j];
+        }
+        denom += block_sum;
+    }
+    const float inv = 1.0f / denom;
+    for (std::size_t j = 0; j < valid_cols; ++j) {
+        row[j] *= inv;
+    }
+    for (std::size_t j = valid_cols; j < cols; ++j) {
+        row[j] = 0.0f;
+    }
+}
+
+} // namespace
+
+void
+online_softmax_rows(Matrix& m, std::size_t col_block)
+{
+    for (std::size_t r = 0; r < m.rows(); ++r) {
+        online_softmax_one_row(m.row_ptr(r), m.cols(), m.cols(),
+                               col_block);
+    }
+}
+
+void
+online_softmax_rows_causal(Matrix& m, std::size_t row_offset,
+                           std::size_t col_block)
+{
+    for (std::size_t r = 0; r < m.rows(); ++r) {
+        const std::size_t valid =
+            std::min(m.cols(), row_offset + r + 1);
+        online_softmax_one_row(m.row_ptr(r), m.cols(), valid, col_block);
+    }
+}
+
+} // namespace flat

@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Online (streaming) softmax: processes each row in column blocks with
+ * a running maximum and running denominator, rescaling already-emitted
+ * work when the maximum grows. This is the recurrence that lets the
+ * flash execution style stream C-Gran column blocks below the R-Gran
+ * row floor — the row-wide reduction of §4.2.1 is replaced by a
+ * per-block update plus a rescale, so no phase ever needs the whole
+ * row at once.
+ *
+ * Numerics: with a single block (col_block == 0 or >= the row width)
+ * the computation is bit-identical to softmax_rows() — same max, same
+ * accumulation order, same normalization. Multi-block results differ
+ * from the two-pass softmax only by the rescale multiplications, a
+ * few float ULP per element (the parity test pins the bound).
+ */
+#ifndef FLAT_KERNELS_ONLINE_SOFTMAX_H
+#define FLAT_KERNELS_ONLINE_SOFTMAX_H
+
+#include <cstddef>
+
+#include "kernels/matrix.h"
+
+namespace flat {
+
+/**
+ * In-place online softmax over each row of @p m, streaming columns in
+ * blocks of @p col_block (0 => one block covering the whole row, which
+ * reproduces softmax_rows() bit for bit).
+ */
+void online_softmax_rows(Matrix& m, std::size_t col_block);
+
+/**
+ * Causal-masked variant: for output row r (global index @p row_offset
+ * + local row), columns greater than the global row index get zero
+ * probability — the same contract as softmax_rows_causal().
+ */
+void online_softmax_rows_causal(Matrix& m, std::size_t row_offset,
+                                std::size_t col_block);
+
+} // namespace flat
+
+#endif // FLAT_KERNELS_ONLINE_SOFTMAX_H

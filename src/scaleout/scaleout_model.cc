@@ -60,7 +60,8 @@ shard_attention_dims(const AttentionDims& dims, ShardAxis axis,
 }
 
 ScaleOutCost
-model_scaleout_attention(const AccelConfig& accel,
+model_scaleout_attention(const ExecutionStyle& style,
+                         const AccelConfig& accel,
                          const AttentionDims& dims,
                          const FusedDataflow& dataflow,
                          const ScaleOutConfig& fabric)
@@ -76,7 +77,7 @@ model_scaleout_attention(const AccelConfig& accel,
         out.axis = fabric.axis == ShardAxis::kAuto ? ShardAxis::kBatch
                                                    : fabric.axis;
         out.device_dims = dims;
-        out.timeline = flat_attention_timeline(accel, dims, dataflow);
+        out.timeline = attention_timeline(style, accel, dims, dataflow);
         out.cycles = out.timeline.cycles;
         return out;
     }
@@ -89,7 +90,7 @@ model_scaleout_attention(const AccelConfig& accel,
         shard_attention_dims(dims, fabric.axis, fabric.devices);
 
     AttentionPhases emitted =
-        flat_attention_phases(accel, out.device_dims, dataflow);
+        attention_phases(style, accel, out.device_dims, dataflow);
     const int steady = steady_group(emitted.phases);
     const int epilogue = emitted.max_group() + 1;
     const double bpe = accel.bytes_per_element;
@@ -163,6 +164,16 @@ model_scaleout_attention(const AccelConfig& accel,
         }
     }
     return out;
+}
+
+ScaleOutCost
+model_scaleout_attention(const AccelConfig& accel,
+                         const AttentionDims& dims,
+                         const FusedDataflow& dataflow,
+                         const ScaleOutConfig& fabric)
+{
+    return model_scaleout_attention(flat_execution_style(), accel, dims,
+                                    dataflow, fabric);
 }
 
 } // namespace flat

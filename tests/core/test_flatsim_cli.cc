@@ -199,6 +199,52 @@ TEST(FlatsimCli, MalformedFaultSpecExitsTwo)
     expect_json_diagnostic(result, "usage");
 }
 
+TEST(FlatsimCli, UnknownStyleExitsTwoWithUsageDiagnostic)
+{
+    const CliResult result = run_flatsim("--style bogus --scope la");
+    EXPECT_EQ(result.exit_code, 2);
+    expect_json_diagnostic(result, "usage");
+    EXPECT_NE(result.stderr_text.find("--list-styles"),
+              std::string::npos)
+        << result.stderr_text;
+}
+
+TEST(FlatsimCli, ListStylesPrintsTheRegistryInOrder)
+{
+    const CliOutput result = run_flatsim_stdout("--list-styles");
+    EXPECT_EQ(result.exit_code, 0);
+    // Registry order: the four ids appear, each at an increasing
+    // offset, and "all" is documented as the expansion token.
+    std::size_t pos = 0;
+    for (const char* id : {"baseline", "flat", "pipelined", "flash"}) {
+        const std::size_t at = result.stdout_text.find(
+            std::string("\n  ") + id, pos);
+        EXPECT_NE(at, std::string::npos)
+            << "style '" << id << "' missing after offset " << pos
+            << " in:\n" << result.stdout_text;
+        pos = at == std::string::npos ? pos : at;
+    }
+    EXPECT_NE(result.stdout_text.find("'all'"), std::string::npos);
+}
+
+TEST(FlatsimCli, FlashStyleRunsEndToEnd)
+{
+    const CliOutput result = run_flatsim_stdout(
+        "--style flash --scope la --quick --json");
+    EXPECT_EQ(result.exit_code, 0);
+    EXPECT_NE(result.stdout_text.find("\"picked_dataflow\":\"flash:"),
+              std::string::npos)
+        << result.stdout_text;
+}
+
+TEST(FlatsimCli, CommaSeparatedStyleListIsAccepted)
+{
+    const CliResult result = run_flatsim(
+        "--style flat,flash --scope la --quick");
+    EXPECT_EQ(result.exit_code, 0);
+    EXPECT_TRUE(result.stderr_text.empty()) << result.stderr_text;
+}
+
 TEST(FlatsimCli, UnknownModelExitsOneWithConfigDiagnostic)
 {
     const CliResult result = run_flatsim("--model gpt17");

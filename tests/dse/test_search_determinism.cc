@@ -198,6 +198,91 @@ TEST(SearchDeterminism, BatchWidthNeverChangesTheResult)
     }
 }
 
+TEST(SearchDeterminism, ExplicitFlatStyleMatchesTheLegacyFusedSpace)
+{
+    // styles={"flat"} must be the SAME search as the historical
+    // fused=true default: same space, same audit counters, same best
+    // bit for bit. This is the compatibility contract that keeps the
+    // incumbent trajectory unchanged when flash is not requested.
+    for (const Config& cfg : configs()) {
+        SCOPED_TRACE(cfg.name);
+        const AttentionSearchResult legacy = run(cfg, 1, true);
+        AttentionSearchOptions opt;
+        opt.quick = true;
+        opt.threads = 1;
+        opt.styles = {"flat"};
+        const AttentionSearchResult explicit_style =
+            search_attention(cfg.accel, cfg.dims, opt);
+        ASSERT_TRUE(explicit_style.found);
+        EXPECT_EQ(explicit_style.best.dataflow.tag(),
+                  legacy.best.dataflow.tag());
+        EXPECT_EQ(explicit_style.best.cost.cycles,
+                  legacy.best.cost.cycles);
+        EXPECT_EQ(explicit_style.evaluated, legacy.evaluated);
+        EXPECT_EQ(explicit_style.pruned, legacy.pruned);
+    }
+}
+
+TEST(SearchDeterminism, HoldsForTheFourStyleSpace)
+{
+    // The full style axis (baseline / flat / pipelined / flash) under
+    // every engine configuration: thread counts, pruning, and batch
+    // widths must all reduce to the serial unpruned optimum bit for
+    // bit. This also validates each style's pruning bound empirically:
+    // an invalid (too-high) bound would skip the optimum in some
+    // pruned run and fail the comparison.
+    for (const Config& cfg : configs()) {
+        SCOPED_TRACE(cfg.name);
+        AttentionSearchOptions opt;
+        opt.quick = true;
+        opt.styles = {"all"};
+        opt.threads = 1;
+        opt.prune = false;
+        const AttentionSearchResult reference =
+            search_attention(cfg.accel, cfg.dims, opt);
+        ASSERT_TRUE(reference.found);
+        EXPECT_EQ(reference.pruned, 0u);
+
+        for (const unsigned threads : {1u, 8u}) {
+            for (const bool prune : {false, true}) {
+                for (const std::size_t width : {0ul, 3ul}) {
+                    SCOPED_TRACE("threads=" + std::to_string(threads) +
+                                 " prune=" + std::to_string(prune) +
+                                 " width=" + std::to_string(width));
+                    opt.threads = threads;
+                    opt.prune = prune;
+                    opt.batch_width = width;
+                    expect_same_best(
+                        reference,
+                        search_attention(cfg.accel, cfg.dims, opt),
+                        "four-style space variant");
+                }
+            }
+        }
+    }
+}
+
+TEST(SearchDeterminism, StyleOrderAndDuplicatesDoNotChangeTheResult)
+{
+    const Config cfg{"edge/self-1024", edge_accel(),
+                     self_attention(1024)};
+    AttentionSearchOptions opt;
+    opt.quick = true;
+    opt.threads = 1;
+    opt.styles = {"all"};
+    const AttentionSearchResult reference =
+        search_attention(cfg.accel, cfg.dims, opt);
+    ASSERT_TRUE(reference.found);
+    // Explicit enumeration in a different order, with duplicates and
+    // a redundant trailing "all": the same set of (style, candidate)
+    // points is audited and the same optimum wins.
+    opt.styles = {"flash", "flat", "flat", "baseline", "pipelined",
+                  "all"};
+    expect_same_best(reference,
+                     search_attention(cfg.accel, cfg.dims, opt),
+                     "shuffled style list");
+}
+
 TEST(ExploreDeterminism, PointOrderIndependentOfThreads)
 {
     AttentionSearchOptions opt;

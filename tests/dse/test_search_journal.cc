@@ -173,6 +173,77 @@ TEST_F(SearchJournal, DifferentSearchSpaceIgnoresTheJournal)
     EXPECT_EQ(other.evaluated, reference.evaluated);
 }
 
+TEST_F(SearchJournal, FourStyleSpaceResumesToTheSameResult)
+{
+    // The style axis rides the same slice journal: a search
+    // enumerating baseline/flat/pipelined/flash checkpoints its
+    // style-prefixed slices and resumes bit-identically — including
+    // from a partial journal whose surviving records span styles.
+    AttentionSearchOptions opt;
+    opt.quick = true;
+    opt.styles = {"all"};
+    const AttentionSearchResult fresh =
+        search_attention(edge_accel(), self_attention(1024), opt);
+    ASSERT_TRUE(fresh.found);
+
+    {
+        auto journal = RunJournal::create(path_, test_header());
+        opt.journal = journal.get();
+        expect_same_best(fresh,
+                         search_attention(edge_accel(),
+                                          self_attention(1024), opt),
+                         "journaled four-style run");
+        journal->flush();
+    }
+    // Truncate to an interrupted prefix, then resume with different
+    // engine conditions.
+    std::string kept;
+    {
+        std::ifstream in(path_);
+        std::string line;
+        for (int i = 0; i < 6 && std::getline(in, line); ++i) {
+            kept += line + "\n";
+        }
+    }
+    {
+        std::ofstream out(path_, std::ios::trunc);
+        out << kept;
+    }
+    auto journal = RunJournal::open_resume(path_, test_header());
+    EXPECT_EQ(journal->restored(), 5u);
+    opt.journal = journal.get();
+    opt.threads = 8;
+    opt.prune = true;
+    expect_same_best(fresh,
+                     search_attention(edge_accel(),
+                                      self_attention(1024), opt),
+                     "four-style partial resume");
+}
+
+TEST_F(SearchJournal, StyleRestrictedJournalIsScopedByStyleSet)
+{
+    // A journal written for the flat-only space must not leak into the
+    // four-style space (its scope hash covers the style list).
+    {
+        auto journal = RunJournal::create(path_, test_header());
+        run_search(1, false, journal.get());
+        journal->flush();
+    }
+    auto journal = RunJournal::open_resume(path_, test_header());
+    AttentionSearchOptions opt;
+    opt.quick = true;
+    opt.styles = {"all"};
+    opt.journal = journal.get();
+    const AttentionSearchResult resumed =
+        search_attention(edge_accel(), self_attention(1024), opt);
+    AttentionSearchOptions plain = opt;
+    plain.journal = nullptr;
+    const AttentionSearchResult reference =
+        search_attention(edge_accel(), self_attention(1024), plain);
+    expect_same_best(reference, resumed, "style-disjoint space");
+    EXPECT_EQ(resumed.evaluated, reference.evaluated);
+}
+
 TEST_F(SearchJournal, CancelledSearchThrowsAndFlushesCompletedSlices)
 {
     CancellationToken cancel;

@@ -32,6 +32,7 @@
 #include "core/simulator.h"
 #include "core/sweep.h"
 #include "costmodel/eval_cache.h"
+#include "costmodel/execution_style.h"
 #include "costmodel/trace.h"
 #include "scaleout/scaleout_search.h"
 #include "workload/model_config.h"
@@ -54,6 +55,11 @@ usage: flatsim [options]
                      flat-{M,B,H} | flat-R<rows> | flat-opt (default flat-opt)
   --accel NAME       baseaccel | flexaccel-m | flexaccel |
                      attacc-m | attacc-r<rows> | attacc     (overrides --policy)
+  --style NAME       execution style(s) for the L-A DSE:
+                     baseline | flat | pipelined | flash | all
+                     (repeatable or comma-separated; default: the one
+                     style --policy/--accel implies)
+  --list-styles      list the registered execution styles
   --scope NAME       la | block | model                     (default block)
   --seq N            sequence length                        (default 4096)
   --kv-seq N         key/value sequence length (cross-attention)
@@ -163,6 +169,18 @@ print_catalog()
     }
 }
 
+void
+print_styles()
+{
+    std::printf("execution styles (--style; the L-A DSE axis):\n");
+    for (const ExecutionStyle* style : execution_styles()) {
+        std::printf("  %-10s %s\n", style->id(), style->summary());
+    }
+    std::printf("\n'all' enumerates every registered style in one "
+                "search; the flag is repeatable and accepts\n"
+                "comma-separated lists (e.g. --style flat,flash)\n");
+}
+
 /** Upper bound for dimension-like flags (seq, batch, window). */
 constexpr std::uint64_t kMaxDim = 1ull << 32;
 
@@ -208,6 +226,7 @@ struct Args {
     std::string platform_file;
     std::string policy = "flat-opt";
     std::string accel;
+    std::vector<std::string> styles;
     std::string scope = "block";
     std::uint64_t seq = 4096;
     std::uint64_t kv_seq = 0;
@@ -398,6 +417,7 @@ run(const Args& args)
     options.baseline_overlap = args.serialized_baseline
                                    ? BaselineOverlap::kSerialized
                                    : BaselineOverlap::kFull;
+    options.styles = args.styles;
 
     // Journal identity of a single-run DSE: a coarse hash over the
     // result-shaping CLI surface. The fine-grained staleness guard is
@@ -407,7 +427,7 @@ run(const Args& args)
     RunJournalHeader journal_header;
     journal_header.mode = "run";
     journal_header.space_hash = fnv1a64(strprintf(
-        "run|%s|%llu|%llu|%.17g|%s|%llu|%llu|%llu|%llu|%s|%s|%d|%d|%d",
+        "run|%s|%llu|%llu|%.17g|%s|%llu|%llu|%llu|%llu|%s|%s|%d|%d|%d|%s",
         accel.name.c_str(),
         static_cast<unsigned long long>(accel.sg_bytes),
         static_cast<unsigned long long>(accel.sg2_bytes),
@@ -420,7 +440,8 @@ run(const Args& args)
         (args.accel.empty() ? args.policy : args.accel).c_str(),
         static_cast<int>(options.objective),
         static_cast<int>(options.quick),
-        static_cast<int>(options.baseline_overlap)));
+        static_cast<int>(options.baseline_overlap),
+        join(args.styles, ",").c_str()));
     const std::unique_ptr<RunJournal> journal =
         open_journal(args, journal_header);
     options.journal = journal.get();
@@ -494,11 +515,12 @@ run(const Args& args)
                                     options);
         const AttentionSearchResult la =
             search_attention(accel, dims, la_options);
-        trace = la_options.fused
-                    ? trace_flat_attention(accel, dims, la.best.dataflow)
-                    : trace_baseline_attention(accel, dims,
-                                               la.best.dataflow,
-                                               la_options.baseline_overlap);
+        const ExecutionStyle& style =
+            la.best.style != nullptr
+                ? *la.best.style
+                : default_execution_style(la_options.fused);
+        trace = trace_attention(style, accel, dims, la.best.dataflow,
+                                la_options.baseline_overlap);
     }
     if (want_trace) {
         if (!args.trace_csv.empty()) {
@@ -742,6 +764,7 @@ run_sweep_mode(const Args& args)
     options.sim.baseline_overlap = args.serialized_baseline
                                        ? BaselineOverlap::kSerialized
                                        : BaselineOverlap::kFull;
+    options.sim.styles = args.styles;
     options.cancel = &g_signal_cancel;
 
     const std::unique_ptr<RunJournal> journal =
@@ -813,6 +836,17 @@ main(int argc, char** argv)
                 args.policy = next();
             } else if (flag == "--accel") {
                 args.accel = next();
+            } else if (flag == "--style") {
+                for (const std::string& part :
+                     flat::split(next(), ',')) {
+                    const std::string id = flat::to_lower(flat::trim(part));
+                    if (!id.empty()) {
+                        args.styles.push_back(id);
+                    }
+                }
+            } else if (flag == "--list-styles") {
+                print_styles();
+                return 0;
             } else if (flag == "--scope") {
                 args.scope = next();
             } else if (flag == "--seq") {
@@ -894,6 +928,17 @@ main(int argc, char** argv)
                              flag.c_str());
                 print_usage();
                 return 2;
+            }
+        }
+        // Unknown --style values are CLI misuse (exit 2), caught here
+        // before any work starts; the DSE re-checks defensively.
+        for (const std::string& id : args.styles) {
+            if (id != "all" &&
+                flat::find_execution_style(id) == nullptr) {
+                throw flat::UsageError(
+                    "unknown execution style '" + id +
+                    "' (run 'flatsim --list-styles' for the "
+                    "registered ids)");
             }
         }
         if (!args.journal_file.empty() && !args.resume_file.empty()) {
