@@ -162,18 +162,19 @@ main()
         "too; they lie outside the\nL-A scope measured here.\n");
 
     // Second view: let each style's DSE pick its own best dataflow.
-    // This is where flash earns its place — on long memory-bound
-    // sequences the R-Gran floor forces FLAT into tiny row tiles or
-    // DRAM-spilled intermediates, while flash streams column blocks
-    // with the intermediate in the register tier and spends the freed
-    // SG share on K/V residency.
-    std::printf("\nDSE-picked optimum per style (edge, bert, L-A "
-                "runtime):\n");
-    TextTable dse_table({"SeqLen", "FLAT pick", "flash pick",
-                         "cycles flash/FLAT", "DRAM flash/FLAT"});
+    // The style menu comes from the registry, so a newly registered
+    // execution style shows up here with no bench change. Ratios are
+    // against the FLAT pick — flash earns its place on long
+    // memory-bound sequences, where the R-Gran floor forces FLAT into
+    // tiny row tiles or DRAM-spilled intermediates while flash streams
+    // column blocks with the intermediate in the register tier.
+    std::printf("\nDSE-picked optimum per registered style (edge, "
+                "bert, L-A runtime; ratios vs the FLAT pick):\n");
+    TextTable dse_table({"SeqLen", "style", "picked dataflow",
+                         "cycles vs FLAT", "DRAM vs FLAT"});
     auto dse_csv = open_csv("ablation_execution_dse.csv",
-                            {"seq", "flat_tag", "flash_tag",
-                             "cycles_ratio", "dram_ratio"});
+                            {"seq", "style", "tag", "cycles_ratio",
+                             "dram_ratio"});
     for (std::uint64_t n : {8192u, 32768u, 65536u}) {
         const Workload w = make_workload(bert_base(), kBatch, n);
         const AttentionDims dims = AttentionDims::from_workload(w);
@@ -181,24 +182,32 @@ main()
         opt.quick = true;
         const AttentionSearchResult flat_best =
             search_attention(edge_accel(), dims, opt);
-        opt.styles = {"flash"};
-        const AttentionSearchResult flash_best =
-            search_attention(edge_accel(), dims, opt);
-        const double cycles_ratio = flash_best.best.cost.cycles /
-                                    flat_best.best.cost.cycles;
-        const double dram_ratio =
-            flash_best.best.cost.activity.traffic.total_dram() /
-            flat_best.best.cost.activity.traffic.total_dram();
-        dse_table.add_row({std::to_string(n),
-                           flat_best.best.dataflow.tag(),
-                           flash_best.best.dataflow.tag(),
-                           fmt(cycles_ratio, 3), fmt(dram_ratio, 3)});
-        if (dse_csv) {
-            dse_csv->add_row({std::to_string(n),
-                              flat_best.best.dataflow.tag(),
-                              flash_best.best.dataflow.tag(),
-                              fmt(cycles_ratio, 4),
-                              fmt(dram_ratio, 4)});
+        for (const ExecutionStyle* style : execution_styles()) {
+            AttentionSearchOptions styled = opt;
+            styled.fused = style->fused();
+            styled.styles = {style->id()};
+            const AttentionSearchResult best =
+                search_attention(edge_accel(), dims, styled);
+            if (!best.found) {
+                dse_table.add_row({std::to_string(n), style->id(),
+                                   "infeasible", "-", "-"});
+                continue;
+            }
+            const double cycles_ratio = best.best.cost.cycles /
+                                        flat_best.best.cost.cycles;
+            const double dram_ratio =
+                best.best.cost.activity.traffic.total_dram() /
+                flat_best.best.cost.activity.traffic.total_dram();
+            dse_table.add_row({std::to_string(n), style->id(),
+                               best.best.dataflow.tag(),
+                               fmt(cycles_ratio, 3),
+                               fmt(dram_ratio, 3)});
+            if (dse_csv) {
+                dse_csv->add_row({std::to_string(n), style->id(),
+                                  best.best.dataflow.tag(),
+                                  fmt(cycles_ratio, 4),
+                                  fmt(dram_ratio, 4)});
+            }
         }
     }
     dse_table.print(std::cout);

@@ -112,6 +112,7 @@ edge_accel()
     cfg.offchip_bw = 50.0 * kGBps;
     cfg.clock_hz = 1.0 * kGHz;
     cfg.sfu_lanes = 256.0;
+    cfg.dram_bytes = 8 * kGiB;
     return cfg;
 }
 
@@ -128,6 +129,7 @@ cloud_accel()
     cfg.offchip_bw = 400.0 * kGBps;
     cfg.clock_hz = 1.0 * kGHz;
     cfg.sfu_lanes = 4096.0;
+    cfg.dram_bytes = 80 * kGiB;
     return cfg;
 }
 

@@ -62,6 +62,13 @@ struct AccelConfig {
      */
     std::uint64_t rf_bytes = 0;
 
+    /**
+     * Off-chip DRAM/HBM capacity in bytes. Admission-only (like
+     * rf_bytes): decode-phase styles reject points whose KV-cache
+     * footprint cannot reside off-chip. 0 = unlimited.
+     */
+    std::uint64_t dram_bytes = 0;
+
     /** SG2 <-> SG bandwidth (bytes/s); only used when sg2_bytes > 0. */
     double sg2_bw = 0.0;
 

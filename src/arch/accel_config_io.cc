@@ -43,6 +43,10 @@ accel_from_config(const ConfigMap& config, AccelConfig base)
             accel.sg_bytes = parse_bytes(value);
         } else if (key == "sg2") {
             accel.sg2_bytes = parse_bytes(value);
+        } else if (key == "rf") {
+            accel.rf_bytes = parse_bytes(value);
+        } else if (key == "dram") {
+            accel.dram_bytes = parse_bytes(value);
         } else if (key == "sg2_bw") {
             accel.sg2_bw = parse_bandwidth(value);
         } else if (key == "onchip_bw") {

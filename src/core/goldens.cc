@@ -40,9 +40,11 @@ dims_for(const GoldenConfig& config)
     AttentionDims dims;
     dims.batch = config.batch;
     dims.heads = model.num_heads;
-    dims.q_len = config.seq_len;
+    dims.q_len = config.decode ? 1 : config.seq_len;
     dims.kv_len = config.seq_len;
     dims.head_dim = model.head_dim();
+    dims.kv_heads = model.kv_heads();
+    dims.decode = config.decode;
     return dims;
 }
 
@@ -111,6 +113,13 @@ golden_configs()
          GoldenStyle::kFlash, 1},
         {"cloud-trxl-flash", "cloud", "trxl", 2048, 16,
          GoldenStyle::kFlash, 1},
+        // Decode-phase goldens (PR 9): one query token against a
+        // KV-cache — classic MHA on the edge preset, grouped-query on
+        // cloud. Appended after the original ten, same rationale.
+        {"edge-bert-decode", "edge", "bert", 512, 8,
+         GoldenStyle::kFlat, 1, true},
+        {"cloud-mistral-decode-gqa", "cloud", "mistral", 2048, 16,
+         GoldenStyle::kFlat, 1, true},
     };
     return configs;
 }

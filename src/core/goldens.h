@@ -35,6 +35,10 @@ struct GoldenConfig {
     std::uint64_t batch = 8;
     GoldenStyle style = GoldenStyle::kFlat;
     std::uint32_t devices = 1; ///< > 1 only for the scale-out styles
+
+    /** Decode step: one query token against a KV-cache of seq_len
+     *  tokens (seq_len plays the n_ctx role). */
+    bool decode = false;
 };
 
 /** The pinned catalog, stable order. */

@@ -51,6 +51,8 @@ plan_base_matches(const AttentionEvalScratch::PlanMemo& memo,
            memo.dims.q_len == dims.q_len &&
            memo.dims.kv_len == dims.kv_len &&
            memo.dims.head_dim == dims.head_dim &&
+           memo.dims.kv_heads == dims.kv_heads &&
+           memo.dims.decode == dims.decode &&
            memo.cross.granularity == df.cross.granularity &&
            memo.cross.rows == df.cross.rows &&
            memo.cross.cols == df.cross.cols &&
@@ -89,7 +91,7 @@ std::shared_ptr<const AttentionPlan>
 cached_plan_base(const AccelConfig& accel, const AttentionDims& dims,
                  const FusedDataflow& df, const PlannedGemmCosts& planned)
 {
-    std::uint64_t words[18];
+    std::uint64_t words[20];
     std::size_t n = 0;
     words[n++] = accel.bytes_per_element;
     words[n++] = accel.sg_bytes;
@@ -99,6 +101,8 @@ cached_plan_base(const AccelConfig& accel, const AttentionDims& dims,
     words[n++] = dims.q_len;
     words[n++] = dims.kv_len;
     words[n++] = dims.head_dim;
+    words[n++] = dims.kv_heads;
+    words[n++] = dims.decode ? 1u : 0u;
     words[n++] = static_cast<std::uint64_t>(df.cross.granularity);
     words[n++] = df.cross.rows;
     words[n++] = df.cross.cols;
@@ -413,6 +417,8 @@ AttentionBatchEvaluator::begin(const AccelConfig& accel,
         key_.add(dims.q_len);
         key_.add(dims.kv_len);
         key_.add(dims.head_dim);
+        key_.add(dims.kv_heads);
+        key_.add(dims.decode ? std::uint64_t{1} : std::uint64_t{0});
         key_.add(static_cast<std::uint64_t>(base_.cross.granularity));
         key_.add(base_.cross.rows);
         key_.add(base_.cross.cols);

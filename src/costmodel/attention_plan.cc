@@ -35,6 +35,10 @@ allocate_residency(const AccelConfig& accel, const FusedDataflow& dataflow,
     const double rows = static_cast<double>(extent.rows_per_pass);
     const double kv = static_cast<double>(dims.kv_len);
     const double dk = static_cast<double>(dims.head_dim);
+    // GQA: each staged K/V slice is shared by heads/kv_heads query
+    // heads, so the bytes to hold resident shrink by kv_frac (exactly
+    // 1.0 for MHA — the arithmetic below is then bit-identical).
+    const double kv_frac = dims.kv_frac();
 
     // Mandatory streaming-tile reservation for the unstaged tensors.
     const L2Tile lt = dataflow.l2_logit.clamped(logit_shape);
@@ -88,11 +92,11 @@ allocate_residency(const AccelConfig& accel, const FusedDataflow& dataflow,
     }
     if (dataflow.stage.key) {
         staged[n_staged++] = {&res.k, &res.k2,
-                              2.0 * kv * dk * inst * bpe};
+                              2.0 * kv * dk * inst * bpe * kv_frac};
     }
     if (dataflow.stage.value) {
         staged[n_staged++] = {&res.v, &res.v2,
-                              2.0 * kv * dk * inst * bpe};
+                              2.0 * kv * dk * inst * bpe * kv_frac};
     }
     // Insertion sort by bytes ascending (stable; <= 4 elements). Equal
     // demands keep the q/out/k/v emission order above, matching what
@@ -200,7 +204,10 @@ make_plan(const AccelConfig& accel, const AttentionDims& dims,
     const double bh =
         static_cast<double>(dims.batch) * dims.heads;
     plan.q_bytes = bh * dims.q_len * dims.head_dim * bpe;
-    plan.k_bytes = bh * dims.kv_len * dims.head_dim * bpe;
+    // GQA shares one K/V head across heads/kv_heads query heads, so
+    // the distinct K/V bytes scale by kv_frac (== 1.0 for MHA).
+    plan.k_bytes =
+        bh * dims.kv_len * dims.head_dim * bpe * dims.kv_frac();
     plan.v_bytes = plan.k_bytes;
     plan.out_bytes = plan.q_bytes;
     plan.inter_bytes = bh * dims.q_len * dims.kv_len * bpe;
@@ -332,15 +339,34 @@ next_phase(std::vector<Phase>& out, std::size_t& idx, const char* label,
 
 void
 emit_cold_start(std::vector<Phase>& out, std::size_t& idx,
-                const AttentionPlan& plan)
+                const AttentionPlan& plan, const AttentionDims& dims)
 {
     Phase& phase = next_phase(out, idx,
-                              "cold start (first Q/K slice fetch)",
+                              dims.decode
+                                  ? "cold start (first KV-cache fetch)"
+                                  : "cold start (first Q/K slice fetch)",
                               StageTag::kColdStart, 0);
     phase.pace_only = true;
     phase.activity.traffic.dram_read =
         (plan.q_bytes + plan.k_bytes) /
         (plan.slices > 0.0 ? plan.slices : 1.0);
+}
+
+std::uint64_t
+kv_cache_bytes(const AttentionDims& dims, std::uint32_t bytes_per_element)
+{
+    return dims.batch * dims.kv_heads_eff() * dims.kv_len *
+           dims.head_dim * 2ull * bytes_per_element;
+}
+
+bool
+kv_cache_admitted(const AccelConfig& accel, const AttentionDims& dims)
+{
+    if (!dims.decode || accel.dram_bytes == 0) {
+        return true;
+    }
+    return kv_cache_bytes(dims, accel.bytes_per_element) <=
+           accel.dram_bytes;
 }
 
 Phase&

@@ -166,7 +166,23 @@ Phase& next_phase(std::vector<Phase>& out, std::size_t& idx,
  * prefetch ledger.
  */
 void emit_cold_start(std::vector<Phase>& out, std::size_t& idx,
-                     const AttentionPlan& plan);
+                     const AttentionPlan& plan,
+                     const AttentionDims& dims);
+
+/**
+ * KV-cache footprint of a decode step in DRAM: K and V rows for every
+ * cached token of every (batch, K/V head) pair.
+ */
+std::uint64_t kv_cache_bytes(const AttentionDims& dims,
+                             std::uint32_t bytes_per_element);
+
+/**
+ * Admission check styles apply to decode points: the KV-cache must fit
+ * in off-chip memory (accel.dram_bytes; 0 = unlimited). Always true
+ * for prefill shapes.
+ */
+bool kv_cache_admitted(const AccelConfig& accel,
+                       const AttentionDims& dims);
 
 /** GEMM phase skeleton: array occupancy, MACs/SL, SG streaming. */
 Phase& emit_gemm_phase(std::vector<Phase>& out, std::size_t& idx,

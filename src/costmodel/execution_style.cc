@@ -50,10 +50,11 @@ class FlatStyle : public ExecutionStyle
     std::uint64_t cache_key() const override { return 1; }
     bool fused() const override { return true; }
 
-    bool admits(const AccelConfig&, const AttentionDims&,
+    bool admits(const AccelConfig& accel, const AttentionDims& dims,
                 const CrossLoop& cross) const override
     {
-        return cross.granularity != Granularity::kColumn;
+        return cross.granularity != Granularity::kColumn &&
+               kv_cache_admitted(accel, dims);
     }
 
     void emit_phases(std::vector<Phase>& phases, const AccelConfig& accel,
@@ -64,12 +65,14 @@ class FlatStyle : public ExecutionStyle
         const TrafficBytes dram = plan_dram_traffic(plan, stage);
 
         std::size_t idx = 0;
-        emit_cold_start(phases, idx, plan);
+        emit_cold_start(phases, idx, plan, dims);
 
         {
-            Phase& prefetch =
-                next_phase(phases, idx, "prefetch (DRAM->SG, overlapped)",
-                           StageTag::kPrefetch, 1);
+            Phase& prefetch = next_phase(
+                phases, idx,
+                dims.decode ? "KV-cache read (DRAM->SG, overlapped)"
+                            : "prefetch (DRAM->SG, overlapped)",
+                StageTag::kPrefetch, 1);
             prefetch.activity.traffic.dram_read = dram.dram_read;
             prefetch.activity.traffic.sg_write =
                 dram.dram_read; // pass-through
@@ -127,11 +130,12 @@ class BaselineStyle : public ExecutionStyle
     std::uint64_t cache_key() const override { return 0; }
     bool fused() const override { return false; }
 
-    bool admits(const AccelConfig&, const AttentionDims&,
+    bool admits(const AccelConfig& accel, const AttentionDims& dims,
                 const CrossLoop& cross) const override
     {
         return cross.granularity != Granularity::kRow &&
-               cross.granularity != Granularity::kColumn;
+               cross.granularity != Granularity::kColumn &&
+               kv_cache_admitted(accel, dims);
     }
 
     OverlapKind overlap(BaselineOverlap baseline_overlap) const override
@@ -191,14 +195,16 @@ class BaselineStyle : public ExecutionStyle
         }
 
         std::size_t idx = 0;
-        emit_cold_start(phases, idx, plan);
+        emit_cold_start(phases, idx, plan, dims);
 
         // Window 1: L reads Q and K and round-trips the spilled
         // intermediate fraction (psum re-reads out, result writes in).
         {
-            Phase& l_xfer = next_phase(phases, idx,
-                                       "L transfers (Q/K in, spill out)",
-                                       StageTag::kPrefetch, 1);
+            Phase& l_xfer = next_phase(
+                phases, idx,
+                dims.decode ? "L transfers (q/K-cache in, spill out)"
+                            : "L transfers (Q/K in, spill out)",
+                StageTag::kPrefetch, 1);
             l_xfer.activity.traffic.dram_read =
                 split_fetches(stage.query, res.q, res.q2,
                               plan.logit_reuse.a_repeats)
@@ -247,9 +253,11 @@ class BaselineStyle : public ExecutionStyle
 
         // Window 3: A reads V and the intermediate, writes the output.
         {
-            Phase& a_xfer =
-                next_phase(phases, idx, "A transfers (V/inter in)",
-                           StageTag::kPrefetch, 3);
+            Phase& a_xfer = next_phase(
+                phases, idx,
+                dims.decode ? "A transfers (V-cache/inter in)"
+                            : "A transfers (V/inter in)",
+                StageTag::kPrefetch, 3);
             a_xfer.activity.traffic.dram_read = a_xfer_dram_read;
             a_xfer.activity.traffic.sg_write = a_xfer_dram_read;
             a_xfer.activity.traffic.sg2_read = sg2_read_half;
@@ -290,11 +298,12 @@ class PipelinedStyle : public ExecutionStyle
     std::uint64_t cache_key() const override { return 2; }
     bool fused() const override { return true; }
 
-    bool admits(const AccelConfig& accel, const AttentionDims&,
+    bool admits(const AccelConfig& accel, const AttentionDims& dims,
                 const CrossLoop& cross) const override
     {
         return accel.pe_rows >= 2 &&
-               cross.granularity != Granularity::kColumn;
+               cross.granularity != Granularity::kColumn &&
+               kv_cache_admitted(accel, dims);
     }
 
     double bound_cycles(double /*gemm_sum_cycles*/, double gemm_max_cycles,
@@ -347,9 +356,11 @@ class PipelinedStyle : public ExecutionStyle
         }
 
         {
-            Phase& prefetch =
-                next_phase(phases, idx, "prefetch (DRAM->SG, overlapped)",
-                           StageTag::kPrefetch, 1);
+            Phase& prefetch = next_phase(
+                phases, idx,
+                dims.decode ? "KV-cache read (DRAM->SG, overlapped)"
+                            : "prefetch (DRAM->SG, overlapped)",
+                StageTag::kPrefetch, 1);
             prefetch.activity.traffic.dram_read = dram.dram_read;
             prefetch.activity.traffic.sg_write =
                 dram.dram_read; // pass-through
@@ -429,7 +440,8 @@ class FlashStyle : public ExecutionStyle
         const std::uint64_t cols = std::min(cross.cols, dims.kv_len);
         return register_tier_bytes(rows, cols, dims.head_dim,
                                    accel.bytes_per_element) <=
-               accel.rf_capacity_bytes();
+                   accel.rf_capacity_bytes() &&
+               kv_cache_admitted(accel, dims);
     }
 
     double bound_cycles(double gemm_sum_cycles, double /*gemm_max*/,
@@ -459,12 +471,14 @@ class FlashStyle : public ExecutionStyle
         const double rescale_elems = flash_rescale_elems(accel, plan);
 
         std::size_t idx = 0;
-        emit_cold_start(phases, idx, plan);
+        emit_cold_start(phases, idx, plan, dims);
 
         {
-            Phase& prefetch =
-                next_phase(phases, idx, "prefetch (DRAM->SG, overlapped)",
-                           StageTag::kPrefetch, 1);
+            Phase& prefetch = next_phase(
+                phases, idx,
+                dims.decode ? "KV-cache read (DRAM->SG, overlapped)"
+                            : "prefetch (DRAM->SG, overlapped)",
+                StageTag::kPrefetch, 1);
             prefetch.activity.traffic.dram_read = dram.dram_read;
             prefetch.activity.traffic.sg_write =
                 dram.dram_read; // pass-through

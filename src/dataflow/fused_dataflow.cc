@@ -16,6 +16,8 @@ AttentionDims::from_workload(const Workload& workload)
     dims.q_len = workload.seq_len;
     dims.kv_len = workload.kv_seq_len;
     dims.head_dim = workload.model.head_dim();
+    dims.kv_heads = workload.model.kv_heads();
+    dims.decode = workload.decode;
     dims.validate();
     return dims;
 }
@@ -26,6 +28,17 @@ AttentionDims::validate() const
     FLAT_CHECK(batch > 0 && heads > 0 && q_len > 0 && kv_len > 0 &&
                    head_dim > 0,
                "attention dims must be positive");
+    // Only <= here: head-sharding across devices can leave per-device
+    // counts that no longer divide evenly (kv_frac stays a plain
+    // traffic ratio). ModelConfig::validate enforces divisibility at
+    // the model level.
+    FLAT_CHECK(kv_heads <= heads,
+               "KV heads (" << kv_heads
+                            << ") cannot exceed the query heads ("
+                            << heads << ")");
+    FLAT_CHECK(!decode || q_len == 1,
+               "decode steps process one query token (q_len == "
+                   << q_len << ")");
 }
 
 std::uint32_t

@@ -24,6 +24,38 @@ struct AttentionDims {
     std::uint64_t kv_len = 1;   ///< key/value sequence length
     std::uint64_t head_dim = 1; ///< dk
 
+    /**
+     * K/V head count for grouped-query attention; 0 means one K/V
+     * head per query head (classic MHA). Groups of
+     * heads/kv_heads_eff() query heads read the same K/V slices, so
+     * K/V bytes (and the KV-cache) shrink by that factor while the
+     * MAC count is unchanged.
+     */
+    std::uint64_t kv_heads = 0;
+
+    /**
+     * Autoregressive decode step: one new query token per sequence
+     * (q_len == 1) attending over a KV-cache of kv_len tokens.
+     */
+    bool decode = false;
+
+    /** Effective K/V head count: kv_heads, or heads when 0. */
+    std::uint64_t kv_heads_eff() const
+    {
+        return kv_heads != 0 ? kv_heads : heads;
+    }
+
+    /**
+     * Fraction of K/V traffic relative to MHA: kv_heads_eff()/heads.
+     * Exactly 1.0 for MHA, so scaling by it preserves MHA arithmetic
+     * bit-for-bit.
+     */
+    double kv_frac() const
+    {
+        return static_cast<double>(kv_heads_eff()) /
+               static_cast<double>(heads);
+    }
+
     /** Extracts the dims from an instantiated workload. */
     static AttentionDims from_workload(const Workload& workload);
 

@@ -435,7 +435,8 @@ search_space_canonical(const AccelConfig& accel,
     text << "accel " << accel.name << ' ' << accel.pe_rows << 'x'
          << accel.pe_cols << " sl=" << accel.sl_bytes
          << " sg=" << accel.sg_bytes << " sg2=" << accel.sg2_bytes
-         << '@' << accel.sg2_bw << " on=" << accel.onchip_bw
+         << '@' << accel.sg2_bw << " rf=" << accel.rf_bytes
+         << " dram=" << accel.dram_bytes << " on=" << accel.onchip_bw
          << " off=" << accel.offchip_bw << " clk=" << accel.clock_hz
          << " sfu=" << accel.sfu_lanes
          << " bpe=" << accel.bytes_per_element
@@ -445,7 +446,8 @@ search_space_canonical(const AccelConfig& accel,
          << accel.caps.l3_tiling << accel.caps.fused_execution << '\n';
     text << "dims " << dims.batch << ' ' << dims.heads << ' '
          << dims.q_len << ' ' << dims.kv_len << ' ' << dims.head_dim
-         << '\n';
+         << " kvh=" << dims.kv_heads_eff()
+         << " decode=" << dims.decode << '\n';
     text << "opt obj=" << static_cast<int>(options.objective)
          << " fused=" << options.fused << " cross="
          << (options.fixed_cross.has_value() ? options.fixed_cross->tag()

@@ -43,6 +43,12 @@ shard_attention_dims(const AttentionDims& dims, ShardAxis axis,
                    "cannot shard heads=" << dims.heads << " across "
                                          << devices << " devices");
         out.heads = ceil_div(dims.heads, d);
+        // K/V heads shard alongside; once a group spans devices each
+        // keeps (at least) one replicated K/V head.
+        out.kv_heads = std::min(
+            out.heads,
+            std::max<std::uint64_t>(1,
+                                    ceil_div(dims.kv_heads_eff(), d)));
         break;
       case ShardAxis::kSequence:
         FLAT_CHECK(d <= dims.q_len && d <= dims.kv_len,

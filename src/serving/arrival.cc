@@ -1,0 +1,166 @@
+#include "serving/arrival.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "common/status.h"
+#include "common/string_util.h"
+
+namespace flat {
+
+std::uint64_t
+SplitMix64::next()
+{
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ull);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+}
+
+double
+SplitMix64::next_unit()
+{
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+}
+
+std::string
+to_string(ArrivalKind kind)
+{
+    switch (kind) {
+      case ArrivalKind::kPoisson: return "poisson";
+      case ArrivalKind::kBursty: return "bursty";
+      case ArrivalKind::kReplay: return "replay";
+    }
+    return "?";
+}
+
+ArrivalKind
+parse_arrival_kind(const std::string& name)
+{
+    const std::string key = to_lower(name);
+    if (key == "poisson") {
+        return ArrivalKind::kPoisson;
+    }
+    if (key == "bursty") {
+        return ArrivalKind::kBursty;
+    }
+    if (key == "replay") {
+        return ArrivalKind::kReplay;
+    }
+    FLAT_FAIL("unknown arrival kind '" << name
+                                       << "' (poisson | bursty | replay)");
+}
+
+namespace {
+
+/** Exponential variate via inverse CDF: -ln(1-u)/rate, u in [0,1). */
+double
+exp_interarrival(SplitMix64& rng, double rate)
+{
+    return -std::log(1.0 - rng.next_unit()) / rate;
+}
+
+/** Deterministic +/- 25% jitter of the prompt budget (min 1 token). */
+std::uint64_t
+jitter_prompt(SplitMix64& rng, std::uint64_t prompt)
+{
+    const double scale = 0.75 + 0.5 * rng.next_unit();
+    const std::uint64_t tokens =
+        static_cast<std::uint64_t>(static_cast<double>(prompt) * scale);
+    return std::max<std::uint64_t>(1, tokens);
+}
+
+std::vector<Request>
+replay_arrivals(const std::string& path)
+{
+    std::ifstream in(path);
+    FLAT_CHECK(in.good(), "cannot open arrival trace '" << path << "'");
+    std::vector<Request> out;
+    std::string line;
+    std::size_t line_no = 0;
+    while (std::getline(in, line)) {
+        ++line_no;
+        const std::size_t start = line.find_first_not_of(" \t\r");
+        if (start == std::string::npos || line[start] == '#') {
+            continue;
+        }
+        double arrival = 0.0;
+        unsigned long long prompt = 0;
+        unsigned long long output = 0;
+        const int fields = std::sscanf(line.c_str(), "%lf , %llu , %llu",
+                                       &arrival, &prompt, &output);
+        FLAT_CHECK(fields == 3,
+                   path << ":" << line_no
+                        << ": expected 'arrival_s,prompt,output', got '"
+                        << line << "'");
+        FLAT_CHECK(arrival >= 0.0 && prompt > 0 && output > 0,
+                   path << ":" << line_no
+                        << ": arrival must be >= 0 and token counts "
+                           "positive");
+        Request r;
+        r.arrival_s = arrival;
+        r.prompt_tokens = prompt;
+        r.output_tokens = output;
+        out.push_back(r);
+    }
+    FLAT_CHECK(!out.empty(),
+               "arrival trace '" << path << "' holds no requests");
+    return out;
+}
+
+} // namespace
+
+std::vector<Request>
+generate_arrivals(const ArrivalOptions& options)
+{
+    std::vector<Request> out;
+    if (options.kind == ArrivalKind::kReplay) {
+        out = replay_arrivals(options.replay_file);
+    } else {
+        FLAT_CHECK(options.rate_rps > 0.0,
+                   "arrival rate must be positive");
+        FLAT_CHECK(options.requests > 0,
+                   "need at least one request to serve");
+        FLAT_CHECK(options.prompt_tokens > 0 && options.output_tokens > 0,
+                   "prompt/output token budgets must be positive");
+        SplitMix64 rng(options.seed);
+        double now = 0.0;
+        for (std::uint64_t i = 0; i < options.requests; ++i) {
+            double rate = options.rate_rps;
+            if (options.kind == ArrivalKind::kBursty) {
+                FLAT_CHECK(options.burst_len > 0 &&
+                               options.burst_factor >= 1.0,
+                           "bursty arrivals need burst_len >= 1 and "
+                           "burst_factor >= 1");
+                // Within a burst the rate is factor x mean; the first
+                // request of each burst pays the stretched idle gap so
+                // the long-run mean stays rate_rps.
+                const bool burst_head = i % options.burst_len == 0;
+                rate = burst_head
+                           ? options.rate_rps / options.burst_factor
+                           : options.rate_rps * options.burst_factor;
+            }
+            now += exp_interarrival(rng, rate);
+            Request r;
+            r.arrival_s = now;
+            r.prompt_tokens = jitter_prompt(rng, options.prompt_tokens);
+            r.output_tokens = options.output_tokens;
+            out.push_back(r);
+        }
+    }
+    // Replay files may be unsorted; a stable sort keeps equal-time
+    // requests in file order, then ids are dense in arrival order.
+    std::stable_sort(out.begin(), out.end(),
+                     [](const Request& a, const Request& b) {
+                         return a.arrival_s < b.arrival_s;
+                     });
+    for (std::size_t i = 0; i < out.size(); ++i) {
+        out[i].id = i;
+    }
+    return out;
+}
+
+} // namespace flat

@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Deterministic seeded arrival-trace generation for the request-level
+ * traffic simulator: Poisson and bursty processes from an own-rolled
+ * SplitMix64 stream (std:: distributions are implementation-defined,
+ * so they would break cross-toolchain bit-identity), plus replay of a
+ * recorded trace file.
+ */
+#ifndef FLAT_SERVING_ARRIVAL_H
+#define FLAT_SERVING_ARRIVAL_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace flat {
+
+/**
+ * SplitMix64: tiny, fully specified PRNG (Steele et al.). One stream
+ * per trace; the same seed always produces the same arrivals on every
+ * platform and thread count.
+ */
+class SplitMix64
+{
+  public:
+    explicit SplitMix64(std::uint64_t seed) : state_(seed) {}
+
+    std::uint64_t next();
+
+    /** Uniform double in [0, 1): the top 53 bits of next(). */
+    double next_unit();
+
+  private:
+    std::uint64_t state_;
+};
+
+/** Arrival process families the generator supports. */
+enum class ArrivalKind {
+    kPoisson, ///< exponential inter-arrival times at `rate_rps`
+    kBursty,  ///< Poisson bursts of `burst_len` at `burst_factor` x
+              ///< rate, separated by proportionally longer idle gaps
+    kReplay,  ///< read (arrival_s, prompt, output) rows from a file
+};
+
+std::string to_string(ArrivalKind kind);
+
+/** Parses "poisson" / "bursty" / "replay"; throws flat::Error. */
+ArrivalKind parse_arrival_kind(const std::string& name);
+
+/** One inference request in the arrival trace. */
+struct Request {
+    std::uint64_t id = 0;          ///< dense index, arrival order
+    double arrival_s = 0.0;        ///< arrival time (seconds)
+    std::uint64_t prompt_tokens = 0;
+    std::uint64_t output_tokens = 0;
+};
+
+/** Knobs of the arrival-trace generator. */
+struct ArrivalOptions {
+    ArrivalKind kind = ArrivalKind::kPoisson;
+    std::uint64_t seed = 1;
+
+    /** Mean offered load in requests/second. */
+    double rate_rps = 4.0;
+
+    /** Number of requests to generate (ignored for kReplay). */
+    std::uint64_t requests = 64;
+
+    /** Prompt/output token budget per request. The generator jitters
+     *  the prompt by up to +/- 25% (deterministically) so batches mix
+     *  context lengths. */
+    std::uint64_t prompt_tokens = 512;
+    std::uint64_t output_tokens = 32;
+
+    /** kBursty: requests per burst and the within-burst rate
+     *  multiplier; the idle gap between bursts stretches so the mean
+     *  offered load stays `rate_rps`. */
+    std::uint64_t burst_len = 8;
+    double burst_factor = 4.0;
+
+    /** kReplay: trace file, one `arrival_s,prompt,output` row per
+     *  line ('#' comments and blank lines skipped). */
+    std::string replay_file;
+};
+
+/**
+ * Generates the arrival trace: requests sorted by arrival time with
+ * dense ids in arrival order. Throws flat::Error on bad options or an
+ * unreadable/malformed replay file.
+ */
+std::vector<Request> generate_arrivals(const ArrivalOptions& options);
+
+} // namespace flat
+
+#endif // FLAT_SERVING_ARRIVAL_H

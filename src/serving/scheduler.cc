@@ -1,0 +1,168 @@
+#include "serving/scheduler.h"
+
+#include <algorithm>
+
+#include "common/status.h"
+#include "common/string_util.h"
+
+namespace flat {
+
+std::string
+to_string(SchedPolicy policy)
+{
+    switch (policy) {
+      case SchedPolicy::kPrefillFirst: return "prefill-first";
+      case SchedPolicy::kDecodeFirst: return "decode-first";
+    }
+    return "?";
+}
+
+SchedPolicy
+parse_sched_policy(const std::string& name)
+{
+    const std::string key = to_lower(name);
+    if (key == "prefill-first") {
+        return SchedPolicy::kPrefillFirst;
+    }
+    if (key == "decode-first") {
+        return SchedPolicy::kDecodeFirst;
+    }
+    FLAT_FAIL("unknown scheduling policy '"
+              << name << "' (prefill-first | decode-first)");
+}
+
+const std::vector<SchedPolicy>&
+sched_policies()
+{
+    static const std::vector<SchedPolicy> policies = {
+        SchedPolicy::kPrefillFirst, SchedPolicy::kDecodeFirst};
+    return policies;
+}
+
+ContinuousBatchScheduler::ContinuousBatchScheduler(
+    const SchedOptions& options)
+    : options_(options)
+{
+    FLAT_CHECK(options_.max_batch > 0,
+               "the batch arbitration cap must be positive");
+}
+
+void
+ContinuousBatchScheduler::enqueue(const Request& request)
+{
+    waiting_.push_back(request);
+}
+
+bool
+ContinuousBatchScheduler::has_work() const
+{
+    return !waiting_.empty() || !active_.empty();
+}
+
+SchedStep
+ContinuousBatchScheduler::plan() const
+{
+    SchedStep step;
+    const std::uint64_t free_slots =
+        options_.max_batch - static_cast<std::uint64_t>(active_.size());
+
+    // Admission: FIFO waiting requests into free slots. Prefill-first
+    // admits whenever a slot is free; decode-first only once the batch
+    // fully drained.
+    const bool admit =
+        !waiting_.empty() && free_slots > 0 &&
+        (options_.policy == SchedPolicy::kPrefillFirst ||
+         active_.empty());
+    if (admit) {
+        step.kind = SchedStep::Kind::kPrefill;
+        const std::uint64_t n = std::min<std::uint64_t>(
+            free_slots, static_cast<std::uint64_t>(waiting_.size()));
+        for (std::uint64_t i = 0; i < n; ++i) {
+            step.ids.push_back(waiting_[i].id);
+        }
+        return step;
+    }
+
+    if (!active_.empty()) {
+        step.kind = SchedStep::Kind::kDecode;
+        for (const ActiveRequest& a : active_) {
+            step.ids.push_back(a.request.id);
+        }
+        return step;
+    }
+
+    return step; // kIdle: nothing runnable until the next arrival
+}
+
+void
+ContinuousBatchScheduler::complete_prefill(const SchedStep& step)
+{
+    FLAT_CHECK(step.kind == SchedStep::Kind::kPrefill,
+               "complete_prefill needs a prefill step");
+    for (const std::uint64_t id : step.ids) {
+        FLAT_CHECK(!waiting_.empty() && waiting_.front().id == id,
+                   "prefill step out of FIFO order (request " << id
+                                                              << ")");
+        ActiveRequest active;
+        active.request = waiting_.front();
+        active.prefilled = true;
+        waiting_.pop_front();
+        active_.push_back(active);
+    }
+    FLAT_CHECK(active_.size() <= options_.max_batch,
+               "batch occupancy exceeded the arbitration cap");
+    std::sort(active_.begin(), active_.end(),
+              [](const ActiveRequest& a, const ActiveRequest& b) {
+                  return a.request.id < b.request.id;
+              });
+}
+
+std::vector<std::uint64_t>
+ContinuousBatchScheduler::complete_decode(const SchedStep& step)
+{
+    FLAT_CHECK(step.kind == SchedStep::Kind::kDecode,
+               "complete_decode needs a decode step");
+    std::vector<std::uint64_t> finished;
+    for (const std::uint64_t id : step.ids) {
+        for (ActiveRequest& a : active_) {
+            if (a.request.id != id) {
+                continue;
+            }
+            ++a.generated;
+            if (a.generated >= a.request.output_tokens) {
+                finished.push_back(id);
+            }
+            break;
+        }
+    }
+    active_.erase(
+        std::remove_if(active_.begin(), active_.end(),
+                       [&](const ActiveRequest& a) {
+                           return std::find(finished.begin(),
+                                            finished.end(),
+                                            a.request.id) !=
+                                  finished.end();
+                       }),
+        active_.end());
+    return finished;
+}
+
+const ActiveRequest&
+ContinuousBatchScheduler::active_by_id(std::uint64_t id) const
+{
+    for (const ActiveRequest& a : active_) {
+        if (a.request.id == id) {
+            return a;
+        }
+    }
+    FLAT_FAIL("request " << id << " is not in the active batch");
+}
+
+std::uint64_t
+ContinuousBatchScheduler::context_tokens(std::uint64_t id) const
+{
+    const ActiveRequest& a = active_by_id(id);
+    return a.request.prompt_tokens + a.generated + 1;
+}
+
+} // namespace flat

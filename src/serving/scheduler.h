@@ -1,0 +1,114 @@
+/**
+ * @file
+ * Continuous-batching scheduler for the traffic simulator: a bounded
+ * active set (the batch arbitration cap), a FIFO waiting queue, and
+ * two prefill-vs-decode interleaving policies. Fully deterministic —
+ * every decision is a pure function of the queue state, so the serving
+ * loop's results are bit-identical at any thread count.
+ */
+#ifndef FLAT_SERVING_SCHEDULER_H
+#define FLAT_SERVING_SCHEDULER_H
+
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <vector>
+
+#include "serving/arrival.h"
+
+namespace flat {
+
+/**
+ * Prefill-vs-decode interleaving policy.
+ *
+ * kPrefillFirst admits waiting requests into any free batch slot
+ * before running the next decode step (continuous batching proper:
+ * highest occupancy, new requests interleave with in-flight decodes).
+ * kDecodeFirst drains the current batch to completion before admitting
+ * the next one (static batching: no interleave, decode steps never
+ * share the array with a prefill).
+ */
+enum class SchedPolicy {
+    kPrefillFirst,
+    kDecodeFirst,
+};
+
+std::string to_string(SchedPolicy policy);
+
+/** Parses "prefill-first" / "decode-first"; throws flat::Error. */
+SchedPolicy parse_sched_policy(const std::string& name);
+
+/** All policies, stable order (the serving DSE enumerates these). */
+const std::vector<SchedPolicy>& sched_policies();
+
+/** Scheduler knobs. */
+struct SchedOptions {
+    SchedPolicy policy = SchedPolicy::kPrefillFirst;
+
+    /** Batch arbitration cap: the active set never exceeds this. */
+    std::uint64_t max_batch = 8;
+};
+
+/** One scheduled step of the serving loop. */
+struct SchedStep {
+    enum class Kind {
+        kPrefill, ///< run the prompts of `ids` (they join the batch)
+        kDecode,  ///< one token for every request in `ids`
+        kIdle,    ///< nothing runnable; wait for the next arrival
+    };
+
+    Kind kind = Kind::kIdle;
+    std::vector<std::uint64_t> ids; ///< participating request ids
+};
+
+/** In-flight request state. */
+struct ActiveRequest {
+    Request request;
+    bool prefilled = false;
+    std::uint64_t generated = 0; ///< decode tokens produced so far
+};
+
+class ContinuousBatchScheduler
+{
+  public:
+    explicit ContinuousBatchScheduler(const SchedOptions& options);
+
+    /** Adds an arrived request to the waiting queue (callers enqueue
+     *  in arrival order, which is the FIFO service order). */
+    void enqueue(const Request& request);
+
+    /** True while any request is waiting or in flight. */
+    bool has_work() const;
+
+    /** The next step under the policy: a pure function of state. */
+    SchedStep plan() const;
+
+    /** Applies a planned prefill: the requests join the active set. */
+    void complete_prefill(const SchedStep& step);
+
+    /**
+     * Applies a planned decode: every member generates one token.
+     * Returns the ids (ascending) of requests that finished their
+     * output budget and left the batch.
+     */
+    std::vector<std::uint64_t> complete_decode(const SchedStep& step);
+
+    /** Context length of an active request: prompt plus the tokens
+     *  generated so far, plus the one being produced. */
+    std::uint64_t context_tokens(std::uint64_t id) const;
+
+    std::size_t waiting() const { return waiting_.size(); }
+    std::size_t active() const { return active_.size(); }
+    const SchedOptions& options() const { return options_; }
+
+  private:
+    const ActiveRequest& active_by_id(std::uint64_t id) const;
+
+    SchedOptions options_;
+    std::deque<Request> waiting_;
+    std::vector<ActiveRequest> active_; ///< sorted by request id
+};
+
+} // namespace flat
+
+#endif // FLAT_SERVING_SCHEDULER_H

@@ -135,9 +135,18 @@ make_cross_attention_workload(const ModelConfig& model, std::uint64_t batch,
         return make_gemm_op(name, OpCategory::kProjection, s);
     };
 
+    // K/V projections only produce kv_heads() head slices under
+    // GQA/MQA: [B*N_kv, D] x [D, H_kv*dk]. For MHA H_kv*dk == D, so
+    // the shapes are unchanged.
+    auto kv_projection = [&](const char* name, std::uint64_t rows) {
+        Operator op = projection(name, rows);
+        op.gemm.n = static_cast<std::uint64_t>(model.kv_heads()) * dk;
+        return op;
+    };
+
     w.ops.push_back(projection("Q", seq_len));
-    w.ops.push_back(projection("K", kv_seq_len));
-    w.ops.push_back(projection("V", kv_seq_len));
+    w.ops.push_back(kv_projection("K", kv_seq_len));
+    w.ops.push_back(kv_projection("V", kv_seq_len));
 
     // Logit: per (batch, head) instance [N, dk] x [dk, N_kv] -> [N, N_kv].
     {
@@ -183,6 +192,27 @@ make_cross_attention_workload(const ModelConfig& model, std::uint64_t batch,
         w.ops.push_back(make_gemm_op("FC2", OpCategory::kFeedForward, s));
     }
 
+    return w;
+}
+
+Workload
+make_decode_workload(const ModelConfig& model, std::uint64_t batch,
+                     std::uint64_t n_ctx)
+{
+    FLAT_CHECK(n_ctx > 0, "decode needs at least one cached token");
+    // One new query token against the n_ctx cached K/V tokens: the
+    // projections (and FCs) see a single-row activation, while
+    // L/softmax/A span the full context.
+    Workload w = make_cross_attention_workload(model, batch, 1, n_ctx);
+    w.decode = true;
+    for (Operator& op : w.ops) {
+        // K/V projections compute only the NEW token's rows — the
+        // cache supplies the previous n_ctx - 1 (plus the new row it
+        // just admitted); L and A still read all n_ctx of them.
+        if (op.name == "K" || op.name == "V") {
+            op.gemm.m = batch;
+        }
+    }
     return w;
 }
 

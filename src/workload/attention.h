@@ -38,6 +38,14 @@ struct Workload {
     std::uint64_t seq_len = 512;  ///< N (query side)
     std::uint64_t kv_seq_len = 0; ///< key/value N (== seq_len if self-attn)
 
+    /**
+     * Autoregressive decode step: the block processes one new token
+     * per sequence (seq_len == 1) attending over a KV-cache holding
+     * kv_seq_len past tokens. K/V projections only produce the new
+     * token's K/V rows; the cached rows are read, not recomputed.
+     */
+    bool decode = false;
+
     /** Operators of one block, execution order:
      *  Q, K, V, L, softmax, A, O, FC1, FC2. */
     std::vector<Operator> ops;
@@ -97,6 +105,17 @@ Workload make_local_attention_workload(const ModelConfig& model,
                                        std::uint64_t batch,
                                        std::uint64_t seq_len,
                                        std::uint64_t window);
+
+/**
+ * Builds one autoregressive decode step: each of the @p batch
+ * sequences appends one token, so every GEMM's row dimension is a
+ * single token while L/softmax/A run against a KV-cache of @p n_ctx
+ * past tokens (the new token's K/V rows included). K/V projections
+ * produce only the new rows — and only kv_heads() of them under
+ * GQA/MQA — since the cache holds the rest.
+ */
+Workload make_decode_workload(const ModelConfig& model,
+                              std::uint64_t batch, std::uint64_t n_ctx);
 
 } // namespace flat
 

@@ -11,6 +11,12 @@ ModelConfig::head_dim() const
     return hidden_dim / num_heads;
 }
 
+std::uint32_t
+ModelConfig::kv_heads() const
+{
+    return num_kv_heads != 0 ? num_kv_heads : num_heads;
+}
+
 void
 ModelConfig::validate() const
 {
@@ -20,6 +26,11 @@ ModelConfig::validate() const
     FLAT_CHECK(hidden_dim % num_heads == 0,
                name << ": heads (" << num_heads << ") must divide D ("
                     << hidden_dim << ")");
+    FLAT_CHECK(num_kv_heads <= num_heads &&
+                   num_heads % kv_heads() == 0,
+               name << ": KV heads (" << num_kv_heads
+                    << ") must divide the query heads (" << num_heads
+                    << ")");
     FLAT_CHECK(ff_dim > 0, name << ": feed-forward dim must be positive");
 }
 
@@ -53,10 +64,17 @@ t5_small()
     return ModelConfig{"t5", 6, 512, 8, 2048};
 }
 
+ModelConfig
+mistral()
+{
+    return ModelConfig{"mistral", 32, 4096, 32, 14336, 8};
+}
+
 std::vector<ModelConfig>
 model_zoo()
 {
-    return {bert_base(), transformer_xl(), flaubert(), t5_small(), xlm()};
+    return {bert_base(), transformer_xl(), flaubert(), t5_small(), xlm(),
+            mistral()};
 }
 
 ModelConfig
@@ -70,7 +88,7 @@ model_by_name(const std::string& name)
     }
     FLAT_FAIL("unknown model '" << name
                                 << "' (known: bert, trxl, flaubert, t5, "
-                                   "xlm)");
+                                   "xlm, mistral)");
 }
 
 } // namespace flat

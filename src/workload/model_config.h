@@ -20,8 +20,19 @@ struct ModelConfig {
     std::uint32_t num_heads = 12;   ///< H
     std::uint32_t ff_dim = 3072;    ///< feed-forward inner dimension
 
+    /**
+     * Key/value head count for grouped-query attention (GQA/MQA):
+     * groups of num_heads/num_kv_heads query heads share one K/V head,
+     * shrinking the KV-cache and the K/V projections by that factor.
+     * 0 = one K/V head per query head (classic multi-head attention).
+     */
+    std::uint32_t num_kv_heads = 0;
+
     /** Per-head dimension dk = D / H. */
     std::uint32_t head_dim() const;
+
+    /** Effective K/V head count: num_kv_heads, or num_heads when 0. */
+    std::uint32_t kv_heads() const;
 
     /** Throws flat::Error if H does not divide D, etc. */
     void validate() const;
@@ -42,7 +53,11 @@ ModelConfig transformer_xl();
 /** T5-small encoder stack: 6 blocks, D=512, H=8, FF=2048. */
 ModelConfig t5_small();
 
-/** The five evaluation workloads, in the paper's order. */
+/** Mistral-7B-class GQA decoder: 32 blocks, D=4096, H=32, KV=8,
+ *  FF=14336 — the serving-regime workload with a grouped KV-cache. */
+ModelConfig mistral();
+
+/** The evaluation workloads: the paper's five, then the GQA decoder. */
 std::vector<ModelConfig> model_zoo();
 
 /** Look up a zoo model by (case-insensitive) name; throws if unknown. */

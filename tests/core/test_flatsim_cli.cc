@@ -477,4 +477,191 @@ TEST(FlatsimCli, MissingResumeJournalExitsOne)
     expect_json_diagnostic(result, "config");
 }
 
+// ---------------------------------------------------------------------
+// --serve: the request-level traffic simulator's CLI contract.
+
+TEST(FlatsimCli, ServeUnknownSchedPolicyExitsTwo)
+{
+    const CliResult result = run_flatsim("--serve --sched lifo");
+    EXPECT_EQ(result.exit_code, 2);
+    expect_json_diagnostic(result, "usage");
+    EXPECT_NE(result.stderr_text.find("lifo"), std::string::npos);
+}
+
+TEST(FlatsimCli, ServeUnknownArrivalKindExitsTwo)
+{
+    const CliResult result = run_flatsim("--serve --arrival uniform");
+    EXPECT_EQ(result.exit_code, 2);
+    expect_json_diagnostic(result, "usage");
+}
+
+TEST(FlatsimCli, ServeReplayWithoutTraceFileExitsTwo)
+{
+    const CliResult result = run_flatsim("--serve --arrival replay");
+    EXPECT_EQ(result.exit_code, 2);
+    expect_json_diagnostic(result, "usage");
+    EXPECT_NE(result.stderr_text.find("--arrival-file"),
+              std::string::npos);
+}
+
+TEST(FlatsimCli, ServeMissingTraceFileExitsTwo)
+{
+    const CliResult result = run_flatsim(
+        "--serve --arrival replay "
+        "--arrival-file /nonexistent/trace.csv");
+    EXPECT_EQ(result.exit_code, 2);
+    expect_json_diagnostic(result, "usage");
+}
+
+TEST(FlatsimCli, ServeMalformedTraceRowExitsTwo)
+{
+    const std::string trace = "flatsim_cli_bad_trace.csv";
+    {
+        std::ofstream out(trace);
+        ASSERT_TRUE(out.is_open());
+        out << "0.5, banana, 8\n";
+    }
+    const CliResult result = run_flatsim(
+        "--serve --arrival replay --arrival-file " + trace);
+    std::remove(trace.c_str());
+    EXPECT_EQ(result.exit_code, 2);
+    expect_json_diagnostic(result, "usage");
+}
+
+TEST(FlatsimCli, ServeBadRateExitsTwo)
+{
+    const CliResult result = run_flatsim("--serve --rate -3");
+    EXPECT_EQ(result.exit_code, 2);
+    expect_json_diagnostic(result, "usage");
+}
+
+TEST(FlatsimCli, ServeExcludesSweepAndTrace)
+{
+    EXPECT_EQ(run_flatsim("--serve --sweep spec.txt").exit_code, 2);
+    EXPECT_EQ(run_flatsim("--serve --trace").exit_code, 2);
+}
+
+TEST(FlatsimCli, ServeRunsEndToEndWithJsonReport)
+{
+    const CliOutput result = run_flatsim_stdout(
+        "--serve --model bert --serve-requests 4 --quick --json");
+    EXPECT_EQ(result.exit_code, 0);
+    EXPECT_NE(result.stdout_text.find("\"tokens_per_s\""),
+              std::string::npos);
+    EXPECT_NE(result.stdout_text.find("\"completed\":4"),
+              std::string::npos);
+    EXPECT_NE(result.stdout_text.find("\"cancelled\":false"),
+              std::string::npos);
+}
+
+TEST(FlatsimCli, ServeReplayTraceRunsEndToEnd)
+{
+    const std::string trace = "flatsim_cli_replay.csv";
+    {
+        std::ofstream out(trace);
+        ASSERT_TRUE(out.is_open());
+        out << "# t, prompt, output\n"
+            << "0.0, 128, 2\n0.1, 256, 2\n0.2, 64, 2\n";
+    }
+    const CliOutput result = run_flatsim_stdout(
+        "--serve --arrival replay --arrival-file " + trace +
+        " --quick --json");
+    std::remove(trace.c_str());
+    EXPECT_EQ(result.exit_code, 0);
+    EXPECT_NE(result.stdout_text.find("\"completed\":3"),
+              std::string::npos);
+}
+
+/** cost_journal_hits is the only field a resumed serve run may change
+ *  (costs replay from the journal instead of the DSE). */
+std::string
+scrub_journal_hits(const std::string& text)
+{
+    const std::string key = "\"cost_journal_hits\":";
+    const std::size_t hit = text.find(key);
+    if (hit == std::string::npos) {
+        return text;
+    }
+    std::size_t end = hit + key.size();
+    while (end < text.size() && text[end] != ',' && text[end] != '}') {
+        ++end;
+    }
+    return text.substr(0, hit + key.size()) + "0" + text.substr(end);
+}
+
+TEST(FlatsimCli, ServeJournalResumeIsBitIdentical)
+{
+    const std::string journal = "flatsim_cli_serve_journal.jsonl";
+    std::remove(journal.c_str());
+    const std::string args =
+        "--serve --model bert --serve-requests 6 --quick --json";
+    const CliOutput plain = run_flatsim_stdout(args);
+    const CliOutput journaled =
+        run_flatsim_stdout(args + " --journal " + journal);
+    const CliOutput resumed =
+        run_flatsim_stdout(args + " --resume " + journal);
+    std::remove(journal.c_str());
+    EXPECT_EQ(plain.exit_code, 0);
+    EXPECT_EQ(journaled.exit_code, 0);
+    EXPECT_EQ(resumed.exit_code, 0);
+    EXPECT_EQ(plain.stdout_text, journaled.stdout_text);
+    EXPECT_EQ(scrub_journal_hits(plain.stdout_text),
+              scrub_journal_hits(resumed.stdout_text));
+    // The resume actually replayed costs rather than re-searching.
+    EXPECT_EQ(resumed.stdout_text.find("\"cost_journal_hits\":0"),
+              std::string::npos);
+}
+
+TEST(FlatsimCli, ServeStaleJournalExitsOne)
+{
+    const std::string journal = "flatsim_cli_serve_stale.jsonl";
+    std::remove(journal.c_str());
+    ASSERT_EQ(run_flatsim_stdout("--serve --model bert "
+                                 "--serve-requests 4 --quick "
+                                 "--journal " + journal)
+                  .exit_code,
+              0);
+    // One more request is a different trace, hence a different space.
+    const CliResult result =
+        run_flatsim("--serve --model bert --serve-requests 5 --quick "
+                    "--resume " + journal);
+    std::remove(journal.c_str());
+    EXPECT_EQ(result.exit_code, 1);
+    expect_json_diagnostic(result, "config");
+}
+
+TEST(FlatsimCli, ServeSigintDrainsToPartialReportWithExitFive)
+{
+    // The first step-cost DSE sleeps 3 s via the delay probe; SIGINT
+    // arrives after ~1 s. The drain finishes the in-flight step, then
+    // the loop notices the cancel, prints the PARTIAL report on stdout
+    // and exits through the documented cancelled path (exit 5).
+    const std::string script =
+        "'" + flatsim_path() + "' --serve --model bert "
+        "--serve-requests 4 --quick --json "
+        "--inject-fault dse.search_attention:0:delay=3000"
+        " > flatsim_cli_serve_drain.out 2>&1 & pid=$!; sleep 1; "
+        "kill -INT $pid; wait $pid; echo $?";
+    std::FILE* pipe = popen(script.c_str(), "r");
+    ASSERT_NE(pipe, nullptr);
+    char buf[64];
+    std::string echoed;
+    std::size_t n = 0;
+    while ((n = std::fread(buf, 1, sizeof(buf), pipe)) > 0) {
+        echoed.append(buf, n);
+    }
+    pclose(pipe);
+    EXPECT_EQ(echoed.substr(0, echoed.find('\n')), "5");
+
+    std::ifstream out("flatsim_cli_serve_drain.out");
+    const std::string text((std::istreambuf_iterator<char>(out)),
+                           std::istreambuf_iterator<char>());
+    std::remove("flatsim_cli_serve_drain.out");
+    // Partial SLO report on stdout, cancelled diagnostic on stderr.
+    EXPECT_NE(text.find("\"cancelled\":true"), std::string::npos)
+        << text;
+    EXPECT_NE(text.find("\"kind\":\"cancelled\""), std::string::npos)
+        << text;
+}
+
 } // namespace

@@ -6,6 +6,7 @@
 
 #include "common/units.h"
 #include "costmodel/attention_cost.h"
+#include "dse/search.h"
 
 namespace flat {
 namespace {
@@ -126,6 +127,70 @@ TEST(Trace, TotalsExactForEveryStyle)
             EXPECT_EQ(pipe.style, "pipelined");
         }
     }
+}
+
+TEST(Trace, DecodeTotalsExactForGoldenShapes)
+{
+    // The two decode golden configs (edge-bert MHA, cloud-mistral
+    // GQA): the trace totals must equal the model cycles bit-for-bit,
+    // and the decode phase relabeling must show the KV-cache read.
+    AttentionDims mha;
+    mha.batch = 8;
+    mha.heads = 12;
+    mha.q_len = 1;
+    mha.kv_len = 512;
+    mha.head_dim = 64;
+    mha.kv_heads = 12;
+    mha.decode = true;
+
+    AttentionDims gqa;
+    gqa.batch = 16;
+    gqa.heads = 32;
+    gqa.q_len = 1;
+    gqa.kv_len = 2048;
+    gqa.head_dim = 128;
+    gqa.kv_heads = 8;
+    gqa.decode = true;
+
+    struct Case {
+        AccelConfig accel;
+        AttentionDims d;
+    };
+    const Case cases[] = {{edge_accel(), mha}, {cloud_accel(), gqa}};
+    for (const Case& c : cases) {
+        SCOPED_TRACE(c.accel.name);
+        AttentionSearchOptions opt;
+        opt.quick = true;
+        opt.fused = true;
+        const AttentionSearchResult result =
+            search_attention(c.accel, c.d, opt);
+        ASSERT_TRUE(result.found);
+        const FusedDataflow df = result.best.dataflow;
+        const ExecutionTrace t = trace_flat_attention(c.accel, c.d, df);
+        EXPECT_DOUBLE_EQ(t.total_cycles,
+                         model_flat_attention(c.accel, c.d, df).cycles);
+        bool saw_kv_read = false;
+        for (const auto& phase : t.phases) {
+            if (phase.label.find("KV-cache") != std::string::npos) {
+                saw_kv_read = true;
+            }
+        }
+        EXPECT_TRUE(saw_kv_read);
+    }
+}
+
+TEST(Trace, GqaReducesKvTrafficNotMacs)
+{
+    // Same shape with and without head grouping: the grouped variant
+    // must move fewer DRAM bytes while the MAC count is identical.
+    AttentionDims d = dims(2048);
+    const FusedDataflow df = flat_r(64);
+    const OperatorCost mha = model_flat_attention(edge_accel(), d, df);
+    d.kv_heads = 2; // 8 query heads in groups of 4
+    const OperatorCost gqa = model_flat_attention(edge_accel(), d, df);
+    EXPECT_EQ(gqa.activity.macs, mha.activity.macs);
+    EXPECT_LT(gqa.activity.traffic.total_dram(),
+              mha.activity.traffic.total_dram());
 }
 
 TEST(Trace, ColdStartIncludedInTotals)

@@ -1,0 +1,199 @@
+/**
+ * @file
+ * Arrival-trace generator contract: seeded runs are bit-identical,
+ * different seeds differ, traces are sorted with dense arrival-order
+ * ids, the bursty process keeps the offered mean rate, and replay
+ * parses (and rejects) trace files the way the CLI documents.
+ */
+#include "serving/arrival.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+
+#include "common/status.h"
+
+namespace flat {
+namespace {
+
+ArrivalOptions
+base_options(ArrivalKind kind, std::uint64_t seed = 1)
+{
+    ArrivalOptions opt;
+    opt.kind = kind;
+    opt.seed = seed;
+    opt.rate_rps = 8.0;
+    opt.requests = 256;
+    opt.prompt_tokens = 512;
+    opt.output_tokens = 16;
+    return opt;
+}
+
+void
+expect_identical(const std::vector<Request>& a,
+                 const std::vector<Request>& b)
+{
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        EXPECT_EQ(a[i].id, b[i].id);
+        EXPECT_EQ(a[i].arrival_s, b[i].arrival_s); // bit-exact
+        EXPECT_EQ(a[i].prompt_tokens, b[i].prompt_tokens);
+        EXPECT_EQ(a[i].output_tokens, b[i].output_tokens);
+    }
+}
+
+TEST(Arrival, SeededGenerationIsBitIdentical)
+{
+    for (const ArrivalKind kind :
+         {ArrivalKind::kPoisson, ArrivalKind::kBursty}) {
+        expect_identical(generate_arrivals(base_options(kind, 7)),
+                         generate_arrivals(base_options(kind, 7)));
+    }
+}
+
+TEST(Arrival, DifferentSeedsProduceDifferentTraces)
+{
+    const auto a = generate_arrivals(base_options(ArrivalKind::kPoisson, 1));
+    const auto b = generate_arrivals(base_options(ArrivalKind::kPoisson, 2));
+    ASSERT_EQ(a.size(), b.size());
+    bool any_diff = false;
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        any_diff = any_diff || a[i].arrival_s != b[i].arrival_s;
+    }
+    EXPECT_TRUE(any_diff);
+}
+
+TEST(Arrival, TracesAreSortedWithDenseIds)
+{
+    for (const ArrivalKind kind :
+         {ArrivalKind::kPoisson, ArrivalKind::kBursty}) {
+        const auto trace = generate_arrivals(base_options(kind, 3));
+        ASSERT_EQ(trace.size(), 256u);
+        for (std::size_t i = 0; i < trace.size(); ++i) {
+            EXPECT_EQ(trace[i].id, i);
+            if (i > 0) {
+                EXPECT_GE(trace[i].arrival_s, trace[i - 1].arrival_s);
+            }
+            EXPECT_GT(trace[i].prompt_tokens, 0u);
+            EXPECT_GT(trace[i].output_tokens, 0u);
+        }
+    }
+}
+
+TEST(Arrival, PromptJitterStaysWithinQuarter)
+{
+    const auto trace =
+        generate_arrivals(base_options(ArrivalKind::kPoisson, 11));
+    bool any_jitter = false;
+    for (const Request& r : trace) {
+        EXPECT_GE(r.prompt_tokens, 512u - 512u / 4);
+        EXPECT_LE(r.prompt_tokens, 512u + 512u / 4);
+        any_jitter = any_jitter || r.prompt_tokens != 512u;
+    }
+    EXPECT_TRUE(any_jitter);
+}
+
+TEST(Arrival, BurstyKeepsTheOfferedMeanRate)
+{
+    // Long-run mean of the bursty process ~= rate_rps: the makespan of
+    // N requests should be within 40% of N / rate on both processes.
+    for (const ArrivalKind kind :
+         {ArrivalKind::kPoisson, ArrivalKind::kBursty}) {
+        const auto trace = generate_arrivals(base_options(kind, 5));
+        const double expected = 256.0 / 8.0;
+        const double makespan = trace.back().arrival_s;
+        EXPECT_GT(makespan, 0.6 * expected) << to_string(kind);
+        EXPECT_LT(makespan, 1.4 * expected) << to_string(kind);
+    }
+}
+
+TEST(Arrival, BurstyClustersTighterThanPoisson)
+{
+    // Burstiness signature: the minimum observed inter-arrival gap
+    // shrinks versus Poisson at the same mean rate (bursts run at
+    // burst_factor x rate).
+    const auto gaps = [](const std::vector<Request>& trace) {
+        double shortest = 1e300;
+        for (std::size_t i = 1; i < trace.size(); ++i) {
+            shortest = std::min(
+                shortest, trace[i].arrival_s - trace[i - 1].arrival_s);
+        }
+        return shortest;
+    };
+    ArrivalOptions bursty = base_options(ArrivalKind::kBursty, 9);
+    bursty.burst_factor = 16.0;
+    const double bursty_gap = gaps(generate_arrivals(bursty));
+    const double poisson_gap =
+        gaps(generate_arrivals(base_options(ArrivalKind::kPoisson, 9)));
+    EXPECT_LT(bursty_gap, poisson_gap);
+}
+
+class ArrivalReplay : public ::testing::Test
+{
+  protected:
+    void SetUp() override
+    {
+        path_ = ::testing::TempDir() + "flat_arrival_" +
+                ::testing::UnitTest::GetInstance()
+                    ->current_test_info()
+                    ->name() +
+                ".csv";
+        std::remove(path_.c_str());
+    }
+
+    void TearDown() override { std::remove(path_.c_str()); }
+
+    void write(const std::string& text)
+    {
+        std::ofstream out(path_);
+        out << text;
+    }
+
+    ArrivalOptions replay_options() const
+    {
+        ArrivalOptions opt;
+        opt.kind = ArrivalKind::kReplay;
+        opt.replay_file = path_;
+        return opt;
+    }
+
+    std::string path_;
+};
+
+TEST_F(ArrivalReplay, ParsesRowsSkipsCommentsAndSortsByTime)
+{
+    write("# recorded trace\n"
+          "0.5, 128, 8\n"
+          "\n"
+          "0.25, 256, 4\n"
+          "1.0, 64, 2\n");
+    const auto trace = generate_arrivals(replay_options());
+    ASSERT_EQ(trace.size(), 3u);
+    EXPECT_EQ(trace[0].arrival_s, 0.25);
+    EXPECT_EQ(trace[0].prompt_tokens, 256u);
+    EXPECT_EQ(trace[0].output_tokens, 4u);
+    EXPECT_EQ(trace[1].arrival_s, 0.5);
+    EXPECT_EQ(trace[2].arrival_s, 1.0);
+    for (std::size_t i = 0; i < trace.size(); ++i) {
+        EXPECT_EQ(trace[i].id, i); // dense ids in arrival order
+    }
+}
+
+TEST_F(ArrivalReplay, RejectsMissingFileAndMalformedRows)
+{
+    ArrivalOptions missing;
+    missing.kind = ArrivalKind::kReplay;
+    missing.replay_file = path_ + ".does-not-exist";
+    EXPECT_THROW(generate_arrivals(missing), Error);
+
+    write("0.5, banana, 8\n");
+    EXPECT_THROW(generate_arrivals(replay_options()), Error);
+
+    write("0.5, 128\n"); // missing the output column
+    EXPECT_THROW(generate_arrivals(replay_options()), Error);
+}
+
+} // namespace
+} // namespace flat

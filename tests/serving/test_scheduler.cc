@@ -1,0 +1,249 @@
+/**
+ * @file
+ * Property tests of the continuous-batching scheduler, driven by a
+ * tiny in-test serving loop over seeded arrival traces:
+ *  - occupancy: the active set never exceeds the batch cap;
+ *  - no starvation: every offered request eventually completes, and
+ *    under FIFO admission no request waits more than a bounded number
+ *    of steps after its predecessor started;
+ *  - token conservation: prefilled tokens == the prompts of admitted
+ *    requests, generated tokens == the output budgets of completed
+ *    requests, exactly;
+ *  - policy contract: prefill-first admits into any free slot,
+ *    decode-first never admits while a batch is in flight.
+ */
+#include "serving/scheduler.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <vector>
+
+#include "common/status.h"
+#include "serving/arrival.h"
+
+namespace flat {
+namespace {
+
+std::vector<Request>
+trace(std::uint64_t n, std::uint64_t seed)
+{
+    ArrivalOptions opt;
+    opt.kind = ArrivalKind::kBursty; // bursts stress the admission path
+    opt.seed = seed;
+    opt.rate_rps = 64.0;
+    opt.requests = n;
+    opt.prompt_tokens = 128;
+    opt.output_tokens = 4;
+    return generate_arrivals(opt);
+}
+
+/** Steps the scheduler to drain; returns per-step occupancy checks and
+ *  conservation counters via the out-params. */
+struct DrainStats {
+    std::uint64_t prefilled_tokens = 0;
+    std::uint64_t generated_tokens = 0;
+    std::uint64_t steps = 0;
+    std::vector<std::uint64_t> completion_order;
+
+    /** steps_seen[id] = loop step at which the request was admitted. */
+    std::map<std::uint64_t, std::uint64_t> admitted_at;
+};
+
+DrainStats
+drain(const std::vector<Request>& requests, SchedPolicy policy,
+      std::uint64_t max_batch)
+{
+    SchedOptions opt;
+    opt.policy = policy;
+    opt.max_batch = max_batch;
+    ContinuousBatchScheduler sched(opt);
+
+    DrainStats stats;
+    std::size_t next = 0;
+    // Steps are the logical clock here; arrivals trickle in one per
+    // idle step so the admission path sees both full and empty queues.
+    while (sched.has_work() || next < requests.size()) {
+        ++stats.steps;
+        FLAT_CHECK(stats.steps < 100000, "scheduler failed to drain");
+        const SchedStep step = sched.plan();
+        EXPECT_LE(sched.active(), max_batch);
+        if (step.kind == SchedStep::Kind::kIdle) {
+            FLAT_CHECK(next < requests.size(),
+                       "idle scheduler with no pending arrivals");
+            sched.enqueue(requests[next]);
+            ++next;
+            continue;
+        }
+        if (step.kind == SchedStep::Kind::kPrefill) {
+            if (policy == SchedPolicy::kDecodeFirst) {
+                // decode-first never admits while a batch is live; a
+                // planned prefill implies the batch fully drained.
+                EXPECT_EQ(sched.active(), 0u);
+            }
+            for (const std::uint64_t id : step.ids) {
+                stats.prefilled_tokens += requests[id].prompt_tokens;
+                stats.admitted_at.emplace(id, stats.steps);
+            }
+            sched.complete_prefill(step);
+            EXPECT_LE(sched.active(), max_batch);
+            // Mid-flight arrivals interleave with in-flight decodes.
+            if (next < requests.size() && stats.steps % 3 == 0) {
+                sched.enqueue(requests[next]);
+                ++next;
+            }
+            continue;
+        }
+        stats.generated_tokens += step.ids.size();
+        for (const std::uint64_t id : sched.complete_decode(step)) {
+            stats.completion_order.push_back(id);
+        }
+        if (next < requests.size() && stats.steps % 2 == 0) {
+            sched.enqueue(requests[next]);
+            ++next;
+        }
+    }
+    return stats;
+}
+
+TEST(Scheduler, EveryRequestCompletesUnderBothPolicies)
+{
+    const auto requests = trace(96, 3);
+    for (const SchedPolicy policy : sched_policies()) {
+        const DrainStats stats = drain(requests, policy, 8);
+        ASSERT_EQ(stats.completion_order.size(), requests.size())
+            << to_string(policy);
+        // ... each exactly once (no duplicates, no drops).
+        std::vector<std::uint64_t> sorted = stats.completion_order;
+        std::sort(sorted.begin(), sorted.end());
+        for (std::size_t i = 0; i < sorted.size(); ++i) {
+            EXPECT_EQ(sorted[i], i) << to_string(policy);
+        }
+    }
+}
+
+TEST(Scheduler, TokenConservationIsExact)
+{
+    const auto requests = trace(64, 5);
+    std::uint64_t prompts = 0;
+    std::uint64_t outputs = 0;
+    for (const Request& r : requests) {
+        prompts += r.prompt_tokens;
+        outputs += r.output_tokens;
+    }
+    for (const SchedPolicy policy : sched_policies()) {
+        const DrainStats stats = drain(requests, policy, 4);
+        EXPECT_EQ(stats.prefilled_tokens, prompts) << to_string(policy);
+        EXPECT_EQ(stats.generated_tokens, outputs) << to_string(policy);
+    }
+}
+
+TEST(Scheduler, NoStarvationFifoAdmissionIsOrdered)
+{
+    // FIFO: requests are admitted in id order, and the wait between
+    // consecutive admissions is bounded (nobody is bypassed).
+    const auto requests = trace(64, 7);
+    for (const SchedPolicy policy : sched_policies()) {
+        const DrainStats stats = drain(requests, policy, 4);
+        ASSERT_EQ(stats.admitted_at.size(), requests.size());
+        std::uint64_t prev_step = 0;
+        std::uint64_t prev_id = 0;
+        bool first = true;
+        for (const auto& [id, step] : stats.admitted_at) {
+            if (!first) {
+                EXPECT_EQ(id, prev_id + 1);
+                EXPECT_GE(step, prev_step); // admission follows id order
+                // Bounded wait: one full batch of decodes (output
+                // budget x cap) plus the admission step itself.
+                EXPECT_LE(step - prev_step, 4u * 4u + 2u)
+                    << "request " << id << " starved under "
+                    << to_string(policy);
+            }
+            first = false;
+            prev_id = id;
+            prev_step = step;
+        }
+    }
+}
+
+TEST(Scheduler, PrefillFirstBackfillsFreeSlotsMidFlight)
+{
+    // Two requests in the queue, cap 2: admit both, decode once, let
+    // one finish (output budget 1 vs 3), and check the policies split:
+    // prefill-first refills the free slot immediately, decode-first
+    // keeps decoding the survivor.
+    const auto make = [](std::uint64_t id, std::uint64_t out_tokens) {
+        Request r;
+        r.id = id;
+        r.arrival_s = 0.0;
+        r.prompt_tokens = 64;
+        r.output_tokens = out_tokens;
+        return r;
+    };
+    for (const SchedPolicy policy : sched_policies()) {
+        SchedOptions opt;
+        opt.policy = policy;
+        opt.max_batch = 2;
+        ContinuousBatchScheduler sched(opt);
+        sched.enqueue(make(0, 1));
+        sched.enqueue(make(1, 3));
+
+        SchedStep step = sched.plan();
+        ASSERT_EQ(step.kind, SchedStep::Kind::kPrefill);
+        ASSERT_EQ(step.ids.size(), 2u);
+        sched.complete_prefill(step);
+
+        step = sched.plan();
+        ASSERT_EQ(step.kind, SchedStep::Kind::kDecode);
+        const auto finished = sched.complete_decode(step);
+        ASSERT_EQ(finished.size(), 1u);
+        EXPECT_EQ(finished[0], 0u);
+
+        sched.enqueue(make(2, 1)); // arrives mid-flight
+        step = sched.plan();
+        if (policy == SchedPolicy::kPrefillFirst) {
+            EXPECT_EQ(step.kind, SchedStep::Kind::kPrefill)
+                << "continuous batching must backfill the free slot";
+        } else {
+            EXPECT_EQ(step.kind, SchedStep::Kind::kDecode)
+                << "static batching must drain before admitting";
+        }
+    }
+}
+
+TEST(Scheduler, ContextTokensTrackPromptPlusGenerated)
+{
+    SchedOptions opt;
+    opt.max_batch = 1;
+    ContinuousBatchScheduler sched(opt);
+    Request r;
+    r.id = 0;
+    r.prompt_tokens = 100;
+    r.output_tokens = 3;
+    sched.enqueue(r);
+    SchedStep step = sched.plan();
+    sched.complete_prefill(step);
+    EXPECT_EQ(sched.context_tokens(0), 101u); // producing token 1
+    step = sched.plan();
+    sched.complete_decode(step);
+    EXPECT_EQ(sched.context_tokens(0), 102u); // producing token 2
+}
+
+TEST(Scheduler, RejectsMisuse)
+{
+    SchedOptions zero_cap;
+    zero_cap.max_batch = 0;
+    EXPECT_THROW(ContinuousBatchScheduler{zero_cap}, Error);
+
+    ContinuousBatchScheduler sched(SchedOptions{});
+    SchedStep decode;
+    decode.kind = SchedStep::Kind::kDecode;
+    EXPECT_THROW(sched.complete_prefill(decode), Error);
+    SchedStep prefill;
+    prefill.kind = SchedStep::Kind::kPrefill;
+    EXPECT_THROW(sched.complete_decode(prefill), Error);
+}
+
+} // namespace
+} // namespace flat

@@ -1,0 +1,273 @@
+/**
+ * @file
+ * Determinism contract of the request-level traffic simulator: the
+ * serving report — SLO percentiles, tokens/s, and the exact completion
+ * order — is bit-identical at any inner-DSE thread count and batch
+ * width, and a run resumed from a step-cost journal (even one
+ * truncated mid-write) reproduces the uninterrupted report bit for
+ * bit. The serving event loop is strictly serial; the only parallelism
+ * is inside each step-cost DSE, whose result is thread-invariant.
+ */
+#include "serving/serving.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "common/run_journal.h"
+#include "common/status.h"
+#include "workload/model_config.h"
+
+namespace flat {
+namespace {
+
+std::vector<Request>
+small_trace()
+{
+    ArrivalOptions opt;
+    opt.kind = ArrivalKind::kPoisson;
+    opt.seed = 13;
+    opt.rate_rps = 16.0;
+    opt.requests = 10;
+    opt.prompt_tokens = 256;
+    opt.output_tokens = 6;
+    return generate_arrivals(opt);
+}
+
+ServeOptions
+serve_options(unsigned threads, std::size_t batch_width,
+              RunJournal* journal = nullptr)
+{
+    ServeOptions opt;
+    opt.sched.max_batch = 4;
+    opt.sim.quick = true;
+    opt.sim.threads = threads;
+    opt.sim.batch_width = batch_width;
+    opt.journal = journal;
+    return opt;
+}
+
+void
+expect_identical_reports(const ServeReport& a, const ServeReport& b,
+                         const char* what)
+{
+    EXPECT_EQ(a.completed, b.completed) << what;
+    EXPECT_EQ(a.p50_s, b.p50_s) << what; // bit-exact, no tolerance
+    EXPECT_EQ(a.p95_s, b.p95_s) << what;
+    EXPECT_EQ(a.p99_s, b.p99_s) << what;
+    EXPECT_EQ(a.mean_s, b.mean_s) << what;
+    EXPECT_EQ(a.makespan_s, b.makespan_s) << what;
+    EXPECT_EQ(a.tokens_per_s, b.tokens_per_s) << what;
+    EXPECT_EQ(a.prefill_steps, b.prefill_steps) << what;
+    EXPECT_EQ(a.decode_steps, b.decode_steps) << what;
+    ASSERT_EQ(a.completion_order.size(), b.completion_order.size())
+        << what;
+    for (std::size_t i = 0; i < a.completion_order.size(); ++i) {
+        EXPECT_EQ(a.completion_order[i], b.completion_order[i]) << what;
+    }
+}
+
+RunJournalHeader
+serve_header(const AccelConfig& accel, const ModelConfig& model,
+             const std::vector<Request>& requests,
+             const ServeOptions& options)
+{
+    RunJournalHeader header;
+    header.mode = "serve";
+    header.space_hash = fnv1a64(
+        serving_space_canonical(accel, model, requests, options));
+    return header;
+}
+
+TEST(TrafficDeterminism, ReportIsThreadAndBatchWidthInvariant)
+{
+    const AccelConfig accel = edge_accel();
+    const ModelConfig model = model_by_name("bert");
+    const std::vector<Request> requests = small_trace();
+
+    const ServeReport reference =
+        run_serving(accel, model, requests, serve_options(1, 1));
+    ASSERT_EQ(reference.completed, requests.size());
+    ASSERT_GT(reference.tokens_per_s, 0.0);
+
+    for (const unsigned threads : {1u, 8u}) {
+        for (const std::size_t width : {std::size_t{1}, std::size_t{0}}) {
+            const ServeReport candidate = run_serving(
+                accel, model, requests, serve_options(threads, width));
+            expect_identical_reports(
+                reference, candidate,
+                (std::string("threads=") + std::to_string(threads) +
+                 " width=" + std::to_string(width))
+                    .c_str());
+        }
+    }
+}
+
+TEST(TrafficDeterminism, BothPoliciesDrainDeterministically)
+{
+    const AccelConfig accel = edge_accel();
+    const ModelConfig model = model_by_name("bert");
+    const std::vector<Request> requests = small_trace();
+    for (const SchedPolicy policy : sched_policies()) {
+        ServeOptions a = serve_options(1, 0);
+        a.sched.policy = policy;
+        ServeOptions b = serve_options(8, 0);
+        b.sched.policy = policy;
+        expect_identical_reports(run_serving(accel, model, requests, a),
+                                 run_serving(accel, model, requests, b),
+                                 to_string(policy).c_str());
+    }
+}
+
+class TrafficJournal : public ::testing::Test
+{
+  protected:
+    void SetUp() override
+    {
+        path_ = ::testing::TempDir() + "flat_traffic_journal_" +
+                ::testing::UnitTest::GetInstance()
+                    ->current_test_info()
+                    ->name() +
+                ".jsonl";
+        std::remove(path_.c_str());
+    }
+
+    void TearDown() override { std::remove(path_.c_str()); }
+
+    std::string path_;
+};
+
+TEST_F(TrafficJournal, ResumedRunMatchesUninterruptedBitForBit)
+{
+    const AccelConfig accel = edge_accel();
+    const ModelConfig model = model_by_name("bert");
+    const std::vector<Request> requests = small_trace();
+
+    const ServeReport uninterrupted =
+        run_serving(accel, model, requests, serve_options(1, 0));
+
+    // Journaled first run, then a resume that replays every step cost.
+    {
+        ServeOptions opt = serve_options(1, 0);
+        auto journal = RunJournal::create(
+            path_, serve_header(accel, model, requests, opt));
+        opt.journal = journal.get();
+        const ServeReport journaled =
+            run_serving(accel, model, requests, opt);
+        expect_identical_reports(uninterrupted, journaled, "journaled");
+        EXPECT_EQ(journaled.cost_journal_hits, 0u);
+    }
+    {
+        ServeOptions opt = serve_options(8, 0);
+        auto journal = RunJournal::open_resume(
+            path_, serve_header(accel, model, requests, opt));
+        EXPECT_GT(journal->restored(), 0u);
+        opt.journal = journal.get();
+        const ServeReport resumed =
+            run_serving(accel, model, requests, opt);
+        expect_identical_reports(uninterrupted, resumed, "resumed");
+        // Every distinct step cost came from the journal, none from a
+        // fresh DSE.
+        EXPECT_EQ(resumed.cost_journal_hits,
+                  resumed.cost_lookups - resumed.cost_memo_hits);
+        EXPECT_GT(resumed.cost_journal_hits, 0u);
+    }
+}
+
+TEST_F(TrafficJournal, ResumeFromTruncatedJournalMatchesUninterrupted)
+{
+    const AccelConfig accel = edge_accel();
+    const ModelConfig model = model_by_name("bert");
+    const std::vector<Request> requests = small_trace();
+
+    const ServeReport uninterrupted =
+        run_serving(accel, model, requests, serve_options(1, 0));
+
+    {
+        ServeOptions opt = serve_options(1, 0);
+        auto journal = RunJournal::create(
+            path_, serve_header(accel, model, requests, opt));
+        opt.journal = journal.get();
+        run_serving(accel, model, requests, opt);
+    }
+
+    // Simulate a crash mid-write: drop the tail of the journal,
+    // leaving a torn final line behind.
+    std::ifstream in(path_);
+    std::string text((std::istreambuf_iterator<char>(in)),
+                     std::istreambuf_iterator<char>());
+    in.close();
+    ASSERT_GT(text.size(), 0u);
+    std::size_t cut = text.size() - text.size() / 3;
+    {
+        std::ofstream out(path_, std::ios::trunc);
+        out << text.substr(0, cut); // mid-record: torn final line
+    }
+
+    ServeOptions opt = serve_options(8, 0);
+    auto journal = RunJournal::open_resume(
+        path_, serve_header(accel, model, requests, opt));
+    opt.journal = journal.get();
+    const ServeReport resumed = run_serving(accel, model, requests, opt);
+    expect_identical_reports(uninterrupted, resumed,
+                             "resume from truncated journal");
+    // The torn tail re-evaluates; the intact prefix replays.
+    EXPECT_GT(resumed.cost_journal_hits, 0u);
+}
+
+TEST_F(TrafficJournal, StaleJournalIsRejected)
+{
+    const AccelConfig accel = edge_accel();
+    const ModelConfig model = model_by_name("bert");
+    const std::vector<Request> requests = small_trace();
+    ServeOptions opt = serve_options(1, 0);
+    {
+        auto journal = RunJournal::create(
+            path_, serve_header(accel, model, requests, opt));
+        opt.journal = journal.get();
+        run_serving(accel, model, requests, opt);
+    }
+    // A different trace (one more request) is a different space.
+    ArrivalOptions bigger;
+    bigger.seed = 13;
+    bigger.rate_rps = 16.0;
+    bigger.requests = 11;
+    bigger.prompt_tokens = 256;
+    bigger.output_tokens = 6;
+    const std::vector<Request> other = generate_arrivals(bigger);
+    EXPECT_THROW(RunJournal::open_resume(
+                     path_, serve_header(accel, model, other, opt)),
+                 Error);
+}
+
+TEST(ServingSearch, AutoPicksTheThroughputWinnerDeterministically)
+{
+    const AccelConfig accel = edge_accel();
+    const ModelConfig model = model_by_name("bert");
+    const std::vector<Request> requests = small_trace();
+
+    ServeOptions opt = serve_options(1, 0);
+    const ServingSearchResult a =
+        search_serving(accel, model, requests, opt);
+    ASSERT_TRUE(a.found);
+    // style registry x 2 batching policies, all feasible here
+    EXPECT_EQ(a.evaluated.size() % 2, 0u);
+    EXPECT_GE(a.evaluated.size(), 4u);
+    for (const ServeReport& r : a.evaluated) {
+        EXPECT_LE(r.tokens_per_s, a.report.tokens_per_s);
+    }
+
+    ServeOptions opt8 = serve_options(8, 1);
+    const ServingSearchResult b =
+        search_serving(accel, model, requests, opt8);
+    ASSERT_TRUE(b.found);
+    EXPECT_EQ(a.best.style, b.best.style);
+    EXPECT_EQ(a.best.sched, b.best.sched);
+    expect_identical_reports(a.report, b.report, "serving search");
+}
+
+} // namespace
+} // namespace flat

@@ -7,13 +7,17 @@
 namespace flat {
 namespace {
 
-TEST(ModelConfig, ZooHasFivePaperModels)
+TEST(ModelConfig, ZooHasPaperModelsPlusGqaDecoder)
 {
     const auto zoo = model_zoo();
-    ASSERT_EQ(zoo.size(), 5u);
+    ASSERT_EQ(zoo.size(), 6u);
     for (const ModelConfig& m : zoo) {
         EXPECT_NO_THROW(m.validate()) << m.name;
     }
+    // The paper's five are all classic MHA; the serving decoder is
+    // the only grouped-query entry.
+    EXPECT_EQ(zoo.back().name, "mistral");
+    EXPECT_NE(zoo.back().num_kv_heads, 0u);
 }
 
 TEST(ModelConfig, BertBase)
@@ -33,8 +37,29 @@ TEST(ModelConfig, XlmIsWidest)
     EXPECT_EQ(m.hidden_dim, 2048u);
     EXPECT_EQ(m.head_dim(), 128u);
     for (const ModelConfig& other : model_zoo()) {
+        if (other.num_kv_heads != 0) {
+            continue; // the GQA decoder is wider but not a paper model
+        }
         EXPECT_LE(other.hidden_dim, m.hidden_dim) << other.name;
     }
+}
+
+TEST(ModelConfig, KvHeadsDefaultsToQueryHeads)
+{
+    EXPECT_EQ(bert_base().kv_heads(), bert_base().num_heads);
+    const ModelConfig m = mistral();
+    EXPECT_EQ(m.num_kv_heads, 8u);
+    EXPECT_EQ(m.kv_heads(), 8u);
+    EXPECT_EQ(m.num_heads % m.kv_heads(), 0u);
+}
+
+TEST(ModelConfig, ValidateRejectsIndivisibleKvHeads)
+{
+    ModelConfig m = mistral();
+    m.num_kv_heads = 5; // 32 % 5 != 0
+    EXPECT_THROW(m.validate(), Error);
+    m.num_kv_heads = 64; // more KV heads than query heads
+    EXPECT_THROW(m.validate(), Error);
 }
 
 TEST(ModelConfig, HeadDimDividesHidden)

@@ -6,8 +6,9 @@ Usage: bench_compare.py BASELINE.json CANDIDATE.json [--threshold PCT]
 Fails (exit 1) when the candidate's headline metric regresses by more
 than the threshold (default 7.5%) relative to the baseline:
 
-  dse_throughput    cache_on.points_per_sec
-  cache_contention  mixed.t8.lookups_per_sec
+  dse_throughput      cache_on.points_per_sec
+  cache_contention    mixed.t8.lookups_per_sec
+  serving_throughput  prefill_first.steps_per_sec
 
 Secondary metrics are reported but only warn: they are noisier and a
 real regression shows up in the headline number anyway.
@@ -35,6 +36,8 @@ HEADLINES = {
     "dse_throughput": ("cache-on points/s", "cache_on.points_per_sec"),
     "cache_contention": ("mixed t8 lookups/s",
                          "mixed.t8.lookups_per_sec"),
+    "serving_throughput": ("prefill-first sim steps/s (wall)",
+                           "prefill_first.steps_per_sec"),
 }
 SECONDARY = {
     "dse_throughput": [
@@ -49,6 +52,16 @@ SECONDARY = {
         ("hot t1 lookups/s", "hot.t1.lookups_per_sec", +1),
         ("hot t32 lookups/s", "hot.t32.lookups_per_sec", +1),
         ("cold t8 lookups/s", "cold.t8.lookups_per_sec", +1),
+    ],
+    "serving_throughput": [
+        ("decode-first steps/s (wall)",
+         "decode_first.steps_per_sec", +1),
+        ("prefill-first sim tokens/s",
+         "prefill_first.sim_tokens_per_s", +1),
+        ("prefill-first p99 latency", "prefill_first.p99_s", -1),
+        ("decode-first sim tokens/s",
+         "decode_first.sim_tokens_per_s", +1),
+        ("decode-first p99 latency", "decode_first.p99_s", -1),
     ],
 }
 

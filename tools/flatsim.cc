@@ -35,6 +35,7 @@
 #include "costmodel/execution_style.h"
 #include "costmodel/trace.h"
 #include "scaleout/scaleout_search.h"
+#include "serving/serving.h"
 #include "workload/model_config.h"
 
 namespace {
@@ -103,6 +104,30 @@ multi-device scale-out (shards the L-A layer; see src/scaleout/):
                      edge-mesh (flags above override preset fields)
   --scaleout-file F  load a fabric description (key = value; see
                      arch/scaleout_config.h for the keys)
+
+inference serving (request-level traffic simulator; src/serving/):
+  --serve            serve an arrival trace through the continuous-
+                     batching scheduler, pricing every prefill/decode
+                     step with the cost model, and report p50/p95/p99
+                     request latency plus sustained tokens/s
+  --arrival KIND     poisson | bursty | replay               (default poisson)
+  --arrival-file F   replay trace: `arrival_s,prompt,output` rows
+                     ('#' comments); required with --arrival replay
+  --rate R           offered load in requests/second         (default 4)
+  --serve-requests N requests to generate                    (default 32)
+  --serve-seed S     arrival-trace PRNG seed                 (default 1)
+  --sched NAME       prefill-first | decode-first | auto     (default
+                     prefill-first); auto runs the serving DSE over
+                     execution style x batching policy and reports the
+                     best combination by tokens/s (ties: lower p99)
+  --max-batch N      batch arbitration cap                   (default 8)
+  --prompt-tokens N  mean prompt length (+/- 25%% jitter)     (default 512)
+  --output-tokens N  generated tokens per request            (default 32)
+  --ctx-bucket N     context-length rounding granule for the
+                     step-cost memo                          (default 64)
+  (--serve composes with --journal/--resume: step costs checkpoint
+  under scope "serve" and a resumed report is bit-identical. The
+  report is bit-identical at any --threads / --batch-width too.)
 
 batch sweeps (fault-isolated; see core/sweep.h for the spec syntax):
   --sweep FILE       evaluate the cross product described by FILE; a
@@ -267,6 +292,18 @@ struct Args {
     std::string resume_file;  ///< --resume: restore + append
     std::uint64_t retries = 0;
     std::uint64_t retry_backoff_ms = 0;
+
+    bool serve = false;             ///< --serve: traffic-simulator mode
+    std::string arrival = "poisson"; ///< poisson | bursty | replay
+    std::string arrival_file;        ///< --arrival replay trace
+    double rate = 4.0;               ///< offered load, requests/s
+    std::uint64_t serve_requests = 32;
+    std::uint64_t serve_seed = 1;
+    std::string sched = "prefill-first"; ///< + decode-first | auto
+    std::uint64_t max_batch = 8;
+    std::uint64_t prompt_tokens = 512;
+    std::uint64_t output_tokens = 32;
+    std::uint64_t ctx_bucket = 64;
 };
 
 /**
@@ -319,6 +356,29 @@ parse_u64_flag(const std::string& flag, const std::string& text,
         throw UsageError(flag + " value " + text + " is out of range [" +
                          std::to_string(min) + ", " +
                          std::to_string(max) + "]");
+    }
+    return value;
+}
+
+/**
+ * Parses a positive decimal flag value (e.g. --rate): the whole token
+ * must parse and land in (0, max]. Anything else is a usage error.
+ */
+double
+parse_positive_double_flag(const std::string& flag,
+                           const std::string& text, double max = 1e12)
+{
+    std::size_t pos = 0;
+    double value = 0.0;
+    try {
+        value = std::stod(text, &pos);
+    } catch (const std::exception&) {
+        pos = 0;
+    }
+    if (pos == 0 || pos != text.size() || !(value > 0.0) ||
+        value > max) {
+        throw UsageError(flag + " expects a positive number, got '" +
+                         text + "'");
     }
     return value;
 }
@@ -749,6 +809,221 @@ run(const Args& args)
     return 0;
 }
 
+/** Shared --serve report body (table or JSON object fields). */
+void
+print_serve_report(const Args& args, const AccelConfig& accel,
+                   const ServeReport& report, const char* picked_style)
+{
+    if (args.json) {
+        JsonWriter json;
+        json.begin_object();
+        json.field("model", report.model);
+        json.field("platform", accel.name);
+        json.field("policy", report.policy);
+        json.field("style", picked_style);
+        json.field("sched", report.sched_policy);
+        json.field("arrival", args.arrival);
+        json.field("max_batch", report.max_batch);
+        json.field("offered", report.offered);
+        json.field("completed", report.completed);
+        json.field("p50_s", report.p50_s);
+        json.field("p95_s", report.p95_s);
+        json.field("p99_s", report.p99_s);
+        json.field("mean_s", report.mean_s);
+        json.field("makespan_s", report.makespan_s);
+        json.field("tokens_per_s", report.tokens_per_s);
+        json.field("prefilled_tokens", report.prefilled_tokens);
+        json.field("generated_tokens", report.generated_tokens);
+        json.field("prefill_steps", report.prefill_steps);
+        json.field("decode_steps", report.decode_steps);
+        json.field("cost_lookups", report.cost_lookups);
+        json.field("cost_memo_hits", report.cost_memo_hits);
+        json.field("cost_journal_hits", report.cost_journal_hits);
+        json.field("cancelled", report.cancelled);
+        json.key("completion_order");
+        json.begin_array();
+        for (const std::uint64_t id : report.completion_order) {
+            json.value(id);
+        }
+        json.end_array();
+        json.end_object();
+        std::printf("%s\n", json.str().c_str());
+        return;
+    }
+
+    std::printf("serving  : %s on %s, %s arrivals @ %.3g req/s, "
+                "%llu requests\n",
+                report.model.c_str(), accel.name.c_str(),
+                args.arrival.c_str(), args.rate,
+                static_cast<unsigned long long>(report.offered));
+    std::printf("batching : %s, cap %llu, dataflow %s (style %s)%s\n\n",
+                report.sched_policy.c_str(),
+                static_cast<unsigned long long>(report.max_batch),
+                report.policy.c_str(), picked_style,
+                report.cancelled ? " [cancelled: partial report]" : "");
+
+    TextTable table({"metric", "value"});
+    table.add_row({"completed",
+                   strprintf("%llu / %llu",
+                             static_cast<unsigned long long>(
+                                 report.completed),
+                             static_cast<unsigned long long>(
+                                 report.offered))});
+    table.add_row({"p50 latency", format_time(report.p50_s)});
+    table.add_row({"p95 latency", format_time(report.p95_s)});
+    table.add_row({"p99 latency", format_time(report.p99_s)});
+    table.add_row({"mean latency", format_time(report.mean_s)});
+    table.add_row({"makespan", format_time(report.makespan_s)});
+    table.add_row({"tokens/s",
+                   strprintf("%.4g", report.tokens_per_s)});
+    table.add_row({"prefill steps",
+                   std::to_string(report.prefill_steps)});
+    table.add_row({"decode steps",
+                   std::to_string(report.decode_steps)});
+    table.add_row(
+        {"step-cost lookups",
+         strprintf("%llu (%llu memo, %llu journal hits)",
+                   static_cast<unsigned long long>(report.cost_lookups),
+                   static_cast<unsigned long long>(
+                       report.cost_memo_hits),
+                   static_cast<unsigned long long>(
+                       report.cost_journal_hits))});
+    table.print(std::cout);
+}
+
+/** --serve excludes the single-run/sweep-only surfaces. */
+void
+throw_if_serve_conflicts(const Args& args)
+{
+    if (!args.sweep_file.empty()) {
+        throw UsageError("--serve and --sweep are mutually exclusive");
+    }
+    if (args.trace || args.trace_json || !args.trace_csv.empty()) {
+        throw UsageError("--serve has no per-phase trace; drop the "
+                         "--trace flags");
+    }
+}
+
+int
+run_serve_mode(const Args& args)
+{
+    const ModelConfig model = model_by_name(args.model);
+    FLAT_CHECK(to_lower(args.platform) == "cloud" ||
+                   to_lower(args.platform) == "edge",
+               "unknown platform '" << args.platform
+                                    << "' (edge | cloud)");
+    AccelConfig accel = (to_lower(args.platform) == "cloud")
+                            ? cloud_accel()
+                            : edge_accel();
+    if (!args.platform_file.empty()) {
+        accel = accel_from_config_file(args.platform_file, accel);
+    }
+    if (!args.buffer.empty()) {
+        accel.sg_bytes = parse_bytes(args.buffer);
+    }
+    if (!args.sg2.empty()) {
+        accel.sg2_bytes = parse_bytes(args.sg2);
+        accel.sg2_bw = parse_bandwidth(args.sg2_bw);
+    }
+    if (!args.offchip_bw.empty()) {
+        accel.offchip_bw = parse_bandwidth(args.offchip_bw);
+    }
+
+    // Flag-VALUE validation: unknown arrival kinds / scheduling
+    // policies and a missing or unreadable replay trace are CLI
+    // misuse (exit 2), like every other bad flag value.
+    ArrivalOptions trace_options;
+    const bool auto_sched = args.sched == "auto";
+    SchedPolicy fixed_policy = SchedPolicy::kPrefillFirst;
+    try {
+        trace_options.kind = parse_arrival_kind(args.arrival);
+        if (!auto_sched) {
+            fixed_policy = parse_sched_policy(args.sched);
+        }
+    } catch (const InternalError&) {
+        throw;
+    } catch (const Error& e) {
+        throw UsageError(std::string(e.what()) +
+                         " (--sched also accepts 'auto')");
+    }
+    if (trace_options.kind == ArrivalKind::kReplay &&
+        args.arrival_file.empty()) {
+        throw UsageError("--arrival replay needs --arrival-file FILE");
+    }
+    trace_options.seed = args.serve_seed;
+    trace_options.rate_rps = args.rate;
+    trace_options.requests = args.serve_requests;
+    trace_options.prompt_tokens = args.prompt_tokens;
+    trace_options.output_tokens = args.output_tokens;
+    trace_options.replay_file = args.arrival_file;
+    std::vector<Request> requests;
+    try {
+        requests = generate_arrivals(trace_options);
+    } catch (const InternalError&) {
+        throw;
+    } catch (const Error& e) {
+        // The trace comes straight from flag values; a bad one is
+        // misuse, not a config error.
+        throw UsageError(e.what());
+    }
+
+    ServeOptions options;
+    options.sched.policy = fixed_policy;
+    options.sched.max_batch = args.max_batch;
+    options.policy = args.policy;
+    options.ctx_bucket = args.ctx_bucket;
+    options.sim.objective = parse_objective(args.objective);
+    options.sim.quick = args.quick;
+    options.sim.threads = static_cast<unsigned>(args.threads);
+    options.sim.prune = !args.no_prune;
+    options.sim.batch_width =
+        static_cast<std::size_t>(args.batch_width);
+    options.sim.baseline_overlap = args.serialized_baseline
+                                       ? BaselineOverlap::kSerialized
+                                       : BaselineOverlap::kFull;
+    options.sim.styles = args.styles;
+    options.sim.cancel = &g_signal_cancel;
+
+    // Journal identity: the full serving space (accel, model, the
+    // whole trace, scheduler + DSE knobs) plus the sched-mode string,
+    // so an `auto` search never resumes a fixed-policy journal.
+    RunJournalHeader journal_header;
+    journal_header.mode = "serve";
+    journal_header.space_hash = fnv1a64(
+        args.sched + '|' +
+        serving_space_canonical(accel, model, requests, options));
+    const std::unique_ptr<RunJournal> journal =
+        open_journal(args, journal_header);
+    options.journal = journal.get();
+
+    ServeReport report;
+    std::string picked_style =
+        args.styles.empty() ? "default" : join(args.styles, ",");
+    if (auto_sched) {
+        const ServingSearchResult result =
+            search_serving(accel, model, requests, options);
+        FLAT_CHECK(result.found || result.report.cancelled,
+                   "no feasible execution style x batching policy "
+                   "combination for this trace");
+        report = result.report;
+        if (result.found) {
+            picked_style = result.best.style;
+        }
+    } else {
+        report = run_serving(accel, model, requests, options);
+    }
+
+    print_serve_report(args, accel, report, picked_style.c_str());
+    if (report.cancelled) {
+        // Partial SLO report first, then the documented cancelled
+        // exit path (stderr diagnostic + exit code 5).
+        throw CancelledError(CancelReason::kSignal,
+                             "serving drained after cancellation; the "
+                             "report covers the completed prefix");
+    }
+    return 0;
+}
+
 int
 run_sweep_mode(const Args& args)
 {
@@ -923,6 +1198,32 @@ main(int argc, char** argv)
                 args.scaleout_preset = next();
             } else if (flag == "--scaleout-file") {
                 args.scaleout_file = next();
+            } else if (flag == "--serve") {
+                args.serve = true;
+            } else if (flag == "--arrival") {
+                args.arrival = next();
+            } else if (flag == "--arrival-file") {
+                args.arrival_file = next();
+            } else if (flag == "--rate") {
+                args.rate = parse_positive_double_flag(flag, next());
+            } else if (flag == "--serve-requests") {
+                args.serve_requests =
+                    parse_u64_flag(flag, next(), 1, 1 << 20);
+            } else if (flag == "--serve-seed") {
+                args.serve_seed = parse_u64_flag(flag, next());
+            } else if (flag == "--sched") {
+                args.sched = flat::to_lower(next());
+            } else if (flag == "--max-batch") {
+                args.max_batch = parse_u64_flag(flag, next(), 1, 4096);
+            } else if (flag == "--prompt-tokens") {
+                args.prompt_tokens =
+                    parse_u64_flag(flag, next(), 1, kMaxDim);
+            } else if (flag == "--output-tokens") {
+                args.output_tokens =
+                    parse_u64_flag(flag, next(), 1, kMaxDim);
+            } else if (flag == "--ctx-bucket") {
+                args.ctx_bucket =
+                    parse_u64_flag(flag, next(), 1, kMaxDim);
             } else {
                 std::fprintf(stderr, "unknown flag: %s\n\n",
                              flag.c_str());
@@ -961,6 +1262,10 @@ main(int argc, char** argv)
         // Arm the graceful SIGINT/SIGTERM drain only once real work
         // starts; a second signal hard-exits with 128+signo.
         flat::install_signal_cancellation(&g_signal_cancel);
+        if (args.serve) {
+            throw_if_serve_conflicts(args);
+            return run_serve_mode(args);
+        }
         return args.sweep_file.empty() ? run(args)
                                        : run_sweep_mode(args);
     } catch (const std::exception& e) {
