@@ -124,6 +124,40 @@ golden_configs()
     return configs;
 }
 
+GoldenSearchSetup
+golden_search_setup(const GoldenConfig& config)
+{
+    GoldenSearchSetup setup;
+    setup.accel = accel_for_preset(config.preset);
+    setup.dims = dims_for(config);
+    setup.options.quick = true;
+    switch (config.style) {
+      case GoldenStyle::kFlat:
+      case GoldenStyle::kPipelined:
+        setup.options.fused = true;
+        break;
+      case GoldenStyle::kBaselineFull:
+      case GoldenStyle::kBaselineSerialized:
+        setup.options.fused = false;
+        break;
+      case GoldenStyle::kFlash:
+        setup.options.fused = true;
+        setup.options.styles = {"flash"};
+        break;
+      case GoldenStyle::kScaleOutSequence:
+      case GoldenStyle::kScaleOutHead:
+        setup.options.fused = true;
+        setup.dims = shard_attention_dims(
+            setup.dims,
+            config.style == GoldenStyle::kScaleOutSequence
+                ? ShardAxis::kSequence
+                : ShardAxis::kHead,
+            config.devices);
+        break;
+    }
+    return setup;
+}
+
 std::string
 golden_trace_json(const GoldenConfig& config)
 {

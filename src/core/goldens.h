@@ -13,6 +13,10 @@
 #include <string>
 #include <vector>
 
+#include "arch/accel_config.h"
+#include "dse/search.h"
+#include "workload/attention.h"
+
 namespace flat {
 
 /** Execution style a golden pins. */
@@ -43,6 +47,21 @@ struct GoldenConfig {
 
 /** The pinned catalog, stable order. */
 const std::vector<GoldenConfig>& golden_configs();
+
+/** The (accel, dims, quick-DSE options) triple behind one golden's
+ *  dataflow pick. Scale-out goldens search the per-device shard. */
+struct GoldenSearchSetup {
+    AccelConfig accel;
+    AttentionDims dims;
+    AttentionSearchOptions options;
+};
+
+/**
+ * The exact search golden_trace_json() runs to pick @p config's
+ * dataflow — exposed so the analytic-mapper bench and parity checks
+ * can re-run the catalog's searches under a different SearchMode.
+ */
+GoldenSearchSetup golden_search_setup(const GoldenConfig& config);
 
 /**
  * The exact golden bytes for @p config: a quick deterministic DSE

@@ -36,7 +36,8 @@ fold_la_stages(const TimelineResult& timeline)
     return out;
 }
 
-/** Single-point candidate menus for the fixed (non-opt) policies. */
+} // namespace
+
 CandidateOptions
 fixed_policy_candidates()
 {
@@ -51,13 +52,12 @@ fixed_policy_candidates()
     return cand;
 }
 
-} // namespace
-
 AttentionSearchOptions
 attention_options(const DataflowPolicy& policy, const SimOptions& options)
 {
     AttentionSearchOptions out;
     out.objective = options.objective;
+    out.mode = options.search_mode;
     out.quick = options.quick;
     out.baseline_overlap = options.baseline_overlap;
     out.threads = options.threads;
@@ -90,6 +90,7 @@ attention_options(const AcceleratorSpec& spec, const SimOptions& options)
     const DataflowPolicy policy = spec.la_policy();
     AttentionSearchOptions out;
     out.objective = options.objective;
+    out.mode = options.search_mode;
     out.quick = options.quick;
     out.baseline_overlap = options.baseline_overlap;
     out.threads = options.threads;
@@ -192,6 +193,8 @@ Simulator::run_impl(const Workload& workload, Scope scope,
     report.la_dataflow_tag = style_prefix + la.best.dataflow.tag();
     report.la_points_evaluated = la.evaluated;
     report.la_points_pruned = la.pruned;
+    report.la_verified = la.verified;
+    report.la_verified_ratio = la.verified_ratio;
     report.traffic += la.best.cost.activity.traffic;
 
     // Re-evaluate the winning dataflow's timeline for the per-stage

@@ -23,6 +23,11 @@ namespace flat {
 struct SimOptions {
     Objective objective = Objective::kRuntime;
 
+    /** How the L-A DSE walks its space (exhaustive sweep, analytic
+     *  tile mapper, or analytic cross-checked against exhaustive).
+     *  See AttentionSearchOptions::mode. */
+    SearchMode search_mode = SearchMode::kExhaustive;
+
     /** Smaller DSE menus (used by the broad Figure 8/9 sweeps). */
     bool quick = false;
 
@@ -111,6 +116,11 @@ struct ScopeReport {
     std::size_t la_points_evaluated = 0;
     std::size_t la_points_pruned = 0;
 
+    /** analytic-verified mode only: the analytic pick's objective as a
+     *  ratio of the exhaustive optimum (1.0 = exact parity). */
+    bool la_verified = false;
+    double la_verified_ratio = 1.0;
+
     double util() const
     {
         return (cycles > 0.0) ? ideal_cycles / cycles : 0.0;
@@ -122,6 +132,9 @@ struct ScopeReport {
  * become deterministic single-point "searches" (fixed granularity,
  * default tiles, all FLAT-tiles enabled), -opt policies sweep the space.
  */
+/** Single-point candidate menus for the fixed (non-opt) policies. */
+CandidateOptions fixed_policy_candidates();
+
 AttentionSearchOptions attention_options(const DataflowPolicy& policy,
                                          const SimOptions& options);
 

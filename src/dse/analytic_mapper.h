@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Analytic tile mapper: the closed-form alternative to the exhaustive
+ * sweep (SearchMode::kAnalytic / kAnalyticVerified on
+ * AttentionSearchOptions).
+ *
+ * The discrete axes of the space — execution style, cross-loop
+ * granularity, stationarities — are still enumerated (filtered through
+ * ExecutionStyle::admits, exactly like the sweep), but inside each
+ * slice the continuous-ish axes are DERIVED instead of swept:
+ *
+ *  - tile sizes come from the SL/SG footprint constraint (the per-stage
+ *    double-buffering inequality the tile menus already solve) plus a
+ *    joint SG repair loop, bisecting the menu against the monotone
+ *    ExecutionStyle::bound_cycles lower bound where the
+ *    "largest-feasible-tile" closed form is ambiguous;
+ *  - loop orders come from the cached per-(tile, order) GEMM cost
+ *    records (argmin of bound cycles, ties to streamed SG bytes);
+ *  - staging flags start from the footprint test (stage everything
+ *    when the fused working set fits SG, drop the intermediate when it
+ *    does not).
+ *
+ * The derived seed is then polished by bounded local refinement through
+ * the exact timeline cost: axis scans over flags and loop orders plus
+ * +-1 neighbor steps in the (logit, attend) tile lattice, repeated to a
+ * fixed point. Every exact evaluation goes through the same batched
+ * evaluator as the sweep, so the winning point's cost/energy are
+ * bit-identical to what the exhaustive search would report for it, and
+ * the slice bookkeeping (journal records, evaluated + pruned == space
+ * size, deterministic reduction order) is shared with dse/search.cc.
+ */
+#ifndef FLAT_DSE_ANALYTIC_MAPPER_H
+#define FLAT_DSE_ANALYTIC_MAPPER_H
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "dse/search.h"
+
+namespace flat {
+
+/** Closed-form tile pick for one (style x cross x stationarity) slice. */
+struct AnalyticTileChoice {
+    /** Indices into the slice's per-stage tile menus. */
+    std::size_t logit_index = 0;
+    std::size_t attend_index = 0;
+    L2Tile logit;
+    L2Tile attend;
+
+    /** Fused live SG footprint (bytes) of the pick with every stage
+     *  flag enabled — the constraint the derivation solves against. */
+    std::uint64_t staged_footprint_bytes = 0;
+
+    /** staged_footprint_bytes <= accel.sg_bytes. False only when no
+     *  tile pair in the menus fits (e.g. M-Gran at long sequence
+     *  lengths, where the N^2 intermediate alone exceeds SG); the
+     *  refinement then drops the intermediate staging flag instead. */
+    bool fits = false;
+
+    /** The bound bisection picked a smaller tile than the
+     *  largest-feasible closed form (a non-monotone menu). */
+    bool bisected = false;
+};
+
+/** Derived starting point of one slice, before exact refinement. */
+struct AnalyticSliceSeed {
+    std::string slice_key; ///< style/cross/stat_logit/stat_attend
+    AnalyticTileChoice tiles;
+    LoopOrder order_logit = LoopOrder::kMNK;
+    LoopOrder order_attend = LoopOrder::kMNK;
+    FusedStageFlags stage;
+};
+
+/**
+ * The closed-form seeds for every slice of the space the options
+ * describe, in slice order. Exposed for the property tests (footprint
+ * feasibility, bound consistency); analytic_search_attention derives
+ * exactly these internally.
+ */
+std::vector<AnalyticSliceSeed>
+analytic_tile_seeds(const AccelConfig& accel, const AttentionDims& dims,
+                    const AttentionSearchOptions& options);
+
+/**
+ * The analytic search itself. Called by search_attention when
+ * options.mode != SearchMode::kExhaustive; call through
+ * search_attention rather than directly. Honors threads / prune /
+ * journal / cancel with the same contracts as the sweep: the result is
+ * bit-identical for any thread count, evaluated + pruned equals the
+ * full space size, and kAnalyticVerified fills the result's
+ * verification fields from a nested exhaustive run.
+ */
+AttentionSearchResult
+analytic_search_attention(const AccelConfig& accel,
+                          const AttentionDims& dims,
+                          const AttentionSearchOptions& options);
+
+} // namespace flat
+
+#endif // FLAT_DSE_ANALYTIC_MAPPER_H

@@ -1,0 +1,87 @@
+#include "dse/block_search.h"
+
+#include <map>
+#include <tuple>
+#include <utility>
+
+#include "common/status.h"
+
+namespace flat {
+
+BlockSearchResult
+search_block(const AccelConfig& accel, const Workload& workload,
+             const BlockSearchOptions& options)
+{
+    accel.validate();
+    FLAT_CHECK(!workload.ops.empty(), "block search on an empty block");
+
+    BlockSearchResult result;
+    result.blocks = workload.scope_multiplier(Scope::kModel);
+
+    // Identical GEMM shapes share one search: Q/K/V are the same
+    // activation-weight GEMM under MHA (GQA shrinks K/V), so the memo
+    // typically collapses three searches into one.
+    std::map<std::tuple<std::uint64_t, std::uint64_t, std::uint64_t>,
+             OperatorSearchResult>
+        gemm_memo;
+
+    bool la_done = false;
+    for (const Operator& op : workload.ops) {
+        if (op.category == OpCategory::kLogitAttend ||
+            op.category == OpCategory::kSoftmax) {
+            if (la_done) {
+                continue; // L, softmax, A are one fused layer
+            }
+            la_done = true;
+            const AttentionDims dims =
+                AttentionDims::from_workload(workload);
+            const AttentionSearchResult la =
+                search_attention(accel, dims, options.attention);
+            BlockLayerPlan layer;
+            layer.name = "L-A";
+            layer.attention = true;
+            layer.la = la.best;
+            layer.cycles = la.best.cost.cycles;
+            layer.energy_j = la.best.energy_j;
+            layer.evaluated = la.evaluated;
+            layer.pruned = la.pruned;
+            result.layers.push_back(std::move(layer));
+            continue;
+        }
+        FLAT_CHECK(op.kind == OpKind::kGemm,
+                   op.name << ": unexpected non-GEMM outside the L-A "
+                           << "group");
+        const auto key =
+            std::make_tuple(op.gemm.m, op.gemm.k, op.gemm.n);
+        auto it = gemm_memo.find(key);
+        const bool reused = it != gemm_memo.end();
+        if (!reused) {
+            it = gemm_memo
+                     .emplace(key,
+                              search_operator(accel, op, options.op))
+                     .first;
+        }
+        const OperatorSearchResult& best = it->second;
+        BlockLayerPlan layer;
+        layer.name = op.name;
+        layer.dataflow = best.dataflow;
+        layer.cycles = best.cost.cycles;
+        layer.energy_j = best.energy_j;
+        layer.evaluated = reused ? 0 : best.evaluated;
+        layer.reused = reused;
+        result.layers.push_back(std::move(layer));
+    }
+
+    for (const BlockLayerPlan& layer : result.layers) {
+        result.block_cycles += layer.cycles;
+        result.block_energy_j += layer.energy_j;
+        result.evaluated += layer.evaluated;
+        result.pruned += layer.pruned;
+    }
+    const double blocks = static_cast<double>(result.blocks);
+    result.model_cycles = result.block_cycles * blocks;
+    result.model_energy_j = result.block_energy_j * blocks;
+    return result;
+}
+
+} // namespace flat

@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Joint DSE over a whole Transformer block chain: the QKV projections,
+ * the fused L-A pipeline and the position-wise FCs of one block are
+ * searched together, each layer keeping its own heterogeneous mapping
+ * (cross loop, tiles, orders, staging) under a shared objective. The
+ * cheap per-point cost of the analytic mapper (SearchMode::kAnalytic)
+ * is what makes this practical — the block chain multiplies the
+ * attention space by the projection/FC spaces — but every mode works.
+ *
+ * Exposed on the CLI as `flatsim --block [--search-mode analytic]`.
+ */
+#ifndef FLAT_DSE_BLOCK_SEARCH_H
+#define FLAT_DSE_BLOCK_SEARCH_H
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "dse/search.h"
+#include "workload/attention.h"
+
+namespace flat {
+
+/** Options of the two per-layer searches. The attention options carry
+ *  the SearchMode; quick/objective/cancel should usually agree between
+ *  the two (simulator wiring keeps them in sync). */
+struct BlockSearchOptions {
+    AttentionSearchOptions attention;
+    OperatorSearchOptions op;
+};
+
+/** The chosen mapping of one layer in the chain. Exactly one of the
+ *  attention / GEMM views is meaningful, per the `attention` flag;
+ *  softmax is folded into the fused L-A layer. */
+struct BlockLayerPlan {
+    std::string name; ///< operator name ("Q", "FC1", ...; "L-A" fused)
+    bool attention = false;
+
+    /** Attention layer: the fused winner (style + dataflow). */
+    DsePoint la;
+
+    /** GEMM layer: the single-operator winner. */
+    OperatorDataflow dataflow;
+
+    double cycles = 0.0;
+    double energy_j = 0.0;
+    std::size_t evaluated = 0;
+    std::size_t pruned = 0;
+
+    /** The mapping was memoized from an earlier identical GEMM shape
+     *  (Q/K/V share one search for MHA) — audit counters stay with the
+     *  layer that ran the search. */
+    bool reused = false;
+};
+
+/** Joint outcome over the chain. */
+struct BlockSearchResult {
+    std::vector<BlockLayerPlan> layers; ///< execution order
+
+    double block_cycles = 0.0;   ///< serial sum over one block
+    double block_energy_j = 0.0;
+    std::uint64_t blocks = 1;    ///< model-scope multiplier
+    double model_cycles = 0.0;   ///< block totals x blocks
+    double model_energy_j = 0.0;
+
+    std::size_t evaluated = 0; ///< all layers, attention + GEMM
+    std::size_t pruned = 0;    ///< attention search only
+};
+
+/**
+ * Searches every layer of @p workload's block (attention via
+ * search_attention under options.attention — including its SearchMode —
+ * projections/FCs via search_operator, memoized across identical GEMM
+ * shapes) and returns the per-layer winners plus chain totals.
+ */
+BlockSearchResult search_block(const AccelConfig& accel,
+                               const Workload& workload,
+                               const BlockSearchOptions& options);
+
+} // namespace flat
+
+#endif // FLAT_DSE_BLOCK_SEARCH_H

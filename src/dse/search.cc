@@ -19,9 +19,11 @@
 #include "common/thread_pool.h"
 #include "costmodel/eval_cache.h"
 #include "costmodel/gemm_engine.h"
+#include "dse/analytic_mapper.h"
+#include "dse/search_internal.h"
 
 namespace flat {
-namespace {
+namespace detail {
 
 CandidateOptions
 effective_candidates(const CandidateOptions& base, bool quick)
@@ -46,13 +48,6 @@ effective_candidates(const CandidateOptions& base, bool quick)
     return opt;
 }
 
-/**
- * The styles a search enumerates, in a deterministic order. An empty
- * options.styles resolves to the single style the historical `fused`
- * flag selects, so legacy searches keep their exact space (and journal
- * scope); explicit ids are honored in the given order with duplicates
- * dropped, and "all" expands to the registry.
- */
 std::vector<const ExecutionStyle*>
 resolve_styles(const AttentionSearchOptions& options)
 {
@@ -83,45 +78,6 @@ resolve_styles(const AttentionSearchOptions& options)
     return out;
 }
 
-/**
- * One independent unit of parallel work: a (style, cross-loop, logit
- * stationarity, attend stationarity) slice of the space. Everything a
- * slice iterates over (tiles x orders x staging flags) is enumerated
- * serially inside the owning thread, in a deterministic order.
- */
-struct SearchSlice {
-    const ExecutionStyle* style = nullptr;
-    CrossLoop cross;
-    CrossLoopExtent extent;
-    GemmShape logit_shape;
-    GemmShape attend_shape;
-    Stationarity stat_logit = Stationarity::kOutputStationary;
-    Stationarity stat_attend = Stationarity::kOutputStationary;
-    const std::vector<L2Tile>* tiles_logit = nullptr;
-    const std::vector<L2Tile>* tiles_attend = nullptr;
-};
-
-/**
- * The sliced search space plus every per-slice invariant hoisted out of
- * the inner loops: tile menus are computed once per (GEMM shape,
- * stationarity) and shared by all slices with that key.
- */
-struct SlicedSpace {
-    std::vector<LoopOrder> orders;
-    std::vector<FusedStageFlags> flag_sets;
-    std::vector<SearchSlice> slices;
-
-    /** Keeps the process-wide cache's tile menus alive for the whole
-     *  search; keys are (m, k, n, stationarity). The shared_ptr targets
-     *  are immutable, so SearchSlice pointers into them stay valid. */
-    std::map<std::tuple<std::uint64_t, std::uint64_t, std::uint64_t, int>,
-             EvalCache::TileMenu>
-        tile_menus;
-};
-
-/** Shapes of the two staged GEMMs for one cross-loop choice. C-Gran
- *  streams kv in column blocks, so its staged shapes cover one block
- *  (cross_col_tile == kv_len everywhere else). */
 std::pair<GemmShape, GemmShape>
 stage_shapes(const AttentionDims& dims, const CrossLoop& cross,
              const CrossLoopExtent& extent)
@@ -138,12 +94,6 @@ stage_shapes(const AttentionDims& dims, const CrossLoop& cross,
     return {logit_shape, attend_shape};
 }
 
-/**
- * Decomposes the (restricted) space into slices. Slice order is the
- * serial enumeration order (style outer, then cross, stat_logit,
- * stat_attend), so concatenating per-slice results reproduces the
- * serial walk.
- */
 SlicedSpace
 build_sliced_space(const AccelConfig& accel, const AttentionDims& dims,
                    const AttentionSearchOptions& options)
@@ -273,80 +223,6 @@ for_each_slice_point(const SearchSlice& slice,
     }
 }
 
-/**
- * Per-slice ingredients of the pruning lower bound, hoisted out of the
- * point loop. The cycle bound combines the per-slice GEMM aggregates
- * (scaled by the slice count, column blocks included) through the
- * slice's style — ExecutionStyle::bound_cycles() — so each style keeps
- * its own monotone bound: the serial/fused styles add summed GEMM
- * occupancy, softmax and cold start (the timeline's group latency is
- * at least its compute lane under either overlap policy); the
- * pipelined style, whose concurrent tracks can beat that sum, bounds
- * by max(slower stage, softmax); flash adds its online-softmax rescale
- * SFU time. All use the exact model_gemm_compute values the phase
- * emitters consume, so no bound exceeds the modeled cycles. The energy
- * bound keeps only the traffic-independent activity (MACs, SL, SFU,
- * rescale ops) plus the guaranteed SG streaming volume — the style
- * hook drops the intermediate round trip when it lives in the register
- * tier; DRAM/SG2 terms are dropped (>= 0).
- */
-struct SliceBound {
-    const ExecutionStyle* style = nullptr;
-    double slices_count = 1.0;
-    double softmax_plus_cold = 0.0; ///< cycles added to every point
-    double rescale_cycles = 0.0;    ///< online-softmax rescale (flash)
-    double fixed_energy_j = 0.0;    ///< traffic-independent energy
-    double inter_sg_bytes = 0.0;    ///< intermediate SG round trip
-    double sg_pj_per_byte = 0.0;
-
-    /** Cost record per (tile, order), entry [t * n_orders + o], from
-     *  the process-wide evaluation cache (shared across slices, sweep
-     *  points and repeated searches). The phase emitters consume these
-     *  same records via PlannedGemmCosts, so each point's two
-     *  model_gemm_compute and two stage_reuse calls happen at most once
-     *  per process. */
-    EvalCache::GemmCostTable logit_costs;
-    EvalCache::GemmCostTable attend_costs;
-
-    /** Relative slack keeping the bound strictly below the modeled
-     *  value even though the timeline evaluator may associate the same
-     *  sums differently (a few ULP is all that is at stake; 1e-9 of a
-     *  billion-cycle run is one cycle and costs no pruning power). */
-    static constexpr double kAssocSlack = 1.0 - 1e-9;
-
-    double lower_bound(Objective objective, std::size_t li,
-                       std::size_t ai) const
-    {
-        const GemmComputeCost& lc = (*logit_costs)[li].compute;
-        const GemmComputeCost& ac = (*attend_costs)[ai].compute;
-        // Cold start rides in softmax_plus_cold (folded once, up
-        // front) so the default style bound reproduces the historical
-        // sum bit for bit; the cold argument is therefore zero.
-        const double gemm_sum =
-            (lc.total_cycles() + ac.total_cycles()) * slices_count;
-        const double gemm_max =
-            std::max(lc.total_cycles(), ac.total_cycles()) *
-            slices_count;
-        const double cycles_lb =
-            style->bound_cycles(gemm_sum, gemm_max, softmax_plus_cold,
-                                0.0, rescale_cycles) *
-            kAssocSlack;
-        if (objective == Objective::kRuntime) {
-            return cycles_lb;
-        }
-        const double stream_bytes =
-            (lc.sg_stream_bytes() + ac.sg_stream_bytes()) * slices_count +
-            inter_sg_bytes;
-        const double energy_lb =
-            (fixed_energy_j + stream_bytes * sg_pj_per_byte * 1e-12) *
-            kAssocSlack;
-        if (objective == Objective::kEnergy) {
-            return energy_lb;
-        }
-        return cycles_lb * energy_lb; // kEdp
-    }
-};
-
 SliceBound
 make_slice_bound(const AccelConfig& accel, const AttentionDims& dims,
                  const EnergyTable& energy_table, const SearchSlice& slice,
@@ -409,23 +285,6 @@ make_slice_bound(const AccelConfig& accel, const AttentionDims& dims,
     return bound;
 }
 
-/** Best point of one slice plus its audit counters. */
-struct SliceOutcome {
-    DsePoint best;
-    double value = std::numeric_limits<double>::infinity();
-    std::string tag; ///< tie-break key of the incumbent
-    bool found = false;
-    std::size_t evaluated = 0;
-    std::size_t pruned = 0;
-};
-
-/**
- * Canonical text of everything that shapes the search space and its
- * outcome — accelerator resources, attention dims, space restrictions
- * and candidate menus. Execution knobs (threads, prune, batch width)
- * are deliberately EXCLUDED: they never change the returned optimum,
- * so a journal written at one thread count resumes at another.
- */
 std::string
 search_space_canonical(const AccelConfig& accel,
                        const AttentionDims& dims,
@@ -458,8 +317,13 @@ search_space_canonical(const AccelConfig& accel,
                        FusedStageFlags::encode(*options.fixed_flags))
                  : std::string("*"))
          << " quick=" << options.quick
-         << " overlap=" << static_cast<int>(options.baseline_overlap)
-         << " styles=";
+         << " overlap=" << static_cast<int>(options.baseline_overlap);
+    if (options.mode != SearchMode::kExhaustive) {
+        // Appended only for the new modes so every exhaustive scope
+        // hash (and thus every pre-existing journal) stays valid.
+        text << " mode=" << to_string(options.mode);
+    }
+    text << " styles=";
     for (const ExecutionStyle* style : resolve_styles(options)) {
         text << style->id() << ',';
     }
@@ -489,9 +353,6 @@ search_space_canonical(const AccelConfig& accel,
     return text.str();
 }
 
-/** Journal scope of one search: "search:" + space hash. One journal
- *  holds records of every distinct search that ran under it (a sweep
- *  runs one search per point), each in its own scope. */
 std::string
 search_scope_key(const AccelConfig& accel, const AttentionDims& dims,
                  const AttentionSearchOptions& options)
@@ -501,7 +362,6 @@ search_scope_key(const AccelConfig& accel, const AttentionDims& dims,
                          search_space_canonical(accel, dims, options))));
 }
 
-/** Journal key of one slice within a search scope. */
 std::string
 slice_journal_key(const SearchSlice& slice)
 {
@@ -511,11 +371,6 @@ slice_journal_key(const SearchSlice& slice)
                      to_string(slice.stat_attend).c_str());
 }
 
-/** Tie-break key of a candidate: style id + dataflow tag. Within a
- *  slice the style prefix is constant (so intra-slice comparisons
- *  reduce to the dataflow tag, as before styles existed), but the
- *  prefix makes the final cross-slice reduction a total order even
- *  when two styles share a winning dataflow. */
 std::string
 candidate_tag(const ExecutionStyle& style, const FusedDataflow& df)
 {
@@ -525,9 +380,6 @@ candidate_tag(const ExecutionStyle& style, const FusedDataflow& df)
     return tag;
 }
 
-/** Serializes a completed slice outcome. Only the winning dataflow's
- *  identity is stored — restore re-runs the cost model on it, which is
- *  cheap, deterministic, and immune to float-formatting drift. */
 std::string
 encode_slice_outcome(const SliceOutcome& out)
 {
@@ -560,8 +412,6 @@ encode_slice_outcome(const SliceOutcome& out)
     return json.str();
 }
 
-/** Rebuilds a slice outcome from its journal record by re-evaluating
- *  the winning dataflow through the cost model. */
 SliceOutcome
 restore_slice_outcome(const JsonValue& data, const AccelConfig& accel,
                       const AttentionDims& dims,
@@ -615,32 +465,9 @@ restore_slice_outcome(const JsonValue& data, const AccelConfig& accel,
     return out;
 }
 
-/**
- * Total order on candidates: lower objective value wins; exact ties go
- * to the lexicographically smallest dataflow tag. This makes the result
- * independent of enumeration and thread interleaving.
- */
-bool
-improves(double value, const std::string& tag, double best_value,
-         const std::string& best_tag)
-{
-    return value < best_value ||
-           (value == best_value && tag < best_tag);
-}
+} // namespace detail
 
-/** Monotonically lowers @p shared_best to @p value (relaxed is enough:
- *  the bound is only a hint; correctness never depends on freshness). */
-void
-update_shared_best(std::atomic<double>& shared_best, double value)
-{
-    double current = shared_best.load(std::memory_order_relaxed);
-    while (value < current &&
-           !shared_best.compare_exchange_weak(
-               current, value, std::memory_order_relaxed)) {
-    }
-}
-
-} // namespace
+using namespace detail;
 
 double
 objective_value(Objective objective, double cycles, double energy_j)
@@ -673,6 +500,38 @@ parse_objective(const std::string& name)
                                     << "' (runtime | energy | edp)");
 }
 
+SearchMode
+parse_search_mode(const std::string& name)
+{
+    std::string key = to_lower(name);
+    std::replace(key.begin(), key.end(), '_', '-');
+    if (key == "exhaustive") {
+        return SearchMode::kExhaustive;
+    }
+    if (key == "analytic") {
+        return SearchMode::kAnalytic;
+    }
+    if (key == "analytic-verified") {
+        return SearchMode::kAnalyticVerified;
+    }
+    FLAT_FAIL("unknown search mode '"
+              << name << "' (exhaustive | analytic | analytic-verified)");
+}
+
+const char*
+to_string(SearchMode mode)
+{
+    switch (mode) {
+      case SearchMode::kExhaustive:
+        return "exhaustive";
+      case SearchMode::kAnalytic:
+        return "analytic";
+      case SearchMode::kAnalyticVerified:
+        return "analytic-verified";
+    }
+    return "exhaustive";
+}
+
 double
 DsePoint::objective_value(Objective objective) const
 {
@@ -683,7 +542,18 @@ AttentionSearchResult
 search_attention(const AccelConfig& accel, const AttentionDims& dims,
                  const AttentionSearchOptions& options)
 {
+    // The fault probe guards the public entry, whatever the mode: the
+    // robustness suite injects here to exercise every caller's error
+    // and cancellation paths, and those callers don't know (or care)
+    // which mode prices their search.
     FLAT_FAULT_POINT("dse.search_attention");
+    if (options.mode != SearchMode::kExhaustive) {
+        // Same space, same deterministic reduction, ~2 orders of
+        // magnitude fewer exact evaluations; kAnalyticVerified also
+        // runs the exhaustive sweep (through this entry, with the mode
+        // reset) and reports the objective ratio.
+        return analytic_search_attention(accel, dims, options);
+    }
     accel.validate();
     dims.validate();
     const EnergyTable energy_table = EnergyTable::for_accel(accel);

@@ -38,6 +38,35 @@ double objective_value(Objective objective, double cycles,
 /** Parses "runtime" / "energy" / "edp"; throws flat::Error. */
 Objective parse_objective(const std::string& name);
 
+/**
+ * How the candidate space is searched.
+ *
+ * kExhaustive enumerates every design point — the historical behavior
+ * and the default. kAnalytic keeps the same space (and the same
+ * evaluated + pruned audit total) but visits only a derived subset:
+ * for each (style x cross x stationarity) slice the tile sizes are
+ * solved in closed form from the SL/SG footprint and bandwidth
+ * constraints — bisecting against the monotone bound_cycles lower
+ * bound where the closed form is ambiguous — and a bounded local
+ * refinement (axis scans plus +-1 steps in the tile lattice) through
+ * the exact timeline cost picks the winner (see dse/analytic_mapper.h).
+ * kAnalyticVerified runs the analytic search and then the exhaustive
+ * sweep, reporting the objective ratio between the two picks in the
+ * result's verification fields (1.0 = exact parity).
+ */
+enum class SearchMode {
+    kExhaustive,
+    kAnalytic,
+    kAnalyticVerified,
+};
+
+/** Parses "exhaustive" / "analytic" / "analytic-verified" (underscore
+ *  accepted); throws flat::Error. */
+SearchMode parse_search_mode(const std::string& name);
+
+/** Stable lowercase name ("analytic-verified" style). */
+const char* to_string(SearchMode mode);
+
 /** One evaluated design point. */
 struct DsePoint {
     FusedDataflow dataflow;
@@ -56,6 +85,12 @@ struct DsePoint {
 /** Search-space restrictions and effort. */
 struct AttentionSearchOptions {
     Objective objective = Objective::kRuntime;
+
+    /** Search strategy over the (unchanged) candidate space; see
+     *  SearchMode. Folded into the journal scope key (non-exhaustive
+     *  modes only), so a resume under a different mode starts fresh
+     *  instead of mixing incompatible slice records. */
+    SearchMode mode = SearchMode::kExhaustive;
 
     /** true => FLAT fused space; false => sequential baseline space
      *  (R-granularity excluded automatically). Read only when `styles`
@@ -148,10 +183,21 @@ struct AttentionSearchResult {
 
     /** Points skipped by the lower-bound test. evaluated + pruned is
      *  the full space size and is stable across thread counts; the
-     *  split may shift with scheduling when threads > 1. */
+     *  split may shift with scheduling when threads > 1. (The analytic
+     *  mode counts every point it never visited as pruned, keeping the
+     *  same audit identity.) */
     std::size_t pruned = 0;
 
     bool found = false;
+
+    /** SearchMode::kAnalyticVerified only: the exhaustive optimum's
+     *  objective value and the analytic/exhaustive ratio. The analytic
+     *  pick evaluates a subset of the same space through the same
+     *  evaluator, so the ratio is never below 1.0; exactly 1.0 means
+     *  the analytic mapper found the true optimum. */
+    bool verified = false;
+    double verified_exhaustive_value = 0.0;
+    double verified_ratio = 1.0;
 };
 
 /**

@@ -167,7 +167,19 @@ serving_space_canonical(const AccelConfig& accel,
     text << "dse policy=" << options.policy
          << " styles=" << style_tag(options.sim)
          << " quick=" << options.sim.quick << " overlap="
-         << static_cast<int>(options.sim.baseline_overlap) << '\n';
+         << static_cast<int>(options.sim.baseline_overlap);
+    // The search mode prices every step, so a journal written under
+    // one mode is stale under another. Appended only for the new
+    // non-exhaustive modes: a pre-upgrade all-exhaustive journal
+    // keeps its historical hash. The auto-DSE mode is hashed
+    // separately whenever it disagrees with the fixed-path mode.
+    if (options.sim.search_mode != SearchMode::kExhaustive) {
+        text << " mode=" << to_string(options.sim.search_mode);
+    }
+    if (options.dse_mode != options.sim.search_mode) {
+        text << " auto_mode=" << to_string(options.dse_mode);
+    }
+    text << '\n';
     text << "trace n=" << requests.size() << '\n';
     for (const Request& r : requests) {
         text << r.id << ' ' << r.arrival_s << ' ' << r.prompt_tokens
@@ -324,6 +336,7 @@ search_serving(const AccelConfig& accel, const ModelConfig& model,
             }
             ServeOptions combo = options;
             combo.sim.styles = {style};
+            combo.sim.search_mode = options.dse_mode;
             combo.sched.policy = policy;
             ServeReport report;
             try {

@@ -43,6 +43,16 @@ struct ServeOptions {
      *  cancel token). `sim.cancel` also drains the serving loop. */
     SimOptions sim;
 
+    /** Search mode of the auto-DSE (search_serving): the per-step
+     *  L-A searches default to the analytic tile mapper, which prices
+     *  a step in a handful of evaluations instead of the full sweep.
+     *  Set kExhaustive to fall back to the old behaviour
+     *  (`flatsim --serve --search-mode exhaustive`). The mode is part
+     *  of the serve journal's space hash, so a journal written under
+     *  one mode never resumes under another. Plain run_serving()
+     *  prices steps under `sim.search_mode` as usual. */
+    SearchMode dse_mode = SearchMode::kAnalytic;
+
     /** Optional step-cost journal (scope "serve"); not owned. Resumed
      *  records short-circuit the per-step DSE entirely. */
     RunJournal* journal = nullptr;

@@ -9,9 +9,16 @@ than the threshold (default 7.5%) relative to the baseline:
   dse_throughput      cache_on.points_per_sec
   cache_contention    mixed.t8.lookups_per_sec
   serving_throughput  prefill_first.steps_per_sec
+  mapper_speedup      analytic.points_per_sec
 
 Secondary metrics are reported but only warn: they are noisier and a
 real regression shows up in the headline number anyway.
+
+A missing BASELINE file is not an error: the first run of a freshly
+added bench has nothing to compare against, so the candidate is
+validated on its own and the script reports "no baseline, recording"
+with exit 0 (commit the candidate as the baseline). A missing or
+garbled CANDIDATE is still exit 3.
 
 Both documents are flattened to dot-joined numeric keys and only the
 INTERSECTION is compared, so a report produced by a newer bench binary
@@ -27,6 +34,7 @@ always a one-line diagnostic, never a traceback.
 """
 
 import json
+import os
 import sys
 
 # Per-bench headline (the metric that can FAIL the comparison) and
@@ -38,6 +46,7 @@ HEADLINES = {
                          "mixed.t8.lookups_per_sec"),
     "serving_throughput": ("prefill-first sim steps/s (wall)",
                            "prefill_first.steps_per_sec"),
+    "mapper_speedup": ("analytic points/s", "analytic.points_per_sec"),
 }
 SECONDARY = {
     "dse_throughput": [
@@ -62,6 +71,12 @@ SECONDARY = {
         ("decode-first sim tokens/s",
          "decode_first.sim_tokens_per_s", +1),
         ("decode-first p99 latency", "decode_first.p99_s", -1),
+    ],
+    "mapper_speedup": [
+        ("analytic-vs-exhaustive speedup", "speedup_x", +1),
+        ("speedup vs pruned sweep", "speedup_vs_pruned_x", +1),
+        ("exhaustive points/s", "exhaustive.points_per_sec", +1),
+        ("golden-parity configs", "golden.parity", +1),
     ],
 }
 
@@ -123,6 +138,28 @@ def main(argv):
     if len(paths) != 2:
         print(__doc__.strip().splitlines()[2], file=sys.stderr)
         return 2
+
+    # A brand-new bench has no stored baseline yet: validate the
+    # candidate alone and succeed, telling the caller to record it.
+    if not os.path.exists(paths[0]):
+        cand_doc = load(paths[1])
+        cand_bench = cand_doc.get("bench")
+        if not isinstance(cand_bench, str):
+            print(f"bench_compare: {paths[1]} has no 'bench' field "
+                  f"(truncated or not a bench report)",
+                  file=sys.stderr)
+            return EXIT_BAD_INPUT
+        if cand_bench in HEADLINES:
+            label, key = HEADLINES[cand_bench]
+            value = flatten(cand_doc).get(key)
+            if value is None or value <= 0:
+                print(f"bench_compare: headline {key} missing or zero "
+                      f"in {paths[1]}", file=sys.stderr)
+                return EXIT_BAD_INPUT
+            print(f"{label}: {value:.0f} (candidate)")
+        print(f"bench_compare: no baseline at {paths[0]}, recording — "
+              f"commit {paths[1]} as the {cand_bench} baseline")
+        return 0
 
     base_doc = load(paths[0])
     cand_doc = load(paths[1])

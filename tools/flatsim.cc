@@ -31,6 +31,7 @@
 #include "common/units.h"
 #include "core/simulator.h"
 #include "core/sweep.h"
+#include "dse/block_search.h"
 #include "costmodel/eval_cache.h"
 #include "costmodel/execution_style.h"
 #include "costmodel/trace.h"
@@ -71,6 +72,20 @@ usage: flatsim [options]
   --sg2-bw BW        SG2 bandwidth (default 200GB/s)
   --offchip-bw BW    override off-chip bandwidth, e.g. 100GB/s
   --objective NAME   runtime | energy | edp                 (default runtime)
+  --search-mode NAME exhaustive | analytic | analytic-verified
+                     how the L-A DSE walks its space (default:
+                     exhaustive; --serve defaults to analytic).
+                     analytic derives each slice's tiles in closed
+                     form from the SL/SG footprint and bandwidth
+                     bounds, then refines locally through the exact
+                     timeline cost; analytic-verified additionally
+                     cross-checks the pick against the exhaustive
+                     optimum and reports the objective ratio
+  --block            search the whole Transformer block jointly:
+                     QKV projections, the fused L-A pipeline and the
+                     FCs each keep their own heterogeneous mapping
+                     under the shared objective; prints the per-layer
+                     plan (composes with --search-mode analytic)
   --threads N        DSE worker threads (default: FLAT_THREADS env,
                      else all hardware threads; result is identical
                      for any thread count)
@@ -262,6 +277,9 @@ struct Args {
     std::string sg2_bw = "200GB/s";
     std::string offchip_bw;
     std::string objective = "runtime";
+    std::string search_mode; ///< "" = mode default (run: exhaustive,
+                             ///< serve: analytic)
+    bool block = false;      ///< --block: joint block-chain DSE
     std::uint64_t threads = 0;
     std::uint64_t batch_width = 0;
     bool no_prune = false;
@@ -431,10 +449,11 @@ fabric_from_args(const Args& args)
     return fabric;
 }
 
-int
-run(const Args& args)
+/** Builds the platform from --platform/--platform-file plus the
+ *  buffer/bandwidth override flags (shared by every mode). */
+AccelConfig
+accel_from_args(const Args& args)
 {
-    const ModelConfig model = model_by_name(args.model);
     FLAT_CHECK(to_lower(args.platform) == "cloud" ||
                    to_lower(args.platform) == "edge",
                "unknown platform '" << args.platform
@@ -455,21 +474,47 @@ run(const Args& args)
     if (!args.offchip_bw.empty()) {
         accel.offchip_bw = parse_bandwidth(args.offchip_bw);
     }
+    return accel;
+}
 
+/** Builds the workload from --model/--batch/--seq/--kv-seq/--window
+ *  (shared by the single-run and block modes). */
+Workload
+workload_from_args(const Args& args, const ModelConfig& model)
+{
     FLAT_CHECK(args.kv_seq == 0 || args.window == 0,
                "--kv-seq and --window are mutually exclusive");
-    Workload workload = make_workload(model, args.batch, args.seq);
     if (args.kv_seq != 0) {
-        workload = make_cross_attention_workload(model, args.batch,
-                                                 args.seq, args.kv_seq);
-    } else if (args.window != 0) {
-        workload = make_local_attention_workload(model, args.batch,
-                                                 args.seq, args.window);
+        return make_cross_attention_workload(model, args.batch,
+                                             args.seq, args.kv_seq);
     }
+    if (args.window != 0) {
+        return make_local_attention_workload(model, args.batch,
+                                             args.seq, args.window);
+    }
+    return make_workload(model, args.batch, args.seq);
+}
+
+/** The L-A search mode a mode's flags resolve to. */
+SearchMode
+search_mode_from_args(const Args& args, SearchMode fallback)
+{
+    return args.search_mode.empty() ? fallback
+                                    : parse_search_mode(args.search_mode);
+}
+
+int
+run(const Args& args)
+{
+    const ModelConfig model = model_by_name(args.model);
+    const AccelConfig accel = accel_from_args(args);
+    const Workload workload = workload_from_args(args, model);
     const Scope scope = parse_scope(args.scope);
 
     SimOptions options;
     options.objective = parse_objective(args.objective);
+    options.search_mode =
+        search_mode_from_args(args, SearchMode::kExhaustive);
     options.quick = args.quick;
     options.threads = static_cast<unsigned>(args.threads);
     options.prune = !args.no_prune;
@@ -483,10 +528,12 @@ run(const Args& args)
     // result-shaping CLI surface. The fine-grained staleness guard is
     // the per-search scope key search_attention journals under (a hash
     // of accelerator + dims + search options) — a record from a
-    // different space simply never matches at restore time.
+    // different space simply never matches at restore time. The search
+    // mode is folded in only when non-exhaustive, so pre-existing
+    // exhaustive journals keep their historical hash.
     RunJournalHeader journal_header;
     journal_header.mode = "run";
-    journal_header.space_hash = fnv1a64(strprintf(
+    std::string space_text = strprintf(
         "run|%s|%llu|%llu|%.17g|%s|%llu|%llu|%llu|%llu|%s|%s|%d|%d|%d|%s",
         accel.name.c_str(),
         static_cast<unsigned long long>(accel.sg_bytes),
@@ -501,7 +548,12 @@ run(const Args& args)
         static_cast<int>(options.objective),
         static_cast<int>(options.quick),
         static_cast<int>(options.baseline_overlap),
-        join(args.styles, ",").c_str()));
+        join(args.styles, ",").c_str());
+    if (options.search_mode != SearchMode::kExhaustive) {
+        space_text += strprintf("|mode=%s",
+                                to_string(options.search_mode));
+    }
+    journal_header.space_hash = fnv1a64(space_text);
     const std::unique_ptr<RunJournal> journal =
         open_journal(args, journal_header);
     options.journal = journal.get();
@@ -616,6 +668,12 @@ run(const Args& args)
                    static_cast<std::uint64_t>(report.la_points_evaluated));
         json.field("la_points_pruned",
                    static_cast<std::uint64_t>(report.la_points_pruned));
+        if (options.search_mode != SearchMode::kExhaustive) {
+            json.field("search_mode", to_string(options.search_mode));
+        }
+        if (report.la_verified) {
+            json.field("la_verified_ratio", report.la_verified_ratio);
+        }
         json.key("breakdown_cycles");
         json.begin_object();
         json.field("la", report.breakdown.la_cycles);
@@ -718,6 +776,11 @@ run(const Args& args)
                    strprintf("%zu evaluated, %zu pruned",
                              report.la_points_evaluated,
                              report.la_points_pruned)});
+    if (report.la_verified) {
+        table.add_row({"L-A vs exhaustive",
+                       strprintf("objective ratio %.6f",
+                                 report.la_verified_ratio)});
+    }
     table.print(std::cout);
 
     std::printf("\nL-A stages (%s-bound; cycles each stage alone "
@@ -891,6 +954,162 @@ print_serve_report(const Args& args, const AccelConfig& accel,
     table.print(std::cout);
 }
 
+/** --block excludes the serve/sweep/trace/scale-out surfaces. */
+void
+throw_if_block_conflicts(const Args& args)
+{
+    if (args.serve) {
+        throw UsageError("--block and --serve are mutually exclusive");
+    }
+    if (!args.sweep_file.empty()) {
+        throw UsageError("--block and --sweep are mutually exclusive");
+    }
+    if (args.trace || args.trace_json || !args.trace_csv.empty()) {
+        throw UsageError("--block has no per-phase trace; drop the "
+                         "--trace flags");
+    }
+    if (args.devices > 1) {
+        throw UsageError("--block searches a single device; drop "
+                         "--devices");
+    }
+}
+
+/** The report-facing tag of a block layer's picked mapping. */
+std::string
+block_layer_tag(const BlockLayerPlan& layer)
+{
+    if (!layer.attention) {
+        return layer.dataflow.tag();
+    }
+    const std::string prefix =
+        layer.la.style != nullptr
+            ? std::string(layer.la.style->id()) + ":"
+            : std::string();
+    return prefix + layer.la.dataflow.tag();
+}
+
+int
+run_block_mode(const Args& args)
+{
+    const ModelConfig model = model_by_name(args.model);
+    const AccelConfig accel = accel_from_args(args);
+    const Workload workload = workload_from_args(args, model);
+
+    SimOptions options;
+    options.objective = parse_objective(args.objective);
+    options.search_mode =
+        search_mode_from_args(args, SearchMode::kExhaustive);
+    options.quick = args.quick;
+    options.threads = static_cast<unsigned>(args.threads);
+    options.prune = !args.no_prune;
+    options.batch_width = static_cast<std::size_t>(args.batch_width);
+    options.baseline_overlap = args.serialized_baseline
+                                   ? BaselineOverlap::kSerialized
+                                   : BaselineOverlap::kFull;
+    options.styles = args.styles;
+    options.cancel = &g_signal_cancel;
+
+    // Per-layer search knobs mirror Simulator::run()'s: a policy keeps
+    // the projection/FC sweep fully flexible, an accelerator spec may
+    // pin it down.
+    BlockSearchOptions block_options;
+    if (args.accel.empty()) {
+        block_options.attention = attention_options(
+            DataflowPolicy::parse(args.policy), options);
+        block_options.op.allow_l3 = true;
+    } else {
+        const AcceleratorSpec spec = AcceleratorSpec::parse(args.accel);
+        block_options.attention = attention_options(spec, options);
+        block_options.op.allow_l3 = spec.allows_l3();
+        if (!spec.flexible()) {
+            block_options.op.candidates = fixed_policy_candidates();
+            block_options.op.allow_l3 = false;
+        }
+    }
+    block_options.op.objective = options.objective;
+    block_options.op.quick = options.quick;
+    block_options.op.cancel = options.cancel;
+
+    const BlockSearchResult result =
+        search_block(accel, workload, block_options);
+
+    if (args.json) {
+        JsonWriter json;
+        json.begin_object();
+        json.field("model", model.name);
+        json.field("platform", accel.name);
+        json.field("policy",
+                   args.accel.empty() ? args.policy : args.accel);
+        json.field("search_mode", to_string(options.search_mode));
+        json.key("layers");
+        json.begin_array();
+        for (const BlockLayerPlan& layer : result.layers) {
+            json.begin_object();
+            json.field("name", layer.name);
+            json.field("kind", layer.attention ? "attention" : "gemm");
+            json.field("dataflow", block_layer_tag(layer));
+            json.field("cycles", layer.cycles);
+            json.field("energy_j", layer.energy_j);
+            json.field("evaluated",
+                       static_cast<std::uint64_t>(layer.evaluated));
+            json.field("pruned",
+                       static_cast<std::uint64_t>(layer.pruned));
+            json.field("reused", layer.reused);
+            json.end_object();
+        }
+        json.end_array();
+        json.field("block_cycles", result.block_cycles);
+        json.field("block_energy_j", result.block_energy_j);
+        json.field("blocks", result.blocks);
+        json.field("model_cycles", result.model_cycles);
+        json.field("model_energy_j", result.model_energy_j);
+        json.field("evaluated",
+                   static_cast<std::uint64_t>(result.evaluated));
+        json.field("pruned",
+                   static_cast<std::uint64_t>(result.pruned));
+        if (args.cache_stats) {
+            write_cache_stats(json);
+        }
+        json.end_object();
+        std::printf("%s\n", json.str().c_str());
+        return 0;
+    }
+
+    std::printf("block DSE: %s, batch %llu, N=%llu on %s "
+                "(%s mode, %s objective)\n\n",
+                model.name.c_str(),
+                static_cast<unsigned long long>(args.batch),
+                static_cast<unsigned long long>(args.seq),
+                accel.name.c_str(), to_string(options.search_mode),
+                args.objective.c_str());
+    TextTable table(
+        {"layer", "kind", "picked dataflow", "cycles", "energy (J)",
+         "evaluated"});
+    for (const BlockLayerPlan& layer : result.layers) {
+        table.add_row(
+            {layer.name, layer.attention ? "attention" : "gemm",
+             block_layer_tag(layer), strprintf("%.0f", layer.cycles),
+             strprintf("%.4g", layer.energy_j),
+             layer.reused
+                 ? "(reused)"
+                 : strprintf("%llu", static_cast<unsigned long long>(
+                                         layer.evaluated))});
+    }
+    table.add_separator();
+    table.add_row({"block", "", "",
+                   strprintf("%.0f", result.block_cycles),
+                   strprintf("%.4g", result.block_energy_j),
+                   strprintf("%llu", static_cast<unsigned long long>(
+                                         result.evaluated))});
+    table.add_row(
+        {strprintf("model (x%llu)",
+                   static_cast<unsigned long long>(result.blocks)),
+         "", "", strprintf("%.0f", result.model_cycles),
+         strprintf("%.4g", result.model_energy_j), ""});
+    table.print(std::cout);
+    return 0;
+}
+
 /** --serve excludes the single-run/sweep-only surfaces. */
 void
 throw_if_serve_conflicts(const Args& args)
@@ -908,26 +1127,7 @@ int
 run_serve_mode(const Args& args)
 {
     const ModelConfig model = model_by_name(args.model);
-    FLAT_CHECK(to_lower(args.platform) == "cloud" ||
-                   to_lower(args.platform) == "edge",
-               "unknown platform '" << args.platform
-                                    << "' (edge | cloud)");
-    AccelConfig accel = (to_lower(args.platform) == "cloud")
-                            ? cloud_accel()
-                            : edge_accel();
-    if (!args.platform_file.empty()) {
-        accel = accel_from_config_file(args.platform_file, accel);
-    }
-    if (!args.buffer.empty()) {
-        accel.sg_bytes = parse_bytes(args.buffer);
-    }
-    if (!args.sg2.empty()) {
-        accel.sg2_bytes = parse_bytes(args.sg2);
-        accel.sg2_bw = parse_bandwidth(args.sg2_bw);
-    }
-    if (!args.offchip_bw.empty()) {
-        accel.offchip_bw = parse_bandwidth(args.offchip_bw);
-    }
+    const AccelConfig accel = accel_from_args(args);
 
     // Flag-VALUE validation: unknown arrival kinds / scheduling
     // policies and a missing or unreadable replay trace are CLI
@@ -973,6 +1173,13 @@ run_serve_mode(const Args& args)
     options.policy = args.policy;
     options.ctx_bucket = args.ctx_bucket;
     options.sim.objective = parse_objective(args.objective);
+    // Serving prices hundreds of small per-step searches, so the
+    // analytic mapper is the default; --search-mode exhaustive is the
+    // fallback. Both paths (fixed --sched and the auto DSE) use it.
+    const SearchMode serve_mode =
+        search_mode_from_args(args, SearchMode::kAnalytic);
+    options.sim.search_mode = serve_mode;
+    options.dse_mode = serve_mode;
     options.sim.quick = args.quick;
     options.sim.threads = static_cast<unsigned>(args.threads);
     options.sim.prune = !args.no_prune;
@@ -1142,6 +1349,10 @@ main(int argc, char** argv)
                 args.offchip_bw = next();
             } else if (flag == "--objective") {
                 args.objective = next();
+            } else if (flag == "--search-mode") {
+                args.search_mode = flat::to_lower(next());
+            } else if (flag == "--block") {
+                args.block = true;
             } else if (flag == "--threads") {
                 args.threads = parse_u64_flag(flag, next(), 0, 4096);
             } else if (flag == "--batch-width") {
@@ -1242,6 +1453,16 @@ main(int argc, char** argv)
                     "registered ids)");
             }
         }
+        // Bad --search-mode values are CLI misuse too (exit 2).
+        if (!args.search_mode.empty()) {
+            try {
+                flat::parse_search_mode(args.search_mode);
+            } catch (const flat::InternalError&) {
+                throw;
+            } catch (const flat::Error& e) {
+                throw flat::UsageError(e.what());
+            }
+        }
         if (!args.journal_file.empty() && !args.resume_file.empty()) {
             throw flat::UsageError(
                 "--journal and --resume are mutually exclusive "
@@ -1262,6 +1483,10 @@ main(int argc, char** argv)
         // Arm the graceful SIGINT/SIGTERM drain only once real work
         // starts; a second signal hard-exits with 128+signo.
         flat::install_signal_cancellation(&g_signal_cancel);
+        if (args.block) {
+            throw_if_block_conflicts(args);
+            return run_block_mode(args);
+        }
         if (args.serve) {
             throw_if_serve_conflicts(args);
             return run_serve_mode(args);

@@ -1,9 +1,10 @@
 #!/bin/sh
-# Build the ThreadSanitizer tree and run the concurrency- and
-# robustness-labeled tests under it. The labels cover the thread pool,
+# Build the ThreadSanitizer tree and run the concurrency-, robustness-
+# and mapper-labeled tests under it. The labels cover the thread pool,
 # the deterministic-reduction property tests, cancellation, journaled
-# resume, and the fault-injected sweep paths — the code where a data
-# race would silently break the bit-identical-results contract.
+# resume, the fault-injected sweep paths, and the analytic tile
+# mapper's parallel refinement — the code where a data race would
+# silently break the bit-identical-results contract.
 #
 # Usage: tools/run_sanitizers.sh [BUILD_DIR]   (default: build-tsan)
 set -eu
@@ -16,5 +17,5 @@ cmake -B "$build" -S "$repo" \
     -DFLAT_BUILD_BENCH=OFF \
     -DFLAT_BUILD_EXAMPLES=OFF
 cmake --build "$build" -j "$(nproc 2>/dev/null || echo 4)"
-ctest --test-dir "$build" -L 'concurrency|robustness' \
+ctest --test-dir "$build" -L 'concurrency|robustness|mapper' \
     --output-on-failure -j "$(nproc 2>/dev/null || echo 4)"
